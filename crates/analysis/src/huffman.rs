@@ -1,0 +1,232 @@
+//! Huffman rebalancing of information-content bounds (Section 5.2).
+//!
+//! For a cluster whose output is a **sum of constant multiples of input
+//! signals** (Observation 5.9), the information-content bound depends on
+//! the order the additions are associated in. Theorem 5.10: combining the
+//! two smallest bounds first — exactly Huffman's minimum-redundancy rule —
+//! yields the tightest bound achievable by any ordering.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use dp_bitvec::Signedness;
+
+use crate::Ic;
+
+/// One `c * I` term of a sum-of-constant-multiples expression: `count`
+/// addend copies, each with information content `ic`.
+///
+/// A negated addend (`-3 * x`) is represented by a count of 3 and the
+/// signed bound of `-x`, i.e. `⟨i+1, signed⟩` for an unsigned `⟨i, ·⟩`
+/// operand — the caller performs that adjustment because it knows the
+/// expression structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Term {
+    /// How many copies of the addend appear (the constant's magnitude).
+    pub count: u64,
+    /// Information content of one addend copy.
+    pub ic: Ic,
+}
+
+impl Term {
+    /// Convenience constructor.
+    pub fn new(count: u64, ic: Ic) -> Self {
+        Term { count, ic }
+    }
+}
+
+/// Upper bound on the information content of a sum of constant multiples
+/// of inputs, using the optimal (Huffman) association order
+/// (`Huffman_Rebalancing` in the paper, Theorem 5.10).
+///
+/// Mixed-signedness terms are first promoted to signed (see `DESIGN.md`);
+/// the result signedness is the OR of the term signednesses. Terms with
+/// `count == 0` are ignored; an empty term list is the constant zero.
+///
+/// # Examples
+///
+/// The paper's Figure 4: a skewed chain over `⟨3,0⟩` inputs gives `⟨7,0⟩`,
+/// while the optimal order proves `⟨6,0⟩`:
+///
+/// ```
+/// use dp_analysis::{huffman_bound, naive_skewed_bound, Term, Ic};
+/// use dp_bitvec::Signedness::Unsigned;
+///
+/// let terms: Vec<Term> =
+///     (0..5).map(|_| Term::new(1, Ic::new(3, Unsigned))).collect();
+/// assert_eq!(huffman_bound(&terms), Ic::new(6, Unsigned));
+/// assert_eq!(naive_skewed_bound(&terms), Ic::new(7, Unsigned));
+/// ```
+pub fn huffman_bound(terms: &[Term]) -> Ic {
+    let (values, signed) = widths_of(terms);
+    if values.is_empty() {
+        return Ic::new(0, Signedness::Unsigned);
+    }
+    let mut heap: BinaryHeap<Reverse<usize>> = values.into_iter().map(Reverse).collect();
+    while heap.len() > 1 {
+        let Reverse(min1) = heap.pop().expect("len > 1");
+        let Reverse(min2) = heap.pop().expect("len > 1");
+        heap.push(Reverse(min1.max(min2) + 1));
+    }
+    let Reverse(i) = heap.pop().expect("one value remains");
+    Ic::new(i, signed)
+}
+
+/// The bound produced by the worst (fully skewed, widest-first) chain
+/// order: the baseline the first information-content pass effectively uses
+/// on a left-leaning source graph. Exposed for the Figure 4 comparison and
+/// the ablation benches.
+pub fn naive_skewed_bound(terms: &[Term]) -> Ic {
+    let (mut values, signed) = widths_of(terms);
+    if values.is_empty() {
+        return Ic::new(0, Signedness::Unsigned);
+    }
+    // Accumulate in descending width order: acc = max(acc, next) + 1.
+    values.sort_unstable_by(|a, b| b.cmp(a));
+    let mut acc = values[0];
+    for &v in &values[1..] {
+        acc = acc.max(v) + 1;
+    }
+    Ic::new(acc, signed)
+}
+
+/// Expands terms into per-addend widths, promoting everything to signed if
+/// any term is signed. Zero-information (`i == 0`) addends drop out.
+fn widths_of(terms: &[Term]) -> (Vec<usize>, Signedness) {
+    let signed = if terms.iter().any(|t| t.count > 0 && t.ic.t == Signedness::Signed) {
+        Signedness::Signed
+    } else {
+        Signedness::Unsigned
+    };
+    let mut values = Vec::new();
+    for t in terms {
+        if t.ic.i == 0 {
+            continue; // a constant-zero addend contributes nothing
+        }
+        let ic = if signed == Signedness::Signed { t.ic.as_signed() } else { t.ic };
+        // Cap pathological constants: 2^k copies of width i combine to
+        // exactly width i + k, so fold the count analytically.
+        let count = t.count;
+        if count == 0 {
+            continue;
+        }
+        let whole = count.ilog2();
+        let pow = 1u64 << whole;
+        // `pow` copies fold to one addend of width i + whole…
+        values.push(ic.i + whole as usize);
+        // …and the remainder keeps its own copies (count < pow again).
+        let mut rest = count - pow;
+        while rest > 0 {
+            let k = rest.ilog2();
+            values.push(ic.i + k as usize);
+            rest -= 1u64 << k;
+        }
+    }
+    (values, signed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_bitvec::Signedness::*;
+
+    fn u(i: usize) -> Ic {
+        Ic::new(i, Unsigned)
+    }
+
+    #[test]
+    fn figure4_skewed_vs_balanced() {
+        // Five 3-bit unsigned addends (the paper's Figure 4 chain).
+        let terms: Vec<Term> = (0..5).map(|_| Term::new(1, u(3))).collect();
+        assert_eq!(naive_skewed_bound(&terms), u(7));
+        assert_eq!(huffman_bound(&terms), u(6));
+    }
+
+    #[test]
+    fn huffman_matches_exhaustive_on_small_sets() {
+        // Brute-force every association order (as a sequence of pairwise
+        // combines over a multiset) and confirm Huffman is minimal.
+        fn best_order(values: &mut Vec<usize>) -> usize {
+            if values.len() == 1 {
+                return values[0];
+            }
+            let mut best = usize::MAX;
+            for i in 0..values.len() {
+                for j in 0..values.len() {
+                    if i == j {
+                        continue;
+                    }
+                    let (a, b) = (values[i], values[j]);
+                    let mut next: Vec<usize> = values
+                        .iter()
+                        .enumerate()
+                        .filter(|&(k, _)| k != i && k != j)
+                        .map(|(_, &v)| v)
+                        .collect();
+                    next.push(a.max(b) + 1);
+                    best = best.min(best_order(&mut next));
+                }
+            }
+            best
+        }
+        for widths in [
+            vec![3, 3, 3, 3, 3],
+            vec![1, 2, 3, 4, 5],
+            vec![8, 1, 1, 1],
+            vec![4],
+            vec![2, 2, 7],
+            vec![5, 5, 5, 1],
+        ] {
+            let terms: Vec<Term> = widths.iter().map(|&w| Term::new(1, u(w))).collect();
+            let mut vals = widths.clone();
+            assert_eq!(
+                huffman_bound(&terms).i,
+                best_order(&mut vals),
+                "widths {widths:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn constant_multiples_fold_by_powers_of_two() {
+        // 4 copies of a 3-bit addend: exactly 3 + 2 bits.
+        assert_eq!(huffman_bound(&[Term::new(4, u(3))]), u(5));
+        // 5*b = 4*b + b: a 5-bit and a 3-bit addend -> 6 bits.
+        assert_eq!(huffman_bound(&[Term::new(5, u(3))]), u(6));
+        // Matches the fully expanded computation.
+        let expanded: Vec<Term> = (0..5).map(|_| Term::new(1, u(3))).collect();
+        assert_eq!(huffman_bound(&expanded), huffman_bound(&[Term::new(5, u(3))]));
+    }
+
+    #[test]
+    fn signedness_promotion() {
+        let terms = [Term::new(1, Ic::new(3, Signed)), Term::new(1, u(3))];
+        // Unsigned term promotes to 4 signed; max(3,4)+1 = 5 signed.
+        assert_eq!(huffman_bound(&terms), Ic::new(5, Signed));
+        let all_unsigned = [Term::new(1, u(3)), Term::new(1, u(3))];
+        assert_eq!(huffman_bound(&all_unsigned), u(4));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(huffman_bound(&[]), u(0));
+        assert_eq!(huffman_bound(&[Term::new(0, u(5))]), u(0));
+        assert_eq!(huffman_bound(&[Term::new(1, u(0))]), u(0));
+        assert_eq!(huffman_bound(&[Term::new(1, u(9))]), u(9));
+        assert_eq!(naive_skewed_bound(&[]), u(0));
+    }
+
+    #[test]
+    fn huffman_never_exceeds_skewed() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..200 {
+            let terms: Vec<Term> = (0..rng.gen_range(1..8))
+                .map(|_| Term::new(rng.gen_range(1..6), u(rng.gen_range(1..10))))
+                .collect();
+            let h = huffman_bound(&terms);
+            let s = naive_skewed_bound(&terms);
+            assert!(h.i <= s.i, "{terms:?}: {h} > {s}");
+        }
+    }
+}

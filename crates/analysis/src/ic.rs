@@ -1,0 +1,157 @@
+//! The information-content tuple `⟨i, t⟩` of Definition 5.1.
+
+use std::fmt;
+
+use dp_bitvec::Signedness;
+
+/// An upper bound on the information content of a signal: the signal is
+/// always the `t`-extension of its `i` least significant bits
+/// (Definition 5.1). Bounds are always stored **relative to a concrete
+/// signal width**; `i` equal to that width is the trivial bound ("no
+/// information about the upper bits").
+///
+/// `i == 0` is allowed only with [`Signedness::Unsigned`] and states the
+/// signal is constantly zero.
+///
+/// # Examples
+///
+/// ```
+/// use dp_analysis::Ic;
+/// use dp_bitvec::{BitVec, Signedness};
+///
+/// let ic = Ic::new(3, Signedness::Signed);
+/// // Any 8-bit signal that is a sign-extension of 3 bits satisfies it:
+/// assert!(ic.holds_for(&BitVec::from_i64(8, -4)));
+/// assert!(!ic.holds_for(&BitVec::from_i64(8, 9)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ic {
+    /// Number of least significant bits that carry all the information.
+    pub i: usize,
+    /// The extension discipline reconstructing the full signal from them.
+    pub t: Signedness,
+}
+
+impl Ic {
+    /// Creates a bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i == 0` with [`Signedness::Signed`] (a signed extension
+    /// needs at least the sign bit).
+    pub fn new(i: usize, t: Signedness) -> Self {
+        assert!(
+            i > 0 || t == Signedness::Unsigned,
+            "a signed information content needs at least one bit"
+        );
+        Ic { i, t }
+    }
+
+    /// The trivial (information-free) bound for a signal of width `w`.
+    pub fn trivial(w: usize) -> Self {
+        Ic { i: w, t: Signedness::Unsigned }
+    }
+
+    /// Returns `true` if this bound says nothing about a signal of width
+    /// `w` (every `w`-bit pattern satisfies it).
+    pub fn is_trivial_at(&self, w: usize) -> bool {
+        self.i >= w
+    }
+
+    /// The equivalent *signed* bound: `⟨i, signed⟩` stays put, while
+    /// `⟨i, unsigned⟩` needs one extra (zero) sign bit. This is the
+    /// promotion that makes Lemma 5.4 sound for mixed-signedness operands
+    /// (see `DESIGN.md`).
+    ///
+    /// ```
+    /// use dp_analysis::Ic;
+    /// use dp_bitvec::Signedness::*;
+    /// assert_eq!(Ic::new(4, Unsigned).as_signed(), Ic::new(5, Signed));
+    /// assert_eq!(Ic::new(4, Signed).as_signed(), Ic::new(4, Signed));
+    /// ```
+    pub fn as_signed(self) -> Self {
+        match self.t {
+            Signedness::Signed => self,
+            Signedness::Unsigned => Ic { i: self.i + 1, t: Signedness::Signed },
+        }
+    }
+
+    /// Checks the bound against one concrete signal value.
+    pub fn holds_for(&self, value: &dp_bitvec::BitVec) -> bool {
+        value.is_extension_of(self.i, self.t)
+    }
+
+    /// Returns whichever of the two bounds is *weaker* in width (used when
+    /// taking a conservative join); prefers `self` on ties.
+    pub fn max_width(self, other: Ic) -> Ic {
+        if other.i > self.i {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+impl fmt::Display for Ic {
+    /// The paper's tuple notation with the numeric signedness encoding,
+    /// e.g. `<6,0>` for six unsigned bits.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{},{}>", self.i, self.t.as_bit())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_bitvec::{BitVec, Signedness::*};
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Ic::new(7, Unsigned).to_string(), "<7,0>");
+        assert_eq!(Ic::new(6, Signed).to_string(), "<6,1>");
+    }
+
+    #[test]
+    fn trivial_bounds() {
+        let t = Ic::trivial(8);
+        assert!(t.is_trivial_at(8));
+        assert!(!t.is_trivial_at(9));
+        for raw in 0..256u64 {
+            assert!(t.holds_for(&BitVec::from_u64(8, raw)));
+        }
+    }
+
+    #[test]
+    fn zero_ic_means_constant_zero() {
+        let z = Ic::new(0, Unsigned);
+        assert!(z.holds_for(&BitVec::zero(8)));
+        assert!(!z.holds_for(&BitVec::from_u64(8, 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn zero_signed_rejected() {
+        let _ = Ic::new(0, Signed);
+    }
+
+    #[test]
+    fn promotion_is_sound() {
+        // Every value satisfying <i, U> also satisfies <i+1, S>.
+        for raw in 0..256u64 {
+            let v = BitVec::from_u64(8, raw);
+            for i in 0..8 {
+                if Ic::new(i, Unsigned).holds_for(&v) {
+                    assert!(Ic::new(i, Unsigned).as_signed().holds_for(&v), "{v} i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_width_prefers_wider() {
+        let a = Ic::new(3, Unsigned);
+        let b = Ic::new(5, Signed);
+        assert_eq!(a.max_width(b), b);
+        assert_eq!(b.max_width(a), b);
+    }
+}

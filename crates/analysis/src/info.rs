@@ -1,0 +1,467 @@
+//! Information-content propagation (Section 5 of the paper).
+
+use std::collections::HashMap;
+
+use dp_bitvec::Signedness;
+use dp_dfg::{Dfg, EdgeId, NodeId, NodeKind, OpKind};
+
+use crate::Ic;
+
+/// Huffman-refined intrinsic bounds injected into a recomputation
+/// (Section 5.2 / Section 6): maps an operator node to a tighter bound on
+/// its intrinsic information content, obtained by safely rebalancing the
+/// cluster that computes it.
+pub type IntrinsicOverrides = HashMap<NodeId, Ic>;
+
+/// Per-port information-content bounds for a DFG.
+///
+/// Produced by [`info_content`]. All bounds are upper bounds in the sense
+/// of Definition 5.1 (the exact value is NP-hard to compute, Theorem 5.3)
+/// and are *sound*: the property tests check `Ic::holds_for` on every
+/// signal of randomly evaluated graphs.
+#[derive(Debug, Clone)]
+pub struct InfoAnalysis {
+    /// Bound on the result signal at each node's output port, relative to
+    /// the node width.
+    node_out: Vec<Ic>,
+    /// For operator nodes: bound on the *intrinsic* (pre-truncation)
+    /// result, Lemma 5.4. `None` for non-operator nodes.
+    intrinsic: Vec<Option<Ic>>,
+    /// Bound on the signal carried by each edge, relative to `w(e)`.
+    edge_signal: Vec<Ic>,
+    /// Bound on the operand entering each edge's destination port,
+    /// relative to the destination node width.
+    operand: Vec<Ic>,
+}
+
+impl InfoAnalysis {
+    /// Bound on the signal at `node`'s output port (relative to `w(node)`).
+    pub fn output(&self, node: NodeId) -> Ic {
+        self.node_out[node.index()]
+    }
+
+    /// Bound on the intrinsic (full-precision) result of an operator node
+    /// (Lemma 5.4, possibly Huffman-refined); `None` for non-operators.
+    pub fn intrinsic(&self, node: NodeId) -> Option<Ic> {
+        self.intrinsic[node.index()]
+    }
+
+    /// Bound on the signal carried by `edge` (relative to `w(edge)`).
+    pub fn edge_signal(&self, edge: EdgeId) -> Ic {
+        self.edge_signal[edge.index()]
+    }
+
+    /// Bound on the operand delivered by `edge` into its destination port
+    /// (relative to the destination node's width).
+    pub fn operand(&self, edge: EdgeId) -> Ic {
+        self.operand[edge.index()]
+    }
+}
+
+/// Adapts a bound across a width change, following Section 2.2 semantics:
+/// a signal of width `from` with bound `ic` is resized to width `to`,
+/// extending with `t_adapt` if `to > from`. Returns the bound relative to
+/// `to`.
+///
+/// This single function implements both "propagating information content
+/// across an edge" and the extension-node rule of Observation 6.1.
+pub(crate) fn propagate(ic: Ic, from: usize, to: usize, t_adapt: Signedness) -> Ic {
+    debug_assert!(ic.i <= from, "bound must be relative to the source width");
+    if to <= from {
+        // Truncation: the claim survives if it fits, else becomes trivial.
+        if ic.i <= to {
+            ic
+        } else {
+            Ic::trivial(to)
+        }
+    } else if ic.i == from {
+        // Trivial claim: after a t_adapt-extension the signal is, by
+        // construction, a t_adapt-extension of its `from` low bits.
+        Ic { i: from, t: t_adapt }
+    } else {
+        match (ic.t, t_adapt) {
+            // Same discipline: the extension preserves the claim.
+            (t, u) if t == u => ic,
+            // Strictly unsigned data sign-extended: the MSB is zero, so the
+            // "sign" fill is zeros — the paper's key observation.
+            (Signedness::Unsigned, Signedness::Signed) => ic,
+            // Sign-extended data zero-padded: the low `from` bits still
+            // determine everything, but only as an unsigned extension.
+            (Signedness::Signed, Signedness::Unsigned) => {
+                Ic { i: from, t: Signedness::Unsigned }
+            }
+            _ => unreachable!("all four combinations covered"),
+        }
+    }
+}
+
+/// The intrinsic information content of an operator over the given operand
+/// bounds (Lemma 5.4, with the mixed-signedness promotion documented in
+/// `DESIGN.md`, and exact handling of constant-zero operands).
+pub(crate) fn intrinsic_ic(op: OpKind, operands: &[Ic]) -> Ic {
+    match op {
+        OpKind::Add => {
+            let (a, b) = (operands[0], operands[1]);
+            // x + 0 = x.
+            if a.i == 0 {
+                return b;
+            }
+            if b.i == 0 {
+                return a;
+            }
+            if a.t == b.t {
+                Ic { i: a.i.max(b.i) + 1, t: a.t }
+            } else {
+                let (a, b) = (a.as_signed(), b.as_signed());
+                Ic { i: a.i.max(b.i) + 1, t: Signedness::Signed }
+            }
+        }
+        OpKind::Sub => {
+            let (a, b) = (operands[0], operands[1]);
+            if b.i == 0 {
+                return a;
+            }
+            // The paper's rule <max+1, signed> is exact for two unsigned
+            // operands; mixed pairs need the unsigned one promoted.
+            let (a, b) = if a.t == b.t { (a, b) } else { (a.as_signed(), b.as_signed()) };
+            Ic { i: a.i.max(b.i) + 1, t: Signedness::Signed }
+        }
+        OpKind::Mul => {
+            let (a, b) = (operands[0], operands[1]);
+            if a.i == 0 || b.i == 0 {
+                return Ic::new(0, Signedness::Unsigned);
+            }
+            Ic { i: a.i + b.i, t: a.t | b.t }
+        }
+        OpKind::Neg => {
+            let a = operands[0];
+            if a.i == 0 {
+                a
+            } else {
+                Ic { i: a.i + 1, t: Signedness::Signed }
+            }
+        }
+        OpKind::Shl(k) => {
+            let a = operands[0];
+            if a.i == 0 {
+                a
+            } else {
+                Ic { i: a.i + k as usize, t: a.t }
+            }
+        }
+    }
+}
+
+/// Lemma 5.4 with interpretation choice: a *trivial* operand bound
+/// (`i == node width`) holds under both signedness readings, so we pick
+/// per operand whichever reading minimizes the resulting intrinsic width.
+/// This is what lets a full-width input arriving on a signed edge count as
+/// a signed operand without the unsigned-promotion penalty.
+///
+/// Returns the best intrinsic bound **and** the operand interpretations it
+/// was derived from. The caller stores those back as the official operand
+/// bounds: downstream consumers (the sum-of-addends linearizer, Huffman
+/// terms, the value-misread check) must all read the operands with the
+/// *same* signedness the intrinsic computation assumed, or the cluster's
+/// value story falls apart.
+pub(crate) fn intrinsic_ic_best(
+    op: OpKind,
+    operands: &[Ic],
+    node_width: usize,
+) -> (Ic, Vec<Ic>) {
+    let choices = |ic: Ic| -> Vec<Ic> {
+        if ic.is_trivial_at(node_width) && ic.i > 0 {
+            vec![
+                Ic::new(ic.i, Signedness::Unsigned),
+                Ic::new(ic.i, Signedness::Signed),
+            ]
+        } else {
+            vec![ic]
+        }
+    };
+    let mut best: Option<(Ic, Vec<Ic>)> = None;
+    let consider = |cand: Ic, interp: Vec<Ic>, best: &mut Option<(Ic, Vec<Ic>)>| {
+        if best.as_ref().map_or(true, |(b, _)| cand.i < b.i) {
+            *best = Some((cand, interp));
+        }
+    };
+    match operands.len() {
+        1 => {
+            for a in choices(operands[0]) {
+                consider(intrinsic_ic(op, &[a]), vec![a], &mut best);
+            }
+        }
+        2 => {
+            for a in choices(operands[0]) {
+                for b in choices(operands[1]) {
+                    consider(intrinsic_ic(op, &[a, b]), vec![a, b], &mut best);
+                }
+            }
+        }
+        n => unreachable!("operators have arity 1 or 2, got {n}"),
+    }
+    best.expect("at least one interpretation")
+}
+
+/// Computes information-content bounds for every port by one forward
+/// (inputs-to-outputs) sweep.
+///
+/// # Panics
+///
+/// Panics if the graph is cyclic or structurally invalid.
+pub fn info_content(g: &Dfg) -> InfoAnalysis {
+    info_content_with(g, &IntrinsicOverrides::new())
+}
+
+/// Like [`info_content`], but for the operator nodes present in
+/// `overrides`, uses the supplied (Huffman-refined) intrinsic bound if it
+/// is tighter than Lemma 5.4's. This is how the iterative clustering
+/// algorithm of Section 6 feeds rebalancing results back into the
+/// analysis.
+pub fn info_content_with(g: &Dfg, overrides: &IntrinsicOverrides) -> InfoAnalysis {
+    let order = g.topo_order().expect("information content needs an acyclic graph");
+    let mut node_out = vec![Ic::trivial(0); g.num_nodes()];
+    let mut intrinsic = vec![None; g.num_nodes()];
+    let mut edge_signal = vec![Ic::trivial(0); g.num_edges()];
+    let mut operand = vec![Ic::trivial(0); g.num_edges()];
+
+    for n in order {
+        let node = g.node(n);
+        let w = node.width();
+        // First settle the bounds on this node's incoming edges/operands.
+        // The port-side adaptation uses the edge discipline, except for
+        // extension nodes, which adapt with their own (Definition 5.5).
+        let port_t = match node.kind() {
+            NodeKind::Extension(t) => Some(*t),
+            _ => None,
+        };
+        for &e in node.in_edges() {
+            let edge = g.edge(e);
+            let src = edge.src();
+            let src_w = g.node(src).width();
+            let sig = propagate(node_out[src.index()], src_w, edge.width(), edge.signedness());
+            edge_signal[e.index()] = sig;
+            operand[e.index()] =
+                propagate(sig, edge.width(), w, port_t.unwrap_or(edge.signedness()));
+        }
+        let out = match node.kind() {
+            NodeKind::Input => Ic::trivial(w),
+            NodeKind::Const(v) => {
+                let iu = v.min_unsigned_width();
+                let is = v.min_signed_width();
+                if iu <= is {
+                    Ic::new(iu, Signedness::Unsigned)
+                } else {
+                    Ic::new(is, Signedness::Signed)
+                }
+            }
+            NodeKind::Output => {
+                let e = node.in_edges()[0];
+                operand[e.index()]
+            }
+            NodeKind::Extension(_) => {
+                // Definition 5.5 semantics = a resize of the *edge* signal
+                // with the node's own discipline (Observation 6.1) — which
+                // is exactly how the operand bound above was computed.
+                let e = node.in_edges()[0];
+                operand[e.index()]
+            }
+            NodeKind::Op(op) => {
+                let edges: Vec<_> = node.in_edges().to_vec();
+                let ops: Vec<Ic> = edges.iter().map(|&e| operand[e.index()]).collect();
+                let (mut ic_int, chosen) = intrinsic_ic_best(*op, &ops, w);
+                // Commit the chosen interpretations (see intrinsic_ic_best).
+                for (k, &e) in edges.iter().enumerate() {
+                    operand[e.index()] = chosen[k];
+                }
+                if let Some(&refined) = overrides.get(&n) {
+                    if refined.i < ic_int.i {
+                        ic_int = refined;
+                    }
+                }
+                intrinsic[n.index()] = Some(ic_int);
+                // Output port: the smaller of the intrinsic bound and the
+                // node width; truncation below the intrinsic width loses
+                // the claim entirely.
+                if ic_int.i <= w {
+                    ic_int
+                } else {
+                    Ic::trivial(w)
+                }
+            }
+        };
+        node_out[n.index()] = out;
+    }
+    InfoAnalysis { node_out, intrinsic, edge_signal, operand }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_bitvec::{BitVec, Signedness::*};
+
+    #[test]
+    fn propagate_truncation() {
+        assert_eq!(propagate(Ic::new(3, Unsigned), 8, 5, Signed), Ic::new(3, Unsigned));
+        assert_eq!(propagate(Ic::new(6, Signed), 8, 4, Signed), Ic::trivial(4));
+    }
+
+    #[test]
+    fn propagate_extension_same_type() {
+        assert_eq!(propagate(Ic::new(3, Signed), 8, 12, Signed), Ic::new(3, Signed));
+        assert_eq!(propagate(Ic::new(3, Unsigned), 8, 12, Unsigned), Ic::new(3, Unsigned));
+    }
+
+    #[test]
+    fn propagate_unsigned_data_signed_edge_stays_unsigned() {
+        // The paper's "interesting case": strictly-unsigned data on a
+        // signed edge keeps zeros in the MSBs.
+        assert_eq!(propagate(Ic::new(3, Unsigned), 8, 12, Signed), Ic::new(3, Unsigned));
+    }
+
+    #[test]
+    fn propagate_trivial_claim_instantiates_edge_type() {
+        assert_eq!(propagate(Ic::trivial(8), 8, 12, Signed), Ic::new(8, Signed));
+        assert_eq!(propagate(Ic::trivial(8), 8, 12, Unsigned), Ic::new(8, Unsigned));
+    }
+
+    #[test]
+    fn propagate_signed_data_unsigned_edge_loses_claim() {
+        assert_eq!(propagate(Ic::new(3, Signed), 8, 12, Unsigned), Ic::new(8, Unsigned));
+    }
+
+    #[test]
+    fn intrinsic_matches_lemma_5_4() {
+        // Same-signedness cases exactly as printed in the paper.
+        assert_eq!(
+            intrinsic_ic(OpKind::Add, &[Ic::new(4, Unsigned), Ic::new(6, Unsigned)]),
+            Ic::new(7, Unsigned)
+        );
+        assert_eq!(
+            intrinsic_ic(OpKind::Add, &[Ic::new(4, Signed), Ic::new(6, Signed)]),
+            Ic::new(7, Signed)
+        );
+        assert_eq!(
+            intrinsic_ic(OpKind::Sub, &[Ic::new(4, Unsigned), Ic::new(4, Unsigned)]),
+            Ic::new(5, Signed)
+        );
+        assert_eq!(
+            intrinsic_ic(OpKind::Mul, &[Ic::new(4, Unsigned), Ic::new(5, Unsigned)]),
+            Ic::new(9, Unsigned)
+        );
+        assert_eq!(
+            intrinsic_ic(OpKind::Mul, &[Ic::new(4, Signed), Ic::new(5, Unsigned)]),
+            Ic::new(9, Signed)
+        );
+        assert_eq!(intrinsic_ic(OpKind::Neg, &[Ic::new(4, Unsigned)]), Ic::new(5, Signed));
+    }
+
+    #[test]
+    fn intrinsic_mixed_add_promotes() {
+        // u4 + s4 can reach 15 + 7 = 22, needing 6 signed bits: the paper's
+        // literal formula (5 bits) would be unsound.
+        assert_eq!(
+            intrinsic_ic(OpKind::Add, &[Ic::new(4, Unsigned), Ic::new(4, Signed)]),
+            Ic::new(6, Signed)
+        );
+    }
+
+    #[test]
+    fn intrinsic_zero_operands() {
+        let zero = Ic::new(0, Unsigned);
+        let x = Ic::new(5, Signed);
+        assert_eq!(intrinsic_ic(OpKind::Add, &[zero, x]), x);
+        assert_eq!(intrinsic_ic(OpKind::Mul, &[zero, x]), zero);
+        assert_eq!(intrinsic_ic(OpKind::Sub, &[x, zero]), x);
+        assert_eq!(intrinsic_ic(OpKind::Neg, &[zero]), zero);
+    }
+
+    /// Paper Figure 3 reconstruction: small inputs make every 8-bit
+    /// intermediate a sign-extension of a 4/5-bit sum, so the seemingly
+    /// troublesome sign-extending edge `e7` is information-preserving.
+    fn figure3() -> (Dfg, NodeId, NodeId, NodeId, NodeId, EdgeId) {
+        let mut g = Dfg::new();
+        let a = g.input("A", 3);
+        let b = g.input("B", 3);
+        let c = g.input("C", 3);
+        let d = g.input("D", 3);
+        let e = g.input("E", 9);
+        let n1 = g.op(OpKind::Add, 8, &[(a, Signed), (b, Signed)]);
+        let n2 = g.op(OpKind::Add, 8, &[(c, Signed), (d, Signed)]);
+        let n3 = g.op(OpKind::Add, 8, &[(n1, Signed), (n2, Signed)]);
+        // e7: sign-extends the 8-bit result to 9 bits.
+        let n4 = g.op_with_edges(OpKind::Add, 9, &[(n3, 9, Signed), (e, 9, Signed)]);
+        g.output("R", 10, n4, Signed);
+        let e7 = g.in_edge_on_port(n4, 0).unwrap();
+        (g, n1, n2, n3, n4, e7)
+    }
+
+    #[test]
+    fn figure3_information_content() {
+        let (g, n1, n2, n3, n4, e7) = figure3();
+        let ic = info_content(&g);
+        assert_eq!(ic.output(n1), Ic::new(4, Signed));
+        assert_eq!(ic.output(n2), Ic::new(4, Signed));
+        assert_eq!(ic.output(n3), Ic::new(5, Signed));
+        // The extension on e7 is information-preserving.
+        assert_eq!(ic.edge_signal(e7), Ic::new(5, Signed));
+        assert_eq!(ic.intrinsic(n4), Some(Ic::new(10, Signed)));
+    }
+
+    #[test]
+    fn overrides_tighten_intrinsic() {
+        let (g, _, _, n3, _, _) = figure3();
+        let mut overrides = IntrinsicOverrides::new();
+        overrides.insert(n3, Ic::new(4, Signed));
+        let ic = info_content_with(&g, &overrides);
+        assert_eq!(ic.intrinsic(n3), Some(Ic::new(4, Signed)));
+        assert_eq!(ic.output(n3), Ic::new(4, Signed));
+        // A looser override is ignored.
+        overrides.insert(n3, Ic::new(40, Signed));
+        let ic2 = info_content_with(&g, &overrides);
+        assert_eq!(ic2.intrinsic(n3), Some(Ic::new(5, Signed)));
+    }
+
+    #[test]
+    fn constants_get_exact_bounds() {
+        let mut g = Dfg::new();
+        let a = g.input("a", 4);
+        let c = g.constant(BitVec::from_u64(8, 5));
+        let m = g.op(OpKind::Mul, 12, &[(a, Unsigned), (c, Unsigned)]);
+        g.output("o", 12, m, Unsigned);
+        let ic = info_content(&g);
+        assert_eq!(ic.output(c), Ic::new(3, Unsigned));
+        assert_eq!(ic.intrinsic(m), Some(Ic::new(7, Unsigned)));
+        // A negative-looking constant prefers the signed reading.
+        let mut g2 = Dfg::new();
+        let k = g2.constant(BitVec::ones(8)); // -1
+        let b = g2.input("b", 4);
+        let s = g2.op(OpKind::Add, 9, &[(b, Signed), (k, Signed)]);
+        g2.output("o", 9, s, Signed);
+        let ic2 = info_content(&g2);
+        assert_eq!(ic2.output(k), Ic::new(1, Signed));
+    }
+
+    #[test]
+    fn bounds_are_sound_on_random_graphs() {
+        use dp_dfg::gen::{random_dfg, random_inputs, GenConfig};
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x1C0);
+        for case in 0..60 {
+            let g = random_dfg(&mut rng, &GenConfig::default());
+            let ic = info_content(&g);
+            for _ in 0..20 {
+                let inputs = random_inputs(&g, &mut rng);
+                let eval = g.evaluate_full(&inputs).unwrap();
+                for n in g.node_ids() {
+                    let bound = ic.output(n);
+                    assert!(
+                        bound.holds_for(eval.result(n)),
+                        "case {case}: node {n} value {} violates {bound}",
+                        eval.result(n)
+                    );
+                }
+            }
+        }
+    }
+}

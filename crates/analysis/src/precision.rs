@@ -1,0 +1,234 @@
+//! Required precision (Definition 4.1) and the Theorem 4.2 transformation.
+
+use dp_dfg::{Dfg, NodeId, NodeKind};
+
+/// The required precision `r(p)` at every port of a DFG.
+///
+/// Produced by [`required_precision`]. Intuitively, `r(p) = n` means at
+/// most the `n` least significant bits of the signal at `p` can influence
+/// any primary output: every higher bit is truncated somewhere on every
+/// downstream path.
+#[derive(Debug, Clone)]
+pub struct PrecisionAnalysis {
+    /// `r` at the (single) output port of each node.
+    out_port: Vec<usize>,
+    /// `r` at the input ports of each node (one shared value — Definition
+    /// 4.1 gives every input port of a node the same `r`).
+    in_port: Vec<usize>,
+}
+
+impl PrecisionAnalysis {
+    /// `r` at the output port of `node`. For nodes with no out-edges this
+    /// is 0 (nothing downstream observes them).
+    pub fn output_port(&self, node: NodeId) -> usize {
+        self.out_port[node.index()]
+    }
+
+    /// `r` at the input ports of `node` (Definition 4.1 assigns all input
+    /// ports of a node the same requirement).
+    pub fn input_port(&self, node: NodeId) -> usize {
+        self.in_port[node.index()]
+    }
+}
+
+/// Computes required precision for every port by one reverse-topological
+/// sweep (Definition 4.1).
+///
+/// # Panics
+///
+/// Panics if the graph is cyclic.
+///
+/// See the [crate documentation](crate) for an example.
+pub fn required_precision(g: &Dfg) -> PrecisionAnalysis {
+    let order = g.reverse_topo_order().expect("required precision needs an acyclic graph");
+    let mut out_port = vec![0usize; g.num_nodes()];
+    let mut in_port = vec![0usize; g.num_nodes()];
+    for n in order {
+        let node = g.node(n);
+        // r at the output port: max over out-edges of min(w(e), r(dest input port)).
+        out_port[n.index()] = node
+            .out_edges()
+            .iter()
+            .map(|&e| {
+                let edge = g.edge(e);
+                edge.width().min(in_port[edge.dst().index()])
+            })
+            .max()
+            .unwrap_or(0);
+        // r at the input ports.
+        in_port[n.index()] = match node.kind() {
+            NodeKind::Output => node.width(),
+            _ => out_port[n.index()].min(node.width()),
+        };
+    }
+    PrecisionAnalysis { out_port, in_port }
+}
+
+/// Applies the Theorem 4.2 width clamp in place:
+/// `w(n) := min(w(n), r(p_o(n)))` and `w(e) := min(w(e), r(p_d(e)))`,
+/// preserving functionality. Returns how many node and edge widths shrank.
+///
+/// Widths are floored at 1 bit (the data model has no zero-width signals; a
+/// completely unobserved node keeps a 1-bit stub).
+pub fn rp_transform(g: &mut Dfg) -> (usize, usize) {
+    let rp = required_precision(g);
+    let mut node_changes = 0;
+    let mut edge_changes = 0;
+    for n in g.node_ids().collect::<Vec<_>>() {
+        // Outputs and inputs keep their declared interface width; a
+        // constant's width is pinned to its value's width.
+        if matches!(g.node(n).kind(), NodeKind::Output | NodeKind::Input | NodeKind::Const(_)) {
+            continue;
+        }
+        let r = rp.output_port(n).max(1);
+        if r < g.node(n).width() {
+            g.set_node_width(n, r);
+            node_changes += 1;
+        }
+    }
+    for e in g.edge_ids().collect::<Vec<_>>() {
+        let dst = g.edge(e).dst();
+        let r = rp.input_port(dst).max(1);
+        if r < g.edge(e).width() {
+            g.set_edge_width(e, r);
+            edge_changes += 1;
+        }
+    }
+    (node_changes, edge_changes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_bitvec::{BitVec, Signedness::*};
+    use dp_dfg::OpKind;
+
+    /// Paper Figure 2 reconstruction: G4 has a 5-bit output, so every
+    /// signal's required precision is 5.
+    fn figure2() -> (Dfg, NodeId, NodeId, NodeId) {
+        let mut g = Dfg::new();
+        let a = g.input("A", 8);
+        let b = g.input("B", 8);
+        let c = g.input("C", 9);
+        let n1 = g.op(OpKind::Add, 9, &[(a, Signed), (b, Signed)]);
+        // Truncating edge into the second adder, then sign-extension: the
+        // Figure 1 bottleneck, defused here by the narrow output.
+        let n3 = g.op_with_edges(OpKind::Add, 9, &[(n1, 7, Signed), (c, 9, Signed)]);
+        g.output("R", 5, n3, Signed);
+        (g, n1, n3, c)
+    }
+
+    #[test]
+    fn figure2_everything_needs_five_bits() {
+        let (g, n1, n3, _) = figure2();
+        let rp = required_precision(&g);
+        assert_eq!(rp.input_port(n3), 5);
+        assert_eq!(rp.output_port(n3), 5);
+        assert_eq!(rp.output_port(n1), 5);
+        assert_eq!(rp.input_port(n1), 5);
+        for &i in g.inputs() {
+            assert_eq!(rp.output_port(i), 5);
+        }
+    }
+
+    #[test]
+    fn figure2_transform_shrinks_widths() {
+        let (mut g, n1, n3, _) = figure2();
+        let reference = g.clone();
+        let (nodes, edges) = rp_transform(&mut g);
+        assert!(nodes >= 2 && edges >= 2, "shrunk {nodes} nodes, {edges} edges");
+        assert_eq!(g.node(n1).width(), 5);
+        assert_eq!(g.node(n3).width(), 5);
+        // Functional equivalence on exhaustive-ish random values.
+        for seed in 0..200u64 {
+            let inputs = vec![
+                BitVec::from_u64_wrapping(8, seed.wrapping_mul(0x9E37_79B9)),
+                BitVec::from_u64_wrapping(8, seed.wrapping_mul(0x85EB_CA6B) >> 3),
+                BitVec::from_u64_wrapping(9, seed.wrapping_mul(0xC2B2_AE35) >> 5),
+            ];
+            assert_eq!(
+                reference.evaluate(&inputs).unwrap(),
+                g.evaluate(&inputs).unwrap(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn wide_output_requires_everything() {
+        // If the output is as wide as the arithmetic, nothing shrinks.
+        let mut g = Dfg::new();
+        let a = g.input("a", 8);
+        let b = g.input("b", 8);
+        let s = g.op(OpKind::Add, 9, &[(a, Unsigned), (b, Unsigned)]);
+        g.output("o", 9, s, Unsigned);
+        let (n, e) = rp_transform(&mut g);
+        assert_eq!((n, e), (0, 0));
+        assert_eq!(g.node(s).width(), 9);
+    }
+
+    #[test]
+    fn fanout_takes_the_maximum_requirement() {
+        // One consumer needs 3 bits, another needs 7: the producer needs 7.
+        let mut g = Dfg::new();
+        let a = g.input("a", 8);
+        let b = g.input("b", 8);
+        let s = g.op(OpKind::Add, 9, &[(a, Unsigned), (b, Unsigned)]);
+        g.output("narrow", 3, s, Unsigned);
+        g.output("wide", 7, s, Unsigned);
+        let rp = required_precision(&g);
+        assert_eq!(rp.output_port(s), 7);
+        rp_transform(&mut g);
+        assert_eq!(g.node(s).width(), 7);
+    }
+
+    #[test]
+    fn narrow_edge_caps_requirement() {
+        // The edge between the adders carries only 4 bits, so upstream only
+        // needs 4 even though the final output is wide.
+        let mut g = Dfg::new();
+        let a = g.input("a", 8);
+        let b = g.input("b", 8);
+        let s1 = g.op(OpKind::Add, 9, &[(a, Unsigned), (b, Unsigned)]);
+        let s2 = g.op_with_edges(OpKind::Add, 9, &[(s1, 4, Unsigned), (b, 8, Unsigned)]);
+        g.output("o", 9, s2, Unsigned);
+        let rp = required_precision(&g);
+        assert_eq!(rp.output_port(s1), 4);
+        assert_eq!(rp.output_port(s2), 9);
+    }
+
+    #[test]
+    fn unused_node_has_zero_requirement() {
+        let mut g = Dfg::new();
+        let a = g.input("a", 8);
+        let dangling = g.op(OpKind::Neg, 8, &[(a, Unsigned)]);
+        g.output("o", 8, a, Unsigned);
+        let rp = required_precision(&g);
+        assert_eq!(rp.output_port(dangling), 0);
+        // The transform floors the width at 1 rather than erasing the node.
+        rp_transform(&mut g);
+        assert_eq!(g.node(dangling).width(), 1);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn transform_preserves_random_graphs() {
+        use dp_dfg::gen::{random_dfg, random_inputs, GenConfig};
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xDA01);
+        for case in 0..40 {
+            let g0 = random_dfg(&mut rng, &GenConfig::default());
+            let mut g1 = g0.clone();
+            rp_transform(&mut g1);
+            g1.validate().unwrap();
+            for _ in 0..20 {
+                let inputs = random_inputs(&g0, &mut rng);
+                assert_eq!(
+                    g0.evaluate(&inputs).unwrap(),
+                    g1.evaluate(&inputs).unwrap(),
+                    "case {case}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Width pruning using information content (Lemmas 5.6 and 5.7).
+
+use dp_bitvec::Signedness;
+use dp_dfg::Dfg;
+
+use crate::info::info_content;
+
+/// Applies Lemma 5.7 in place: wherever the signal carried by an edge is a
+/// strict `t`-extension of its `i` low bits, the edge can be narrowed to
+/// `⟨i, t⟩` — the destination port re-extends and recovers the identical
+/// operand.
+///
+/// The lemma as printed requires one guard to stay functionally safe (see
+/// `DESIGN.md`): narrowing with a **signed** claim is only applied when the
+/// edge already extends with the signed discipline or when the destination
+/// never extends past the edge width — otherwise the re-extension at the
+/// destination could differ above the old `w(e)`. Unsigned claims are
+/// always safe (zero fill is zero fill).
+///
+/// Returns the number of edges narrowed.
+pub fn prune_edge_widths(g: &mut Dfg) -> usize {
+    let ic = info_content(g);
+    let mut changed = 0;
+    for e in g.edge_ids().collect::<Vec<_>>() {
+        let edge = g.edge(e);
+        let claim = ic.edge_signal(e);
+        let w_e = edge.width();
+        if claim.i >= w_e {
+            continue; // nothing to gain
+        }
+        let dst_w = g.node(edge.dst()).width();
+        let safe = match claim.t {
+            Signedness::Unsigned => true,
+            Signedness::Signed => edge.signedness() == Signedness::Signed || dst_w <= w_e,
+        };
+        if !safe {
+            continue;
+        }
+        let new_w = claim.i.max(1);
+        if new_w < w_e {
+            g.set_edge_width(e, new_w);
+            g.set_edge_signedness(e, claim.t);
+            changed += 1;
+        }
+    }
+    changed
+}
+
+/// Applies Lemma 5.6 in place: every operator node whose width exceeds its
+/// intrinsic information content `⟨i, t⟩` is narrowed to `i`, and a new
+/// **extension node** of the old width and discipline `t` is spliced in
+/// front of its fanout so every consumer sees an identical signal.
+///
+/// Extension nodes inserted here are *information-preserving* by
+/// construction (the narrowed node still carries the complete result), so
+/// they never become merge boundaries under this crate's Safety Condition
+/// 1 reading.
+///
+/// Returns `(nodes narrowed, extension nodes inserted)`.
+pub fn prune_node_widths(g: &mut Dfg) -> (usize, usize) {
+    let ic = info_content(g);
+    let mut narrowed = 0;
+    let mut inserted = 0;
+    for n in g.node_ids().collect::<Vec<_>>() {
+        if !g.node(n).kind().is_op() {
+            continue;
+        }
+        let Some(intrinsic) = ic.intrinsic(n) else { continue };
+        let w = g.node(n).width();
+        let target = intrinsic.i.max(1);
+        if target >= w {
+            continue;
+        }
+        // Does any consumer actually look past `target` bits? If not, just
+        // shrink the node; edges at or below `target` are unaffected.
+        let needs_interface = g
+            .node(n)
+            .out_edges()
+            .iter()
+            .any(|&e| g.edge(e).width() > target);
+        g.set_node_width(n, target);
+        narrowed += 1;
+        if needs_interface {
+            let ext = g.extension(w, intrinsic.t, n, target, Signedness::Unsigned);
+            // Move the original fanout onto the extension node. The new
+            // feed edge keeps index stability: rewire every *old* out-edge.
+            for e in g.node(n).out_edges().to_vec() {
+                if g.edge(e).dst() != ext {
+                    g.rewire_edge_src(e, ext);
+                }
+            }
+            inserted += 1;
+        }
+    }
+    (narrowed, inserted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_bitvec::{BitVec, Signedness::*};
+    use dp_dfg::NodeKind;
+    use dp_dfg::gen::{random_dfg, random_inputs, GenConfig};
+    use dp_dfg::OpKind;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    /// Figure 3's graph: redundant 8-bit adders over 3-bit inputs.
+    fn figure3() -> Dfg {
+        let mut g = Dfg::new();
+        let a = g.input("A", 3);
+        let b = g.input("B", 3);
+        let c = g.input("C", 3);
+        let d = g.input("D", 3);
+        let e = g.input("E", 9);
+        let n1 = g.op(OpKind::Add, 8, &[(a, Signed), (b, Signed)]);
+        let n2 = g.op(OpKind::Add, 8, &[(c, Signed), (d, Signed)]);
+        let n3 = g.op(OpKind::Add, 8, &[(n1, Signed), (n2, Signed)]);
+        let n4 = g.op_with_edges(OpKind::Add, 9, &[(n3, 9, Signed), (e, 9, Signed)]);
+        g.output("R", 10, n4, Signed);
+        g
+    }
+
+    #[test]
+    fn edge_prune_narrows_figure3() {
+        let mut g = figure3();
+        let reference = g.clone();
+        let changed = prune_edge_widths(&mut g);
+        assert!(changed >= 2, "narrowed {changed} edges");
+        g.validate().unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..300 {
+            let inputs = random_inputs(&reference, &mut rng);
+            assert_eq!(reference.evaluate(&inputs).unwrap(), g.evaluate(&inputs).unwrap());
+        }
+    }
+
+    #[test]
+    fn node_prune_shrinks_redundant_adders() {
+        let mut g = figure3();
+        let reference = g.clone();
+        prune_edge_widths(&mut g);
+        prune_node_widths(&mut g);
+        g.validate().unwrap();
+        // The four adders now run at their intrinsic widths.
+        let widths: Vec<usize> = g.op_nodes().map(|n| g.node(n).width()).collect();
+        assert!(widths.iter().take(3).all(|&w| w <= 5), "{widths:?}");
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..300 {
+            let inputs = random_inputs(&reference, &mut rng);
+            assert_eq!(reference.evaluate(&inputs).unwrap(), g.evaluate(&inputs).unwrap());
+        }
+    }
+
+    #[test]
+    fn extension_node_inserted_when_interface_needed() {
+        // A 12-bit adder over 3-bit inputs feeding a 12-bit-consuming
+        // multiplier: shrinking the adder requires an extension node.
+        let mut g = Dfg::new();
+        let a = g.input("a", 3);
+        let b = g.input("b", 3);
+        let s = g.op(OpKind::Add, 12, &[(a, Unsigned), (b, Unsigned)]);
+        let k = g.input("k", 12);
+        let m = g.op(OpKind::Mul, 24, &[(s, Unsigned), (k, Unsigned)]);
+        g.output("o", 24, m, Unsigned);
+        let reference = g.clone();
+        let (narrowed, inserted) = prune_node_widths(&mut g);
+        // Both the adder (12 -> 4) and the multiplier (24 -> 16) shrink
+        // behind interface-preserving extension nodes.
+        assert_eq!((narrowed, inserted), (2, 2));
+        assert_eq!(g.node(s).width(), 4);
+        assert_eq!(g.node(m).width(), 16);
+        assert!(g.node_ids().any(|n| matches!(g.node(n).kind(), NodeKind::Extension(_))));
+        g.validate().unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let inputs = random_inputs(&reference, &mut rng);
+            assert_eq!(reference.evaluate(&inputs).unwrap(), g.evaluate(&inputs).unwrap());
+        }
+    }
+
+    #[test]
+    fn no_extension_node_when_consumers_are_narrow() {
+        let mut g = Dfg::new();
+        let a = g.input("a", 3);
+        let b = g.input("b", 3);
+        let s = g.op(OpKind::Add, 12, &[(a, Unsigned), (b, Unsigned)]);
+        g.output_with_edge("o", 4, s, 4, Unsigned);
+        let (narrowed, inserted) = prune_node_widths(&mut g);
+        assert_eq!((narrowed, inserted), (1, 0));
+        assert_eq!(g.node(s).width(), 4);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn pruning_preserves_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(0xAB5D);
+        for case in 0..50 {
+            let g0 = random_dfg(&mut rng, &GenConfig::default());
+            let mut g1 = g0.clone();
+            prune_edge_widths(&mut g1);
+            prune_node_widths(&mut g1);
+            // A second round must also be safe (transforms compose).
+            prune_edge_widths(&mut g1);
+            g1.validate().unwrap();
+            for _ in 0..15 {
+                let inputs = random_inputs(&g0, &mut rng);
+                assert_eq!(
+                    g0.evaluate(&inputs).unwrap(),
+                    g1.evaluate(&inputs).unwrap(),
+                    "case {case}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn constant_zero_edges_clamped_to_one_bit() {
+        let mut g = Dfg::new();
+        let a = g.input("a", 4);
+        let z = g.constant(BitVec::zero(6));
+        let s = g.op(OpKind::Add, 7, &[(a, Unsigned), (z, Unsigned)]);
+        g.output("o", 7, s, Unsigned);
+        let reference = g.clone();
+        prune_edge_widths(&mut g);
+        let e = g.in_edge_on_port(s, 1).unwrap();
+        assert_eq!(g.edge(e).width(), 1);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..50 {
+            let inputs = random_inputs(&reference, &mut rng);
+            assert_eq!(reference.evaluate(&inputs).unwrap(), g.evaluate(&inputs).unwrap());
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Soundness properties of the information-content analysis — the
+//! foundations the clustering and synthesis correctness proofs rest on.
+
+use dp_analysis::{info_content, optimize_widths, required_precision};
+use dp_dfg::gen::{random_dfg, random_inputs, GenConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Every node-output bound holds on every evaluated signal.
+    #[test]
+    fn output_claims_hold(seed in any::<u64>(), ops in 3usize..20) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_dfg(&mut rng, &GenConfig { num_ops: ops, ..GenConfig::default() });
+        let ic = info_content(&g);
+        for _ in 0..8 {
+            let inputs = random_inputs(&g, &mut rng);
+            let eval = g.evaluate_full(&inputs).unwrap();
+            for n in g.node_ids() {
+                prop_assert!(ic.output(n).holds_for(eval.result(n)));
+            }
+        }
+    }
+
+    /// Every *edge-signal* and *operand* bound holds — these are the claims
+    /// the sum-of-addends SignalRefs are built from: the operand entering a
+    /// port really is the claimed extension of the claimed low bits of the
+    /// source pattern.
+    #[test]
+    fn operand_claims_hold(seed in any::<u64>(), ops in 3usize..20) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0B5E55ED);
+        let g = random_dfg(&mut rng, &GenConfig { num_ops: ops, ..GenConfig::default() });
+        let ic = info_content(&g);
+        for _ in 0..8 {
+            let inputs = random_inputs(&g, &mut rng);
+            let eval = g.evaluate_full(&inputs).unwrap();
+            for e in g.edge_ids() {
+                let edge = g.edge(e);
+                let src_pattern = eval.result(edge.src());
+                // Reconstruct the signal on the edge and the operand at the
+                // destination exactly as the evaluator defines them.
+                let on_edge = src_pattern.resize(edge.signedness(), edge.width());
+                let sig = ic.edge_signal(e);
+                prop_assert!(sig.holds_for(&on_edge), "edge {e}: {on_edge} vs {sig}");
+                // The SignalRef foundation: low `i` bits of the *operand*
+                // equal low `i` bits of the source pattern, and the operand
+                // is the claimed extension of them.
+                let dst_t = match g.node(edge.dst()).kind() {
+                    dp_dfg::NodeKind::Extension(t) => *t,
+                    _ => edge.signedness(),
+                };
+                let operand = on_edge.resize(dst_t, g.node(edge.dst()).width());
+                let claim = ic.operand(e);
+                prop_assert!(claim.holds_for(&operand), "operand {e}: {operand} vs {claim}");
+                if claim.i > 0 {
+                    let low = operand.trunc(claim.i.min(operand.width()));
+                    let src_low = src_pattern.trunc(claim.i.min(src_pattern.width()));
+                    prop_assert_eq!(low, src_low, "operand low bits come from the source");
+                }
+            }
+        }
+    }
+
+    /// Bounds stay sound after the full width-optimization pipeline.
+    #[test]
+    fn claims_hold_after_transforms(seed in any::<u64>(), ops in 3usize..20) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7245);
+        let mut g = random_dfg(&mut rng, &GenConfig { num_ops: ops, ..GenConfig::default() });
+        optimize_widths(&mut g);
+        let ic = info_content(&g);
+        for _ in 0..5 {
+            let inputs = random_inputs(&g, &mut rng);
+            let eval = g.evaluate_full(&inputs).unwrap();
+            for n in g.node_ids() {
+                prop_assert!(ic.output(n).holds_for(eval.result(n)));
+            }
+        }
+    }
+
+    /// Required precision is an over-approximation: zeroing bits *above*
+    /// r(p) of any op node's result never changes any primary output that
+    /// the evaluator reports... equivalently, outputs only depend on the
+    /// low r bits. We check the contrapositive cheaply: widths clamped by
+    /// the RP transform (which uses exactly r) preserve every output —
+    /// already covered elsewhere — so here we check monotonicity: r never
+    /// exceeds the node width after the transform.
+    #[test]
+    fn rp_bounded_by_width_after_transform(seed in any::<u64>(), ops in 3usize..20) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9999);
+        let mut g = random_dfg(&mut rng, &GenConfig { num_ops: ops, ..GenConfig::default() });
+        optimize_widths(&mut g);
+        let rp = required_precision(&g);
+        for n in g.op_nodes() {
+            prop_assert!(
+                rp.output_port(n) <= g.node(n).width(),
+                "r exceeds width after clamping at {n}"
+            );
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Criterion bench for the Figure 1–4 analyses: the cost of required
+//! precision, information content, clustering and Huffman rebalancing on
+//! the paper's illustrative graphs and scaled-up versions of them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dp_analysis::{huffman_bound, info_content, required_precision};
+use dp_merge::{cluster_leakage, cluster_max};
+use dp_testcases::{families, figures};
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    let fig1 = figures::fig1();
+    group.bench_function("fig1_cluster_max", |b| {
+        b.iter(|| cluster_max(&mut fig1.g.clone()).0.len())
+    });
+    let fig2 = figures::fig2();
+    group.bench_function("fig2_required_precision", |b| {
+        b.iter(|| required_precision(&fig2.g).output_port(fig2.n1))
+    });
+    let fig3 = figures::fig3();
+    group.bench_function("fig3_info_content", |b| {
+        b.iter(|| info_content(&fig3.g).output(fig3.n3))
+    });
+    group.bench_function("fig3_cluster_leakage", |b| {
+        b.iter(|| cluster_leakage(&fig3.g).len())
+    });
+    let terms = figures::fig4_terms();
+    group.bench_function("fig4_huffman", |b| b.iter(|| huffman_bound(&terms)));
+
+    // Scaled versions: the analyses on growing chains (they are linear-ish;
+    // this guards against accidental quadratic behavior).
+    for n in [16usize, 64, 256] {
+        let g = families::adder_chain(n, 8);
+        group.bench_with_input(BenchmarkId::new("chain_info_content", n), &g, |b, g| {
+            b.iter(|| info_content(g))
+        });
+        group.bench_with_input(BenchmarkId::new("chain_cluster_max", n), &g, |b, g| {
+            b.iter(|| cluster_max(&mut g.clone()).0.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

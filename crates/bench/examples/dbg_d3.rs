@@ -1,0 +1,17 @@
+use dp_merge::{cluster_leakage, find_breaks_leakage};
+use dp_testcases::designs;
+
+fn main() {
+    let g = designs::d3();
+    let breaks = find_breaks_leakage(&g);
+    for n in g.node_ids() {
+        if breaks[n.index()] {
+            println!("break: {n} {:?} w {}", g.node(n).kind(), g.node(n).width());
+        }
+    }
+    let c = cluster_leakage(&g);
+    println!("clusters: {}", c.len());
+    for cl in &c.clusters {
+        println!("  {:?} out {}", cl.members, cl.output);
+    }
+}

@@ -1,0 +1,59 @@
+//! Regenerates the paper's Figures 1-4: the illustrative analyses, printed
+//! as before/after reports. Pass a figure name (fig1..fig4) to show one.
+
+use dp_analysis::{huffman_bound, info_content, naive_skewed_bound, optimize_widths, required_precision};
+use dp_merge::{cluster_leakage, cluster_max};
+use dp_testcases::figures;
+
+fn main() {
+    let which: Vec<String> = std::env::args().skip(1).collect();
+    let all = which.is_empty();
+    let want = |n: &str| all || which.iter().any(|w| w == n);
+
+    if want("fig1") {
+        let fig = figures::fig1();
+        println!("== Figure 1: cluster creation in a DFG ==");
+        let mut g = fig.g.clone();
+        let (clustering, _) = cluster_max(&mut g);
+        println!("maximal merging: {} clusters (paper: G_I, G_II)", clustering.len());
+        for (k, c) in clustering.clusters.iter().enumerate() {
+            println!("  G_{}: {} member(s), output {}", k + 1, c.len(), c.output);
+        }
+        println!();
+    }
+    if want("fig2") {
+        let fig = figures::fig2();
+        println!("== Figure 2: small required precision implies mergeability ==");
+        let rp = required_precision(&fig.g);
+        println!("r(N1 output) = {} (output only keeps 5 bits)", rp.output_port(fig.n1));
+        let mut g = fig.g.clone();
+        let report = optimize_widths(&mut g);
+        println!(
+            "transform G4 -> G4': {} node width(s) reduced, N1 now {} bits",
+            report.node_width_changes,
+            g.node(fig.n1).width()
+        );
+        let (clustering, _) = cluster_max(&mut g.clone());
+        println!("clusters after analysis: {} (fully mergeable)", clustering.len());
+        println!();
+    }
+    if want("fig3") {
+        let fig = figures::fig3();
+        println!("== Figure 3: low information content implies mergeability ==");
+        let ic = info_content(&fig.g);
+        println!("i(N1) = {}  i(N2) = {}  i(N3) = {}", ic.output(fig.n1), ic.output(fig.n2), ic.output(fig.n3));
+        println!("old (leakage) clusters: {}", cluster_leakage(&fig.g).len());
+        let mut g = fig.g.clone();
+        let (clustering, _) = cluster_max(&mut g);
+        println!("new (info) clusters:    {} (entire graph mergeable)", clustering.len());
+        println!("N1 width after G5 -> G5': {} bits", g.node(fig.n1).width());
+        println!();
+    }
+    if want("fig4") {
+        println!("== Figure 4: refining bounds by safe rebalancing ==");
+        let terms = figures::fig4_terms();
+        println!("skewed-chain bound:  {}", naive_skewed_bound(&terms));
+        println!("Huffman rebalanced:  {}", huffman_bound(&terms));
+        println!("(paper: <7,0> refined to <6,0>)");
+    }
+}

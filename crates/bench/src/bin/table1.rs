@@ -1,0 +1,17 @@
+//! Regenerates the paper's Table 1: post-synthesis delay and area for the
+//! five designs under the three merging flows.
+
+use dp_bench::{render_table1, table1};
+use dp_netlist::Library;
+use dp_synth::SynthConfig;
+use dp_testcases::all_designs;
+
+fn main() {
+    let lib = Library::synthetic_025um();
+    let config = SynthConfig::default();
+    let rows: Vec<_> = all_designs().iter().map(|t| table1(t, &config, &lib)).collect();
+    print!("{}", render_table1(&rows));
+    println!();
+    println!("library: {}  adder: {:?}  reduction: {:?}", lib.name(), config.adder, config.reduction);
+    println!("(every netlist verified against the DFG evaluator before measurement)");
+}

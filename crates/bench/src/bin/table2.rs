@@ -1,0 +1,16 @@
+//! Regenerates the paper's Table 2: timing-driven optimization runtime,
+//! final delay and final area for the old and new merging flows.
+
+use dp_bench::{render_table2, table2};
+use dp_netlist::Library;
+use dp_synth::SynthConfig;
+use dp_testcases::all_designs;
+
+fn main() {
+    let lib = Library::synthetic_025um();
+    let config = SynthConfig::default();
+    // Target delay halfway between the two flows' post-synthesis delays
+    // (the paper fixes absolute per-design targets on its own library).
+    let rows: Vec<_> = all_designs().iter().map(|t| table2(t, &config, &lib, 0.5)).collect();
+    print!("{}", render_table2(&rows));
+}

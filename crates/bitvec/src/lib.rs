@@ -1,0 +1,52 @@
+//! Arbitrary-precision two's-complement bit vectors.
+//!
+//! This crate provides [`BitVec`], a fixed-width vector of bits with
+//! hardware-style (modular, two's-complement) arithmetic. It is the
+//! bit-accurate substrate used by the rest of the `datapath-merge`
+//! workspace to model datapath signals exactly as the DAC 2001 paper
+//! *Improved Merging of Datapath Operators using Information Content and
+//! Required Precision Analysis* defines them: a signal is a plain bit
+//! pattern, and **truncation** / **unsigned extension** / **signed
+//! extension** are the only width-changing operations.
+//!
+//! # Design notes
+//!
+//! * A [`BitVec`] has an explicit width of at least one bit. All bits above
+//!   the width are kept at zero internally (a canonical form), so equality
+//!   and hashing are structural.
+//! * Arithmetic is *modular at the operand width*, exactly like a hardware
+//!   adder or multiplier that keeps only the low `w` bits of the result.
+//!   Operations whose width semantics could surprise are spelled out with
+//!   `wrapping_` names instead of overloading `+`/`*`.
+//! * Signedness is **not** part of the value: like a wire in a netlist, a
+//!   `BitVec` is just bits. Signed behaviour enters only through
+//!   [`BitVec::sext`], [`BitVec::cmp_signed`], [`BitVec::ashr`] and friends,
+//!   mirroring how the paper attaches signedness to *edges*, not signals.
+//!
+//! # Examples
+//!
+//! ```
+//! use dp_bitvec::{BitVec, Signedness};
+//!
+//! // 4'b1011 = 11 unsigned = -5 signed
+//! let x = BitVec::from_u64(4, 0b1011);
+//! assert_eq!(x.to_u64(), Some(11));
+//! assert_eq!(x.to_i64(), Some(-5));
+//!
+//! // Hardware-style modular addition at width 4.
+//! let y = BitVec::from_u64(4, 0b1000);
+//! assert_eq!(x.wrapping_add(&y).to_u64(), Some(3)); // 11 + 8 = 19 mod 16
+//!
+//! // Width extension as defined in the paper (Definition 2.1).
+//! assert_eq!(x.extend(Signedness::Unsigned, 8).to_u64(), Some(0b0000_1011));
+//! assert_eq!(x.extend(Signedness::Signed, 8).to_u64(), Some(0b1111_1011));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod signedness;
+mod vec;
+
+pub use signedness::Signedness;
+pub use vec::{BitVec, ParseBitVecError};

@@ -1,0 +1,130 @@
+//! The two extension disciplines of the paper's Definition 2.1.
+
+use std::fmt;
+use std::ops::BitOr;
+
+/// How a signal is padded when its width is extended (paper, Definition 2.1).
+///
+/// The paper encodes signedness as a single bit (`0` = unsigned, `1` =
+/// signed) and combines the signedness of two operands with bitwise OR
+/// (Lemma 5.4's `t1|t2`); [`BitOr`] is implemented accordingly.
+///
+/// # Examples
+///
+/// ```
+/// use dp_bitvec::Signedness;
+///
+/// assert_eq!(Signedness::Unsigned | Signedness::Signed, Signedness::Signed);
+/// assert!(Signedness::Signed.is_signed());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Signedness {
+    /// Padding with `0` bits (zero extension).
+    Unsigned,
+    /// Padding with copies of the most significant bit (sign extension).
+    Signed,
+}
+
+impl Signedness {
+    /// Returns `true` for [`Signedness::Signed`].
+    ///
+    /// ```
+    /// use dp_bitvec::Signedness;
+    /// assert!(!Signedness::Unsigned.is_signed());
+    /// ```
+    pub fn is_signed(self) -> bool {
+        matches!(self, Signedness::Signed)
+    }
+
+    /// The paper's numeric encoding: `0` for unsigned, `1` for signed.
+    ///
+    /// ```
+    /// use dp_bitvec::Signedness;
+    /// assert_eq!(Signedness::Signed.as_bit(), 1);
+    /// ```
+    pub fn as_bit(self) -> u8 {
+        match self {
+            Signedness::Unsigned => 0,
+            Signedness::Signed => 1,
+        }
+    }
+
+    /// Decodes the paper's numeric encoding.
+    ///
+    /// ```
+    /// use dp_bitvec::Signedness;
+    /// assert_eq!(Signedness::from_bit(0), Signedness::Unsigned);
+    /// assert_eq!(Signedness::from_bit(7), Signedness::Signed);
+    /// ```
+    pub fn from_bit(bit: u8) -> Self {
+        if bit == 0 {
+            Signedness::Unsigned
+        } else {
+            Signedness::Signed
+        }
+    }
+}
+
+impl Default for Signedness {
+    /// Unsigned, matching the paper's `0` encoding.
+    fn default() -> Self {
+        Signedness::Unsigned
+    }
+}
+
+impl BitOr for Signedness {
+    type Output = Signedness;
+
+    /// Lemma 5.4's `t1|t2`: the combination is signed if either input is.
+    fn bitor(self, rhs: Signedness) -> Signedness {
+        if self.is_signed() || rhs.is_signed() {
+            Signedness::Signed
+        } else {
+            Signedness::Unsigned
+        }
+    }
+}
+
+impl fmt::Display for Signedness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Signedness::Unsigned => f.write_str("unsigned"),
+            Signedness::Signed => f.write_str("signed"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitor_matches_paper_encoding() {
+        use Signedness::*;
+        for (a, b) in [
+            (Unsigned, Unsigned),
+            (Unsigned, Signed),
+            (Signed, Unsigned),
+            (Signed, Signed),
+        ] {
+            assert_eq!((a | b).as_bit(), a.as_bit() | b.as_bit());
+        }
+    }
+
+    #[test]
+    fn roundtrip_bit_encoding() {
+        assert_eq!(Signedness::from_bit(Signedness::Unsigned.as_bit()), Signedness::Unsigned);
+        assert_eq!(Signedness::from_bit(Signedness::Signed.as_bit()), Signedness::Signed);
+    }
+
+    #[test]
+    fn default_is_unsigned() {
+        assert_eq!(Signedness::default(), Signedness::Unsigned);
+    }
+
+    #[test]
+    fn display_is_lowercase_word() {
+        assert_eq!(Signedness::Unsigned.to_string(), "unsigned");
+        assert_eq!(Signedness::Signed.to_string(), "signed");
+    }
+}

@@ -1,0 +1,1144 @@
+//! The [`BitVec`] type: a fixed-width two's-complement bit pattern.
+
+use std::cmp::Ordering;
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+use crate::Signedness;
+
+const LIMB_BITS: usize = 64;
+
+/// A fixed-width vector of bits with two's-complement semantics.
+///
+/// See the [crate documentation](crate) for the design rationale. The width
+/// is always at least one bit. Bits are indexed from the least significant
+/// (`bit(0)`) to the most significant (`bit(width - 1)`).
+///
+/// # Examples
+///
+/// ```
+/// use dp_bitvec::BitVec;
+///
+/// let v = BitVec::from_u64(6, 0b10_1101);
+/// assert_eq!(v.width(), 6);
+/// assert!(v.bit(0) && !v.bit(1) && v.bit(5));
+/// assert_eq!(v.to_u64(), Some(45));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitVec {
+    /// Number of significant bits; always >= 1.
+    width: usize,
+    /// Little-endian limbs; bits at positions >= `width` are zero.
+    limbs: Vec<u64>,
+}
+
+fn limbs_for(width: usize) -> usize {
+    width.div_ceil(LIMB_BITS)
+}
+
+impl BitVec {
+    // ------------------------------------------------------------------
+    // Constructors
+    // ------------------------------------------------------------------
+
+    /// Creates an all-zero vector of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    ///
+    /// ```
+    /// use dp_bitvec::BitVec;
+    /// assert!(BitVec::zero(17).is_zero());
+    /// ```
+    pub fn zero(width: usize) -> Self {
+        assert!(width > 0, "BitVec width must be at least 1");
+        BitVec { width, limbs: vec![0; limbs_for(width)] }
+    }
+
+    /// Creates an all-ones vector of the given width (the unsigned maximum,
+    /// or `-1` as a signed value).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    ///
+    /// ```
+    /// use dp_bitvec::BitVec;
+    /// assert_eq!(BitVec::ones(5).to_i64(), Some(-1));
+    /// assert_eq!(BitVec::ones(5).to_u64(), Some(31));
+    /// ```
+    pub fn ones(width: usize) -> Self {
+        let mut v = BitVec::zero(width);
+        for limb in &mut v.limbs {
+            *limb = u64::MAX;
+        }
+        v.mask_top();
+        v
+    }
+
+    /// Creates a vector of the given width from an unsigned value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0` or if `value` does not fit in `width` bits.
+    /// Use [`BitVec::from_u64_wrapping`] to truncate instead.
+    ///
+    /// ```
+    /// use dp_bitvec::BitVec;
+    /// assert_eq!(BitVec::from_u64(8, 200).to_u64(), Some(200));
+    /// ```
+    pub fn from_u64(width: usize, value: u64) -> Self {
+        let v = Self::from_u64_wrapping(width, value);
+        assert_eq!(
+            v.to_u128().expect("width <= 128 when value fits u64"),
+            value as u128,
+            "value {value} does not fit in {width} unsigned bits"
+        );
+        v
+    }
+
+    /// Creates a vector of the given width from the low `width` bits of an
+    /// unsigned value, discarding the rest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    ///
+    /// ```
+    /// use dp_bitvec::BitVec;
+    /// assert_eq!(BitVec::from_u64_wrapping(4, 0xFF).to_u64(), Some(15));
+    /// ```
+    pub fn from_u64_wrapping(width: usize, value: u64) -> Self {
+        let mut v = BitVec::zero(width);
+        v.limbs[0] = value;
+        v.mask_top();
+        v
+    }
+
+    /// Creates a vector of the given width from a signed value
+    /// (two's-complement encoding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0` or if `value` does not fit in `width` signed
+    /// bits. Use [`BitVec::from_i64_wrapping`] to truncate instead.
+    ///
+    /// ```
+    /// use dp_bitvec::BitVec;
+    /// assert_eq!(BitVec::from_i64(4, -8).to_i64(), Some(-8));
+    /// ```
+    pub fn from_i64(width: usize, value: i64) -> Self {
+        let v = Self::from_i64_wrapping(width, value);
+        assert_eq!(
+            v.to_i128().expect("width <= 128 when value fits i64"),
+            value as i128,
+            "value {value} does not fit in {width} signed bits"
+        );
+        v
+    }
+
+    /// Creates a vector of the given width from the low `width` bits of a
+    /// signed value's two's-complement encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    ///
+    /// ```
+    /// use dp_bitvec::BitVec;
+    /// assert_eq!(BitVec::from_i64_wrapping(4, -9).to_u64(), Some(7));
+    /// ```
+    pub fn from_i64_wrapping(width: usize, value: i64) -> Self {
+        let mut v = BitVec::zero(width);
+        let fill = if value < 0 { u64::MAX } else { 0 };
+        for limb in &mut v.limbs {
+            *limb = fill;
+        }
+        v.limbs[0] = value as u64;
+        v.mask_top();
+        v
+    }
+
+    /// Creates a vector by sampling each bit from a closure
+    /// (`f(i)` supplies bit `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    ///
+    /// ```
+    /// use dp_bitvec::BitVec;
+    /// let alt = BitVec::from_fn(6, |i| i % 2 == 0);
+    /// assert_eq!(alt.to_u64(), Some(0b010101));
+    /// ```
+    pub fn from_fn(width: usize, mut f: impl FnMut(usize) -> bool) -> Self {
+        let mut v = BitVec::zero(width);
+        for i in 0..width {
+            if f(i) {
+                v.set_bit(i, true);
+            }
+        }
+        v
+    }
+
+    /// Creates a vector from bits listed least-significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is empty.
+    ///
+    /// ```
+    /// use dp_bitvec::BitVec;
+    /// let v = BitVec::from_bits(&[true, false, true]); // 3'b101
+    /// assert_eq!(v.to_u64(), Some(5));
+    /// ```
+    pub fn from_bits(bits: &[bool]) -> Self {
+        assert!(!bits.is_empty(), "BitVec must have at least one bit");
+        BitVec::from_fn(bits.len(), |i| bits[i])
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The width in bits (always at least 1).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Bit `i` (little-endian: bit 0 is the least significant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.width()`.
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < self.width, "bit index {i} out of range for width {}", self.width);
+        (self.limbs[i / LIMB_BITS] >> (i % LIMB_BITS)) & 1 == 1
+    }
+
+    /// Sets bit `i` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.width()`.
+    pub fn set_bit(&mut self, i: usize, value: bool) {
+        assert!(i < self.width, "bit index {i} out of range for width {}", self.width);
+        let mask = 1u64 << (i % LIMB_BITS);
+        if value {
+            self.limbs[i / LIMB_BITS] |= mask;
+        } else {
+            self.limbs[i / LIMB_BITS] &= !mask;
+        }
+    }
+
+    /// The most significant bit — the sign bit under a signed reading.
+    ///
+    /// ```
+    /// use dp_bitvec::BitVec;
+    /// assert!(BitVec::from_i64(4, -1).msb());
+    /// ```
+    pub fn msb(&self) -> bool {
+        self.bit(self.width - 1)
+    }
+
+    /// Returns `true` if every bit is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.iter().all(|&l| l == 0)
+    }
+
+    /// Returns `true` if every bit is one.
+    pub fn is_all_ones(&self) -> bool {
+        *self == BitVec::ones(self.width)
+    }
+
+    /// Bits listed least-significant first.
+    ///
+    /// ```
+    /// use dp_bitvec::BitVec;
+    /// assert_eq!(BitVec::from_u64(3, 0b110).to_bits(), vec![false, true, true]);
+    /// ```
+    pub fn to_bits(&self) -> Vec<bool> {
+        (0..self.width).map(|i| self.bit(i)).collect()
+    }
+
+    /// The unsigned value, if it fits in a `u64`.
+    ///
+    /// ```
+    /// use dp_bitvec::BitVec;
+    /// assert_eq!(BitVec::ones(65).to_u64(), None);
+    /// ```
+    pub fn to_u64(&self) -> Option<u64> {
+        if self.limbs[1..].iter().any(|&l| l != 0) {
+            return None;
+        }
+        Some(self.limbs[0])
+    }
+
+    /// The unsigned value, if it fits in a `u128`.
+    pub fn to_u128(&self) -> Option<u128> {
+        if self.limbs.len() > 2 && self.limbs[2..].iter().any(|&l| l != 0) {
+            return None;
+        }
+        let lo = self.limbs[0] as u128;
+        let hi = self.limbs.get(1).copied().unwrap_or(0) as u128;
+        Some(lo | (hi << 64))
+    }
+
+    /// The signed (two's-complement) value, if it fits in an `i64`.
+    ///
+    /// ```
+    /// use dp_bitvec::BitVec;
+    /// assert_eq!(BitVec::ones(100).to_i64(), Some(-1));
+    /// ```
+    pub fn to_i64(&self) -> Option<i64> {
+        self.to_i128().and_then(|v| i64::try_from(v).ok())
+    }
+
+    /// The signed (two's-complement) value, if it fits in an `i128`.
+    pub fn to_i128(&self) -> Option<i128> {
+        let ext = if self.width < 128 { self.sext(128) } else { self.clone() };
+        if ext.width > 128 {
+            // Check all limbs above the low two are sign fill.
+            let fill = if ext.msb() { u64::MAX } else { 0 };
+            let full = ext.sext(ext.width); // no-op, keeps clippy quiet about clone
+            let hi_ok = full.limbs[2..]
+                .iter()
+                .enumerate()
+                .all(|(k, &l)| l == Self::fill_limb(fill, ext.width, k + 2));
+            // Also bit 127 must equal the sign for the i128 reading to be exact.
+            if !hi_ok || full.bit(127) != full.msb() {
+                return None;
+            }
+        }
+        let lo = ext.limbs[0] as u128;
+        let hi = ext.limbs.get(1).copied().unwrap_or(0) as u128;
+        Some((lo | (hi << 64)) as i128)
+    }
+
+    /// Helper: what limb `k` of a canonical `width`-bit vector filled with
+    /// `fill` bits (0 or all-ones) looks like after top masking.
+    fn fill_limb(fill: u64, width: usize, k: usize) -> u64 {
+        if fill == 0 {
+            return 0;
+        }
+        let lo = k * LIMB_BITS;
+        if lo >= width {
+            0
+        } else if width - lo >= LIMB_BITS {
+            u64::MAX
+        } else {
+            (1u64 << (width - lo)) - 1
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Width changes (paper Definition 2.1 + truncation)
+    // ------------------------------------------------------------------
+
+    /// Keeps the `new_width` least significant bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_width == 0` or `new_width > self.width()`.
+    ///
+    /// ```
+    /// use dp_bitvec::BitVec;
+    /// assert_eq!(BitVec::from_u64(8, 0b1010_1100).trunc(4).to_u64(), Some(0b1100));
+    /// ```
+    pub fn trunc(&self, new_width: usize) -> Self {
+        assert!(new_width > 0, "BitVec width must be at least 1");
+        assert!(
+            new_width <= self.width,
+            "trunc to {new_width} from narrower width {}",
+            self.width
+        );
+        let mut v = BitVec { width: new_width, limbs: self.limbs[..limbs_for(new_width)].to_vec() };
+        v.mask_top();
+        v
+    }
+
+    /// Zero-extends to `new_width` (the paper's *unsigned extension*).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_width < self.width()`.
+    ///
+    /// ```
+    /// use dp_bitvec::BitVec;
+    /// assert_eq!(BitVec::from_u64(4, 0b1001).zext(8).to_u64(), Some(0b0000_1001));
+    /// ```
+    pub fn zext(&self, new_width: usize) -> Self {
+        assert!(
+            new_width >= self.width,
+            "zext to {new_width} from wider width {}",
+            self.width
+        );
+        let mut limbs = self.limbs.clone();
+        limbs.resize(limbs_for(new_width), 0);
+        BitVec { width: new_width, limbs }
+    }
+
+    /// Sign-extends to `new_width` (the paper's *signed extension*): pads
+    /// with copies of the most significant bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_width < self.width()`.
+    ///
+    /// ```
+    /// use dp_bitvec::BitVec;
+    /// assert_eq!(BitVec::from_u64(4, 0b1001).sext(8).to_u64(), Some(0b1111_1001));
+    /// ```
+    pub fn sext(&self, new_width: usize) -> Self {
+        assert!(
+            new_width >= self.width,
+            "sext to {new_width} from wider width {}",
+            self.width
+        );
+        if !self.msb() {
+            return self.zext(new_width);
+        }
+        let mut limbs = self.limbs.clone();
+        // Fill the partial top limb of the old width with ones.
+        let top_bits = self.width % LIMB_BITS;
+        if top_bits != 0 {
+            let last = limbs.len() - 1;
+            limbs[last] |= !((1u64 << top_bits) - 1);
+        }
+        limbs.resize(limbs_for(new_width), u64::MAX);
+        let mut v = BitVec { width: new_width, limbs };
+        v.mask_top();
+        v
+    }
+
+    /// Extends to `new_width` using the given discipline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_width < self.width()`.
+    pub fn extend(&self, signedness: Signedness, new_width: usize) -> Self {
+        match signedness {
+            Signedness::Unsigned => self.zext(new_width),
+            Signedness::Signed => self.sext(new_width),
+        }
+    }
+
+    /// Adapts to `new_width`: truncates if narrower, extends with the given
+    /// discipline if wider. This is exactly the width-adaptation rule of the
+    /// paper's Section 2.2 for carrying a signal across an edge or into a
+    /// port of different width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_width == 0`.
+    ///
+    /// ```
+    /// use dp_bitvec::{BitVec, Signedness};
+    /// let v = BitVec::from_u64(6, 0b10_0001);
+    /// assert_eq!(v.resize(Signedness::Signed, 8).to_u64(), Some(0b1110_0001));
+    /// assert_eq!(v.resize(Signedness::Signed, 4).to_u64(), Some(0b0001));
+    /// ```
+    pub fn resize(&self, signedness: Signedness, new_width: usize) -> Self {
+        if new_width <= self.width {
+            self.trunc(new_width)
+        } else {
+            self.extend(signedness, new_width)
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Arithmetic (modular at the common width)
+    // ------------------------------------------------------------------
+
+    /// Modular addition at the common width (low `width` bits of the sum).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn wrapping_add(&self, rhs: &BitVec) -> Self {
+        self.check_same_width(rhs, "wrapping_add");
+        let mut out = BitVec::zero(self.width);
+        let mut carry = 0u64;
+        for (i, o) in out.limbs.iter_mut().enumerate() {
+            let (s1, c1) = self.limbs[i].overflowing_add(rhs.limbs[i]);
+            let (s2, c2) = s1.overflowing_add(carry);
+            *o = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        out.mask_top();
+        out
+    }
+
+    /// Modular subtraction at the common width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn wrapping_sub(&self, rhs: &BitVec) -> Self {
+        self.check_same_width(rhs, "wrapping_sub");
+        self.wrapping_add(&rhs.wrapping_neg())
+    }
+
+    /// Modular two's-complement negation at the same width.
+    ///
+    /// ```
+    /// use dp_bitvec::BitVec;
+    /// assert_eq!(BitVec::from_i64(5, 7).wrapping_neg().to_i64(), Some(-7));
+    /// // The signed minimum negates to itself, as in hardware.
+    /// assert_eq!(BitVec::from_i64(4, -8).wrapping_neg().to_i64(), Some(-8));
+    /// ```
+    pub fn wrapping_neg(&self) -> Self {
+        let mut flipped = self.not();
+        let one = BitVec::from_u64_wrapping(self.width, 1);
+        flipped = flipped.wrapping_add(&one);
+        flipped
+    }
+
+    /// Modular multiplication at the common width (low `width` bits of the
+    /// full product).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn wrapping_mul(&self, rhs: &BitVec) -> Self {
+        self.check_same_width(rhs, "wrapping_mul");
+        let full = self.widening_mul_unsigned(rhs);
+        full.trunc(self.width)
+    }
+
+    /// Full-precision unsigned product: the result has width
+    /// `self.width() + rhs.width()` and equals the exact product of the two
+    /// operands read as unsigned integers.
+    ///
+    /// ```
+    /// use dp_bitvec::BitVec;
+    /// let a = BitVec::from_u64(4, 15);
+    /// let b = BitVec::from_u64(4, 15);
+    /// assert_eq!(a.widening_mul_unsigned(&b).to_u64(), Some(225));
+    /// ```
+    pub fn widening_mul_unsigned(&self, rhs: &BitVec) -> Self {
+        let out_width = self.width + rhs.width;
+        let mut acc = vec![0u64; limbs_for(out_width) + 1];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            let mut carry = 0u128;
+            for (j, &b) in rhs.limbs.iter().enumerate() {
+                if i + j >= acc.len() {
+                    break;
+                }
+                let t = (a as u128) * (b as u128) + (acc[i + j] as u128) + carry;
+                acc[i + j] = t as u64;
+                carry = t >> 64;
+            }
+            let mut k = i + rhs.limbs.len();
+            while carry != 0 && k < acc.len() {
+                let t = (acc[k] as u128) + carry;
+                acc[k] = t as u64;
+                carry = t >> 64;
+                k += 1;
+            }
+        }
+        acc.truncate(limbs_for(out_width));
+        let mut out = BitVec { width: out_width, limbs: acc };
+        out.mask_top();
+        out
+    }
+
+    /// Full-precision signed product: the result has width
+    /// `self.width() + rhs.width()` and equals the exact product of the two
+    /// operands read as two's-complement integers.
+    ///
+    /// ```
+    /// use dp_bitvec::BitVec;
+    /// let a = BitVec::from_i64(4, -8);
+    /// let b = BitVec::from_i64(4, -8);
+    /// assert_eq!(a.widening_mul_signed(&b).to_i64(), Some(64));
+    /// ```
+    pub fn widening_mul_signed(&self, rhs: &BitVec) -> Self {
+        let out_width = self.width + rhs.width;
+        let a = self.sext(out_width);
+        let b = rhs.sext(out_width);
+        let full = a.widening_mul_unsigned(&b);
+        full.trunc(out_width)
+    }
+
+    // ------------------------------------------------------------------
+    // Bitwise operations and shifts
+    // ------------------------------------------------------------------
+
+    /// Bitwise NOT.
+    pub fn not(&self) -> Self {
+        let mut out = self.clone();
+        for limb in &mut out.limbs {
+            *limb = !*limb;
+        }
+        out.mask_top();
+        out
+    }
+
+    /// Bitwise AND.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn and(&self, rhs: &BitVec) -> Self {
+        self.check_same_width(rhs, "and");
+        let mut out = self.clone();
+        for (o, r) in out.limbs.iter_mut().zip(&rhs.limbs) {
+            *o &= r;
+        }
+        out
+    }
+
+    /// Bitwise OR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn or(&self, rhs: &BitVec) -> Self {
+        self.check_same_width(rhs, "or");
+        let mut out = self.clone();
+        for (o, r) in out.limbs.iter_mut().zip(&rhs.limbs) {
+            *o |= r;
+        }
+        out
+    }
+
+    /// Bitwise XOR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn xor(&self, rhs: &BitVec) -> Self {
+        self.check_same_width(rhs, "xor");
+        let mut out = self.clone();
+        for (o, r) in out.limbs.iter_mut().zip(&rhs.limbs) {
+            *o ^= r;
+        }
+        out
+    }
+
+    /// Logical left shift within the width (top bits fall off, zeros enter).
+    ///
+    /// ```
+    /// use dp_bitvec::BitVec;
+    /// assert_eq!(BitVec::from_u64(4, 0b0110).shl(2).to_u64(), Some(0b1000));
+    /// ```
+    pub fn shl(&self, amount: usize) -> Self {
+        let mut out = BitVec::zero(self.width);
+        for i in amount..self.width {
+            if self.bit(i - amount) {
+                out.set_bit(i, true);
+            }
+        }
+        out
+    }
+
+    /// Logical right shift (zeros enter at the top).
+    pub fn lshr(&self, amount: usize) -> Self {
+        let mut out = BitVec::zero(self.width);
+        for i in 0..self.width.saturating_sub(amount) {
+            if self.bit(i + amount) {
+                out.set_bit(i, true);
+            }
+        }
+        out
+    }
+
+    /// Arithmetic right shift (copies of the sign bit enter at the top).
+    ///
+    /// ```
+    /// use dp_bitvec::BitVec;
+    /// assert_eq!(BitVec::from_i64(6, -12).ashr(2).to_i64(), Some(-3));
+    /// ```
+    pub fn ashr(&self, amount: usize) -> Self {
+        let fill = self.msb();
+        let mut out = self.lshr(amount);
+        if fill {
+            for i in self.width.saturating_sub(amount)..self.width {
+                out.set_bit(i, true);
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Comparisons (width-agnostic, by value)
+    // ------------------------------------------------------------------
+
+    /// Compares the unsigned values; widths may differ.
+    ///
+    /// ```
+    /// use dp_bitvec::BitVec;
+    /// use std::cmp::Ordering;
+    /// let a = BitVec::from_u64(4, 9);
+    /// let b = BitVec::from_u64(12, 9);
+    /// assert_eq!(a.cmp_unsigned(&b), Ordering::Equal);
+    /// ```
+    pub fn cmp_unsigned(&self, rhs: &BitVec) -> Ordering {
+        let w = self.width.max(rhs.width);
+        let a = self.zext(w);
+        let b = rhs.zext(w);
+        for (x, y) in a.limbs.iter().rev().zip(b.limbs.iter().rev()) {
+            match x.cmp(y) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Compares the signed (two's-complement) values; widths may differ.
+    ///
+    /// ```
+    /// use dp_bitvec::BitVec;
+    /// use std::cmp::Ordering;
+    /// let a = BitVec::from_i64(4, -3);
+    /// let b = BitVec::from_i64(16, 2);
+    /// assert_eq!(a.cmp_signed(&b), Ordering::Less);
+    /// ```
+    pub fn cmp_signed(&self, rhs: &BitVec) -> Ordering {
+        let w = self.width.max(rhs.width);
+        let a = self.sext(w);
+        let b = rhs.sext(w);
+        match (a.msb(), b.msb()) {
+            (true, false) => Ordering::Less,
+            (false, true) => Ordering::Greater,
+            _ => a.cmp_unsigned(&b),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Information-content helpers (paper Definition 5.1 on concrete values)
+    // ------------------------------------------------------------------
+
+    /// Returns `true` if this vector equals the `signedness`-extension of its
+    /// `i` least significant bits — the membership test behind the paper's
+    /// Definition 5.1 applied to one concrete value.
+    ///
+    /// With `i == 0`, only the all-zero vector is an unsigned extension and
+    /// no vector is a signed extension (there is no sign bit to copy).
+    ///
+    /// ```
+    /// use dp_bitvec::{BitVec, Signedness};
+    /// let v = BitVec::from_i64(8, -3); // 8'b1111_1101
+    /// assert!(v.is_extension_of(3, Signedness::Signed));
+    /// assert!(!v.is_extension_of(2, Signedness::Signed));
+    /// assert!(!v.is_extension_of(3, Signedness::Unsigned));
+    /// ```
+    pub fn is_extension_of(&self, i: usize, signedness: Signedness) -> bool {
+        if i >= self.width {
+            return true;
+        }
+        if i == 0 {
+            return signedness == Signedness::Unsigned && self.is_zero();
+        }
+        let low = self.trunc(i);
+        low.extend(signedness, self.width) == *self
+    }
+
+    /// The smallest `i` such that this vector is the unsigned extension of
+    /// its `i` least significant bits: the position of the highest set bit
+    /// plus one, or `0` for the all-zero vector.
+    ///
+    /// ```
+    /// use dp_bitvec::BitVec;
+    /// assert_eq!(BitVec::from_u64(8, 0b0001_0110).min_unsigned_width(), 5);
+    /// assert_eq!(BitVec::zero(8).min_unsigned_width(), 0);
+    /// ```
+    pub fn min_unsigned_width(&self) -> usize {
+        for i in (0..self.width).rev() {
+            if self.bit(i) {
+                return i + 1;
+            }
+        }
+        0
+    }
+
+    /// The smallest `i >= 1` such that this vector is the signed extension of
+    /// its `i` least significant bits.
+    ///
+    /// ```
+    /// use dp_bitvec::BitVec;
+    /// assert_eq!(BitVec::from_i64(8, -3).min_signed_width(), 3);
+    /// assert_eq!(BitVec::from_i64(8, 0).min_signed_width(), 1);
+    /// assert_eq!(BitVec::from_i64(8, 127).min_signed_width(), 8);
+    /// ```
+    pub fn min_signed_width(&self) -> usize {
+        let sign = self.msb();
+        let mut i = self.width;
+        while i > 1 && self.bit(i - 2) == sign {
+            i -= 1;
+        }
+        i
+    }
+
+    // ------------------------------------------------------------------
+    // Internal helpers
+    // ------------------------------------------------------------------
+
+    fn check_same_width(&self, rhs: &BitVec, op: &str) {
+        assert_eq!(
+            self.width, rhs.width,
+            "{op} requires equal widths (got {} and {})",
+            self.width, rhs.width
+        );
+    }
+
+    /// Clears any bits at positions >= width, restoring the canonical form.
+    fn mask_top(&mut self) {
+        let top_bits = self.width % LIMB_BITS;
+        if top_bits != 0 {
+            let last = self.limbs.len() - 1;
+            self.limbs[last] &= (1u64 << top_bits) - 1;
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Formatting
+// ----------------------------------------------------------------------
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec({self})")
+    }
+}
+
+impl fmt::Display for BitVec {
+    /// Verilog-style sized binary literal, e.g. `4'b1010`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'b", self.width)?;
+        for i in (0..self.width).rev() {
+            f.write_str(if self.bit(i) { "1" } else { "0" })?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Binary for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in (0..self.width).rev() {
+            f.write_str(if self.bit(i) { "1" } else { "0" })?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::LowerHex for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let digits = self.width.div_ceil(4);
+        for d in (0..digits).rev() {
+            let mut nibble = 0u8;
+            for b in 0..4 {
+                let idx = d * 4 + b;
+                if idx < self.width && self.bit(idx) {
+                    nibble |= 1 << b;
+                }
+            }
+            write!(f, "{nibble:x}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::UpperHex for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = format!("{self:x}");
+        f.write_str(&s.to_uppercase())
+    }
+}
+
+// ----------------------------------------------------------------------
+// Parsing
+// ----------------------------------------------------------------------
+
+/// Error returned when parsing a [`BitVec`] from a string fails.
+///
+/// ```
+/// use dp_bitvec::BitVec;
+/// assert!("4'b10x1".parse::<BitVec>().is_err());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBitVecError {
+    message: String,
+}
+
+impl fmt::Display for ParseBitVecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid bit vector literal: {}", self.message)
+    }
+}
+
+impl Error for ParseBitVecError {}
+
+impl FromStr for BitVec {
+    type Err = ParseBitVecError;
+
+    /// Parses a Verilog-style sized binary literal such as `6'b101001`.
+    /// Underscores in the digit string are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the literal is malformed, the width is zero, or
+    /// the digit count does not match the declared width.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = |m: &str| ParseBitVecError { message: m.to_string() };
+        let (w, rest) = s.split_once("'b").ok_or_else(|| err("expected <width>'b<bits>"))?;
+        let width: usize = w.trim().parse().map_err(|_| err("bad width"))?;
+        if width == 0 {
+            return Err(err("width must be at least 1"));
+        }
+        let digits: Vec<char> = rest.chars().filter(|&c| c != '_').collect();
+        if digits.len() != width {
+            return Err(err("digit count does not match declared width"));
+        }
+        let mut v = BitVec::zero(width);
+        for (pos, c) in digits.iter().enumerate() {
+            let bit_index = width - 1 - pos;
+            match c {
+                '0' => {}
+                '1' => v.set_bit(bit_index, true),
+                _ => return Err(err("digits must be 0 or 1")),
+            }
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_ones() {
+        let z = BitVec::zero(70);
+        assert!(z.is_zero());
+        assert_eq!(z.width(), 70);
+        let o = BitVec::ones(70);
+        assert!(o.is_all_ones());
+        assert_eq!(o.to_i64(), Some(-1));
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be at least 1")]
+    fn zero_width_panics() {
+        let _ = BitVec::zero(0);
+    }
+
+    #[test]
+    fn from_u64_rejects_overflow() {
+        assert!(std::panic::catch_unwind(|| BitVec::from_u64(3, 8)).is_err());
+        assert_eq!(BitVec::from_u64(3, 7).to_u64(), Some(7));
+    }
+
+    #[test]
+    fn from_i64_rejects_overflow() {
+        assert!(std::panic::catch_unwind(|| BitVec::from_i64(3, 4)).is_err());
+        assert!(std::panic::catch_unwind(|| BitVec::from_i64(3, -5)).is_err());
+        assert_eq!(BitVec::from_i64(3, -4).to_i64(), Some(-4));
+        assert_eq!(BitVec::from_i64(3, 3).to_i64(), Some(3));
+    }
+
+    #[test]
+    fn wrapping_constructors_mask() {
+        assert_eq!(BitVec::from_u64_wrapping(4, 0x1F).to_u64(), Some(0xF));
+        assert_eq!(BitVec::from_i64_wrapping(4, -1).to_u64(), Some(0xF));
+        assert_eq!(BitVec::from_i64_wrapping(100, -1), BitVec::ones(100));
+    }
+
+    #[test]
+    fn bit_get_set_roundtrip() {
+        let mut v = BitVec::zero(130);
+        v.set_bit(0, true);
+        v.set_bit(64, true);
+        v.set_bit(129, true);
+        assert!(v.bit(0) && v.bit(64) && v.bit(129));
+        v.set_bit(64, false);
+        assert!(!v.bit(64));
+        assert_eq!(v.min_unsigned_width(), 130);
+    }
+
+    #[test]
+    fn trunc_extend_roundtrip() {
+        let v = BitVec::from_u64(8, 0b1011_0101);
+        assert_eq!(v.trunc(4).to_u64(), Some(0b0101));
+        assert_eq!(v.zext(16).to_u64(), Some(0b1011_0101));
+        assert_eq!(v.sext(16).to_i64(), v.to_i64());
+        // Resizing across a limb boundary.
+        let w = BitVec::from_i64(60, -17);
+        assert_eq!(w.sext(80).to_i64(), Some(-17));
+        assert_eq!(w.sext(80).trunc(60), w);
+    }
+
+    #[test]
+    fn resize_matches_paper_section_2_2() {
+        let v = BitVec::from_u64(6, 0b10_0001);
+        assert_eq!(v.resize(Signedness::Signed, 9).to_u64(), Some(0b111_10_0001));
+        assert_eq!(v.resize(Signedness::Unsigned, 9).to_u64(), Some(0b000_10_0001));
+        assert_eq!(v.resize(Signedness::Signed, 3).to_u64(), Some(0b001));
+        assert_eq!(v.resize(Signedness::Signed, 6), v);
+    }
+
+    #[test]
+    fn add_sub_neg_small() {
+        let a = BitVec::from_u64(4, 11);
+        let b = BitVec::from_u64(4, 8);
+        assert_eq!(a.wrapping_add(&b).to_u64(), Some(3));
+        assert_eq!(a.wrapping_sub(&b).to_u64(), Some(3));
+        assert_eq!(b.wrapping_sub(&a).to_i64(), Some(-3));
+        assert_eq!(a.wrapping_neg().to_u64(), Some(5));
+    }
+
+    #[test]
+    fn add_carries_across_limbs() {
+        let a = BitVec::ones(128);
+        let b = BitVec::from_u64(128, 1);
+        assert!(a.wrapping_add(&b).is_zero());
+        let c = BitVec::ones(65);
+        let d = BitVec::from_u64(65, 1);
+        assert!(c.wrapping_add(&d).is_zero());
+    }
+
+    #[test]
+    fn widening_mul_unsigned_exact() {
+        let a = BitVec::from_u64(7, 100);
+        let b = BitVec::from_u64(9, 300);
+        let p = a.widening_mul_unsigned(&b);
+        assert_eq!(p.width(), 16);
+        assert_eq!(p.to_u64(), Some(30_000));
+    }
+
+    #[test]
+    fn widening_mul_signed_exact() {
+        for x in -8i64..8 {
+            for y in -8i64..8 {
+                let a = BitVec::from_i64(4, x);
+                let b = BitVec::from_i64(4, y);
+                assert_eq!(a.widening_mul_signed(&b).to_i64(), Some(x * y), "{x}*{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn widening_mul_large_widths() {
+        // (2^64 - 1)^2 = 2^128 - 2^65 + 1
+        let a = BitVec::ones(64);
+        let p = a.widening_mul_unsigned(&a);
+        assert_eq!(p.width(), 128);
+        assert_eq!(p.to_u128(), Some(u64::MAX as u128 * u64::MAX as u128));
+    }
+
+    #[test]
+    fn wrapping_mul_truncates() {
+        let a = BitVec::from_u64(4, 13);
+        let b = BitVec::from_u64(4, 11);
+        assert_eq!(a.wrapping_mul(&b).to_u64(), Some((13 * 11) % 16));
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        let a = BitVec::from_u64(8, 0b1100_1010);
+        let b = BitVec::from_u64(8, 0b1010_0110);
+        assert_eq!(a.and(&b).to_u64(), Some(0b1000_0010));
+        assert_eq!(a.or(&b).to_u64(), Some(0b1110_1110));
+        assert_eq!(a.xor(&b).to_u64(), Some(0b0110_1100));
+        assert_eq!(a.not().to_u64(), Some(0b0011_0101));
+    }
+
+    #[test]
+    fn shifts() {
+        let v = BitVec::from_u64(8, 0b0001_0110);
+        assert_eq!(v.shl(3).to_u64(), Some(0b1011_0000));
+        assert_eq!(v.lshr(2).to_u64(), Some(0b0000_0101));
+        let n = BitVec::from_i64(8, -12);
+        assert_eq!(n.ashr(2).to_i64(), Some(-3));
+        assert_eq!(n.ashr(100).to_i64(), Some(-1));
+        assert_eq!(v.shl(100).to_u64(), Some(0));
+    }
+
+    #[test]
+    fn comparisons_across_widths() {
+        use std::cmp::Ordering::*;
+        let a = BitVec::from_i64(4, -3);
+        let b = BitVec::from_i64(70, -3);
+        assert_eq!(a.cmp_signed(&b), Equal);
+        assert_eq!(a.cmp_unsigned(&b), Less); // 13 < huge pattern
+        assert_eq!(BitVec::from_u64(9, 256).cmp_unsigned(&BitVec::from_u64(4, 15)), Greater);
+    }
+
+    #[test]
+    fn extension_membership() {
+        let v = BitVec::from_u64(8, 0b0000_0110);
+        assert!(v.is_extension_of(3, Signedness::Unsigned));
+        assert!(!v.is_extension_of(2, Signedness::Unsigned));
+        assert!(!v.is_extension_of(3, Signedness::Signed)); // 3'b110 sign-extends to ones
+        assert!(v.is_extension_of(4, Signedness::Signed));
+        assert!(v.is_extension_of(200, Signedness::Signed)); // i >= width is trivially true
+        assert!(BitVec::zero(8).is_extension_of(0, Signedness::Unsigned));
+        assert!(!BitVec::zero(8).is_extension_of(0, Signedness::Signed));
+    }
+
+    #[test]
+    fn min_widths() {
+        assert_eq!(BitVec::from_u64(16, 300).min_unsigned_width(), 9);
+        assert_eq!(BitVec::from_i64(16, 300).min_signed_width(), 10);
+        assert_eq!(BitVec::from_i64(16, -300).min_signed_width(), 10);
+        assert_eq!(BitVec::from_i64(16, -256).min_signed_width(), 9);
+        assert_eq!(BitVec::ones(16).min_signed_width(), 1);
+        assert_eq!(BitVec::zero(16).min_signed_width(), 1);
+    }
+
+    #[test]
+    fn min_width_consistency_with_membership() {
+        for raw in 0u64..256 {
+            let v = BitVec::from_u64(8, raw);
+            let mu = v.min_unsigned_width();
+            assert!(v.is_extension_of(mu, Signedness::Unsigned));
+            if mu > 0 {
+                assert!(!v.is_extension_of(mu - 1, Signedness::Unsigned));
+            }
+            let ms = v.min_signed_width();
+            assert!(v.is_extension_of(ms, Signedness::Signed));
+            if ms > 1 {
+                assert!(!v.is_extension_of(ms - 1, Signedness::Signed));
+            }
+        }
+    }
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        let v = BitVec::from_u64(6, 0b10_1101);
+        assert_eq!(v.to_string(), "6'b101101");
+        assert_eq!("6'b101101".parse::<BitVec>().unwrap(), v);
+        assert_eq!("6'b10_1101".parse::<BitVec>().unwrap(), v);
+        assert_eq!(format!("{v:b}"), "101101");
+        assert_eq!(format!("{v:x}"), "2d");
+        assert_eq!(format!("{v:X}"), "2D");
+        assert_eq!(format!("{v:?}"), "BitVec(6'b101101)");
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!("".parse::<BitVec>().is_err());
+        assert!("0'b".parse::<BitVec>().is_err());
+        assert!("4'b101".parse::<BitVec>().is_err());
+        assert!("4'b1012".parse::<BitVec>().is_err());
+        assert!("x'b1010".parse::<BitVec>().is_err());
+    }
+
+    #[test]
+    fn i128_conversions() {
+        assert_eq!(BitVec::from_i64(128, -5).to_i128(), Some(-5));
+        assert_eq!(BitVec::ones(200).to_i128(), Some(-1));
+        let mut big = BitVec::zero(200);
+        big.set_bit(150, true);
+        assert_eq!(big.to_i128(), None);
+        assert_eq!(big.to_u128(), None);
+        assert_eq!(big.to_u64(), None);
+    }
+}

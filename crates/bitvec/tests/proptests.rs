@@ -1,0 +1,188 @@
+//! Property tests: `BitVec` arithmetic must agree with native integer
+//! arithmetic wherever both are defined, and must obey algebraic laws at
+//! widths beyond any native type.
+
+use proptest::prelude::*;
+
+use dp_bitvec::{BitVec, Signedness};
+
+/// A strategy producing `(width, value)` pairs with the value already
+/// reduced modulo `2^width`, for widths that fit in a `u64`.
+fn small(max_width: usize) -> impl Strategy<Value = (usize, u64)> {
+    (1..=max_width).prop_flat_map(|w| {
+        let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+        (Just(w), any::<u64>().prop_map(move |v| v & mask))
+    })
+}
+
+/// Random `BitVec` of a width possibly spanning several limbs.
+fn wide() -> impl Strategy<Value = BitVec> {
+    (1usize..200, proptest::collection::vec(any::<u64>(), 4))
+        .prop_map(|(w, seed)| BitVec::from_fn(w, |i| (seed[i % 4] >> (i / 4 % 64)) & 1 == 1))
+}
+
+fn mask(w: usize, v: u64) -> u64 {
+    if w == 64 {
+        v
+    } else {
+        v & ((1u64 << w) - 1)
+    }
+}
+
+proptest! {
+    #[test]
+    fn add_matches_u64((w, a) in small(63), b in any::<u64>()) {
+        let b = mask(w, b);
+        let x = BitVec::from_u64(w, a);
+        let y = BitVec::from_u64(w, b);
+        prop_assert_eq!(x.wrapping_add(&y).to_u64().unwrap(), mask(w, a.wrapping_add(b)));
+    }
+
+    #[test]
+    fn sub_matches_u64((w, a) in small(63), b in any::<u64>()) {
+        let b = mask(w, b);
+        let x = BitVec::from_u64(w, a);
+        let y = BitVec::from_u64(w, b);
+        prop_assert_eq!(x.wrapping_sub(&y).to_u64().unwrap(), mask(w, a.wrapping_sub(b)));
+    }
+
+    #[test]
+    fn mul_matches_u64((w, a) in small(63), b in any::<u64>()) {
+        let b = mask(w, b);
+        let x = BitVec::from_u64(w, a);
+        let y = BitVec::from_u64(w, b);
+        prop_assert_eq!(x.wrapping_mul(&y).to_u64().unwrap(), mask(w, a.wrapping_mul(b)));
+    }
+
+    #[test]
+    fn neg_matches_u64((w, a) in small(63)) {
+        let x = BitVec::from_u64(w, a);
+        prop_assert_eq!(x.wrapping_neg().to_u64().unwrap(), mask(w, a.wrapping_neg()));
+    }
+
+    #[test]
+    fn widening_mul_matches_u128((wa, a) in small(60), (wb, b) in small(60)) {
+        let x = BitVec::from_u64(wa, a);
+        let y = BitVec::from_u64(wb, b);
+        prop_assert_eq!(x.widening_mul_unsigned(&y).to_u128().unwrap(), a as u128 * b as u128);
+    }
+
+    #[test]
+    fn widening_mul_signed_matches_i128((wa, a) in small(60), (wb, b) in small(60)) {
+        let x = BitVec::from_u64(wa, a);
+        let y = BitVec::from_u64(wb, b);
+        let (sa, sb) = (x.to_i128().unwrap(), y.to_i128().unwrap());
+        prop_assert_eq!(x.widening_mul_signed(&y).to_i128().unwrap(), sa * sb);
+    }
+
+    #[test]
+    fn signed_reading_matches_i64((w, a) in small(63)) {
+        let x = BitVec::from_u64(w, a);
+        // Manual two's-complement decode.
+        let expected = if w < 64 && a >> (w - 1) == 1 {
+            a as i128 - (1i128 << w)
+        } else {
+            a as i128
+        };
+        prop_assert_eq!(x.to_i64().unwrap() as i128, expected);
+    }
+
+    #[test]
+    fn extend_preserves_value((w, a) in small(60), extra in 0usize..150) {
+        let x = BitVec::from_u64(w, a);
+        let z = x.zext(w + extra);
+        let s = x.sext(w + extra);
+        prop_assert_eq!(z.cmp_unsigned(&x), std::cmp::Ordering::Equal);
+        prop_assert_eq!(s.to_i128().unwrap(), x.to_i128().unwrap());
+    }
+
+    #[test]
+    fn add_commutes_wide(a in wide(), b in wide()) {
+        let w = a.width().max(b.width());
+        let (a, b) = (a.zext(w), b.zext(w));
+        prop_assert_eq!(a.wrapping_add(&b), b.wrapping_add(&a));
+    }
+
+    #[test]
+    fn add_associates_wide(a in wide(), b in wide(), c in wide()) {
+        let w = a.width().max(b.width()).max(c.width());
+        let (a, b, c) = (a.zext(w), b.zext(w), c.zext(w));
+        prop_assert_eq!(a.wrapping_add(&b).wrapping_add(&c), a.wrapping_add(&b.wrapping_add(&c)));
+    }
+
+    #[test]
+    fn mul_distributes_wide(a in wide(), b in wide(), c in wide()) {
+        let w = a.width().max(b.width()).max(c.width());
+        let (a, b, c) = (a.zext(w), b.zext(w), c.zext(w));
+        let lhs = a.wrapping_mul(&b.wrapping_add(&c));
+        let rhs = a.wrapping_mul(&b).wrapping_add(&a.wrapping_mul(&c));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn neg_is_involution_wide(a in wide()) {
+        prop_assert_eq!(a.wrapping_neg().wrapping_neg(), a);
+    }
+
+    #[test]
+    fn sub_is_add_neg_wide(a in wide(), b in wide()) {
+        let w = a.width().max(b.width());
+        let (a, b) = (a.zext(w), b.zext(w));
+        prop_assert_eq!(a.wrapping_sub(&b), a.wrapping_add(&b.wrapping_neg()));
+    }
+
+    #[test]
+    fn min_signed_width_is_minimal(a in wide()) {
+        let i = a.min_signed_width();
+        prop_assert!(a.is_extension_of(i, Signedness::Signed));
+        if i > 1 {
+            prop_assert!(!a.is_extension_of(i - 1, Signedness::Signed));
+        }
+    }
+
+    #[test]
+    fn min_unsigned_width_is_minimal(a in wide()) {
+        let i = a.min_unsigned_width();
+        prop_assert!(a.is_extension_of(i, Signedness::Unsigned));
+        if i > 0 {
+            prop_assert!(!a.is_extension_of(i - 1, Signedness::Unsigned));
+        }
+    }
+
+    #[test]
+    fn display_parse_roundtrip_wide(a in wide()) {
+        let s = a.to_string();
+        prop_assert_eq!(s.parse::<BitVec>().unwrap(), a);
+    }
+
+    #[test]
+    fn trunc_of_extend_is_identity(a in wide(), extra in 0usize..100) {
+        let w = a.width();
+        prop_assert_eq!(a.zext(w + extra).trunc(w), a.clone());
+        prop_assert_eq!(a.sext(w + extra).trunc(w), a);
+    }
+
+    #[test]
+    fn shifts_match_mul_div((w, a) in small(40), k in 0usize..8) {
+        let x = BitVec::from_u64(w, a);
+        prop_assert_eq!(x.shl(k).to_u64().unwrap(), mask(w, a << k));
+        prop_assert_eq!(x.lshr(k).to_u64().unwrap(), a >> k);
+        // ashr matches signed division semantics of >> on i64.
+        let sx = x.to_i64().unwrap();
+        prop_assert_eq!(x.ashr(k).to_i64().unwrap(), sx >> k);
+    }
+
+    #[test]
+    fn cmp_signed_matches_i128(a in wide(), b in wide()) {
+        prop_assume!(a.width() <= 128 && b.width() <= 128);
+        let (sa, sb) = (a.to_i128().unwrap(), b.to_i128().unwrap());
+        prop_assert_eq!(a.cmp_signed(&b), sa.cmp(&sb));
+    }
+
+    #[test]
+    fn cmp_unsigned_matches_u128(a in wide(), b in wide()) {
+        prop_assume!(a.width() <= 128 && b.width() <= 128);
+        let (ua, ub) = (a.to_u128().unwrap(), b.to_u128().unwrap());
+        prop_assert_eq!(a.cmp_unsigned(&b), ua.cmp(&ub));
+    }
+}

@@ -1,0 +1,325 @@
+//! Bit-accurate evaluation of a DFG (the paper's Section 2.2 semantics).
+//!
+//! The evaluator is the functional-equivalence oracle of this workspace:
+//! every transformation the analysis crates perform is checked against it,
+//! and synthesized netlists are compared with it bit-for-bit.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use dp_bitvec::BitVec;
+
+use crate::{Dfg, NodeId, NodeKind, OpKind, ValidateError};
+
+/// Error from [`Dfg::evaluate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// The graph failed structural validation.
+    Invalid(ValidateError),
+    /// The number of supplied input values does not match the number of
+    /// primary inputs.
+    WrongInputCount {
+        /// How many inputs the design has.
+        expected: usize,
+        /// How many values were supplied.
+        found: usize,
+    },
+    /// A supplied input value has the wrong width.
+    InputWidthMismatch {
+        /// Index of the offending input (in [`Dfg::inputs`] order).
+        index: usize,
+        /// Declared width of that input node.
+        expected: usize,
+        /// Width of the supplied value.
+        found: usize,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Invalid(e) => write!(f, "invalid graph: {e}"),
+            EvalError::WrongInputCount { expected, found } => {
+                write!(f, "expected {expected} input value(s), found {found}")
+            }
+            EvalError::InputWidthMismatch { index, expected, found } => {
+                write!(f, "input #{index} expects width {expected}, found {found}")
+            }
+        }
+    }
+}
+
+impl Error for EvalError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EvalError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ValidateError> for EvalError {
+    fn from(e: ValidateError) -> Self {
+        EvalError::Invalid(e)
+    }
+}
+
+/// The result signal at every node of an evaluated DFG.
+///
+/// Produced by [`Dfg::evaluate_full`]; index by [`NodeId`] via
+/// [`Evaluation::result`].
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    values: Vec<BitVec>,
+}
+
+impl Evaluation {
+    /// The result signal at `node`'s output port (its width is `w(node)`).
+    pub fn result(&self, node: NodeId) -> &BitVec {
+        &self.values[node.index()]
+    }
+}
+
+impl Dfg {
+    /// Evaluates the design on the given input values (in [`Dfg::inputs`]
+    /// order) and returns the value observed at each primary output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError`] if the graph is structurally invalid or the
+    /// inputs do not match the design's interface.
+    ///
+    /// See the [crate documentation](crate) for an example.
+    pub fn evaluate(&self, inputs: &[BitVec]) -> Result<HashMap<NodeId, BitVec>, EvalError> {
+        let eval = self.evaluate_full(inputs)?;
+        Ok(self.outputs().iter().map(|&o| (o, eval.result(o).clone())).collect())
+    }
+
+    /// Evaluates the design and returns the signal at *every* node — used by
+    /// the analysis crates to check information-content soundness.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Dfg::evaluate`].
+    pub fn evaluate_full(&self, inputs: &[BitVec]) -> Result<Evaluation, EvalError> {
+        self.validate()?;
+        if inputs.len() != self.inputs().len() {
+            return Err(EvalError::WrongInputCount {
+                expected: self.inputs().len(),
+                found: inputs.len(),
+            });
+        }
+        for (index, (&node, value)) in self.inputs().iter().zip(inputs).enumerate() {
+            let expected = self.node(node).width();
+            if value.width() != expected {
+                return Err(EvalError::InputWidthMismatch {
+                    index,
+                    expected,
+                    found: value.width(),
+                });
+            }
+        }
+
+        let mut values: Vec<BitVec> =
+            self.node_ids().map(|n| BitVec::zero(self.node(n).width())).collect();
+        for (&node, value) in self.inputs().iter().zip(inputs) {
+            values[node.index()] = value.clone();
+        }
+
+        let order = self.topo_order().expect("validated graph is acyclic");
+        for n in order {
+            let node = self.node(n);
+            match node.kind() {
+                NodeKind::Input => {}
+                NodeKind::Const(value) => values[n.index()] = value.clone(),
+                NodeKind::Output => {
+                    let sig = self.signal_into_port(&values, n, 0);
+                    // Section 2.2: the output observes the signal adapted to
+                    // its own width with the edge's discipline.
+                    values[n.index()] = sig;
+                }
+                NodeKind::Extension(t) => {
+                    // Definition 5.5: adapt the *edge* signal to the node
+                    // width, extending with the node's own signedness.
+                    let e = self.node(n).in_edges()[0];
+                    let edge = self.edge(e);
+                    let src_sig = values[edge.src().index()]
+                        .resize(edge.signedness(), edge.width());
+                    values[n.index()] = if node.width() > edge.width() {
+                        src_sig.extend(*t, node.width())
+                    } else {
+                        src_sig.trunc(node.width())
+                    };
+                }
+                NodeKind::Op(op) => {
+                    let w = node.width();
+                    let result = match op {
+                        OpKind::Add => {
+                            let a = self.signal_into_port(&values, n, 0);
+                            let b = self.signal_into_port(&values, n, 1);
+                            a.wrapping_add(&b)
+                        }
+                        OpKind::Sub => {
+                            let a = self.signal_into_port(&values, n, 0);
+                            let b = self.signal_into_port(&values, n, 1);
+                            a.wrapping_sub(&b)
+                        }
+                        OpKind::Mul => {
+                            let a = self.signal_into_port(&values, n, 0);
+                            let b = self.signal_into_port(&values, n, 1);
+                            a.wrapping_mul(&b)
+                        }
+                        OpKind::Neg => self.signal_into_port(&values, n, 0).wrapping_neg(),
+                        OpKind::Shl(k) => {
+                            self.signal_into_port(&values, n, 0).shl(*k as usize)
+                        }
+                    };
+                    debug_assert_eq!(result.width(), w);
+                    values[n.index()] = result;
+                }
+            }
+        }
+        Ok(Evaluation { values })
+    }
+
+    /// The operand entering `port` of `node`: the source result adapted to
+    /// the edge width, then to the destination node width, both with the
+    /// edge's signedness (Section 2.2).
+    fn signal_into_port(&self, values: &[BitVec], node: NodeId, port: usize) -> BitVec {
+        let e = self
+            .in_edge_on_port(node, port)
+            .expect("validated node has an edge on every port");
+        let edge = self.edge(e);
+        let src = &values[edge.src().index()];
+        let on_edge = src.resize(edge.signedness(), edge.width());
+        on_edge.resize(edge.signedness(), self.node(node).width())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_bitvec::Signedness::{Signed, Unsigned};
+
+    #[test]
+    fn add_truncates_at_node_width() {
+        let mut g = Dfg::new();
+        let a = g.input("a", 4);
+        let b = g.input("b", 4);
+        let s = g.op(OpKind::Add, 4, &[(a, Unsigned), (b, Unsigned)]);
+        let o = g.output("o", 4, s, Unsigned);
+        let out = g
+            .evaluate(&[BitVec::from_u64(4, 12), BitVec::from_u64(4, 9)])
+            .unwrap();
+        assert_eq!(out[&o].to_u64(), Some((12 + 9) % 16));
+    }
+
+    #[test]
+    fn signed_vs_unsigned_edge_extension() {
+        // A 4-bit negative value extended to 8 bits behaves differently per t(e).
+        for (t, expected) in [(Signed, -3i64), (Unsigned, 13)] {
+            let mut g = Dfg::new();
+            let a = g.input("a", 4);
+            let z = g.constant(BitVec::zero(8));
+            let s = g.op(OpKind::Add, 8, &[(a, t), (z, Unsigned)]);
+            let o = g.output("o", 8, s, Unsigned);
+            let out = g.evaluate(&[BitVec::from_i64(4, -3)]).unwrap();
+            assert_eq!(out[&o].to_i64(), Some(expected), "t = {t}");
+        }
+    }
+
+    #[test]
+    fn figure1_truncate_then_extend() {
+        // The lib-level doc example, spelled out numerically.
+        let mut g = Dfg::new();
+        let a = g.input("A", 8);
+        let b = g.input("B", 8);
+        let c = g.input("C", 9);
+        let n1 = g.op(OpKind::Add, 7, &[(a, Signed), (b, Signed)]);
+        let n3 = g.op(OpKind::Add, 9, &[(n1, Signed), (c, Signed)]);
+        let r = g.output("R", 9, n3, Signed);
+        let out = g
+            .evaluate(&[
+                BitVec::from_i64(8, 100),
+                BitVec::from_i64(8, 50),
+                BitVec::from_i64(9, 1),
+            ])
+            .unwrap();
+        // 150 mod 2^7 = 22 (bit 7 lost), sign-extended stays 22, +1 = 23.
+        assert_eq!(out[&r].to_i64(), Some(23));
+    }
+
+    #[test]
+    fn sub_neg_mul_semantics() {
+        let mut g = Dfg::new();
+        let a = g.input("a", 5);
+        let b = g.input("b", 5);
+        let d = g.op(OpKind::Sub, 6, &[(a, Signed), (b, Signed)]);
+        let n = g.op(OpKind::Neg, 6, &[(d, Signed)]);
+        let p = g.op(OpKind::Mul, 10, &[(n, Signed), (a, Signed)]);
+        let o = g.output("o", 10, p, Signed);
+        let out = g
+            .evaluate(&[BitVec::from_i64(5, 7), BitVec::from_i64(5, -4)])
+            .unwrap();
+        // -(7 - (-4)) * 7 = -77
+        assert_eq!(out[&o].to_i64(), Some(-77));
+    }
+
+    #[test]
+    fn extension_node_semantics() {
+        let mut g = Dfg::new();
+        let a = g.input("a", 4);
+        // Signed extension node widening 4 -> 8.
+        let ext = g.extension(8, Signed, a, 4, Unsigned);
+        let o = g.output("o", 8, ext, Unsigned);
+        let out = g.evaluate(&[BitVec::from_i64(4, -2)]).unwrap();
+        assert_eq!(out[&o].to_i64(), Some(-2));
+
+        // Truncating extension node 4 -> 2.
+        let mut g2 = Dfg::new();
+        let a2 = g2.input("a", 4);
+        let tr = g2.extension(2, Signed, a2, 4, Unsigned);
+        let o2 = g2.output("o", 2, tr, Unsigned);
+        let out2 = g2.evaluate(&[BitVec::from_u64(4, 0b0110)]).unwrap();
+        assert_eq!(out2[&o2].to_u64(), Some(0b10));
+    }
+
+    #[test]
+    fn evaluate_full_exposes_internal_signals() {
+        let mut g = Dfg::new();
+        let a = g.input("a", 4);
+        let b = g.input("b", 4);
+        let s = g.op(OpKind::Add, 5, &[(a, Unsigned), (b, Unsigned)]);
+        g.output("o", 5, s, Unsigned);
+        let eval = g
+            .evaluate_full(&[BitVec::from_u64(4, 15), BitVec::from_u64(4, 15)])
+            .unwrap();
+        assert_eq!(eval.result(s).to_u64(), Some(30));
+        assert_eq!(eval.result(a).to_u64(), Some(15));
+    }
+
+    #[test]
+    fn input_errors_reported() {
+        let mut g = Dfg::new();
+        let a = g.input("a", 4);
+        g.output("o", 4, a, Unsigned);
+        assert_eq!(
+            g.evaluate(&[]),
+            Err(EvalError::WrongInputCount { expected: 1, found: 0 })
+        );
+        assert_eq!(
+            g.evaluate(&[BitVec::zero(5)]),
+            Err(EvalError::InputWidthMismatch { index: 0, expected: 4, found: 5 })
+        );
+    }
+
+    #[test]
+    fn invalid_graph_reported() {
+        let mut g = Dfg::new();
+        let a = g.input("a", 4);
+        let n = g.op(OpKind::Add, 4, &[(a, Unsigned), (a, Unsigned)]);
+        g.connect(n, n, 0, 4, Unsigned);
+        assert!(matches!(g.evaluate(&[BitVec::zero(4)]), Err(EvalError::Invalid(_))));
+    }
+}

@@ -1,0 +1,225 @@
+//! Random DFG generation for property-based testing and benchmarking.
+//!
+//! The generator produces valid, connected-enough graphs that exercise the
+//! interesting corners of the paper's model: widths that truncate real
+//! information, widths with redundant headroom, mixed edge signedness, and
+//! reconvergent fanout.
+
+use dp_bitvec::{BitVec, Signedness};
+use rand::Rng;
+
+use crate::{Dfg, NodeId, OpKind};
+
+/// Tunable parameters for [`random_dfg`].
+///
+/// # Examples
+///
+/// ```
+/// use dp_dfg::gen::{random_dfg, random_inputs, GenConfig};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let g = random_dfg(&mut rng, &GenConfig::default());
+/// g.validate().unwrap();
+/// let inputs = random_inputs(&g, &mut rng);
+/// g.evaluate(&inputs).unwrap();
+/// ```
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Number of primary inputs.
+    pub num_inputs: usize,
+    /// Number of operator nodes.
+    pub num_ops: usize,
+    /// Inclusive range of input widths.
+    pub input_width: (usize, usize),
+    /// Probability that an edge is signed.
+    pub p_signed: f64,
+    /// Probability that a node width truncates its natural (full-precision)
+    /// result width.
+    pub p_truncate: f64,
+    /// Probability that a node width carries redundant headroom beyond the
+    /// natural width (the paper's D4/D5 scenario).
+    pub p_redundant: f64,
+    /// Maximum headroom bits added when a width is redundant.
+    pub max_redundancy: usize,
+    /// Relative weight of multiplication among generated operators
+    /// (additive operators share the rest equally).
+    pub mul_weight: f64,
+    /// Probability of adding a small constant operand instead of reusing an
+    /// existing signal.
+    pub p_constant: f64,
+    /// Hard cap on any generated width (keeps evaluation cheap).
+    pub max_width: usize,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            num_inputs: 4,
+            num_ops: 12,
+            input_width: (2, 8),
+            p_signed: 0.5,
+            p_truncate: 0.25,
+            p_redundant: 0.25,
+            max_redundancy: 8,
+            mul_weight: 0.15,
+            p_constant: 0.1,
+            max_width: 48,
+        }
+    }
+}
+
+/// Generates a random valid DFG according to `config`.
+///
+/// Every operator node is reachable from the inputs, and every dangling
+/// result is terminated with an output node, so [`Dfg::validate`] always
+/// succeeds on the generated graph.
+pub fn random_dfg<R: Rng + ?Sized>(rng: &mut R, config: &GenConfig) -> Dfg {
+    let mut g = Dfg::new();
+    let mut pool: Vec<NodeId> = Vec::new();
+    for i in 0..config.num_inputs.max(1) {
+        let w = rng.gen_range(config.input_width.0..=config.input_width.1.max(config.input_width.0));
+        pool.push(g.input(format!("i{i}"), w.clamp(1, config.max_width)));
+    }
+
+    for _ in 0..config.num_ops {
+        let op = pick_op(rng, config);
+        let mut operands = Vec::new();
+        for _ in 0..op.arity() {
+            let src = if rng.gen_bool(config.p_constant) {
+                let w = rng.gen_range(1..=4);
+                let value = BitVec::from_fn(w, |_| rng.gen_bool(0.5));
+                g.constant(value)
+            } else {
+                pool[rng.gen_range(0..pool.len())]
+            };
+            operands.push(src);
+        }
+        let natural = natural_width(&g, op, &operands).min(config.max_width);
+        let width = adjust_width(rng, config, natural);
+        let full: Vec<(NodeId, usize, Signedness)> = operands
+            .iter()
+            .map(|&src| {
+                let sw = g.node(src).width();
+                // Edge width: usually the full source, occasionally a
+                // truncating or extending edge.
+                let ew = if rng.gen_bool(0.2) {
+                    rng.gen_range(1..=(sw + 2).min(config.max_width))
+                } else {
+                    sw
+                };
+                (src, ew, signedness(rng, config))
+            })
+            .collect();
+        let n = g.op_with_edges(op, width, &full);
+        pool.push(n);
+    }
+
+    // Terminate everything that has no consumer.
+    let dangling: Vec<NodeId> = pool
+        .iter()
+        .copied()
+        .filter(|&n| g.node(n).out_edges().is_empty())
+        .collect();
+    for (k, n) in dangling.into_iter().enumerate() {
+        let w = g.node(n).width();
+        let ow = adjust_width(rng, config, w);
+        g.output(format!("o{k}"), ow, n, signedness(rng, config));
+    }
+    g
+}
+
+/// Generates one random input vector matching the interface of `g`.
+pub fn random_inputs<R: Rng + ?Sized>(g: &Dfg, rng: &mut R) -> Vec<BitVec> {
+    g.inputs()
+        .iter()
+        .map(|&n| BitVec::from_fn(g.node(n).width(), |_| rng.gen_bool(0.5)))
+        .collect()
+}
+
+fn pick_op<R: Rng + ?Sized>(rng: &mut R, config: &GenConfig) -> OpKind {
+    if rng.gen_bool(config.mul_weight.clamp(0.0, 1.0)) {
+        OpKind::Mul
+    } else {
+        match rng.gen_range(0..8) {
+            0..=3 => OpKind::Add,
+            4 | 5 => OpKind::Sub,
+            6 => OpKind::Neg,
+            _ => OpKind::Shl(rng.gen_range(1..4)),
+        }
+    }
+}
+
+fn signedness<R: Rng + ?Sized>(rng: &mut R, config: &GenConfig) -> Signedness {
+    if rng.gen_bool(config.p_signed.clamp(0.0, 1.0)) {
+        Signedness::Signed
+    } else {
+        Signedness::Unsigned
+    }
+}
+
+/// Full-precision result width for an operator over the given sources.
+fn natural_width(g: &Dfg, op: OpKind, operands: &[NodeId]) -> usize {
+    let w: Vec<usize> = operands.iter().map(|&n| g.node(n).width()).collect();
+    match op {
+        OpKind::Add | OpKind::Sub => w[0].max(w[1]) + 1,
+        OpKind::Mul => w[0] + w[1],
+        OpKind::Neg => w[0] + 1,
+        OpKind::Shl(k) => w[0] + k as usize,
+    }
+}
+
+fn adjust_width<R: Rng + ?Sized>(rng: &mut R, config: &GenConfig, natural: usize) -> usize {
+    let natural = natural.max(1);
+    if rng.gen_bool(config.p_truncate.clamp(0.0, 1.0)) && natural > 1 {
+        rng.gen_range(1..natural)
+    } else if rng.gen_bool(config.p_redundant.clamp(0.0, 1.0)) {
+        (natural + rng.gen_range(1..=config.max_redundancy.max(1))).min(config.max_width)
+    } else {
+        natural.min(config.max_width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_graphs_validate_and_evaluate() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for seed in 0..30 {
+            let config = GenConfig {
+                num_ops: 5 + (seed % 20),
+                num_inputs: 2 + seed % 4,
+                ..GenConfig::default()
+            };
+            let g = random_dfg(&mut rng, &config);
+            g.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            let inputs = random_inputs(&g, &mut rng);
+            g.evaluate(&inputs).unwrap();
+            assert!(!g.outputs().is_empty());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let config = GenConfig::default();
+        let g1 = random_dfg(&mut StdRng::seed_from_u64(9), &config);
+        let g2 = random_dfg(&mut StdRng::seed_from_u64(9), &config);
+        assert_eq!(g1.num_nodes(), g2.num_nodes());
+        assert_eq!(g1.num_edges(), g2.num_edges());
+        assert_eq!(g1.to_dot(), g2.to_dot());
+    }
+
+    #[test]
+    fn width_cap_respected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let config = GenConfig { max_width: 12, num_ops: 40, ..GenConfig::default() };
+        let g = random_dfg(&mut rng, &config);
+        for n in g.node_ids() {
+            assert!(g.node(n).width() <= 12);
+        }
+    }
+}

@@ -1,0 +1,584 @@
+//! The [`Dfg`] container: nodes, edges, ports and their widths.
+
+use std::fmt;
+
+use dp_bitvec::{BitVec, Signedness};
+
+use crate::OpKind;
+
+/// Identifier of a node inside one [`Dfg`].
+///
+/// Node ids are dense indices assigned in creation order; they are never
+/// invalidated (this crate's transformations rewire and resize rather than
+/// delete).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+/// Identifier of an edge inside one [`Dfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub(crate) u32);
+
+impl NodeId {
+    /// The dense index of this node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// The dense index of this edge.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// What a node is: the paper's node alphabet plus constants and the
+/// extension nodes of Definition 5.5.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// A primary input of the design.
+    Input,
+    /// A primary output of the design.
+    Output,
+    /// A constant signal (width is the node width).
+    Const(BitVec),
+    /// A datapath operator.
+    Op(OpKind),
+    /// An extension node (paper Definition 5.5): adapts its single operand
+    /// to the node width, extending with the stored signedness when the
+    /// node is wider than the incoming edge and truncating otherwise.
+    Extension(Signedness),
+}
+
+impl NodeKind {
+    /// Returns `true` for operator nodes (`Op`).
+    pub fn is_op(&self) -> bool {
+        matches!(self, NodeKind::Op(_))
+    }
+
+    /// Returns the operator if this is an operator node.
+    pub fn op(&self) -> Option<OpKind> {
+        match self {
+            NodeKind::Op(op) => Some(*op),
+            _ => None,
+        }
+    }
+}
+
+/// A node: kind, width `w(N)`, optional name, and its edge lists.
+#[derive(Debug, Clone)]
+pub struct Node {
+    kind: NodeKind,
+    width: usize,
+    name: Option<String>,
+    in_edges: Vec<EdgeId>,
+    out_edges: Vec<EdgeId>,
+}
+
+impl Node {
+    /// The node kind.
+    pub fn kind(&self) -> &NodeKind {
+        &self.kind
+    }
+
+    /// The node width `w(N)`.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The node name, if one was given.
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+
+    /// Incoming edges, sorted by destination port.
+    pub fn in_edges(&self) -> &[EdgeId] {
+        &self.in_edges
+    }
+
+    /// Outgoing edges, in creation order.
+    pub fn out_edges(&self) -> &[EdgeId] {
+        &self.out_edges
+    }
+}
+
+/// An edge: data flowing from the source node's output port to one input
+/// port of the destination node, carrying `w(e)` bits with extension
+/// discipline `t(e)`.
+#[derive(Debug, Clone)]
+pub struct Edge {
+    src: NodeId,
+    dst: NodeId,
+    dst_port: usize,
+    width: usize,
+    signedness: Signedness,
+}
+
+impl Edge {
+    /// Source node.
+    pub fn src(&self) -> NodeId {
+        self.src
+    }
+
+    /// Destination node.
+    pub fn dst(&self) -> NodeId {
+        self.dst
+    }
+
+    /// Input port index at the destination (0 or 1).
+    pub fn dst_port(&self) -> usize {
+        self.dst_port
+    }
+
+    /// Edge width `w(e)`.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Edge signedness `t(e)`.
+    pub fn signedness(&self) -> Signedness {
+        self.signedness
+    }
+}
+
+/// A data flow graph with datapath operators (paper Section 2.1).
+///
+/// See the [crate documentation](crate) for the semantics and an example.
+#[derive(Debug, Clone, Default)]
+pub struct Dfg {
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+    inputs: Vec<NodeId>,
+    outputs: Vec<NodeId>,
+}
+
+impl Dfg {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Dfg::default()
+    }
+
+    // ------------------------------------------------------------------
+    // Construction
+    // ------------------------------------------------------------------
+
+    fn add_node(&mut self, kind: NodeKind, width: usize, name: Option<String>) -> NodeId {
+        assert!(width > 0, "node width must be at least 1");
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("node count fits u32"));
+        self.nodes.push(Node { kind, width, name, in_edges: Vec::new(), out_edges: Vec::new() });
+        id
+    }
+
+    /// Adds a primary input of the given width.
+    pub fn input(&mut self, name: impl Into<String>, width: usize) -> NodeId {
+        let id = self.add_node(NodeKind::Input, width, Some(name.into()));
+        self.inputs.push(id);
+        id
+    }
+
+    /// Adds a constant node carrying `value`.
+    pub fn constant(&mut self, value: BitVec) -> NodeId {
+        let width = value.width();
+        self.add_node(NodeKind::Const(value), width, None)
+    }
+
+    /// Adds an operator node of the given width, connecting `operands` in
+    /// port order. Each operand edge gets width `w(src)` (carry the full
+    /// source result) and the given signedness; use
+    /// [`Dfg::op_with_edges`] for explicit edge widths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand count does not match the operator's arity.
+    pub fn op(
+        &mut self,
+        kind: OpKind,
+        width: usize,
+        operands: &[(NodeId, Signedness)],
+    ) -> NodeId {
+        let full: Vec<(NodeId, usize, Signedness)> = operands
+            .iter()
+            .map(|&(src, t)| (src, self.node(src).width(), t))
+            .collect();
+        self.op_with_edges(kind, width, &full)
+    }
+
+    /// Adds an operator node with explicit `(source, edge width, edge
+    /// signedness)` triples per port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand count does not match the operator's arity, or
+    /// if an edge width is zero.
+    pub fn op_with_edges(
+        &mut self,
+        kind: OpKind,
+        width: usize,
+        operands: &[(NodeId, usize, Signedness)],
+    ) -> NodeId {
+        assert_eq!(
+            operands.len(),
+            kind.arity(),
+            "operator {kind} takes {} operand(s)",
+            kind.arity()
+        );
+        let id = self.add_node(NodeKind::Op(kind), width, None);
+        for (port, &(src, ew, t)) in operands.iter().enumerate() {
+            self.connect(src, id, port, ew, t);
+        }
+        id
+    }
+
+    /// Adds an operator node with **no operand edges**. The caller must
+    /// [`Dfg::connect`] one edge per port before the graph validates; this
+    /// is the escape hatch used by graph transformations and tests.
+    pub fn op_unconnected(&mut self, kind: OpKind, width: usize) -> NodeId {
+        self.add_node(NodeKind::Op(kind), width, None)
+    }
+
+    /// Adds a primary output of the given width fed by `src` over an edge of
+    /// width `w(src)` and the given signedness.
+    pub fn output(
+        &mut self,
+        name: impl Into<String>,
+        width: usize,
+        src: NodeId,
+        signedness: Signedness,
+    ) -> NodeId {
+        let ew = self.node(src).width();
+        self.output_with_edge(name, width, src, ew, signedness)
+    }
+
+    /// Adds a primary output with an explicit edge width.
+    pub fn output_with_edge(
+        &mut self,
+        name: impl Into<String>,
+        width: usize,
+        src: NodeId,
+        edge_width: usize,
+        signedness: Signedness,
+    ) -> NodeId {
+        let id = self.add_node(NodeKind::Output, width, Some(name.into()));
+        self.outputs.push(id);
+        self.connect(src, id, 0, edge_width, signedness);
+        id
+    }
+
+    /// Adds an extension node (Definition 5.5) of the given width and
+    /// signedness fed by `src` over an edge of width `edge_width`.
+    pub fn extension(
+        &mut self,
+        width: usize,
+        signedness: Signedness,
+        src: NodeId,
+        edge_width: usize,
+        edge_signedness: Signedness,
+    ) -> NodeId {
+        let id = self.add_node(NodeKind::Extension(signedness), width, None);
+        self.connect(src, id, 0, edge_width, edge_signedness);
+        id
+    }
+
+    /// Adds a raw edge. Prefer the typed constructors above; this is the
+    /// escape hatch used by graph transformations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge width is zero or a node id is out of range.
+    pub fn connect(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        dst_port: usize,
+        width: usize,
+        signedness: Signedness,
+    ) -> EdgeId {
+        assert!(width > 0, "edge width must be at least 1");
+        assert!(src.index() < self.nodes.len(), "source node out of range");
+        assert!(dst.index() < self.nodes.len(), "destination node out of range");
+        let id = EdgeId(u32::try_from(self.edges.len()).expect("edge count fits u32"));
+        self.edges.push(Edge { src, dst, dst_port, width, signedness });
+        self.nodes[src.index()].out_edges.push(id);
+        let in_edges = &mut self.nodes[dst.index()].in_edges;
+        let pos = in_edges
+            .iter()
+            .position(|&e| self.edges[e.index()].dst_port > dst_port)
+            .unwrap_or(in_edges.len());
+        in_edges.insert(pos, id);
+        id
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The node with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// The edge with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id.index()]
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All node ids in creation order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// All edge ids in creation order.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edges.len() as u32).map(EdgeId)
+    }
+
+    /// Primary inputs in declaration order.
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// Primary outputs in declaration order.
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// Operator node ids in creation order.
+    pub fn op_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.node_ids().filter(|&n| self.node(n).kind().is_op())
+    }
+
+    /// The incoming edge feeding `port` of `node`, if any.
+    pub fn in_edge_on_port(&self, node: NodeId, port: usize) -> Option<EdgeId> {
+        self.node(node)
+            .in_edges()
+            .iter()
+            .copied()
+            .find(|&e| self.edge(e).dst_port() == port)
+    }
+
+    /// Successor node ids of `node` (one per out-edge; may repeat).
+    pub fn successors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.node(node).out_edges().iter().map(move |&e| self.edge(e).dst())
+    }
+
+    /// Predecessor node ids of `node` in port order (may repeat).
+    pub fn predecessors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.node(node).in_edges().iter().map(move |&e| self.edge(e).src())
+    }
+
+    // ------------------------------------------------------------------
+    // Mutation (used by width-pruning transformations)
+    // ------------------------------------------------------------------
+
+    /// Sets `w(N)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new width is zero.
+    pub fn set_node_width(&mut self, id: NodeId, width: usize) {
+        assert!(width > 0, "node width must be at least 1");
+        self.nodes[id.index()].width = width;
+    }
+
+    /// Sets `w(e)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new width is zero.
+    pub fn set_edge_width(&mut self, id: EdgeId, width: usize) {
+        assert!(width > 0, "edge width must be at least 1");
+        self.edges[id.index()].width = width;
+    }
+
+    /// Sets `t(e)`.
+    pub fn set_edge_signedness(&mut self, id: EdgeId, signedness: Signedness) {
+        self.edges[id.index()].signedness = signedness;
+    }
+
+    /// Redirects an edge to flow from a different source node, preserving
+    /// its destination, width and signedness. Used when splicing extension
+    /// nodes into existing fanout (Lemma 5.6).
+    pub fn rewire_edge_src(&mut self, id: EdgeId, new_src: NodeId) {
+        let old_src = self.edges[id.index()].src;
+        let out = &mut self.nodes[old_src.index()].out_edges;
+        out.retain(|&e| e != id);
+        self.edges[id.index()].src = new_src;
+        self.nodes[new_src.index()].out_edges.push(id);
+    }
+
+    // ------------------------------------------------------------------
+    // Structure queries
+    // ------------------------------------------------------------------
+
+    /// Returns `true` if the graph is weakly connected (ignoring edge
+    /// direction). The paper requires designs to be connected; generated
+    /// subgraphs may not be.
+    pub fn is_connected(&self) -> bool {
+        if self.nodes.is_empty() {
+            return true;
+        }
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![NodeId(0)];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(n) = stack.pop() {
+            let node = self.node(n);
+            let neighbours = node
+                .in_edges()
+                .iter()
+                .map(|&e| self.edge(e).src())
+                .chain(node.out_edges().iter().map(|&e| self.edge(e).dst()));
+            for m in neighbours {
+                if !seen[m.index()] {
+                    seen[m.index()] = true;
+                    count += 1;
+                    stack.push(m);
+                }
+            }
+        }
+        count == self.nodes.len()
+    }
+
+    /// Total bit-width of all operator nodes: a quick structural size proxy
+    /// used in reports.
+    pub fn total_op_width(&self) -> usize {
+        self.op_nodes().map(|n| self.node(n).width()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_bitvec::Signedness::*;
+
+    fn tiny() -> (Dfg, NodeId, NodeId, NodeId, NodeId) {
+        let mut g = Dfg::new();
+        let a = g.input("a", 4);
+        let b = g.input("b", 4);
+        let s = g.op(OpKind::Add, 5, &[(a, Unsigned), (b, Unsigned)]);
+        let o = g.output("o", 5, s, Unsigned);
+        (g, a, b, s, o)
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let (g, a, b, s, o) = tiny();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.inputs(), &[a, b]);
+        assert_eq!(g.outputs(), &[o]);
+        assert_eq!(g.node(s).width(), 5);
+        assert_eq!(g.node(s).kind().op(), Some(OpKind::Add));
+        assert_eq!(g.op_nodes().collect::<Vec<_>>(), vec![s]);
+        assert_eq!(g.node(a).name(), Some("a"));
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn edges_default_to_source_width() {
+        let (g, a, _, s, _) = tiny();
+        let e = g.in_edge_on_port(s, 0).unwrap();
+        assert_eq!(g.edge(e).src(), a);
+        assert_eq!(g.edge(e).width(), 4);
+        assert_eq!(g.edge(e).dst_port(), 0);
+    }
+
+    #[test]
+    fn in_edges_sorted_by_port() {
+        let mut g = Dfg::new();
+        let a = g.input("a", 4);
+        let b = g.input("b", 4);
+        let n = g.add_node(NodeKind::Op(OpKind::Sub), 5, None);
+        // Connect port 1 first, then port 0; in_edges must come back sorted.
+        g.connect(b, n, 1, 4, Unsigned);
+        g.connect(a, n, 0, 4, Unsigned);
+        let ports: Vec<usize> =
+            g.node(n).in_edges().iter().map(|&e| g.edge(e).dst_port()).collect();
+        assert_eq!(ports, vec![0, 1]);
+    }
+
+    #[test]
+    fn successors_and_predecessors() {
+        let (g, a, b, s, o) = tiny();
+        assert_eq!(g.successors(a).collect::<Vec<_>>(), vec![s]);
+        assert_eq!(g.predecessors(s).collect::<Vec<_>>(), vec![a, b]);
+        assert_eq!(g.successors(s).collect::<Vec<_>>(), vec![o]);
+    }
+
+    #[test]
+    fn mutation_roundtrip() {
+        let (mut g, _, _, s, _) = tiny();
+        g.set_node_width(s, 3);
+        assert_eq!(g.node(s).width(), 3);
+        let e = g.in_edge_on_port(s, 0).unwrap();
+        g.set_edge_width(e, 2);
+        g.set_edge_signedness(e, Signed);
+        assert_eq!(g.edge(e).width(), 2);
+        assert_eq!(g.edge(e).signedness(), Signed);
+    }
+
+    #[test]
+    fn rewire_edge_src_moves_fanout() {
+        let (mut g, a, _, s, _) = tiny();
+        let ext = g.extension(8, Signed, a, 4, Unsigned);
+        let e = g.in_edge_on_port(s, 0).unwrap();
+        g.rewire_edge_src(e, ext);
+        assert_eq!(g.edge(e).src(), ext);
+        assert_eq!(g.successors(ext).collect::<Vec<_>>(), vec![s]);
+        assert!(!g.node(a).out_edges().iter().any(|&x| x == e));
+    }
+
+    #[test]
+    fn constant_nodes_carry_their_value() {
+        let mut g = Dfg::new();
+        let c = g.constant(dp_bitvec::BitVec::from_u64(6, 37));
+        assert_eq!(g.node(c).width(), 6);
+        assert!(matches!(g.node(c).kind(), NodeKind::Const(v) if v.to_u64() == Some(37)));
+    }
+
+    #[test]
+    fn disconnected_graph_detected() {
+        let mut g = Dfg::new();
+        let _a = g.input("a", 4);
+        let _b = g.input("b", 4);
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    #[should_panic(expected = "takes 2 operand")]
+    fn wrong_arity_panics() {
+        let mut g = Dfg::new();
+        let a = g.input("a", 4);
+        let _ = g.op(OpKind::Add, 5, &[(a, Unsigned)]);
+    }
+}

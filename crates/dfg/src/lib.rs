@@ -1,0 +1,66 @@
+//! Data-flow-graph (DFG) model of datapath designs.
+//!
+//! This crate implements the design representation of Section 2 of the DAC
+//! 2001 paper *Improved Merging of Datapath Operators using Information
+//! Content and Required Precision Analysis* (Mathur & Saluja):
+//!
+//! * a directed acyclic graph whose nodes are **inputs**, **outputs**,
+//!   **constants**, **datapath operators** (`+`, `-`, unary `-`, `×`) and
+//!   **extension nodes** (the paper's Definition 5.5);
+//! * every node has a **width** `w(N)`; every edge has a **width** `w(e)`
+//!   and a **signedness** `t(e)` selecting unsigned (zero) or signed
+//!   extension;
+//! * the width-adaptation semantics of Section 2.2: an edge carries the
+//!   `w(e)` least significant bits of its source's result, extending per
+//!   `t(e)` when `w(e) > w(N_src)`, and the destination operand is the
+//!   signal adapted to `w(N_dst)` the same way.
+//!
+//! The crate also provides the machinery every later stage relies on:
+//! topological orders, post-dominators (for the unique-cluster-output
+//! condition), induced-subgraph queries, a **bit-accurate evaluator** (the
+//! functional-equivalence oracle used to prove transformations safe), DOT
+//! export, and a random-DFG generator for property-based testing.
+//!
+//! # Example
+//!
+//! ```
+//! use dp_bitvec::{BitVec, Signedness};
+//! use dp_dfg::{Dfg, OpKind};
+//!
+//! // R = (A + B) truncated to 7 bits, then sign-extended into a 9-bit add
+//! // with C — the mergeability bottleneck of the paper's Figure 1.
+//! let mut g = Dfg::new();
+//! let a = g.input("A", 8);
+//! let b = g.input("B", 8);
+//! let c = g.input("C", 9);
+//! let n1 = g.op(OpKind::Add, 7, &[(a, Signedness::Signed), (b, Signedness::Signed)]);
+//! let n3 = g.op(OpKind::Add, 9, &[(n1, Signedness::Signed), (c, Signedness::Signed)]);
+//! let r = g.output("R", 9, n3, Signedness::Signed);
+//! g.validate().unwrap();
+//!
+//! let out = g.evaluate(&[
+//!     BitVec::from_i64(8, 100),
+//!     BitVec::from_i64(8, 50),
+//!     BitVec::from_i64(9, 1),
+//! ]).unwrap();
+//! // (100 + 50) keeps only 7 bits -> 150 - 128 = 22; 22 + 1 = 23.
+//! assert_eq!(out[&r].to_i64(), Some(23));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dot;
+mod eval;
+pub mod gen;
+mod graph;
+mod op;
+mod postdom;
+mod topo;
+mod validate;
+
+pub use eval::{EvalError, Evaluation};
+pub use graph::{Dfg, Edge, EdgeId, Node, NodeId, NodeKind};
+pub use op::OpKind;
+pub use postdom::PostDominators;
+pub use validate::ValidateError;

@@ -1,0 +1,129 @@
+//! The datapath operator alphabet of the paper: `+`, `-`, unary `-`, `×`.
+
+use std::fmt;
+
+/// A datapath operator labeling an operator node.
+///
+/// The paper restricts its discussion to addition, subtraction, unary
+/// minus and multiplication (Section 1), noting that the analyses extend
+/// to other operators such as shifters; this reproduction implements the
+/// paper's alphabet plus constant left shift ([`OpKind::Shl`]), which
+/// merges naturally as a weighted addend in a carry-save tree.
+///
+/// # Examples
+///
+/// ```
+/// use dp_dfg::OpKind;
+///
+/// assert_eq!(OpKind::Add.arity(), 2);
+/// assert_eq!(OpKind::Neg.arity(), 1);
+/// assert_eq!(OpKind::Shl(3).arity(), 1);
+/// assert_eq!(OpKind::Mul.symbol(), "*");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpKind {
+    /// Binary addition.
+    Add,
+    /// Binary subtraction (`operand0 - operand1`).
+    Sub,
+    /// Unary two's-complement negation.
+    Neg,
+    /// Binary multiplication.
+    Mul,
+    /// Unary left shift by a constant amount (multiply by `2^k`), zeros
+    /// entering at the bottom; the result keeps the node width.
+    Shl(u8),
+}
+
+impl OpKind {
+    /// Number of input operands (1 for the unary operators, 2 otherwise).
+    pub fn arity(self) -> usize {
+        match self {
+            OpKind::Neg | OpKind::Shl(_) => 1,
+            _ => 2,
+        }
+    }
+
+    /// Returns `true` for operators that are just signed/unsigned additions
+    /// of (possibly negated) operands — everything except multiplication.
+    ///
+    /// ```
+    /// use dp_dfg::OpKind;
+    /// assert!(OpKind::Sub.is_additive());
+    /// assert!(!OpKind::Mul.is_additive());
+    /// ```
+    pub fn is_additive(self) -> bool {
+        !matches!(self, OpKind::Mul)
+    }
+
+    /// Returns `true` if the operator is commutative in its operands.
+    pub fn is_commutative(self) -> bool {
+        matches!(self, OpKind::Add | OpKind::Mul)
+    }
+
+    /// A short printable symbol (`+`, `-`, `neg`, `*`, `<<`).
+    pub fn symbol(self) -> &'static str {
+        match self {
+            OpKind::Add => "+",
+            OpKind::Sub => "-",
+            OpKind::Neg => "neg",
+            OpKind::Mul => "*",
+            OpKind::Shl(_) => "<<",
+        }
+    }
+
+    /// The paper's operator alphabet, in a fixed order (useful for sweeps
+    /// and random generation; shifts are parameterized and enumerated
+    /// separately).
+    pub const ALL: [OpKind; 4] = [OpKind::Add, OpKind::Sub, OpKind::Neg, OpKind::Mul];
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpKind::Shl(k) => write!(f, "<<{k}"),
+            _ => f.write_str(self.symbol()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_matches_symbol_semantics() {
+        assert_eq!(OpKind::Add.arity(), 2);
+        assert_eq!(OpKind::Sub.arity(), 2);
+        assert_eq!(OpKind::Mul.arity(), 2);
+        assert_eq!(OpKind::Neg.arity(), 1);
+        assert_eq!(OpKind::Shl(7).arity(), 1);
+    }
+
+    #[test]
+    fn shl_display_includes_amount() {
+        assert_eq!(OpKind::Shl(3).to_string(), "<<3");
+        assert!(OpKind::Shl(3).is_additive());
+    }
+
+    #[test]
+    fn additive_excludes_only_mul() {
+        for op in OpKind::ALL {
+            assert_eq!(op.is_additive(), op != OpKind::Mul);
+        }
+    }
+
+    #[test]
+    fn commutativity() {
+        assert!(OpKind::Add.is_commutative());
+        assert!(OpKind::Mul.is_commutative());
+        assert!(!OpKind::Sub.is_commutative());
+        assert!(!OpKind::Neg.is_commutative());
+    }
+
+    #[test]
+    fn display_uses_symbol() {
+        assert_eq!(OpKind::Neg.to_string(), "neg");
+        assert_eq!(OpKind::Add.to_string(), "+");
+    }
+}

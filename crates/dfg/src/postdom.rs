@@ -1,0 +1,241 @@
+//! Post-dominator computation.
+//!
+//! The clustering algorithm's Synthesizability Condition 2 needs to know,
+//! for a multi-fanout node `N`, whether *every* directed path from `N`
+//! reconverges at a single node `N'` before leaving a candidate region —
+//! i.e. whether `N` has an immediate post-dominator inside the region. This
+//! module computes immediate post-dominators over the whole graph or over
+//! an induced subset of nodes, with a virtual sink absorbing every edge
+//! that leaves the subset.
+
+use crate::{Dfg, NodeId};
+
+const VIRTUAL: u32 = u32::MAX;
+
+/// Immediate post-dominators of (a subset of) a DFG.
+///
+/// Produced by [`Dfg::post_dominators`] and
+/// [`Dfg::post_dominators_within`]. The *virtual sink* — the merge point of
+/// all paths leaving the node set — is represented by `None`.
+#[derive(Debug, Clone)]
+pub struct PostDominators {
+    /// ipdom per node index; `VIRTUAL` for the virtual sink, only
+    /// meaningful for in-set nodes.
+    ipdom: Vec<u32>,
+    in_set: Vec<bool>,
+}
+
+impl PostDominators {
+    /// The immediate post-dominator of `n`, or `None` if it is the virtual
+    /// sink (all of `n`'s paths leave the node set without reconverging
+    /// inside it) or `n` is outside the computed set.
+    pub fn ipdom(&self, n: NodeId) -> Option<NodeId> {
+        if !self.in_set[n.index()] {
+            return None;
+        }
+        match self.ipdom[n.index()] {
+            VIRTUAL => None,
+            x => Some(NodeId(x)),
+        }
+    }
+
+    /// Returns `true` if `a` post-dominates `b` within the computed set
+    /// (every path from `b` out of the set passes through `a`). A node
+    /// post-dominates itself.
+    pub fn post_dominates(&self, a: NodeId, b: NodeId) -> bool {
+        if !self.in_set[a.index()] || !self.in_set[b.index()] {
+            return false;
+        }
+        let mut cur = b.0;
+        loop {
+            if cur == a.0 {
+                return true;
+            }
+            match self.ipdom[cur as usize] {
+                VIRTUAL => return false,
+                next => cur = next,
+            }
+        }
+    }
+}
+
+impl Dfg {
+    /// Immediate post-dominators over the whole graph. Every node with no
+    /// out-edges flows to the virtual sink.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is cyclic.
+    pub fn post_dominators(&self) -> PostDominators {
+        self.post_dominators_within(|_| true)
+    }
+
+    /// Immediate post-dominators over the induced subgraph of nodes for
+    /// which `in_set` returns `true`. Edges leaving the set (and nodes with
+    /// no out-edges) lead to the virtual sink.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is cyclic.
+    pub fn post_dominators_within(&self, in_set: impl Fn(NodeId) -> bool) -> PostDominators {
+        self.post_dominators_filtered(in_set, |_| true)
+    }
+
+    /// Immediate post-dominators over the subgraph of nodes passing
+    /// `in_set`, following only edges passing `edge_ok`. Filtered-out edges
+    /// lead to the virtual sink, exactly like edges leaving the node set.
+    /// The clustering algorithm uses this to treat the out-edges of break
+    /// nodes as cuts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is cyclic.
+    pub fn post_dominators_filtered(
+        &self,
+        in_set: impl Fn(NodeId) -> bool,
+        edge_ok: impl Fn(crate::EdgeId) -> bool,
+    ) -> PostDominators {
+        let order = self.reverse_topo_order().expect("post-dominators require an acyclic graph");
+        let in_set: Vec<bool> = self.node_ids().map(in_set).collect();
+        let mut rank = vec![0u32; self.num_nodes()];
+        let mut next_rank = 1u32;
+        let mut ipdom = vec![VIRTUAL; self.num_nodes()];
+        let mut computed = vec![false; self.num_nodes()];
+
+        let intersect = |ipdom: &Vec<u32>, rank: &Vec<u32>, mut a: u32, mut b: u32| -> u32 {
+            // Walk the two chains upward (toward smaller rank) until they meet.
+            let rk = |x: u32| if x == VIRTUAL { 0 } else { rank[x as usize] };
+            while a != b {
+                while rk(a) > rk(b) {
+                    a = if a == VIRTUAL { VIRTUAL } else { ipdom[a as usize] };
+                }
+                while rk(b) > rk(a) && a != b {
+                    b = if b == VIRTUAL { VIRTUAL } else { ipdom[b as usize] };
+                }
+                if rk(a) == rk(b) && a != b {
+                    // Distinct nodes of equal rank can only both be virtual;
+                    // ranks are unique otherwise.
+                    a = if a == VIRTUAL { VIRTUAL } else { ipdom[a as usize] };
+                    b = if b == VIRTUAL { VIRTUAL } else { ipdom[b as usize] };
+                }
+            }
+            a
+        };
+
+        // Reverse topological order: all successors of a node are processed
+        // before the node itself, so one pass suffices on a DAG.
+        for n in order {
+            if !in_set[n.index()] {
+                continue;
+            }
+            rank[n.index()] = next_rank;
+            next_rank += 1;
+            let mut acc: Option<u32> = None;
+            for e in self.node(n).out_edges() {
+                let succ = self.edge(*e).dst();
+                let target = if edge_ok(*e) && in_set[succ.index()] && computed[succ.index()] {
+                    succ.0
+                } else {
+                    VIRTUAL
+                };
+                acc = Some(match acc {
+                    None => target,
+                    Some(prev) => intersect(&ipdom, &rank, prev, target),
+                });
+            }
+            ipdom[n.index()] = acc.unwrap_or(VIRTUAL);
+            computed[n.index()] = true;
+        }
+        let _ = rank; // only needed during construction
+        PostDominators { ipdom, in_set }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OpKind;
+    use dp_bitvec::Signedness::Unsigned;
+
+    /// Diamond: a -> (x, y) -> z -> out. `z` post-dominates `a`.
+    fn diamond() -> (Dfg, NodeId, NodeId, NodeId, NodeId) {
+        let mut g = Dfg::new();
+        let a = g.input("a", 4);
+        let b = g.input("b", 4);
+        let x = g.op(OpKind::Add, 5, &[(a, Unsigned), (b, Unsigned)]);
+        let y = g.op(OpKind::Sub, 5, &[(a, Unsigned), (b, Unsigned)]);
+        let z = g.op(OpKind::Add, 6, &[(x, Unsigned), (y, Unsigned)]);
+        g.output("o", 6, z, Unsigned);
+        (g, a, x, y, z)
+    }
+
+    #[test]
+    fn diamond_reconverges() {
+        let (g, a, x, y, z) = diamond();
+        let pd = g.post_dominators();
+        assert_eq!(pd.ipdom(a), Some(z));
+        assert_eq!(pd.ipdom(x), Some(z));
+        assert_eq!(pd.ipdom(y), Some(z));
+        assert!(pd.post_dominates(z, a));
+        assert!(pd.post_dominates(z, x));
+        assert!(!pd.post_dominates(x, a));
+        // Every node post-dominates itself.
+        assert!(pd.post_dominates(a, a));
+    }
+
+    #[test]
+    fn fanout_to_two_outputs_has_no_ipdom() {
+        let mut g = Dfg::new();
+        let a = g.input("a", 4);
+        let x = g.op(OpKind::Neg, 4, &[(a, Unsigned)]);
+        let y = g.op(OpKind::Neg, 4, &[(a, Unsigned)]);
+        g.output("o1", 4, x, Unsigned);
+        g.output("o2", 4, y, Unsigned);
+        let pd = g.post_dominators();
+        assert_eq!(pd.ipdom(a), None);
+        assert!(!pd.post_dominates(x, a));
+    }
+
+    #[test]
+    fn subset_redirects_to_virtual_sink() {
+        let (g, a, x, _y, z) = diamond();
+        // Exclude z from the set: a's fanout no longer reconverges inside.
+        let pd = g.post_dominators_within(|n| n != z);
+        assert_eq!(pd.ipdom(a), None);
+        assert_eq!(pd.ipdom(x), None);
+        // Queries about out-of-set nodes answer None / false.
+        assert_eq!(pd.ipdom(z), None);
+        assert!(!pd.post_dominates(z, a));
+    }
+
+    #[test]
+    fn chain_ipdoms_are_successors() {
+        let mut g = Dfg::new();
+        let a = g.input("a", 4);
+        let n1 = g.op(OpKind::Neg, 4, &[(a, Unsigned)]);
+        let n2 = g.op(OpKind::Neg, 4, &[(n1, Unsigned)]);
+        let o = g.output("o", 4, n2, Unsigned);
+        let pd = g.post_dominators();
+        assert_eq!(pd.ipdom(a), Some(n1));
+        assert_eq!(pd.ipdom(n1), Some(n2));
+        assert_eq!(pd.ipdom(n2), Some(o));
+        assert_eq!(pd.ipdom(o), None);
+        assert!(pd.post_dominates(o, a));
+    }
+
+    #[test]
+    fn partial_reconvergence() {
+        // a fans out to x and y; x feeds z and an extra output; y feeds z.
+        // z does NOT post-dominate a (path via o1 escapes).
+        let mut g = Dfg::new();
+        let a = g.input("a", 4);
+        let x = g.op(OpKind::Neg, 4, &[(a, Unsigned)]);
+        let y = g.op(OpKind::Neg, 4, &[(a, Unsigned)]);
+        let z = g.op(OpKind::Add, 5, &[(x, Unsigned), (y, Unsigned)]);
+        g.output("o1", 4, x, Unsigned);
+        g.output("o2", 5, z, Unsigned);
+        let pd = g.post_dominators();
+        assert_eq!(pd.ipdom(a), None);
+        assert!(!pd.post_dominates(z, a));
+    }
+}

@@ -1,0 +1,115 @@
+//! Topological orders over the DFG.
+
+use crate::{Dfg, NodeId};
+
+impl Dfg {
+    /// Nodes in a topological order (every edge goes from an earlier to a
+    /// later position). Returns `None` if the graph contains a cycle.
+    ///
+    /// The forward order drives the information-content sweep (inputs to
+    /// outputs); [`Dfg::reverse_topo_order`] drives the required-precision
+    /// sweep (outputs to inputs).
+    pub fn topo_order(&self) -> Option<Vec<NodeId>> {
+        let mut indegree: Vec<usize> =
+            self.node_ids().map(|n| self.node(n).in_edges().len()).collect();
+        let mut ready: Vec<NodeId> =
+            self.node_ids().filter(|&n| indegree[n.index()] == 0).collect();
+        // Stable processing: lowest id first keeps orders deterministic.
+        ready.sort();
+        ready.reverse();
+        let mut order = Vec::with_capacity(self.num_nodes());
+        while let Some(n) = ready.pop() {
+            order.push(n);
+            for m in self.successors(n) {
+                indegree[m.index()] -= 1;
+                if indegree[m.index()] == 0 {
+                    // Insert keeping the stack sorted descending by id.
+                    let pos = ready.iter().position(|&x| x < m).unwrap_or(ready.len());
+                    ready.insert(pos, m);
+                }
+            }
+        }
+        (order.len() == self.num_nodes()).then_some(order)
+    }
+
+    /// Nodes in reverse topological order (outputs first).
+    ///
+    /// Returns `None` if the graph contains a cycle.
+    pub fn reverse_topo_order(&self) -> Option<Vec<NodeId>> {
+        self.topo_order().map(|mut v| {
+            v.reverse();
+            v
+        })
+    }
+
+    /// Returns `true` if the graph is acyclic.
+    pub fn is_acyclic(&self) -> bool {
+        self.topo_order().is_some()
+    }
+
+    /// Length (in operator nodes) of the longest input-to-output path: the
+    /// structural depth used in reports and rebalancing diagnostics.
+    pub fn op_depth(&self) -> usize {
+        let Some(order) = self.topo_order() else { return 0 };
+        let mut depth = vec![0usize; self.num_nodes()];
+        let mut max = 0;
+        for n in order {
+            let here = depth[n.index()] + usize::from(self.node(n).kind().is_op());
+            max = max.max(here);
+            for m in self.successors(n) {
+                depth[m.index()] = depth[m.index()].max(here);
+            }
+        }
+        max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Dfg, OpKind};
+    use dp_bitvec::Signedness::Unsigned;
+
+    #[test]
+    fn topo_respects_edges() {
+        let mut g = Dfg::new();
+        let a = g.input("a", 4);
+        let b = g.input("b", 4);
+        let s1 = g.op(OpKind::Add, 5, &[(a, Unsigned), (b, Unsigned)]);
+        let s2 = g.op(OpKind::Add, 6, &[(s1, Unsigned), (a, Unsigned)]);
+        let _o = g.output("o", 6, s2, Unsigned);
+        let order = g.topo_order().unwrap();
+        let pos = |n| order.iter().position(|&x| x == n).unwrap();
+        for e in g.edge_ids() {
+            assert!(pos(g.edge(e).src()) < pos(g.edge(e).dst()));
+        }
+        assert!(g.is_acyclic());
+        assert_eq!(g.op_depth(), 2);
+    }
+
+    #[test]
+    fn reverse_topo_is_reversed() {
+        let mut g = Dfg::new();
+        let a = g.input("a", 4);
+        let o = g.output("o", 4, a, Unsigned);
+        assert_eq!(g.topo_order().unwrap(), vec![a, o]);
+        assert_eq!(g.reverse_topo_order().unwrap(), vec![o, a]);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut g = Dfg::new();
+        let a = g.input("a", 4);
+        let n = g.op(OpKind::Add, 4, &[(a, Unsigned), (a, Unsigned)]);
+        // Manually create a back edge to form a cycle.
+        g.connect(n, n, 1, 4, Unsigned);
+        assert!(!g.is_acyclic());
+        assert!(g.reverse_topo_order().is_none());
+    }
+
+    #[test]
+    fn empty_graph_is_acyclic() {
+        let g = Dfg::new();
+        assert!(g.is_acyclic());
+        assert_eq!(g.op_depth(), 0);
+    }
+}

@@ -1,0 +1,214 @@
+//! Structural validation of a [`Dfg`].
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{Dfg, NodeId, NodeKind};
+
+/// A structural defect found by [`Dfg::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// The graph contains a directed cycle.
+    Cyclic,
+    /// A node has the wrong number of incoming edges for its kind.
+    BadInDegree {
+        /// The offending node.
+        node: NodeId,
+        /// How many operands the node kind requires.
+        expected: usize,
+        /// How many incoming edges were found.
+        found: usize,
+    },
+    /// Two incoming edges target the same port.
+    DuplicatePort {
+        /// The offending node.
+        node: NodeId,
+        /// The doubly-driven port.
+        port: usize,
+    },
+    /// An incoming edge targets a port beyond the node's arity.
+    PortOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// The out-of-range port.
+        port: usize,
+    },
+    /// An output node has outgoing edges.
+    OutputHasFanout {
+        /// The offending output node.
+        node: NodeId,
+    },
+    /// A constant node's width differs from its value's width.
+    ConstWidthMismatch {
+        /// The offending constant node.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::Cyclic => f.write_str("graph contains a cycle"),
+            ValidateError::BadInDegree { node, expected, found } => {
+                write!(f, "node {node} expects {expected} operand(s), found {found}")
+            }
+            ValidateError::DuplicatePort { node, port } => {
+                write!(f, "node {node} port {port} is driven more than once")
+            }
+            ValidateError::PortOutOfRange { node, port } => {
+                write!(f, "node {node} has an edge on out-of-range port {port}")
+            }
+            ValidateError::OutputHasFanout { node } => {
+                write!(f, "output node {node} has outgoing edges")
+            }
+            ValidateError::ConstWidthMismatch { node } => {
+                write!(f, "constant node {node} width differs from its value width")
+            }
+        }
+    }
+}
+
+impl Error for ValidateError {}
+
+impl Dfg {
+    /// Checks the structural invariants of the paper's DFG model: acyclic,
+    /// correct operand counts per node kind, each port driven exactly once,
+    /// outputs have no fanout.
+    ///
+    /// Connectivity is *not* required here (analysis routinely works on
+    /// subgraphs); use [`Dfg::is_connected`] where the paper's
+    /// connectedness assumption matters.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first defect found in node-id order.
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        if !self.is_acyclic() {
+            return Err(ValidateError::Cyclic);
+        }
+        for n in self.node_ids() {
+            let node = self.node(n);
+            let expected = match node.kind() {
+                NodeKind::Input | NodeKind::Const(_) => 0,
+                NodeKind::Output | NodeKind::Extension(_) => 1,
+                NodeKind::Op(op) => op.arity(),
+            };
+            let found = node.in_edges().len();
+            if found != expected {
+                return Err(ValidateError::BadInDegree { node: n, expected, found });
+            }
+            let mut seen_ports = Vec::new();
+            for &e in node.in_edges() {
+                let port = self.edge(e).dst_port();
+                if port >= expected {
+                    return Err(ValidateError::PortOutOfRange { node: n, port });
+                }
+                if seen_ports.contains(&port) {
+                    return Err(ValidateError::DuplicatePort { node: n, port });
+                }
+                seen_ports.push(port);
+            }
+            if matches!(node.kind(), NodeKind::Output) && !node.out_edges().is_empty() {
+                return Err(ValidateError::OutputHasFanout { node: n });
+            }
+            if let NodeKind::Const(v) = node.kind() {
+                if v.width() != node.width() {
+                    return Err(ValidateError::ConstWidthMismatch { node: n });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OpKind;
+    use dp_bitvec::Signedness::Unsigned;
+
+    #[test]
+    fn valid_graph_passes() {
+        let mut g = Dfg::new();
+        let a = g.input("a", 4);
+        let b = g.input("b", 4);
+        let n = g.op(OpKind::Mul, 8, &[(a, Unsigned), (b, Unsigned)]);
+        g.output("o", 8, n, Unsigned);
+        assert_eq!(g.validate(), Ok(()));
+    }
+
+    #[test]
+    fn missing_operand_detected() {
+        let mut g = Dfg::new();
+        let a = g.input("a", 4);
+        let n = g.op(OpKind::Add, 5, &[(a, Unsigned), (a, Unsigned)]);
+        let o = g.output("o", 5, n, Unsigned);
+        // Give the output a second driver: in-degree check fires first.
+        g.connect(a, o, 0, 4, Unsigned);
+        assert!(matches!(
+            g.validate(),
+            Err(ValidateError::BadInDegree { expected: 1, found: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_port_detected() {
+        // A binary op with two drivers both on port 0: the in-degree (2)
+        // matches the arity, but port 0 is driven twice.
+        let mut g = Dfg::new();
+        let a = g.input("a", 4);
+        let b = g.input("b", 4);
+        let n = g.op_unconnected(OpKind::Add, 5);
+        g.connect(a, n, 0, 4, Unsigned);
+        g.connect(b, n, 0, 4, Unsigned);
+        g.output("o", 5, n, Unsigned);
+        assert!(matches!(g.validate(), Err(ValidateError::DuplicatePort { port: 0, .. })));
+    }
+
+    #[test]
+    fn input_with_driver_detected() {
+        let mut g = Dfg::new();
+        let a = g.input("a", 4);
+        let b = g.input("b", 4);
+        g.connect(a, b, 0, 4, Unsigned);
+        // b now has an in-edge but inputs take none.
+        assert!(matches!(
+            g.validate(),
+            Err(ValidateError::BadInDegree { expected: 0, found: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn output_fanout_detected() {
+        let mut g = Dfg::new();
+        let a = g.input("a", 4);
+        let o = g.output("o", 4, a, Unsigned);
+        let p = g.output("p", 4, a, Unsigned);
+        g.connect(o, p, 0, 4, Unsigned);
+        let err = g.validate().unwrap_err();
+        assert!(
+            matches!(err, ValidateError::OutputHasFanout { .. })
+                || matches!(err, ValidateError::BadInDegree { .. })
+        );
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn port_out_of_range_detected() {
+        let mut g = Dfg::new();
+        let a = g.input("a", 4);
+        let n = g.op(OpKind::Neg, 5, &[(a, Unsigned)]);
+        g.output("o", 5, n, Unsigned);
+        g.connect(a, n, 1, 4, Unsigned); // Neg has a single port 0.
+        assert!(matches!(g.validate(), Err(ValidateError::BadInDegree { .. })));
+    }
+
+    #[test]
+    fn cycle_reported_first() {
+        let mut g = Dfg::new();
+        let a = g.input("a", 4);
+        let n = g.op(OpKind::Add, 4, &[(a, Unsigned), (a, Unsigned)]);
+        g.connect(n, n, 0, 4, Unsigned);
+        assert_eq!(g.validate(), Err(ValidateError::Cyclic));
+    }
+}

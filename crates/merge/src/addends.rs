@@ -1,0 +1,455 @@
+//! Sum-of-addends normal form of a cluster (Section 3).
+//!
+//! A cluster's output is, by construction, expressible as a sum of addends
+//! *derived from the cluster's input signals* (truncations/extensions/2's
+//! complements of inputs, and partial products of pairs of inputs). This
+//! module linearizes a cluster into that form, which both the CSA-tree
+//! synthesizer and the Huffman rebalancing step (Observations 5.8/5.9)
+//! consume.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use dp_analysis::{InfoAnalysis, Term};
+use dp_bitvec::{BitVec, Signedness};
+use dp_dfg::{Dfg, EdgeId, Evaluation, NodeId, NodeKind, OpKind};
+
+use crate::Cluster;
+
+/// A reference to a cluster-input signal: the `bits` least significant
+/// bits of `source`'s result pattern, to be widened with `signedness`
+/// wherever more bits are needed.
+///
+/// Information-content soundness guarantees the operand actually delivered
+/// into the cluster equals this extension (see `DESIGN.md`), so `bits` and
+/// `signedness` fully describe the addend regardless of the resize chain
+/// the signal travelled through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SignalRef {
+    /// The external node producing the signal.
+    pub source: NodeId,
+    /// The boundary edge the signal arrives on.
+    pub edge: EdgeId,
+    /// How many low bits of the source pattern carry the information
+    /// (may be 0 for a constant-zero signal).
+    pub bits: usize,
+    /// The discipline reconstructing wider views of the signal.
+    pub signedness: Signedness,
+}
+
+/// What an addend is made of.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AddendKind {
+    /// A (resized) cluster input signal.
+    Signal(SignalRef),
+    /// The product of two cluster input signals (a multiplier member's
+    /// partial products, kept symbolic).
+    Product(SignalRef, SignalRef),
+}
+
+/// One addend of the cluster's sum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Addend {
+    /// Whether the addend enters the sum negated (two's complement).
+    pub negated: bool,
+    /// Power-of-two weight from left-shift operators on the path: the
+    /// addend contributes `± value · 2^shift`.
+    pub shift: usize,
+    /// The addend's payload.
+    pub kind: AddendKind,
+}
+
+/// A cluster expressed as `Σ ±addend`, evaluated modulo `2^width`.
+#[derive(Debug, Clone)]
+pub struct SumOfAddends {
+    /// The addends, in linearization order.
+    pub addends: Vec<Addend>,
+    /// The cluster output node this sum replaces.
+    pub output: NodeId,
+    /// Width of the output node (the modulus of the sum).
+    pub width: usize,
+}
+
+/// Why a cluster could not be linearized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinearizeError {
+    /// A multiplier member has another member as an operand
+    /// (Synthesizability Condition 1 was not enforced).
+    MulOperandInside {
+        /// The offending multiplier node.
+        mul: NodeId,
+    },
+    /// A member that is not an operator or extension node was encountered.
+    NotMergeable {
+        /// The offending node.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for LinearizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinearizeError::MulOperandInside { mul } => {
+                write!(f, "multiplier {mul} has a cluster member as operand")
+            }
+            LinearizeError::NotMergeable { node } => {
+                write!(f, "node {node} cannot be a cluster member")
+            }
+        }
+    }
+}
+
+impl Error for LinearizeError {}
+
+/// Linearizes a cluster into its sum-of-addends normal form, using the
+/// given information-content analysis to characterize the boundary
+/// signals.
+///
+/// # Errors
+///
+/// Returns [`LinearizeError`] if the cluster violates the synthesizability
+/// structure (only possible for hand-built clusters).
+pub fn linearize_cluster(
+    g: &Dfg,
+    cluster: &Cluster,
+    ic: &InfoAnalysis,
+) -> Result<SumOfAddends, LinearizeError> {
+    linearize_member(g, cluster, ic, cluster.output)
+}
+
+/// Linearizes the sub-expression rooted at one cluster member: the sum of
+/// the addends feeding `member` through the cluster. Used by the Huffman
+/// refinement loop, which tightens the information bound of *every*
+/// member, not just the cluster output — interior nodes of a skewed chain
+/// carry the same loose first-pass bounds.
+///
+/// # Errors
+///
+/// Returns [`LinearizeError`] if the cluster violates the synthesizability
+/// structure.
+pub fn linearize_member(
+    g: &Dfg,
+    cluster: &Cluster,
+    ic: &InfoAnalysis,
+    member: dp_dfg::NodeId,
+) -> Result<SumOfAddends, LinearizeError> {
+    let mut addends = Vec::new();
+    walk(g, cluster, ic, member, false, 0, &mut addends)?;
+    Ok(SumOfAddends { addends, output: member, width: g.node(member).width() })
+}
+
+fn signal_ref(g: &Dfg, ic: &InfoAnalysis, e: EdgeId) -> SignalRef {
+    let claim = ic.operand(e);
+    SignalRef {
+        source: g.edge(e).src(),
+        edge: e,
+        bits: claim.i,
+        signedness: claim.t,
+    }
+}
+
+fn walk(
+    g: &Dfg,
+    cluster: &Cluster,
+    ic: &InfoAnalysis,
+    node: NodeId,
+    negate: bool,
+    shift: usize,
+    out: &mut Vec<Addend>,
+) -> Result<(), LinearizeError> {
+    // An operand position: either recurse into a member or materialize a
+    // boundary addend. Shifts distribute over sums, so the accumulated
+    // shift simply rides along.
+    let operand = |port: usize,
+                   negate: bool,
+                   shift: usize,
+                   out: &mut Vec<Addend>|
+     -> Result<(), LinearizeError> {
+        let e = g.in_edge_on_port(node, port).expect("validated member has operands");
+        let src = g.edge(e).src();
+        if cluster.contains(src) {
+            walk(g, cluster, ic, src, negate, shift, out)
+        } else {
+            out.push(Addend {
+                negated: negate,
+                shift,
+                kind: AddendKind::Signal(signal_ref(g, ic, e)),
+            });
+            Ok(())
+        }
+    };
+    match g.node(node).kind() {
+        NodeKind::Op(OpKind::Add) => {
+            operand(0, negate, shift, out)?;
+            operand(1, negate, shift, out)
+        }
+        NodeKind::Op(OpKind::Sub) => {
+            operand(0, negate, shift, out)?;
+            operand(1, !negate, shift, out)
+        }
+        NodeKind::Op(OpKind::Neg) => operand(0, !negate, shift, out),
+        NodeKind::Op(OpKind::Shl(k)) => operand(0, negate, shift + *k as usize, out),
+        NodeKind::Op(OpKind::Mul) => {
+            let mut refs = Vec::with_capacity(2);
+            for port in 0..2 {
+                let e = g.in_edge_on_port(node, port).expect("validated multiplier");
+                if cluster.contains(g.edge(e).src()) {
+                    return Err(LinearizeError::MulOperandInside { mul: node });
+                }
+                refs.push(signal_ref(g, ic, e));
+            }
+            out.push(Addend {
+                negated: negate,
+                shift,
+                kind: AddendKind::Product(refs[0], refs[1]),
+            });
+            Ok(())
+        }
+        // Extension members are value-transparent inside a cluster (the
+        // break analysis only admits information-preserving ones, and any
+        // truncation they perform is at or above the observable width).
+        NodeKind::Extension(_) => operand(0, negate, shift, out),
+        _ => Err(LinearizeError::NotMergeable { node }),
+    }
+}
+
+impl SumOfAddends {
+    /// The Huffman terms of this sum (Observation 5.9): identical addends
+    /// group into one term with a count, each term carrying the
+    /// information content of one addend copy.
+    pub fn huffman_terms(&self) -> Vec<Term> {
+        // Group by mathematical identity: the edge a signal arrived on is
+        // irrelevant — `a + a + a` is one term with count 3 even though the
+        // three copies arrive on three edges.
+        type SigKey = (NodeId, usize, Signedness);
+        type Key = (bool, usize, SigKey, Option<SigKey>);
+        let sig_key = |s: SignalRef| -> SigKey { (s.source, s.bits, effective_t(s)) };
+        let key_of = |a: &Addend| -> Key {
+            match a.kind {
+                AddendKind::Signal(s) => (a.negated, a.shift, sig_key(s), None),
+                AddendKind::Product(s, t) => {
+                    let (x, y) = (sig_key(s), sig_key(t));
+                    // Products are commutative: canonicalize operand order.
+                    if x <= y {
+                        (a.negated, a.shift, x, Some(y))
+                    } else {
+                        (a.negated, a.shift, y, Some(x))
+                    }
+                }
+            }
+        };
+        let mut groups: HashMap<Key, (Addend, u64)> = HashMap::new();
+        for a in &self.addends {
+            groups.entry(key_of(a)).or_insert((*a, 0)).1 += 1;
+        }
+        let mut entries: Vec<(Key, (Addend, u64))> = groups.into_iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        entries
+            .into_iter()
+            .map(|(_, (a, count))| {
+                let base = match a.kind {
+                    AddendKind::Signal(s) => {
+                        dp_analysis::Ic::new(s.bits, effective_t(s))
+                    }
+                    AddendKind::Product(s, t) => {
+                        if s.bits == 0 || t.bits == 0 {
+                            dp_analysis::Ic::new(0, Signedness::Unsigned)
+                        } else {
+                            dp_analysis::Ic::new(s.bits + t.bits, effective_t(s) | effective_t(t))
+                        }
+                    }
+                };
+                let mut ic = if a.negated && base.i > 0 {
+                    dp_analysis::Ic::new(base.i + 1, Signedness::Signed)
+                } else {
+                    base
+                };
+                if ic.i > 0 {
+                    ic = dp_analysis::Ic::new(ic.i + a.shift, ic.t);
+                }
+                Term::new(count, ic)
+            })
+            .collect()
+    }
+
+    /// Evaluates the sum on concrete signal values (from a full DFG
+    /// evaluation of the same graph), returning the output pattern modulo
+    /// `2^width`.
+    ///
+    /// The result matches the evaluator's pattern at the cluster output on
+    /// all *observable* bits (bits within the output's required precision);
+    /// bits above an internal information-loss boundary may differ, which
+    /// is exactly why they are proven superfluous before merging.
+    pub fn evaluate(&self, eval: &Evaluation) -> BitVec {
+        let w = self.width;
+        let mut acc = BitVec::zero(w);
+        for a in &self.addends {
+            let v = match a.kind {
+                AddendKind::Signal(s) => signal_value(eval, s, w),
+                AddendKind::Product(s, t) => {
+                    let full = s.bits.max(1) + t.bits.max(1);
+                    let sv = signal_value(eval, s, full);
+                    let tv = signal_value(eval, t, full);
+                    sv.wrapping_mul(&tv).resize(effective_t(s) | effective_t(t), w)
+                }
+            };
+            let v = v.shl(a.shift.min(w));
+            acc = if a.negated { acc.wrapping_sub(&v) } else { acc.wrapping_add(&v) };
+        }
+        acc
+    }
+}
+
+/// The discipline used when widening a signal reference; a zero-width
+/// (constant zero) reference widens unsigned.
+fn effective_t(s: SignalRef) -> Signedness {
+    if s.bits == 0 {
+        Signedness::Unsigned
+    } else {
+        s.signedness
+    }
+}
+
+fn signal_value(eval: &Evaluation, s: SignalRef, width: usize) -> BitVec {
+    if s.bits == 0 {
+        return BitVec::zero(width);
+    }
+    let pattern = eval.result(s.source);
+    let low = pattern.trunc(s.bits.min(pattern.width()));
+    low.resize(s.signedness, width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{cluster_max, cluster_none};
+    use dp_analysis::info_content;
+    use dp_bitvec::Signedness::*;
+    use dp_dfg::gen::{random_dfg, random_inputs, GenConfig};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn simple_sum_linearizes() {
+        let mut g = Dfg::new();
+        let a = g.input("a", 4);
+        let b = g.input("b", 4);
+        let c = g.input("c", 4);
+        let s1 = g.op(OpKind::Add, 5, &[(a, Unsigned), (b, Unsigned)]);
+        let s2 = g.op(OpKind::Sub, 6, &[(s1, Unsigned), (c, Unsigned)]);
+        g.output("o", 6, s2, Unsigned);
+        let mut g2 = g.clone();
+        let (clustering, _) = cluster_max(&mut g2);
+        assert_eq!(clustering.len(), 1);
+        let ic = info_content(&g2);
+        let saf = linearize_cluster(&g2, &clustering.clusters[0], &ic).unwrap();
+        assert_eq!(saf.addends.len(), 3);
+        assert_eq!(saf.addends.iter().filter(|a| a.negated).count(), 1);
+    }
+
+    #[test]
+    fn negation_distributes() {
+        // o = -(a - b) = -a + b: two addends, first negated.
+        let mut g = Dfg::new();
+        let a = g.input("a", 4);
+        let b = g.input("b", 4);
+        let d = g.op(OpKind::Sub, 5, &[(a, Signed), (b, Signed)]);
+        let n = g.op(OpKind::Neg, 6, &[(d, Signed)]);
+        g.output("o", 6, n, Signed);
+        let mut g2 = g.clone();
+        let (clustering, _) = cluster_max(&mut g2);
+        assert_eq!(clustering.len(), 1);
+        let ic = info_content(&g2);
+        let saf = linearize_cluster(&g2, &clustering.clusters[0], &ic).unwrap();
+        let negs: Vec<bool> = saf.addends.iter().map(|x| x.negated).collect();
+        assert_eq!(negs, vec![true, false]);
+    }
+
+    #[test]
+    fn products_stay_symbolic() {
+        let mut g = Dfg::new();
+        let a = g.input("a", 4);
+        let b = g.input("b", 4);
+        let c = g.input("c", 4);
+        let d = g.input("d", 4);
+        let m1 = g.op(OpKind::Mul, 8, &[(a, Unsigned), (b, Unsigned)]);
+        let m2 = g.op(OpKind::Mul, 8, &[(c, Unsigned), (d, Unsigned)]);
+        let s = g.op(OpKind::Add, 9, &[(m1, Unsigned), (m2, Unsigned)]);
+        g.output("o", 9, s, Unsigned);
+        let mut g2 = g.clone();
+        let (clustering, _) = cluster_max(&mut g2);
+        // a*b + c*d merges into a single cluster (the paper's flagship
+        // example: one carry-propagate adder total).
+        assert_eq!(clustering.len(), 1);
+        let ic = info_content(&g2);
+        let saf = linearize_cluster(&g2, &clustering.clusters[0], &ic).unwrap();
+        assert_eq!(saf.addends.len(), 2);
+        assert!(saf
+            .addends
+            .iter()
+            .all(|x| matches!(x.kind, AddendKind::Product(_, _))));
+    }
+
+    #[test]
+    fn huffman_terms_group_duplicates() {
+        // o = a + a + a: one term with count 3.
+        let mut g = Dfg::new();
+        let a = g.input("a", 4);
+        let s1 = g.op(OpKind::Add, 5, &[(a, Unsigned), (a, Unsigned)]);
+        let s2 = g.op(OpKind::Add, 6, &[(s1, Unsigned), (a, Unsigned)]);
+        g.output("o", 6, s2, Unsigned);
+        let clustering = {
+            let ic = info_content(&g);
+            let breaks = crate::find_breaks_new(&g, &ic);
+            crate::cluster::extract_clusters(&g, &breaks)
+        };
+        assert_eq!(clustering.len(), 1);
+        let ic = info_content(&g);
+        let saf = linearize_cluster(&g, &clustering.clusters[0], &ic).unwrap();
+        assert_eq!(saf.addends.len(), 3);
+        let terms = saf.huffman_terms();
+        assert_eq!(terms.len(), 1);
+        assert_eq!(terms[0].count, 3);
+    }
+
+    #[test]
+    fn saf_evaluation_matches_dfg_on_observable_bits() {
+        use dp_analysis::required_precision;
+        let mut rng = StdRng::seed_from_u64(0x5AF);
+        for case in 0..40 {
+            let mut g = random_dfg(&mut rng, &GenConfig::default());
+            let (clustering, _) = cluster_max(&mut g);
+            clustering.validate(&g).unwrap();
+            let ic = info_content(&g);
+            let rp = required_precision(&g);
+            for c in &clustering.clusters {
+                let saf = linearize_cluster(&g, c, &ic).unwrap();
+                for _ in 0..10 {
+                    let inputs = random_inputs(&g, &mut rng);
+                    let eval = g.evaluate_full(&inputs).unwrap();
+                    let got = saf.evaluate(&eval);
+                    let expected = eval.result(c.output);
+                    let observable = rp.output_port(c.output).min(saf.width).max(1);
+                    assert_eq!(
+                        got.trunc(observable),
+                        expected.trunc(observable),
+                        "case {case}, cluster output {}",
+                        c.output
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn none_clustering_also_linearizes() {
+        let mut rng = StdRng::seed_from_u64(0x10);
+        let g = random_dfg(&mut rng, &GenConfig::default());
+        let clustering = cluster_none(&g);
+        let ic = info_content(&g);
+        for c in &clustering.clusters {
+            // Single-op clusters always linearize (mul operands are outside).
+            linearize_cluster(&g, c, &ic).unwrap();
+        }
+    }
+}

@@ -1,0 +1,502 @@
+//! Break-node identification (the four conditions of Section 6).
+
+use dp_analysis::{required_precision, InfoAnalysis};
+use dp_dfg::{Dfg, NodeId, NodeKind, OpKind};
+
+/// Returns `true` for nodes that can be members of a cluster: operator
+/// nodes and extension nodes (an extension node is pure wiring inside a
+/// carry-save reduction tree).
+pub fn is_mergeable(g: &Dfg, n: NodeId) -> bool {
+    matches!(g.node(n).kind(), NodeKind::Op(_) | NodeKind::Extension(_))
+}
+
+/// The *exact information width* a node produces before its own width
+/// truncates it: Lemma 5.4's intrinsic bound for operators (possibly
+/// Huffman-refined through `ic`), and the incoming-signal bound for
+/// extension nodes (which create no information of their own).
+fn exact_info_width(g: &Dfg, ic: &InfoAnalysis, n: NodeId) -> usize {
+    match g.node(n).kind() {
+        NodeKind::Op(_) => ic.intrinsic(n).expect("operator has an intrinsic bound").i,
+        NodeKind::Extension(_) => {
+            let e = g.node(n).in_edges()[0];
+            ic.edge_signal(e).i
+        }
+        _ => g.node(n).width(),
+    }
+}
+
+/// The *trust boundary* of every node: the largest `d` such that the
+/// node's circuit pattern agrees with a full re-derivation of its value
+/// from primary signals modulo `2^d` (`usize::MAX` when they agree
+/// exactly).
+///
+/// Truncating real information at a node (`i_int > w`) caps its trust at
+/// `w`; truncating an operand edge below the available information caps it
+/// at `w(e)`; and — crucially — damage is **transitive**: a consumer of a
+/// damaged signal inherits its boundary (a left shift moves it up), even
+/// if the consumer itself truncates nothing. The paper's Safety Condition
+/// 2 only looks one edge deep; without the transitive closure, a damaged
+/// value laundered through a width-matched intermediate node could be
+/// re-extended downstream and break the sum-of-addends equivalence.
+fn node_trust(
+    g: &Dfg,
+    n: NodeId,
+    trust: &[usize],
+    breaks: &[bool],
+    avail_of: &impl Fn(NodeId) -> usize,
+    own_full: usize,
+) -> usize {
+    let node = g.node(n);
+    let mut t = usize::MAX;
+    for &e in node.in_edges() {
+        let edge = g.edge(e);
+        let src = edge.src();
+        // Damage only carries across *internal* (would-be same cluster)
+        // edges: a break node or primary signal arrives as a boundary
+        // addend — the sum-of-addends form uses its pattern directly, so
+        // there is nothing to diverge from.
+        if !is_mergeable(g, src) || breaks[src.index()] {
+            continue;
+        }
+        let mut ot = trust[src.index()];
+        let src_avail = avail_of(src).min(ot);
+        if src_avail > edge.width() {
+            ot = ot.min(edge.width());
+        }
+        t = t.min(ot);
+    }
+    if let NodeKind::Op(OpKind::Shl(k)) = node.kind() {
+        t = t.saturating_add(*k as usize);
+    }
+    if own_full > node.width() {
+        t = t.min(node.width());
+    }
+    t
+}
+
+/// Break-node detection for the **new** algorithm (Safety Conditions 1–2
+/// and Synthesizability Conditions 1–2 of Section 6), given the
+/// information-content analysis of the (already width-optimized) graph.
+///
+/// The safety test is implemented per *edge* as a damage-boundary check
+/// subsuming both printed safety conditions (see `DESIGN.md` for the
+/// erratum discussion): node `N` breaks if real information was truncated
+/// anywhere upstream — at `w(N)` when the intrinsic width exceeds it, at
+/// `w(e)` when an out-edge truncates below the available information, or
+/// transitively via a damaged operand ([`trust_boundaries`]) — and some
+/// consumer *requires* bits beyond that boundary (required precision at
+/// the destination port exceeds it).
+///
+/// Returns one flag per node; non-mergeable nodes are never break nodes.
+pub fn find_breaks_new(g: &Dfg, ic: &InfoAnalysis) -> Vec<bool> {
+    let rp = required_precision(g);
+    let mut breaks = vec![false; g.num_nodes()];
+    let mut trust = vec![usize::MAX; g.num_nodes()];
+    // One topological pass: a node's trust depends only on upstream trust
+    // and upstream break decisions (a break resets the damage its
+    // consumers inherit — they switch to boundary addends), and its break
+    // decision depends only on its own trust. Interleaving the two keeps
+    // everything consistent without fixpoint iteration.
+    for n in g.topo_order().expect("acyclic graph") {
+        if !is_mergeable(g, n) {
+            continue;
+        }
+        let w_n = g.node(n).width();
+        let i_exact = exact_info_width(g, ic, n);
+        let t_n = node_trust(g, n, &trust, &breaks, &|m| ic.output(m).i, i_exact);
+        trust[n.index()] = t_n;
+        let avail = i_exact.min(w_n).min(t_n);
+        for &e in g.node(n).out_edges() {
+            let edge = g.edge(e);
+            let dst = edge.dst();
+            if !is_mergeable(g, dst) {
+                continue; // boundary to an output: no merge anyway
+            }
+            // Synthesizability Condition 1: nothing merges into a
+            // multiplier operand.
+            if g.node(dst).kind().op() == Some(OpKind::Mul) {
+                breaks[n.index()] = true;
+                break;
+            }
+            // Safety: damage boundary along this edge (the node's own
+            // trust boundary, possibly tightened by edge truncation).
+            let mut damage = t_n;
+            if i_exact > w_n {
+                damage = damage.min(w_n);
+            }
+            if avail > edge.width() {
+                damage = damage.min(edge.width());
+            }
+            if rp.input_port(dst) > damage {
+                breaks[n.index()] = true;
+                break;
+            }
+            // Safety: a value-changing resize (extension whose discipline
+            // contradicts the value's own signedness) breaks the
+            // sum-of-addends reading even when no information is lost.
+            if i_exact <= w_n && value_misread(g, ic, n, e) {
+                breaks[n.index()] = true;
+                break;
+            }
+        }
+    }
+    enforce_unique_outputs(g, &mut breaks);
+    breaks
+}
+
+/// Checks whether the resize chain along `e` (source width → edge width →
+/// destination width) *reinterprets* the source's value: an extension step
+/// whose discipline contradicts the value's own signedness fabricates
+/// upper bits that differ from the mathematical value, making the operand
+/// unequal to the sub-sum the cluster would compute for it.
+///
+/// Only meaningful when the source carries its full information
+/// (`i_exact <= w(N)`); damaged sources are handled by the
+/// damage-boundary test.
+fn value_misread(g: &Dfg, ic: &InfoAnalysis, n: NodeId, e: dp_dfg::EdgeId) -> bool {
+    let edge = g.edge(e);
+    let dst = edge.dst();
+    // The value's own discipline and width: the intrinsic bound for
+    // operators; for extension nodes, the *output* claim — the node's own
+    // discipline is already applied there, and that is the reading any
+    // further resize must preserve.
+    let (mut iv, tv) = match g.node(n).kind() {
+        NodeKind::Op(_) => {
+            let intr = ic.intrinsic(n).expect("operator intrinsic");
+            (intr.i, intr.t)
+        }
+        NodeKind::Extension(_) => {
+            let out = ic.output(n);
+            (out.i, out.t)
+        }
+        _ => return false,
+    };
+    // The destination adapts with the edge discipline, except extension
+    // nodes, which use their own (Definition 5.5).
+    let dst_t = match g.node(dst).kind() {
+        NodeKind::Extension(t) => *t,
+        _ => edge.signedness(),
+    };
+    let mut cur = g.node(n).width();
+    for (to, t_adapt) in [(edge.width(), edge.signedness()), (g.node(dst).width(), dst_t)] {
+        if to <= cur {
+            iv = iv.min(to); // truncation: strictness for later steps
+        } else {
+            let ok = t_adapt == tv
+                || (tv == dp_bitvec::Signedness::Unsigned
+                    && t_adapt == dp_bitvec::Signedness::Signed
+                    && iv < cur);
+            if !ok {
+                return true;
+            }
+        }
+        cur = to;
+    }
+    false
+}
+
+/// Break-node detection for the **old** (leakage-of-bits) algorithm: a
+/// purely width-structural criterion in the style of [2]. A node leaks
+/// bits if its declared width truncates the full-precision width implied
+/// by its operand edge widths; any extension of a leaked result downstream
+/// forces a break. No required-precision or information-content analysis
+/// is consulted, and no width transformation is assumed.
+pub fn find_breaks_leakage(g: &Dfg) -> Vec<bool> {
+    let mut breaks = vec![false; g.num_nodes()];
+    let mut trust = vec![usize::MAX; g.num_nodes()];
+    // Same single topological pass as the new analysis, with width-level
+    // quantities in place of information content.
+    for n in g.topo_order().expect("acyclic graph") {
+        if !is_mergeable(g, n) {
+            continue;
+        }
+        let w_n = g.node(n).width();
+        let full = naive_full_width(g, n);
+        let t_n = node_trust(g, n, &trust, &breaks, &|m| g.node(m).width(), full);
+        trust[n.index()] = t_n;
+        for &e in g.node(n).out_edges() {
+            let edge = g.edge(e);
+            let dst = edge.dst();
+            if !is_mergeable(g, dst) {
+                continue;
+            }
+            if g.node(dst).kind().op() == Some(OpKind::Mul) {
+                breaks[n.index()] = true;
+                break;
+            }
+            // Leakage: width-level truncation boundary (transitive, like
+            // the new analysis's trust boundary — any sound merger must
+            // track laundered damage).
+            let mut damage = t_n;
+            if full > w_n {
+                damage = damage.min(w_n);
+            }
+            if w_n.min(full).min(t_n) > edge.width() {
+                damage = damage.min(edge.width());
+            }
+            // Any extension past the damage boundary is distrusted: the
+            // old analysis has no notion of "superfluous" upper bits.
+            let reach = edge.width().max(g.node(dst).width());
+            if damage != usize::MAX && reach > damage {
+                breaks[n.index()] = true;
+                break;
+            }
+            // Extension with the wrong discipline for the result's naive
+            // signedness reinterprets the value: any sound merger must
+            // break here (the new algorithm can sometimes prove the
+            // extension harmless via information content; the width-level
+            // analysis cannot).
+            if naive_value_misread(g, n, e) {
+                breaks[n.index()] = true;
+                break;
+            }
+        }
+    }
+    enforce_unique_outputs(g, &mut breaks);
+    breaks
+}
+
+/// Width-only counterpart of [`value_misread`]: the result's signedness is
+/// derived purely from the operator and its operand edge disciplines, and
+/// with no information-content bound every extension step must match it
+/// exactly.
+fn naive_value_misread(g: &Dfg, n: NodeId, e: dp_dfg::EdgeId) -> bool {
+    let edge = g.edge(e);
+    let dst = edge.dst();
+    let tv = naive_value_signedness(g, n);
+    let dst_t = match g.node(dst).kind() {
+        NodeKind::Extension(t) => *t,
+        _ => edge.signedness(),
+    };
+    let mut cur = g.node(n).width();
+    for (to, t_adapt) in [(edge.width(), edge.signedness()), (g.node(dst).width(), dst_t)] {
+        if to > cur && t_adapt != tv {
+            return true;
+        }
+        cur = to;
+    }
+    false
+}
+
+/// Naive signedness of an operator's result: subtraction and negation are
+/// signed; addition and multiplication inherit the OR of their operand
+/// edge disciplines; an extension node's result has its own discipline.
+fn naive_value_signedness(g: &Dfg, n: NodeId) -> dp_bitvec::Signedness {
+    use dp_bitvec::Signedness;
+    let node = g.node(n);
+    match node.kind() {
+        NodeKind::Op(OpKind::Sub) | NodeKind::Op(OpKind::Neg) => Signedness::Signed,
+        NodeKind::Op(_) => node
+            .in_edges()
+            .iter()
+            .map(|&e| g.edge(e).signedness())
+            .fold(Signedness::Unsigned, |a, b| a | b),
+        NodeKind::Extension(t) => *t,
+        _ => Signedness::Unsigned,
+    }
+}
+
+/// Full-precision result width implied by declared operand edge widths
+/// (what the leakage criterion compares against). Mixed-signedness
+/// additive operands promote the unsigned side by one bit, mirroring the
+/// soundness fix to Lemma 5.4 (an unsigned `w`-bit value needs `w + 1`
+/// signed bits).
+fn naive_full_width(g: &Dfg, n: NodeId) -> usize {
+    use dp_bitvec::Signedness;
+    let node = g.node(n);
+    let operand = |port: usize| -> (usize, Signedness) {
+        g.in_edge_on_port(n, port)
+            .map(|e| (g.edge(e).width().min(node.width()), g.edge(e).signedness()))
+            .unwrap_or((1, Signedness::Unsigned))
+    };
+    match node.kind() {
+        NodeKind::Op(OpKind::Add) | NodeKind::Op(OpKind::Sub) => {
+            let (w0, t0) = operand(0);
+            let (w1, t1) = operand(1);
+            let (w0, w1) = if t0 != t1 {
+                // Mixed signedness: the unsigned operand costs a sign bit.
+                (
+                    w0 + usize::from(t0 == Signedness::Unsigned),
+                    w1 + usize::from(t1 == Signedness::Unsigned),
+                )
+            } else {
+                (w0, w1)
+            };
+            w0.max(w1) + 1
+        }
+        NodeKind::Op(OpKind::Mul) => operand(0).0 + operand(1).0,
+        NodeKind::Op(OpKind::Neg) => operand(0).0 + 1,
+        NodeKind::Op(OpKind::Shl(k)) => operand(0).0 + *k as usize,
+        NodeKind::Extension(_) => operand(0).0,
+        _ => node.width(),
+    }
+}
+
+/// Synthesizability Condition 2: every multi-fanout node whose fanout does
+/// not reconverge at a single node — without crossing a break node — must
+/// itself break, or its cluster would have several outputs. Implemented
+/// with post-dominators over the mergeable subgraph where break-node
+/// out-edges are cut, iterated to a fixpoint (marking a node can invalidate
+/// reconvergence upstream).
+fn enforce_unique_outputs(g: &Dfg, breaks: &mut [bool]) {
+    loop {
+        let pd = g.post_dominators_filtered(
+            |n| is_mergeable(g, n),
+            |e| !breaks[g.edge(e).src().index()],
+        );
+        let mut changed = false;
+        for n in g.node_ids() {
+            if breaks[n.index()] || !is_mergeable(g, n) {
+                continue;
+            }
+            let has_internal_succ = g.node(n).out_edges().iter().any(|&e| {
+                let edge = g.edge(e);
+                !breaks[edge.src().index()] && is_mergeable(g, edge.dst())
+            });
+            if has_internal_succ && pd.ipdom(n).is_none() {
+                breaks[n.index()] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_analysis::info_content;
+    use dp_bitvec::Signedness::*;
+
+    /// Paper Figure 1: a 7-bit truncation of a 9-bit sum, sign-extended
+    /// back to 9 bits downstream.
+    fn figure1() -> (Dfg, NodeId, NodeId, NodeId) {
+        let mut g = Dfg::new();
+        let a = g.input("A", 8);
+        let b = g.input("B", 8);
+        let c = g.input("C", 8);
+        let d = g.input("D", 8);
+        let n1 = g.op(OpKind::Add, 7, &[(a, Signed), (b, Signed)]);
+        let n2 = g.op(OpKind::Add, 9, &[(c, Signed), (d, Signed)]);
+        let n3 = g.op_with_edges(OpKind::Add, 9, &[(n1, 9, Signed), (n2, 9, Signed)]);
+        g.output("R", 9, n3, Signed);
+        (g, n1, n2, n3)
+    }
+
+    #[test]
+    fn figure1_truncation_breaks_n1() {
+        let (g, n1, n2, n3) = figure1();
+        let ic = info_content(&g);
+        let breaks = find_breaks_new(&g, &ic);
+        assert!(breaks[n1.index()], "n1 truncates 9 significant bits to 7");
+        assert!(!breaks[n2.index()]);
+        assert!(!breaks[n3.index()]);
+    }
+
+    #[test]
+    fn figure1_leakage_agrees() {
+        let (g, n1, n2, n3) = figure1();
+        let breaks = find_breaks_leakage(&g);
+        assert!(breaks[n1.index()]);
+        assert!(!breaks[n2.index()]);
+        assert!(!breaks[n3.index()]);
+    }
+
+    #[test]
+    fn narrow_output_defuses_the_break() {
+        // Figure 2: with a 5-bit output the same truncation is harmless for
+        // the new analysis (r = 5 everywhere <= damage boundary 7).
+        let mut g = Dfg::new();
+        let a = g.input("A", 8);
+        let b = g.input("B", 8);
+        let c = g.input("C", 8);
+        let n1 = g.op(OpKind::Add, 7, &[(a, Signed), (b, Signed)]);
+        let n3 = g.op_with_edges(OpKind::Add, 9, &[(n1, 9, Signed), (c, 9, Signed)]);
+        g.output("R", 5, n3, Signed);
+        let ic = info_content(&g);
+        let breaks = find_breaks_new(&g, &ic);
+        assert!(!breaks[n1.index()], "5-bit requirement makes bits 5..9 superfluous");
+        // The width-only criterion still breaks.
+        let old = find_breaks_leakage(&g);
+        assert!(old[n1.index()]);
+    }
+
+    #[test]
+    fn multiplier_operand_forces_break() {
+        let mut g = Dfg::new();
+        let a = g.input("a", 4);
+        let b = g.input("b", 4);
+        let s = g.op(OpKind::Add, 5, &[(a, Unsigned), (b, Unsigned)]);
+        let m = g.op(OpKind::Mul, 10, &[(s, Unsigned), (b, Unsigned)]);
+        g.output("o", 10, m, Unsigned);
+        let ic = info_content(&g);
+        assert!(find_breaks_new(&g, &ic)[s.index()]);
+        assert!(find_breaks_leakage(&g)[s.index()]);
+        // The multiplier itself can merge downstream.
+        assert!(!find_breaks_new(&g, &ic)[m.index()]);
+    }
+
+    #[test]
+    fn non_reconvergent_fanout_breaks() {
+        // s feeds two separate output chains: it must break.
+        let mut g = Dfg::new();
+        let a = g.input("a", 4);
+        let b = g.input("b", 4);
+        let s = g.op(OpKind::Add, 5, &[(a, Unsigned), (b, Unsigned)]);
+        let x = g.op(OpKind::Add, 6, &[(s, Unsigned), (a, Unsigned)]);
+        let y = g.op(OpKind::Add, 6, &[(s, Unsigned), (b, Unsigned)]);
+        g.output("o1", 6, x, Unsigned);
+        g.output("o2", 6, y, Unsigned);
+        let ic = info_content(&g);
+        let breaks = find_breaks_new(&g, &ic);
+        assert!(breaks[s.index()]);
+        assert!(!breaks[x.index()] && !breaks[y.index()]);
+    }
+
+    #[test]
+    fn reconvergent_fanout_merges() {
+        // Diamond: s fans out to x and y which rejoin in z: one cluster.
+        let mut g = Dfg::new();
+        let a = g.input("a", 4);
+        let b = g.input("b", 4);
+        let s = g.op(OpKind::Add, 6, &[(a, Unsigned), (b, Unsigned)]);
+        let x = g.op(OpKind::Add, 7, &[(s, Unsigned), (a, Unsigned)]);
+        let y = g.op(OpKind::Add, 7, &[(s, Unsigned), (b, Unsigned)]);
+        let z = g.op(OpKind::Add, 8, &[(x, Unsigned), (y, Unsigned)]);
+        g.output("o", 8, z, Unsigned);
+        let ic = info_content(&g);
+        let breaks = find_breaks_new(&g, &ic);
+        assert!(!breaks[s.index()] && !breaks[x.index()] && !breaks[y.index()]);
+    }
+
+    #[test]
+    fn fanout_to_output_and_operator_breaks() {
+        // s is observed by a primary output *and* consumed downstream: it
+        // must terminate its own cluster.
+        let mut g = Dfg::new();
+        let a = g.input("a", 4);
+        let b = g.input("b", 4);
+        let s = g.op(OpKind::Add, 5, &[(a, Unsigned), (b, Unsigned)]);
+        let t = g.op(OpKind::Add, 6, &[(s, Unsigned), (a, Unsigned)]);
+        g.output("tap", 5, s, Unsigned);
+        g.output("o", 6, t, Unsigned);
+        let ic = info_content(&g);
+        assert!(find_breaks_new(&g, &ic)[s.index()]);
+    }
+
+    #[test]
+    fn edge_level_truncation_detected() {
+        // The node is wide enough, but the edge truncates and the consumer
+        // re-extends: same bottleneck, on the edge.
+        let mut g = Dfg::new();
+        let a = g.input("a", 8);
+        let b = g.input("b", 8);
+        let s = g.op(OpKind::Add, 9, &[(a, Signed), (b, Signed)]);
+        let t = g.op_with_edges(OpKind::Add, 9, &[(s, 6, Signed), (a, 8, Signed)]);
+        g.output("o", 9, t, Signed);
+        let ic = info_content(&g);
+        assert!(find_breaks_new(&g, &ic)[s.index()]);
+    }
+}

@@ -1,0 +1,57 @@
+//! Gate-level netlists, a synthetic standard-cell library, static timing
+//! analysis, area reporting and simulation.
+//!
+//! This crate is the technology substrate of the reproduction: the paper
+//! evaluates its merging algorithm by synthesizing netlists against a TSMC
+//! 0.25 µm cell library and measuring longest path delay and area. That
+//! library is proprietary, so this crate ships a synthetic combinational
+//! library with 0.25 µm-plausible delays (nanoseconds) and normalized
+//! areas — the experiments only compare flows against each other on the
+//! *same* library, so relative results are preserved (see `DESIGN.md`).
+//!
+//! Contents:
+//!
+//! * [`CellKind`] / [`Drive`] / [`Library`] — eight combinational cell
+//!   types at three drive strengths, with load-dependent delay.
+//! * [`Netlist`] — flat gate-level network with named multi-bit ports.
+//! * [`Netlist::longest_path`] — static timing analysis (all inputs
+//!   arrive at t = 0, as in the paper's experiments).
+//! * [`Netlist::area`] — total cell area.
+//! * [`Netlist::simulate`] — bit-accurate simulation, the equivalence
+//!   oracle linking synthesized netlists back to the DFG evaluator.
+//!
+//! # Example
+//!
+//! ```
+//! use dp_bitvec::BitVec;
+//! use dp_netlist::{CellKind, Library, Netlist};
+//!
+//! // A 1-bit half adder.
+//! let mut n = Netlist::new();
+//! let a = n.input("a", 1)[0];
+//! let b = n.input("b", 1)[0];
+//! let sum = n.gate(CellKind::Xor2, &[a, b]);
+//! let carry = n.gate(CellKind::And2, &[a, b]);
+//! n.output("sum", vec![sum]);
+//! n.output("carry", vec![carry]);
+//!
+//! let lib = Library::synthetic_025um();
+//! assert!(n.longest_path(&lib).delay_ns > 0.0);
+//! let out = n.simulate(&[BitVec::from_u64(1, 1), BitVec::from_u64(1, 1)]).unwrap();
+//! assert_eq!(out[0].to_u64(), Some(0)); // 1 + 1 = 0 carry 1
+//! assert_eq!(out[1].to_u64(), Some(1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cell;
+mod netlist;
+mod sim;
+mod sta;
+mod verilog;
+
+pub use cell::{CellKind, Drive, Library};
+pub use netlist::{GateId, NetId, Netlist, NetlistError};
+pub use sim::SimError;
+pub use sta::{ArrivalTimes, TimingReport};

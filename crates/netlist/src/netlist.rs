@@ -1,0 +1,496 @@
+//! The flat gate-level netlist container.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{CellKind, Drive, Library};
+
+/// Identifier of a net (a single-bit wire).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub(crate) u32);
+
+/// Identifier of a gate instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GateId(pub(crate) u32);
+
+impl NetId {
+    /// Dense index of this net.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl GateId {
+    /// Dense index of this gate.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+impl fmt::Display for GateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// What drives a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum NetDriver {
+    /// Driven by a gate output.
+    Gate(GateId),
+    /// A primary input bit.
+    Input,
+    /// Constant zero or one.
+    Const(bool),
+    /// Not driven (an error caught by [`Netlist::check`]).
+    Undriven,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Gate {
+    pub kind: CellKind,
+    pub drive: Drive,
+    pub inputs: Vec<NetId>,
+    pub output: NetId,
+}
+
+/// A flat combinational gate-level netlist with named multi-bit ports.
+///
+/// See the [crate documentation](crate) for an example.
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    pub(crate) drivers: Vec<NetDriver>,
+    pub(crate) fanout: Vec<u32>,
+    pub(crate) gates: Vec<Gate>,
+    pub(crate) inputs: Vec<(String, Vec<NetId>)>,
+    pub(crate) outputs: Vec<(String, Vec<NetId>)>,
+}
+
+/// Structural defects reported by [`Netlist::check`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A net has no driver.
+    Undriven {
+        /// The floating net.
+        net: NetId,
+    },
+    /// The gate network contains a combinational cycle.
+    Cyclic,
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::Undriven { net } => write!(f, "net {net} has no driver"),
+            NetlistError::Cyclic => f.write_str("netlist has a combinational cycle"),
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new() -> Self {
+        Netlist::default()
+    }
+
+    /// Creates a fresh, undriven net. Mostly internal; synthesis uses
+    /// [`Netlist::gate`], [`Netlist::input`] and the constant nets.
+    pub fn fresh_net(&mut self) -> NetId {
+        let id = NetId(u32::try_from(self.drivers.len()).expect("net count fits u32"));
+        self.drivers.push(NetDriver::Undriven);
+        self.fanout.push(0);
+        id
+    }
+
+    /// The constant-zero net (created on first use).
+    pub fn const0(&mut self) -> NetId {
+        self.const_net(false)
+    }
+
+    /// The constant-one net (created on first use).
+    pub fn const1(&mut self) -> NetId {
+        self.const_net(true)
+    }
+
+    fn const_net(&mut self, value: bool) -> NetId {
+        // Reuse an existing constant net if present.
+        for (i, d) in self.drivers.iter().enumerate() {
+            if *d == NetDriver::Const(value) {
+                return NetId(i as u32);
+            }
+        }
+        let id = self.fresh_net();
+        self.drivers[id.index()] = NetDriver::Const(value);
+        id
+    }
+
+    /// Declares a primary input bus of the given width; returns its bit
+    /// nets, least significant first.
+    pub fn input(&mut self, name: impl Into<String>, width: usize) -> Vec<NetId> {
+        let bits: Vec<NetId> = (0..width)
+            .map(|_| {
+                let id = self.fresh_net();
+                self.drivers[id.index()] = NetDriver::Input;
+                id
+            })
+            .collect();
+        self.inputs.push((name.into(), bits.clone()));
+        bits
+    }
+
+    /// Declares a primary output bus driven by the given bit nets (least
+    /// significant first). Each bit contributes one unit of load to its
+    /// driver.
+    pub fn output(&mut self, name: impl Into<String>, bits: Vec<NetId>) {
+        for &b in &bits {
+            self.fanout[b.index()] += 1;
+        }
+        self.outputs.push((name.into(), bits));
+    }
+
+    /// Instantiates a unit-drive gate and returns its output net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input count does not match the cell's arity.
+    pub fn gate(&mut self, kind: CellKind, inputs: &[NetId]) -> NetId {
+        self.gate_with_drive(kind, Drive::X1, inputs)
+    }
+
+    /// Instantiates a gate with an explicit drive strength.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input count does not match the cell's arity.
+    pub fn gate_with_drive(&mut self, kind: CellKind, drive: Drive, inputs: &[NetId]) -> NetId {
+        assert_eq!(inputs.len(), kind.arity(), "{kind} takes {} input(s)", kind.arity());
+        let output = self.fresh_net();
+        let gid = GateId(u32::try_from(self.gates.len()).expect("gate count fits u32"));
+        self.drivers[output.index()] = NetDriver::Gate(gid);
+        for &i in inputs {
+            self.fanout[i.index()] += 1;
+        }
+        self.gates.push(Gate { kind, drive, inputs: inputs.to_vec(), output });
+        output
+    }
+
+    /// Number of gate instances.
+    pub fn num_gates(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Number of nets.
+    pub fn num_nets(&self) -> usize {
+        self.drivers.len()
+    }
+
+    /// Primary input buses `(name, bits)` in declaration order.
+    pub fn inputs(&self) -> &[(String, Vec<NetId>)] {
+        &self.inputs
+    }
+
+    /// Primary output buses `(name, bits)` in declaration order.
+    pub fn outputs(&self) -> &[(String, Vec<NetId>)] {
+        &self.outputs
+    }
+
+    /// Fanout (consumer count) of a net.
+    pub fn fanout_of(&self, net: NetId) -> usize {
+        self.fanout[net.index()] as usize
+    }
+
+    /// The cell kind and drive of a gate.
+    pub fn gate_info(&self, gate: GateId) -> (CellKind, Drive) {
+        let g = &self.gates[gate.index()];
+        (g.kind, g.drive)
+    }
+
+    /// The gate driving `net`, if any.
+    pub fn driver_gate(&self, net: NetId) -> Option<GateId> {
+        match self.drivers[net.index()] {
+            NetDriver::Gate(g) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// Changes a gate's drive strength (the optimizer's sizing move).
+    pub fn set_drive(&mut self, gate: GateId, drive: Drive) {
+        self.gates[gate.index()].drive = drive;
+    }
+
+    /// The input nets of a gate, in pin order.
+    pub fn gate_inputs(&self, gate: GateId) -> &[NetId] {
+        &self.gates[gate.index()].inputs
+    }
+
+    /// The output net of a gate.
+    pub fn gate_output(&self, gate: GateId) -> NetId {
+        self.gates[gate.index()].output
+    }
+
+    /// Rewires one input pin of a gate to a different net, keeping fanout
+    /// counts consistent (the optimizer's buffering/folding move).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pin` is out of range.
+    pub fn rewire_gate_input(&mut self, gate: GateId, pin: usize, new_net: NetId) {
+        let old = self.gates[gate.index()].inputs[pin];
+        if old == new_net {
+            return;
+        }
+        self.fanout[old.index()] -= 1;
+        self.fanout[new_net.index()] += 1;
+        self.gates[gate.index()].inputs[pin] = new_net;
+    }
+
+    /// Rewires one bit of a primary output bus to a different net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bus or bit index is out of range.
+    pub fn rewire_output_bit(&mut self, bus: usize, bit: usize, new_net: NetId) {
+        let old = self.outputs[bus].1[bit];
+        if old == new_net {
+            return;
+        }
+        self.fanout[old.index()] -= 1;
+        self.fanout[new_net.index()] += 1;
+        self.outputs[bus].1[bit] = new_net;
+    }
+
+    /// The constant value of a net, if it is a constant net.
+    pub fn const_value(&self, net: NetId) -> Option<bool> {
+        match self.drivers[net.index()] {
+            NetDriver::Const(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if the net is a primary input bit.
+    pub fn is_input_net(&self, net: NetId) -> bool {
+        matches!(self.drivers[net.index()], NetDriver::Input)
+    }
+
+    /// All gate ids in creation order.
+    pub fn gate_ids(&self) -> impl Iterator<Item = GateId> + '_ {
+        (0..self.gates.len() as u32).map(GateId)
+    }
+
+    /// Rebuilds the netlist keeping only gates reachable from the primary
+    /// outputs (dead-code elimination). Port names, widths and order are
+    /// preserved; net and gate ids are renumbered.
+    pub fn sweep(&self) -> Netlist {
+        let mut live = vec![false; self.gates.len()];
+        let mut stack: Vec<GateId> = Vec::new();
+        for (_, bits) in &self.outputs {
+            for &b in bits {
+                if let NetDriver::Gate(g) = self.drivers[b.index()] {
+                    if !live[g.index()] {
+                        live[g.index()] = true;
+                        stack.push(g);
+                    }
+                }
+            }
+        }
+        while let Some(g) = stack.pop() {
+            for &i in &self.gates[g.index()].inputs {
+                if let NetDriver::Gate(src) = self.drivers[i.index()] {
+                    if !live[src.index()] {
+                        live[src.index()] = true;
+                        stack.push(src);
+                    }
+                }
+            }
+        }
+        let mut out = Netlist::new();
+        let mut net_map: Vec<Option<NetId>> = vec![None; self.drivers.len()];
+        for (name, bits) in &self.inputs {
+            let new_bits = out.input(name.clone(), bits.len());
+            for (k, &b) in bits.iter().enumerate() {
+                net_map[b.index()] = Some(new_bits[k]);
+            }
+        }
+        // Constants on demand.
+        let order = self.topo_gates().expect("sweep requires an acyclic netlist");
+        let map_net = |out: &mut Netlist, net_map: &mut Vec<Option<NetId>>, n: NetId| {
+            if let Some(m) = net_map[n.index()] {
+                return m;
+            }
+            let m = match self.drivers[n.index()] {
+                NetDriver::Const(true) => out.const1(),
+                NetDriver::Const(false) => out.const0(),
+                _ => panic!("unmapped non-constant net {n} during sweep"),
+            };
+            net_map[n.index()] = Some(m);
+            m
+        };
+        for g in order {
+            if !live[g.index()] {
+                continue;
+            }
+            let gate = self.gates[g.index()].clone();
+            let inputs: Vec<NetId> = gate
+                .inputs
+                .iter()
+                .map(|&n| map_net(&mut out, &mut net_map, n))
+                .collect();
+            let new_out = out.gate_with_drive(gate.kind, gate.drive, &inputs);
+            net_map[gate.output.index()] = Some(new_out);
+        }
+        for (name, bits) in &self.outputs {
+            let new_bits: Vec<NetId> = bits
+                .iter()
+                .map(|&b| map_net(&mut out, &mut net_map, b))
+                .collect();
+            out.output(name.clone(), new_bits);
+        }
+        out
+    }
+
+    /// Total cell area in normalized library units.
+    pub fn area(&self, lib: &Library) -> f64 {
+        self.gates.iter().map(|g| lib.area(g.kind, g.drive)).sum()
+    }
+
+    /// Gate count per cell kind, in [`CellKind::ALL`] order.
+    pub fn gate_histogram(&self) -> Vec<(CellKind, usize)> {
+        CellKind::ALL
+            .iter()
+            .map(|&k| (k, self.gates.iter().filter(|g| g.kind == k).count()))
+            .filter(|&(_, n)| n > 0)
+            .collect()
+    }
+
+    /// Gates in a topological order (inputs to outputs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Cyclic`] on a combinational loop.
+    pub fn topo_gates(&self) -> Result<Vec<GateId>, NetlistError> {
+        let mut indegree: Vec<usize> = self
+            .gates
+            .iter()
+            .map(|g| {
+                g.inputs
+                    .iter()
+                    .filter(|&&n| matches!(self.drivers[n.index()], NetDriver::Gate(_)))
+                    .count()
+            })
+            .collect();
+        let mut ready: Vec<GateId> = (0..self.gates.len() as u32)
+            .map(GateId)
+            .filter(|g| indegree[g.index()] == 0)
+            .collect();
+        // Consumers of each gate's output, derived on the fly.
+        let mut consumers: Vec<Vec<GateId>> = vec![Vec::new(); self.gates.len()];
+        for (i, g) in self.gates.iter().enumerate() {
+            for &input in &g.inputs {
+                if let NetDriver::Gate(src) = self.drivers[input.index()] {
+                    consumers[src.index()].push(GateId(i as u32));
+                }
+            }
+        }
+        let mut order = Vec::with_capacity(self.gates.len());
+        while let Some(g) = ready.pop() {
+            order.push(g);
+            for &c in &consumers[g.index()] {
+                indegree[c.index()] -= 1;
+                if indegree[c.index()] == 0 {
+                    ready.push(c);
+                }
+            }
+        }
+        if order.len() == self.gates.len() {
+            Ok(order)
+        } else {
+            Err(NetlistError::Cyclic)
+        }
+    }
+
+    /// Checks that every net is driven and the network is acyclic.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first defect found.
+    pub fn check(&self) -> Result<(), NetlistError> {
+        for (i, d) in self.drivers.iter().enumerate() {
+            if *d == NetDriver::Undriven {
+                return Err(NetlistError::Undriven { net: NetId(i as u32) });
+            }
+        }
+        self.topo_gates().map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_check() {
+        let mut n = Netlist::new();
+        let a = n.input("a", 2);
+        let x = n.gate(CellKind::Xor2, &[a[0], a[1]]);
+        let y = n.gate(CellKind::Inv, &[x]);
+        n.output("o", vec![y]);
+        assert_eq!(n.num_gates(), 2);
+        assert_eq!(n.check(), Ok(()));
+        assert_eq!(n.fanout_of(x), 1);
+        assert_eq!(n.fanout_of(y), 1);
+        assert_eq!(n.gate_histogram(), vec![(CellKind::Inv, 1), (CellKind::Xor2, 1)]);
+    }
+
+    #[test]
+    fn constants_are_shared() {
+        let mut n = Netlist::new();
+        let z1 = n.const0();
+        let z2 = n.const0();
+        let o1 = n.const1();
+        assert_eq!(z1, z2);
+        assert_ne!(z1, o1);
+    }
+
+    #[test]
+    fn undriven_net_detected() {
+        let mut n = Netlist::new();
+        let w = n.fresh_net();
+        n.output("o", vec![w]);
+        assert_eq!(n.check(), Err(NetlistError::Undriven { net: w }));
+    }
+
+    #[test]
+    fn area_accumulates() {
+        let lib = Library::synthetic_025um();
+        let mut n = Netlist::new();
+        let a = n.input("a", 1)[0];
+        let x = n.gate(CellKind::Inv, &[a]);
+        n.output("o", vec![x]);
+        let base = n.area(&lib);
+        let g = n.driver_gate(x).unwrap();
+        n.set_drive(g, Drive::X4);
+        assert!(n.area(&lib) > base);
+    }
+
+    #[test]
+    fn topo_orders_respect_dependencies() {
+        let mut n = Netlist::new();
+        let a = n.input("a", 1)[0];
+        let x = n.gate(CellKind::Inv, &[a]);
+        let y = n.gate(CellKind::And2, &[x, a]);
+        n.output("o", vec![y]);
+        let order = n.topo_gates().unwrap();
+        let gx = n.driver_gate(x).unwrap();
+        let gy = n.driver_gate(y).unwrap();
+        let pos = |g: GateId| order.iter().position(|&o| o == g).unwrap();
+        assert!(pos(gx) < pos(gy));
+    }
+}

@@ -1,0 +1,167 @@
+//! Bit-accurate netlist simulation.
+
+use std::error::Error;
+use std::fmt;
+
+use dp_bitvec::BitVec;
+
+use crate::netlist::NetDriver;
+use crate::Netlist;
+
+/// Error from [`Netlist::simulate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Wrong number of input buses supplied.
+    WrongInputCount {
+        /// How many buses the netlist declares.
+        expected: usize,
+        /// How many values were supplied.
+        found: usize,
+    },
+    /// A supplied input value has the wrong width.
+    InputWidthMismatch {
+        /// Index of the offending input bus.
+        index: usize,
+        /// Declared bus width.
+        expected: usize,
+        /// Width of the supplied value.
+        found: usize,
+    },
+    /// The netlist failed its structural check.
+    Invalid(crate::NetlistError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::WrongInputCount { expected, found } => {
+                write!(f, "expected {expected} input bus(es), found {found}")
+            }
+            SimError::InputWidthMismatch { index, expected, found } => {
+                write!(f, "input #{index} expects width {expected}, found {found}")
+            }
+            SimError::Invalid(e) => write!(f, "invalid netlist: {e}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<crate::NetlistError> for SimError {
+    fn from(e: crate::NetlistError) -> Self {
+        SimError::Invalid(e)
+    }
+}
+
+impl Netlist {
+    /// Simulates the netlist on the given input bus values (in declaration
+    /// order, least significant bit first within each bus) and returns one
+    /// [`BitVec`] per output bus.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on interface mismatch or structural defects.
+    pub fn simulate(&self, inputs: &[BitVec]) -> Result<Vec<BitVec>, SimError> {
+        self.check()?;
+        if inputs.len() != self.inputs().len() {
+            return Err(SimError::WrongInputCount {
+                expected: self.inputs().len(),
+                found: inputs.len(),
+            });
+        }
+        let mut values = vec![false; self.num_nets()];
+        for (index, ((_, bits), value)) in self.inputs().iter().zip(inputs).enumerate() {
+            if value.width() != bits.len() {
+                return Err(SimError::InputWidthMismatch {
+                    index,
+                    expected: bits.len(),
+                    found: value.width(),
+                });
+            }
+            for (k, &net) in bits.iter().enumerate() {
+                values[net.index()] = value.bit(k);
+            }
+        }
+        for (i, d) in self.drivers.iter().enumerate() {
+            if let NetDriver::Const(v) = d {
+                values[i] = *v;
+            }
+        }
+        for g in self.topo_gates().expect("checked above") {
+            let gate = &self.gates[g.index()];
+            let a = values[gate.inputs[0].index()];
+            let b = gate.inputs.get(1).map(|n| values[n.index()]).unwrap_or(false);
+            values[gate.output.index()] = gate.kind.eval(a, b);
+        }
+        Ok(self
+            .outputs()
+            .iter()
+            .map(|(_, bits)| BitVec::from_fn(bits.len(), |k| values[bits[k].index()]))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CellKind;
+
+    /// A 2-bit ripple adder built by hand.
+    fn two_bit_adder() -> Netlist {
+        let mut n = Netlist::new();
+        let a = n.input("a", 2);
+        let b = n.input("b", 2);
+        // Bit 0: half adder.
+        let s0 = n.gate(CellKind::Xor2, &[a[0], b[0]]);
+        let c0 = n.gate(CellKind::And2, &[a[0], b[0]]);
+        // Bit 1: full adder.
+        let t = n.gate(CellKind::Xor2, &[a[1], b[1]]);
+        let s1 = n.gate(CellKind::Xor2, &[t, c0]);
+        let u = n.gate(CellKind::And2, &[a[1], b[1]]);
+        let v = n.gate(CellKind::And2, &[t, c0]);
+        let c1 = n.gate(CellKind::Or2, &[u, v]);
+        n.output("s", vec![s0, s1, c1]);
+        n
+    }
+
+    #[test]
+    fn adder_is_exhaustively_correct() {
+        let n = two_bit_adder();
+        for a in 0..4u64 {
+            for b in 0..4u64 {
+                let out = n
+                    .simulate(&[BitVec::from_u64(2, a), BitVec::from_u64(2, b)])
+                    .unwrap();
+                assert_eq!(out[0].to_u64(), Some(a + b), "{a}+{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn constants_simulate() {
+        let mut n = Netlist::new();
+        let a = n.input("a", 1)[0];
+        let one = n.const1();
+        let x = n.gate(CellKind::Xor2, &[a, one]); // !a
+        n.output("o", vec![x]);
+        let out = n.simulate(&[BitVec::from_u64(1, 0)]).unwrap();
+        assert_eq!(out[0].to_u64(), Some(1));
+    }
+
+    #[test]
+    fn interface_errors() {
+        let n = two_bit_adder();
+        assert!(matches!(n.simulate(&[]), Err(SimError::WrongInputCount { .. })));
+        assert!(matches!(
+            n.simulate(&[BitVec::zero(3), BitVec::zero(2)]),
+            Err(SimError::InputWidthMismatch { index: 0, .. })
+        ));
+    }
+}

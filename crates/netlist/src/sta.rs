@@ -1,0 +1,253 @@
+//! Static timing analysis with the linear-load delay model.
+
+use crate::netlist::NetDriver;
+use crate::{Library, NetId, Netlist};
+
+/// Arrival time (ns) at every net, assuming all primary inputs arrive at
+/// t = 0 — the setup used for the paper's Tables 1 and 2.
+#[derive(Debug, Clone)]
+pub struct ArrivalTimes {
+    at: Vec<f64>,
+}
+
+impl ArrivalTimes {
+    /// The arrival time at `net` in nanoseconds.
+    pub fn at(&self, net: NetId) -> f64 {
+        self.at[net.index()]
+    }
+}
+
+/// Summary of a longest-path analysis.
+#[derive(Debug, Clone)]
+pub struct TimingReport {
+    /// The longest input-to-output path delay, nanoseconds.
+    pub delay_ns: f64,
+    /// The most critical primary output bus and bit.
+    pub critical_output: Option<(String, usize)>,
+    /// Per-output-bus worst arrival, `(name, ns)`.
+    pub per_output: Vec<(String, f64)>,
+}
+
+impl Netlist {
+    /// Computes arrival times at every net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist has a combinational cycle; run
+    /// [`Netlist::check`] first for a graceful error.
+    pub fn arrival_times(&self, lib: &Library) -> ArrivalTimes {
+        let mut at = vec![0.0f64; self.num_nets()];
+        for g in self.topo_gates().expect("timing needs an acyclic netlist") {
+            let gate = &self.gates[g.index()];
+            let input_at = gate
+                .inputs
+                .iter()
+                .map(|&n| at[n.index()])
+                .fold(0.0f64, f64::max);
+            let d = lib.delay_ns(gate.kind, gate.drive, self.fanout_of(gate.output));
+            at[gate.output.index()] = input_at + d;
+        }
+        ArrivalTimes { at }
+    }
+
+    /// Longest input-to-output path delay and per-output summary.
+    pub fn longest_path(&self, lib: &Library) -> TimingReport {
+        let at = self.arrival_times(lib);
+        let mut report = TimingReport {
+            delay_ns: 0.0,
+            critical_output: None,
+            per_output: Vec::new(),
+        };
+        for (name, bits) in self.outputs() {
+            let mut worst = 0.0f64;
+            for (k, &b) in bits.iter().enumerate() {
+                let t = at.at(b);
+                if t > worst {
+                    worst = t;
+                }
+                if t > report.delay_ns {
+                    report.delay_ns = t;
+                    report.critical_output = Some((name.clone(), k));
+                }
+            }
+            report.per_output.push((name.clone(), worst));
+        }
+        report
+    }
+
+    /// The single worst input-to-output path, as the ordered list of gates
+    /// from the path's first gate to the critical output's driver. Empty
+    /// for gateless netlists.
+    pub fn critical_path(&self, lib: &Library) -> Vec<crate::GateId> {
+        let at = self.arrival_times(lib);
+        // Start at the worst output bit's driver and walk backwards,
+        // always following the latest-arriving input.
+        let report = self.longest_path(lib);
+        let Some((name, bit)) = report.critical_output else { return Vec::new() };
+        let (_, bits) = self
+            .outputs()
+            .iter()
+            .find(|(n, _)| *n == name)
+            .expect("critical output exists");
+        let mut path = Vec::new();
+        let mut net = bits[bit];
+        while let Some(g) = self.driver_gate(net) {
+            path.push(g);
+            let gate_inputs = self.gate_inputs(g);
+            let worst = gate_inputs
+                .iter()
+                .copied()
+                .max_by(|&x, &y| {
+                    at.at(x).partial_cmp(&at.at(y)).expect("finite arrival times")
+                })
+                .expect("gates have inputs");
+            net = worst;
+        }
+        path.reverse();
+        path
+    }
+
+    /// The set of gates on (near-)critical paths: every gate whose output
+    /// arrival is within `slack_ns` of the worst path *and* which lies on
+    /// a path reaching the critical output. Used by the optimizer to focus
+    /// sizing.
+    pub fn critical_gates(&self, lib: &Library, slack_ns: f64) -> Vec<crate::GateId> {
+        let at = self.arrival_times(lib);
+        let worst = self.longest_path(lib).delay_ns;
+        // Backward required-time sweep: required(net) = worst at outputs.
+        let mut required = vec![f64::INFINITY; self.num_nets()];
+        for (_, bits) in self.outputs() {
+            for &b in bits {
+                required[b.index()] = worst;
+            }
+        }
+        let order = self.topo_gates().expect("checked");
+        for &g in order.iter().rev() {
+            let gate = &self.gates[g.index()];
+            let d = lib.delay_ns(gate.kind, gate.drive, self.fanout_of(gate.output));
+            let req_in = required[gate.output.index()] - d;
+            for &i in &gate.inputs {
+                if matches!(self.drivers[i.index()], NetDriver::Gate(_) | NetDriver::Input) {
+                    let r = &mut required[i.index()];
+                    if req_in < *r {
+                        *r = req_in;
+                    }
+                }
+            }
+        }
+        order
+            .into_iter()
+            .filter(|&g| {
+                let out = self.gates[g.index()].output;
+                let slack = required[out.index()] - at.at(out);
+                slack.is_finite() && slack <= slack_ns + 1e-12
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CellKind, Drive};
+
+    fn chain(n_stages: usize) -> Netlist {
+        let mut n = Netlist::new();
+        let mut w = n.input("a", 1)[0];
+        for _ in 0..n_stages {
+            w = n.gate(CellKind::Inv, &[w]);
+        }
+        n.output("o", vec![w]);
+        n
+    }
+
+    #[test]
+    fn chain_delay_scales_linearly() {
+        let lib = Library::synthetic_025um();
+        let d1 = chain(1).longest_path(&lib).delay_ns;
+        let d10 = chain(10).longest_path(&lib).delay_ns;
+        assert!((d10 - 10.0 * d1).abs() < 1e-9, "{d10} vs {}", 10.0 * d1);
+    }
+
+    #[test]
+    fn parallel_paths_take_max() {
+        let lib = Library::synthetic_025um();
+        let mut n = Netlist::new();
+        let a = n.input("a", 1)[0];
+        let fast = n.gate(CellKind::Inv, &[a]);
+        let s1 = n.gate(CellKind::Xor2, &[a, fast]);
+        let s2 = n.gate(CellKind::Xor2, &[s1, a]);
+        let merged = n.gate(CellKind::And2, &[fast, s2]);
+        n.output("o", vec![merged]);
+        let report = n.longest_path(&lib);
+        // Path through the two XORs dominates.
+        assert!(report.delay_ns > lib.delay_ns(CellKind::Xor2, Drive::X1, 1) * 2.0);
+        assert_eq!(report.critical_output.as_ref().unwrap().0, "o");
+    }
+
+    #[test]
+    fn upsizing_critical_gate_reduces_delay() {
+        let lib = Library::synthetic_025um();
+        let mut n = Netlist::new();
+        let a = n.input("a", 1)[0];
+        let x = n.gate(CellKind::Xor2, &[a, a]);
+        // Heavy fanout on x.
+        let mut sinks = Vec::new();
+        for _ in 0..12 {
+            sinks.push(n.gate(CellKind::Inv, &[x]));
+        }
+        n.output("o", sinks);
+        let before = n.longest_path(&lib).delay_ns;
+        let g = n.driver_gate(x).unwrap();
+        n.set_drive(g, Drive::X4);
+        let after = n.longest_path(&lib).delay_ns;
+        assert!(after < before);
+    }
+
+    #[test]
+    fn critical_gates_found_on_the_long_path() {
+        let lib = Library::synthetic_025um();
+        let mut n = Netlist::new();
+        let a = n.input("a", 1)[0];
+        // Long path: 5 XORs; short path: 1 INV.
+        let mut w = a;
+        for _ in 0..5 {
+            w = n.gate(CellKind::Xor2, &[w, a]);
+        }
+        let short = n.gate(CellKind::Inv, &[a]);
+        n.output("long", vec![w]);
+        n.output("short", vec![short]);
+        let crit = n.critical_gates(&lib, 1e-9);
+        assert_eq!(crit.len(), 5, "only the XOR chain is critical");
+        for g in crit {
+            assert_eq!(n.gate_info(g).0, CellKind::Xor2);
+        }
+    }
+
+    #[test]
+    fn critical_path_walks_the_long_chain() {
+        let lib = Library::synthetic_025um();
+        let mut n = Netlist::new();
+        let a = n.input("a", 1)[0];
+        let mut w = a;
+        let mut chain = Vec::new();
+        for _ in 0..4 {
+            w = n.gate(CellKind::Xor2, &[w, a]);
+            chain.push(n.driver_gate(w).unwrap());
+        }
+        let short = n.gate(CellKind::Inv, &[a]);
+        n.output("long", vec![w]);
+        n.output("short", vec![short]);
+        let path = n.critical_path(&lib);
+        assert_eq!(path, chain, "path follows the XOR chain in order");
+    }
+
+    #[test]
+    fn empty_netlist_reports_zero() {
+        let n = Netlist::new();
+        let lib = Library::synthetic_025um();
+        let report = n.longest_path(&lib);
+        assert_eq!(report.delay_ns, 0.0);
+        assert!(report.critical_output.is_none());
+    }
+}

@@ -1,0 +1,378 @@
+//! Bit-level adder construction: half/full adders, ripple-carry and
+//! Kogge-Stone carry-propagate adders, and the carry-save reduction tree.
+
+use dp_netlist::{CellKind, NetId, Netlist};
+
+use crate::{Columns, ReductionKind};
+
+/// Builds a half adder; returns `(sum, carry)`.
+pub(crate) fn half_adder(nl: &mut Netlist, a: NetId, b: NetId) -> (NetId, NetId) {
+    let s = nl.gate(CellKind::Xor2, &[a, b]);
+    let c = nl.gate(CellKind::And2, &[a, b]);
+    (s, c)
+}
+
+/// Builds a full adder; returns `(sum, carry)`.
+pub(crate) fn full_adder(nl: &mut Netlist, a: NetId, b: NetId, cin: NetId) -> (NetId, NetId) {
+    let t = nl.gate(CellKind::Xor2, &[a, b]);
+    let s = nl.gate(CellKind::Xor2, &[t, cin]);
+    let u = nl.gate(CellKind::And2, &[a, b]);
+    let v = nl.gate(CellKind::And2, &[t, cin]);
+    let c = nl.gate(CellKind::Or2, &[u, v]);
+    (s, c)
+}
+
+/// Ripple-carry addition of two equal-width rows (modulo `2^n`; the final
+/// carry is dropped). `cin` seeds the carry chain.
+///
+/// # Panics
+///
+/// Panics if the rows have different widths or are empty.
+pub fn ripple_carry_add(nl: &mut Netlist, a: &[NetId], b: &[NetId], cin: NetId) -> Vec<NetId> {
+    assert_eq!(a.len(), b.len(), "adder rows must have equal width");
+    assert!(!a.is_empty(), "adder width must be at least 1");
+    let mut carry = cin;
+    let mut sum = Vec::with_capacity(a.len());
+    for k in 0..a.len() {
+        let (s, c) = full_adder(nl, a[k], b[k], carry);
+        sum.push(s);
+        carry = c;
+    }
+    sum
+}
+
+/// Kogge-Stone parallel-prefix addition of two equal-width rows (modulo
+/// `2^n`). Logarithmic depth, the "fast" final adder of the synthesis flow.
+///
+/// # Panics
+///
+/// Panics if the rows have different widths or are empty.
+pub fn kogge_stone_add(nl: &mut Netlist, a: &[NetId], b: &[NetId], cin: NetId) -> Vec<NetId> {
+    assert_eq!(a.len(), b.len(), "adder rows must have equal width");
+    assert!(!a.is_empty(), "adder width must be at least 1");
+    let n = a.len();
+    // Bit-level propagate / generate.
+    let mut p: Vec<NetId> = Vec::with_capacity(n);
+    let mut g: Vec<NetId> = Vec::with_capacity(n);
+    for k in 0..n {
+        p.push(nl.gate(CellKind::Xor2, &[a[k], b[k]]));
+        g.push(nl.gate(CellKind::And2, &[a[k], b[k]]));
+    }
+    // Fold the carry-in into bit 0's generate: g0' = g0 | (p0 & cin).
+    let zero = nl.const0();
+    if cin != zero {
+        let t = nl.gate(CellKind::And2, &[p[0], cin]);
+        g[0] = nl.gate(CellKind::Or2, &[g[0], t]);
+    }
+    // Prefix tree: after the sweep, G[k] = carry out of bit k.
+    let mut gg = g.clone();
+    let mut pp = p.clone();
+    let mut dist = 1;
+    while dist < n {
+        let (prev_g, prev_p) = (gg.clone(), pp.clone());
+        for k in dist..n {
+            let t = nl.gate(CellKind::And2, &[prev_p[k], prev_g[k - dist]]);
+            gg[k] = nl.gate(CellKind::Or2, &[prev_g[k], t]);
+            pp[k] = nl.gate(CellKind::And2, &[prev_p[k], prev_p[k - dist]]);
+        }
+        dist *= 2;
+    }
+    // sum[k] = p[k] ^ carry_in(k), carry_in(0) = cin, carry_in(k) = G[k-1].
+    let mut sum = Vec::with_capacity(n);
+    sum.push(if cin == zero {
+        p[0]
+    } else {
+        nl.gate(CellKind::Xor2, &[p[0], cin])
+    });
+    for k in 1..n {
+        sum.push(nl.gate(CellKind::Xor2, &[p[k], gg[k - 1]]));
+    }
+    sum
+}
+
+/// Carry-select addition: the rows are split into blocks; each block
+/// (except the first) is computed twice — once assuming carry-in 0, once
+/// assuming 1 — and the real block carry selects between the two with a
+/// 2:1 mux built from gates. Depth is dominated by the carry chain over
+/// blocks, a √n-ish compromise between ripple and Kogge-Stone.
+///
+/// # Panics
+///
+/// Panics if the rows have different widths or are empty.
+pub fn carry_select_add(nl: &mut Netlist, a: &[NetId], b: &[NetId], cin: NetId) -> Vec<NetId> {
+    assert_eq!(a.len(), b.len(), "adder rows must have equal width");
+    assert!(!a.is_empty(), "adder width must be at least 1");
+    let n = a.len();
+    // Block size ~ sqrt(n), at least 2.
+    let block = ((n as f64).sqrt().ceil() as usize).max(2);
+    let mut sum = Vec::with_capacity(n);
+    let mut carry = cin;
+    let mut lo = 0;
+    while lo < n {
+        let hi = (lo + block).min(n);
+        if lo == 0 {
+            // First block: plain ripple with the real carry-in.
+            for k in lo..hi {
+                let (s, c) = full_adder(nl, a[k], b[k], carry);
+                sum.push(s);
+                carry = c;
+            }
+        } else {
+            // Speculative block: compute with carry 0 and with carry 1.
+            let zero = nl.const0();
+            let one = nl.const1();
+            let mut s0 = Vec::new();
+            let mut s1 = Vec::new();
+            let (mut c0, mut c1) = (zero, one);
+            for k in lo..hi {
+                let (s, c) = full_adder(nl, a[k], b[k], c0);
+                s0.push(s);
+                c0 = c;
+                let (s, c) = full_adder(nl, a[k], b[k], c1);
+                s1.push(s);
+                c1 = c;
+            }
+            // Select with the incoming block carry: out = sel ? x1 : x0.
+            let mux = |nl: &mut Netlist, sel: NetId, x0: NetId, x1: NetId| -> NetId {
+                let nsel = nl.gate(CellKind::Inv, &[sel]);
+                let t0 = nl.gate(CellKind::And2, &[nsel, x0]);
+                let t1 = nl.gate(CellKind::And2, &[sel, x1]);
+                nl.gate(CellKind::Or2, &[t0, t1])
+            };
+            for k in 0..(hi - lo) {
+                sum.push(mux(nl, carry, s0[k], s1[k]));
+            }
+            carry = mux(nl, carry, c0, c1);
+        }
+        lo = hi;
+    }
+    sum
+}
+
+/// Dadda's height sequence: 2, 3, 4, 6, 9, 13, 19, …
+fn dadda_heights(max: usize) -> Vec<usize> {
+    let mut h = vec![2usize];
+    while *h.last().expect("non-empty") < max {
+        let last = *h.last().expect("non-empty");
+        h.push(last * 3 / 2);
+    }
+    h
+}
+
+/// Reduces the columns to height ≤ 2 with full/half adders, using the
+/// requested discipline. Returns the two final rows.
+pub(crate) fn reduce_to_two_rows(
+    nl: &mut Netlist,
+    mut cols: Columns,
+    kind: ReductionKind,
+) -> (Vec<NetId>, Vec<NetId>) {
+    cols.materialize_consts(nl);
+    let width = cols.width();
+    match kind {
+        ReductionKind::Wallace => {
+            while cols.max_height() > 2 {
+                let mut next: Vec<Vec<NetId>> = vec![Vec::new(); width];
+                for k in 0..width {
+                    let bits = cols.col(k).to_vec();
+                    let mut it = bits.chunks_exact(3);
+                    for chunk in it.by_ref() {
+                        let (s, c) = full_adder(nl, chunk[0], chunk[1], chunk[2]);
+                        next[k].push(s);
+                        if k + 1 < width {
+                            next[k + 1].push(c);
+                        }
+                    }
+                    let rest = it.remainder();
+                    if rest.len() == 2 && bits.len() > 2 {
+                        let (s, c) = half_adder(nl, rest[0], rest[1]);
+                        next[k].push(s);
+                        if k + 1 < width {
+                            next[k + 1].push(c);
+                        }
+                    } else {
+                        next[k].extend_from_slice(rest);
+                    }
+                }
+                for (k, bits) in next.into_iter().enumerate() {
+                    cols.set_col(k, bits);
+                }
+            }
+        }
+        ReductionKind::Dadda => {
+            let mut targets = dadda_heights(cols.max_height().max(2));
+            targets.pop(); // the last entry >= current height; start below it
+            while cols.max_height() > 2 {
+                let target = targets.pop().unwrap_or(2);
+                if cols.max_height() <= target {
+                    continue;
+                }
+                // One Dadda stage: adders consume only *current* bits;
+                // their sums stay in place and their carries join the next
+                // column of the **next** stage matrix. (Consuming same-
+                // stage carries would ripple linearly across the columns.)
+                let mut incoming: Vec<NetId> = Vec::new();
+                for k in 0..width {
+                    let mut avail = cols.col(k).to_vec();
+                    let mut next: Vec<NetId> = Vec::new();
+                    let mut outgoing: Vec<NetId> = Vec::new();
+                    // Reduce minimally: just enough that this column's
+                    // next-stage height (kept + sums + incoming carries)
+                    // meets the target.
+                    while avail.len() + next.len() + incoming.len() > target && avail.len() >= 2
+                    {
+                        if avail.len() >= 3 {
+                            let c3 = avail.pop().expect("len >= 3");
+                            let c2 = avail.pop().expect("len >= 2");
+                            let c1 = avail.pop().expect("len >= 1");
+                            let (s, c) = full_adder(nl, c1, c2, c3);
+                            next.push(s);
+                            outgoing.push(c);
+                        } else {
+                            let b = avail.pop().expect("len >= 2");
+                            let a = avail.pop().expect("len >= 1");
+                            let (s, c) = half_adder(nl, a, b);
+                            next.push(s);
+                            outgoing.push(c);
+                        }
+                    }
+                    next.extend(avail);
+                    next.append(&mut incoming);
+                    cols.set_col(k, next);
+                    // Carries past the top column are modular overflow.
+                    incoming = if k + 1 < width { outgoing } else { Vec::new() };
+                }
+            }
+        }
+    }
+    cols.into_two_rows(nl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_bitvec::BitVec;
+
+    fn exhaustive_add(build: impl Fn(&mut Netlist, &[NetId], &[NetId], NetId) -> Vec<NetId>) {
+        for w in 1..=5usize {
+            let mut nl = Netlist::new();
+            let a = nl.input("a", w);
+            let b = nl.input("b", w);
+            let zero = nl.const0();
+            let s = build(&mut nl, &a, &b, zero);
+            nl.output("s", s);
+            nl.check().unwrap();
+            for x in 0..(1u64 << w) {
+                for y in 0..(1u64 << w) {
+                    let out = nl
+                        .simulate(&[BitVec::from_u64(w, x), BitVec::from_u64(w, y)])
+                        .unwrap();
+                    let expected = (x + y) & ((1 << w) - 1);
+                    assert_eq!(out[0].to_u64(), Some(expected), "w={w} {x}+{y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ripple_carry_exhaustive() {
+        exhaustive_add(ripple_carry_add);
+    }
+
+    #[test]
+    fn kogge_stone_exhaustive() {
+        exhaustive_add(kogge_stone_add);
+    }
+
+    #[test]
+    fn carry_select_exhaustive() {
+        exhaustive_add(carry_select_add);
+    }
+
+    #[test]
+    fn carry_in_works() {
+        for builder in [ripple_carry_add, kogge_stone_add, carry_select_add] {
+            let mut nl = Netlist::new();
+            let a = nl.input("a", 4);
+            let b = nl.input("b", 4);
+            let one = nl.const1();
+            let s = builder(&mut nl, &a, &b, one);
+            nl.output("s", s);
+            let out = nl
+                .simulate(&[BitVec::from_u64(4, 6), BitVec::from_u64(4, 8)])
+                .unwrap();
+            assert_eq!(out[0].to_u64(), Some(15)); // 6 + 8 + 1
+        }
+    }
+
+    #[test]
+    fn kogge_stone_is_shallower_for_wide_adders() {
+        use dp_netlist::Library;
+        let lib = Library::synthetic_025um();
+        let delay = |builder: fn(&mut Netlist, &[NetId], &[NetId], NetId) -> Vec<NetId>| {
+            let mut nl = Netlist::new();
+            let a = nl.input("a", 24);
+            let b = nl.input("b", 24);
+            let zero = nl.const0();
+            let s = builder(&mut nl, &a, &b, zero);
+            nl.output("s", s);
+            nl.longest_path(&lib).delay_ns
+        };
+        let (rca, csel, ks) =
+            (delay(ripple_carry_add), delay(carry_select_add), delay(kogge_stone_add));
+        assert!(ks < rca * 0.6, "ks {ks} rca {rca}");
+        // Carry-select sits between ripple and Kogge-Stone at this width.
+        assert!(csel < rca, "csel {csel} rca {rca}");
+        assert!(ks < csel, "ks {ks} csel {csel}");
+    }
+
+    #[test]
+    fn reduction_sums_many_rows() {
+        for kind in [ReductionKind::Wallace, ReductionKind::Dadda] {
+            let w = 8;
+            let mut nl = Netlist::new();
+            let rows: Vec<Vec<NetId>> =
+                (0..6).map(|k| nl.input(format!("r{k}"), 5)).collect();
+            let mut cols = Columns::new(w);
+            for r in &rows {
+                cols.push_row(&mut nl, 0, r);
+            }
+            let (ra, rb) = reduce_to_two_rows(&mut nl, cols, kind);
+            let zero = nl.const0();
+            let s = ripple_carry_add(&mut nl, &ra, &rb, zero);
+            nl.output("s", s);
+            nl.check().unwrap();
+            use rand::{rngs::StdRng, Rng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(5);
+            for _ in 0..200 {
+                let vals: Vec<u64> = (0..6).map(|_| rng.gen_range(0..32)).collect();
+                let inputs: Vec<BitVec> =
+                    vals.iter().map(|&v| BitVec::from_u64(5, v)).collect();
+                let out = nl.simulate(&inputs).unwrap();
+                let expected = vals.iter().sum::<u64>() & 0xFF;
+                assert_eq!(out[0].to_u64(), Some(expected), "{kind:?} {vals:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn dadda_uses_no_more_adders_than_wallace() {
+        let count_gates = |kind: ReductionKind| {
+            let mut nl = Netlist::new();
+            let rows: Vec<Vec<NetId>> =
+                (0..9).map(|k| nl.input(format!("r{k}"), 8)).collect();
+            let mut cols = Columns::new(10);
+            for r in &rows {
+                cols.push_row(&mut nl, 0, r);
+            }
+            let _ = reduce_to_two_rows(&mut nl, cols, kind);
+            nl.num_gates()
+        };
+        assert!(count_gates(ReductionKind::Dadda) <= count_gates(ReductionKind::Wallace));
+    }
+
+    #[test]
+    fn dadda_height_sequence() {
+        assert_eq!(dadda_heights(13), vec![2, 3, 4, 6, 9, 13]);
+        assert_eq!(dadda_heights(2), vec![2]);
+    }
+}

@@ -1,0 +1,229 @@
+//! Weight-indexed bit columns: the carry-save workspace.
+
+use dp_bitvec::BitVec;
+use dp_netlist::{CellKind, NetId, Netlist};
+
+/// The bit matrix of a sum under construction: `cols[k]` holds the nets of
+/// weight `2^k`. Constant-zero bits are never stored; constant-one bits
+/// are stored as the netlist's shared constant-one net.
+///
+/// All arithmetic is modulo `2^width()`: bits pushed at or beyond the
+/// width are discarded, exactly like a hardware adder dropping its final
+/// carry.
+#[derive(Debug, Clone)]
+pub struct Columns {
+    cols: Vec<Vec<NetId>>,
+    /// Numeric accumulator for all constant contributions (negation +1
+    /// corrections, folded constant bits, sign-extension masks); added to
+    /// the matrix once, pre-summed modulo `2^width`.
+    const_sum: BitVec,
+}
+
+impl Columns {
+    /// Creates empty columns for a sum of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn new(width: usize) -> Self {
+        assert!(width > 0, "column width must be at least 1");
+        Columns { cols: vec![Vec::new(); width], const_sum: BitVec::zero(width) }
+    }
+
+    /// The sum width (number of columns).
+    pub fn width(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Adds a bit of weight `2^k`; silently discards bits beyond the width
+    /// (modular arithmetic) and constant zeros.
+    pub fn push(&mut self, nl: &mut Netlist, k: usize, bit: NetId) {
+        if k >= self.cols.len() || bit == nl.const0() {
+            return;
+        }
+        self.cols[k].push(bit);
+    }
+
+    /// Adds a constant one of weight `2^k` (pre-summed numerically; the
+    /// combined constant enters the matrix once).
+    pub fn push_one(&mut self, _nl: &mut Netlist, k: usize) {
+        self.add_const(k);
+    }
+
+    /// Adds `2^k` to the constant accumulator.
+    pub fn add_const(&mut self, k: usize) {
+        let w = self.cols.len();
+        if k >= w {
+            return;
+        }
+        let mut inc = BitVec::zero(w);
+        inc.set_bit(k, true);
+        self.const_sum = self.const_sum.wrapping_add(&inc);
+    }
+
+    /// Adds the all-ones mask `2^width - 2^k` to the constant accumulator
+    /// (the correction term of a compressed sign-extension run).
+    pub fn add_const_ones_from(&mut self, k: usize) {
+        let w = self.cols.len();
+        if k >= w {
+            return;
+        }
+        let mask = BitVec::from_fn(w, |i| i >= k);
+        self.const_sum = self.const_sum.wrapping_add(&mask);
+    }
+
+    /// Adds a whole row starting at weight `2^offset`, compressing a
+    /// trailing run of a repeated net (a materialized sign extension) into
+    /// one inverted bit plus a constant mask when `compress` is set:
+    /// `s·(2^w − 2^j) ≡ (¬s)·2^j + (2^w − 2^j) (mod 2^w)`.
+    pub fn push_row_compressed(
+        &mut self,
+        nl: &mut Netlist,
+        offset: usize,
+        bits: &[NetId],
+        compress: bool,
+    ) {
+        let w = self.cols.len();
+        // Only a run that reaches the top column is a pure extension.
+        let visible = bits.len().min(w.saturating_sub(offset));
+        if visible == 0 {
+            return;
+        }
+        let bits = &bits[..visible];
+        let mut run = 1;
+        while compress && run < visible && bits[visible - 1 - run] == bits[visible - 1] {
+            run += 1;
+        }
+        let tail = bits[visible - 1];
+        let zero = nl.const0();
+        let one = nl.const1();
+        if compress && run >= 2 && tail != zero && tail != one {
+            let head = visible - run;
+            self.push_row(nl, offset, &bits[..head]);
+            let inv = nl.gate(CellKind::Inv, &[tail]);
+            self.push(nl, offset + head, inv);
+            self.add_const_ones_from(offset + head);
+        } else {
+            self.push_row(nl, offset, bits);
+        }
+    }
+
+    /// Materializes the accumulated constant into the matrix as constant-one
+    /// bits (one per set bit). Called once before reduction.
+    pub(crate) fn materialize_consts(&mut self, nl: &mut Netlist) {
+        let one = nl.const1();
+        for k in 0..self.cols.len() {
+            if self.const_sum.bit(k) {
+                self.cols[k].push(one);
+            }
+        }
+        self.const_sum = BitVec::zero(self.cols.len());
+    }
+
+    /// Adds a whole row starting at weight `2^offset` (bit `i` of the row
+    /// lands in column `offset + i`).
+    pub fn push_row(&mut self, nl: &mut Netlist, offset: usize, bits: &[NetId]) {
+        for (i, &b) in bits.iter().enumerate() {
+            self.push(nl, offset + i, b);
+        }
+    }
+
+    /// The tallest column height.
+    pub fn max_height(&self) -> usize {
+        self.cols.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Total number of stored bits.
+    pub fn num_bits(&self) -> usize {
+        self.cols.iter().map(Vec::len).sum()
+    }
+
+    /// Direct access to a column.
+    pub(crate) fn col(&self, k: usize) -> &[NetId] {
+        &self.cols[k]
+    }
+
+    /// Replaces a column's contents (used by the reduction stages).
+    pub(crate) fn set_col(&mut self, k: usize, bits: Vec<NetId>) {
+        self.cols[k] = bits;
+    }
+
+    /// Drains the columns into at most two rows of `width` bits each,
+    /// padding missing bits with constant zero. Panics if any column still
+    /// holds more than two bits (callers reduce first).
+    pub(crate) fn into_two_rows(self, nl: &mut Netlist) -> (Vec<NetId>, Vec<NetId>) {
+        let zero = nl.const0();
+        let mut a = Vec::with_capacity(self.cols.len());
+        let mut b = Vec::with_capacity(self.cols.len());
+        for col in &self.cols {
+            assert!(col.len() <= 2, "column not reduced (height {})", col.len());
+            a.push(col.first().copied().unwrap_or(zero));
+            b.push(col.get(1).copied().unwrap_or(zero));
+        }
+        (a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_discards_zero_and_overflow() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a", 1)[0];
+        let mut c = Columns::new(4);
+        let zero = nl.const0();
+        c.push(&mut nl, 0, a);
+        c.push(&mut nl, 0, zero);
+        c.push(&mut nl, 7, a); // beyond width: dropped
+        assert_eq!(c.num_bits(), 1);
+        assert_eq!(c.max_height(), 1);
+    }
+
+    #[test]
+    fn rows_and_two_row_extraction() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a", 3);
+        let mut c = Columns::new(5);
+        c.push_row(&mut nl, 1, &a);
+        c.push_one(&mut nl, 1);
+        c.materialize_consts(&mut nl);
+        let (r1, r2) = c.into_two_rows(&mut nl);
+        assert_eq!(r1.len(), 5);
+        assert_eq!(r2.len(), 5);
+        // Column 1 has two entries, column 2..4 one, column 0 none.
+        assert_eq!(r1[1], a[0]);
+        assert_eq!(r2[1], nl.const1());
+        assert_eq!(r1[0], nl.const0());
+        assert_eq!(r2[2], nl.const0());
+    }
+
+    #[test]
+    fn compressed_row_replaces_sign_run() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a", 3);
+        // Row with a 5-long sign run: bits [a0, a1, a2, a2, a2, a2, a2].
+        let bits = vec![a[0], a[1], a[2], a[2], a[2], a[2], a[2]];
+        let mut c = Columns::new(7);
+        c.push_row_compressed(&mut nl, 0, &bits, true);
+        // Head (3 bits incl. one inverted sign) instead of 7.
+        assert_eq!(c.num_bits(), 3);
+        assert_eq!(nl.num_gates(), 1); // one inverter
+        let mut c2 = Columns::new(7);
+        c2.push_row_compressed(&mut nl, 0, &bits, false);
+        assert_eq!(c2.num_bits(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "column not reduced")]
+    fn over_tall_column_panics_on_extraction() {
+        let mut nl = Netlist::new();
+        let a = nl.input("a", 1)[0];
+        let mut c = Columns::new(2);
+        for _ in 0..3 {
+            c.push(&mut nl, 0, a);
+        }
+        let _ = c.into_two_rows(&mut nl);
+    }
+}

@@ -1,0 +1,258 @@
+//! Partial-product generation for multiplier addends.
+//!
+//! A product addend `±(A × B)` contributes one row per multiplier bit to
+//! the enclosing cluster's columns. Signed operands are handled with
+//! two's-complement row arithmetic (the Baugh-Wooley family): a signed
+//! multiplier's sign bit contributes a *negated* row, and negation of a
+//! row `v·2^j` is implemented as `(~v)·2^j + 2^j` — inverted bits plus a
+//! constant one in the row's own column, staying entirely inside the
+//! carry-save framework (no extra carry-propagate adders).
+
+use dp_bitvec::Signedness;
+use dp_netlist::{CellKind, NetId, Netlist};
+
+use crate::Columns;
+
+/// One operand of a product: its live bits (low `bits.len()` bits of the
+/// source signal) and the discipline for widening.
+#[derive(Debug, Clone)]
+pub(crate) struct Operand {
+    pub bits: Vec<NetId>,
+    pub signedness: Signedness,
+}
+
+impl Operand {
+    /// Bit `k` of the operand as seen at any width: live bits, then sign
+    /// or zero fill.
+    fn bit(&self, nl: &mut Netlist, k: usize) -> NetId {
+        if k < self.bits.len() {
+            self.bits[k]
+        } else if self.bits.is_empty() || self.signedness == Signedness::Unsigned {
+            nl.const0()
+        } else {
+            *self.bits.last().expect("non-empty")
+        }
+    }
+}
+
+/// Emits the partial products of `a × b · 2^offset` (optionally negated)
+/// into the columns, at weights `offset..columns.width()`.
+pub(crate) fn emit_product(
+    nl: &mut Netlist,
+    cols: &mut Columns,
+    a: &Operand,
+    b: &Operand,
+    negated: bool,
+    offset: usize,
+    compress: bool,
+) {
+    let width = cols.width();
+    if a.bits.is_empty() || b.bits.is_empty() || offset >= width {
+        return; // multiplying by the constant zero (or shifted out)
+    }
+    // Multiplier rows: b = Σ b_j 2^j, with the top bit negative when b is
+    // signed. Rows beyond the multiplier's live bits repeat the sign bit
+    // (also negative contributions), but those are algebraically equal to
+    // sign-extension of the product; instead we stop at the live bits and
+    // let the *rows themselves* be sign-complete because the multiplicand
+    // is extended to the full column width.
+    for j in 0..b.bits.len().min(width.saturating_sub(offset)) {
+        let col = offset + j;
+        let b_j = b.bits[j];
+        let row_is_negative =
+            b.signedness == Signedness::Signed && j == b.bits.len() - 1;
+        // The row: (A extended) & b_j at columns offset+j..width.
+        let mut row_bits: Vec<NetId> = Vec::with_capacity(width - col);
+        let mut cached_and: Option<(NetId, NetId)> = None; // (a_bit, and_net)
+        for k in 0..(width - col) {
+            let a_k = a.bit(nl, k);
+            let zero = nl.const0();
+            let bit = if a_k == zero {
+                zero
+            } else if let Some((cached_a, net)) = cached_and {
+                if cached_a == a_k {
+                    net
+                } else {
+                    let net = nl.gate(CellKind::And2, &[a_k, b_j]);
+                    cached_and = Some((a_k, net));
+                    net
+                }
+            } else {
+                let net = nl.gate(CellKind::And2, &[a_k, b_j]);
+                cached_and = Some((a_k, net));
+                net
+            };
+            row_bits.push(bit);
+        }
+        let negate_row = row_is_negative ^ negated;
+        if negate_row {
+            negate_row_in_place(nl, &mut row_bits);
+            cols.push_one(nl, col);
+        }
+        cols.push_row_compressed(nl, col, &row_bits, compress);
+    }
+}
+
+/// Emits a plain signal addend `± value · 2^offset` into the columns at
+/// weights `offset..width`, extending with the operand's discipline.
+pub(crate) fn emit_signal(
+    nl: &mut Netlist,
+    cols: &mut Columns,
+    operand: &Operand,
+    negated: bool,
+    offset: usize,
+    compress: bool,
+) {
+    let width = cols.width();
+    if operand.bits.is_empty() || offset >= width {
+        return; // the constant zero contributes nothing, negated or not
+    }
+    let mut bits: Vec<NetId> = (0..width - offset).map(|k| operand.bit(nl, k)).collect();
+    if negated {
+        negate_row_in_place(nl, &mut bits);
+        cols.push_one(nl, offset);
+    }
+    cols.push_row_compressed(nl, offset, &bits, compress);
+}
+
+/// Two's-complement negation of a row in carry-save form: invert every bit
+/// (the caller adds the `+1`). Inverters are shared across repeated nets
+/// (sign-extension repeats the same net many times).
+fn negate_row_in_place(nl: &mut Netlist, bits: &mut [NetId]) {
+    let mut cache: Vec<(NetId, NetId)> = Vec::new();
+    for b in bits.iter_mut() {
+        let zero = nl.const0();
+        let one = nl.const1();
+        let inverted = if *b == zero {
+            one
+        } else if *b == one {
+            zero
+        } else if let Some(&(_, inv)) = cache.iter().find(|&&(orig, _)| orig == *b) {
+            inv
+        } else {
+            let inv = nl.gate(CellKind::Inv, &[*b]);
+            cache.push((*b, inv));
+            inv
+        };
+        *b = inverted;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adders::{reduce_to_two_rows, ripple_carry_add};
+    use crate::ReductionKind;
+    use dp_bitvec::BitVec;
+    use Signedness::{Signed, Unsigned};
+
+    /// Builds a standalone multiplier netlist for testing.
+    fn build_mul(wa: usize, ta: Signedness, wb: usize, tb: Signedness, wout: usize) -> Netlist {
+        let mut nl = Netlist::new();
+        let a_bits = nl.input("a", wa);
+        let b_bits = nl.input("b", wb);
+        let a = Operand { bits: a_bits, signedness: ta };
+        let b = Operand { bits: b_bits, signedness: tb };
+        let mut cols = Columns::new(wout);
+        emit_product(&mut nl, &mut cols, &a, &b, false, 0, true);
+        let (ra, rb) = reduce_to_two_rows(&mut nl, cols, ReductionKind::Dadda);
+        let zero = nl.const0();
+        let s = ripple_carry_add(&mut nl, &ra, &rb, zero);
+        nl.output("p", s);
+        nl.check().unwrap();
+        nl
+    }
+
+    #[test]
+    fn unsigned_multiplier_exhaustive() {
+        let nl = build_mul(4, Unsigned, 4, Unsigned, 8);
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                let out = nl
+                    .simulate(&[BitVec::from_u64(4, x), BitVec::from_u64(4, y)])
+                    .unwrap();
+                assert_eq!(out[0].to_u64(), Some(x * y), "{x}*{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn signed_multiplier_exhaustive() {
+        let nl = build_mul(4, Signed, 4, Signed, 8);
+        for x in -8i64..8 {
+            for y in -8i64..8 {
+                let out = nl
+                    .simulate(&[BitVec::from_i64(4, x), BitVec::from_i64(4, y)])
+                    .unwrap();
+                assert_eq!(out[0].to_i64(), Some(x * y), "{x}*{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_signedness_multiplier_exhaustive() {
+        // a unsigned × b signed, wide output.
+        let nl = build_mul(3, Unsigned, 4, Signed, 9);
+        for x in 0..8i64 {
+            for y in -8i64..8 {
+                let out = nl
+                    .simulate(&[BitVec::from_i64_wrapping(3, x), BitVec::from_i64(4, y)])
+                    .unwrap();
+                assert_eq!(out[0].to_i64(), Some(x * y), "{x}*{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_output_is_modular() {
+        let nl = build_mul(4, Unsigned, 4, Unsigned, 5);
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                let out = nl
+                    .simulate(&[BitVec::from_u64(4, x), BitVec::from_u64(4, y)])
+                    .unwrap();
+                assert_eq!(out[0].to_u64(), Some((x * y) % 32), "{x}*{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn negated_product() {
+        let mut nl = Netlist::new();
+        let a_bits = nl.input("a", 3);
+        let b_bits = nl.input("b", 3);
+        let a = Operand { bits: a_bits, signedness: Unsigned };
+        let b = Operand { bits: b_bits, signedness: Unsigned };
+        let mut cols = Columns::new(7);
+        emit_product(&mut nl, &mut cols, &a, &b, true, 0, true);
+        let (ra, rb) = reduce_to_two_rows(&mut nl, cols, ReductionKind::Wallace);
+        let zero = nl.const0();
+        let s = ripple_carry_add(&mut nl, &ra, &rb, zero);
+        nl.output("p", s);
+        for x in 0..8i64 {
+            for y in 0..8i64 {
+                let out = nl
+                    .simulate(&[BitVec::from_i64_wrapping(3, x), BitVec::from_i64_wrapping(3, y)])
+                    .unwrap();
+                assert_eq!(out[0].to_i64(), Some(-x * y), "-({x}*{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn signal_addend_negation_and_extension() {
+        let mut nl = Netlist::new();
+        let bits = nl.input("a", 3);
+        let a = Operand { bits, signedness: Signed };
+        let mut cols = Columns::new(6);
+        emit_signal(&mut nl, &mut cols, &a, true, 0, true);
+        let (ra, rb) = reduce_to_two_rows(&mut nl, cols, ReductionKind::Dadda);
+        let zero = nl.const0();
+        let s = ripple_carry_add(&mut nl, &ra, &rb, zero);
+        nl.output("o", s);
+        for x in -4i64..4 {
+            let out = nl.simulate(&[BitVec::from_i64(3, x)]).unwrap();
+            assert_eq!(out[0].to_i64(), Some(-x), "-({x})");
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Canonical-signed-digit (CSD) decomposition and multiplierless filters.
+//!
+//! A constant multiplication `c · x` can be implemented without a
+//! multiplier as a signed sum of shifted copies of `x`: recoding `c` in
+//! canonical signed digit form (digits in `{-1, 0, +1}`, no two adjacent
+//! non-zeros) minimizes the number of addends. The resulting shift-add
+//! networks are a classic datapath workload — and a natural stress test
+//! for operator merging, since the whole filter ideally collapses into a
+//! single carry-save cluster.
+
+use dp_bitvec::Signedness::{self, Signed};
+use dp_dfg::{Dfg, NodeId, OpKind};
+
+/// One CSD digit: a power of two and its sign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CsdTerm {
+    /// Bit position (the term contributes `±2^shift`).
+    pub shift: u32,
+    /// `true` for a negative digit.
+    pub negative: bool,
+}
+
+/// Recodes a constant into canonical signed digit form.
+///
+/// The result has no two adjacent non-zero digits and is the unique
+/// minimal-weight such representation; summing `±2^shift` over the terms
+/// reconstructs the constant.
+///
+/// ```
+/// use dp_testcases::csd::csd_digits;
+/// // 7 = 8 - 1, not 4 + 2 + 1.
+/// let terms = csd_digits(7);
+/// assert_eq!(terms.len(), 2);
+/// let value: i64 = terms
+///     .iter()
+///     .map(|t| if t.negative { -(1i64 << t.shift) } else { 1 << t.shift })
+///     .sum();
+/// assert_eq!(value, 7);
+/// ```
+pub fn csd_digits(c: i64) -> Vec<CsdTerm> {
+    let mut terms = Vec::new();
+    let mut value = c as i128;
+    let mut shift = 0u32;
+    while value != 0 {
+        if value & 1 != 0 {
+            // The canonical choice: look at the next bit to decide between
+            // +1 (remainder mod 4 == 1) and -1 (remainder mod 4 == 3).
+            let digit: i128 = if value & 2 != 0 { -1 } else { 1 };
+            terms.push(CsdTerm { shift, negative: digit < 0 });
+            value -= digit;
+        }
+        value >>= 1;
+        shift += 1;
+    }
+    terms
+}
+
+/// The number of non-zero CSD digits of `c` — the adder cost of a
+/// multiplierless constant multiplication.
+pub fn csd_weight(c: i64) -> usize {
+    csd_digits(c).len()
+}
+
+/// Builds a constant multiplication `c · x` as a shift-add network
+/// appended to `g`, returning the node carrying the product. `width` is
+/// the width of every generated operator (callers typically pass the
+/// full-precision product width and let the analysis prune).
+///
+/// # Panics
+///
+/// Panics if `c == 0` (a zero coefficient has no product node; the caller
+/// should skip the tap).
+pub fn csd_multiply(g: &mut Dfg, x: NodeId, c: i64, width: usize) -> NodeId {
+    let terms = csd_digits(c);
+    assert!(!terms.is_empty(), "zero coefficient has no product node");
+    let term_node = |g: &mut Dfg, t: &CsdTerm| -> NodeId {
+        if t.shift == 0 {
+            x
+        } else {
+            g.op(OpKind::Shl(t.shift as u8), width, &[(x, Signed)])
+        }
+    };
+    // Fold terms left to right, tracking whether the accumulator holds the
+    // negated partial sum (it stays positive whenever a positive digit has
+    // been absorbed).
+    let mut acc: Option<(NodeId, bool)> = None;
+    for t in &terms {
+        let node = term_node(g, t);
+        acc = Some(match acc {
+            None => (node, t.negative),
+            Some((prev, prev_neg)) => match (prev_neg, t.negative) {
+                (false, false) => {
+                    (g.op(OpKind::Add, width, &[(prev, Signed), (node, Signed)]), false)
+                }
+                (false, true) => {
+                    (g.op(OpKind::Sub, width, &[(prev, Signed), (node, Signed)]), false)
+                }
+                (true, false) => {
+                    (g.op(OpKind::Sub, width, &[(node, Signed), (prev, Signed)]), false)
+                }
+                (true, true) => {
+                    (g.op(OpKind::Add, width, &[(prev, Signed), (node, Signed)]), true)
+                }
+            },
+        });
+    }
+    let (node, negated) = acc.expect("at least one term");
+    if negated {
+        g.op(OpKind::Neg, width, &[(node, Signed)])
+    } else {
+        node
+    }
+}
+
+/// A multiplierless direct-form FIR filter: every tap's coefficient is a
+/// CSD shift-add network, and the taps accumulate into one sum. With
+/// merging, the entire filter is a single carry-save cluster.
+///
+/// Coefficients are derived deterministically from `seed`; zero
+/// coefficients are skipped.
+pub fn multiplierless_fir(taps: usize, width: usize, coeff_bits: usize, seed: u64) -> Dfg {
+    assert!(taps >= 1 && coeff_bits >= 2);
+    let mut g = Dfg::new();
+    let out_width = width + coeff_bits + taps.next_power_of_two().trailing_zeros() as usize;
+    let mut state = seed | 1;
+    let mut acc: Option<NodeId> = None;
+    for k in 0..taps {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let max = (1i64 << (coeff_bits - 1)) - 1;
+        let c = (state % (2 * max as u64 + 1)) as i64 - max;
+        let x = g.input(format!("x{k}"), width);
+        if c == 0 {
+            continue;
+        }
+        let product = csd_multiply(&mut g, x, c, out_width);
+        acc = Some(match acc {
+            None => product,
+            Some(prev) => g.op(OpKind::Add, out_width, &[(prev, Signed), (product, Signed)]),
+        });
+    }
+    let acc = acc.unwrap_or_else(|| {
+        // All coefficients were zero (astronomically unlikely): output a
+        // zero constant to keep the interface well-formed.
+        g.constant(dp_bitvec::BitVec::zero(out_width))
+    });
+    g.output("y", out_width, acc, Signedness::Signed);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_bitvec::BitVec;
+
+    #[test]
+    fn csd_reconstructs_every_small_constant() {
+        for c in -512i64..=512 {
+            let value: i64 = csd_digits(c)
+                .iter()
+                .map(|t| {
+                    let v = 1i64 << t.shift;
+                    if t.negative {
+                        -v
+                    } else {
+                        v
+                    }
+                })
+                .sum();
+            assert_eq!(value, c, "CSD of {c}");
+        }
+    }
+
+    #[test]
+    fn csd_has_no_adjacent_nonzero_digits() {
+        for c in -512i64..=512 {
+            let terms = csd_digits(c);
+            for pair in terms.windows(2) {
+                assert!(
+                    pair[1].shift >= pair[0].shift + 2,
+                    "adjacent digits in CSD of {c}: {terms:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn csd_weight_beats_binary_weight() {
+        // CSD weight <= number of set bits, strictly better on runs.
+        for c in 1i64..=512 {
+            assert!(csd_weight(c) <= c.count_ones() as usize, "{c}");
+        }
+        assert_eq!(csd_weight(0b111111), 2); // 63 = 64 - 1
+        assert_eq!(csd_weight(0), 0);
+    }
+
+    #[test]
+    fn csd_multiply_computes_products() {
+        for c in [-33i64, -7, -1, 1, 3, 21, 100, 127] {
+            let mut g = Dfg::new();
+            let x = g.input("x", 6);
+            let p = csd_multiply(&mut g, x, c, 14);
+            g.output("p", 14, p, Signed);
+            g.validate().unwrap();
+            for v in [-32i64, -5, 0, 7, 31] {
+                let out = g.evaluate(&[BitVec::from_i64(6, v)]).unwrap();
+                assert_eq!(out[&g.outputs()[0]].to_i64(), Some(c * v), "{c} * {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn multiplierless_fir_matches_direct_computation() {
+        let taps = 6;
+        let g = multiplierless_fir(taps, 6, 5, 0xF1);
+        g.validate().unwrap();
+        // Recover the coefficients by feeding unit impulses.
+        let impulse = |k: usize, v: i64| -> Vec<BitVec> {
+            (0..g.inputs().len())
+                .map(|i| BitVec::from_i64(6, if i == k { v } else { 0 }))
+                .collect()
+        };
+        let y = g.outputs()[0];
+        let coeffs: Vec<i64> = (0..g.inputs().len())
+            .map(|k| g.evaluate(&impulse(k, 1)).unwrap()[&y].to_i64().expect("fits"))
+            .collect();
+        // Linearity: y(3 * e_k) = 3 * c_k.
+        for (k, &c) in coeffs.iter().enumerate() {
+            let out = g.evaluate(&impulse(k, 3)).unwrap();
+            assert_eq!(out[&y].to_i64(), Some(3 * c));
+        }
+    }
+
+    #[test]
+    fn multiplierless_fir_merges_into_one_cluster() {
+        let g = multiplierless_fir(8, 8, 6, 0xBEEF);
+        let mut g2 = g.clone();
+        let (clustering, _) = dp_merge::cluster_max(&mut g2);
+        clustering.validate(&g2).unwrap();
+        assert_eq!(
+            clustering.len(),
+            1,
+            "a multiplierless FIR is one carry-save cluster (got {:?})",
+            clustering.size_histogram()
+        );
+        // And it stays functionally intact.
+        use dp_dfg::gen::random_inputs;
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let inputs = random_inputs(&g, &mut rng);
+            assert_eq!(g.evaluate(&inputs).unwrap(), g2.evaluate(&inputs).unwrap());
+        }
+    }
+}

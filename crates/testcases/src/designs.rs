@@ -1,0 +1,304 @@
+//! The five evaluation designs, reconstructed from Section 7's prose.
+
+use dp_bitvec::Signedness::{self, Signed, Unsigned};
+use dp_dfg::{Dfg, NodeId, OpKind};
+
+/// A named evaluation design.
+#[derive(Debug, Clone)]
+pub struct Testcase {
+    /// Short name (`D1`…`D5`).
+    pub name: &'static str,
+    /// What mechanism the design exercises (from the paper's prose).
+    pub description: &'static str,
+    /// The design itself.
+    pub dfg: Dfg,
+}
+
+/// All five designs in table order.
+///
+/// ```
+/// let designs = dp_testcases::all_designs();
+/// assert_eq!(designs.len(), 5);
+/// for t in &designs {
+///     t.dfg.validate().unwrap();
+/// }
+/// ```
+pub fn all_designs() -> Vec<Testcase> {
+    vec![
+        Testcase { name: "D1", description: D1_DESC, dfg: d1() },
+        Testcase { name: "D2", description: D2_DESC, dfg: d2() },
+        Testcase { name: "D3", description: D3_DESC, dfg: d3() },
+        Testcase { name: "D4", description: D4_DESC, dfg: d4() },
+        Testcase { name: "D5", description: D5_DESC, dfg: d5() },
+    ]
+}
+
+const D1_DESC: &str = "mergeable addition network, no redundant widths; only \
+Huffman rebalancing proves the accumulator widths safe (paper: iteration 2+ \
+merges the first-pass clusters)";
+const D2_DESC: &str = "larger addition network in the same style as D1, with \
+more and deeper skewed accumulation chains";
+const D3_DESC: &str = "sum of products of sums; product output widths carry \
+redundancy that information analysis prunes, merging the products with the \
+final addition";
+const D4_DESC: &str = "heavy redundant intermediate widths (small data on \
+32-bit wires) with truncate-then-extend patterns that only information \
+content proves safe";
+const D5_DESC: &str = "smaller variant of D4 with a multiplier, same \
+redundant-width mechanism";
+
+/// A skewed (left-leaning) addition chain over `inputs`, with intermediate
+/// widths following the skewed intrinsic growth and the final node clamped
+/// to `final_width`. Returns the last node.
+fn skewed_chain(g: &mut Dfg, inputs: &[NodeId], t: Signedness, final_width: usize) -> NodeId {
+    assert!(inputs.len() >= 2);
+    let mut acc = inputs[0];
+    let mut w = g.node(inputs[0]).width();
+    for (k, &i) in inputs.iter().enumerate().skip(1) {
+        w = if k == inputs.len() - 1 { final_width } else { w + 1 };
+        acc = g.op(OpKind::Add, w, &[(acc, t), (i, t)]);
+    }
+    acc
+}
+
+/// The balanced-bound width of summing `n` unsigned `w`-bit terms.
+fn balanced_width(n: usize, w: usize) -> usize {
+    w + (usize::BITS - (n - 1).leading_zeros()) as usize
+}
+
+/// D1: four skewed 8-input chains of 8-bit unsigned data, combined and
+/// widened into a 16-bit context. Every chain's accumulator is declared at
+/// the *balanced* width (11 bits), which the skewed first-pass bound
+/// cannot prove — exactly the situation the paper describes for D1/D2.
+pub fn d1() -> Dfg {
+    let mut g = Dfg::new();
+    let mut chains = Vec::new();
+    for c in 0..4 {
+        let inputs: Vec<NodeId> =
+            (0..8).map(|k| g.input(format!("x{c}_{k}"), 8)).collect();
+        chains.push(skewed_chain(&mut g, &inputs, Unsigned, balanced_width(8, 8)));
+    }
+    let y = g.input("y", 16);
+    let s1 = g.op(OpKind::Add, 13, &[(chains[0], Unsigned), (chains[1], Unsigned)]);
+    let s2 = g.op(OpKind::Add, 13, &[(chains[2], Unsigned), (chains[3], Unsigned)]);
+    let s3 = g.op(OpKind::Add, 14, &[(s1, Unsigned), (s2, Unsigned)]);
+    let f = g.op(OpKind::Add, 17, &[(s3, Unsigned), (y, Unsigned)]);
+    g.output("r", 17, f, Unsigned);
+    g
+}
+
+/// D2: six skewed 12-input chains of 6-bit unsigned data with a deeper,
+/// mixed-sign combine tree.
+pub fn d2() -> Dfg {
+    let mut g = Dfg::new();
+    let mut chains = Vec::new();
+    for c in 0..6 {
+        let inputs: Vec<NodeId> =
+            (0..12).map(|k| g.input(format!("x{c}_{k}"), 6)).collect();
+        chains.push(skewed_chain(&mut g, &inputs, Unsigned, balanced_width(12, 6)));
+    }
+    let s1 = g.op(OpKind::Add, 11, &[(chains[0], Unsigned), (chains[1], Unsigned)]);
+    let s2 = g.op(OpKind::Sub, 12, &[(chains[2], Signed), (chains[3], Signed)]);
+    let s3 = g.op(OpKind::Add, 11, &[(chains[4], Unsigned), (chains[5], Unsigned)]);
+    let t1 = g.op(OpKind::Add, 13, &[(s1, Signed), (s2, Signed)]);
+    let t2 = g.op(OpKind::Sub, 14, &[(t1, Signed), (s3, Signed)]);
+    g.output("r", 14, t2, Signed);
+    g
+}
+
+/// D3: `Σ (aᵢ + bᵢ) * (cᵢ + dᵢ)` over 3-bit signed inputs. The sums are
+/// exact at 5 bits; the products are declared at 9 bits — wide enough for
+/// the true information (8 bits) but *narrower* than what edge widths
+/// suggest (5 + 5 = 10), so the width-only analysis sees phantom
+/// truncation and splits the products from the final addition.
+pub fn d3() -> Dfg {
+    let mut g = Dfg::new();
+    let mut products = Vec::new();
+    for i in 0..4 {
+        let a = g.input(format!("a{i}"), 3);
+        let b = g.input(format!("b{i}"), 3);
+        let c = g.input(format!("c{i}"), 3);
+        let d = g.input(format!("d{i}"), 3);
+        let s1 = g.op(OpKind::Add, 5, &[(a, Signed), (b, Signed)]);
+        let s2 = g.op(OpKind::Add, 5, &[(c, Signed), (d, Signed)]);
+        let p = g.op(OpKind::Mul, 9, &[(s1, Signed), (s2, Signed)]);
+        products.push(p);
+    }
+    let t1 = g.op_with_edges(
+        OpKind::Add,
+        18,
+        &[(products[0], 18, Signed), (products[1], 18, Signed)],
+    );
+    let t2 = g.op_with_edges(
+        OpKind::Add,
+        18,
+        &[(products[2], 18, Signed), (products[3], 18, Signed)],
+    );
+    let f = g.op(OpKind::Add, 18, &[(t1, Signed), (t2, Signed)]);
+    g.output("r", 18, f, Signed);
+    g
+}
+
+/// D4: sixteen 4-bit signed inputs on 32-bit wires, two Figure-3-style
+/// narrow hops, all recombined at 32 bits.
+pub fn d4() -> Dfg {
+    let mut g = Dfg::new();
+    let wide = 32;
+    let block = |g: &mut Dfg, name: &str| -> NodeId {
+        let inputs: Vec<NodeId> = (0..8).map(|k| g.input(format!("{name}{k}"), 4)).collect();
+        let mut level = inputs;
+        while level.len() > 1 {
+            let mut next = Vec::new();
+            for pair in level.chunks(2) {
+                if pair.len() == 2 {
+                    next.push(g.op(OpKind::Add, wide, &[(pair[0], Signed), (pair[1], Signed)]));
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            level = next;
+        }
+        level[0]
+    };
+    let b1 = block(&mut g, "a");
+    let b2 = block(&mut g, "b");
+    // Narrow hops: 10-bit nodes carrying 7 significant bits, re-extended
+    // to 32 downstream — leakage analysis must break here.
+    let h1 = g.op_with_edges(OpKind::Add, 10, &[(b1, 10, Signed), (b2, 10, Signed)]);
+    let c = g.input("c", 4);
+    let w1 = g.op(OpKind::Add, wide, &[(h1, Signed), (c, Signed)]);
+    let d = g.input("d", 4);
+    let w2 = g.op(OpKind::Sub, wide, &[(w1, Signed), (d, Signed)]);
+    g.output("r", wide, w2, Signed);
+    g
+}
+
+/// D5: a smaller redundant-width design with one multiplier.
+pub fn d5() -> Dfg {
+    let mut g = Dfg::new();
+    let wide = 32;
+    let inputs: Vec<NodeId> = (0..6).map(|k| g.input(format!("x{k}"), 4)).collect();
+    let s1 = g.op(OpKind::Add, wide, &[(inputs[0], Signed), (inputs[1], Signed)]);
+    let s2 = g.op(OpKind::Add, wide, &[(inputs[2], Signed), (inputs[3], Signed)]);
+    let s3 = g.op(OpKind::Add, wide, &[(s1, Signed), (s2, Signed)]);
+    // Narrow hop (6 significant bits on a 9-bit node), then re-extension.
+    let h = g.op_with_edges(OpKind::Add, 9, &[(s3, 9, Signed), (inputs[4], 4, Signed)]);
+    let k = g.input("k", 4);
+    let m = g.op(OpKind::Mul, wide, &[(k, Signed), (inputs[5], Signed)]);
+    let f1 = g.op(OpKind::Add, wide, &[(h, Signed), (m, Signed)]);
+    let f2 = g.op(OpKind::Sub, wide, &[(f1, Signed), (inputs[0], Signed)]);
+    g.output("r", wide, f2, Signed);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_merge::{cluster_leakage, cluster_max, cluster_none};
+
+    #[test]
+    fn all_designs_validate_and_evaluate() {
+        use dp_dfg::gen::random_inputs;
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for t in all_designs() {
+            t.dfg.validate().unwrap_or_else(|e| panic!("{}: {e}", t.name));
+            let inputs = random_inputs(&t.dfg, &mut rng);
+            t.dfg.evaluate(&inputs).unwrap_or_else(|e| panic!("{}: {e}", t.name));
+            assert!(t.dfg.is_connected(), "{} must be connected", t.name);
+        }
+    }
+
+    #[test]
+    fn d1_needs_the_huffman_iteration() {
+        let g = d1();
+        let old = cluster_leakage(&g);
+        let mut g2 = g.clone();
+        let (new, report) = cluster_max(&mut g2);
+        assert!(
+            new.len() < old.len(),
+            "new {} clusters vs old {}",
+            new.len(),
+            old.len()
+        );
+        assert!(report.refinements >= 1, "D1's gain must come from rebalancing");
+        assert!(report.rounds >= 2);
+        // No redundant widths: the transform alone changes little of the
+        // total operator width (< 15 %).
+        let before = g.total_op_width() as f64;
+        let after = g2.total_op_width() as f64;
+        assert!(after > before * 0.85, "D1 widths are tight: {before} -> {after}");
+    }
+
+    #[test]
+    fn d2_merges_deeper() {
+        let g = d2();
+        let old = cluster_leakage(&g);
+        let mut g2 = g.clone();
+        let (new, report) = cluster_max(&mut g2);
+        assert!(new.len() < old.len());
+        assert!(report.refinements >= 1);
+    }
+
+    #[test]
+    fn d3_products_merge_with_final_add() {
+        let g = d3();
+        let old = cluster_leakage(&g);
+        let mut g2 = g.clone();
+        let (new, _) = cluster_max(&mut g2);
+        // New: 8 sum clusters + 1 products-plus-adds cluster.
+        assert_eq!(new.len(), 9, "histogram: {:?}", new.size_histogram());
+        assert!(old.len() > new.len(), "old {} vs new {}", old.len(), new.len());
+        // Product widths prune from 9 to 8 bits.
+        let wide_muls = g2
+            .op_nodes()
+            .filter(|&n| g2.node(n).kind().op() == Some(dp_dfg::OpKind::Mul))
+            .filter(|&n| g2.node(n).width() > 8)
+            .count();
+        assert_eq!(wide_muls, 0, "every product should prune to 8 bits");
+    }
+
+    #[test]
+    fn d4_d5_width_collapse() {
+        for (name, g) in [("D4", d4()), ("D5", d5())] {
+            let before = g.total_op_width();
+            let old = cluster_leakage(&g);
+            let mut g2 = g.clone();
+            let (new, _) = cluster_max(&mut g2);
+            let after = g2.total_op_width();
+            assert!(
+                after * 3 < before,
+                "{name}: widths should collapse (got {before} -> {after})"
+            );
+            assert!(new.len() < old.len(), "{name}: old {} vs new {}", old.len(), new.len());
+        }
+    }
+
+    #[test]
+    fn transformed_designs_stay_equivalent() {
+        use dp_dfg::gen::random_inputs;
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for t in all_designs() {
+            let mut g2 = t.dfg.clone();
+            let _ = cluster_max(&mut g2);
+            for _ in 0..20 {
+                let inputs = random_inputs(&t.dfg, &mut rng);
+                assert_eq!(
+                    t.dfg.evaluate(&inputs).unwrap(),
+                    g2.evaluate(&inputs).unwrap(),
+                    "{}",
+                    t.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_merge_counts_match_operator_counts() {
+        for t in all_designs() {
+            let none = cluster_none(&t.dfg);
+            assert_eq!(none.len(), t.dfg.op_nodes().count(), "{}", t.name);
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Parametric workload families for examples, benches and ablations.
+
+use dp_bitvec::{BitVec, Signedness};
+use dp_dfg::{Dfg, NodeId, OpKind};
+
+use Signedness::{Signed, Unsigned};
+
+/// A linear (skewed) accumulation chain of `n` unsigned `width`-bit
+/// inputs, each intermediate at its full skewed width. The worst case for
+/// a first-pass information bound, the best showcase for rebalancing.
+pub fn adder_chain(n: usize, width: usize) -> Dfg {
+    assert!(n >= 2, "a chain needs at least two inputs");
+    let mut g = Dfg::new();
+    let inputs: Vec<NodeId> = (0..n).map(|k| g.input(format!("x{k}"), width)).collect();
+    let mut acc = inputs[0];
+    let mut w = width;
+    for &i in &inputs[1..] {
+        w += 1;
+        acc = g.op(OpKind::Add, w, &[(acc, Unsigned), (i, Unsigned)]);
+    }
+    g.output("sum", w, acc, Unsigned);
+    g
+}
+
+/// A balanced binary addition tree of `n` unsigned `width`-bit inputs.
+pub fn adder_tree(n: usize, width: usize) -> Dfg {
+    assert!(n >= 2, "a tree needs at least two inputs");
+    let mut g = Dfg::new();
+    let mut level: Vec<NodeId> = (0..n).map(|k| g.input(format!("x{k}"), width)).collect();
+    while level.len() > 1 {
+        let mut next = Vec::new();
+        for pair in level.chunks(2) {
+            if pair.len() == 2 {
+                let w = g.node(pair[0]).width().max(g.node(pair[1]).width()) + 1;
+                next.push(g.op(OpKind::Add, w, &[(pair[0], Unsigned), (pair[1], Unsigned)]));
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        level = next;
+    }
+    let w = g.node(level[0]).width();
+    g.output("sum", w, level[0], Unsigned);
+    g
+}
+
+/// An `n`-term signed dot product `Σ aᵢ·bᵢ` with full-precision widths —
+/// the workload class (FIR/FFT inner loops) the paper's introduction
+/// motivates.
+pub fn dot_product(n: usize, width: usize) -> Dfg {
+    assert!(n >= 1);
+    let mut g = Dfg::new();
+    let mut terms = Vec::new();
+    for k in 0..n {
+        let a = g.input(format!("a{k}"), width);
+        let b = g.input(format!("b{k}"), width);
+        terms.push(g.op(OpKind::Mul, 2 * width, &[(a, Signed), (b, Signed)]));
+    }
+    let mut acc = terms[0];
+    let mut w = 2 * width;
+    for &t in &terms[1..] {
+        w += 1;
+        acc = g.op(OpKind::Add, w, &[(acc, Signed), (t, Signed)]);
+    }
+    g.output("dot", w, acc, Signed);
+    g
+}
+
+/// A direct-form FIR filter with constant coefficients: `Σ cᵢ·xᵢ` where
+/// `xᵢ` are the tap inputs and `cᵢ` small signed constants (derived from
+/// `seed` deterministically).
+pub fn fir_filter(taps: usize, width: usize, coeff_bits: usize, seed: u64) -> Dfg {
+    assert!(taps >= 1 && coeff_bits >= 2);
+    let mut g = Dfg::new();
+    let mut state = seed | 1;
+    let mut terms = Vec::new();
+    for k in 0..taps {
+        // Small xorshift for deterministic, varied coefficients.
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let max = (1i64 << (coeff_bits - 1)) - 1;
+        let c = (state % (2 * max as u64 + 1)) as i64 - max;
+        let x = g.input(format!("x{k}"), width);
+        let coeff = g.constant(BitVec::from_i64(coeff_bits, c));
+        terms.push(g.op(OpKind::Mul, width + coeff_bits, &[(x, Signed), (coeff, Signed)]));
+    }
+    let mut acc = terms[0];
+    let mut w = width + coeff_bits;
+    for &t in &terms[1..] {
+        w += 1;
+        acc = g.op(OpKind::Add, w, &[(acc, Signed), (t, Signed)]);
+    }
+    g.output("y", w, acc, Signed);
+    g
+}
+
+/// A complex multiplier `(ar + j·ai) * (br + j·bi)`: real part
+/// `ar·br − ai·bi`, imaginary part `ar·bi + ai·br` — the FFT butterfly's
+/// arithmetic core.
+pub fn complex_multiplier(width: usize) -> Dfg {
+    let mut g = Dfg::new();
+    let ar = g.input("ar", width);
+    let ai = g.input("ai", width);
+    let br = g.input("br", width);
+    let bi = g.input("bi", width);
+    let w2 = 2 * width;
+    let p1 = g.op(OpKind::Mul, w2, &[(ar, Signed), (br, Signed)]);
+    let p2 = g.op(OpKind::Mul, w2, &[(ai, Signed), (bi, Signed)]);
+    let p3 = g.op(OpKind::Mul, w2, &[(ar, Signed), (bi, Signed)]);
+    let p4 = g.op(OpKind::Mul, w2, &[(ai, Signed), (br, Signed)]);
+    let re = g.op(OpKind::Sub, w2 + 1, &[(p1, Signed), (p2, Signed)]);
+    let im = g.op(OpKind::Add, w2 + 1, &[(p3, Signed), (p4, Signed)]);
+    g.output("re", w2 + 1, re, Signed);
+    g.output("im", w2 + 1, im, Signed);
+    g
+}
+
+/// A redundant-width variant of [`dot_product`]: every intermediate is
+/// declared at `declared` bits regardless of need — the D4/D5 mechanism as
+/// a parametric family for sweeps.
+pub fn redundant_dot_product(n: usize, width: usize, declared: usize) -> Dfg {
+    assert!(n >= 1 && declared >= 2 * width);
+    let mut g = Dfg::new();
+    let mut terms = Vec::new();
+    for k in 0..n {
+        let a = g.input(format!("a{k}"), width);
+        let b = g.input(format!("b{k}"), width);
+        terms.push(g.op(OpKind::Mul, declared, &[(a, Signed), (b, Signed)]));
+    }
+    let mut acc = terms[0];
+    for &t in &terms[1..] {
+        acc = g.op(OpKind::Add, declared, &[(acc, Signed), (t, Signed)]);
+    }
+    g.output("dot", declared, acc, Signed);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_dfg::gen::random_inputs;
+    use dp_merge::cluster_max;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn check(g: &Dfg) {
+        g.validate().unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut g2 = g.clone();
+        let (clustering, _) = cluster_max(&mut g2);
+        clustering.validate(&g2).unwrap();
+        for _ in 0..10 {
+            let inputs = random_inputs(g, &mut rng);
+            assert_eq!(g.evaluate(&inputs).unwrap(), g2.evaluate(&inputs).unwrap());
+        }
+    }
+
+    #[test]
+    fn families_are_valid_and_transform_safely() {
+        check(&adder_chain(6, 5));
+        check(&adder_tree(9, 4));
+        check(&dot_product(4, 5));
+        check(&fir_filter(5, 6, 4, 0xF1));
+        check(&complex_multiplier(5));
+        check(&redundant_dot_product(3, 4, 24));
+    }
+
+    #[test]
+    fn dot_product_computes_dot_products() {
+        let g = dot_product(2, 4);
+        let inputs = vec![
+            dp_bitvec::BitVec::from_i64(4, 3),
+            dp_bitvec::BitVec::from_i64(4, -2),
+            dp_bitvec::BitVec::from_i64(4, 5),
+            dp_bitvec::BitVec::from_i64(4, 7),
+        ];
+        let out = g.evaluate(&inputs).unwrap();
+        assert_eq!(out[&g.outputs()[0]].to_i64(), Some(3 * -2 + 5 * 7));
+    }
+
+    #[test]
+    fn complex_multiplier_is_correct() {
+        let g = complex_multiplier(4);
+        // (3 + 2j) * (-1 + 4j) = -3 + 12j + -2j + 8j^2 = -11 + 10j
+        let inputs = vec![
+            dp_bitvec::BitVec::from_i64(4, 3),
+            dp_bitvec::BitVec::from_i64(4, 2),
+            dp_bitvec::BitVec::from_i64(4, -1),
+            dp_bitvec::BitVec::from_i64(4, 4),
+        ];
+        let out = g.evaluate(&inputs).unwrap();
+        assert_eq!(out[&g.outputs()[0]].to_i64(), Some(-11));
+        assert_eq!(out[&g.outputs()[1]].to_i64(), Some(10));
+    }
+
+    #[test]
+    fn fir_is_deterministic_per_seed() {
+        let g1 = fir_filter(4, 5, 4, 9);
+        let g2 = fir_filter(4, 5, 4, 9);
+        assert_eq!(g1.to_dot(), g2.to_dot());
+        let g3 = fir_filter(4, 5, 4, 10);
+        assert_ne!(g1.to_dot(), g3.to_dot());
+    }
+
+    #[test]
+    fn redundant_family_collapses_under_analysis() {
+        let g = redundant_dot_product(4, 4, 32);
+        let before = g.total_op_width();
+        let mut g2 = g.clone();
+        let _ = cluster_max(&mut g2);
+        assert!(g2.total_op_width() * 2 < before);
+    }
+}

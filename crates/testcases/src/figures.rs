@@ -1,0 +1,213 @@
+//! Reconstructions of the paper's illustrative figures.
+
+use dp_analysis::Term;
+use dp_bitvec::Signedness::{Signed, Unsigned};
+use dp_dfg::{Dfg, NodeId, OpKind};
+
+/// Figure 1's graph `G2` with handles to its named nodes.
+#[derive(Debug, Clone)]
+pub struct Fig1 {
+    /// The graph.
+    pub g: Dfg,
+    /// The truncating adder `N1` (the forced break node).
+    pub n1: NodeId,
+    /// The parallel adder `N2`.
+    pub n2: NodeId,
+    /// The final adder `N3`.
+    pub n3: NodeId,
+}
+
+/// Figure 1: a 9-bit sum truncated to 7 bits at `N1`, then sign-extended
+/// back to 9 bits on the edge into `N3` — the canonical mergeability
+/// bottleneck. Maximal merging yields the two clusters `G_I = {N1}` and
+/// `G_II = {N2, N3}`.
+///
+/// ```
+/// use dp_merge::{cluster_max, cluster_leakage};
+/// let fig = dp_testcases::figures::fig1();
+/// let mut g = fig.g.clone();
+/// let (clustering, _) = cluster_max(&mut g);
+/// assert_eq!(clustering.len(), 2);
+/// ```
+pub fn fig1() -> Fig1 {
+    let mut g = Dfg::new();
+    let a = g.input("A", 8);
+    let b = g.input("B", 8);
+    let c = g.input("C", 8);
+    let d = g.input("D", 8);
+    let n1 = g.op(OpKind::Add, 7, &[(a, Signed), (b, Signed)]);
+    let n2 = g.op(OpKind::Add, 9, &[(c, Signed), (d, Signed)]);
+    let n3 = g.op_with_edges(OpKind::Add, 9, &[(n1, 9, Signed), (n2, 9, Signed)]);
+    g.output("R", 9, n3, Signed);
+    Fig1 { g, n1, n2, n3 }
+}
+
+/// Figure 2's graph `G4` with handles to its named nodes.
+#[derive(Debug, Clone)]
+pub struct Fig2 {
+    /// The graph.
+    pub g: Dfg,
+    /// The truncating adder (no longer a break node here).
+    pub n1: NodeId,
+    /// The final adder.
+    pub n3: NodeId,
+}
+
+/// Figure 2: the same shape as Figure 1, but the primary output keeps only
+/// 5 bits — required precision is 5 everywhere, the truncation is
+/// harmless, and the whole graph merges into one cluster with reduced
+/// widths (`G4 → G4'`).
+///
+/// ```
+/// use dp_analysis::required_precision;
+/// let fig = dp_testcases::figures::fig2();
+/// let rp = required_precision(&fig.g);
+/// assert_eq!(rp.output_port(fig.n1), 5);
+/// ```
+pub fn fig2() -> Fig2 {
+    let mut g = Dfg::new();
+    let a = g.input("A", 8);
+    let b = g.input("B", 8);
+    let c = g.input("C", 8);
+    let n1 = g.op(OpKind::Add, 7, &[(a, Signed), (b, Signed)]);
+    let n3 = g.op_with_edges(OpKind::Add, 9, &[(n1, 9, Signed), (c, 8, Signed)]);
+    g.output("R", 5, n3, Signed);
+    Fig2 { g, n1, n3 }
+}
+
+/// Figure 3's graph `G5` with handles to its named nodes.
+#[derive(Debug, Clone)]
+pub struct Fig3 {
+    /// The graph.
+    pub g: Dfg,
+    /// First small adder.
+    pub n1: NodeId,
+    /// Second small adder.
+    pub n2: NodeId,
+    /// Combining adder whose 8-bit result is only a 5-bit sum.
+    pub n3: NodeId,
+    /// Final adder past the seemingly-troublesome extension edge `e7`.
+    pub n4: NodeId,
+}
+
+/// Figure 3: 3-bit inputs make every 8-bit intermediate a sign-extension
+/// of a 4/5-bit sum, so the sign-extending edge `e7` is information-
+/// preserving: the whole graph merges and the widths shrink (`G5 → G5'`).
+///
+/// ```
+/// use dp_merge::{cluster_leakage, cluster_max};
+/// let fig = dp_testcases::figures::fig3();
+/// assert_eq!(cluster_leakage(&fig.g).len(), 2); // old analysis splits
+/// let mut g = fig.g.clone();
+/// assert_eq!(cluster_max(&mut g).0.len(), 1); // information content merges
+/// ```
+pub fn fig3() -> Fig3 {
+    let mut g = Dfg::new();
+    let a = g.input("A", 3);
+    let b = g.input("B", 3);
+    let c = g.input("C", 3);
+    let d = g.input("D", 3);
+    let e = g.input("E", 9);
+    let n1 = g.op(OpKind::Add, 8, &[(a, Signed), (b, Signed)]);
+    let n2 = g.op(OpKind::Add, 8, &[(c, Signed), (d, Signed)]);
+    let n3 = g.op(OpKind::Add, 8, &[(n1, Signed), (n2, Signed)]);
+    let n4 = g.op_with_edges(OpKind::Add, 9, &[(n3, 9, Signed), (e, 9, Signed)]);
+    g.output("R", 10, n4, Signed);
+    Fig3 { g, n1, n2, n3, n4 }
+}
+
+/// Figure 4: the skewed five-term chain over `⟨3,0⟩` inputs whose
+/// first-pass bound is `⟨7,0⟩`, against the balanced ordering's `⟨6,0⟩`.
+/// Returns the Huffman terms so callers can reproduce both bounds.
+///
+/// ```
+/// use dp_analysis::{huffman_bound, naive_skewed_bound};
+/// let terms = dp_testcases::figures::fig4_terms();
+/// assert_eq!(naive_skewed_bound(&terms).to_string(), "<7,0>");
+/// assert_eq!(huffman_bound(&terms).to_string(), "<6,0>");
+/// ```
+pub fn fig4_terms() -> Vec<Term> {
+    (0..5)
+        .map(|_| Term::new(1, dp_analysis::Ic::new(3, dp_bitvec::Signedness::Unsigned)))
+        .collect()
+}
+
+/// The skewed chain of Figure 4 as an actual graph (five 3-bit unsigned
+/// inputs accumulated left-to-right), used by benches that want to walk
+/// the real structure rather than just the terms.
+pub fn fig4_graph() -> Dfg {
+    let mut g = Dfg::new();
+    let inputs: Vec<NodeId> = (0..5).map(|k| g.input(format!("x{k}"), 3)).collect();
+    let mut acc = inputs[0];
+    let mut w = 3;
+    for &i in &inputs[1..] {
+        w += 1;
+        acc = g.op(OpKind::Add, w, &[(acc, Unsigned), (i, Unsigned)]);
+    }
+    g.output("Z", 7, acc, Unsigned);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_analysis::{info_content, Ic};
+    use dp_merge::{cluster_leakage, cluster_max};
+
+    #[test]
+    fn fig1_two_clusters_with_documented_membership() {
+        let fig = fig1();
+        let mut g = fig.g.clone();
+        let (clustering, _) = cluster_max(&mut g);
+        assert_eq!(clustering.len(), 2);
+        let c1 = clustering.cluster_of(fig.n1).unwrap();
+        assert_eq!(c1.members, vec![fig.n1]);
+        let c2 = clustering.cluster_of(fig.n3).unwrap();
+        assert!(c2.contains(fig.n2));
+        // The old analysis agrees on this graph (the paper's point: both
+        // see the bottleneck; the new analysis just never does worse).
+        assert_eq!(cluster_leakage(&fig.g).len(), 2);
+    }
+
+    #[test]
+    fn fig2_fully_merges_and_shrinks() {
+        let fig = fig2();
+        let mut g = fig.g.clone();
+        let (clustering, report) = cluster_max(&mut g);
+        assert_eq!(clustering.len(), 1);
+        assert!(report.transform.node_width_changes >= 2);
+        assert_eq!(g.node(fig.n1).width(), 5);
+        assert_eq!(g.node(fig.n3).width(), 5);
+        // The old analysis still breaks the untouched graph.
+        assert_eq!(cluster_leakage(&fig.g).len(), 2);
+    }
+
+    #[test]
+    fn fig3_information_content_values_match_prose() {
+        let fig = fig3();
+        let ic = info_content(&fig.g);
+        use dp_bitvec::Signedness::Signed;
+        assert_eq!(ic.output(fig.n1), Ic::new(4, Signed));
+        assert_eq!(ic.output(fig.n2), Ic::new(4, Signed));
+        assert_eq!(ic.output(fig.n3), Ic::new(5, Signed));
+        let mut g = fig.g.clone();
+        let (clustering, _) = cluster_max(&mut g);
+        assert_eq!(clustering.len(), 1);
+        // Widths shrink as in G5'.
+        assert!(g.node(fig.n1).width() <= 4);
+        assert!(g.node(fig.n3).width() <= 5);
+    }
+
+    #[test]
+    fn fig4_graph_matches_terms() {
+        let g = fig4_graph();
+        g.validate().unwrap();
+        let ic = info_content(&g);
+        // The last accumulator's first-pass bound is the skewed <7,0>.
+        let last = g
+            .op_nodes()
+            .last()
+            .expect("chain has operators");
+        assert_eq!(ic.output(last).to_string(), "<7,0>");
+    }
+}

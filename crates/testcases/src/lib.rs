@@ -1,0 +1,35 @@
+//! Reference test designs for the evaluation.
+//!
+//! The paper's experiments use five proprietary datapath-only RTL
+//! testcases, `D1`–`D5`, described only qualitatively in Section 7. This
+//! crate reconstructs designs with the same *mechanisms*:
+//!
+//! * [`designs::d1`]/[`designs::d2`] — mergeable addition networks with
+//!   **no redundant widths**: the first information-content pass produces
+//!   the same clusters as the old algorithm, and only the Huffman
+//!   rebalancing iterations (Section 5.2) prove the narrow accumulation
+//!   widths safe and fuse the clusters.
+//! * [`designs::d3`] — a **sum of products of sums** whose product output
+//!   widths carry redundancy; width pruning shrinks the multipliers and
+//!   merges them with the final addition (modest delay gain, visible area
+//!   gain — matching the paper's D3 row).
+//! * [`designs::d4`]/[`designs::d5`] — heavy **redundant intermediate
+//!   widths** (small data on wide wires) plus Figure-3-style
+//!   truncate-then-extend patterns that the width-only analysis must break
+//!   on but information content proves safe — the rows with the paper's
+//!   dramatic delay/area reductions.
+//!
+//! The [`figures`] module reconstructs the paper's illustrative figures
+//! 1–4, and [`families`] provides parametric workload generators (adder
+//! chains/trees, dot products, FIR filters, complex multipliers) used by
+//! the examples, benches and ablation studies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csd;
+pub mod designs;
+pub mod families;
+pub mod figures;
+
+pub use designs::{all_designs, Testcase};

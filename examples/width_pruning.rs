@@ -1,0 +1,79 @@
+//! The paper's width-analysis story on its own figures: required
+//! precision (Figure 2), information content (Figure 3), and Huffman
+//! rebalancing (Figure 4), each shown as a before/after transformation.
+//!
+//! Run with `cargo run --example width_pruning`.
+
+use datapath_merge::prelude::*;
+use datapath_merge::analysis::naive_skewed_bound;
+use datapath_merge::testcases::figures;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // Figure 2: required precision.
+    // ------------------------------------------------------------------
+    let fig2 = figures::fig2();
+    println!("== required precision (paper Figure 2) ==");
+    let rp = required_precision(&fig2.g);
+    println!(
+        "output keeps 5 bits, so r = {} at the 7-bit adder and r = {} at the 9-bit adder",
+        rp.output_port(fig2.n1),
+        rp.output_port(fig2.n3)
+    );
+    let mut g2 = fig2.g.clone();
+    let report = optimize_widths(&mut g2);
+    println!(
+        "after Theorem 4.2: N1 {} -> {} bits, N3 {} -> {} bits ({} widths changed)",
+        fig2.g.node(fig2.n1).width(),
+        g2.node(fig2.n1).width(),
+        fig2.g.node(fig2.n3).width(),
+        g2.node(fig2.n3).width(),
+        report.node_width_changes + report.edge_width_changes
+    );
+    let (clusters, _) = cluster_max(&mut fig2.g.clone());
+    println!("clusters after analysis: {} (G4 is fully mergeable)\n", clusters.len());
+
+    // ------------------------------------------------------------------
+    // Figure 3: information content.
+    // ------------------------------------------------------------------
+    let fig3 = figures::fig3();
+    println!("== information content (paper Figure 3) ==");
+    let ic = info_content(&fig3.g);
+    println!(
+        "8-bit adders really carry i(N1) = {}, i(N2) = {}, i(N3) = {}",
+        ic.output(fig3.n1),
+        ic.output(fig3.n2),
+        ic.output(fig3.n3)
+    );
+    println!(
+        "old (width-only) clustering: {} clusters; new: {} cluster(s)",
+        cluster_leakage(&fig3.g).len(),
+        cluster_max(&mut fig3.g.clone()).0.len()
+    );
+    let mut g3 = fig3.g.clone();
+    optimize_widths(&mut g3);
+    println!(
+        "G5 -> G5': N1 {} -> {} bits, N3 {} -> {} bits\n",
+        fig3.g.node(fig3.n1).width(),
+        g3.node(fig3.n1).width(),
+        fig3.g.node(fig3.n3).width(),
+        g3.node(fig3.n3).width()
+    );
+
+    // ------------------------------------------------------------------
+    // Figure 4: Huffman rebalancing.
+    // ------------------------------------------------------------------
+    println!("== Huffman rebalancing (paper Figure 4) ==");
+    let terms = figures::fig4_terms();
+    println!(
+        "five <3,0> addends: skewed chain proves {}, Huffman order proves {}",
+        naive_skewed_bound(&terms),
+        huffman_bound(&terms)
+    );
+    println!("(Theorem 5.10: the Huffman order is optimal among all orderings)");
+
+    // The DOT dumps for the curious.
+    println!("\nGraphviz of Figure 3 before/after (pipe into `dot -Tsvg`):");
+    println!("--- before ---\n{}", fig3.g.to_dot());
+    println!("--- after ---\n{}", g3.to_dot());
+}

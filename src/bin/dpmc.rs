@@ -1,0 +1,237 @@
+//! `dpmc` — the datapath merge compiler.
+//!
+//! Reads a design in the [`datapath_merge::dsl`] text format, runs the
+//! requested merging flow, and reports clusters, delay and area; can also
+//! emit structural Verilog and Graphviz DOT, run the timing-driven
+//! optimizer, and self-check the netlist against the design.
+//!
+//! ```text
+//! dpmc design.dp [--flow new|old|none|all] [--adder ks|csel|ripple]
+//!      [--reduction dadda|wallace] [--no-compress]
+//!      [--optimize TARGET_NS] [--emit-verilog FILE] [--emit-dot FILE]
+//!      [--check N]
+//! ```
+
+use std::process::ExitCode;
+
+use datapath_merge::prelude::*;
+
+struct Args {
+    file: String,
+    flows: Vec<MergeStrategy>,
+    config: SynthConfig,
+    optimize_target: Option<f64>,
+    emit_verilog: Option<String>,
+    emit_dot: Option<String>,
+    check: usize,
+}
+
+const USAGE: &str = "usage: dpmc <design.dp> [--flow new|old|none|all] \
+[--adder ks|csel|ripple] [--reduction dadda|wallace] [--no-compress] \
+[--optimize TARGET_NS] [--emit-verilog FILE] [--emit-dot FILE] [--check N]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        file: String::new(),
+        flows: vec![MergeStrategy::New],
+        config: SynthConfig::default(),
+        optimize_target: None,
+        emit_verilog: None,
+        emit_dot: None,
+        check: 20,
+    };
+    let mut it = std::env::args().skip(1);
+    let value = |it: &mut dyn Iterator<Item = String>, flag: &str| {
+        it.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--flow" => {
+                args.flows = match value(&mut it, "--flow")?.as_str() {
+                    "new" => vec![MergeStrategy::New],
+                    "old" => vec![MergeStrategy::Old],
+                    "none" => vec![MergeStrategy::None],
+                    "all" => vec![MergeStrategy::None, MergeStrategy::Old, MergeStrategy::New],
+                    other => return Err(format!("unknown flow `{other}`")),
+                }
+            }
+            "--adder" => {
+                args.config.adder = match value(&mut it, "--adder")?.as_str() {
+                    "ks" | "kogge-stone" => AdderKind::KoggeStone,
+                    "csel" | "carry-select" => AdderKind::CarrySelect,
+                    "ripple" => AdderKind::Ripple,
+                    other => return Err(format!("unknown adder `{other}`")),
+                }
+            }
+            "--reduction" => {
+                args.config.reduction = match value(&mut it, "--reduction")?.as_str() {
+                    "dadda" => ReductionKind::Dadda,
+                    "wallace" => ReductionKind::Wallace,
+                    other => return Err(format!("unknown reduction `{other}`")),
+                }
+            }
+            "--no-compress" => args.config.sign_ext_compression = false,
+            "--optimize" => {
+                args.optimize_target = Some(
+                    value(&mut it, "--optimize")?
+                        .parse()
+                        .map_err(|_| "bad --optimize value".to_string())?,
+                )
+            }
+            "--emit-verilog" => args.emit_verilog = Some(value(&mut it, "--emit-verilog")?),
+            "--emit-dot" => args.emit_dot = Some(value(&mut it, "--emit-dot")?),
+            "--check" => {
+                args.check = value(&mut it, "--check")?
+                    .parse()
+                    .map_err(|_| "bad --check value".to_string())?
+            }
+            other if args.file.is_empty() && !other.starts_with('-') => {
+                args.file = other.to_string()
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if args.file.is_empty() {
+        return Err("no design file given".to_string());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("dpmc: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("dpmc: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let text = std::fs::read_to_string(&args.file)
+        .map_err(|e| format!("cannot read {}: {e}", args.file))?;
+    let g = datapath_merge::dsl::parse_design(&text).map_err(|e| e.to_string())?;
+    let lib = Library::synthetic_025um();
+    println!(
+        "{}: {} inputs, {} operators, {} outputs",
+        args.file,
+        g.inputs().len(),
+        g.op_nodes().count(),
+        g.outputs().len()
+    );
+
+    for &strategy in &args.flows {
+        let flow = run_flow(&g, strategy, &args.config).map_err(|e| e.to_string())?;
+        let mut netlist = flow.netlist;
+        datapath_merge::opt::fold_constants(&mut netlist);
+        let mut netlist = netlist.sweep();
+        let timing = netlist.longest_path(&lib);
+        println!(
+            "\n[{strategy}] clusters: {}  (sizes {:?})",
+            flow.clustering.len(),
+            flow.clustering.size_histogram()
+        );
+        println!(
+            "[{strategy}] delay {:.3} ns  area {:.1}  gates {}",
+            timing.delay_ns,
+            netlist.area(&lib),
+            netlist.num_gates()
+        );
+        let path = netlist.critical_path(&lib);
+        if !path.is_empty() {
+            let cells: Vec<String> = path
+                .iter()
+                .map(|&gid| {
+                    let (kind, drive) = netlist.gate_info(gid);
+                    format!("{kind}/{drive}")
+                })
+                .collect();
+            let shown = 12.min(cells.len());
+            println!(
+                "[{strategy}] critical path ({} gates): {}{}",
+                path.len(),
+                cells[..shown].join(" -> "),
+                if cells.len() > shown { " -> ..." } else { "" }
+            );
+        }
+        if strategy == MergeStrategy::New {
+            println!(
+                "[{strategy}] total operator width {} -> {} after analysis",
+                g.total_op_width(),
+                flow.graph.total_op_width()
+            );
+        }
+
+        if let Some(target) = args.optimize_target {
+            let report = optimize(
+                &mut netlist,
+                &lib,
+                &OptConfig { target_delay_ns: target, ..OptConfig::default() },
+            );
+            println!(
+                "[{strategy}] optimized to {:.3} ns ({}) in {:.4} s: {} sized, {} buffered, area {:.1}",
+                report.end_delay_ns,
+                if report.met { "target met" } else { "target NOT met" },
+                report.runtime.as_secs_f64(),
+                report.gates_sized,
+                report.buffers_inserted,
+                report.end_area
+            );
+        }
+
+        if args.check > 0 {
+            check_equivalence(&g, &netlist, args.check)?;
+            println!("[{strategy}] verified against the design on {} random vectors", args.check);
+        }
+
+        // Emissions use the last requested flow (or the single one).
+        if let Some(path) = &args.emit_verilog {
+            let module = module_name(&args.file);
+            std::fs::write(path, netlist.to_verilog(&module))
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("[{strategy}] wrote Verilog to {path}");
+        }
+        if let Some(path) = &args.emit_dot {
+            std::fs::write(path, flow.graph.to_dot())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("[{strategy}] wrote DOT to {path}");
+        }
+    }
+    Ok(())
+}
+
+fn module_name(file: &str) -> String {
+    let base = std::path::Path::new(file)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("design");
+    base.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+fn check_equivalence(g: &Dfg, netlist: &Netlist, trials: usize) -> Result<(), String> {
+    use rand::{rngs::StdRng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(0xD93C);
+    for _ in 0..trials {
+        let inputs = datapath_merge::dfg::gen::random_inputs(g, &mut rng);
+        let expect = g.evaluate(&inputs).map_err(|e| e.to_string())?;
+        let got = netlist.simulate(&inputs).map_err(|e| e.to_string())?;
+        for (k, o) in g.outputs().iter().enumerate() {
+            if got[k] != expect[o] {
+                return Err(format!(
+                    "netlist differs from design at output `{}`",
+                    g.node(*o).name().unwrap_or("?")
+                ));
+            }
+        }
+    }
+    Ok(())
+}

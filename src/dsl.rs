@@ -1,0 +1,395 @@
+//! A small text format for describing datapath designs.
+//!
+//! The `dpmc` command-line tool reads this format, so designs can be
+//! clustered and synthesized without writing Rust. One statement per
+//! line; `#` starts a comment.
+//!
+//! ```text
+//! # dot product with a truncate-then-extend bottleneck
+//! input  a 8
+//! input  b 8
+//! const  k = 4'b0101
+//! p  = mul 16  a:s b:s
+//! s  = add 12  p:s/12 k:u      # edge width 12, unsigned coefficient edge
+//! n  = shl3 15 s:s             # s << 3
+//! output r 15  n:s
+//! ```
+//!
+//! Grammar per line:
+//!
+//! ```text
+//! input  NAME WIDTH
+//! const  NAME = <verilog literal>        e.g. 6'b000101
+//! NAME = OP WIDTH OPERAND [OPERAND]      OP ∈ add | sub | neg | mul | shlK
+//! output NAME WIDTH OPERAND
+//! ```
+//!
+//! An operand is `NAME[:s|:u][/EDGEWIDTH]`; the signedness defaults to
+//! unsigned and the edge width to the source's width.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use dp_bitvec::{BitVec, Signedness};
+use dp_dfg::{Dfg, NodeId, OpKind};
+
+/// A parse failure, with the 1-based line it occurred on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DslError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for DslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for DslError {}
+
+/// Parses a design description into a [`Dfg`].
+///
+/// # Errors
+///
+/// Returns the first [`DslError`] encountered; the resulting graph is also
+/// validated structurally.
+///
+/// ```
+/// let g = datapath_merge::dsl::parse_design(
+///     "input a 4\ninput b 4\ns = add 5 a b\noutput o 5 s",
+/// ).unwrap();
+/// assert_eq!(g.inputs().len(), 2);
+/// assert_eq!(g.op_nodes().count(), 1);
+/// ```
+pub fn parse_design(text: &str) -> Result<Dfg, DslError> {
+    let mut g = Dfg::new();
+    let mut names: HashMap<String, NodeId> = HashMap::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let err = |message: String| DslError { line: line_no, message };
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens[0] {
+            "input" => {
+                let [_, name, width] = tokens[..] else {
+                    return Err(err("expected: input NAME WIDTH".into()));
+                };
+                let width = parse_width(width).map_err(&err)?;
+                define(&mut names, name, g.input(name, width)).map_err(&err)?;
+            }
+            "const" => {
+                if tokens.len() != 4 || tokens[2] != "=" {
+                    return Err(err("expected: const NAME = <literal>".into()));
+                }
+                let value: BitVec = tokens[3]
+                    .parse()
+                    .map_err(|e| err(format!("bad literal: {e}")))?;
+                define(&mut names, tokens[1], g.constant(value)).map_err(&err)?;
+            }
+            "output" => {
+                if tokens.len() != 4 {
+                    return Err(err("expected: output NAME WIDTH OPERAND".into()));
+                }
+                let width = parse_width(tokens[2]).map_err(&err)?;
+                let op = parse_operand(&g, &names, tokens[3]).map_err(&err)?;
+                g.output_with_edge(tokens[1], width, op.node, op.edge_width, op.signedness);
+            }
+            name => {
+                // NAME = OP WIDTH OPERAND [OPERAND]
+                if tokens.len() < 4 || tokens[1] != "=" {
+                    return Err(err("expected: NAME = OP WIDTH OPERAND [OPERAND]".into()));
+                }
+                let op = parse_op(tokens[2]).map_err(&err)?;
+                let width = parse_width(tokens[3]).map_err(&err)?;
+                let operand_tokens = &tokens[4..];
+                if operand_tokens.len() != op.arity() {
+                    return Err(err(format!(
+                        "{} takes {} operand(s), found {}",
+                        tokens[2],
+                        op.arity(),
+                        operand_tokens.len()
+                    )));
+                }
+                let operands: Vec<Operand> = operand_tokens
+                    .iter()
+                    .map(|t| parse_operand(&g, &names, t))
+                    .collect::<Result<_, _>>()
+                    .map_err(&err)?;
+                let spec: Vec<(NodeId, usize, Signedness)> = operands
+                    .iter()
+                    .map(|o| (o.node, o.edge_width, o.signedness))
+                    .collect();
+                define(&mut names, name, g.op_with_edges(op, width, &spec)).map_err(&err)?;
+            }
+        }
+    }
+    g.validate()
+        .map_err(|e| DslError { line: text.lines().count(), message: format!("invalid design: {e}") })?;
+    Ok(g)
+}
+
+struct Operand {
+    node: NodeId,
+    edge_width: usize,
+    signedness: Signedness,
+}
+
+fn define(
+    names: &mut HashMap<String, NodeId>,
+    name: &str,
+    id: NodeId,
+) -> Result<(), String> {
+    if names.insert(name.to_string(), id).is_some() {
+        return Err(format!("name `{name}` defined twice"));
+    }
+    Ok(())
+}
+
+fn parse_width(t: &str) -> Result<usize, String> {
+    let w: usize = t.parse().map_err(|_| format!("bad width `{t}`"))?;
+    if w == 0 {
+        return Err("width must be at least 1".into());
+    }
+    Ok(w)
+}
+
+fn parse_op(t: &str) -> Result<OpKind, String> {
+    match t {
+        "add" => Ok(OpKind::Add),
+        "sub" => Ok(OpKind::Sub),
+        "neg" => Ok(OpKind::Neg),
+        "mul" => Ok(OpKind::Mul),
+        _ => {
+            if let Some(k) = t.strip_prefix("shl") {
+                let k: u8 = k.parse().map_err(|_| format!("bad shift `{t}`"))?;
+                Ok(OpKind::Shl(k))
+            } else {
+                Err(format!("unknown operator `{t}`"))
+            }
+        }
+    }
+}
+
+fn parse_operand(
+    g: &Dfg,
+    names: &HashMap<String, NodeId>,
+    t: &str,
+) -> Result<Operand, String> {
+    let (rest, edge_width) = match t.split_once('/') {
+        Some((rest, w)) => (rest, Some(parse_width(w)?)),
+        None => (t, None),
+    };
+    let (name, signedness) = match rest.split_once(':') {
+        Some((name, "s")) | Some((name, "signed")) => (name, Signedness::Signed),
+        Some((name, "u")) | Some((name, "unsigned")) => (name, Signedness::Unsigned),
+        Some((_, other)) => return Err(format!("bad signedness `{other}` (use s or u)")),
+        None => (rest, Signedness::Unsigned),
+    };
+    let node = *names.get(name).ok_or_else(|| format!("unknown name `{name}`"))?;
+    Ok(Operand {
+        node,
+        edge_width: edge_width.unwrap_or_else(|| g.node(node).width()),
+        signedness,
+    })
+}
+
+/// Renders a graph back into the DSL (a best-effort inverse of
+/// [`parse_design`]: node names are regenerated).
+///
+/// ```
+/// let g = datapath_merge::dsl::parse_design(
+///     "input a 4\ns = neg 5 a:s\noutput o 5 s:s",
+/// ).unwrap();
+/// let text = datapath_merge::dsl::to_dsl(&g);
+/// let g2 = datapath_merge::dsl::parse_design(&text).unwrap();
+/// assert_eq!(g.num_nodes(), g2.num_nodes());
+/// ```
+pub fn to_dsl(g: &Dfg) -> String {
+    use dp_dfg::NodeKind;
+    let mut s = String::new();
+    let name_of = |n: NodeId| -> String {
+        match g.node(n).kind() {
+            NodeKind::Input | NodeKind::Output => {
+                g.node(n).name().unwrap_or("x").to_string()
+            }
+            _ => format!("n{}", n.index()),
+        }
+    };
+    let operand_of = |e: dp_dfg::EdgeId| -> String {
+        let edge = g.edge(e);
+        let t = if edge.signedness().is_signed() { "s" } else { "u" };
+        format!("{}:{}/{}", name_of(edge.src()), t, edge.width())
+    };
+    for n in g.topo_order().expect("valid graph") {
+        let node = g.node(n);
+        match node.kind() {
+            NodeKind::Input => {
+                s.push_str(&format!("input {} {}\n", name_of(n), node.width()));
+            }
+            NodeKind::Const(v) => {
+                s.push_str(&format!("const {} = {}\n", name_of(n), v));
+            }
+            NodeKind::Op(op) => {
+                let opname = match op {
+                    OpKind::Add => "add".to_string(),
+                    OpKind::Sub => "sub".to_string(),
+                    OpKind::Neg => "neg".to_string(),
+                    OpKind::Mul => "mul".to_string(),
+                    OpKind::Shl(k) => format!("shl{k}"),
+                };
+                let ops: Vec<String> =
+                    node.in_edges().iter().map(|&e| operand_of(e)).collect();
+                s.push_str(&format!(
+                    "{} = {} {} {}\n",
+                    name_of(n),
+                    opname,
+                    node.width(),
+                    ops.join(" ")
+                ));
+            }
+            NodeKind::Extension(t) => {
+                // Extension nodes have no DSL form; emit the equivalent
+                // 1-operand add of a zero constant... they only appear in
+                // transformed graphs, which are not expected to round-trip.
+                s.push_str(&format!(
+                    "# extension node {} ({t}, width {}) has no DSL form\n",
+                    name_of(n),
+                    node.width()
+                ));
+            }
+            NodeKind::Output => {
+                let e = node.in_edges()[0];
+                s.push_str(&format!(
+                    "output {} {} {}\n",
+                    name_of(n),
+                    node.width(),
+                    operand_of(e)
+                ));
+            }
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r"
+# sum of products
+input a 4
+input b 4
+input c 4
+input d 4
+p1 = mul 8 a:s b:s
+p2 = mul 8 c:s d:s
+s  = add 9 p1:s p2:s
+output r 9 s:s
+";
+
+    #[test]
+    fn parses_a_sum_of_products() {
+        let g = parse_design(SAMPLE).unwrap();
+        assert_eq!(g.inputs().len(), 4);
+        assert_eq!(g.op_nodes().count(), 3);
+        assert_eq!(g.outputs().len(), 1);
+        let r = g.outputs()[0];
+        assert_eq!(g.node(r).width(), 9);
+    }
+
+    #[test]
+    fn parsed_design_computes() {
+        use dp_bitvec::BitVec;
+        let g = parse_design(SAMPLE).unwrap();
+        let out = g
+            .evaluate(&[
+                BitVec::from_i64(4, -3),
+                BitVec::from_i64(4, 5),
+                BitVec::from_i64(4, 2),
+                BitVec::from_i64(4, 7),
+            ])
+            .unwrap();
+        assert_eq!(out[&g.outputs()[0]].to_i64(), Some(-3 * 5 + 2 * 7));
+    }
+
+    #[test]
+    fn constants_edge_widths_and_shifts() {
+        let text = "input a 4\nconst k = 3'b101\nm = mul 7 a:u k:u\nt = shl2 9 m:u/7\noutput o 9 t:u";
+        let g = parse_design(text).unwrap();
+        use dp_bitvec::BitVec;
+        let out = g.evaluate(&[BitVec::from_u64(4, 6)]).unwrap();
+        assert_eq!(out[&g.outputs()[0]].to_u64(), Some(6 * 5 * 4));
+    }
+
+    #[test]
+    fn error_messages_carry_line_numbers() {
+        let err = parse_design("input a 4\nbogus line here\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+
+        let err = parse_design("input a 0").unwrap_err();
+        assert!(err.message.contains("width"));
+
+        let err = parse_design("input a 4\ns = add 5 a q").unwrap_err();
+        assert!(err.message.contains("unknown name `q`"));
+
+        let err = parse_design("input a 4\ns = neg 5 a a").unwrap_err();
+        assert!(err.message.contains("takes 1 operand"));
+
+        let err = parse_design("input a 4\ninput a 5").unwrap_err();
+        assert!(err.message.contains("defined twice"));
+
+        let err = parse_design("input a 4\ns = frob 5 a").unwrap_err();
+        assert!(err.message.contains("unknown operator"));
+    }
+
+    #[test]
+    fn round_trip_preserves_structure_and_function() {
+        use dp_bitvec::BitVec;
+        let g = parse_design(SAMPLE).unwrap();
+        let text = to_dsl(&g);
+        let g2 = parse_design(&text).unwrap();
+        assert_eq!(g.num_nodes(), g2.num_nodes());
+        assert_eq!(g.num_edges(), g2.num_edges());
+        let inputs = vec![
+            BitVec::from_i64(4, 7),
+            BitVec::from_i64(4, -8),
+            BitVec::from_i64(4, 3),
+            BitVec::from_i64(4, -1),
+        ];
+        let o1 = g.evaluate(&inputs).unwrap();
+        let o2 = g2.evaluate(&inputs).unwrap();
+        assert_eq!(
+            o1[&g.outputs()[0]],
+            o2[&g2.outputs()[0]]
+        );
+    }
+
+    #[test]
+    fn round_trip_random_designs() {
+        use dp_dfg::gen::{random_dfg, random_inputs, GenConfig};
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xD51);
+        for case in 0..20 {
+            let g = random_dfg(&mut rng, &GenConfig::default());
+            let text = to_dsl(&g);
+            let g2 = parse_design(&text)
+                .unwrap_or_else(|e| panic!("case {case}: {e}\n{text}"));
+            for _ in 0..10 {
+                let inputs = random_inputs(&g, &mut rng);
+                let o1 = g.evaluate(&inputs).unwrap();
+                let o2 = g2.evaluate(&inputs).unwrap();
+                for (a, b) in g.outputs().iter().zip(g2.outputs()) {
+                    assert_eq!(o1[a], o2[b], "case {case}");
+                }
+            }
+        }
+    }
+}

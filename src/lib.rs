@@ -1,0 +1,88 @@
+//! # datapath-merge
+//!
+//! A complete, from-scratch reproduction of the DAC 2001 paper
+//! *Improved Merging of Datapath Operators using Information Content and
+//! Required Precision Analysis* (Anmol Mathur and Sanjeev Saluja, Cadence
+//! Design Systems).
+//!
+//! The paper improves **operator merging** for datapath synthesis:
+//! clustering `+`, `-`, unary `-` and `×` operators so each cluster is
+//! implemented as a single carry-save reduction tree with one final
+//! carry-propagate adder. Its contributions — **required precision**
+//! (which low bits of a signal downstream outputs can observe),
+//! **information content** (how many low bits determine a signal under
+//! sign/zero extension), width-pruning transformations, **Huffman
+//! rebalancing** of bound computations, and an iterative maximal
+//! clustering algorithm — are all implemented here, together with every
+//! substrate the evaluation needs: a bit-accurate DFG model, a CSA-tree
+//! synthesizer, a synthetic standard-cell library with static timing, and
+//! a timing-driven gate optimizer.
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`bitvec`] | `dp-bitvec` | arbitrary-precision two's-complement bit vectors |
+//! | [`dfg`] | `dp-dfg` | data-flow-graph model + bit-accurate evaluator |
+//! | [`analysis`] | `dp-analysis` | required precision, information content, pruning, Huffman |
+//! | [`merge`] | `dp-merge` | break nodes, clustering (new/old/none), sum-of-addends |
+//! | [`netlist`] | `dp-netlist` | gate-level netlists, cell library, STA, simulation |
+//! | [`synth`] | `dp-synth` | partial products, CSA trees, final adders, flows |
+//! | [`opt`] | `dp-opt` | timing-driven sizing/buffering/folding optimizer |
+//! | [`testcases`] | `dp-testcases` | the D1–D5 designs, paper figures, workload families |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use datapath_merge::prelude::*;
+//!
+//! // The paper's flagship example: a*b + c*d in one cluster, one CPA.
+//! let mut g = Dfg::new();
+//! let a = g.input("a", 8);
+//! let b = g.input("b", 8);
+//! let c = g.input("c", 8);
+//! let d = g.input("d", 8);
+//! let m1 = g.op(OpKind::Mul, 16, &[(a, Signedness::Signed), (b, Signedness::Signed)]);
+//! let m2 = g.op(OpKind::Mul, 16, &[(c, Signedness::Signed), (d, Signedness::Signed)]);
+//! let s = g.op(OpKind::Add, 17, &[(m1, Signedness::Signed), (m2, Signedness::Signed)]);
+//! g.output("r", 17, s, Signedness::Signed);
+//!
+//! let (clustering, _report) = cluster_max(&mut g);
+//! assert_eq!(clustering.len(), 1);
+//!
+//! let netlist = synthesize(&g, &clustering, &SynthConfig::default())?;
+//! let lib = Library::synthetic_025um();
+//! println!("delay {:.2} ns, area {:.1}", netlist.longest_path(&lib).delay_ns, netlist.area(&lib));
+//! # Ok::<(), dp_synth::SynthError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dsl;
+
+pub use dp_analysis as analysis;
+pub use dp_bitvec as bitvec;
+pub use dp_dfg as dfg;
+pub use dp_merge as merge;
+pub use dp_netlist as netlist;
+pub use dp_opt as opt;
+pub use dp_synth as synth;
+pub use dp_testcases as testcases;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use dp_analysis::{
+        huffman_bound, info_content, optimize_widths, required_precision, Ic, Term,
+    };
+    pub use dp_bitvec::{BitVec, Signedness};
+    pub use dp_dfg::{Dfg, EdgeId, NodeId, OpKind};
+    pub use dp_merge::{
+        cluster_leakage, cluster_max, cluster_none, linearize_cluster, Cluster, Clustering,
+    };
+    pub use dp_netlist::{CellKind, Drive, Library, Netlist};
+    pub use dp_opt::{optimize, OptConfig};
+    pub use dp_synth::{
+        run_flow, synthesize, AdderKind, MergeStrategy, ReductionKind, SynthConfig,
+    };
+}

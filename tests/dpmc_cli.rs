@@ -1,0 +1,83 @@
+//! End-to-end tests of the `dpmc` command-line tool.
+
+use std::process::Command;
+
+fn dpmc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dpmc"))
+}
+
+#[test]
+fn runs_all_flows_on_a_design_file() {
+    let out = dpmc()
+        .args(["designs/sop.dp", "--flow", "all", "--check", "10"])
+        .output()
+        .expect("dpmc runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("[no-merge]"));
+    assert!(text.contains("[old-merge]"));
+    assert!(text.contains("[new-merge]"));
+    assert!(text.contains("verified against the design"));
+}
+
+#[test]
+fn emits_verilog_and_dot() {
+    let dir = std::env::temp_dir();
+    let v = dir.join("dpmc_test_out.v");
+    let d = dir.join("dpmc_test_out.dot");
+    let out = dpmc()
+        .args([
+            "designs/fig3.dp",
+            "--emit-verilog",
+            v.to_str().expect("utf8"),
+            "--emit-dot",
+            d.to_str().expect("utf8"),
+        ])
+        .output()
+        .expect("dpmc runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let verilog = std::fs::read_to_string(&v).expect("verilog written");
+    assert!(verilog.contains("module fig3"));
+    let dot = std::fs::read_to_string(&d).expect("dot written");
+    assert!(dot.contains("digraph"));
+    let _ = std::fs::remove_file(v);
+    let _ = std::fs::remove_file(d);
+}
+
+#[test]
+fn width_analysis_collapses_redundant_design() {
+    let out = dpmc().args(["designs/redundant.dp"]).output().expect("dpmc runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    // "total operator width X -> Y" with Y much smaller.
+    let line = text
+        .lines()
+        .find(|l| l.contains("total operator width"))
+        .expect("report line present");
+    let nums: Vec<usize> = line
+        .split(|c: char| !c.is_ascii_digit())
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse().expect("number"))
+        .collect();
+    let (before, after) = (nums[nums.len() - 2], nums[nums.len() - 1]);
+    assert!(after * 3 < before, "{line}");
+}
+
+#[test]
+fn bad_input_produces_a_line_numbered_error() {
+    let dir = std::env::temp_dir();
+    let f = dir.join("dpmc_bad.dp");
+    std::fs::write(&f, "input a 4\nnope nope\n").expect("write temp");
+    let out = dpmc().arg(f.to_str().expect("utf8")).output().expect("dpmc runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("line 2"), "{err}");
+    let _ = std::fs::remove_file(f);
+}
+
+#[test]
+fn unknown_flag_shows_usage() {
+    let out = dpmc().args(["designs/sop.dp", "--bogus"]).output().expect("dpmc runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
