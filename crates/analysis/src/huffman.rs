@@ -146,7 +146,7 @@ mod tests {
     fn huffman_matches_exhaustive_on_small_sets() {
         // Brute-force every association order (as a sequence of pairwise
         // combines over a multiset) and confirm Huffman is minimal.
-        fn best_order(values: &mut Vec<usize>) -> usize {
+        fn best_order(values: &mut [usize]) -> usize {
             if values.len() == 1 {
                 return values[0];
             }
@@ -179,11 +179,7 @@ mod tests {
         ] {
             let terms: Vec<Term> = widths.iter().map(|&w| Term::new(1, u(w))).collect();
             let mut vals = widths.clone();
-            assert_eq!(
-                huffman_bound(&terms).i,
-                best_order(&mut vals),
-                "widths {widths:?}"
-            );
+            assert_eq!(huffman_bound(&terms).i, best_order(&mut vals), "widths {widths:?}");
         }
     }
 

@@ -87,9 +87,7 @@ pub(crate) fn propagate(ic: Ic, from: usize, to: usize, t_adapt: Signedness) -> 
             (Signedness::Unsigned, Signedness::Signed) => ic,
             // Sign-extended data zero-padded: the low `from` bits still
             // determine everything, but only as an unsigned extension.
-            (Signedness::Signed, Signedness::Unsigned) => {
-                Ic { i: from, t: Signedness::Unsigned }
-            }
+            (Signedness::Signed, Signedness::Unsigned) => Ic { i: from, t: Signedness::Unsigned },
             _ => unreachable!("all four combinations covered"),
         }
     }
@@ -164,24 +162,17 @@ pub(crate) fn intrinsic_ic(op: OpKind, operands: &[Ic]) -> Ic {
 /// terms, the value-misread check) must all read the operands with the
 /// *same* signedness the intrinsic computation assumed, or the cluster's
 /// value story falls apart.
-pub(crate) fn intrinsic_ic_best(
-    op: OpKind,
-    operands: &[Ic],
-    node_width: usize,
-) -> (Ic, Vec<Ic>) {
+pub(crate) fn intrinsic_ic_best(op: OpKind, operands: &[Ic], node_width: usize) -> (Ic, Vec<Ic>) {
     let choices = |ic: Ic| -> Vec<Ic> {
         if ic.is_trivial_at(node_width) && ic.i > 0 {
-            vec![
-                Ic::new(ic.i, Signedness::Unsigned),
-                Ic::new(ic.i, Signedness::Signed),
-            ]
+            vec![Ic::new(ic.i, Signedness::Unsigned), Ic::new(ic.i, Signedness::Signed)]
         } else {
             vec![ic]
         }
     };
     let mut best: Option<(Ic, Vec<Ic>)> = None;
     let consider = |cand: Ic, interp: Vec<Ic>, best: &mut Option<(Ic, Vec<Ic>)>| {
-        if best.as_ref().map_or(true, |(b, _)| cand.i < b.i) {
+        if best.as_ref().is_none_or(|(b, _)| cand.i < b.i) {
             *best = Some((cand, interp));
         }
     };

@@ -16,6 +16,10 @@ pub struct TransformReport {
     pub extensions_inserted: usize,
     /// Fixpoint rounds executed.
     pub rounds: usize,
+    /// Whether the pipeline actually reached a fixpoint. `false` means the
+    /// round cap was hit while passes were still making changes; the graph
+    /// is functionally correct but further width reductions remain.
+    pub converged: bool,
 }
 
 /// Runs the full functionally-safe width-reduction pipeline to a fixpoint:
@@ -27,11 +31,19 @@ pub struct TransformReport {
 /// input assignment, so the composition does too (enforced by the property
 /// tests in this crate and in the integration suite).
 ///
+/// The graph shrinks monotonically, so a fixpoint always exists; the cap
+/// only guards against a pass that oscillates due to a bug. A capped run is
+/// reported via [`TransformReport::converged`] instead of being silently
+/// truncated.
+const MAX_ROUNDS: usize = 9;
+
 /// # Panics
 ///
 /// Panics if the graph is cyclic or structurally invalid.
 pub fn optimize_widths(g: &mut Dfg) -> TransformReport {
     let mut report = TransformReport::default();
+    #[cfg(feature = "verify")]
+    let mut watch = verify::RoundWatch::new(g);
     loop {
         let (n_rp, e_rp) = rp_transform(g);
         let e_ic = prune_edge_widths(g);
@@ -40,11 +52,69 @@ pub fn optimize_widths(g: &mut Dfg) -> TransformReport {
         report.edge_width_changes += e_rp + e_ic;
         report.extensions_inserted += ext;
         report.rounds += 1;
-        if n_rp + e_rp + e_ic + ext + n_ic == 0 || report.rounds > 8 {
+        #[cfg(feature = "verify")]
+        watch.check_round(g, report.rounds);
+        if n_rp + e_rp + e_ic + ext + n_ic == 0 {
+            report.converged = true;
+            break;
+        }
+        if report.rounds >= MAX_ROUNDS {
             break;
         }
     }
     report
+}
+
+/// Per-round invariant checking behind the `verify` feature: every pass in
+/// the pipeline may only *narrow* pre-existing nodes and edges, and must
+/// leave the graph structurally valid. Violations are reported with
+/// `debug_assert!`, so release builds pay nothing.
+#[cfg(feature = "verify")]
+mod verify {
+    use dp_dfg::Dfg;
+
+    pub(super) struct RoundWatch {
+        node_widths: Vec<usize>,
+        edge_widths: Vec<usize>,
+    }
+
+    impl RoundWatch {
+        pub(super) fn new(g: &Dfg) -> Self {
+            RoundWatch { node_widths: snapshot_nodes(g), edge_widths: snapshot_edges(g) }
+        }
+
+        pub(super) fn check_round(&mut self, g: &Dfg, round: usize) {
+            debug_assert!(
+                g.validate().is_ok(),
+                "width pipeline round {round} broke structural validity: {:?}",
+                g.validate().unwrap_err().to_string()
+            );
+            let nodes = snapshot_nodes(g);
+            let edges = snapshot_edges(g);
+            for (i, (&before, &after)) in self.node_widths.iter().zip(&nodes).enumerate() {
+                debug_assert!(
+                    after <= before,
+                    "round {round} widened node n{i} from {before} to {after}"
+                );
+            }
+            for (i, (&before, &after)) in self.edge_widths.iter().zip(&edges).enumerate() {
+                debug_assert!(
+                    after <= before,
+                    "round {round} widened edge e{i} from {before} to {after}"
+                );
+            }
+            self.node_widths = nodes;
+            self.edge_widths = edges;
+        }
+    }
+
+    fn snapshot_nodes(g: &Dfg) -> Vec<usize> {
+        g.node_ids().map(|n| g.node(n).width()).collect()
+    }
+
+    fn snapshot_edges(g: &Dfg) -> Vec<usize> {
+        g.edge_ids().map(|e| g.edge(e).width()).collect()
+    }
 }
 
 #[cfg(test)]
@@ -63,11 +133,14 @@ mod tests {
             let mut g1 = g0.clone();
             let report = optimize_widths(&mut g1);
             assert!(report.rounds <= 8, "case {case}: runaway pipeline");
+            assert!(report.converged, "case {case}: round cap hit before fixpoint");
             g1.validate().unwrap();
             // Running again changes nothing.
             let again = optimize_widths(&mut g1.clone());
             assert_eq!(again.node_width_changes, 0, "case {case}");
             assert_eq!(again.edge_width_changes, 0, "case {case}");
+            assert!(again.converged, "case {case}");
+            assert_eq!(again.rounds, 1, "case {case}: fixpoint re-run is one round");
             for _ in 0..15 {
                 let inputs = random_inputs(&g0, &mut rng);
                 assert_eq!(

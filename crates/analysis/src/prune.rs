@@ -65,7 +65,9 @@ pub fn prune_node_widths(g: &mut Dfg) -> (usize, usize) {
         if !g.node(n).kind().is_op() {
             continue;
         }
-        let Some(intrinsic) = ic.intrinsic(n) else { continue };
+        let Some(intrinsic) = ic.intrinsic(n) else {
+            continue;
+        };
         let w = g.node(n).width();
         let target = intrinsic.i.max(1);
         if target >= w {
@@ -73,11 +75,7 @@ pub fn prune_node_widths(g: &mut Dfg) -> (usize, usize) {
         }
         // Does any consumer actually look past `target` bits? If not, just
         // shrink the node; edges at or below `target` are unaffected.
-        let needs_interface = g
-            .node(n)
-            .out_edges()
-            .iter()
-            .any(|&e| g.edge(e).width() > target);
+        let needs_interface = g.node(n).out_edges().iter().any(|&e| g.edge(e).width() > target);
         g.set_node_width(n, target);
         narrowed += 1;
         if needs_interface {
@@ -99,8 +97,8 @@ pub fn prune_node_widths(g: &mut Dfg) -> (usize, usize) {
 mod tests {
     use super::*;
     use dp_bitvec::{BitVec, Signedness::*};
-    use dp_dfg::NodeKind;
     use dp_dfg::gen::{random_dfg, random_inputs, GenConfig};
+    use dp_dfg::NodeKind;
     use dp_dfg::OpKind;
     use rand::{rngs::StdRng, SeedableRng};
 

@@ -43,7 +43,9 @@ fn bench_ablation(c: &mut Criterion) {
     let d4 = designs::d4();
     for (name, config) in ablation_configs() {
         group.bench_with_input(BenchmarkId::new(name, "D4"), &d4, |b, g| {
-            b.iter(|| run_flow(g, MergeStrategy::New, &config).expect("synthesis").netlist.num_gates())
+            b.iter(|| {
+                run_flow(g, MergeStrategy::New, &config).expect("synthesis").netlist.num_gates()
+            })
         });
     }
     group.finish();
@@ -56,10 +58,7 @@ fn ablation_configs() -> Vec<(&'static str, SynthConfig)> {
         ("ripple_adder", SynthConfig { adder: AdderKind::Ripple, ..base }),
         ("carry_select_adder", SynthConfig { adder: AdderKind::CarrySelect, ..base }),
         ("wallace_tree", SynthConfig { reduction: ReductionKind::Wallace, ..base }),
-        (
-            "no_signext_compression",
-            SynthConfig { sign_ext_compression: false, ..base },
-        ),
+        ("no_signext_compression", SynthConfig { sign_ext_compression: false, ..base }),
     ]
 }
 

@@ -22,12 +22,8 @@ fn bench_figures(c: &mut Criterion) {
         b.iter(|| required_precision(&fig2.g).output_port(fig2.n1))
     });
     let fig3 = figures::fig3();
-    group.bench_function("fig3_info_content", |b| {
-        b.iter(|| info_content(&fig3.g).output(fig3.n3))
-    });
-    group.bench_function("fig3_cluster_leakage", |b| {
-        b.iter(|| cluster_leakage(&fig3.g).len())
-    });
+    group.bench_function("fig3_info_content", |b| b.iter(|| info_content(&fig3.g).output(fig3.n3)));
+    group.bench_function("fig3_cluster_leakage", |b| b.iter(|| cluster_leakage(&fig3.g).len()));
     let terms = figures::fig4_terms();
     group.bench_function("fig4_huffman", |b| b.iter(|| huffman_bound(&terms)));
 

@@ -39,7 +39,9 @@ fn bench_scaling(c: &mut Criterion) {
             b.iter(|| cluster_max(&mut g.clone()).0.len())
         });
         group.bench_with_input(BenchmarkId::new("synthesize_dot", n), &g, |b, g| {
-            b.iter(|| run_flow(g, MergeStrategy::New, &config).expect("synthesis").netlist.num_gates())
+            b.iter(|| {
+                run_flow(g, MergeStrategy::New, &config).expect("synthesis").netlist.num_gates()
+            })
         });
     }
     for taps in [8usize, 16, 32] {

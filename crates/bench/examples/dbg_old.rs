@@ -18,9 +18,13 @@ fn main() {
     };
     let g = random_dfg(&mut rng, &config);
     let synth_config = SynthConfig {
-        adder: if case % 2 == 0 { AdderKind::KoggeStone } else { AdderKind::Ripple },
-        reduction: if case % 3 == 0 { ReductionKind::Wallace } else { ReductionKind::Dadda },
-        sign_ext_compression: case % 5 != 0,
+        adder: if case.is_multiple_of(2) { AdderKind::KoggeStone } else { AdderKind::Ripple },
+        reduction: if case.is_multiple_of(3) {
+            ReductionKind::Wallace
+        } else {
+            ReductionKind::Dadda
+        },
+        sign_ext_compression: !case.is_multiple_of(5),
     };
     let flow = run_flow(&g, MergeStrategy::Old, &synth_config).unwrap();
     for _ in 0..200 {
@@ -58,18 +62,27 @@ fn main() {
                     }
                     let out2 = dp_synth::synthesize_sum(&mut nl2, &saf0, &signals, &synth_config);
                     nl2.output("o", out2);
-                    let got2 = if sim_inputs.is_empty() { // constant-only cluster
+                    let got2 = if sim_inputs.is_empty() {
+                        // constant-only cluster
                         nl2.simulate(&[]).unwrap()
-                    } else { nl2.simulate(&sim_inputs).unwrap() };
+                    } else {
+                        nl2.simulate(&sim_inputs).unwrap()
+                    };
                     let rp0 = required_precision(&flow.graph);
                     let obs = rp0.output_port(cand.output).min(saf0.width).max(1);
                     if got2[0].trunc(obs) != eval0.result(cand.output).trunc(obs) {
-                        println!("GUILTY cluster out {}: synth {} circuit {} (obs {obs})", cand.output, got2[0], eval0.result(cand.output));
+                        println!(
+                            "GUILTY cluster out {}: synth {} circuit {} (obs {obs})",
+                            cand.output,
+                            got2[0],
+                            eval0.result(cand.output)
+                        );
                         guilty = Some(cand.output);
                     }
                 }
                 println!("guilty: {:?}", guilty);
-                let src = guilty.unwrap_or_else(|| flow.graph.edge(flow.graph.node(*o).in_edges()[0]).src());
+                let src = guilty
+                    .unwrap_or_else(|| flow.graph.edge(flow.graph.node(*o).in_edges()[0]).src());
                 let c = flow.clustering.cluster_of(src).unwrap();
                 println!("cluster {:?} out {}", c.members, c.output);
                 let ic = info_content(&flow.graph);
@@ -79,12 +92,25 @@ fn main() {
                 let rp = required_precision(&flow.graph);
                 println!("r_out {}", rp.output_port(c.output));
                 for &m in &c.members {
-                    println!("  {m} {:?} w {} intr {:?} out-claim {}", flow.graph.node(m).kind(), flow.graph.node(m).width(), ic.intrinsic(m), ic.output(m));
+                    println!(
+                        "  {m} {:?} w {} intr {:?} out-claim {}",
+                        flow.graph.node(m).kind(),
+                        flow.graph.node(m).width(),
+                        ic.intrinsic(m),
+                        ic.output(m)
+                    );
                 }
                 for ee in flow.graph.edge_ids() {
                     let ed = flow.graph.edge(ee);
                     if c.contains(ed.src()) || c.contains(ed.dst()) {
-                        println!("  {ee}: {}->{} p{} w{} {}", ed.src(), ed.dst(), ed.dst_port(), ed.width(), ed.signedness());
+                        println!(
+                            "  {ee}: {}->{} p{} w{} {}",
+                            ed.src(),
+                            ed.dst(),
+                            ed.dst_port(),
+                            ed.width(),
+                            ed.signedness()
+                        );
                     }
                 }
                 // standalone resynthesis of this cluster with live patterns
@@ -104,7 +130,13 @@ fn main() {
                             let w = flow.graph.node(r.source).width();
                             signals.insert(r.source, nl2.input(format!("{}", r.source), w));
                             sim_inputs.push(eval.result(r.source).clone());
-                            println!("  src {} pattern {} (ref bits {} t {})", r.source, eval.result(r.source), r.bits, r.signedness);
+                            println!(
+                                "  src {} pattern {} (ref bits {} t {})",
+                                r.source,
+                                eval.result(r.source),
+                                r.bits,
+                                r.signedness
+                            );
                         }
                     }
                 }

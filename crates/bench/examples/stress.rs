@@ -42,11 +42,15 @@ fn main() {
             let mut nl = flow.netlist;
             if case % 2 == 0 {
                 let target = nl.longest_path(&lib).delay_ns * 0.8;
-                optimize(&mut nl, &lib, &OptConfig {
-                    target_delay_ns: target,
-                    max_iterations: 30,
-                    ..OptConfig::default()
-                });
+                optimize(
+                    &mut nl,
+                    &lib,
+                    &OptConfig {
+                        target_delay_ns: target,
+                        max_iterations: 30,
+                        ..OptConfig::default()
+                    },
+                );
             }
             for _ in 0..8 {
                 let inputs = random_inputs(&g, &mut rng);

@@ -1,7 +1,9 @@
 //! Regenerates the paper's Figures 1-4: the illustrative analyses, printed
 //! as before/after reports. Pass a figure name (fig1..fig4) to show one.
 
-use dp_analysis::{huffman_bound, info_content, naive_skewed_bound, optimize_widths, required_precision};
+use dp_analysis::{
+    huffman_bound, info_content, naive_skewed_bound, optimize_widths, required_precision,
+};
 use dp_merge::{cluster_leakage, cluster_max};
 use dp_testcases::figures;
 
@@ -41,7 +43,12 @@ fn main() {
         let fig = figures::fig3();
         println!("== Figure 3: low information content implies mergeability ==");
         let ic = info_content(&fig.g);
-        println!("i(N1) = {}  i(N2) = {}  i(N3) = {}", ic.output(fig.n1), ic.output(fig.n2), ic.output(fig.n3));
+        println!(
+            "i(N1) = {}  i(N2) = {}  i(N3) = {}",
+            ic.output(fig.n1),
+            ic.output(fig.n2),
+            ic.output(fig.n3)
+        );
         println!("old (leakage) clusters: {}", cluster_leakage(&fig.g).len());
         let mut g = fig.g.clone();
         let (clustering, _) = cluster_max(&mut g);

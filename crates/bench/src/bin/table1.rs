@@ -12,6 +12,11 @@ fn main() {
     let rows: Vec<_> = all_designs().iter().map(|t| table1(t, &config, &lib)).collect();
     print!("{}", render_table1(&rows));
     println!();
-    println!("library: {}  adder: {:?}  reduction: {:?}", lib.name(), config.adder, config.reduction);
+    println!(
+        "library: {}  adder: {:?}  reduction: {:?}",
+        lib.name(),
+        config.adder,
+        config.reduction
+    );
     println!("(every netlist verified against the DFG evaluator before measurement)");
 }

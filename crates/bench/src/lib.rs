@@ -91,10 +91,7 @@ pub struct Table2Row {
 impl Table2Row {
     /// Percentage optimization-runtime reduction of new over old.
     pub fn time_reduction_pct(&self) -> f64 {
-        reduction_pct(
-            self.opt_time[0].as_secs_f64(),
-            self.opt_time[1].as_secs_f64(),
-        )
+        reduction_pct(self.opt_time[0].as_secs_f64(), self.opt_time[1].as_secs_f64())
     }
 }
 
@@ -147,10 +144,7 @@ pub fn verify_equivalence(g: &Dfg, netlist: &Netlist, trials: usize) {
         let expect = g.evaluate(&inputs).expect("design evaluates");
         let got = netlist.simulate(&inputs).expect("netlist simulates");
         for (k, &o) in g.outputs().iter().enumerate() {
-            assert_eq!(
-                got[k], expect[&o],
-                "netlist differs from design at output {k}"
-            );
+            assert_eq!(got[k], expect[&o], "netlist differs from design at output {k}");
         }
     }
 }
@@ -168,12 +162,7 @@ pub fn table1(t: &Testcase, config: &SynthConfig, lib: &Library) -> Table1Row {
 /// per-design targets that its tool could roughly meet from both starting
 /// points; interpolating between the two starting points reproduces that
 /// protocol on our library (`interp = 0.5` puts the bar halfway).
-pub fn table2(
-    t: &Testcase,
-    config: &SynthConfig,
-    lib: &Library,
-    interp: f64,
-) -> Table2Row {
+pub fn table2(t: &Testcase, config: &SynthConfig, lib: &Library, interp: f64) -> Table2Row {
     let (m_old, nl_old) = measure_flow(&t.dfg, MergeStrategy::Old, config, lib);
     let (m_new, nl_new) = measure_flow(&t.dfg, MergeStrategy::New, config, lib);
     let target_ns = m_new.delay_ns + interp * (m_old.delay_ns - m_new.delay_ns).max(0.0);
@@ -332,8 +321,7 @@ mod tests {
     fn rendering_contains_every_design() {
         let lib = Library::synthetic_025um();
         let config = SynthConfig::default();
-        let rows: Vec<Table1Row> =
-            all_designs().iter().map(|t| table1(t, &config, &lib)).collect();
+        let rows: Vec<Table1Row> = all_designs().iter().map(|t| table1(t, &config, &lib)).collect();
         let text = render_table1(&rows);
         for t in all_designs() {
             assert!(text.contains(t.name), "{} missing from render", t.name);

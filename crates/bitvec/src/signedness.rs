@@ -101,12 +101,9 @@ mod tests {
     #[test]
     fn bitor_matches_paper_encoding() {
         use Signedness::*;
-        for (a, b) in [
-            (Unsigned, Unsigned),
-            (Unsigned, Signed),
-            (Signed, Unsigned),
-            (Signed, Signed),
-        ] {
+        for (a, b) in
+            [(Unsigned, Unsigned), (Unsigned, Signed), (Signed, Unsigned), (Signed, Signed)]
+        {
             assert_eq!((a | b).as_bit(), a.as_bit() | b.as_bit());
         }
     }

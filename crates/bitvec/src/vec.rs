@@ -349,11 +349,7 @@ impl BitVec {
     /// ```
     pub fn trunc(&self, new_width: usize) -> Self {
         assert!(new_width > 0, "BitVec width must be at least 1");
-        assert!(
-            new_width <= self.width,
-            "trunc to {new_width} from narrower width {}",
-            self.width
-        );
+        assert!(new_width <= self.width, "trunc to {new_width} from narrower width {}", self.width);
         let mut v = BitVec { width: new_width, limbs: self.limbs[..limbs_for(new_width)].to_vec() };
         v.mask_top();
         v
@@ -370,11 +366,7 @@ impl BitVec {
     /// assert_eq!(BitVec::from_u64(4, 0b1001).zext(8).to_u64(), Some(0b0000_1001));
     /// ```
     pub fn zext(&self, new_width: usize) -> Self {
-        assert!(
-            new_width >= self.width,
-            "zext to {new_width} from wider width {}",
-            self.width
-        );
+        assert!(new_width >= self.width, "zext to {new_width} from wider width {}", self.width);
         let mut limbs = self.limbs.clone();
         limbs.resize(limbs_for(new_width), 0);
         BitVec { width: new_width, limbs }
@@ -392,11 +384,7 @@ impl BitVec {
     /// assert_eq!(BitVec::from_u64(4, 0b1001).sext(8).to_u64(), Some(0b1111_1001));
     /// ```
     pub fn sext(&self, new_width: usize) -> Self {
-        assert!(
-            new_width >= self.width,
-            "sext to {new_width} from wider width {}",
-            self.width
-        );
+        assert!(new_width >= self.width, "sext to {new_width} from wider width {}", self.width);
         if !self.msb() {
             return self.zext(new_width);
         }
@@ -978,8 +966,8 @@ mod tests {
     #[test]
     fn resize_matches_paper_section_2_2() {
         let v = BitVec::from_u64(6, 0b10_0001);
-        assert_eq!(v.resize(Signedness::Signed, 9).to_u64(), Some(0b111_10_0001));
-        assert_eq!(v.resize(Signedness::Unsigned, 9).to_u64(), Some(0b000_10_0001));
+        assert_eq!(v.resize(Signedness::Signed, 9).to_u64(), Some(0b1_1110_0001));
+        assert_eq!(v.resize(Signedness::Unsigned, 9).to_u64(), Some(0b0_0010_0001));
         assert_eq!(v.resize(Signedness::Signed, 3).to_u64(), Some(0b001));
         assert_eq!(v.resize(Signedness::Signed, 6), v);
     }

@@ -26,14 +26,12 @@ impl Dfg {
         for n in self.node_ids() {
             let node = self.node(n);
             let (label, shape) = match node.kind() {
-                NodeKind::Input => (
-                    format!("{} : {}", node.name().unwrap_or("in"), node.width()),
-                    "invhouse",
-                ),
-                NodeKind::Output => (
-                    format!("{} : {}", node.name().unwrap_or("out"), node.width()),
-                    "house",
-                ),
+                NodeKind::Input => {
+                    (format!("{} : {}", node.name().unwrap_or("in"), node.width()), "invhouse")
+                }
+                NodeKind::Output => {
+                    (format!("{} : {}", node.name().unwrap_or("out"), node.width()), "house")
+                }
                 NodeKind::Const(v) => (format!("{v}"), "box"),
                 NodeKind::Op(op) => (format!("{op} : {}", node.width()), "circle"),
                 NodeKind::Extension(t) => (format!("ext[{t}] : {}", node.width()), "diamond"),

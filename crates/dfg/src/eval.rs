@@ -10,13 +10,13 @@ use std::fmt;
 
 use dp_bitvec::BitVec;
 
-use crate::{Dfg, NodeId, NodeKind, OpKind, ValidateError};
+use crate::{Dfg, NodeId, NodeKind, OpKind, ValidateErrors};
 
 /// Error from [`Dfg::evaluate`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EvalError {
-    /// The graph failed structural validation.
-    Invalid(ValidateError),
+    /// The graph failed structural validation (every defect is carried).
+    Invalid(ValidateErrors),
     /// The number of supplied input values does not match the number of
     /// primary inputs.
     WrongInputCount {
@@ -59,8 +59,8 @@ impl Error for EvalError {
     }
 }
 
-impl From<ValidateError> for EvalError {
-    fn from(e: ValidateError) -> Self {
+impl From<ValidateErrors> for EvalError {
+    fn from(e: ValidateErrors) -> Self {
         EvalError::Invalid(e)
     }
 }
@@ -144,8 +144,8 @@ impl Dfg {
                     // width, extending with the node's own signedness.
                     let e = self.node(n).in_edges()[0];
                     let edge = self.edge(e);
-                    let src_sig = values[edge.src().index()]
-                        .resize(edge.signedness(), edge.width());
+                    let src_sig =
+                        values[edge.src().index()].resize(edge.signedness(), edge.width());
                     values[n.index()] = if node.width() > edge.width() {
                         src_sig.extend(*t, node.width())
                     } else {
@@ -171,9 +171,7 @@ impl Dfg {
                             a.wrapping_mul(&b)
                         }
                         OpKind::Neg => self.signal_into_port(&values, n, 0).wrapping_neg(),
-                        OpKind::Shl(k) => {
-                            self.signal_into_port(&values, n, 0).shl(*k as usize)
-                        }
+                        OpKind::Shl(k) => self.signal_into_port(&values, n, 0).shl(*k as usize),
                     };
                     debug_assert_eq!(result.width(), w);
                     values[n.index()] = result;
@@ -187,9 +185,7 @@ impl Dfg {
     /// the edge width, then to the destination node width, both with the
     /// edge's signedness (Section 2.2).
     fn signal_into_port(&self, values: &[BitVec], node: NodeId, port: usize) -> BitVec {
-        let e = self
-            .in_edge_on_port(node, port)
-            .expect("validated node has an edge on every port");
+        let e = self.in_edge_on_port(node, port).expect("validated node has an edge on every port");
         let edge = self.edge(e);
         let src = &values[edge.src().index()];
         let on_edge = src.resize(edge.signedness(), edge.width());
@@ -209,9 +205,7 @@ mod tests {
         let b = g.input("b", 4);
         let s = g.op(OpKind::Add, 4, &[(a, Unsigned), (b, Unsigned)]);
         let o = g.output("o", 4, s, Unsigned);
-        let out = g
-            .evaluate(&[BitVec::from_u64(4, 12), BitVec::from_u64(4, 9)])
-            .unwrap();
+        let out = g.evaluate(&[BitVec::from_u64(4, 12), BitVec::from_u64(4, 9)]).unwrap();
         assert_eq!(out[&o].to_u64(), Some((12 + 9) % 16));
     }
 
@@ -240,11 +234,7 @@ mod tests {
         let n3 = g.op(OpKind::Add, 9, &[(n1, Signed), (c, Signed)]);
         let r = g.output("R", 9, n3, Signed);
         let out = g
-            .evaluate(&[
-                BitVec::from_i64(8, 100),
-                BitVec::from_i64(8, 50),
-                BitVec::from_i64(9, 1),
-            ])
+            .evaluate(&[BitVec::from_i64(8, 100), BitVec::from_i64(8, 50), BitVec::from_i64(9, 1)])
             .unwrap();
         // 150 mod 2^7 = 22 (bit 7 lost), sign-extended stays 22, +1 = 23.
         assert_eq!(out[&r].to_i64(), Some(23));
@@ -259,9 +249,7 @@ mod tests {
         let n = g.op(OpKind::Neg, 6, &[(d, Signed)]);
         let p = g.op(OpKind::Mul, 10, &[(n, Signed), (a, Signed)]);
         let o = g.output("o", 10, p, Signed);
-        let out = g
-            .evaluate(&[BitVec::from_i64(5, 7), BitVec::from_i64(5, -4)])
-            .unwrap();
+        let out = g.evaluate(&[BitVec::from_i64(5, 7), BitVec::from_i64(5, -4)]).unwrap();
         // -(7 - (-4)) * 7 = -77
         assert_eq!(out[&o].to_i64(), Some(-77));
     }
@@ -292,9 +280,7 @@ mod tests {
         let b = g.input("b", 4);
         let s = g.op(OpKind::Add, 5, &[(a, Unsigned), (b, Unsigned)]);
         g.output("o", 5, s, Unsigned);
-        let eval = g
-            .evaluate_full(&[BitVec::from_u64(4, 15), BitVec::from_u64(4, 15)])
-            .unwrap();
+        let eval = g.evaluate_full(&[BitVec::from_u64(4, 15), BitVec::from_u64(4, 15)]).unwrap();
         assert_eq!(eval.result(s).to_u64(), Some(30));
         assert_eq!(eval.result(a).to_u64(), Some(15));
     }
@@ -304,10 +290,7 @@ mod tests {
         let mut g = Dfg::new();
         let a = g.input("a", 4);
         g.output("o", 4, a, Unsigned);
-        assert_eq!(
-            g.evaluate(&[]),
-            Err(EvalError::WrongInputCount { expected: 1, found: 0 })
-        );
+        assert_eq!(g.evaluate(&[]), Err(EvalError::WrongInputCount { expected: 1, found: 0 }));
         assert_eq!(
             g.evaluate(&[BitVec::zero(5)]),
             Err(EvalError::InputWidthMismatch { index: 0, expected: 4, found: 5 })

@@ -78,7 +78,8 @@ pub fn random_dfg<R: Rng + ?Sized>(rng: &mut R, config: &GenConfig) -> Dfg {
     let mut g = Dfg::new();
     let mut pool: Vec<NodeId> = Vec::new();
     for i in 0..config.num_inputs.max(1) {
-        let w = rng.gen_range(config.input_width.0..=config.input_width.1.max(config.input_width.0));
+        let w =
+            rng.gen_range(config.input_width.0..=config.input_width.1.max(config.input_width.0));
         pool.push(g.input(format!("i{i}"), w.clamp(1, config.max_width)));
     }
 
@@ -116,11 +117,8 @@ pub fn random_dfg<R: Rng + ?Sized>(rng: &mut R, config: &GenConfig) -> Dfg {
     }
 
     // Terminate everything that has no consumer.
-    let dangling: Vec<NodeId> = pool
-        .iter()
-        .copied()
-        .filter(|&n| g.node(n).out_edges().is_empty())
-        .collect();
+    let dangling: Vec<NodeId> =
+        pool.iter().copied().filter(|&n| g.node(n).out_edges().is_empty()).collect();
     for (k, n) in dangling.into_iter().enumerate() {
         let w = g.node(n).width();
         let ow = adjust_width(rng, config, w);
@@ -131,10 +129,7 @@ pub fn random_dfg<R: Rng + ?Sized>(rng: &mut R, config: &GenConfig) -> Dfg {
 
 /// Generates one random input vector matching the interface of `g`.
 pub fn random_inputs<R: Rng + ?Sized>(g: &Dfg, rng: &mut R) -> Vec<BitVec> {
-    g.inputs()
-        .iter()
-        .map(|&n| BitVec::from_fn(g.node(n).width(), |_| rng.gen_bool(0.5)))
-        .collect()
+    g.inputs().iter().map(|&n| BitVec::from_fn(g.node(n).width(), |_| rng.gen_bool(0.5))).collect()
 }
 
 fn pick_op<R: Rng + ?Sized>(rng: &mut R, config: &GenConfig) -> OpKind {

@@ -202,16 +202,9 @@ impl Dfg {
     /// # Panics
     ///
     /// Panics if the operand count does not match the operator's arity.
-    pub fn op(
-        &mut self,
-        kind: OpKind,
-        width: usize,
-        operands: &[(NodeId, Signedness)],
-    ) -> NodeId {
-        let full: Vec<(NodeId, usize, Signedness)> = operands
-            .iter()
-            .map(|&(src, t)| (src, self.node(src).width(), t))
-            .collect();
+    pub fn op(&mut self, kind: OpKind, width: usize, operands: &[(NodeId, Signedness)]) -> NodeId {
+        let full: Vec<(NodeId, usize, Signedness)> =
+            operands.iter().map(|&(src, t)| (src, self.node(src).width(), t)).collect();
         self.op_with_edges(kind, width, &full)
     }
 
@@ -379,11 +372,7 @@ impl Dfg {
 
     /// The incoming edge feeding `port` of `node`, if any.
     pub fn in_edge_on_port(&self, node: NodeId, port: usize) -> Option<EdgeId> {
-        self.node(node)
-            .in_edges()
-            .iter()
-            .copied()
-            .find(|&e| self.edge(e).dst_port() == port)
+        self.node(node).in_edges().iter().copied().find(|&e| self.edge(e).dst_port() == port)
     }
 
     /// Successor node ids of `node` (one per out-edge; may repeat).
@@ -555,7 +544,7 @@ mod tests {
         g.rewire_edge_src(e, ext);
         assert_eq!(g.edge(e).src(), ext);
         assert_eq!(g.successors(ext).collect::<Vec<_>>(), vec![s]);
-        assert!(!g.node(a).out_edges().iter().any(|&x| x == e));
+        assert!(!g.node(a).out_edges().contains(&e));
     }
 
     #[test]

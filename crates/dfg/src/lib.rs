@@ -63,4 +63,4 @@ pub use eval::{EvalError, Evaluation};
 pub use graph::{Dfg, Edge, EdgeId, Node, NodeId, NodeKind};
 pub use op::OpKind;
 pub use postdom::PostDominators;
-pub use validate::ValidateError;
+pub use validate::{ValidateError, ValidateErrors};

@@ -50,7 +50,9 @@ impl Dfg {
     /// Length (in operator nodes) of the longest input-to-output path: the
     /// structural depth used in reports and rebalancing diagnostics.
     pub fn op_depth(&self) -> usize {
-        let Some(order) = self.topo_order() else { return 0 };
+        let Some(order) = self.topo_order() else {
+            return 0;
+        };
         let mut depth = vec![0usize; self.num_nodes()];
         let mut max = 0;
         for n in order {

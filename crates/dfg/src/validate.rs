@@ -45,6 +45,23 @@ pub enum ValidateError {
     },
 }
 
+impl ValidateError {
+    /// The node the defect is anchored to, when the defect is local to one.
+    ///
+    /// [`ValidateError::Cyclic`] is a whole-graph property and returns
+    /// `None`; every other variant names its offending node.
+    pub fn node_id(&self) -> Option<NodeId> {
+        match *self {
+            ValidateError::Cyclic => None,
+            ValidateError::BadInDegree { node, .. }
+            | ValidateError::DuplicatePort { node, .. }
+            | ValidateError::PortOutOfRange { node, .. }
+            | ValidateError::OutputHasFanout { node }
+            | ValidateError::ConstWidthMismatch { node } => Some(node),
+        }
+    }
+}
+
 impl fmt::Display for ValidateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -70,6 +87,85 @@ impl fmt::Display for ValidateError {
 
 impl Error for ValidateError {}
 
+/// Every structural defect found by one [`Dfg::validate`] run.
+///
+/// The collection is never empty: `validate` returns `Ok(())` when there is
+/// nothing to report. Defects appear in discovery order — a cycle first,
+/// then per-node defects in node-id order — so [`ValidateErrors::first`]
+/// matches what the old first-defect `validate` reported.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidateErrors {
+    errors: Vec<ValidateError>,
+}
+
+impl ValidateErrors {
+    /// The first defect found (the collection is never empty).
+    pub fn first(&self) -> &ValidateError {
+        &self.errors[0]
+    }
+
+    /// Number of defects found (always at least 1).
+    pub fn len(&self) -> usize {
+        self.errors.len()
+    }
+
+    /// Always `false`; present for API symmetry with [`ValidateErrors::len`].
+    pub fn is_empty(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// Iterates over the defects in discovery order.
+    pub fn iter(&self) -> std::slice::Iter<'_, ValidateError> {
+        self.errors.iter()
+    }
+
+    /// The defects as a slice, in discovery order.
+    pub fn as_slice(&self) -> &[ValidateError] {
+        &self.errors
+    }
+
+    /// Consumes the collection, yielding the underlying vector.
+    pub fn into_vec(self) -> Vec<ValidateError> {
+        self.errors
+    }
+}
+
+impl fmt::Display for ValidateErrors {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, e) in self.errors.iter().enumerate() {
+            if i > 0 {
+                f.write_str("; ")?;
+            }
+            e.fmt(f)?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for ValidateErrors {}
+
+impl From<ValidateError> for ValidateErrors {
+    fn from(e: ValidateError) -> Self {
+        ValidateErrors { errors: vec![e] }
+    }
+}
+
+impl IntoIterator for ValidateErrors {
+    type Item = ValidateError;
+    type IntoIter = std::vec::IntoIter<ValidateError>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.errors.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a ValidateErrors {
+    type Item = &'a ValidateError;
+    type IntoIter = std::slice::Iter<'a, ValidateError>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.errors.iter()
+    }
+}
+
 impl Dfg {
     /// Checks the structural invariants of the paper's DFG model: acyclic,
     /// correct operand counts per node kind, each port driven exactly once,
@@ -81,10 +177,12 @@ impl Dfg {
     ///
     /// # Errors
     ///
-    /// Returns the first defect found in node-id order.
-    pub fn validate(&self) -> Result<(), ValidateError> {
+    /// Returns *every* defect found: a cycle first (if any), then per-node
+    /// defects in node-id order.
+    pub fn validate(&self) -> Result<(), ValidateErrors> {
+        let mut errors = Vec::new();
         if !self.is_acyclic() {
-            return Err(ValidateError::Cyclic);
+            errors.push(ValidateError::Cyclic);
         }
         for n in self.node_ids() {
             let node = self.node(n);
@@ -95,29 +193,33 @@ impl Dfg {
             };
             let found = node.in_edges().len();
             if found != expected {
-                return Err(ValidateError::BadInDegree { node: n, expected, found });
+                errors.push(ValidateError::BadInDegree { node: n, expected, found });
             }
             let mut seen_ports = Vec::new();
             for &e in node.in_edges() {
                 let port = self.edge(e).dst_port();
                 if port >= expected {
-                    return Err(ValidateError::PortOutOfRange { node: n, port });
+                    errors.push(ValidateError::PortOutOfRange { node: n, port });
+                } else if seen_ports.contains(&port) {
+                    errors.push(ValidateError::DuplicatePort { node: n, port });
+                } else {
+                    seen_ports.push(port);
                 }
-                if seen_ports.contains(&port) {
-                    return Err(ValidateError::DuplicatePort { node: n, port });
-                }
-                seen_ports.push(port);
             }
             if matches!(node.kind(), NodeKind::Output) && !node.out_edges().is_empty() {
-                return Err(ValidateError::OutputHasFanout { node: n });
+                errors.push(ValidateError::OutputHasFanout { node: n });
             }
             if let NodeKind::Const(v) = node.kind() {
                 if v.width() != node.width() {
-                    return Err(ValidateError::ConstWidthMismatch { node: n });
+                    errors.push(ValidateError::ConstWidthMismatch { node: n });
                 }
             }
         }
-        Ok(())
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(ValidateErrors { errors })
+        }
     }
 }
 
@@ -145,10 +247,9 @@ mod tests {
         let o = g.output("o", 5, n, Unsigned);
         // Give the output a second driver: in-degree check fires first.
         g.connect(a, o, 0, 4, Unsigned);
-        assert!(matches!(
-            g.validate(),
-            Err(ValidateError::BadInDegree { expected: 1, found: 2, .. })
-        ));
+        let errs = g.validate().unwrap_err();
+        assert!(matches!(errs.first(), ValidateError::BadInDegree { expected: 1, found: 2, .. }));
+        assert_eq!(errs.first().node_id(), Some(o));
     }
 
     #[test]
@@ -162,7 +263,8 @@ mod tests {
         g.connect(a, n, 0, 4, Unsigned);
         g.connect(b, n, 0, 4, Unsigned);
         g.output("o", 5, n, Unsigned);
-        assert!(matches!(g.validate(), Err(ValidateError::DuplicatePort { port: 0, .. })));
+        let errs = g.validate().unwrap_err();
+        assert!(matches!(errs.first(), ValidateError::DuplicatePort { port: 0, .. }));
     }
 
     #[test]
@@ -172,10 +274,8 @@ mod tests {
         let b = g.input("b", 4);
         g.connect(a, b, 0, 4, Unsigned);
         // b now has an in-edge but inputs take none.
-        assert!(matches!(
-            g.validate(),
-            Err(ValidateError::BadInDegree { expected: 0, found: 1, .. })
-        ));
+        let errs = g.validate().unwrap_err();
+        assert!(matches!(errs.first(), ValidateError::BadInDegree { expected: 0, found: 1, .. }));
     }
 
     #[test]
@@ -185,12 +285,11 @@ mod tests {
         let o = g.output("o", 4, a, Unsigned);
         let p = g.output("p", 4, a, Unsigned);
         g.connect(o, p, 0, 4, Unsigned);
-        let err = g.validate().unwrap_err();
-        assert!(
-            matches!(err, ValidateError::OutputHasFanout { .. })
-                || matches!(err, ValidateError::BadInDegree { .. })
-        );
-        assert!(!err.to_string().is_empty());
+        let errs = g.validate().unwrap_err();
+        // Both the fanout on `o` and the double-driven `p` are reported.
+        assert!(errs.iter().any(|e| matches!(e, ValidateError::OutputHasFanout { .. })));
+        assert!(errs.iter().any(|e| matches!(e, ValidateError::BadInDegree { .. })));
+        assert!(!errs.to_string().is_empty());
     }
 
     #[test]
@@ -200,7 +299,10 @@ mod tests {
         let n = g.op(OpKind::Neg, 5, &[(a, Unsigned)]);
         g.output("o", 5, n, Unsigned);
         g.connect(a, n, 1, 4, Unsigned); // Neg has a single port 0.
-        assert!(matches!(g.validate(), Err(ValidateError::BadInDegree { .. })));
+        let errs = g.validate().unwrap_err();
+        assert!(matches!(errs.first(), ValidateError::BadInDegree { .. }));
+        // The out-of-range port is reported alongside the arity defect.
+        assert!(errs.iter().any(|e| matches!(e, ValidateError::PortOutOfRange { port: 1, .. })));
     }
 
     #[test]
@@ -209,6 +311,39 @@ mod tests {
         let a = g.input("a", 4);
         let n = g.op(OpKind::Add, 4, &[(a, Unsigned), (a, Unsigned)]);
         g.connect(n, n, 0, 4, Unsigned);
-        assert_eq!(g.validate(), Err(ValidateError::Cyclic));
+        let errs = g.validate().unwrap_err();
+        assert_eq!(errs.first(), &ValidateError::Cyclic);
+        assert_eq!(errs.first().node_id(), None);
+    }
+
+    #[test]
+    fn all_defects_reported_together() {
+        // Three independent defects in one graph: an under-driven adder, an
+        // over-driven output, and a constant whose width disagrees with its
+        // declared value.
+        let mut g = Dfg::new();
+        let a = g.input("a", 4);
+        let n = g.op_unconnected(OpKind::Add, 5);
+        g.connect(a, n, 0, 4, Unsigned);
+        let o = g.output("o", 5, n, Unsigned);
+        g.connect(a, o, 0, 4, Unsigned);
+        let k = g.constant(dp_bitvec::BitVec::zero(3));
+        g.set_node_width(k, 7);
+        let errs = g.validate().unwrap_err();
+        // Four defects: the adder's arity, the output's arity, the output's
+        // doubly-driven port 0, and the constant width mismatch.
+        assert_eq!(errs.len(), 4);
+        assert!(errs.iter().any(|e| e.node_id() == Some(n)));
+        assert!(errs.iter().any(|e| e.node_id() == Some(o)));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidateError::DuplicatePort { node, port: 0 } if *node == o)));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidateError::ConstWidthMismatch { node } if *node == k)));
+        // Display joins every defect.
+        assert_eq!(errs.to_string().matches("; ").count(), 3);
+        let vec = errs.clone().into_vec();
+        assert_eq!(vec.len(), errs.as_slice().len());
     }
 }

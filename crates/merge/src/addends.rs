@@ -141,12 +141,7 @@ pub fn linearize_member(
 
 fn signal_ref(g: &Dfg, ic: &InfoAnalysis, e: EdgeId) -> SignalRef {
     let claim = ic.operand(e);
-    SignalRef {
-        source: g.edge(e).src(),
-        edge: e,
-        bits: claim.i,
-        signedness: claim.t,
-    }
+    SignalRef { source: g.edge(e).src(), edge: e, bits: claim.i, signedness: claim.t }
 }
 
 fn walk(
@@ -244,14 +239,12 @@ impl SumOfAddends {
             groups.entry(key_of(a)).or_insert((*a, 0)).1 += 1;
         }
         let mut entries: Vec<(Key, (Addend, u64))> = groups.into_iter().collect();
-        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        entries.sort_by_key(|a| a.0);
         entries
             .into_iter()
             .map(|(_, (a, count))| {
                 let base = match a.kind {
-                    AddendKind::Signal(s) => {
-                        dp_analysis::Ic::new(s.bits, effective_t(s))
-                    }
+                    AddendKind::Signal(s) => dp_analysis::Ic::new(s.bits, effective_t(s)),
                     AddendKind::Product(s, t) => {
                         if s.bits == 0 || t.bits == 0 {
                             dp_analysis::Ic::new(0, Signedness::Unsigned)
@@ -384,10 +377,7 @@ mod tests {
         let ic = info_content(&g2);
         let saf = linearize_cluster(&g2, &clustering.clusters[0], &ic).unwrap();
         assert_eq!(saf.addends.len(), 2);
-        assert!(saf
-            .addends
-            .iter()
-            .all(|x| matches!(x.kind, AddendKind::Product(_, _))));
+        assert!(saf.addends.iter().all(|x| matches!(x.kind, AddendKind::Product(_, _))));
     }
 
     #[test]

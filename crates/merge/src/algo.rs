@@ -73,7 +73,9 @@ pub fn cluster_max(g: &mut Dfg) -> (Clustering, MergeReport) {
                 if !g.node(m).kind().is_op() {
                     continue;
                 }
-                let Ok(saf) = linearize_member(g, c, &ic, m) else { continue };
+                let Ok(saf) = linearize_member(g, c, &ic, m) else {
+                    continue;
+                };
                 let refined = huffman_bound(&saf.huffman_terms());
                 let current = ic.intrinsic(m).map(|x| x.i).unwrap_or(usize::MAX);
                 if refined.i < current {
@@ -165,9 +167,7 @@ mod tests {
         for case in 0..40 {
             let g = random_dfg(&mut rng, &GenConfig::default());
             cluster_none(&g).validate(&g).unwrap_or_else(|e| panic!("case {case} none: {e}"));
-            cluster_leakage(&g)
-                .validate(&g)
-                .unwrap_or_else(|e| panic!("case {case} old: {e}"));
+            cluster_leakage(&g).validate(&g).unwrap_or_else(|e| panic!("case {case} old: {e}"));
             let mut g2 = g.clone();
             let (new, _) = cluster_max(&mut g2);
             new.validate(&g2).unwrap_or_else(|e| panic!("case {case} new: {e}"));

@@ -340,10 +340,8 @@ fn naive_full_width(g: &Dfg, n: NodeId) -> usize {
 /// reconvergence upstream).
 fn enforce_unique_outputs(g: &Dfg, breaks: &mut [bool]) {
     loop {
-        let pd = g.post_dominators_filtered(
-            |n| is_mergeable(g, n),
-            |e| !breaks[g.edge(e).src().index()],
-        );
+        let pd = g
+            .post_dominators_filtered(|n| is_mergeable(g, n), |e| !breaks[g.edge(e).src().index()]);
         let mut changed = false;
         for n in g.node_ids() {
             if breaks[n.index()] || !is_mergeable(g, n) {

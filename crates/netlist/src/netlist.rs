@@ -338,19 +338,14 @@ impl Netlist {
                 continue;
             }
             let gate = self.gates[g.index()].clone();
-            let inputs: Vec<NetId> = gate
-                .inputs
-                .iter()
-                .map(|&n| map_net(&mut out, &mut net_map, n))
-                .collect();
+            let inputs: Vec<NetId> =
+                gate.inputs.iter().map(|&n| map_net(&mut out, &mut net_map, n)).collect();
             let new_out = out.gate_with_drive(gate.kind, gate.drive, &inputs);
             net_map[gate.output.index()] = Some(new_out);
         }
         for (name, bits) in &self.outputs {
-            let new_bits: Vec<NetId> = bits
-                .iter()
-                .map(|&b| map_net(&mut out, &mut net_map, b))
-                .collect();
+            let new_bits: Vec<NetId> =
+                bits.iter().map(|&b| map_net(&mut out, &mut net_map, b)).collect();
             out.output(name.clone(), new_bits);
         }
         out
@@ -386,10 +381,8 @@ impl Netlist {
                     .count()
             })
             .collect();
-        let mut ready: Vec<GateId> = (0..self.gates.len() as u32)
-            .map(GateId)
-            .filter(|g| indegree[g.index()] == 0)
-            .collect();
+        let mut ready: Vec<GateId> =
+            (0..self.gates.len() as u32).map(GateId).filter(|g| indegree[g.index()] == 0).collect();
         // Consumers of each gate's output, derived on the fly.
         let mut consumers: Vec<Vec<GateId>> = vec![Vec::new(); self.gates.len()];
         for (i, g) in self.gates.iter().enumerate() {

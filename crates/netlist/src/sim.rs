@@ -136,9 +136,7 @@ mod tests {
         let n = two_bit_adder();
         for a in 0..4u64 {
             for b in 0..4u64 {
-                let out = n
-                    .simulate(&[BitVec::from_u64(2, a), BitVec::from_u64(2, b)])
-                    .unwrap();
+                let out = n.simulate(&[BitVec::from_u64(2, a), BitVec::from_u64(2, b)]).unwrap();
                 assert_eq!(out[0].to_u64(), Some(a + b), "{a}+{b}");
             }
         }

@@ -39,11 +39,7 @@ impl Netlist {
         let mut at = vec![0.0f64; self.num_nets()];
         for g in self.topo_gates().expect("timing needs an acyclic netlist") {
             let gate = &self.gates[g.index()];
-            let input_at = gate
-                .inputs
-                .iter()
-                .map(|&n| at[n.index()])
-                .fold(0.0f64, f64::max);
+            let input_at = gate.inputs.iter().map(|&n| at[n.index()]).fold(0.0f64, f64::max);
             let d = lib.delay_ns(gate.kind, gate.drive, self.fanout_of(gate.output));
             at[gate.output.index()] = input_at + d;
         }
@@ -53,11 +49,8 @@ impl Netlist {
     /// Longest input-to-output path delay and per-output summary.
     pub fn longest_path(&self, lib: &Library) -> TimingReport {
         let at = self.arrival_times(lib);
-        let mut report = TimingReport {
-            delay_ns: 0.0,
-            critical_output: None,
-            per_output: Vec::new(),
-        };
+        let mut report =
+            TimingReport { delay_ns: 0.0, critical_output: None, per_output: Vec::new() };
         for (name, bits) in self.outputs() {
             let mut worst = 0.0f64;
             for (k, &b) in bits.iter().enumerate() {
@@ -83,12 +76,11 @@ impl Netlist {
         // Start at the worst output bit's driver and walk backwards,
         // always following the latest-arriving input.
         let report = self.longest_path(lib);
-        let Some((name, bit)) = report.critical_output else { return Vec::new() };
-        let (_, bits) = self
-            .outputs()
-            .iter()
-            .find(|(n, _)| *n == name)
-            .expect("critical output exists");
+        let Some((name, bit)) = report.critical_output else {
+            return Vec::new();
+        };
+        let (_, bits) =
+            self.outputs().iter().find(|(n, _)| *n == name).expect("critical output exists");
         let mut path = Vec::new();
         let mut net = bits[bit];
         while let Some(g) = self.driver_gate(net) {
@@ -97,9 +89,7 @@ impl Netlist {
             let worst = gate_inputs
                 .iter()
                 .copied()
-                .max_by(|&x, &y| {
-                    at.at(x).partial_cmp(&at.at(y)).expect("finite arrival times")
-                })
+                .max_by(|&x, &y| at.at(x).partial_cmp(&at.at(y)).expect("finite arrival times"))
                 .expect("gates have inputs");
             net = worst;
         }

@@ -131,11 +131,8 @@ pub fn optimize(nl: &mut Netlist, lib: &Library, config: &OptConfig) -> OptRepor
 
         // Move 1: upsize the most loaded near-critical gates.
         let critical = nl.critical_gates(lib, window);
-        let mut candidates: Vec<GateId> = critical
-            .iter()
-            .copied()
-            .filter(|&g| nl.gate_info(g).1.upsize().is_some())
-            .collect();
+        let mut candidates: Vec<GateId> =
+            critical.iter().copied().filter(|&g| nl.gate_info(g).1.upsize().is_some()).collect();
         // Most-loaded first: the load term is what sizing shrinks.
         candidates.sort_by_key(|&g| std::cmp::Reverse(nl.fanout_of(nl.gate_output(g))));
         for g in candidates.into_iter().take(8) {
@@ -207,8 +204,7 @@ pub fn fold_constants(nl: &mut Netlist) {
             }
             let (kind, _) = nl.gate_info(g);
             let ins = nl.gate_inputs(g).to_vec();
-            let consts: Vec<Option<bool>> =
-                ins.iter().map(|&n| nl.const_value(n)).collect();
+            let consts: Vec<Option<bool>> = ins.iter().map(|&n| nl.const_value(n)).collect();
             let new: Option<NetId> = match kind {
                 CellKind::Inv => consts[0].map(|v| constant(nl, !v)),
                 CellKind::Buf => Some(consts[0].map_or(ins[0], |v| constant(nl, v))),
@@ -397,11 +393,8 @@ mod tests {
                     1 => (a, c1),
                     _ => (c1, c0),
                 };
-                let out = if kind.arity() == 1 {
-                    n.gate(kind, &[y])
-                } else {
-                    n.gate(kind, &[x, y])
-                };
+                let out =
+                    if kind.arity() == 1 { n.gate(kind, &[y]) } else { n.gate(kind, &[x, y]) };
                 n.output("o", vec![out]);
                 let reference = n.clone();
                 fold_constants(&mut n);
@@ -450,11 +443,8 @@ mod tests {
         for x in 0..16u64 {
             for y in 0..16u64 {
                 for cin in 0..2u64 {
-                    let i = [
-                        BitVec::from_u64(4, x),
-                        BitVec::from_u64(4, y),
-                        BitVec::from_u64(1, cin),
-                    ];
+                    let i =
+                        [BitVec::from_u64(4, x), BitVec::from_u64(4, y), BitVec::from_u64(1, cin)];
                     assert_eq!(n.simulate(&i).unwrap(), reference.simulate(&i).unwrap());
                 }
             }

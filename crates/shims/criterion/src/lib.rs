@@ -1,0 +1,201 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot reach a crate registry, so the workspace
+//! vendors the subset of criterion's API that its `harness = false` benches
+//! use: `Criterion::benchmark_group`, group tuning knobs, `bench_function`
+//! / `bench_with_input`, [`BenchmarkId`], [`Bencher::iter`], and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: each benchmark runs `sample_size`
+//! timed samples after one warm-up call and prints mean/min wall-clock
+//! times. There is no statistical analysis, HTML report, or baseline
+//! comparison — the benches exist to track costs by eye and to stay
+//! compiling.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Label for one benchmark within a group: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<F: Display, P: Display>(function_name: F, parameter: P) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.id.fmt(f)
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    samples: usize,
+    elapsed: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Calls `routine` once to warm up, then `samples` timed times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.elapsed.push(start.elapsed());
+        }
+    }
+}
+
+/// A named collection of related benchmarks with shared tuning.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim always warms up with one
+    /// untimed call instead of a time budget.
+    pub fn warm_up_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim always runs exactly
+    /// `sample_size` samples.
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<I: Display, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { samples: self.sample_size, elapsed: Vec::new() };
+        f(&mut b);
+        self.report(&id.to_string(), &b.elapsed);
+        self
+    }
+
+    pub fn bench_with_input<I: Display, T: ?Sized, F>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &T),
+    {
+        let mut b = Bencher { samples: self.sample_size, elapsed: Vec::new() };
+        f(&mut b, input);
+        self.report(&id.to_string(), &b.elapsed);
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn report(&mut self, id: &str, samples: &[Duration]) {
+        let name = format!("{}/{}", self.name, id);
+        if samples.is_empty() {
+            println!("{name:<60} (no samples)");
+            return;
+        }
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let min = samples.iter().min().copied().unwrap_or_default();
+        println!("{name:<60} mean {mean:>12?}   min {min:>12?}   ({} samples)", samples.len());
+        self.criterion.benchmarks_run += 1;
+    }
+}
+
+/// Entry point handed to every `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    pub fn benchmark_group<N: Display>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        let name = name.to_string();
+        println!("== bench group: {name}");
+        BenchmarkGroup { criterion: self, name, sample_size: 10 }
+    }
+
+    pub fn bench_function<I: Display, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.to_string();
+        self.benchmark_group("default").bench_function(id, f);
+        self
+    }
+
+    /// Total number of benchmarks reported so far.
+    pub fn benchmarks_run(&self) -> usize {
+        self.benchmarks_run
+    }
+}
+
+/// Opaque identity function that defeats constant folding of bench inputs
+/// and results.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function named `$name` running each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes harness flags like `--bench`; accept and ignore.
+            let _args: Vec<String> = std::env::args().collect();
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.bench_function("count", |b| b.iter(|| (0..100).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("double", 21), &21u64, |b, &n| b.iter(|| n * 2));
+        group.finish();
+        assert_eq!(c.benchmarks_run(), 2);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+    }
+}

@@ -79,11 +79,7 @@ pub fn kogge_stone_add(nl: &mut Netlist, a: &[NetId], b: &[NetId], cin: NetId) -
     }
     // sum[k] = p[k] ^ carry_in(k), carry_in(0) = cin, carry_in(k) = G[k-1].
     let mut sum = Vec::with_capacity(n);
-    sum.push(if cin == zero {
-        p[0]
-    } else {
-        nl.gate(CellKind::Xor2, &[p[0], cin])
-    });
+    sum.push(if cin == zero { p[0] } else { nl.gate(CellKind::Xor2, &[p[0], cin]) });
     for k in 1..n {
         sum.push(nl.gate(CellKind::Xor2, &[p[k], gg[k - 1]]));
     }
@@ -218,8 +214,7 @@ pub(crate) fn reduce_to_two_rows(
                     // Reduce minimally: just enough that this column's
                     // next-stage height (kept + sums + incoming carries)
                     // meets the target.
-                    while avail.len() + next.len() + incoming.len() > target && avail.len() >= 2
-                    {
+                    while avail.len() + next.len() + incoming.len() > target && avail.len() >= 2 {
                         if avail.len() >= 3 {
                             let c3 = avail.pop().expect("len >= 3");
                             let c2 = avail.pop().expect("len >= 2");
@@ -263,9 +258,8 @@ mod tests {
             nl.check().unwrap();
             for x in 0..(1u64 << w) {
                 for y in 0..(1u64 << w) {
-                    let out = nl
-                        .simulate(&[BitVec::from_u64(w, x), BitVec::from_u64(w, y)])
-                        .unwrap();
+                    let out =
+                        nl.simulate(&[BitVec::from_u64(w, x), BitVec::from_u64(w, y)]).unwrap();
                     let expected = (x + y) & ((1 << w) - 1);
                     assert_eq!(out[0].to_u64(), Some(expected), "w={w} {x}+{y}");
                 }
@@ -297,9 +291,7 @@ mod tests {
             let one = nl.const1();
             let s = builder(&mut nl, &a, &b, one);
             nl.output("s", s);
-            let out = nl
-                .simulate(&[BitVec::from_u64(4, 6), BitVec::from_u64(4, 8)])
-                .unwrap();
+            let out = nl.simulate(&[BitVec::from_u64(4, 6), BitVec::from_u64(4, 8)]).unwrap();
             assert_eq!(out[0].to_u64(), Some(15)); // 6 + 8 + 1
         }
     }
@@ -330,8 +322,7 @@ mod tests {
         for kind in [ReductionKind::Wallace, ReductionKind::Dadda] {
             let w = 8;
             let mut nl = Netlist::new();
-            let rows: Vec<Vec<NetId>> =
-                (0..6).map(|k| nl.input(format!("r{k}"), 5)).collect();
+            let rows: Vec<Vec<NetId>> = (0..6).map(|k| nl.input(format!("r{k}"), 5)).collect();
             let mut cols = Columns::new(w);
             for r in &rows {
                 cols.push_row(&mut nl, 0, r);
@@ -345,8 +336,7 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(5);
             for _ in 0..200 {
                 let vals: Vec<u64> = (0..6).map(|_| rng.gen_range(0..32)).collect();
-                let inputs: Vec<BitVec> =
-                    vals.iter().map(|&v| BitVec::from_u64(5, v)).collect();
+                let inputs: Vec<BitVec> = vals.iter().map(|&v| BitVec::from_u64(5, v)).collect();
                 let out = nl.simulate(&inputs).unwrap();
                 let expected = vals.iter().sum::<u64>() & 0xFF;
                 assert_eq!(out[0].to_u64(), Some(expected), "{kind:?} {vals:?}");
@@ -358,8 +348,7 @@ mod tests {
     fn dadda_uses_no_more_adders_than_wallace() {
         let count_gates = |kind: ReductionKind| {
             let mut nl = Netlist::new();
-            let rows: Vec<Vec<NetId>> =
-                (0..9).map(|k| nl.input(format!("r{k}"), 8)).collect();
+            let rows: Vec<Vec<NetId>> = (0..9).map(|k| nl.input(format!("r{k}"), 8)).collect();
             let mut cols = Columns::new(10);
             for r in &rows {
                 cols.push_row(&mut nl, 0, r);

@@ -140,11 +140,7 @@ mod tests {
                     ];
                     let expect = g.evaluate(&inputs).unwrap();
                     let got = nl.simulate(&inputs).unwrap();
-                    assert_eq!(
-                        got[0].to_i64(),
-                        expect[&g.outputs()[0]].to_i64(),
-                        "{x}*{y}-{z}"
-                    );
+                    assert_eq!(got[0].to_i64(), expect[&g.outputs()[0]].to_i64(), "{x}*{y}-{z}");
                 }
             }
         }

@@ -6,10 +6,10 @@ use std::fmt;
 
 use dp_analysis::info_content;
 use dp_bitvec::Signedness;
-use dp_dfg::{Dfg, NodeId, NodeKind, ValidateError};
+use dp_dfg::{Dfg, NodeId, NodeKind, ValidateErrors};
 use dp_merge::{
-    cluster_leakage, cluster_max, cluster_none, ClusterError, Clustering, LinearizeError,
-    linearize_cluster,
+    cluster_leakage, cluster_max, cluster_none, linearize_cluster, ClusterError, Clustering,
+    LinearizeError,
 };
 use dp_netlist::{NetId, Netlist};
 
@@ -19,8 +19,8 @@ use crate::SynthConfig;
 /// Error from [`synthesize`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SynthError {
-    /// The input graph failed validation.
-    InvalidGraph(ValidateError),
+    /// The input graph failed validation (every defect is carried).
+    InvalidGraph(ValidateErrors),
     /// The clustering does not fit the graph.
     InvalidClustering(ClusterError),
     /// A cluster could not be linearized.
@@ -47,8 +47,8 @@ impl Error for SynthError {
     }
 }
 
-impl From<ValidateError> for SynthError {
-    fn from(e: ValidateError) -> Self {
+impl From<ValidateErrors> for SynthError {
+    fn from(e: ValidateErrors) -> Self {
         SynthError::InvalidGraph(e)
     }
 }
@@ -124,10 +124,7 @@ pub fn synthesize(
     for &n in g.outputs() {
         let e = g.node(n).in_edges()[0];
         let edge = g.edge(e);
-        let src_bits = signals
-            .get(&edge.src())
-            .expect("output driver was synthesized")
-            .clone();
+        let src_bits = signals.get(&edge.src()).expect("output driver was synthesized").clone();
         let on_edge = resize_bits(&mut nl, &src_bits, edge.signedness(), edge.width());
         let final_bits = resize_bits(&mut nl, &on_edge, edge.signedness(), g.node(n).width());
         let name = g.node(n).name().unwrap_or("out").to_string();
@@ -181,6 +178,27 @@ pub struct FlowResult {
     pub clustering: Clustering,
     /// The (possibly width-transformed) graph actually synthesized.
     pub graph: Dfg,
+    /// The merge strategy that produced this result.
+    pub strategy: MergeStrategy,
+}
+
+#[cfg(feature = "verify")]
+impl FlowResult {
+    /// Audits this flow's graph, clustering and netlist with the
+    /// [`dp_verify`] checker passes. Strict (fixpoint-assuming) checks are
+    /// armed only for [`MergeStrategy::New`], the one strategy that runs
+    /// the width-optimization pipeline. Pass the pre-flow graph as
+    /// `baseline` to also arm the width-floor audit (`R002`).
+    pub fn verify(&self, baseline: Option<&Dfg>) -> dp_verify::VerifyReport {
+        let mut cx = dp_verify::Context::new(&self.graph)
+            .clustering(&self.clustering)
+            .netlist(&self.netlist)
+            .optimized(matches!(self.strategy, MergeStrategy::New));
+        if let Some(base) = baseline {
+            cx = cx.baseline(base);
+        }
+        dp_verify::verify(&cx)
+    }
 }
 
 /// Runs one end-to-end synthesis flow on a copy of `g`: clustering with
@@ -201,7 +219,7 @@ pub fn run_flow(
         MergeStrategy::New => cluster_max(&mut graph).0,
     };
     let netlist = synthesize(&graph, &clustering, config)?;
-    Ok(FlowResult { netlist, clustering, graph })
+    Ok(FlowResult { netlist, clustering, graph, strategy })
 }
 
 #[cfg(test)]
@@ -209,9 +227,9 @@ mod tests {
     use super::*;
     use crate::{AdderKind, ReductionKind};
     use dp_bitvec::BitVec;
+    use dp_bitvec::Signedness::*;
     use dp_dfg::gen::{random_dfg, random_inputs, GenConfig};
     use dp_dfg::OpKind;
-    use dp_bitvec::Signedness::*;
     use rand::{rngs::StdRng, SeedableRng};
 
     fn assert_equivalent(g: &Dfg, nl: &Netlist, rng: &mut StdRng, trials: usize) {
@@ -281,10 +299,7 @@ mod tests {
         assert_eq!(none.clustering.len(), 5);
         let d_none = none.netlist.longest_path(&lib).delay_ns;
         let d_new = new.netlist.longest_path(&lib).delay_ns;
-        assert!(
-            d_new < d_none,
-            "merged {d_new:.2} ns should beat unmerged {d_none:.2} ns"
-        );
+        assert!(d_new < d_none, "merged {d_new:.2} ns should beat unmerged {d_none:.2} ns");
         let mut rng = StdRng::seed_from_u64(1);
         assert_equivalent(&g, &new.netlist, &mut rng, 30);
         assert_equivalent(&g, &none.netlist, &mut rng, 30);
@@ -316,5 +331,23 @@ mod tests {
         let flow = run_flow(&g, MergeStrategy::New, &SynthConfig::default()).unwrap();
         let out = flow.netlist.simulate(&[BitVec::from_u64(4, 7)]).unwrap();
         assert_eq!(out[0].to_u64(), Some(35));
+    }
+
+    #[cfg(feature = "verify")]
+    #[test]
+    fn flow_results_verify_clean() {
+        let mut rng = StdRng::seed_from_u64(0xF12);
+        for case in 0..5 {
+            let g = random_dfg(&mut rng, &GenConfig { num_ops: 8, ..GenConfig::default() });
+            for strategy in [MergeStrategy::None, MergeStrategy::Old, MergeStrategy::New] {
+                let flow = run_flow(&g, strategy, &SynthConfig::default()).unwrap();
+                let report = flow.verify(Some(&g));
+                assert!(
+                    !report.has_errors(),
+                    "case {case} {strategy}:\n{}",
+                    report.render(&flow.graph)
+                );
+            }
+        }
     }
 }

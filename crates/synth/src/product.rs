@@ -59,8 +59,7 @@ pub(crate) fn emit_product(
     for j in 0..b.bits.len().min(width.saturating_sub(offset)) {
         let col = offset + j;
         let b_j = b.bits[j];
-        let row_is_negative =
-            b.signedness == Signedness::Signed && j == b.bits.len() - 1;
+        let row_is_negative = b.signedness == Signedness::Signed && j == b.bits.len() - 1;
         // The row: (A extended) & b_j at columns offset+j..width.
         let mut row_bits: Vec<NetId> = Vec::with_capacity(width - col);
         let mut cached_and: Option<(NetId, NetId)> = None; // (a_bit, and_net)
@@ -168,9 +167,7 @@ mod tests {
         let nl = build_mul(4, Unsigned, 4, Unsigned, 8);
         for x in 0..16u64 {
             for y in 0..16u64 {
-                let out = nl
-                    .simulate(&[BitVec::from_u64(4, x), BitVec::from_u64(4, y)])
-                    .unwrap();
+                let out = nl.simulate(&[BitVec::from_u64(4, x), BitVec::from_u64(4, y)]).unwrap();
                 assert_eq!(out[0].to_u64(), Some(x * y), "{x}*{y}");
             }
         }
@@ -181,9 +178,7 @@ mod tests {
         let nl = build_mul(4, Signed, 4, Signed, 8);
         for x in -8i64..8 {
             for y in -8i64..8 {
-                let out = nl
-                    .simulate(&[BitVec::from_i64(4, x), BitVec::from_i64(4, y)])
-                    .unwrap();
+                let out = nl.simulate(&[BitVec::from_i64(4, x), BitVec::from_i64(4, y)]).unwrap();
                 assert_eq!(out[0].to_i64(), Some(x * y), "{x}*{y}");
             }
         }
@@ -208,9 +203,7 @@ mod tests {
         let nl = build_mul(4, Unsigned, 4, Unsigned, 5);
         for x in 0..16u64 {
             for y in 0..16u64 {
-                let out = nl
-                    .simulate(&[BitVec::from_u64(4, x), BitVec::from_u64(4, y)])
-                    .unwrap();
+                let out = nl.simulate(&[BitVec::from_u64(4, x), BitVec::from_u64(4, y)]).unwrap();
                 assert_eq!(out[0].to_u64(), Some((x * y) % 32), "{x}*{y}");
             }
         }

@@ -98,9 +98,7 @@ pub fn csd_multiply(g: &mut Dfg, x: NodeId, c: i64, width: usize) -> NodeId {
                 (true, false) => {
                     (g.op(OpKind::Sub, width, &[(node, Signed), (prev, Signed)]), false)
                 }
-                (true, true) => {
-                    (g.op(OpKind::Add, width, &[(prev, Signed), (node, Signed)]), true)
-                }
+                (true, true) => (g.op(OpKind::Add, width, &[(prev, Signed), (node, Signed)]), true),
             },
         });
     }
@@ -217,9 +215,7 @@ mod tests {
         g.validate().unwrap();
         // Recover the coefficients by feeding unit impulses.
         let impulse = |k: usize, v: i64| -> Vec<BitVec> {
-            (0..g.inputs().len())
-                .map(|i| BitVec::from_i64(6, if i == k { v } else { 0 }))
-                .collect()
+            (0..g.inputs().len()).map(|i| BitVec::from_i64(6, if i == k { v } else { 0 })).collect()
         };
         let y = g.outputs()[0];
         let coeffs: Vec<i64> = (0..g.inputs().len())

@@ -74,8 +74,7 @@ pub fn d1() -> Dfg {
     let mut g = Dfg::new();
     let mut chains = Vec::new();
     for c in 0..4 {
-        let inputs: Vec<NodeId> =
-            (0..8).map(|k| g.input(format!("x{c}_{k}"), 8)).collect();
+        let inputs: Vec<NodeId> = (0..8).map(|k| g.input(format!("x{c}_{k}"), 8)).collect();
         chains.push(skewed_chain(&mut g, &inputs, Unsigned, balanced_width(8, 8)));
     }
     let y = g.input("y", 16);
@@ -93,8 +92,7 @@ pub fn d2() -> Dfg {
     let mut g = Dfg::new();
     let mut chains = Vec::new();
     for c in 0..6 {
-        let inputs: Vec<NodeId> =
-            (0..12).map(|k| g.input(format!("x{c}_{k}"), 6)).collect();
+        let inputs: Vec<NodeId> = (0..12).map(|k| g.input(format!("x{c}_{k}"), 6)).collect();
         chains.push(skewed_chain(&mut g, &inputs, Unsigned, balanced_width(12, 6)));
     }
     let s1 = g.op(OpKind::Add, 11, &[(chains[0], Unsigned), (chains[1], Unsigned)]);
@@ -124,16 +122,10 @@ pub fn d3() -> Dfg {
         let p = g.op(OpKind::Mul, 9, &[(s1, Signed), (s2, Signed)]);
         products.push(p);
     }
-    let t1 = g.op_with_edges(
-        OpKind::Add,
-        18,
-        &[(products[0], 18, Signed), (products[1], 18, Signed)],
-    );
-    let t2 = g.op_with_edges(
-        OpKind::Add,
-        18,
-        &[(products[2], 18, Signed), (products[3], 18, Signed)],
-    );
+    let t1 =
+        g.op_with_edges(OpKind::Add, 18, &[(products[0], 18, Signed), (products[1], 18, Signed)]);
+    let t2 =
+        g.op_with_edges(OpKind::Add, 18, &[(products[2], 18, Signed), (products[3], 18, Signed)]);
     let f = g.op(OpKind::Add, 18, &[(t1, Signed), (t2, Signed)]);
     g.output("r", 18, f, Signed);
     g
@@ -215,12 +207,7 @@ mod tests {
         let old = cluster_leakage(&g);
         let mut g2 = g.clone();
         let (new, report) = cluster_max(&mut g2);
-        assert!(
-            new.len() < old.len(),
-            "new {} clusters vs old {}",
-            new.len(),
-            old.len()
-        );
+        assert!(new.len() < old.len(), "new {} clusters vs old {}", new.len(), old.len());
         assert!(report.refinements >= 1, "D1's gain must come from rebalancing");
         assert!(report.rounds >= 2);
         // No redundant widths: the transform alone changes little of the
@@ -266,10 +253,7 @@ mod tests {
             let mut g2 = g.clone();
             let (new, _) = cluster_max(&mut g2);
             let after = g2.total_op_width();
-            assert!(
-                after * 3 < before,
-                "{name}: widths should collapse (got {before} -> {after})"
-            );
+            assert!(after * 3 < before, "{name}: widths should collapse (got {before} -> {after})");
             assert!(new.len() < old.len(), "{name}: old {} vs new {}", old.len(), new.len());
         }
     }

@@ -127,9 +127,7 @@ pub fn fig3() -> Fig3 {
 /// assert_eq!(huffman_bound(&terms).to_string(), "<6,0>");
 /// ```
 pub fn fig4_terms() -> Vec<Term> {
-    (0..5)
-        .map(|_| Term::new(1, dp_analysis::Ic::new(3, dp_bitvec::Signedness::Unsigned)))
-        .collect()
+    (0..5).map(|_| Term::new(1, dp_analysis::Ic::new(3, dp_bitvec::Signedness::Unsigned))).collect()
 }
 
 /// The skewed chain of Figure 4 as an actual graph (five 3-bit unsigned
@@ -204,10 +202,7 @@ mod tests {
         g.validate().unwrap();
         let ic = info_content(&g);
         // The last accumulator's first-pass bound is the skewed <7,0>.
-        let last = g
-            .op_nodes()
-            .last()
-            .expect("chain has operators");
+        let last = g.op_nodes().last().expect("chain has operators");
         assert_eq!(ic.output(last).to_string(), "<7,0>");
     }
 }

@@ -1,0 +1,13 @@
+//! The bundled checker passes, one module per diagnostic family.
+
+mod cluster;
+mod ic;
+mod netlist;
+mod rp;
+mod structural;
+
+pub use cluster::ClusterLegality;
+pub use ic::IcSoundness;
+pub use netlist::NetlistChecks;
+pub use rp::RpSoundness;
+pub use structural::StructuralValidity;

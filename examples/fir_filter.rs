@@ -50,7 +50,8 @@ fn main() {
     let target = best * 0.9;
     println!("\ntiming-driven optimization to {target:.3} ns:");
     for (strategy, mut nl, _) in results.into_iter().skip(1) {
-        let report = optimize(&mut nl, &lib, &OptConfig { target_delay_ns: target, ..OptConfig::default() });
+        let report =
+            optimize(&mut nl, &lib, &OptConfig { target_delay_ns: target, ..OptConfig::default() });
         println!(
             "{:<10} {:>4} iterations, {:>8.4} s, end delay {:>7.3} ns ({}), end area {:>8.1}",
             strategy.to_string(),

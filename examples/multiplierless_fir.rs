@@ -53,8 +53,8 @@ fn main() {
     let flow = run_flow(&g, MergeStrategy::New, &config).expect("synthesis");
     assert_eq!(flow.clustering.len(), 1);
     let ic = info_content(&flow.graph);
-    let sum = linearize_cluster(&flow.graph, &flow.clustering.clusters[0], &ic)
-        .expect("linearizes");
+    let sum =
+        linearize_cluster(&flow.graph, &flow.clustering.clusters[0], &ic).expect("linearizes");
     let shifted = sum.addends.iter().filter(|a| a.shift > 0).count();
     println!(
         "\nmerged cluster: {} addends, {} of them shift-weighted, {} negated",
@@ -64,14 +64,10 @@ fn main() {
     );
 
     // Verify on an impulse: the filter output must reproduce coefficient 0.
-    let mut inputs: Vec<BitVec> =
-        (0..g.inputs().len()).map(|_| BitVec::zero(10)).collect();
+    let mut inputs: Vec<BitVec> = (0..g.inputs().len()).map(|_| BitVec::zero(10)).collect();
     inputs[0] = BitVec::from_i64(10, 1);
     let got = flow.netlist.simulate(&inputs).expect("simulates");
     let expect = g.evaluate(&inputs).expect("evaluates");
     assert_eq!(got[0], expect[&g.outputs()[0]]);
-    println!(
-        "impulse response tap 0 = {} (netlist == design)",
-        got[0].to_i64().expect("fits")
-    );
+    println!("impulse response tap 0 = {} (netlist == design)", got[0].to_i64().expect("fits"));
 }

@@ -22,10 +22,7 @@ fn main() {
     let config = SynthConfig::default();
 
     println!("a*b + c*d, 8-bit signed operands\n");
-    println!(
-        "{:<10} {:>9} {:>12} {:>10} {:>8}",
-        "flow", "clusters", "delay (ns)", "area", "gates"
-    );
+    println!("{:<10} {:>9} {:>12} {:>10} {:>8}", "flow", "clusters", "delay (ns)", "area", "gates");
     for strategy in [MergeStrategy::None, MergeStrategy::Old, MergeStrategy::New] {
         let flow = run_flow(&g, strategy, &config).expect("synthesis");
         let timing = flow.netlist.longest_path(&lib);

@@ -4,8 +4,8 @@
 //!
 //! Run with `cargo run --example width_pruning`.
 
-use datapath_merge::prelude::*;
 use datapath_merge::analysis::naive_skewed_bound;
+use datapath_merge::prelude::*;
 use datapath_merge::testcases::figures;
 
 fn main() {

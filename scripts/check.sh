@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full local gate: everything CI would run, in the order that fails fastest.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "==> cargo test (verify features)"
+cargo test -q -p dp-synth --features verify
+cargo test -q -p dp-analysis --features verify
+
+echo "==> cargo clippy"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "OK"

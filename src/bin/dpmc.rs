@@ -10,7 +10,14 @@
 //!      [--reduction dadda|wallace] [--no-compress]
 //!      [--optimize TARGET_NS] [--emit-verilog FILE] [--emit-dot FILE]
 //!      [--check N]
+//! dpmc lint design.dp [--deny-warnings]
 //! ```
+//!
+//! `dpmc lint` runs the new-merge flow and then audits the optimized
+//! graph, clustering and netlist with the [`datapath_merge::verify`]
+//! checker passes, printing one diagnostic per line. The exit code is
+//! non-zero if any error-level diagnostic fires (or any warning under
+//! `--deny-warnings`).
 
 use std::process::ExitCode;
 
@@ -24,11 +31,14 @@ struct Args {
     emit_verilog: Option<String>,
     emit_dot: Option<String>,
     check: usize,
+    lint: bool,
+    deny_warnings: bool,
 }
 
 const USAGE: &str = "usage: dpmc <design.dp> [--flow new|old|none|all] \
 [--adder ks|csel|ripple] [--reduction dadda|wallace] [--no-compress] \
-[--optimize TARGET_NS] [--emit-verilog FILE] [--emit-dot FILE] [--check N]";
+[--optimize TARGET_NS] [--emit-verilog FILE] [--emit-dot FILE] [--check N]\n\
+       dpmc lint <design.dp> [--deny-warnings]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -39,6 +49,8 @@ fn parse_args() -> Result<Args, String> {
         emit_verilog: None,
         emit_dot: None,
         check: 20,
+        lint: false,
+        deny_warnings: false,
     };
     let mut it = std::env::args().skip(1);
     let value = |it: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -85,6 +97,8 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "bad --check value".to_string())?
             }
+            "--deny-warnings" => args.deny_warnings = true,
+            "lint" if !args.lint && args.file.is_empty() => args.lint = true,
             other if args.file.is_empty() && !other.starts_with('-') => {
                 args.file = other.to_string()
             }
@@ -93,6 +107,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.file.is_empty() {
         return Err("no design file given".to_string());
+    }
+    if args.deny_warnings && !args.lint {
+        return Err("--deny-warnings only applies to `dpmc lint`".to_string());
     }
     Ok(args)
 }
@@ -105,13 +122,40 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+    let outcome = if args.lint { run_lint(&args) } else { run(&args).map(|()| true) };
+    match outcome {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
         Err(e) => {
             eprintln!("dpmc: {e}");
             ExitCode::FAILURE
         }
     }
+}
+
+/// `dpmc lint`: run the new-merge flow, then audit every produced
+/// artifact with the semantic verifier. Returns `Ok(false)` when the
+/// design fails the lint gate.
+fn run_lint(args: &Args) -> Result<bool, String> {
+    let text = std::fs::read_to_string(&args.file)
+        .map_err(|e| format!("cannot read {}: {e}", args.file))?;
+    let base = datapath_merge::dsl::parse_design(&text).map_err(|e| e.to_string())?;
+    let mut g = base.clone();
+    let (clustering, merge_report) = cluster_max(&mut g);
+    let netlist = synthesize(&g, &clustering, &args.config).map_err(|e| e.to_string())?.sweep();
+
+    let cx = Context::new(&g)
+        .baseline(&base)
+        .clustering(&clustering)
+        .netlist(&netlist)
+        .transform(&merge_report.transform)
+        .optimized(true);
+    let report = Verifier::default().run(&cx);
+
+    print!("{}", report.render(&g));
+    println!("{}: {}", args.file, report.summary());
+    let denied = report.has_errors() || (args.deny_warnings && report.count(Severity::Warn) > 0);
+    Ok(!denied)
 }
 
 fn run(args: &Args) -> Result<(), String> {
@@ -208,13 +252,8 @@ fn run(args: &Args) -> Result<(), String> {
 }
 
 fn module_name(file: &str) -> String {
-    let base = std::path::Path::new(file)
-        .file_stem()
-        .and_then(|s| s.to_str())
-        .unwrap_or("design");
-    base.chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
-        .collect()
+    let base = std::path::Path::new(file).file_stem().and_then(|s| s.to_str()).unwrap_or("design");
+    base.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
 }
 
 fn check_equivalence(g: &Dfg, netlist: &Netlist, trials: usize) -> Result<(), String> {

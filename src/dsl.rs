@@ -88,9 +88,8 @@ pub fn parse_design(text: &str) -> Result<Dfg, DslError> {
                 if tokens.len() != 4 || tokens[2] != "=" {
                     return Err(err("expected: const NAME = <literal>".into()));
                 }
-                let value: BitVec = tokens[3]
-                    .parse()
-                    .map_err(|e| err(format!("bad literal: {e}")))?;
+                let value: BitVec =
+                    tokens[3].parse().map_err(|e| err(format!("bad literal: {e}")))?;
                 define(&mut names, tokens[1], g.constant(value)).map_err(&err)?;
             }
             "output" => {
@@ -122,16 +121,16 @@ pub fn parse_design(text: &str) -> Result<Dfg, DslError> {
                     .map(|t| parse_operand(&g, &names, t))
                     .collect::<Result<_, _>>()
                     .map_err(&err)?;
-                let spec: Vec<(NodeId, usize, Signedness)> = operands
-                    .iter()
-                    .map(|o| (o.node, o.edge_width, o.signedness))
-                    .collect();
+                let spec: Vec<(NodeId, usize, Signedness)> =
+                    operands.iter().map(|o| (o.node, o.edge_width, o.signedness)).collect();
                 define(&mut names, name, g.op_with_edges(op, width, &spec)).map_err(&err)?;
             }
         }
     }
-    g.validate()
-        .map_err(|e| DslError { line: text.lines().count(), message: format!("invalid design: {e}") })?;
+    g.validate().map_err(|e| DslError {
+        line: text.lines().count(),
+        message: format!("invalid design: {e}"),
+    })?;
     Ok(g)
 }
 
@@ -141,11 +140,7 @@ struct Operand {
     signedness: Signedness,
 }
 
-fn define(
-    names: &mut HashMap<String, NodeId>,
-    name: &str,
-    id: NodeId,
-) -> Result<(), String> {
+fn define(names: &mut HashMap<String, NodeId>, name: &str, id: NodeId) -> Result<(), String> {
     if names.insert(name.to_string(), id).is_some() {
         return Err(format!("name `{name}` defined twice"));
     }
@@ -177,11 +172,7 @@ fn parse_op(t: &str) -> Result<OpKind, String> {
     }
 }
 
-fn parse_operand(
-    g: &Dfg,
-    names: &HashMap<String, NodeId>,
-    t: &str,
-) -> Result<Operand, String> {
+fn parse_operand(g: &Dfg, names: &HashMap<String, NodeId>, t: &str) -> Result<Operand, String> {
     let (rest, edge_width) = match t.split_once('/') {
         Some((rest, w)) => (rest, Some(parse_width(w)?)),
         None => (t, None),
@@ -193,11 +184,7 @@ fn parse_operand(
         None => (rest, Signedness::Unsigned),
     };
     let node = *names.get(name).ok_or_else(|| format!("unknown name `{name}`"))?;
-    Ok(Operand {
-        node,
-        edge_width: edge_width.unwrap_or_else(|| g.node(node).width()),
-        signedness,
-    })
+    Ok(Operand { node, edge_width: edge_width.unwrap_or_else(|| g.node(node).width()), signedness })
 }
 
 /// Renders a graph back into the DSL (a best-effort inverse of
@@ -216,9 +203,7 @@ pub fn to_dsl(g: &Dfg) -> String {
     let mut s = String::new();
     let name_of = |n: NodeId| -> String {
         match g.node(n).kind() {
-            NodeKind::Input | NodeKind::Output => {
-                g.node(n).name().unwrap_or("x").to_string()
-            }
+            NodeKind::Input | NodeKind::Output => g.node(n).name().unwrap_or("x").to_string(),
             _ => format!("n{}", n.index()),
         }
     };
@@ -244,8 +229,7 @@ pub fn to_dsl(g: &Dfg) -> String {
                     OpKind::Mul => "mul".to_string(),
                     OpKind::Shl(k) => format!("shl{k}"),
                 };
-                let ops: Vec<String> =
-                    node.in_edges().iter().map(|&e| operand_of(e)).collect();
+                let ops: Vec<String> = node.in_edges().iter().map(|&e| operand_of(e)).collect();
                 s.push_str(&format!(
                     "{} = {} {} {}\n",
                     name_of(n),
@@ -266,12 +250,7 @@ pub fn to_dsl(g: &Dfg) -> String {
             }
             NodeKind::Output => {
                 let e = node.in_edges()[0];
-                s.push_str(&format!(
-                    "output {} {} {}\n",
-                    name_of(n),
-                    node.width(),
-                    operand_of(e)
-                ));
+                s.push_str(&format!("output {} {} {}\n", name_of(n), node.width(), operand_of(e)));
             }
         }
     }
@@ -321,7 +300,8 @@ output r 9 s:s
 
     #[test]
     fn constants_edge_widths_and_shifts() {
-        let text = "input a 4\nconst k = 3'b101\nm = mul 7 a:u k:u\nt = shl2 9 m:u/7\noutput o 9 t:u";
+        let text =
+            "input a 4\nconst k = 3'b101\nm = mul 7 a:u k:u\nt = shl2 9 m:u/7\noutput o 9 t:u";
         let g = parse_design(text).unwrap();
         use dp_bitvec::BitVec;
         let out = g.evaluate(&[BitVec::from_u64(4, 6)]).unwrap();
@@ -366,10 +346,7 @@ output r 9 s:s
         ];
         let o1 = g.evaluate(&inputs).unwrap();
         let o2 = g2.evaluate(&inputs).unwrap();
-        assert_eq!(
-            o1[&g.outputs()[0]],
-            o2[&g2.outputs()[0]]
-        );
+        assert_eq!(o1[&g.outputs()[0]], o2[&g2.outputs()[0]]);
     }
 
     #[test]
@@ -380,8 +357,7 @@ output r 9 s:s
         for case in 0..20 {
             let g = random_dfg(&mut rng, &GenConfig::default());
             let text = to_dsl(&g);
-            let g2 = parse_design(&text)
-                .unwrap_or_else(|e| panic!("case {case}: {e}\n{text}"));
+            let g2 = parse_design(&text).unwrap_or_else(|e| panic!("case {case}: {e}\n{text}"));
             for _ in 0..10 {
                 let inputs = random_inputs(&g, &mut rng);
                 let o1 = g.evaluate(&inputs).unwrap();

@@ -30,6 +30,7 @@
 //! | [`synth`] | `dp-synth` | partial products, CSA trees, final adders, flows |
 //! | [`opt`] | `dp-opt` | timing-driven sizing/buffering/folding optimizer |
 //! | [`testcases`] | `dp-testcases` | the D1–D5 designs, paper figures, workload families |
+//! | [`verify`] | `dp-verify` | pass-based semantic verifier and diagnostics (`dpmc lint`) |
 //!
 //! # Quickstart
 //!
@@ -69,6 +70,7 @@ pub use dp_netlist as netlist;
 pub use dp_opt as opt;
 pub use dp_synth as synth;
 pub use dp_testcases as testcases;
+pub use dp_verify as verify;
 
 /// The most commonly used items in one import.
 pub mod prelude {
@@ -85,4 +87,5 @@ pub mod prelude {
     pub use dp_synth::{
         run_flow, synthesize, AdderKind, MergeStrategy, ReductionKind, SynthConfig,
     };
+    pub use dp_verify::{Code, Context, Diagnostic, Severity, Verifier, VerifyReport};
 }

@@ -50,10 +50,8 @@ fn width_analysis_collapses_redundant_design() {
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     // "total operator width X -> Y" with Y much smaller.
-    let line = text
-        .lines()
-        .find(|l| l.contains("total operator width"))
-        .expect("report line present");
+    let line =
+        text.lines().find(|l| l.contains("total operator width")).expect("report line present");
     let nums: Vec<usize> = line
         .split(|c: char| !c.is_ascii_digit())
         .filter(|s| !s.is_empty())
@@ -80,4 +78,38 @@ fn unknown_flag_shows_usage() {
     let out = dpmc().args(["designs/sop.dp", "--bogus"]).output().expect("dpmc runs");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn lint_is_clean_on_all_bundled_designs() {
+    for design in ["designs/fig3.dp", "designs/redundant.dp", "designs/sop.dp"] {
+        let out = dpmc().args(["lint", design, "--deny-warnings"]).output().expect("dpmc runs");
+        assert!(
+            out.status.success(),
+            "{design}:\n{}{}",
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("0 error(s)"), "{design}: {text}");
+        assert!(text.contains("0 warning(s)"), "{design}: {text}");
+    }
+}
+
+#[test]
+fn lint_rejects_an_unparseable_design() {
+    let dir = std::env::temp_dir();
+    let f = dir.join("dpmc_lint_bad.dp");
+    std::fs::write(&f, "input a 4\nnope nope\n").expect("write temp");
+    let out = dpmc().args(["lint", f.to_str().expect("utf8")]).output().expect("dpmc runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("line 2"));
+    let _ = std::fs::remove_file(f);
+}
+
+#[test]
+fn deny_warnings_requires_lint_mode() {
+    let out = dpmc().args(["designs/sop.dp", "--deny-warnings"]).output().expect("dpmc runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--deny-warnings"));
 }

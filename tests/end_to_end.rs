@@ -1,8 +1,8 @@
 //! End-to-end integration: every evaluation design through every flow,
 //! synthesized, optimized, and proven equivalent to the source DFG.
 
-use datapath_merge::prelude::*;
 use datapath_merge::dfg::gen::random_inputs;
+use datapath_merge::prelude::*;
 use datapath_merge::testcases::all_designs;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -70,7 +70,11 @@ fn merging_monotonically_improves_designs() {
             area.push(nl.area(&lib));
             cpas.push(flow.clustering.len());
         }
-        assert!(delay[2] <= delay[1] + 1e-9 && delay[1] <= delay[0] + 1e-9, "{}: {delay:?}", t.name);
+        assert!(
+            delay[2] <= delay[1] + 1e-9 && delay[1] <= delay[0] + 1e-9,
+            "{}: {delay:?}",
+            t.name
+        );
         assert!(area[2] <= area[1] + 1e-9, "{}: {area:?}", t.name);
         assert!(cpas[2] <= cpas[1] && cpas[1] <= cpas[0], "{}: {cpas:?}", t.name);
     }
@@ -82,13 +86,9 @@ fn width_transformed_designs_round_trip_through_all_adder_configs() {
         for adder in [AdderKind::Ripple, AdderKind::KoggeStone] {
             for reduction in [ReductionKind::Wallace, ReductionKind::Dadda] {
                 for compression in [false, true] {
-                    let config = SynthConfig {
-                        adder,
-                        reduction,
-                        sign_ext_compression: compression,
-                    };
-                    let flow = run_flow(&t.dfg, MergeStrategy::New, &config)
-                        .expect("synthesis");
+                    let config =
+                        SynthConfig { adder, reduction, sign_ext_compression: compression };
+                    let flow = run_flow(&t.dfg, MergeStrategy::New, &config).expect("synthesis");
                     assert_equivalent(&t.dfg, &flow.netlist, 17, 8);
                 }
             }

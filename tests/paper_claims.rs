@@ -1,8 +1,8 @@
 //! The paper's specific, checkable claims, asserted end to end.
 
-use datapath_merge::prelude::*;
 use datapath_merge::analysis::naive_skewed_bound;
-use datapath_merge::testcases::{figures, families};
+use datapath_merge::prelude::*;
+use datapath_merge::testcases::{families, figures};
 
 /// Section 3 / Figure 1: a truncated-then-extended sum forces a cluster
 /// boundary; maximal merging yields G_I = {N1} and G_II = {N2, N3}.
@@ -56,7 +56,7 @@ fn claim_figure4_huffman_refinement() {
     assert_eq!((skewed.i, balanced.i), (7, 6));
 
     // Optimality against brute force on a few random term sets.
-    fn best_over_all_orders(values: &mut Vec<usize>) -> usize {
+    fn best_over_all_orders(values: &mut [usize]) -> usize {
         if values.len() == 1 {
             return values[0];
         }
@@ -77,10 +77,8 @@ fn claim_figure4_huffman_refinement() {
         best
     }
     for widths in [vec![3, 3, 3, 3, 3], vec![2, 5, 5, 1], vec![4, 4, 4, 4, 4, 4]] {
-        let terms: Vec<Term> = widths
-            .iter()
-            .map(|&w| Term::new(1, Ic::new(w, Signedness::Unsigned)))
-            .collect();
+        let terms: Vec<Term> =
+            widths.iter().map(|&w| Term::new(1, Ic::new(w, Signedness::Unsigned))).collect();
         let mut vals = widths.clone();
         assert_eq!(huffman_bound(&terms).i, best_over_all_orders(&mut vals), "{widths:?}");
     }
@@ -123,8 +121,7 @@ fn claim_sum_of_products_single_cpa() {
     assert_eq!(merged.clustering.len(), 1);
     assert_eq!(unmerged.clustering.len(), 3);
     assert!(
-        merged.netlist.longest_path(&lib).delay_ns
-            < unmerged.netlist.longest_path(&lib).delay_ns
+        merged.netlist.longest_path(&lib).delay_ns < unmerged.netlist.longest_path(&lib).delay_ns
     );
 }
 

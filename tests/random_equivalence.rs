@@ -6,9 +6,9 @@
 //! partition, and (4) every synthesized netlist is bit-exact with the
 //! bit-accurate evaluator.
 
-use datapath_merge::prelude::*;
 use datapath_merge::analysis::info_content_with;
 use datapath_merge::dfg::gen::{random_dfg, random_inputs, GenConfig};
+use datapath_merge::prelude::*;
 use proptest::prelude::*;
 
 fn graph_strategy() -> impl Strategy<Value = (u64, usize, usize)> {
