@@ -49,7 +49,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod huffman;
 mod ic;
@@ -61,6 +61,6 @@ mod prune;
 pub use huffman::{huffman_bound, naive_skewed_bound, Term};
 pub use ic::Ic;
 pub use info::{info_content, info_content_with, InfoAnalysis, IntrinsicOverrides};
-pub use pipeline::{optimize_widths, TransformReport};
+pub use pipeline::{optimize_widths, optimize_widths_with, RoundStats, TransformReport};
 pub use precision::{required_precision, rp_transform, PrecisionAnalysis};
 pub use prune::{prune_edge_widths, prune_node_widths};

@@ -1,12 +1,34 @@
 //! The combined width-optimization pipeline used ahead of clustering.
 
+use std::time::{Duration, Instant};
+
 use dp_dfg::Dfg;
+use dp_metrics::Recorder;
 
 use crate::precision::rp_transform;
 use crate::prune::{prune_edge_widths, prune_node_widths};
 
-/// What [`optimize_widths`] changed.
+/// What one fixpoint round of [`optimize_widths`] changed, and how long it
+/// took.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundStats {
+    /// Node widths shrunk this round.
+    pub node_width_changes: usize,
+    /// Edge widths shrunk this round.
+    pub edge_width_changes: usize,
+    /// Extension nodes inserted this round.
+    pub extensions_inserted: usize,
+    /// Net change in total node+edge bit-width this round; negative means
+    /// the graph shrank. (A round can in principle grow the total when the
+    /// extension nodes it inserts carry more interface bits than pruning
+    /// removed.)
+    pub width_delta_bits: i64,
+    /// Wall time of the round.
+    pub elapsed: Duration,
+}
+
+/// What [`optimize_widths`] changed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TransformReport {
     /// Node widths shrunk (required precision + information content).
     pub node_width_changes: usize,
@@ -20,6 +42,36 @@ pub struct TransformReport {
     /// round cap was hit while passes were still making changes; the graph
     /// is functionally correct but further width reductions remain.
     pub converged: bool,
+    /// Per-round change/timing breakdown, one entry per executed round
+    /// (so `history.len() == rounds`).
+    pub history: Vec<RoundStats>,
+}
+
+impl TransformReport {
+    /// Net bit-width change across all rounds (negative = shrank).
+    pub fn width_delta_bits(&self) -> i64 {
+        self.history.iter().map(|r| r.width_delta_bits).sum()
+    }
+
+    /// Total wall time across all rounds.
+    pub fn elapsed(&self) -> Duration {
+        self.history.iter().map(|r| r.elapsed).sum()
+    }
+
+    /// A one-line human-readable digest, e.g.
+    /// `3 rounds (converged), -312 bits in 0.42 ms (per round -280/-30/-2)`.
+    pub fn summary(&self) -> String {
+        let per_round: Vec<String> =
+            self.history.iter().map(|r| format!("{:+}", r.width_delta_bits)).collect();
+        format!(
+            "{} round(s) ({}), {:+} bits in {:.2} ms (per round {})",
+            self.rounds,
+            if self.converged { "converged" } else { "round cap hit" },
+            self.width_delta_bits(),
+            self.elapsed().as_secs_f64() * 1e3,
+            if per_round.is_empty() { "-".to_string() } else { per_round.join("/") },
+        )
+    }
 }
 
 /// Runs the full functionally-safe width-reduction pipeline to a fixpoint:
@@ -41,17 +93,40 @@ const MAX_ROUNDS: usize = 9;
 ///
 /// Panics if the graph is cyclic or structurally invalid.
 pub fn optimize_widths(g: &mut Dfg) -> TransformReport {
+    optimize_widths_with(g, &mut Recorder::disabled())
+}
+
+/// [`optimize_widths`] with timing spans: one span per fixpoint round,
+/// with child spans for the required-precision sweep, the
+/// information-content edge sweep, and node pruning.
+///
+/// # Panics
+///
+/// Panics if the graph is cyclic or structurally invalid.
+pub fn optimize_widths_with(g: &mut Dfg, rec: &mut Recorder) -> TransformReport {
+    let pipeline = rec.span("optimize_widths");
     let mut report = TransformReport::default();
     #[cfg(feature = "verify")]
     let mut watch = verify::RoundWatch::new(g);
     loop {
-        let (n_rp, e_rp) = rp_transform(g);
-        let e_ic = prune_edge_widths(g);
-        let (n_ic, ext) = prune_node_widths(g);
+        let round = rec.span(format!("round {}", report.rounds + 1));
+        let started = Instant::now();
+        let bits_before = total_bits(g);
+        let (n_rp, e_rp) = rec.scope("rp_sweep", |_| rp_transform(g));
+        let e_ic = rec.scope("ic_edge_sweep", |_| prune_edge_widths(g));
+        let (n_ic, ext) = rec.scope("ic_node_prune", |_| prune_node_widths(g));
         report.node_width_changes += n_rp + n_ic;
         report.edge_width_changes += e_rp + e_ic;
         report.extensions_inserted += ext;
         report.rounds += 1;
+        report.history.push(RoundStats {
+            node_width_changes: n_rp + n_ic,
+            edge_width_changes: e_rp + e_ic,
+            extensions_inserted: ext,
+            width_delta_bits: total_bits(g) - bits_before,
+            elapsed: started.elapsed(),
+        });
+        rec.finish(round);
         #[cfg(feature = "verify")]
         watch.check_round(g, report.rounds);
         if n_rp + e_rp + e_ic + ext + n_ic == 0 {
@@ -62,7 +137,15 @@ pub fn optimize_widths(g: &mut Dfg) -> TransformReport {
             break;
         }
     }
+    rec.finish(pipeline);
     report
+}
+
+/// Total node plus edge bit-width — the quantity the pipeline shrinks.
+fn total_bits(g: &Dfg) -> i64 {
+    let nodes: usize = g.node_ids().map(|n| g.node(n).width()).sum();
+    let edges: usize = g.edge_ids().map(|e| g.edge(e).width()).sum();
+    (nodes + edges) as i64
 }
 
 /// Per-round invariant checking behind the `verify` feature: every pass in
@@ -149,6 +232,38 @@ mod tests {
                     "case {case}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn history_matches_totals_and_spans_nest() {
+        let mut rng = StdRng::seed_from_u64(0xF1F1);
+        for case in 0..10 {
+            let mut g = random_dfg(&mut rng, &GenConfig::default());
+            let mut rec = dp_metrics::Recorder::new();
+            let report = optimize_widths_with(&mut g, &mut rec);
+            assert_eq!(report.history.len(), report.rounds, "case {case}");
+            assert_eq!(
+                report.history.iter().map(|r| r.node_width_changes).sum::<usize>(),
+                report.node_width_changes,
+                "case {case}"
+            );
+            assert_eq!(
+                report.history.iter().map(|r| r.edge_width_changes).sum::<usize>(),
+                report.edge_width_changes,
+                "case {case}"
+            );
+            assert!(report.width_delta_bits() <= 0, "case {case}: pipeline never grows the graph");
+            // Span skeleton: one root, `rounds` children, three passes each.
+            let spans = rec.records();
+            assert_eq!(spans[0].name(), "optimize_widths");
+            let rounds = spans.iter().filter(|s| s.depth() == 1).count();
+            assert_eq!(rounds, report.rounds, "case {case}");
+            assert_eq!(
+                spans.iter().filter(|s| s.depth() == 2).count(),
+                3 * report.rounds,
+                "case {case}"
+            );
         }
     }
 

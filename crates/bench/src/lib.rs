@@ -28,6 +28,7 @@ use std::time::Duration;
 
 use dp_dfg::gen::random_inputs;
 use dp_dfg::Dfg;
+use dp_metrics::FlowMetrics;
 use dp_netlist::{Library, Netlist};
 use dp_opt::{optimize, OptConfig};
 use dp_synth::{run_flow, FlowResult, MergeStrategy, SynthConfig};
@@ -36,7 +37,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// One flow's post-synthesis measurement.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct FlowMeasure {
     /// Longest path delay, ns.
     pub delay_ns: f64,
@@ -46,6 +47,10 @@ pub struct FlowMeasure {
     pub clusters: usize,
     /// Gate count after the zero-effort cleanup.
     pub gates: usize,
+    /// The flow's full QoR counter set — the same [`dp_metrics`] counters
+    /// `dpmc bench` emits, with gates/delay/area re-measured on the
+    /// cleaned-up netlist.
+    pub metrics: FlowMetrics,
 }
 
 /// A Table 1 row: `no merge` / `old merge` / `new merge` measurements.
@@ -117,17 +122,22 @@ pub fn measure_flow(
     config: &SynthConfig,
     lib: &Library,
 ) -> (FlowMeasure, Netlist) {
-    let FlowResult { mut netlist, clustering, .. } =
+    let FlowResult { mut netlist, clustering, metrics, .. } =
         run_flow(g, strategy, config).expect("synthesis succeeds on valid designs");
     dp_opt::fold_constants(&mut netlist);
     netlist = netlist.sweep();
     verify_equivalence(g, &netlist, 20);
     let timing = netlist.longest_path(lib);
+    let mut metrics = metrics;
+    metrics.gates = netlist.num_gates();
+    metrics.delay_ns = timing.delay_ns;
+    metrics.area = netlist.area(lib);
     let m = FlowMeasure {
-        delay_ns: timing.delay_ns,
-        area: netlist.area(lib),
+        delay_ns: metrics.delay_ns,
+        area: metrics.area,
         clusters: clustering.len(),
-        gates: netlist.num_gates(),
+        gates: metrics.gates,
+        metrics,
     };
     (m, netlist)
 }

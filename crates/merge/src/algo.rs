@@ -1,16 +1,17 @@
 //! The three clustering strategies compared in the paper's evaluation.
 
 use dp_analysis::{
-    huffman_bound, info_content_with, optimize_widths, IntrinsicOverrides, TransformReport,
+    huffman_bound, info_content_with, optimize_widths_with, IntrinsicOverrides, TransformReport,
 };
 use dp_dfg::Dfg;
+use dp_metrics::Recorder;
 
 use crate::addends::linearize_member;
 use crate::breaks::{find_breaks_leakage, find_breaks_new, is_mergeable};
 use crate::cluster::{extract_clusters, Clustering};
 
 /// Statistics from [`cluster_max`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MergeReport {
     /// What the width-optimization pipeline changed beforehand.
     pub transform: TransformReport,
@@ -19,6 +20,9 @@ pub struct MergeReport {
     /// Cluster outputs whose information content was tightened by Huffman
     /// rebalancing across all rounds.
     pub refinements: usize,
+    /// Break nodes in the final iteration's break analysis — the cluster
+    /// boundaries that survived every refinement.
+    pub break_nodes: usize,
 }
 
 /// The "no merging" baseline: every operator (and extension node) is its
@@ -39,7 +43,7 @@ pub fn cluster_leakage(g: &Dfg) -> Clustering {
 /// The paper's **new** iterative maximal-clustering algorithm (Section 6):
 ///
 /// 1. width-optimize the graph in place (required precision + information
-///    content, [`optimize_widths`]);
+///    content, [`optimize_widths`](dp_analysis::optimize_widths));
 /// 2. identify break nodes and form clusters;
 /// 3. linearize each cluster to a sum of constant multiples of inputs and
 ///    recompute its output's information content with the optimal
@@ -52,14 +56,26 @@ pub fn cluster_leakage(g: &Dfg) -> Clustering {
 /// transformations), which is why this takes `&mut Dfg`; functional
 /// equivalence is preserved throughout.
 pub fn cluster_max(g: &mut Dfg) -> (Clustering, MergeReport) {
-    let transform = optimize_widths(g);
+    cluster_max_with(g, &mut Recorder::disabled())
+}
+
+/// [`cluster_max`] with timing spans: the width pipeline's rounds and
+/// passes (via [`optimize_widths_with`]), then one span per clustering
+/// iteration with children for the information-content sweep, break-node
+/// detection, cluster extraction, and Huffman rebalancing.
+pub fn cluster_max_with(g: &mut Dfg, rec: &mut Recorder) -> (Clustering, MergeReport) {
+    let whole = rec.span("cluster_max");
+    let transform = optimize_widths_with(g, rec);
     let mut overrides = IntrinsicOverrides::new();
     let mut report = MergeReport { transform, ..MergeReport::default() };
-    loop {
+    let clustering = loop {
         report.rounds += 1;
-        let ic = info_content_with(g, &overrides);
-        let breaks = find_breaks_new(g, &ic);
-        let clustering = extract_clusters(g, &breaks);
+        let round = rec.span(format!("merge round {}", report.rounds));
+        let ic = rec.scope("info_content", |_| info_content_with(g, &overrides));
+        let breaks = rec.scope("find_breaks", |_| find_breaks_new(g, &ic));
+        let clustering = rec.scope("extract_clusters", |_| extract_clusters(g, &breaks));
+        report.break_nodes = breaks.iter().filter(|&&b| b).count();
+        let rebalance = rec.span("huffman_rebalance");
         let mut changed = false;
         for c in &clustering.clusters {
             if c.len() < 2 {
@@ -85,10 +101,14 @@ pub fn cluster_max(g: &mut Dfg) -> (Clustering, MergeReport) {
                 }
             }
         }
+        rec.finish(rebalance);
+        rec.finish(round);
         if !changed || report.rounds >= 16 {
-            return (clustering, report);
+            break clustering;
         }
-    }
+    };
+    rec.finish(whole);
+    (clustering, report)
 }
 
 #[cfg(test)]

@@ -83,7 +83,7 @@ fn node_trust(
 /// erratum discussion): node `N` breaks if real information was truncated
 /// anywhere upstream — at `w(N)` when the intrinsic width exceeds it, at
 /// `w(e)` when an out-edge truncates below the available information, or
-/// transitively via a damaged operand ([`trust_boundaries`]) — and some
+/// transitively via a damaged operand (`trust_boundaries`) — and some
 /// consumer *requires* bits beyond that boundary (required precision at
 /// the destination port exceeds it).
 ///
@@ -196,7 +196,7 @@ fn value_misread(g: &Dfg, ic: &InfoAnalysis, n: NodeId, e: dp_dfg::EdgeId) -> bo
 }
 
 /// Break-node detection for the **old** (leakage-of-bits) algorithm: a
-/// purely width-structural criterion in the style of [2]. A node leaks
+/// purely width-structural criterion in the style of \[2\]. A node leaks
 /// bits if its declared width truncates the full-precision width implied
 /// by its operand edge widths; any extension of a leaked result downstream
 /// forces a break. No required-precision or information-content analysis

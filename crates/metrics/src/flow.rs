@@ -1,0 +1,109 @@
+//! Quality-of-results counters for one synthesis flow.
+
+use crate::json::Json;
+
+/// QoR counters for one end-to-end flow over one design.
+///
+/// Structural fields are filled by `dp_synth::run_flow_with`; the
+/// timing-dependent fields (`delay_ns`, `area`) and the verifier counts
+/// are filled by whoever runs STA / `dp_verify` — the crate boundaries
+/// point the other way, so those layers write into this struct rather
+/// than this crate calling them.
+///
+/// Every field is a pure function of the design and the flow
+/// configuration — **no wall-clock times** — so [`FlowMetrics::to_json`]
+/// output is byte-identical across repeated runs of the same flow.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FlowMetrics {
+    /// The merge strategy that produced this flow (`"no-merge"`,
+    /// `"old-merge"`, `"new-merge"`).
+    pub strategy: String,
+    /// Total operator/extension node width before width optimization.
+    pub node_width_before: usize,
+    /// Total operator/extension node width after (equal to `before` for
+    /// flows that do not transform the graph).
+    pub node_width_after: usize,
+    /// Total edge width before width optimization.
+    pub edge_width_before: usize,
+    /// Total edge width after.
+    pub edge_width_after: usize,
+    /// Fixpoint rounds the width pipeline ran (0 when it did not run).
+    pub transform_rounds: usize,
+    /// Whether the width pipeline reached its fixpoint (vacuously `true`
+    /// when it did not run).
+    pub transform_converged: bool,
+    /// Clusters in the final clustering (one carry-propagate adder each).
+    pub clusters: usize,
+    /// Break nodes in the final break analysis (new-merge only; 0 for
+    /// strategies that have no break-node concept).
+    pub break_nodes: usize,
+    /// Deepest carry-save reduction (full/half-adder stages) across all
+    /// clusters.
+    pub csa_depth: usize,
+    /// Final carry-propagate adders actually instantiated (degenerate
+    /// wiring-only clusters pay none).
+    pub cpa_count: usize,
+    /// Gate count of the netlist being measured.
+    pub gates: usize,
+    /// Longest-path delay (ns) under the measuring library; 0 until STA
+    /// runs.
+    pub delay_ns: f64,
+    /// Area (library units); 0 until measured.
+    pub area: f64,
+    /// Error-level diagnostics from the semantic verifier; 0 until it runs.
+    pub verify_errors: usize,
+    /// Warning-level diagnostics.
+    pub verify_warnings: usize,
+    /// Info-level diagnostics.
+    pub verify_infos: usize,
+}
+
+impl FlowMetrics {
+    /// Serializes every counter, in declaration order. Contains no timing
+    /// fields by construction.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("strategy", self.strategy.as_str())
+            .field("node_width_before", self.node_width_before)
+            .field("node_width_after", self.node_width_after)
+            .field("edge_width_before", self.edge_width_before)
+            .field("edge_width_after", self.edge_width_after)
+            .field("transform_rounds", self.transform_rounds)
+            .field("transform_converged", self.transform_converged)
+            .field("clusters", self.clusters)
+            .field("break_nodes", self.break_nodes)
+            .field("csa_depth", self.csa_depth)
+            .field("cpa_count", self.cpa_count)
+            .field("gates", self.gates)
+            .field("delay_ns", self.delay_ns)
+            .field("area", self.area)
+            .field("verify_errors", self.verify_errors)
+            .field("verify_warnings", self.verify_warnings)
+            .field("verify_infos", self.verify_infos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trips_byte_identically() {
+        let build = || FlowMetrics {
+            strategy: "new-merge".to_string(),
+            node_width_before: 33,
+            node_width_after: 22,
+            clusters: 1,
+            delay_ns: 3.25,
+            area: 417.5,
+            transform_converged: true,
+            ..FlowMetrics::default()
+        };
+        let a = build().to_json().render_pretty();
+        let b = build().to_json().render_pretty();
+        assert_eq!(a, b);
+        assert!(a.contains("\"strategy\": \"new-merge\""));
+        assert!(a.contains("\"delay_ns\": 3.25"));
+        assert!(!a.contains("\"us\""), "QoR carries no timing fields");
+    }
+}

@@ -1,0 +1,258 @@
+//! A tiny deterministic JSON document model and serializer.
+//!
+//! The benchmark reporter's whole value is *diffability*: two runs of the
+//! same flow must serialize byte-identically except for the wall-time
+//! fields, so `BENCH_*.json` files can be compared across PRs with plain
+//! `diff`. A general-purpose serializer (serde) would also pull in the
+//! first external dependency of the workspace. This module instead keeps a
+//! document model whose serialization is fully specified:
+//!
+//! * object keys keep **insertion order** (no hashing, no sorting);
+//! * integers print as decimal with no sign-normalization surprises;
+//! * floats print via Rust's shortest-round-trip [`Display`], which is
+//!   deterministic for a given value; non-finite floats become `null`;
+//! * strings escape `"` `\` and all control characters, nothing else.
+//!
+//! [`Display`]: std::fmt::Display
+
+use std::fmt;
+
+/// A JSON value with deterministic serialization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (covers every counter in the reporter).
+    Int(i64),
+    /// A float; non-finite values serialize as `null`.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object whose keys serialize in insertion order.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object builder; chain [`Json::field`] to populate.
+    pub fn obj() -> Json {
+        Json::Object(Vec::new())
+    }
+
+    /// Appends a key/value pair (objects only; panics otherwise — the
+    /// builder is for literal construction, where that is a programming
+    /// error, not data).
+    #[must_use]
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Json {
+        match &mut self {
+            Json::Object(fields) => fields.push((key.to_string(), value.into())),
+            _ => panic!("Json::field on a non-object"),
+        }
+        self
+    }
+
+    /// Serializes compactly (no whitespace).
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s, None, 0);
+        s
+    }
+
+    /// Serializes with newlines and two-space indentation — the layout
+    /// used for committed `BENCH_*.json` files so diffs are per-field.
+    pub fn render_pretty(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s, Some(2), 0);
+        s.push('\n');
+        s
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(v) => {
+                let _ = fmt::Write::write_fmt(out, format_args!("{v}"));
+            }
+            Json::Float(v) if !v.is_finite() => out.push_str("null"),
+            Json::Float(v) => {
+                let _ = fmt::Write::write_fmt(out, format_args!("{v}"));
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                write_seq(out, indent, depth, '[', ']', items.len(), |out, k| {
+                    items[k].write(out, indent, depth + 1);
+                });
+            }
+            Json::Object(fields) => {
+                write_seq(out, indent, depth, '{', '}', fields.len(), |out, k| {
+                    write_escaped(out, &fields[k].0);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    fields[k].1.write(out, indent, depth + 1);
+                });
+            }
+        }
+    }
+}
+
+/// Shared array/object layout: one element per line when pretty.
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut elem: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for k in 0..len {
+        if k > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', w * (depth + 1)));
+        }
+        elem(out, k);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', w * depth));
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::Int(v)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::Int(v as i64)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::Int(v as i64)
+    }
+}
+
+impl From<u128> for Json {
+    fn from(v: u128) -> Json {
+        Json::Int(i64::try_from(v).unwrap_or(i64::MAX))
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Float(v)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Json {
+        Json::Array(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_compact_and_pretty() {
+        let doc = Json::obj()
+            .field("name", "fig3")
+            .field("ok", true)
+            .field("count", 3usize)
+            .field("delay", 4.25)
+            .field("list", vec![Json::Int(1), Json::Int(2)]);
+        assert_eq!(
+            doc.render(),
+            r#"{"name":"fig3","ok":true,"count":3,"delay":4.25,"list":[1,2]}"#
+        );
+        let pretty = doc.render_pretty();
+        assert!(pretty.starts_with("{\n  \"name\": \"fig3\",\n"));
+        assert!(pretty.ends_with("}\n"));
+        assert!(pretty.contains("  \"list\": [\n    1,\n    2\n  ]"));
+    }
+
+    #[test]
+    fn key_order_is_insertion_order() {
+        let a = Json::obj().field("z", 1usize).field("a", 2usize).render();
+        assert_eq!(a, r#"{"z":1,"a":2}"#);
+    }
+
+    #[test]
+    fn escapes_strings_and_handles_non_finite() {
+        let doc = Json::obj().field("s", "a\"b\\c\nd\u{1}").field("bad", f64::NAN);
+        assert_eq!(doc.render(), "{\"s\":\"a\\\"b\\\\c\\nd\\u0001\",\"bad\":null}");
+    }
+
+    #[test]
+    fn empty_containers_stay_on_one_line() {
+        let doc = Json::obj().field("a", Json::Array(vec![])).field("o", Json::obj());
+        assert_eq!(doc.render_pretty(), "{\n  \"a\": [],\n  \"o\": {}\n}\n");
+    }
+
+    #[test]
+    fn rendering_is_reproducible() {
+        let build = || {
+            Json::obj()
+                .field("f", 1.0 / 3.0)
+                .field("neg", -42i64)
+                .field("nested", Json::obj().field("k", "v"))
+        };
+        assert_eq!(build().render_pretty(), build().render_pretty());
+    }
+}

@@ -1,0 +1,224 @@
+//! Hierarchical wall-clock timing spans.
+//!
+//! A [`Recorder`] collects a flat, pre-order list of [`SpanRecord`]s; the
+//! tree shape is carried by each record's depth, so serialization and
+//! comparison need no pointer chasing. Nesting is positional: a span
+//! opened while another is unfinished becomes its child.
+//!
+//! Every flow entry point that accepts a recorder also has a plain wrapper
+//! passing [`Recorder::disabled`], which records nothing and allocates
+//! nothing, so instrumented code paths cost nothing when unobserved.
+
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+
+/// One timed region: name, nesting depth, and elapsed wall time.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    name: String,
+    depth: usize,
+    started: Instant,
+    elapsed: Duration,
+}
+
+impl SpanRecord {
+    /// The span's name, as passed to [`Recorder::span`].
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Nesting depth; `0` is a root span.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Elapsed wall time ([`Duration::ZERO`] until the span finishes).
+    pub fn elapsed(&self) -> Duration {
+        self.elapsed
+    }
+}
+
+/// Handle to an open span, returned by [`Recorder::span`] and closed by
+/// [`Recorder::finish`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId(usize);
+
+const NOOP: SpanId = SpanId(usize::MAX);
+
+/// Collects hierarchical timing spans in start order.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    enabled: bool,
+    records: Vec<SpanRecord>,
+    stack: Vec<usize>,
+}
+
+impl Recorder {
+    /// An enabled recorder.
+    pub fn new() -> Recorder {
+        Recorder { enabled: true, records: Vec::new(), stack: Vec::new() }
+    }
+
+    /// A no-op recorder: spans are free and nothing is stored. This is
+    /// what the un-instrumented wrappers (`run_flow`, `cluster_max`, …)
+    /// pass internally.
+    pub fn disabled() -> Recorder {
+        Recorder { enabled: false, records: Vec::new(), stack: Vec::new() }
+    }
+
+    /// Whether spans are being stored.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Opens a span nested under the innermost unfinished span.
+    pub fn span(&mut self, name: impl Into<String>) -> SpanId {
+        if !self.enabled {
+            return NOOP;
+        }
+        let idx = self.records.len();
+        self.records.push(SpanRecord {
+            name: name.into(),
+            depth: self.stack.len(),
+            started: Instant::now(),
+            elapsed: Duration::ZERO,
+        });
+        self.stack.push(idx);
+        SpanId(idx)
+    }
+
+    /// Closes a span, fixing its elapsed time. Also closes any child spans
+    /// left open (defensive; balanced callers never hit that path).
+    pub fn finish(&mut self, id: SpanId) {
+        if !self.enabled || id == NOOP {
+            return;
+        }
+        while let Some(idx) = self.stack.pop() {
+            let r = &mut self.records[idx];
+            r.elapsed = r.started.elapsed();
+            if idx == id.0 {
+                break;
+            }
+        }
+    }
+
+    /// Runs `f` inside a span named `name`; the closure gets the recorder
+    /// back for nested spans.
+    pub fn scope<T>(&mut self, name: impl Into<String>, f: impl FnOnce(&mut Recorder) -> T) -> T {
+        let id = self.span(name);
+        let out = f(self);
+        self.finish(id);
+        out
+    }
+
+    /// All finished and unfinished spans, in start (pre-)order.
+    pub fn records(&self) -> &[SpanRecord] {
+        &self.records
+    }
+
+    /// The spans as a JSON array of `{"name", "depth", "us"}` objects.
+    ///
+    /// `us` (elapsed microseconds) is the **only** timing field the
+    /// reporter emits anywhere; stripping every `"us"` key from two runs
+    /// of the same flow must leave byte-identical documents.
+    pub fn to_json(&self) -> Json {
+        Json::Array(
+            self.records
+                .iter()
+                .map(|r| {
+                    Json::obj()
+                        .field("name", r.name.as_str())
+                        .field("depth", r.depth)
+                        .field("us", r.elapsed.as_micros())
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The (name, depth) skeleton — everything except timing.
+    fn shape(rec: &Recorder) -> Vec<(String, usize)> {
+        rec.records().iter().map(|r| (r.name().to_string(), r.depth())).collect()
+    }
+
+    #[test]
+    fn nesting_and_ordering_are_deterministic() {
+        let run = || {
+            let mut rec = Recorder::new();
+            rec.scope("flow", |rec| {
+                for round in 1..=2 {
+                    rec.scope(format!("round {round}"), |rec| {
+                        rec.scope("rp", |_| {});
+                        rec.scope("ic", |_| {});
+                    });
+                }
+            });
+            rec
+        };
+        let a = run();
+        assert_eq!(
+            shape(&a),
+            vec![
+                ("flow".to_string(), 0),
+                ("round 1".to_string(), 1),
+                ("rp".to_string(), 2),
+                ("ic".to_string(), 2),
+                ("round 2".to_string(), 1),
+                ("rp".to_string(), 2),
+                ("ic".to_string(), 2),
+            ]
+        );
+        // Two runs produce the same skeleton even though wall times differ.
+        assert_eq!(shape(&a), shape(&run()));
+    }
+
+    #[test]
+    fn parents_subsume_children_in_elapsed_time() {
+        let mut rec = Recorder::new();
+        rec.scope("parent", |rec| {
+            rec.scope("child", |_| std::thread::sleep(Duration::from_millis(2)));
+        });
+        let parent = &rec.records()[0];
+        let child = &rec.records()[1];
+        assert!(parent.elapsed() >= child.elapsed());
+        assert!(child.elapsed() >= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn disabled_recorder_stores_nothing() {
+        let mut rec = Recorder::disabled();
+        let id = rec.span("ignored");
+        rec.scope("also ignored", |_| {});
+        rec.finish(id);
+        assert!(rec.records().is_empty());
+        assert_eq!(rec.to_json().render(), "[]");
+    }
+
+    #[test]
+    fn unbalanced_children_are_closed_by_the_parent() {
+        let mut rec = Recorder::new();
+        let p = rec.span("p");
+        let _leaked = rec.span("leaked child");
+        rec.finish(p);
+        assert!(rec.records().iter().all(|r| r.elapsed() > Duration::ZERO || r.name() == "p"));
+        // Stack is empty again: a new span is a root.
+        let r = rec.span("root again");
+        rec.finish(r);
+        assert_eq!(rec.records().last().unwrap().depth(), 0);
+    }
+
+    #[test]
+    fn json_has_only_us_as_timing_field() {
+        let mut rec = Recorder::new();
+        rec.scope("a", |_| {});
+        let s = rec.to_json().render();
+        assert!(s.contains("\"name\":\"a\""));
+        assert!(s.contains("\"depth\":0"));
+        assert!(s.contains("\"us\":"));
+    }
+}

@@ -156,17 +156,20 @@ fn dadda_heights(max: usize) -> Vec<usize> {
 }
 
 /// Reduces the columns to height ≤ 2 with full/half adders, using the
-/// requested discipline. Returns the two final rows.
+/// requested discipline. Returns the two final rows plus the number of
+/// reduction stages performed (the CSA-tree depth, a QoR counter).
 pub(crate) fn reduce_to_two_rows(
     nl: &mut Netlist,
     mut cols: Columns,
     kind: ReductionKind,
-) -> (Vec<NetId>, Vec<NetId>) {
+) -> (Vec<NetId>, Vec<NetId>, usize) {
     cols.materialize_consts(nl);
     let width = cols.width();
+    let mut stages = 0usize;
     match kind {
         ReductionKind::Wallace => {
             while cols.max_height() > 2 {
+                stages += 1;
                 let mut next: Vec<Vec<NetId>> = vec![Vec::new(); width];
                 for k in 0..width {
                     let bits = cols.col(k).to_vec();
@@ -202,6 +205,7 @@ pub(crate) fn reduce_to_two_rows(
                 if cols.max_height() <= target {
                     continue;
                 }
+                stages += 1;
                 // One Dadda stage: adders consume only *current* bits;
                 // their sums stay in place and their carries join the next
                 // column of the **next** stage matrix. (Consuming same-
@@ -239,7 +243,8 @@ pub(crate) fn reduce_to_two_rows(
             }
         }
     }
-    cols.into_two_rows(nl)
+    let (ra, rb) = cols.into_two_rows(nl);
+    (ra, rb, stages)
 }
 
 #[cfg(test)]
@@ -327,7 +332,7 @@ mod tests {
             for r in &rows {
                 cols.push_row(&mut nl, 0, r);
             }
-            let (ra, rb) = reduce_to_two_rows(&mut nl, cols, kind);
+            let (ra, rb, _) = reduce_to_two_rows(&mut nl, cols, kind);
             let zero = nl.const0();
             let s = ripple_carry_add(&mut nl, &ra, &rb, zero);
             nl.output("s", s);

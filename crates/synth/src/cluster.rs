@@ -10,6 +10,18 @@ use crate::adders::{carry_select_add, kogge_stone_add, reduce_to_two_rows, rippl
 use crate::product::{emit_product, emit_signal, Operand};
 use crate::{AdderKind, Columns, SynthConfig};
 
+/// Per-cluster synthesis statistics — the QoR counters one call to
+/// [`synthesize_sum_with`] contributes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SumStats {
+    /// Carry-save reduction stages performed (0 when the columns already
+    /// fit in two rows, or for wiring-only sums).
+    pub csa_stages: usize,
+    /// Whether a final carry-propagate adder was instantiated (wiring-only
+    /// sums pay none).
+    pub used_cpa: bool,
+}
+
 /// Synthesizes a sum of addends into gates, returning the output bits
 /// (width `sum.width`, least significant first).
 ///
@@ -30,6 +42,20 @@ pub fn synthesize_sum(
     signals: &HashMap<dp_dfg::NodeId, Vec<NetId>>,
     config: &SynthConfig,
 ) -> Vec<NetId> {
+    synthesize_sum_with(nl, sum, signals, config).0
+}
+
+/// [`synthesize_sum`] plus the cluster's [`SumStats`].
+///
+/// # Panics
+///
+/// Panics if a referenced source node is missing from `signals`.
+pub fn synthesize_sum_with(
+    nl: &mut Netlist,
+    sum: &SumOfAddends,
+    signals: &HashMap<dp_dfg::NodeId, Vec<NetId>>,
+    config: &SynthConfig,
+) -> (Vec<NetId>, SumStats) {
     let operand_of = |nl: &mut Netlist, s: &SignalRef| -> Operand {
         let source = signals
             .get(&s.source)
@@ -43,7 +69,8 @@ pub fn synthesize_sum(
     if sum.addends.len() == 1 && !sum.addends[0].negated && sum.addends[0].shift == 0 {
         if let AddendKind::Signal(s) = sum.addends[0].kind {
             let op = operand_of(nl, &s);
-            return (0..sum.width).map(|k| op_bit(nl, &op, k)).collect();
+            let bits = (0..sum.width).map(|k| op_bit(nl, &op, k)).collect();
+            return (bits, SumStats::default());
         }
     }
 
@@ -76,13 +103,14 @@ pub fn synthesize_sum(
             }
         }
     }
-    let (ra, rb) = reduce_to_two_rows(nl, cols, config.reduction);
+    let (ra, rb, csa_stages) = reduce_to_two_rows(nl, cols, config.reduction);
     let zero = nl.const0();
-    match config.adder {
+    let bits = match config.adder {
         AdderKind::Ripple => ripple_carry_add(nl, &ra, &rb, zero),
         AdderKind::CarrySelect => carry_select_add(nl, &ra, &rb, zero),
         AdderKind::KoggeStone => kogge_stone_add(nl, &ra, &rb, zero),
-    }
+    };
+    (bits, SumStats { csa_stages, used_cpa: true })
 }
 
 /// Bit `k` of an operand (live bits, then fill per discipline).

@@ -8,12 +8,13 @@ use dp_analysis::info_content;
 use dp_bitvec::Signedness;
 use dp_dfg::{Dfg, NodeId, NodeKind, ValidateErrors};
 use dp_merge::{
-    cluster_leakage, cluster_max, cluster_none, linearize_cluster, ClusterError, Clustering,
-    LinearizeError,
+    cluster_leakage, cluster_max_with, cluster_none, linearize_cluster, ClusterError, Clustering,
+    LinearizeError, MergeReport,
 };
-use dp_netlist::{NetId, Netlist};
+use dp_metrics::{FlowMetrics, Recorder};
+use dp_netlist::{Library, NetId, Netlist};
 
-use crate::cluster::synthesize_sum;
+use crate::cluster::synthesize_sum_with;
 use crate::SynthConfig;
 
 /// Error from [`synthesize`].
@@ -79,11 +80,40 @@ pub fn synthesize(
     clustering: &Clustering,
     config: &SynthConfig,
 ) -> Result<Netlist, SynthError> {
+    Ok(synthesize_with(g, clustering, config, &mut Recorder::disabled())?.0)
+}
+
+/// Aggregate carry-save statistics over all clusters of one synthesis
+/// run, folded from each cluster's [`SumStats`](crate::SumStats).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CsaStats {
+    /// Deepest carry-save reduction (in stages) across all clusters.
+    pub csa_depth: usize,
+    /// Final carry-propagate adders instantiated — one per non-degenerate
+    /// cluster, and the paper's headline structural count.
+    pub cpa_count: usize,
+}
+
+/// [`synthesize`] with timing spans and aggregated [`CsaStats`]: the
+/// returned stats carry the deepest carry-save reduction across clusters
+/// and the number of final carry-propagate adders instantiated.
+///
+/// # Errors
+///
+/// Returns [`SynthError`] if the graph or clustering is malformed.
+pub fn synthesize_with(
+    g: &Dfg,
+    clustering: &Clustering,
+    config: &SynthConfig,
+    rec: &mut Recorder,
+) -> Result<(Netlist, CsaStats), SynthError> {
+    let whole = rec.span("synthesize");
     g.validate()?;
     clustering.validate(g)?;
-    let ic = info_content(g);
+    let ic = rec.scope("info_content", |_| info_content(g));
 
     let mut nl = Netlist::new();
+    let mut stats = CsaStats::default();
     let mut signals: HashMap<NodeId, Vec<NetId>> = HashMap::new();
 
     // Cluster lookup by output node.
@@ -99,6 +129,7 @@ pub fn synthesize(
         signals.insert(i, bits);
     }
 
+    let emit = rec.span("emit_clusters");
     let order = g.topo_order().expect("validated graph is acyclic");
     for n in order {
         match g.node(n).kind() {
@@ -111,7 +142,9 @@ pub fn synthesize(
             NodeKind::Op(_) | NodeKind::Extension(_) => {
                 if let Some(&k) = cluster_of_output.get(&n) {
                     let sum = linearize_cluster(g, &clustering.clusters[k], &ic)?;
-                    let bits = synthesize_sum(&mut nl, &sum, &signals, config);
+                    let (bits, s) = synthesize_sum_with(&mut nl, &sum, &signals, config);
+                    stats.csa_depth = stats.csa_depth.max(s.csa_stages);
+                    stats.cpa_count += usize::from(s.used_cpa);
                     signals.insert(n, bits);
                 }
                 // Internal members never escape; nothing to record.
@@ -121,6 +154,8 @@ pub fn synthesize(
             NodeKind::Input | NodeKind::Output => {}
         }
     }
+    rec.finish(emit);
+    let ports = rec.span("emit_ports");
     for &n in g.outputs() {
         let e = g.node(n).in_edges()[0];
         let edge = g.edge(e);
@@ -130,7 +165,9 @@ pub fn synthesize(
         let name = g.node(n).name().unwrap_or("out").to_string();
         nl.output(name, final_bits);
     }
-    Ok(nl)
+    rec.finish(ports);
+    rec.finish(whole);
+    Ok((nl, stats))
 }
 
 /// Width adaptation as wiring: truncate by dropping bits, extend by
@@ -180,6 +217,25 @@ pub struct FlowResult {
     pub graph: Dfg,
     /// The merge strategy that produced this result.
     pub strategy: MergeStrategy,
+    /// The merge report, present only for [`MergeStrategy::New`] — the
+    /// other strategies run no width pipeline.
+    pub merge: Option<MergeReport>,
+    /// Quality-of-results counters gathered during the flow. Delay and
+    /// area are zero until filled in by [`FlowResult::qor`], which needs
+    /// a cell library.
+    pub metrics: FlowMetrics,
+}
+
+impl FlowResult {
+    /// Returns the flow's [`FlowMetrics`] with the library-dependent
+    /// fields (critical-path delay and area estimate) filled in from a
+    /// static timing pass over the netlist.
+    pub fn qor(&self, lib: &Library) -> FlowMetrics {
+        let mut m = self.metrics.clone();
+        m.delay_ns = self.netlist.longest_path(lib).delay_ns;
+        m.area = self.netlist.area(lib);
+        m
+    }
 }
 
 #[cfg(feature = "verify")]
@@ -212,14 +268,68 @@ pub fn run_flow(
     strategy: MergeStrategy,
     config: &SynthConfig,
 ) -> Result<FlowResult, SynthError> {
+    run_flow_with(g, strategy, config, &mut Recorder::disabled())
+}
+
+/// Total operator-node plus edge width of a graph, the two QoR width
+/// figures the paper's transformations shrink.
+fn widths(g: &Dfg) -> (usize, usize) {
+    let nodes = g.total_op_width();
+    let edges = g.edge_ids().map(|e| g.edge(e).width()).sum();
+    (nodes, edges)
+}
+
+/// [`run_flow`] with timing spans (clustering and synthesis stages nested
+/// under one `flow` root) and the [`FlowResult::metrics`] QoR counters
+/// populated.
+///
+/// # Errors
+///
+/// Returns [`SynthError`] if the graph is malformed.
+pub fn run_flow_with(
+    g: &Dfg,
+    strategy: MergeStrategy,
+    config: &SynthConfig,
+    rec: &mut Recorder,
+) -> Result<FlowResult, SynthError> {
+    let whole = rec.span(format!("flow {strategy}"));
+    let (node_width_before, edge_width_before) = widths(g);
     let mut graph = g.clone();
-    let clustering = match strategy {
-        MergeStrategy::None => cluster_none(&graph),
-        MergeStrategy::Old => cluster_leakage(&graph),
-        MergeStrategy::New => cluster_max(&mut graph).0,
+    let cl = rec.span("clustering");
+    let (clustering, merge) = match strategy {
+        MergeStrategy::None => (cluster_none(&graph), None),
+        MergeStrategy::Old => (cluster_leakage(&graph), None),
+        MergeStrategy::New => {
+            let (c, r) = cluster_max_with(&mut graph, rec);
+            (c, Some(r))
+        }
     };
-    let netlist = synthesize(&graph, &clustering, config)?;
-    Ok(FlowResult { netlist, clustering, graph, strategy })
+    rec.finish(cl);
+    let (netlist, csa) = synthesize_with(&graph, &clustering, config, rec)?;
+    rec.finish(whole);
+
+    let (node_width_after, edge_width_after) = widths(&graph);
+    let mut metrics = FlowMetrics {
+        strategy: strategy.to_string(),
+        node_width_before,
+        node_width_after,
+        edge_width_before,
+        edge_width_after,
+        clusters: clustering.len(),
+        csa_depth: csa.csa_depth,
+        cpa_count: csa.cpa_count,
+        gates: netlist.num_gates(),
+        ..FlowMetrics::default()
+    };
+    if let Some(r) = &merge {
+        metrics.transform_rounds = r.transform.rounds;
+        metrics.transform_converged = r.transform.converged;
+        metrics.break_nodes = r.break_nodes;
+    } else {
+        // No width pipeline ran, so there was trivially nothing left to do.
+        metrics.transform_converged = true;
+    }
+    Ok(FlowResult { netlist, clustering, graph, strategy, merge, metrics })
 }
 
 #[cfg(test)]

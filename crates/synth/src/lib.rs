@@ -2,7 +2,7 @@
 //! trees with a single final carry-propagate adder.
 //!
 //! This crate implements the synthesis scheme the paper's evaluation is
-//! built on (after Kim/Jao/Tjiang [2] and Um/Kim/Liu [4][5]):
+//! built on (after Kim/Jao/Tjiang \[2\] and Um/Kim/Liu \[4\]\[5\]):
 //!
 //! 1. every cluster from [`dp_merge`] is linearized to a **sum of
 //!    addends** (signals and partial products of signals);
@@ -54,7 +54,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod adders;
 mod cluster;
@@ -63,9 +63,12 @@ mod flow;
 mod product;
 
 pub use adders::{carry_select_add, kogge_stone_add, ripple_carry_add};
-pub use cluster::synthesize_sum;
+pub use cluster::{synthesize_sum, synthesize_sum_with, SumStats};
 pub use columns::Columns;
-pub use flow::{run_flow, synthesize, FlowResult, MergeStrategy, SynthError};
+pub use flow::{
+    run_flow, run_flow_with, synthesize, synthesize_with, CsaStats, FlowResult, MergeStrategy,
+    SynthError,
+};
 
 /// Final carry-propagate adder architecture.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]

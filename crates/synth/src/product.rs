@@ -154,7 +154,7 @@ mod tests {
         let b = Operand { bits: b_bits, signedness: tb };
         let mut cols = Columns::new(wout);
         emit_product(&mut nl, &mut cols, &a, &b, false, 0, true);
-        let (ra, rb) = reduce_to_two_rows(&mut nl, cols, ReductionKind::Dadda);
+        let (ra, rb, _) = reduce_to_two_rows(&mut nl, cols, ReductionKind::Dadda);
         let zero = nl.const0();
         let s = ripple_carry_add(&mut nl, &ra, &rb, zero);
         nl.output("p", s);
@@ -218,7 +218,7 @@ mod tests {
         let b = Operand { bits: b_bits, signedness: Unsigned };
         let mut cols = Columns::new(7);
         emit_product(&mut nl, &mut cols, &a, &b, true, 0, true);
-        let (ra, rb) = reduce_to_two_rows(&mut nl, cols, ReductionKind::Wallace);
+        let (ra, rb, _) = reduce_to_two_rows(&mut nl, cols, ReductionKind::Wallace);
         let zero = nl.const0();
         let s = ripple_carry_add(&mut nl, &ra, &rb, zero);
         nl.output("p", s);
@@ -239,7 +239,7 @@ mod tests {
         let a = Operand { bits, signedness: Signed };
         let mut cols = Columns::new(6);
         emit_signal(&mut nl, &mut cols, &a, true, 0, true);
-        let (ra, rb) = reduce_to_two_rows(&mut nl, cols, ReductionKind::Dadda);
+        let (ra, rb, _) = reduce_to_two_rows(&mut nl, cols, ReductionKind::Dadda);
         let zero = nl.const0();
         let s = ripple_carry_add(&mut nl, &ra, &rb, zero);
         nl.output("o", s);

@@ -57,6 +57,7 @@ mod passes;
 use dp_analysis::TransformReport;
 use dp_dfg::Dfg;
 use dp_merge::Clustering;
+use dp_metrics::Recorder;
 use dp_netlist::Netlist;
 
 pub use diag::{Code, Diagnostic, Location, Severity};
@@ -189,14 +190,23 @@ impl Verifier {
     /// validation fails, so a broken graph yields its `V0xx` diagnostics
     /// instead of a panic inside an analysis.
     pub fn run(&self, cx: &Context<'_>) -> VerifyReport {
+        self.run_with(cx, &mut Recorder::disabled())
+    }
+
+    /// [`Verifier::run`] with timing spans: one `verify` root containing
+    /// one child span per executed pass, named after [`Pass::name`].
+    /// Skipped passes record no span.
+    pub fn run_with(&self, cx: &Context<'_>, rec: &mut Recorder) -> VerifyReport {
+        let whole = rec.span("verify");
         let graph_ok = cx.graph.validate().is_ok();
         let mut diagnostics = Vec::new();
         for pass in &self.passes {
             if pass.needs_valid_graph() && !graph_ok {
                 continue;
             }
-            pass.run(cx, &mut diagnostics);
+            rec.scope(pass.name(), |_| pass.run(cx, &mut diagnostics));
         }
+        rec.finish(whole);
         // Worst first; stable within a severity so pass order is kept.
         diagnostics.sort_by_key(|d| std::cmp::Reverse(d.severity()));
         VerifyReport { diagnostics }

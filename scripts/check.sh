@@ -13,6 +13,15 @@ echo "==> cargo test (verify features)"
 cargo test -q -p dp-synth --features verify
 cargo test -q -p dp-analysis --features verify
 
+echo "==> cargo doc (rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+echo "==> cargo test --doc"
+cargo test -q --doc --workspace
+
+echo "==> cargo build --examples"
+cargo build --workspace --examples
+
 echo "==> cargo clippy"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -11,6 +11,7 @@
 //!      [--optimize TARGET_NS] [--emit-verilog FILE] [--emit-dot FILE]
 //!      [--check N]
 //! dpmc lint design.dp [--deny-warnings]
+//! dpmc bench [--designs all|NAME,NAME,...] [--out FILE]
 //! ```
 //!
 //! `dpmc lint` runs the new-merge flow and then audits the optimized
@@ -18,6 +19,13 @@
 //! checker passes, printing one diagnostic per line. The exit code is
 //! non-zero if any error-level diagnostic fires (or any warning under
 //! `--deny-warnings`).
+//!
+//! `dpmc bench` runs a set of designs (the paper figures `fig1`–`fig4`
+//! and evaluation designs `D1`–`D5` by default; `.dp` files also accepted
+//! in `--designs`) through the old-merge and new-merge flows and emits a
+//! deterministic JSON report of per-stage wall-times and QoR counters —
+//! see EXPERIMENTS.md for the schema. Without `--out` the JSON goes to
+//! stdout.
 
 use std::process::ExitCode;
 
@@ -33,12 +41,16 @@ struct Args {
     check: usize,
     lint: bool,
     deny_warnings: bool,
+    bench: bool,
+    designs: Vec<String>,
+    out: Option<String>,
 }
 
 const USAGE: &str = "usage: dpmc <design.dp> [--flow new|old|none|all] \
 [--adder ks|csel|ripple] [--reduction dadda|wallace] [--no-compress] \
 [--optimize TARGET_NS] [--emit-verilog FILE] [--emit-dot FILE] [--check N]\n\
-       dpmc lint <design.dp> [--deny-warnings]";
+       dpmc lint <design.dp> [--deny-warnings]\n\
+       dpmc bench [--designs all|NAME,NAME,...] [--out FILE]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -51,6 +63,9 @@ fn parse_args() -> Result<Args, String> {
         check: 20,
         lint: false,
         deny_warnings: false,
+        bench: false,
+        designs: Vec::new(),
+        out: None,
     };
     let mut it = std::env::args().skip(1);
     let value = |it: &mut dyn Iterator<Item = String>, flag: &str| {
@@ -98,15 +113,32 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| "bad --check value".to_string())?
             }
             "--deny-warnings" => args.deny_warnings = true,
-            "lint" if !args.lint && args.file.is_empty() => args.lint = true,
-            other if args.file.is_empty() && !other.starts_with('-') => {
+            "--designs" => {
+                args.designs = value(&mut it, "--designs")?.split(',').map(str::to_string).collect()
+            }
+            "--out" => args.out = Some(value(&mut it, "--out")?),
+            "lint" if !args.lint && !args.bench && args.file.is_empty() => args.lint = true,
+            "bench" if !args.lint && !args.bench && args.file.is_empty() => args.bench = true,
+            other if !args.bench && args.file.is_empty() && !other.starts_with('-') => {
                 args.file = other.to_string()
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    if args.file.is_empty() {
-        return Err("no design file given".to_string());
+    if args.bench {
+        if !args.file.is_empty() {
+            return Err("`dpmc bench` takes designs via --designs, not a positional".to_string());
+        }
+        if args.designs.is_empty() {
+            args.designs = vec!["all".to_string()];
+        }
+    } else {
+        if args.file.is_empty() {
+            return Err("no design file given".to_string());
+        }
+        if !args.designs.is_empty() || args.out.is_some() {
+            return Err("--designs/--out only apply to `dpmc bench`".to_string());
+        }
     }
     if args.deny_warnings && !args.lint {
         return Err("--deny-warnings only applies to `dpmc lint`".to_string());
@@ -122,7 +154,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let outcome = if args.lint { run_lint(&args) } else { run(&args).map(|()| true) };
+    let outcome = if args.lint {
+        run_lint(&args)
+    } else if args.bench {
+        run_bench(&args).map(|()| true)
+    } else {
+        run(&args).map(|()| true)
+    };
     match outcome {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) => ExitCode::FAILURE,
@@ -154,8 +192,110 @@ fn run_lint(args: &Args) -> Result<bool, String> {
 
     print!("{}", report.render(&g));
     println!("{}: {}", args.file, report.summary());
+    println!("{}: width pipeline {}", args.file, merge_report.transform.summary());
     let denied = report.has_errors() || (args.deny_warnings && report.count(Severity::Warn) > 0);
     Ok(!denied)
+}
+
+/// The named designs `dpmc bench` knows out of the box: the paper's
+/// illustrative figures and the five reconstructed evaluation designs.
+fn builtin_designs() -> Vec<(String, Dfg)> {
+    use datapath_merge::testcases::{all_designs, figures};
+    let mut v = vec![
+        ("fig1".to_string(), figures::fig1().g),
+        ("fig2".to_string(), figures::fig2().g),
+        ("fig3".to_string(), figures::fig3().g),
+        ("fig4".to_string(), figures::fig4_graph()),
+    ];
+    v.extend(all_designs().into_iter().map(|t| (t.name.to_string(), t.dfg)));
+    v
+}
+
+/// Resolves `--designs` specs: `all`, a built-in name, or a `.dp` file.
+fn collect_designs(specs: &[String]) -> Result<Vec<(String, Dfg)>, String> {
+    let builtin = builtin_designs();
+    if specs.len() == 1 && specs[0] == "all" {
+        return Ok(builtin);
+    }
+    let mut out = Vec::new();
+    for spec in specs {
+        if let Some((name, g)) = builtin.iter().find(|(n, _)| n == spec) {
+            out.push((name.clone(), g.clone()));
+        } else if spec.ends_with(".dp") {
+            let text =
+                std::fs::read_to_string(spec).map_err(|e| format!("cannot read {spec}: {e}"))?;
+            let g = datapath_merge::dsl::parse_design(&text).map_err(|e| e.to_string())?;
+            out.push((module_name(spec), g));
+        } else {
+            let names: Vec<&str> = builtin.iter().map(|(n, _)| n.as_str()).collect();
+            return Err(format!(
+                "unknown design `{spec}` (built-ins: {}; or pass a .dp file)",
+                names.join(", ")
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// `dpmc bench`: run every requested design through the old-merge and
+/// new-merge flows, recording per-stage wall-times and QoR counters, and
+/// emit one deterministic JSON document (timings are the only fields that
+/// vary between runs).
+fn run_bench(args: &Args) -> Result<(), String> {
+    let lib = Library::synthetic_025um();
+    let designs = collect_designs(&args.designs)?;
+    let mut rows = Vec::new();
+    for (name, g) in &designs {
+        let mut flows = Vec::new();
+        for strategy in [MergeStrategy::Old, MergeStrategy::New] {
+            let mut rec = Recorder::new();
+            let flow = run_flow_with(g, strategy, &args.config, &mut rec)
+                .map_err(|e| format!("{name} [{strategy}]: {e}"))?;
+            let mut netlist = flow.netlist.clone();
+            let sweep = rec.span("fold_sweep");
+            datapath_merge::opt::fold_constants(&mut netlist);
+            let netlist = netlist.sweep();
+            rec.finish(sweep);
+            let sta = rec.span("sta");
+            let delay_ns = netlist.longest_path(&lib).delay_ns;
+            let area = netlist.area(&lib);
+            rec.finish(sta);
+            let mut cx = Context::new(&flow.graph)
+                .baseline(g)
+                .clustering(&flow.clustering)
+                .netlist(&netlist)
+                .optimized(strategy == MergeStrategy::New);
+            if let Some(m) = &flow.merge {
+                cx = cx.transform(&m.transform);
+            }
+            let report = Verifier::default().run_with(&cx, &mut rec);
+
+            // QoR on the final (folded + swept) netlist, not the raw one.
+            let mut metrics = flow.metrics.clone();
+            metrics.gates = netlist.num_gates();
+            metrics.delay_ns = delay_ns;
+            metrics.area = area;
+            metrics.verify_errors = report.count(Severity::Error);
+            metrics.verify_warnings = report.count(Severity::Warn);
+            metrics.verify_infos = report.count(Severity::Info);
+            flows.push(
+                Json::obj()
+                    .field("strategy", strategy.to_string())
+                    .field("metrics", metrics.to_json())
+                    .field("spans", rec.to_json()),
+            );
+        }
+        rows.push(Json::obj().field("design", name.as_str()).field("flows", flows));
+    }
+    let doc = Json::obj().field("schema", "dpmc-bench/1").field("designs", rows).render_pretty();
+    match &args.out {
+        Some(path) => {
+            std::fs::write(path, &doc).map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("wrote {} design(s) x 2 flows to {path}", designs.len());
+        }
+        None => print!("{doc}"),
+    }
+    Ok(())
 }
 
 fn run(args: &Args) -> Result<(), String> {
@@ -211,6 +351,9 @@ fn run(args: &Args) -> Result<(), String> {
                 g.total_op_width(),
                 flow.graph.total_op_width()
             );
+            if let Some(m) = &flow.merge {
+                println!("[{strategy}] width pipeline: {}", m.transform.summary());
+            }
         }
 
         if let Some(target) = args.optimize_target {

@@ -31,6 +31,7 @@
 //! | [`opt`] | `dp-opt` | timing-driven sizing/buffering/folding optimizer |
 //! | [`testcases`] | `dp-testcases` | the D1–D5 designs, paper figures, workload families |
 //! | [`verify`] | `dp-verify` | pass-based semantic verifier and diagnostics (`dpmc lint`) |
+//! | [`metrics`] | `dp-metrics` | timing spans, QoR counters, deterministic JSON (`dpmc bench`) |
 //!
 //! # Quickstart
 //!
@@ -66,6 +67,7 @@ pub use dp_analysis as analysis;
 pub use dp_bitvec as bitvec;
 pub use dp_dfg as dfg;
 pub use dp_merge as merge;
+pub use dp_metrics as metrics;
 pub use dp_netlist as netlist;
 pub use dp_opt as opt;
 pub use dp_synth as synth;
@@ -80,12 +82,14 @@ pub mod prelude {
     pub use dp_bitvec::{BitVec, Signedness};
     pub use dp_dfg::{Dfg, EdgeId, NodeId, OpKind};
     pub use dp_merge::{
-        cluster_leakage, cluster_max, cluster_none, linearize_cluster, Cluster, Clustering,
+        cluster_leakage, cluster_max, cluster_max_with, cluster_none, linearize_cluster, Cluster,
+        Clustering,
     };
+    pub use dp_metrics::{FlowMetrics, Json, Recorder};
     pub use dp_netlist::{CellKind, Drive, Library, Netlist};
     pub use dp_opt::{optimize, OptConfig};
     pub use dp_synth::{
-        run_flow, synthesize, AdderKind, MergeStrategy, ReductionKind, SynthConfig,
+        run_flow, run_flow_with, synthesize, AdderKind, MergeStrategy, ReductionKind, SynthConfig,
     };
     pub use dp_verify::{Code, Context, Diagnostic, Severity, Verifier, VerifyReport};
 }

@@ -113,3 +113,56 @@ fn deny_warnings_requires_lint_mode() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("--deny-warnings"));
 }
+
+#[test]
+fn bench_json_is_deterministic_modulo_timing() {
+    let strip = |s: &str| -> String {
+        s.lines().filter(|l| !l.contains("\"us\":")).collect::<Vec<_>>().join("\n")
+    };
+    let run = || {
+        let out = dpmc().args(["bench", "--designs", "fig3,D3"]).output().expect("dpmc runs");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8(out.stdout).expect("utf8 json")
+    };
+    let (a, b) = (run(), run());
+    assert!(a.contains("\"schema\": \"dpmc-bench/1\""), "{a}");
+    assert!(a.contains("\"strategy\": \"old-merge\""));
+    assert!(a.contains("\"strategy\": \"new-merge\""));
+    assert!(a.contains("\"us\":"), "per-stage wall-times present");
+    assert_eq!(strip(&a), strip(&b), "only timing fields may differ between runs");
+}
+
+#[test]
+fn bench_writes_report_file() {
+    let f = std::env::temp_dir().join("dpmc_bench_out.json");
+    let out = dpmc()
+        .args(["bench", "--designs", "fig3", "--out", f.to_str().expect("utf8")])
+        .output()
+        .expect("dpmc runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let json = std::fs::read_to_string(&f).expect("report written");
+    assert!(json.contains("\"design\": \"fig3\""));
+    assert!(json.contains("\"cpa_count\": 1"));
+    let _ = std::fs::remove_file(f);
+}
+
+#[test]
+fn bench_rejects_unknown_design() {
+    let out = dpmc().args(["bench", "--designs", "nonesuch"]).output().expect("dpmc runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown design"));
+}
+
+#[test]
+fn merge_and_lint_print_width_pipeline_summary() {
+    let out = dpmc().args(["designs/redundant.dp"]).output().expect("dpmc runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    let line = text.lines().find(|l| l.contains("width pipeline")).expect("summary line");
+    assert!(line.contains("round(s)"), "{line}");
+
+    let out = dpmc().args(["lint", "designs/redundant.dp"]).output().expect("dpmc runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.lines().any(|l| l.contains("width pipeline")), "{text}");
+}
