@@ -61,6 +61,8 @@ mod prune;
 pub use huffman::{huffman_bound, naive_skewed_bound, Term};
 pub use ic::Ic;
 pub use info::{info_content, info_content_with, InfoAnalysis, IntrinsicOverrides};
-pub use pipeline::{optimize_widths, optimize_widths_with, RoundStats, TransformReport};
-pub use precision::{required_precision, rp_transform, PrecisionAnalysis};
-pub use prune::{prune_edge_widths, prune_node_widths};
+pub use pipeline::{optimize_widths, optimize_widths_with, Pass, RoundStats, TransformReport};
+pub use precision::{required_precision, rp_transform, rp_transform_with, PrecisionAnalysis};
+pub use prune::{
+    prune_edge_widths, prune_edge_widths_with, prune_node_widths, prune_node_widths_with,
+};

@@ -1,12 +1,33 @@
 //! The combined width-optimization pipeline used ahead of clustering.
 
+use std::fmt;
 use std::time::{Duration, Instant};
 
 use dp_dfg::Dfg;
 use dp_metrics::Recorder;
+use dp_trace::TraceLog;
 
-use crate::precision::rp_transform;
-use crate::prune::{prune_edge_widths, prune_node_widths};
+use crate::precision::rp_transform_with;
+use crate::prune::{prune_edge_widths_with, prune_node_widths_with};
+
+/// Which analysis family a width change belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pass {
+    /// Required-precision clamping (Theorem 4.2).
+    Rp,
+    /// Information-content pruning (Lemmas 5.6/5.7), including extension
+    /// node insertion.
+    Ic,
+}
+
+impl fmt::Display for Pass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Pass::Rp => "RP",
+            Pass::Ic => "IC",
+        })
+    }
+}
 
 /// What one fixpoint round of [`optimize_widths`] changed, and how long it
 /// took.
@@ -18,6 +39,14 @@ pub struct RoundStats {
     pub edge_width_changes: usize,
     /// Extension nodes inserted this round.
     pub extensions_inserted: usize,
+    /// Node widths clamped by required precision (Thm 4.2) this round.
+    pub rp_node_changes: usize,
+    /// Edge widths clamped by required precision (Thm 4.2) this round.
+    pub rp_edge_changes: usize,
+    /// Edge widths narrowed by information content (Lemma 5.7) this round.
+    pub ic_edge_changes: usize,
+    /// Node widths narrowed by information content (Lemma 5.6) this round.
+    pub ic_node_changes: usize,
     /// Net change in total node+edge bit-width this round; negative means
     /// the graph shrank. (A round can in principle grow the total when the
     /// extension nodes it inserts carry more interface bits than pruning
@@ -25,6 +54,20 @@ pub struct RoundStats {
     pub width_delta_bits: i64,
     /// Wall time of the round.
     pub elapsed: Duration,
+}
+
+impl RoundStats {
+    /// The pass that made the *last* width change within this round
+    /// (passes run RP then IC), or `None` for a no-change round.
+    pub fn last_pass(&self) -> Option<Pass> {
+        if self.ic_edge_changes + self.ic_node_changes + self.extensions_inserted > 0 {
+            Some(Pass::Ic)
+        } else if self.rp_node_changes + self.rp_edge_changes > 0 {
+            Some(Pass::Rp)
+        } else {
+            None
+        }
+    }
 }
 
 /// What [`optimize_widths`] changed.
@@ -58,15 +101,27 @@ impl TransformReport {
         self.history.iter().map(|r| r.elapsed).sum()
     }
 
+    /// The pass (RP vs IC) that made the final width change before the
+    /// pipeline converged, i.e. what the fixpoint was waiting on. `None`
+    /// when no pass changed anything.
+    pub fn converging_pass(&self) -> Option<Pass> {
+        self.history.iter().rev().find_map(RoundStats::last_pass)
+    }
+
     /// A one-line human-readable digest, e.g.
-    /// `3 rounds (converged), -312 bits in 0.42 ms (per round -280/-30/-2)`.
+    /// `3 rounds (converged by IC), -312 bits in 0.42 ms (per round -280/-30/-2)`.
     pub fn summary(&self) -> String {
         let per_round: Vec<String> =
             self.history.iter().map(|r| format!("{:+}", r.width_delta_bits)).collect();
+        let outcome = match (self.converged, self.converging_pass()) {
+            (true, Some(p)) => format!("converged by {p}"),
+            (true, None) => "converged".to_string(),
+            (false, _) => "round cap hit".to_string(),
+        };
         format!(
             "{} round(s) ({}), {:+} bits in {:.2} ms (per round {})",
             self.rounds,
-            if self.converged { "converged" } else { "round cap hit" },
+            outcome,
             self.width_delta_bits(),
             self.elapsed().as_secs_f64() * 1e3,
             if per_round.is_empty() { "-".to_string() } else { per_round.join("/") },
@@ -93,17 +148,19 @@ const MAX_ROUNDS: usize = 9;
 ///
 /// Panics if the graph is cyclic or structurally invalid.
 pub fn optimize_widths(g: &mut Dfg) -> TransformReport {
-    optimize_widths_with(g, &mut Recorder::disabled())
+    optimize_widths_with(g, &mut Recorder::disabled(), &mut TraceLog::disabled())
 }
 
-/// [`optimize_widths`] with timing spans: one span per fixpoint round,
-/// with child spans for the required-precision sweep, the
-/// information-content edge sweep, and node pruning.
+/// [`optimize_widths`] with timing spans and decision provenance: one span
+/// per fixpoint round with child spans for the required-precision sweep,
+/// the information-content edge sweep, and node pruning; every width
+/// change the passes make is also recorded in `tr` with its causal parent
+/// (see [`dp_trace`]).
 ///
 /// # Panics
 ///
 /// Panics if the graph is cyclic or structurally invalid.
-pub fn optimize_widths_with(g: &mut Dfg, rec: &mut Recorder) -> TransformReport {
+pub fn optimize_widths_with(g: &mut Dfg, rec: &mut Recorder, tr: &mut TraceLog) -> TransformReport {
     let pipeline = rec.span("optimize_widths");
     let mut report = TransformReport::default();
     #[cfg(feature = "verify")]
@@ -112,9 +169,15 @@ pub fn optimize_widths_with(g: &mut Dfg, rec: &mut Recorder) -> TransformReport 
         let round = rec.span(format!("round {}", report.rounds + 1));
         let started = Instant::now();
         let bits_before = total_bits(g);
-        let (n_rp, e_rp) = rec.scope("rp_sweep", |_| rp_transform(g));
-        let e_ic = rec.scope("ic_edge_sweep", |_| prune_edge_widths(g));
-        let (n_ic, ext) = rec.scope("ic_node_prune", |_| prune_node_widths(g));
+        let rp_span = rec.span("rp_sweep");
+        let (n_rp, e_rp) = rp_transform_with(g, tr);
+        rec.finish(rp_span);
+        let ic_edge_span = rec.span("ic_edge_sweep");
+        let e_ic = prune_edge_widths_with(g, tr);
+        rec.finish(ic_edge_span);
+        let ic_node_span = rec.span("ic_node_prune");
+        let (n_ic, ext) = prune_node_widths_with(g, tr);
+        rec.finish(ic_node_span);
         report.node_width_changes += n_rp + n_ic;
         report.edge_width_changes += e_rp + e_ic;
         report.extensions_inserted += ext;
@@ -123,6 +186,10 @@ pub fn optimize_widths_with(g: &mut Dfg, rec: &mut Recorder) -> TransformReport 
             node_width_changes: n_rp + n_ic,
             edge_width_changes: e_rp + e_ic,
             extensions_inserted: ext,
+            rp_node_changes: n_rp,
+            rp_edge_changes: e_rp,
+            ic_edge_changes: e_ic,
+            ic_node_changes: n_ic,
             width_delta_bits: total_bits(g) - bits_before,
             elapsed: started.elapsed(),
         });
@@ -241,7 +308,7 @@ mod tests {
         for case in 0..10 {
             let mut g = random_dfg(&mut rng, &GenConfig::default());
             let mut rec = dp_metrics::Recorder::new();
-            let report = optimize_widths_with(&mut g, &mut rec);
+            let report = optimize_widths_with(&mut g, &mut rec, &mut TraceLog::disabled());
             assert_eq!(report.history.len(), report.rounds, "case {case}");
             assert_eq!(
                 report.history.iter().map(|r| r.node_width_changes).sum::<usize>(),

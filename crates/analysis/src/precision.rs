@@ -1,6 +1,7 @@
 //! Required precision (Definition 4.1) and the Theorem 4.2 transformation.
 
 use dp_dfg::{Dfg, NodeId, NodeKind};
+use dp_trace::{Rule, Subject, TraceLog};
 
 /// The required precision `r(p)` at every port of a DFG.
 ///
@@ -71,6 +72,14 @@ pub fn required_precision(g: &Dfg) -> PrecisionAnalysis {
 /// Widths are floored at 1 bit (the data model has no zero-width signals; a
 /// completely unobserved node keeps a 1-bit stub).
 pub fn rp_transform(g: &mut Dfg) -> (usize, usize) {
+    rp_transform_with(g, &mut TraceLog::disabled())
+}
+
+/// [`rp_transform`] with decision provenance: every clamp emits an
+/// `RP-CLAMP` / `RP-CLAMP-EDGE` trace event. A node clamp's cause is the
+/// last decision about the out-edge that bounded its requirement; an edge
+/// clamp's cause is the last decision about its reader.
+pub fn rp_transform_with(g: &mut Dfg, tr: &mut TraceLog) -> (usize, usize) {
     let rp = required_precision(g);
     let mut node_changes = 0;
     let mut edge_changes = 0;
@@ -81,17 +90,37 @@ pub fn rp_transform(g: &mut Dfg) -> (usize, usize) {
             continue;
         }
         let r = rp.output_port(n).max(1);
-        if r < g.node(n).width() {
+        let w = g.node(n).width();
+        if r < w {
             g.set_node_width(n, r);
             node_changes += 1;
+            // The binding constraint is the out-edge achieving the max in
+            // Definition 4.1; the last event there (or at its reader) is
+            // what made `r` this small.
+            let binding = g
+                .node(n)
+                .out_edges()
+                .iter()
+                .copied()
+                .max_by_key(|&e| {
+                    let edge = g.edge(e);
+                    edge.width().min(rp.input_port(edge.dst()))
+                })
+                .map(|e| (e, g.edge(e).dst()));
+            let parent = binding
+                .and_then(|(e, dst)| tr.last_edge(e.index()).or_else(|| tr.last_node(dst.index())));
+            tr.emit_caused(Rule::RpClamp, Subject::Node(n.index()), w, r, parent);
         }
     }
     for e in g.edge_ids().collect::<Vec<_>>() {
         let dst = g.edge(e).dst();
         let r = rp.input_port(dst).max(1);
-        if r < g.edge(e).width() {
+        let w_e = g.edge(e).width();
+        if r < w_e {
             g.set_edge_width(e, r);
             edge_changes += 1;
+            let parent = tr.last_node(dst.index()).or_else(|| tr.last_edge(e.index()));
+            tr.emit_caused(Rule::RpClampEdge, Subject::Edge(e.index()), w_e, r, parent);
         }
     }
     (node_changes, edge_changes)

@@ -2,6 +2,7 @@
 
 use dp_bitvec::Signedness;
 use dp_dfg::Dfg;
+use dp_trace::{Rule, Subject, TraceLog};
 
 use crate::info::info_content;
 
@@ -19,6 +20,14 @@ use crate::info::info_content;
 ///
 /// Returns the number of edges narrowed.
 pub fn prune_edge_widths(g: &mut Dfg) -> usize {
+    prune_edge_widths_with(g, &mut TraceLog::disabled())
+}
+
+/// [`prune_edge_widths`] with decision provenance: every narrowing emits
+/// an `IC-PRUNE-EDGE` trace event whose cause is the last decision about
+/// the edge's source node (the narrowed claim is the source's output
+/// claim).
+pub fn prune_edge_widths_with(g: &mut Dfg, tr: &mut TraceLog) -> usize {
     let ic = info_content(g);
     let mut changed = 0;
     for e in g.edge_ids().collect::<Vec<_>>() {
@@ -38,9 +47,12 @@ pub fn prune_edge_widths(g: &mut Dfg) -> usize {
         }
         let new_w = claim.i.max(1);
         if new_w < w_e {
+            let src = g.edge(e).src();
             g.set_edge_width(e, new_w);
             g.set_edge_signedness(e, claim.t);
             changed += 1;
+            let parent = tr.last_node(src.index()).or_else(|| tr.last_edge(e.index()));
+            tr.emit_caused(Rule::IcPruneEdge, Subject::Edge(e.index()), w_e, new_w, parent);
         }
     }
     changed
@@ -58,6 +70,15 @@ pub fn prune_edge_widths(g: &mut Dfg) -> usize {
 ///
 /// Returns `(nodes narrowed, extension nodes inserted)`.
 pub fn prune_node_widths(g: &mut Dfg) -> (usize, usize) {
+    prune_node_widths_with(g, &mut TraceLog::disabled())
+}
+
+/// [`prune_node_widths`] with decision provenance: every narrowing emits
+/// an `IC-PRUNE` trace event (caused by the most recent decision about
+/// any in-edge, whose claims determine the intrinsic content), and every
+/// interface-preserving extension node emits an `EXT-INSERT` event caused
+/// by the prune that made it necessary.
+pub fn prune_node_widths_with(g: &mut Dfg, tr: &mut TraceLog) -> (usize, usize) {
     let ic = info_content(g);
     let mut narrowed = 0;
     let mut inserted = 0;
@@ -78,6 +99,16 @@ pub fn prune_node_widths(g: &mut Dfg) -> (usize, usize) {
         let needs_interface = g.node(n).out_edges().iter().any(|&e| g.edge(e).width() > target);
         g.set_node_width(n, target);
         narrowed += 1;
+        // The intrinsic bound came from the operand claims, so the newest
+        // in-edge decision is the proximate cause.
+        let parent = g
+            .node(n)
+            .in_edges()
+            .iter()
+            .filter_map(|&e| tr.last_edge(e.index()))
+            .max()
+            .or_else(|| tr.last_node(n.index()));
+        let prune = tr.emit_caused(Rule::IcPrune, Subject::Node(n.index()), w, target, parent);
         if needs_interface {
             let ext = g.extension(w, intrinsic.t, n, target, Signedness::Unsigned);
             // Move the original fanout onto the extension node. The new
@@ -88,6 +119,7 @@ pub fn prune_node_widths(g: &mut Dfg) -> (usize, usize) {
                 }
             }
             inserted += 1;
+            tr.emit_caused(Rule::ExtInsert, Subject::Node(ext.index()), target, w, prune);
         }
     }
     (narrowed, inserted)

@@ -4,6 +4,37 @@ use std::fmt::Write as _;
 
 use crate::{Dfg, NodeKind};
 
+/// Presentation-layer annotations for [`Dfg::to_dot_annotated`], indexed
+/// by node/edge index. The graph model stays analysis-agnostic: callers
+/// (e.g. `dpmc dot --annotate`) compute required precision, information
+/// content and break classifications and hand the rendered strings in.
+#[derive(Debug, Clone, Default)]
+pub struct DotAnnotations {
+    /// Extra label line(s) per node (e.g. `r=5 ⟨5,s⟩` plus the rule that
+    /// last changed it). Missing or `None` entries add nothing.
+    pub node_notes: Vec<Option<String>>,
+    /// Fill color per node (Graphviz color string, e.g. `"#f4cccc"`);
+    /// used to highlight break nodes.
+    pub node_fill: Vec<Option<String>>,
+    /// Extra label line(s) per edge (e.g. `r=5 ⟨4,s⟩ IC-PRUNE-EDGE`).
+    pub edge_notes: Vec<Option<String>>,
+}
+
+impl DotAnnotations {
+    /// Annotations sized for `g` with every entry empty.
+    pub fn for_graph(g: &Dfg) -> DotAnnotations {
+        DotAnnotations {
+            node_notes: vec![None; g.num_nodes()],
+            node_fill: vec![None; g.num_nodes()],
+            edge_notes: vec![None; g.num_edges()],
+        }
+    }
+}
+
+fn get(v: &[Option<String>], i: usize) -> Option<&str> {
+    v.get(i).and_then(|s| s.as_deref())
+}
+
 impl Dfg {
     /// Renders the graph in Graphviz DOT format. Node labels show the kind
     /// and width; edge labels show `w(e)` and `s`/`u` for the signedness —
@@ -22,10 +53,18 @@ impl Dfg {
     /// assert!(dot.contains("a : 4"));
     /// ```
     pub fn to_dot(&self) -> String {
+        self.to_dot_annotated(&DotAnnotations::default())
+    }
+
+    /// [`Dfg::to_dot`] with per-node/per-edge [`DotAnnotations`]: node
+    /// notes become extra label lines, node fills color the node (break
+    /// nodes in `dpmc dot --annotate`), and edge notes extend the edge
+    /// label. Empty annotations render exactly like [`Dfg::to_dot`].
+    pub fn to_dot_annotated(&self, ann: &DotAnnotations) -> String {
         let mut s = String::from("digraph dfg {\n  rankdir=TB;\n");
         for n in self.node_ids() {
             let node = self.node(n);
-            let (label, shape) = match node.kind() {
+            let (mut label, shape) = match node.kind() {
                 NodeKind::Input => {
                     (format!("{} : {}", node.name().unwrap_or("in"), node.width()), "invhouse")
                 }
@@ -36,19 +75,25 @@ impl Dfg {
                 NodeKind::Op(op) => (format!("{op} : {}", node.width()), "circle"),
                 NodeKind::Extension(t) => (format!("ext[{t}] : {}", node.width()), "diamond"),
             };
-            let _ = writeln!(s, "  {n} [label=\"{label}\", shape={shape}];");
+            if let Some(note) = get(&ann.node_notes, n.index()) {
+                label.push_str("\\n");
+                label.push_str(note);
+            }
+            let style = match get(&ann.node_fill, n.index()) {
+                Some(color) => format!(", style=filled, fillcolor=\"{color}\""),
+                None => String::new(),
+            };
+            let _ = writeln!(s, "  {n} [label=\"{label}\", shape={shape}{style}];");
         }
         for e in self.edge_ids() {
             let edge = self.edge(e);
             let t = if edge.signedness().is_signed() { "s" } else { "u" };
-            let _ = writeln!(
-                s,
-                "  {} -> {} [label=\"{}{}\"];",
-                edge.src(),
-                edge.dst(),
-                edge.width(),
-                t
-            );
+            let mut label = format!("{}{}", edge.width(), t);
+            if let Some(note) = get(&ann.edge_notes, e.index()) {
+                label.push_str("\\n");
+                label.push_str(note);
+            }
+            let _ = writeln!(s, "  {} -> {} [label=\"{label}\"];", edge.src(), edge.dst());
         }
         s.push_str("}\n");
         s
@@ -75,5 +120,24 @@ mod tests {
         assert_eq!(dot.matches(" -> ").count(), g.num_edges());
         assert!(dot.contains("ext[signed] : 10"));
         assert!(dot.contains("4'b0011"));
+    }
+
+    #[test]
+    fn annotations_add_notes_and_fill() {
+        use super::DotAnnotations;
+        let mut g = Dfg::new();
+        let a = g.input("a", 4);
+        let n = g.op(OpKind::Add, 5, &[(a, Unsigned), (a, Unsigned)]);
+        g.output("o", 5, n, Unsigned);
+        let mut ann = DotAnnotations::for_graph(&g);
+        ann.node_notes[n.index()] = Some("r=5 <4,u>".to_string());
+        ann.node_fill[n.index()] = Some("#f4cccc".to_string());
+        ann.edge_notes[0] = Some("IC-PRUNE-EDGE".to_string());
+        let dot = g.to_dot_annotated(&ann);
+        assert!(dot.contains("\\nr=5 <4,u>\""));
+        assert!(dot.contains("style=filled, fillcolor=\"#f4cccc\""));
+        assert!(dot.contains("\\nIC-PRUNE-EDGE\""));
+        // Plain rendering is unchanged by the annotated code path.
+        assert!(!g.to_dot().contains("filled"));
     }
 }

@@ -59,6 +59,7 @@ mod postdom;
 mod topo;
 mod validate;
 
+pub use dot::DotAnnotations;
 pub use eval::{EvalError, Evaluation};
 pub use graph::{Dfg, Edge, EdgeId, Node, NodeId, NodeKind};
 pub use op::OpKind;

@@ -5,9 +5,10 @@ use dp_analysis::{
 };
 use dp_dfg::Dfg;
 use dp_metrics::Recorder;
+use dp_trace::{Rule, Subject, TraceLog};
 
 use crate::addends::linearize_member;
-use crate::breaks::{find_breaks_leakage, find_breaks_new, is_mergeable};
+use crate::breaks::{find_breaks_leakage, find_breaks_new, find_breaks_new_with, is_mergeable};
 use crate::cluster::{extract_clusters, Clustering};
 
 /// Statistics from [`cluster_max`].
@@ -56,16 +57,27 @@ pub fn cluster_leakage(g: &Dfg) -> Clustering {
 /// transformations), which is why this takes `&mut Dfg`; functional
 /// equivalence is preserved throughout.
 pub fn cluster_max(g: &mut Dfg) -> (Clustering, MergeReport) {
-    cluster_max_with(g, &mut Recorder::disabled())
+    cluster_max_with(g, &mut Recorder::disabled(), &mut TraceLog::disabled())
 }
 
-/// [`cluster_max`] with timing spans: the width pipeline's rounds and
-/// passes (via [`optimize_widths_with`]), then one span per clustering
-/// iteration with children for the information-content sweep, break-node
-/// detection, cluster extraction, and Huffman rebalancing.
-pub fn cluster_max_with(g: &mut Dfg, rec: &mut Recorder) -> (Clustering, MergeReport) {
+/// [`cluster_max`] with timing spans and decision provenance: the width
+/// pipeline's rounds and passes (via [`optimize_widths_with`]), then one
+/// span per clustering iteration with children for the information-content
+/// sweep, break-node detection, cluster extraction, and Huffman
+/// rebalancing.
+///
+/// The trace records every width change, each `HUFFMAN-COMBINE` intrinsic
+/// refinement, and — once the iteration has settled — the *final* break
+/// classifications (`BREAK-*`) and cluster assignments (`CLUSTER-MERGE`).
+/// Intermediate rounds' break decisions are deliberately not logged: they
+/// are superseded by later refinements and would read as contradictions.
+pub fn cluster_max_with(
+    g: &mut Dfg,
+    rec: &mut Recorder,
+    tr: &mut TraceLog,
+) -> (Clustering, MergeReport) {
     let whole = rec.span("cluster_max");
-    let transform = optimize_widths_with(g, rec);
+    let transform = optimize_widths_with(g, rec, tr);
     let mut overrides = IntrinsicOverrides::new();
     let mut report = MergeReport { transform, ..MergeReport::default() };
     let clustering = loop {
@@ -98,6 +110,7 @@ pub fn cluster_max_with(g: &mut Dfg, rec: &mut Recorder) -> (Clustering, MergeRe
                     overrides.insert(m, refined);
                     report.refinements += 1;
                     changed = true;
+                    tr.emit(Rule::HuffmanCombine, Subject::Node(m.index()), current, refined.i);
                 }
             }
         }
@@ -107,8 +120,37 @@ pub fn cluster_max_with(g: &mut Dfg, rec: &mut Recorder) -> (Clustering, MergeRe
             break clustering;
         }
     };
+    if tr.is_enabled() {
+        trace_final_decisions(g, &overrides, &clustering, tr);
+    }
     rec.finish(whole);
     (clustering, report)
+}
+
+/// Records the settled break classifications and cluster assignments into
+/// the trace. Break events re-run the final break analysis with the log
+/// attached (cheap relative to the iteration that just finished); cluster
+/// events link each member to its cluster's output event, and the output
+/// to the latest decision among the members — so walking any member's
+/// ancestry reaches the width/break decisions that shaped the cluster.
+fn trace_final_decisions(
+    g: &Dfg,
+    overrides: &IntrinsicOverrides,
+    clustering: &Clustering,
+    tr: &mut TraceLog,
+) {
+    let ic = info_content_with(g, overrides);
+    let _ = find_breaks_new_with(g, &ic, tr);
+    for (k, c) in clustering.clusters.iter().enumerate() {
+        let latest = c.members.iter().filter_map(|&m| tr.last_node(m.index())).max();
+        let out_event =
+            tr.emit_caused(Rule::ClusterMerge, Subject::Node(c.output.index()), c.len(), k, latest);
+        for &m in &c.members {
+            if m != c.output {
+                tr.emit_caused(Rule::ClusterMerge, Subject::Node(m.index()), c.len(), k, out_event);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

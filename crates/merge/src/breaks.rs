@@ -2,6 +2,7 @@
 
 use dp_analysis::{required_precision, InfoAnalysis};
 use dp_dfg::{Dfg, NodeId, NodeKind, OpKind};
+use dp_trace::{Rule, Subject, TraceLog};
 
 /// Returns `true` for nodes that can be members of a cluster: operator
 /// nodes and extension nodes (an extension node is pure wiring inside a
@@ -89,6 +90,17 @@ fn node_trust(
 ///
 /// Returns one flag per node; non-mergeable nodes are never break nodes.
 pub fn find_breaks_new(g: &Dfg, ic: &InfoAnalysis) -> Vec<bool> {
+    find_breaks_new_with(g, ic, &mut TraceLog::disabled())
+}
+
+/// [`find_breaks_new`] with decision provenance: each break classification
+/// emits a `BREAK-*` trace event naming the condition that fired
+/// (`BREAK-SYNTH-1` multiplier operand, `BREAK-SAFETY-1` damage boundary
+/// with `before` = surviving bits and `after` = required bits,
+/// `BREAK-SAFETY-2` value misread, `BREAK-SYNTH-2` non-reconvergent
+/// fanout with `before` = fanout degree), caused by the last decision
+/// about the offending edge or the node itself.
+pub fn find_breaks_new_with(g: &Dfg, ic: &InfoAnalysis, tr: &mut TraceLog) -> Vec<bool> {
     let rp = required_precision(g);
     let mut breaks = vec![false; g.num_nodes()];
     let mut trust = vec![usize::MAX; g.num_nodes()];
@@ -112,10 +124,12 @@ pub fn find_breaks_new(g: &Dfg, ic: &InfoAnalysis) -> Vec<bool> {
             if !is_mergeable(g, dst) {
                 continue; // boundary to an output: no merge anyway
             }
+            let blame = tr.last_edge(e.index()).or_else(|| tr.last_node(n.index()));
             // Synthesizability Condition 1: nothing merges into a
             // multiplier operand.
             if g.node(dst).kind().op() == Some(OpKind::Mul) {
                 breaks[n.index()] = true;
+                tr.emit_caused(Rule::BreakSynth1, Subject::Node(n.index()), w_n, w_n, blame);
                 break;
             }
             // Safety: damage boundary along this edge (the node's own
@@ -127,8 +141,16 @@ pub fn find_breaks_new(g: &Dfg, ic: &InfoAnalysis) -> Vec<bool> {
             if avail > edge.width() {
                 damage = damage.min(edge.width());
             }
-            if rp.input_port(dst) > damage {
+            let required = rp.input_port(dst);
+            if required > damage {
                 breaks[n.index()] = true;
+                tr.emit_caused(
+                    Rule::BreakSafety1,
+                    Subject::Node(n.index()),
+                    damage,
+                    required,
+                    blame,
+                );
                 break;
             }
             // Safety: a value-changing resize (extension whose discipline
@@ -136,11 +158,18 @@ pub fn find_breaks_new(g: &Dfg, ic: &InfoAnalysis) -> Vec<bool> {
             // sum-of-addends reading even when no information is lost.
             if i_exact <= w_n && value_misread(g, ic, n, e) {
                 breaks[n.index()] = true;
+                tr.emit_caused(
+                    Rule::BreakSafety2,
+                    Subject::Node(n.index()),
+                    w_n,
+                    edge.width(),
+                    blame,
+                );
                 break;
             }
         }
     }
-    enforce_unique_outputs(g, &mut breaks);
+    enforce_unique_outputs(g, &mut breaks, tr);
     breaks
 }
 
@@ -252,7 +281,7 @@ pub fn find_breaks_leakage(g: &Dfg) -> Vec<bool> {
             }
         }
     }
-    enforce_unique_outputs(g, &mut breaks);
+    enforce_unique_outputs(g, &mut breaks, &mut TraceLog::disabled());
     breaks
 }
 
@@ -338,7 +367,7 @@ fn naive_full_width(g: &Dfg, n: NodeId) -> usize {
 /// with post-dominators over the mergeable subgraph where break-node
 /// out-edges are cut, iterated to a fixpoint (marking a node can invalidate
 /// reconvergence upstream).
-fn enforce_unique_outputs(g: &Dfg, breaks: &mut [bool]) {
+fn enforce_unique_outputs(g: &Dfg, breaks: &mut [bool], tr: &mut TraceLog) {
     loop {
         let pd = g
             .post_dominators_filtered(|n| is_mergeable(g, n), |e| !breaks[g.edge(e).src().index()]);
@@ -354,6 +383,8 @@ fn enforce_unique_outputs(g: &Dfg, breaks: &mut [bool]) {
             if has_internal_succ && pd.ipdom(n).is_none() {
                 breaks[n.index()] = true;
                 changed = true;
+                let fanout = g.node(n).out_edges().len();
+                tr.emit(Rule::BreakSynth2, Subject::Node(n.index()), fanout, 1);
             }
         }
         if !changed {

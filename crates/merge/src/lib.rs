@@ -49,7 +49,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod addends;
 mod algo;
@@ -61,5 +61,5 @@ pub use addends::{
     SumOfAddends,
 };
 pub use algo::{cluster_leakage, cluster_max, cluster_max_with, cluster_none, MergeReport};
-pub use breaks::{find_breaks_leakage, find_breaks_new, is_mergeable};
+pub use breaks::{find_breaks_leakage, find_breaks_new, find_breaks_new_with, is_mergeable};
 pub use cluster::{Cluster, ClusterError, Clustering};

@@ -54,6 +54,78 @@ impl Json {
         self
     }
 
+    /// Parses a JSON document (the inverse of [`Json::render`]).
+    ///
+    /// Supports exactly the dialect this module emits — which is standard
+    /// JSON minus exotic escapes: objects, arrays, strings with `\" \\ \/
+    /// \n \t \r \b \f \uXXXX` escapes, integers, floats, `true`/`false`/
+    /// `null`. Numbers with a fraction or exponent parse as
+    /// [`Json::Float`], everything else as [`Json::Int`]. Object keys keep
+    /// document order. Trailing garbage after the top-level value is an
+    /// error.
+    ///
+    /// This is what lets `dpmc bench --compare` read a committed
+    /// `BENCH_*.json` baseline back without taking a serde dependency.
+    pub fn parse(text: &str) -> Result<Json, JsonParseError> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after document"));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup by key (first match); `None` for non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The integer value, if this is a [`Json::Int`].
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value of an [`Json::Int`] or [`Json::Float`].
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(v) => Some(*v as f64),
+            Json::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a [`Json::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is a [`Json::Array`].
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The fields in document order, if this is a [`Json::Object`].
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
     /// Serializes compactly (no whitespace).
     pub fn render(&self) -> String {
         let mut s = String::new();
@@ -151,6 +223,230 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Error from [`Json::parse`]: what went wrong and at which byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Byte offset into the input where parsing failed.
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+/// Recursive-descent parser over the input bytes (JSON structure is pure
+/// ASCII; multi-byte UTF-8 only ever appears inside strings, where the
+/// bytes are passed through verbatim).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> JsonParseError {
+        JsonParseError { message: message.to_string(), offset: self.pos }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, word: &str, value: Json) -> Result<Json, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonParseError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.eat_keyword("true", Json::Bool(true)),
+            Some(b'f') => self.eat_keyword("false", Json::Bool(false)),
+            Some(b'n') => self.eat_keyword("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b't' => s.push('\t'),
+                        b'r' => s.push('\r'),
+                        b'b' => s.push('\u{8}'),
+                        b'f' => s.push('\u{c}'),
+                        b'u' => s.push(self.unicode_escape()?),
+                        _ => return Err(self.err("unsupported string escape")),
+                    }
+                }
+                Some(c) if c < 0x20 => return Err(self.err("raw control character in string")),
+                Some(_) => {
+                    // Copy one whole UTF-8 scalar (input is a &str, so the
+                    // byte stream is valid UTF-8 by construction).
+                    let rest = &self.bytes[self.pos..];
+                    let ch = std::str::from_utf8(rest)
+                        .map_err(|_| self.err("invalid UTF-8"))?
+                        .chars()
+                        .next()
+                        .unwrap();
+                    s.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// `\uXXXX`, including surrogate pairs for astral-plane characters.
+    fn unicode_escape(&mut self) -> Result<char, JsonParseError> {
+        let hi = self.hex4()?;
+        if (0xD800..0xDC00).contains(&hi) {
+            if self.bytes[self.pos..].starts_with(b"\\u") {
+                self.pos += 2;
+                let lo = self.hex4()?;
+                if (0xDC00..0xE000).contains(&lo) {
+                    let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                    return char::from_u32(cp).ok_or_else(|| self.err("invalid surrogate pair"));
+                }
+            }
+            return Err(self.err("lone high surrogate"));
+        }
+        char::from_u32(hi).ok_or_else(|| self.err("invalid \\u escape"))
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonParseError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = self.peek().and_then(|c| (c as char).to_digit(16));
+            match d {
+                Some(d) => {
+                    v = v * 16 + d;
+                    self.pos += 1;
+                }
+                None => return Err(self.err("expected four hex digits after \\u")),
+            }
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if is_float {
+            text.parse::<f64>().map(Json::Float).map_err(|_| self.err("malformed number"))
+        } else {
+            text.parse::<i64>().map(Json::Int).map_err(|_| self.err("malformed integer"))
+        }
+    }
+}
+
 impl From<bool> for Json {
     fn from(v: bool) -> Json {
         Json::Bool(v)
@@ -243,6 +539,54 @@ mod tests {
     fn empty_containers_stay_on_one_line() {
         let doc = Json::obj().field("a", Json::Array(vec![])).field("o", Json::obj());
         assert_eq!(doc.render_pretty(), "{\n  \"a\": [],\n  \"o\": {}\n}\n");
+    }
+
+    #[test]
+    fn parse_round_trips_rendered_documents() {
+        let doc = Json::obj()
+            .field("name", "fig3")
+            .field("ok", true)
+            .field("none", Json::Null)
+            .field("count", 3usize)
+            .field("neg", -17i64)
+            .field("delay", 4.25)
+            .field("text", "a\"b\\c\nd\u{1}é")
+            .field("list", vec![Json::Int(1), Json::obj().field("k", "v")])
+            .field("empty", Json::Array(vec![]));
+        assert_eq!(Json::parse(&doc.render()).unwrap(), doc);
+        assert_eq!(Json::parse(&doc.render_pretty()).unwrap(), doc);
+    }
+
+    #[test]
+    fn parse_distinguishes_int_and_float() {
+        assert_eq!(Json::parse("7").unwrap(), Json::Int(7));
+        assert_eq!(Json::parse("7.0").unwrap(), Json::Float(7.0));
+        assert_eq!(Json::parse("-2e3").unwrap(), Json::Float(-2000.0));
+    }
+
+    #[test]
+    fn parse_handles_unicode_escapes() {
+        assert_eq!(Json::parse(r#""Aé""#).unwrap(), Json::Str("Aé".into()));
+        assert_eq!(Json::parse(r#""😀""#).unwrap(), Json::Str("😀".into()));
+        assert!(Json::parse(r#""\ud83d""#).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in ["", "{", "[1,", "{\"a\":}", "tru", "1 2", "\"unterminated", "{'a':1}"] {
+            assert!(Json::parse(bad).is_err(), "expected parse failure for {bad:?}");
+        }
+    }
+
+    #[test]
+    fn accessors_navigate_parsed_documents() {
+        let doc = Json::parse(r#"{"a": {"b": [1, 2.5, "x"]}, "c": true}"#).unwrap();
+        let list = doc.get("a").and_then(|a| a.get("b")).and_then(Json::as_array).unwrap();
+        assert_eq!(list[0].as_i64(), Some(1));
+        assert_eq!(list[1].as_f64(), Some(2.5));
+        assert_eq!(list[2].as_str(), Some("x"));
+        assert_eq!(doc.as_object().unwrap().len(), 2);
+        assert_eq!(doc.get("missing"), None);
     }
 
     #[test]

@@ -13,6 +13,7 @@ use dp_merge::{
 };
 use dp_metrics::{FlowMetrics, Recorder};
 use dp_netlist::{Library, NetId, Netlist};
+use dp_trace::TraceLog;
 
 use crate::cluster::synthesize_sum_with;
 use crate::SynthConfig;
@@ -268,7 +269,7 @@ pub fn run_flow(
     strategy: MergeStrategy,
     config: &SynthConfig,
 ) -> Result<FlowResult, SynthError> {
-    run_flow_with(g, strategy, config, &mut Recorder::disabled())
+    run_flow_with(g, strategy, config, &mut Recorder::disabled(), &mut TraceLog::disabled())
 }
 
 /// Total operator-node plus edge width of a graph, the two QoR width
@@ -280,8 +281,11 @@ fn widths(g: &Dfg) -> (usize, usize) {
 }
 
 /// [`run_flow`] with timing spans (clustering and synthesis stages nested
-/// under one `flow` root) and the [`FlowResult::metrics`] QoR counters
-/// populated.
+/// under one `flow` root), the [`FlowResult::metrics`] QoR counters
+/// populated, and decision provenance recorded into `tr` (only the
+/// [`MergeStrategy::New`] flow makes traced decisions — the baselines run
+/// no width pipeline and classify breaks without the instrumented
+/// analysis).
 ///
 /// # Errors
 ///
@@ -291,6 +295,7 @@ pub fn run_flow_with(
     strategy: MergeStrategy,
     config: &SynthConfig,
     rec: &mut Recorder,
+    tr: &mut TraceLog,
 ) -> Result<FlowResult, SynthError> {
     let whole = rec.span(format!("flow {strategy}"));
     let (node_width_before, edge_width_before) = widths(g);
@@ -300,7 +305,7 @@ pub fn run_flow_with(
         MergeStrategy::None => (cluster_none(&graph), None),
         MergeStrategy::Old => (cluster_leakage(&graph), None),
         MergeStrategy::New => {
-            let (c, r) = cluster_max_with(&mut graph, rec);
+            let (c, r) = cluster_max_with(&mut graph, rec, tr);
             (c, Some(r))
         }
     };

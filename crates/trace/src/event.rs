@@ -1,0 +1,170 @@
+//! Event vocabulary: what kinds of decisions the pipeline records.
+
+use std::fmt;
+
+/// Identifier of a recorded event; doubles as its index in the log.
+///
+/// Ids are handed out in emission order, so `a < b` means event `a` was
+/// decided before event `b` — the log is already a topological order of
+/// the causal DAG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(pub(crate) u32);
+
+impl EventId {
+    /// The event's position in [`TraceLog::events`](crate::TraceLog::events).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// What a decision acted on.
+///
+/// dp-trace deliberately stores raw indices rather than depending on
+/// dp-dfg's `NodeId`/`EdgeId`: the crate sits below every pipeline crate
+/// and must stay dependency-free. Producers convert with
+/// `Subject::Node(id.index())`; ids are stable across the pipeline because
+/// the transform only ever appends nodes and edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Subject {
+    /// A graph node, by `NodeId::index()`.
+    Node(usize),
+    /// A graph edge, by `EdgeId::index()`.
+    Edge(usize),
+}
+
+impl fmt::Display for Subject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Subject::Node(i) => write!(f, "n{i}"),
+            Subject::Edge(i) => write!(f, "e{i}"),
+        }
+    }
+}
+
+/// The rule (paper citation) behind a recorded decision.
+///
+/// Tags are the stable external vocabulary — they appear in `dpmc explain`
+/// output, annotated DOT labels, and tests. Add variants freely; never
+/// rename a tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// Theorem 4.2: node output width clamped to its required precision.
+    RpClamp,
+    /// Theorem 4.2: edge width clamped to the precision its reader needs.
+    RpClampEdge,
+    /// Lemma 5.6: node width narrowed to its information content.
+    IcPrune,
+    /// Lemma 5.7: edge width narrowed to the signal's information content.
+    IcPruneEdge,
+    /// Definition 5.5: extension node inserted to preserve a wide reader
+    /// interface after an IC node prune.
+    ExtInsert,
+    /// Safety Condition 1: node breaks because truncation damaged bits a
+    /// reader still requires (`before` = surviving bits, `after` = required).
+    BreakSafety1,
+    /// Safety Condition 2: node breaks because a width change would be
+    /// misread as a value change by a reader.
+    BreakSafety2,
+    /// Synthesizability Condition 1: multiplier operand boundary breaks.
+    BreakSynth1,
+    /// Synthesizability Condition 2: node breaks to keep each merged
+    /// cluster single-output (post-dominator fixpoint).
+    BreakSynth2,
+    /// Theorem 5.10: Huffman-style rebalancing proved a tighter intrinsic
+    /// information content for a node (`before`/`after` are the `i` bound).
+    HuffmanCombine,
+    /// Section 6: node assigned to a merged cluster (`before` = member
+    /// count, `after` = cluster ordinal).
+    ClusterMerge,
+}
+
+impl Rule {
+    /// Stable, grep-friendly tag used in CLI output and DOT labels.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Rule::RpClamp => "RP-CLAMP",
+            Rule::RpClampEdge => "RP-CLAMP-EDGE",
+            Rule::IcPrune => "IC-PRUNE",
+            Rule::IcPruneEdge => "IC-PRUNE-EDGE",
+            Rule::ExtInsert => "EXT-INSERT",
+            Rule::BreakSafety1 => "BREAK-SAFETY-1",
+            Rule::BreakSafety2 => "BREAK-SAFETY-2",
+            Rule::BreakSynth1 => "BREAK-SYNTH-1",
+            Rule::BreakSynth2 => "BREAK-SYNTH-2",
+            Rule::HuffmanCombine => "HUFFMAN-COMBINE",
+            Rule::ClusterMerge => "CLUSTER-MERGE",
+        }
+    }
+
+    /// One-line human description of what the rule means, for `dpmc
+    /// explain` legends and docs.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Rule::RpClamp => "node width clamped to required precision (Thm 4.2)",
+            Rule::RpClampEdge => "edge width clamped to reader's required precision (Thm 4.2)",
+            Rule::IcPrune => "node width narrowed to information content (Lemma 5.6)",
+            Rule::IcPruneEdge => "edge width narrowed to signal information content (Lemma 5.7)",
+            Rule::ExtInsert => "extension node inserted to preserve reader interface (Def 5.5)",
+            Rule::BreakSafety1 => {
+                "break: truncation damaged bits a reader requires (Safety Cond 1)"
+            }
+            Rule::BreakSafety2 => {
+                "break: width change would be misread as a value change (Safety Cond 2)"
+            }
+            Rule::BreakSynth1 => "break: multiplier operand boundary (Synth Cond 1)",
+            Rule::BreakSynth2 => "break: cluster must stay single-output (Synth Cond 2)",
+            Rule::HuffmanCombine => "tighter intrinsic IC via Huffman rebalancing (Thm 5.10)",
+            Rule::ClusterMerge => "node assigned to a merged cluster (Section 6)",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// One recorded decision.
+///
+/// `before`/`after` are widths in bits for width rules; for break and
+/// cluster rules their meaning is documented on the [`Rule`] variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// This event's id (== its index in the log).
+    pub id: EventId,
+    /// The event that caused this one, if the producer could tell.
+    pub parent: Option<EventId>,
+    /// Which rule fired.
+    pub rule: Rule,
+    /// What it acted on.
+    pub subject: Subject,
+    /// Value before the decision (see [`Rule`] for non-width rules).
+    pub before: usize,
+    /// Value after the decision.
+    pub after: usize,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} {}: {} -> {}",
+            self.id,
+            self.rule.tag(),
+            self.subject,
+            self.before,
+            self.after
+        )?;
+        if let Some(p) = self.parent {
+            write!(f, " (cause {p})")?;
+        }
+        Ok(())
+    }
+}

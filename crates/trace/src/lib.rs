@@ -1,0 +1,36 @@
+//! # dp-trace — decision provenance for the datapath-merge pipeline
+//!
+//! dp-metrics (PR 2) records *how long* and *how much*; this crate records
+//! *why*. Every width-shrinking, extension-inserting, break-classifying,
+//! and cluster-forming decision in the pipeline emits a [`TraceEvent`]
+//! carrying the paper rule that fired ([`Rule`], e.g. `RP-CLAMP` for
+//! Theorem 4.2 or `IC-PRUNE` for Lemma 5.6), the node or edge it acted on
+//! ([`Subject`]), the before/after widths, and a causal parent event.
+//!
+//! The log is **deterministic**: the pipeline visits nodes and edges in
+//! index order, so two runs over the same design produce identical event
+//! streams — which makes the log diffable and lets `dpmc bench` count
+//! events as a QoR-adjacent regression signal.
+//!
+//! Like the dp-metrics `Recorder`, a [`TraceLog`] built with
+//! [`TraceLog::disabled`] is a free no-op sink, so the plain (non-`_with`)
+//! pipeline entry points pay nothing.
+//!
+//! ```
+//! use dp_trace::{Rule, Subject, TraceLog};
+//!
+//! let mut tr = TraceLog::new();
+//! let prune = tr.emit(Rule::IcPrune, Subject::Node(7), 8, 5).unwrap();
+//! let ext = tr.emit_caused(Rule::ExtInsert, Subject::Node(9), 8, 8, Some(prune)).unwrap();
+//! assert_eq!(tr.ancestors(ext), vec![prune]);
+//! assert_eq!(tr.event(prune).to_string(), "[#0] IC-PRUNE n7: 8 -> 5");
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod event;
+mod log;
+
+pub use event::{EventId, Rule, Subject, TraceEvent};
+pub use log::TraceLog;

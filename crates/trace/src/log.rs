@@ -1,0 +1,222 @@
+//! The append-only event log and its causal queries.
+
+use crate::event::{EventId, Rule, Subject, TraceEvent};
+
+/// An append-only, deterministic log of pipeline decisions.
+///
+/// Mirrors the `Recorder` discipline from dp-metrics: a disabled log is a
+/// no-op sink (every `emit` returns `None` and stores nothing), so plain
+/// entry points can thread `TraceLog::disabled()` through the pipeline at
+/// zero cost. An enabled log assigns dense [`EventId`]s in emission order;
+/// because every pass iterates nodes and edges in deterministic index
+/// order, two runs over the same design produce byte-identical logs.
+///
+/// Causality: each event may carry a `parent` id. Producers either pass an
+/// explicit cause ([`TraceLog::emit_caused`]) or let the log auto-link to
+/// the *last event recorded for the same subject* ([`TraceLog::emit`]),
+/// which captures "this decision refined the previous one about the same
+/// node/edge".
+#[derive(Debug, Default)]
+pub struct TraceLog {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+    last_node: Vec<Option<EventId>>,
+    last_edge: Vec<Option<EventId>>,
+}
+
+impl TraceLog {
+    /// A live log that records every emitted event.
+    pub fn new() -> TraceLog {
+        TraceLog { enabled: true, ..TraceLog::default() }
+    }
+
+    /// A no-op sink: emits are dropped, queries see an empty log.
+    pub fn disabled() -> TraceLog {
+        TraceLog::default()
+    }
+
+    /// Whether this log records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event, auto-linking its parent to the last event emitted
+    /// for the same subject. Returns the new id, or `None` when disabled.
+    pub fn emit(
+        &mut self,
+        rule: Rule,
+        subject: Subject,
+        before: usize,
+        after: usize,
+    ) -> Option<EventId> {
+        if !self.enabled {
+            return None;
+        }
+        let parent = self.last_for(subject);
+        self.push(rule, subject, before, after, parent)
+    }
+
+    /// Records an event with an explicit cause (pass `None` for a root
+    /// decision). Returns the new id, or `None` when disabled.
+    pub fn emit_caused(
+        &mut self,
+        rule: Rule,
+        subject: Subject,
+        before: usize,
+        after: usize,
+        parent: Option<EventId>,
+    ) -> Option<EventId> {
+        if !self.enabled {
+            return None;
+        }
+        self.push(rule, subject, before, after, parent)
+    }
+
+    fn push(
+        &mut self,
+        rule: Rule,
+        subject: Subject,
+        before: usize,
+        after: usize,
+        parent: Option<EventId>,
+    ) -> Option<EventId> {
+        let id = EventId(u32::try_from(self.events.len()).expect("trace log overflow"));
+        self.events.push(TraceEvent { id, parent, rule, subject, before, after });
+        let slot = match subject {
+            Subject::Node(i) => Self::slot(&mut self.last_node, i),
+            Subject::Edge(i) => Self::slot(&mut self.last_edge, i),
+        };
+        *slot = Some(id);
+        Some(id)
+    }
+
+    fn slot(vec: &mut Vec<Option<EventId>>, i: usize) -> &mut Option<EventId> {
+        if vec.len() <= i {
+            vec.resize(i + 1, None);
+        }
+        &mut vec[i]
+    }
+
+    /// The last event recorded for a node, if any.
+    pub fn last_node(&self, node: usize) -> Option<EventId> {
+        self.last_node.get(node).copied().flatten()
+    }
+
+    /// The last event recorded for an edge, if any.
+    pub fn last_edge(&self, edge: usize) -> Option<EventId> {
+        self.last_edge.get(edge).copied().flatten()
+    }
+
+    /// The last event recorded for a subject, if any.
+    pub fn last_for(&self, subject: Subject) -> Option<EventId> {
+        match subject {
+            Subject::Node(i) => self.last_node(i),
+            Subject::Edge(i) => self.last_edge(i),
+        }
+    }
+
+    /// All recorded events in emission (= causal topological) order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Looks up an event by id.
+    pub fn event(&self, id: EventId) -> &TraceEvent {
+        &self.events[id.index()]
+    }
+
+    /// Every event whose subject matches, in emission order.
+    pub fn events_for(&self, subject: Subject) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.subject == subject)
+    }
+
+    /// The causal chain above an event: its parent, grandparent, … in
+    /// order from nearest cause to root.
+    pub fn ancestors(&self, id: EventId) -> Vec<EventId> {
+        let mut chain = Vec::new();
+        let mut cur = self.event(id).parent;
+        while let Some(p) = cur {
+            chain.push(p);
+            cur = self.event(p).parent;
+        }
+        chain
+    }
+
+    /// Whether `ancestor` appears in the causal chain above `id`.
+    pub fn descends_from(&self, id: EventId, ancestor: EventId) -> bool {
+        let mut cur = self.event(id).parent;
+        while let Some(p) = cur {
+            if p == ancestor {
+                return true;
+            }
+            cur = self.event(p).parent;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut tr = TraceLog::disabled();
+        assert!(!tr.is_enabled());
+        assert_eq!(tr.emit(Rule::IcPrune, Subject::Node(3), 8, 5), None);
+        assert!(tr.is_empty());
+        assert_eq!(tr.last_node(3), None);
+    }
+
+    #[test]
+    fn emit_auto_links_to_last_event_for_subject() {
+        let mut tr = TraceLog::new();
+        let a = tr.emit(Rule::IcPruneEdge, Subject::Edge(0), 9, 5).unwrap();
+        let b = tr.emit(Rule::RpClampEdge, Subject::Edge(0), 5, 4).unwrap();
+        let c = tr.emit(Rule::IcPrune, Subject::Node(2), 8, 5).unwrap();
+        assert_eq!(tr.event(b).parent, Some(a));
+        assert_eq!(tr.event(c).parent, None);
+        assert_eq!(tr.last_edge(0), Some(b));
+        assert_eq!(tr.last_node(2), Some(c));
+    }
+
+    #[test]
+    fn explicit_cause_and_ancestor_walk() {
+        let mut tr = TraceLog::new();
+        let a = tr.emit(Rule::IcPrune, Subject::Node(1), 8, 5).unwrap();
+        let b = tr.emit_caused(Rule::ExtInsert, Subject::Node(9), 8, 8, Some(a)).unwrap();
+        let c = tr.emit_caused(Rule::IcPruneEdge, Subject::Edge(4), 9, 5, Some(b)).unwrap();
+        assert_eq!(tr.ancestors(c), vec![b, a]);
+        assert!(tr.descends_from(c, a));
+        assert!(!tr.descends_from(a, c));
+    }
+
+    #[test]
+    fn display_formats_are_stable() {
+        let mut tr = TraceLog::new();
+        let a = tr.emit(Rule::IcPrune, Subject::Node(7), 8, 5).unwrap();
+        let b = tr.emit_caused(Rule::ExtInsert, Subject::Node(9), 8, 8, Some(a)).unwrap();
+        assert_eq!(tr.event(a).to_string(), "[#0] IC-PRUNE n7: 8 -> 5");
+        assert_eq!(tr.event(b).to_string(), "[#1] EXT-INSERT n9: 8 -> 8 (cause #0)");
+    }
+
+    #[test]
+    fn events_for_filters_by_subject() {
+        let mut tr = TraceLog::new();
+        tr.emit(Rule::IcPrune, Subject::Node(1), 8, 5);
+        tr.emit(Rule::IcPrune, Subject::Node(2), 8, 4);
+        tr.emit(Rule::ClusterMerge, Subject::Node(1), 3, 0);
+        let on_n1: Vec<_> = tr.events_for(Subject::Node(1)).map(|e| e.rule).collect();
+        assert_eq!(on_n1, vec![Rule::IcPrune, Rule::ClusterMerge]);
+    }
+}

@@ -22,6 +22,9 @@ cargo test -q --doc --workspace
 echo "==> cargo build --examples"
 cargo build --workspace --examples
 
+echo "==> dpmc bench --compare (QoR/provenance exact, timing within 400%)"
+cargo run --release --bin dpmc -- bench --compare BENCH_pr3.json --max-regress-pct 400
+
 echo "==> cargo clippy"
 cargo clippy --workspace --all-targets -- -D warnings
 

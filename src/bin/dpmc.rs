@@ -11,7 +11,10 @@
 //!      [--optimize TARGET_NS] [--emit-verilog FILE] [--emit-dot FILE]
 //!      [--check N]
 //! dpmc lint design.dp [--deny-warnings]
+//! dpmc explain design.dp [--node N | --port P] [--json]
+//! dpmc dot design.dp [--annotate] [--out FILE]
 //! dpmc bench [--designs all|NAME,NAME,...] [--out FILE]
+//!      [--compare BASELINE.json] [--max-regress-pct N]
 //! ```
 //!
 //! `dpmc lint` runs the new-merge flow and then audits the optimized
@@ -20,12 +23,27 @@
 //! non-zero if any error-level diagnostic fires (or any warning under
 //! `--deny-warnings`).
 //!
+//! `dpmc explain` runs the new-merge flow with provenance recording
+//! enabled and prints the causal chain of RP/IC/clustering decisions
+//! behind a node's final width and cluster assignment (see
+//! [`datapath_merge::explain`]). `--node` accepts a DSL name, `nK`, or a
+//! bare index; `--port` accepts a design input/output name. With neither,
+//! every operator is explained.
+//!
+//! `dpmc dot` renders the design as Graphviz DOT; with `--annotate` it
+//! renders the *optimized* graph instead, coloring merged clusters and
+//! break nodes and labelling nodes/edges with required precision,
+//! information content and the provenance rule that last changed them.
+//!
 //! `dpmc bench` runs a set of designs (the paper figures `fig1`–`fig4`
 //! and evaluation designs `D1`–`D5` by default; `.dp` files also accepted
 //! in `--designs`) through the old-merge and new-merge flows and emits a
-//! deterministic JSON report of per-stage wall-times and QoR counters —
-//! see EXPERIMENTS.md for the schema. Without `--out` the JSON goes to
-//! stdout.
+//! deterministic JSON report of per-stage wall-times, QoR counters and
+//! provenance event counts — see EXPERIMENTS.md for the schema. Without
+//! `--out` the JSON goes to stdout. `--compare` diffs the run against a
+//! committed baseline: counters must match exactly, per-flow wall times
+//! may regress at most `--max-regress-pct` percent (default 50); any
+//! violation makes the exit code non-zero.
 
 use std::process::ExitCode;
 
@@ -41,16 +59,26 @@ struct Args {
     check: usize,
     lint: bool,
     deny_warnings: bool,
+    explain: bool,
+    node: Option<String>,
+    json: bool,
+    dot: bool,
+    annotate: bool,
     bench: bool,
     designs: Vec<String>,
     out: Option<String>,
+    compare: Option<String>,
+    max_regress_pct: f64,
 }
 
 const USAGE: &str = "usage: dpmc <design.dp> [--flow new|old|none|all] \
 [--adder ks|csel|ripple] [--reduction dadda|wallace] [--no-compress] \
 [--optimize TARGET_NS] [--emit-verilog FILE] [--emit-dot FILE] [--check N]\n\
        dpmc lint <design.dp> [--deny-warnings]\n\
-       dpmc bench [--designs all|NAME,NAME,...] [--out FILE]";
+       dpmc explain <design.dp> [--node N | --port P] [--json]\n\
+       dpmc dot <design.dp> [--annotate] [--out FILE]\n\
+       dpmc bench [--designs all|NAME,NAME,...] [--out FILE] \
+[--compare BASELINE.json] [--max-regress-pct N]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -63,10 +91,18 @@ fn parse_args() -> Result<Args, String> {
         check: 20,
         lint: false,
         deny_warnings: false,
+        explain: false,
+        node: None,
+        json: false,
+        dot: false,
+        annotate: false,
         bench: false,
         designs: Vec::new(),
         out: None,
+        compare: None,
+        max_regress_pct: 50.0,
     };
+    let mut subcommand = false;
     let mut it = std::env::args().skip(1);
     let value = |it: &mut dyn Iterator<Item = String>, flag: &str| {
         it.next().ok_or_else(|| format!("{flag} needs a value"))
@@ -113,12 +149,27 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| "bad --check value".to_string())?
             }
             "--deny-warnings" => args.deny_warnings = true,
+            "--node" | "--port" => args.node = Some(value(&mut it, &arg)?),
+            "--json" => args.json = true,
+            "--annotate" => args.annotate = true,
             "--designs" => {
                 args.designs = value(&mut it, "--designs")?.split(',').map(str::to_string).collect()
             }
             "--out" => args.out = Some(value(&mut it, "--out")?),
-            "lint" if !args.lint && !args.bench && args.file.is_empty() => args.lint = true,
-            "bench" if !args.lint && !args.bench && args.file.is_empty() => args.bench = true,
+            "--compare" => args.compare = Some(value(&mut it, "--compare")?),
+            "--max-regress-pct" => {
+                args.max_regress_pct = value(&mut it, "--max-regress-pct")?
+                    .parse()
+                    .map_err(|_| "bad --max-regress-pct value".to_string())?
+            }
+            "lint" if !subcommand && args.file.is_empty() => (args.lint, subcommand) = (true, true),
+            "explain" if !subcommand && args.file.is_empty() => {
+                (args.explain, subcommand) = (true, true)
+            }
+            "dot" if !subcommand && args.file.is_empty() => (args.dot, subcommand) = (true, true),
+            "bench" if !subcommand && args.file.is_empty() => {
+                (args.bench, subcommand) = (true, true)
+            }
             other if !args.bench && args.file.is_empty() && !other.starts_with('-') => {
                 args.file = other.to_string()
             }
@@ -136,12 +187,24 @@ fn parse_args() -> Result<Args, String> {
         if args.file.is_empty() {
             return Err("no design file given".to_string());
         }
-        if !args.designs.is_empty() || args.out.is_some() {
-            return Err("--designs/--out only apply to `dpmc bench`".to_string());
+        if !args.designs.is_empty() {
+            return Err("--designs only applies to `dpmc bench`".to_string());
+        }
+        if args.out.is_some() && !args.dot {
+            return Err("--out only applies to `dpmc bench` and `dpmc dot`".to_string());
+        }
+        if args.compare.is_some() {
+            return Err("--compare only applies to `dpmc bench`".to_string());
         }
     }
     if args.deny_warnings && !args.lint {
         return Err("--deny-warnings only applies to `dpmc lint`".to_string());
+    }
+    if (args.node.is_some() || args.json) && !args.explain {
+        return Err("--node/--port/--json only apply to `dpmc explain`".to_string());
+    }
+    if args.annotate && !args.dot {
+        return Err("--annotate only applies to `dpmc dot`".to_string());
     }
     Ok(args)
 }
@@ -156,8 +219,12 @@ fn main() -> ExitCode {
     };
     let outcome = if args.lint {
         run_lint(&args)
+    } else if args.explain {
+        run_explain(&args).map(|()| true)
+    } else if args.dot {
+        run_dot(&args).map(|()| true)
     } else if args.bench {
-        run_bench(&args).map(|()| true)
+        run_bench(&args)
     } else {
         run(&args).map(|()| true)
     };
@@ -195,6 +262,78 @@ fn run_lint(args: &Args) -> Result<bool, String> {
     println!("{}: width pipeline {}", args.file, merge_report.transform.summary());
     let denied = report.has_errors() || (args.deny_warnings && report.count(Severity::Warn) > 0);
     Ok(!denied)
+}
+
+/// `dpmc explain`: re-run the new-merge flow with provenance recording
+/// and print the causal chain behind the requested node's final width and
+/// cluster assignment (or every operator's, without `--node`/`--port`).
+fn run_explain(args: &Args) -> Result<(), String> {
+    use datapath_merge::explain::{self, run_traced};
+    let text = std::fs::read_to_string(&args.file)
+        .map_err(|e| format!("cannot read {}: {e}", args.file))?;
+    let (g, names) = datapath_merge::dsl::parse_design_named(&text).map_err(|e| e.to_string())?;
+    let ex = run_traced(&g);
+
+    let label_of = |n: NodeId| -> String {
+        names
+            .iter()
+            .find(|(_, &id)| id == n)
+            .map(|(name, _)| name.clone())
+            .or_else(|| {
+                if n.index() < g.num_nodes() {
+                    g.node(n).name().map(str::to_string)
+                } else {
+                    None
+                }
+            })
+            .unwrap_or_else(|| n.to_string())
+    };
+    let targets: Vec<NodeId> = match &args.node {
+        Some(spec) => vec![explain::resolve_node(&g, &names, spec)?],
+        None => ex.graph.node_ids().filter(|&n| ex.graph.node(n).kind().is_op()).collect(),
+    };
+
+    if args.json {
+        let nodes: Vec<Json> =
+            targets.iter().map(|&n| explain::explain_node_json(&g, &ex, n, &label_of(n))).collect();
+        let doc = Json::obj()
+            .field("design", args.file.as_str())
+            .field("pipeline", ex.report.transform.summary())
+            .field("trace_events", ex.trace.len() as i64)
+            .field("nodes", nodes);
+        println!("{}", doc.render_pretty());
+        return Ok(());
+    }
+    println!("{}: width pipeline: {}", args.file, ex.report.transform.summary());
+    println!("{}: {} provenance event(s) recorded", args.file, ex.trace.len());
+    for &n in &targets {
+        println!();
+        print!("{}", explain::explain_node(&g, &ex, n, &label_of(n)));
+    }
+    Ok(())
+}
+
+/// `dpmc dot`: render the design (or, with `--annotate`, the optimized
+/// graph with provenance annotations) as Graphviz DOT.
+fn run_dot(args: &Args) -> Result<(), String> {
+    use datapath_merge::explain::{annotations, run_traced};
+    let text = std::fs::read_to_string(&args.file)
+        .map_err(|e| format!("cannot read {}: {e}", args.file))?;
+    let g = datapath_merge::dsl::parse_design(&text).map_err(|e| e.to_string())?;
+    let dot = if args.annotate {
+        let ex = run_traced(&g);
+        ex.graph.to_dot_annotated(&annotations(&ex))
+    } else {
+        g.to_dot()
+    };
+    match &args.out {
+        Some(path) => {
+            std::fs::write(path, &dot).map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("wrote DOT to {path}");
+        }
+        None => print!("{dot}"),
+    }
+    Ok(())
 }
 
 /// The named designs `dpmc bench` knows out of the box: the paper's
@@ -238,10 +377,12 @@ fn collect_designs(specs: &[String]) -> Result<Vec<(String, Dfg)>, String> {
 }
 
 /// `dpmc bench`: run every requested design through the old-merge and
-/// new-merge flows, recording per-stage wall-times and QoR counters, and
-/// emit one deterministic JSON document (timings are the only fields that
-/// vary between runs).
-fn run_bench(args: &Args) -> Result<(), String> {
+/// new-merge flows, recording per-stage wall-times, QoR counters and
+/// provenance event counts, and emit one deterministic JSON document
+/// (timings are the only fields that vary between runs). With
+/// `--compare`, additionally diff against a committed baseline; returns
+/// `Ok(false)` when the regression gate fails.
+fn run_bench(args: &Args) -> Result<bool, String> {
     let lib = Library::synthetic_025um();
     let designs = collect_designs(&args.designs)?;
     let mut rows = Vec::new();
@@ -249,7 +390,8 @@ fn run_bench(args: &Args) -> Result<(), String> {
         let mut flows = Vec::new();
         for strategy in [MergeStrategy::Old, MergeStrategy::New] {
             let mut rec = Recorder::new();
-            let flow = run_flow_with(g, strategy, &args.config, &mut rec)
+            let mut tr = TraceLog::new();
+            let flow = run_flow_with(g, strategy, &args.config, &mut rec, &mut tr)
                 .map_err(|e| format!("{name} [{strategy}]: {e}"))?;
             let mut netlist = flow.netlist.clone();
             let sweep = rec.span("fold_sweep");
@@ -282,20 +424,32 @@ fn run_bench(args: &Args) -> Result<(), String> {
                 Json::obj()
                     .field("strategy", strategy.to_string())
                     .field("metrics", metrics.to_json())
+                    .field("trace_events", tr.len() as i64)
                     .field("spans", rec.to_json()),
             );
         }
         rows.push(Json::obj().field("design", name.as_str()).field("flows", flows));
     }
-    let doc = Json::obj().field("schema", "dpmc-bench/1").field("designs", rows).render_pretty();
+    let doc = Json::obj().field("schema", "dpmc-bench/2").field("designs", rows);
+    let rendered = doc.render_pretty();
     match &args.out {
         Some(path) => {
-            std::fs::write(path, &doc).map_err(|e| format!("cannot write {path}: {e}"))?;
+            std::fs::write(path, &rendered).map_err(|e| format!("cannot write {path}: {e}"))?;
             println!("wrote {} design(s) x 2 flows to {path}", designs.len());
         }
-        None => print!("{doc}"),
+        None if args.compare.is_none() => print!("{rendered}"),
+        None => {}
     }
-    Ok(())
+    if let Some(path) = &args.compare {
+        use datapath_merge::compare::{compare_reports, CompareConfig};
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let baseline = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        let cfg = CompareConfig { max_regress_pct: args.max_regress_pct, ..Default::default() };
+        let report = compare_reports(&baseline, &doc, &cfg);
+        print!("{path}: {}", report.render());
+        return Ok(report.passed());
+    }
+    Ok(true)
 }
 
 fn run(args: &Args) -> Result<(), String> {

@@ -1,0 +1,283 @@
+//! Bench regression gating: diff a fresh `dpmc bench` run against a
+//! committed baseline (`dpmc bench --compare BENCH.json`).
+//!
+//! The bench report splits cleanly into two kinds of fields:
+//!
+//! * **QoR and provenance counters** (`metrics`, `trace_events`) are pure
+//!   functions of design and config — any difference from the baseline is
+//!   a behavior change and fails the gate exactly;
+//! * **wall times** (`spans`) are noisy — only the per-flow total is
+//!   checked, against a relative threshold (`--max-regress-pct`) plus a
+//!   small absolute slack floor so microsecond jitter on tiny designs
+//!   cannot fail CI.
+
+use dp_metrics::Json;
+
+/// Thresholds for the timing half of the comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct CompareConfig {
+    /// Maximum allowed relative slowdown of a flow's total wall time, in
+    /// percent (`50.0` = fresh may take up to 1.5x the baseline).
+    pub max_regress_pct: f64,
+    /// Absolute slack added on top of the relative threshold, in
+    /// microseconds. Keeps sub-millisecond flows from tripping the gate
+    /// on scheduler noise.
+    pub slack_us: f64,
+}
+
+impl Default for CompareConfig {
+    fn default() -> Self {
+        CompareConfig { max_regress_pct: 50.0, slack_us: 2000.0 }
+    }
+}
+
+/// Outcome of one baseline comparison.
+#[derive(Debug, Default)]
+pub struct CompareReport {
+    /// Exact-match failures: QoR counters or trace event counts that
+    /// drifted from the baseline, and structural problems (missing
+    /// designs/flows, schema mismatch).
+    pub mismatches: Vec<String>,
+    /// Wall-time regressions beyond the configured threshold.
+    pub regressions: Vec<String>,
+    /// Informational notes (e.g. designs present only in the fresh run).
+    pub notes: Vec<String>,
+    /// Design/flow pairs whose counters matched the baseline exactly.
+    pub flows_checked: usize,
+}
+
+impl CompareReport {
+    /// Whether the gate passes (no mismatches, no timing regressions).
+    pub fn passed(&self) -> bool {
+        self.mismatches.is_empty() && self.regressions.is_empty()
+    }
+
+    /// Renders the report as the `dpmc bench --compare` console output.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for m in &self.mismatches {
+            s.push_str(&format!("MISMATCH  {m}\n"));
+        }
+        for r in &self.regressions {
+            s.push_str(&format!("REGRESSED {r}\n"));
+        }
+        for n in &self.notes {
+            s.push_str(&format!("note      {n}\n"));
+        }
+        s.push_str(&format!(
+            "compared {} flow(s): {}\n",
+            self.flows_checked,
+            if self.passed() { "OK" } else { "FAIL" }
+        ));
+        s
+    }
+}
+
+/// Sum of the depth-0 span wall times, in microseconds: the flow's total
+/// (the flow root plus the post-flow fold/STA/verify stages that `dpmc
+/// bench` records at top level).
+fn total_us(spans: &Json) -> f64 {
+    spans
+        .as_array()
+        .unwrap_or(&[])
+        .iter()
+        .filter(|r| r.get("depth").and_then(Json::as_i64) == Some(0))
+        .filter_map(|r| r.get("us").and_then(Json::as_f64))
+        .sum()
+}
+
+fn flow_name(design: &Json, flow: &Json) -> String {
+    format!(
+        "{} [{}]",
+        design.get("design").and_then(Json::as_str).unwrap_or("?"),
+        flow.get("strategy").and_then(Json::as_str).unwrap_or("?")
+    )
+}
+
+/// Field-by-field exact comparison of two flat JSON objects (the
+/// `metrics` blocks). Values compare canonically: both sides are
+/// re-rendered, so an `Int`-vs-`Float` encoding of the same number still
+/// differs — exactly the discipline the deterministic serializer promises.
+fn diff_object(name: &str, what: &str, base: &Json, fresh: &Json, out: &mut Vec<String>) {
+    let (Json::Object(bf), Json::Object(ff)) = (base, fresh) else {
+        if base != fresh {
+            out.push(format!("{name}: {what} is not an object in one report"));
+        }
+        return;
+    };
+    for (key, bv) in bf {
+        match ff.iter().find(|(k, _)| k == key).map(|(_, v)| v) {
+            None => out.push(format!("{name}: {what}.{key} missing from fresh run")),
+            Some(fv) if fv.render() != bv.render() => {
+                out.push(format!("{name}: {what}.{key} {} -> {}", bv.render(), fv.render()))
+            }
+            Some(_) => {}
+        }
+    }
+    for (key, _) in ff {
+        if !bf.iter().any(|(k, _)| k == key) {
+            out.push(format!("{name}: {what}.{key} not in baseline"));
+        }
+    }
+}
+
+fn compare_flow(
+    name: &str,
+    base: &Json,
+    fresh: &Json,
+    cfg: &CompareConfig,
+    rep: &mut CompareReport,
+) {
+    diff_object(
+        name,
+        "metrics",
+        base.get("metrics").unwrap_or(&Json::Null),
+        fresh.get("metrics").unwrap_or(&Json::Null),
+        &mut rep.mismatches,
+    );
+    let base_ev = base.get("trace_events").and_then(Json::as_i64);
+    let fresh_ev = fresh.get("trace_events").and_then(Json::as_i64);
+    if base_ev != fresh_ev {
+        rep.mismatches.push(format!(
+            "{name}: trace_events {} -> {}",
+            base_ev.map_or("absent".to_string(), |v| v.to_string()),
+            fresh_ev.map_or("absent".to_string(), |v| v.to_string()),
+        ));
+    }
+    let base_us = total_us(base.get("spans").unwrap_or(&Json::Null));
+    let fresh_us = total_us(fresh.get("spans").unwrap_or(&Json::Null));
+    let limit = base_us * (1.0 + cfg.max_regress_pct / 100.0) + cfg.slack_us;
+    if fresh_us > limit {
+        rep.regressions.push(format!(
+            "{name}: total {fresh_us:.0} us > limit {limit:.0} us \
+             (baseline {base_us:.0} us + {}% + {:.0} us slack)",
+            cfg.max_regress_pct, cfg.slack_us
+        ));
+    }
+    rep.flows_checked += 1;
+}
+
+/// Compares a fresh bench document against a baseline.
+///
+/// Every design/flow in the *baseline* must appear in the fresh run with
+/// exactly matching counters; fresh-only designs are reported as notes so
+/// adding a design does not invalidate an old baseline.
+pub fn compare_reports(baseline: &Json, fresh: &Json, cfg: &CompareConfig) -> CompareReport {
+    let mut rep = CompareReport::default();
+    let (bs, fs) = (baseline.get("schema"), fresh.get("schema"));
+    if let (Some(b), Some(f)) = (bs, fs) {
+        if b != f {
+            rep.notes.push(format!(
+                "schema {} vs {} (counters compared by key)",
+                b.render(),
+                f.render()
+            ));
+        }
+    }
+    let empty = Vec::new();
+    let base_designs = baseline.get("designs").and_then(Json::as_array).unwrap_or(&empty);
+    let fresh_designs = fresh.get("designs").and_then(Json::as_array).unwrap_or(&empty);
+    let find = |set: &'_ [Json], name: Option<&str>| -> Option<usize> {
+        set.iter().position(|d| d.get("design").and_then(Json::as_str) == name)
+    };
+    for bd in base_designs {
+        let dname = bd.get("design").and_then(Json::as_str);
+        let Some(fi) = find(fresh_designs, dname) else {
+            rep.mismatches.push(format!("design {} missing from fresh run", dname.unwrap_or("?")));
+            continue;
+        };
+        let fd = &fresh_designs[fi];
+        let bflows = bd.get("flows").and_then(Json::as_array).unwrap_or(&empty);
+        let fflows = fd.get("flows").and_then(Json::as_array).unwrap_or(&empty);
+        for bf in bflows {
+            let strat = bf.get("strategy").and_then(Json::as_str);
+            match fflows.iter().find(|f| f.get("strategy").and_then(Json::as_str) == strat) {
+                Some(ff) => compare_flow(&flow_name(bd, bf), bf, ff, cfg, &mut rep),
+                None => rep
+                    .mismatches
+                    .push(format!("flow {} missing from fresh run", flow_name(bd, bf))),
+            }
+        }
+    }
+    for fd in fresh_designs {
+        let dname = fd.get("design").and_then(Json::as_str);
+        if find(base_designs, dname).is_none() {
+            rep.notes.push(format!("design {} not in baseline (skipped)", dname.unwrap_or("?")));
+        }
+    }
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow(strategy: &str, gates: i64, events: i64, us: i64) -> Json {
+        Json::obj()
+            .field("strategy", strategy)
+            .field("metrics", Json::obj().field("gates", gates).field("delay_ns", 1.5))
+            .field("trace_events", events)
+            .field(
+                "spans",
+                Json::Array(vec![Json::obj()
+                    .field("name", "flow")
+                    .field("depth", 0i64)
+                    .field("us", us)]),
+            )
+    }
+
+    fn doc(gates: i64, events: i64, us: i64) -> Json {
+        Json::obj().field("schema", "dpmc-bench/2").field(
+            "designs",
+            Json::Array(vec![Json::obj()
+                .field("design", "fig3")
+                .field("flows", Json::Array(vec![flow("new-merge", gates, events, us)]))]),
+        )
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let rep = compare_reports(&doc(100, 9, 500), &doc(100, 9, 500), &CompareConfig::default());
+        assert!(rep.passed(), "{}", rep.render());
+        assert_eq!(rep.flows_checked, 1);
+    }
+
+    #[test]
+    fn qor_drift_fails_exactly() {
+        let rep = compare_reports(&doc(100, 9, 500), &doc(101, 9, 500), &CompareConfig::default());
+        assert!(!rep.passed());
+        assert!(rep.mismatches[0].contains("metrics.gates 100 -> 101"), "{:?}", rep.mismatches);
+    }
+
+    #[test]
+    fn trace_event_drift_fails() {
+        let rep = compare_reports(&doc(100, 9, 500), &doc(100, 12, 500), &CompareConfig::default());
+        assert!(!rep.passed());
+        assert!(rep.mismatches[0].contains("trace_events 9 -> 12"), "{:?}", rep.mismatches);
+    }
+
+    #[test]
+    fn timing_noise_within_slack_passes_but_blowup_fails() {
+        let cfg = CompareConfig { max_regress_pct: 50.0, slack_us: 2000.0 };
+        // 500 us -> 2600 us is inside 500*1.5 + 2000.
+        assert!(compare_reports(&doc(1, 1, 500), &doc(1, 1, 2600), &cfg).passed());
+        let rep = compare_reports(&doc(1, 1, 500), &doc(1, 1, 5000), &cfg);
+        assert!(!rep.passed());
+        assert!(rep.regressions[0].contains("5000 us"), "{:?}", rep.regressions);
+    }
+
+    #[test]
+    fn missing_design_fails_and_extra_design_notes() {
+        let base = doc(100, 9, 500);
+        let fresh = Json::obj().field("schema", "dpmc-bench/2").field(
+            "designs",
+            Json::Array(vec![Json::obj()
+                .field("design", "other")
+                .field("flows", Json::Array(vec![flow("new-merge", 1, 1, 1)]))]),
+        );
+        let rep = compare_reports(&base, &fresh, &CompareConfig::default());
+        assert!(!rep.passed());
+        assert!(rep.mismatches.iter().any(|m| m.contains("fig3 missing")), "{:?}", rep.mismatches);
+        assert!(rep.notes.iter().any(|n| n.contains("other")), "{:?}", rep.notes);
+    }
+}

@@ -66,6 +66,19 @@ impl Error for DslError {}
 /// assert_eq!(g.op_nodes().count(), 1);
 /// ```
 pub fn parse_design(text: &str) -> Result<Dfg, DslError> {
+    parse_design_named(text).map(|(g, _)| g)
+}
+
+/// [`parse_design`], also returning the mapping from DSL names to node
+/// ids (inputs, constants and operators; outputs are addressable through
+/// [`dp_dfg::Node::name`]). `dpmc explain --node` uses this so nodes can
+/// be referred to by the names the design file declares.
+///
+/// # Errors
+///
+/// Returns the first [`DslError`] encountered; the resulting graph is also
+/// validated structurally.
+pub fn parse_design_named(text: &str) -> Result<(Dfg, HashMap<String, NodeId>), DslError> {
     let mut g = Dfg::new();
     let mut names: HashMap<String, NodeId> = HashMap::new();
     for (idx, raw) in text.lines().enumerate() {
@@ -131,7 +144,7 @@ pub fn parse_design(text: &str) -> Result<Dfg, DslError> {
         line: text.lines().count(),
         message: format!("invalid design: {e}"),
     })?;
-    Ok(g)
+    Ok((g, names))
 }
 
 struct Operand {

@@ -32,6 +32,7 @@
 //! | [`testcases`] | `dp-testcases` | the D1–D5 designs, paper figures, workload families |
 //! | [`verify`] | `dp-verify` | pass-based semantic verifier and diagnostics (`dpmc lint`) |
 //! | [`metrics`] | `dp-metrics` | timing spans, QoR counters, deterministic JSON (`dpmc bench`) |
+//! | [`trace`] | `dp-trace` | decision-provenance event log (`dpmc explain`, `dpmc dot --annotate`) |
 //!
 //! # Quickstart
 //!
@@ -61,7 +62,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compare;
 pub mod dsl;
+pub mod explain;
 
 pub use dp_analysis as analysis;
 pub use dp_bitvec as bitvec;
@@ -72,12 +75,13 @@ pub use dp_netlist as netlist;
 pub use dp_opt as opt;
 pub use dp_synth as synth;
 pub use dp_testcases as testcases;
+pub use dp_trace as trace;
 pub use dp_verify as verify;
 
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use dp_analysis::{
-        huffman_bound, info_content, optimize_widths, required_precision, Ic, Term,
+        huffman_bound, info_content, optimize_widths, required_precision, Ic, Pass, Term,
     };
     pub use dp_bitvec::{BitVec, Signedness};
     pub use dp_dfg::{Dfg, EdgeId, NodeId, OpKind};
@@ -91,5 +95,6 @@ pub mod prelude {
     pub use dp_synth::{
         run_flow, run_flow_with, synthesize, AdderKind, MergeStrategy, ReductionKind, SynthConfig,
     };
+    pub use dp_trace::{EventId, Rule, Subject, TraceEvent, TraceLog};
     pub use dp_verify::{Code, Context, Diagnostic, Severity, Verifier, VerifyReport};
 }

@@ -82,7 +82,7 @@ fn unknown_flag_shows_usage() {
 
 #[test]
 fn lint_is_clean_on_all_bundled_designs() {
-    for design in ["designs/fig3.dp", "designs/redundant.dp", "designs/sop.dp"] {
+    for design in ["designs/fig2.dp", "designs/fig3.dp", "designs/redundant.dp", "designs/sop.dp"] {
         let out = dpmc().args(["lint", design, "--deny-warnings"]).output().expect("dpmc runs");
         assert!(
             out.status.success(),
@@ -125,9 +125,10 @@ fn bench_json_is_deterministic_modulo_timing() {
         String::from_utf8(out.stdout).expect("utf8 json")
     };
     let (a, b) = (run(), run());
-    assert!(a.contains("\"schema\": \"dpmc-bench/1\""), "{a}");
+    assert!(a.contains("\"schema\": \"dpmc-bench/2\""), "{a}");
     assert!(a.contains("\"strategy\": \"old-merge\""));
     assert!(a.contains("\"strategy\": \"new-merge\""));
+    assert!(a.contains("\"trace_events\":"), "provenance event counts present");
     assert!(a.contains("\"us\":"), "per-stage wall-times present");
     assert_eq!(strip(&a), strip(&b), "only timing fields may differ between runs");
 }
@@ -151,6 +152,142 @@ fn bench_rejects_unknown_design() {
     let out = dpmc().args(["bench", "--designs", "nonesuch"]).output().expect("dpmc runs");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown design"));
+}
+
+/// The acceptance criterion for `dpmc explain`: on Figure 3, the causal
+/// chain for the combining adder `n3` names the IC prunes that shrank it
+/// (8 -> 5, fed by the 8 -> 4 edge prunes), states explicitly that the RP
+/// clamp did *not* fire, and reports the cluster assignment.
+#[test]
+fn explain_fig3_sum_node_prints_ic_causal_chain() {
+    let out =
+        dpmc().args(["explain", "designs/fig3.dp", "--node", "n3"]).output().expect("dpmc runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("final width 5 (was 8)"), "{text}");
+    assert!(text.contains("IC-PRUNE"), "{text}");
+    assert!(text.contains("8 -> 5"), "{text}");
+    assert!(text.contains("IC-PRUNE-EDGE"), "{text}");
+    assert!(text.contains("8 -> 4"), "{text}");
+    assert!(text.contains("RP-CLAMP not triggered"), "{text}");
+    assert!(text.contains("cluster #0"), "{text}");
+    assert!(text.contains("converged by IC"), "{text}");
+}
+
+/// Figure 2 is the required-precision design: the 5-bit output clamps the
+/// 7- and 9-bit adders, so the chain names RP-CLAMP with the paper's
+/// widths.
+#[test]
+fn explain_fig2_names_the_rp_clamps() {
+    let out =
+        dpmc().args(["explain", "designs/fig2.dp", "--node", "n1"]).output().expect("dpmc runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("RP-CLAMP applies"), "{text}");
+    assert!(text.contains("7 -> 5"), "{text}");
+    assert!(text.contains("converged by RP"), "{text}");
+}
+
+#[test]
+fn explain_json_is_machine_readable() {
+    let out = dpmc()
+        .args(["explain", "designs/fig3.dp", "--node", "n3", "--json"])
+        .output()
+        .expect("dpmc runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"rule\": \"IC-PRUNE\""), "{text}");
+    assert!(text.contains("\"trace_events\":"), "{text}");
+    assert!(text.contains("\"cause\":"), "{text}");
+}
+
+/// `--port` resolves design input/output names; an output's provenance
+/// lives on its edges (width prunes upstream), not on the node itself.
+#[test]
+fn explain_resolves_ports_by_name() {
+    let out =
+        dpmc().args(["explain", "designs/fig3.dp", "--port", "R"]).output().expect("dpmc runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("`R` (output)"), "{text}");
+}
+
+#[test]
+fn explain_rejects_unknown_node() {
+    let out =
+        dpmc().args(["explain", "designs/fig3.dp", "--node", "bogus"]).output().expect("dpmc runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown node"));
+}
+
+#[test]
+fn dot_annotate_colors_breaks_and_labels_rules() {
+    let out = dpmc().args(["dot", "designs/fig3.dp", "--annotate"]).output().expect("dpmc runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("digraph"), "{text}");
+    assert!(text.contains("IC-PRUNE"), "{text}");
+    assert!(text.contains("style=filled"), "{text}");
+    assert!(text.contains("r="), "{text}");
+
+    // Without --annotate: the plain input graph, no analysis labels.
+    let out = dpmc().args(["dot", "designs/fig3.dp"]).output().expect("dpmc runs");
+    assert!(out.status.success());
+    let plain = String::from_utf8_lossy(&out.stdout);
+    assert!(plain.contains("digraph"));
+    assert!(!plain.contains("IC-PRUNE"), "{plain}");
+}
+
+/// The regression gate: a self-comparison passes; perturbing a QoR
+/// counter in the baseline makes the exit code non-zero.
+#[test]
+fn bench_compare_gates_on_qor_counters() {
+    let dir = std::env::temp_dir();
+    let base = dir.join("dpmc_cmp_base.json");
+    let out = dpmc()
+        .args(["bench", "--designs", "fig3", "--out", base.to_str().expect("utf8")])
+        .output()
+        .expect("dpmc runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let ok = dpmc()
+        .args([
+            "bench",
+            "--designs",
+            "fig3",
+            "--compare",
+            base.to_str().expect("utf8"),
+            "--max-regress-pct",
+            "10000",
+        ])
+        .output()
+        .expect("dpmc runs");
+    assert!(ok.status.success(), "{}", String::from_utf8_lossy(&ok.stdout));
+    assert!(String::from_utf8_lossy(&ok.stdout).contains("OK"));
+
+    let json = std::fs::read_to_string(&base).expect("baseline written");
+    assert!(json.contains("\"cpa_count\": 1"), "{json}");
+    let perturbed = dir.join("dpmc_cmp_perturbed.json");
+    std::fs::write(&perturbed, json.replace("\"cpa_count\": 1", "\"cpa_count\": 2"))
+        .expect("write perturbed");
+    let bad = dpmc()
+        .args([
+            "bench",
+            "--designs",
+            "fig3",
+            "--compare",
+            perturbed.to_str().expect("utf8"),
+            "--max-regress-pct",
+            "10000",
+        ])
+        .output()
+        .expect("dpmc runs");
+    assert!(!bad.status.success(), "perturbed baseline must fail the gate");
+    let text = String::from_utf8_lossy(&bad.stdout);
+    assert!(text.contains("MISMATCH"), "{text}");
+    assert!(text.contains("cpa_count 2 -> 1"), "{text}");
+    let _ = std::fs::remove_file(base);
+    let _ = std::fs::remove_file(perturbed);
 }
 
 #[test]

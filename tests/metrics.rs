@@ -12,8 +12,10 @@ use datapath_merge::testcases::figures;
 fn fig3_metrics_match_hand_computed_values() {
     let fig = figures::fig3();
     let mut rec = Recorder::new();
+    let mut tr = TraceLog::disabled();
     let flow =
-        run_flow_with(&fig.g, MergeStrategy::New, &SynthConfig::default(), &mut rec).unwrap();
+        run_flow_with(&fig.g, MergeStrategy::New, &SynthConfig::default(), &mut rec, &mut tr)
+            .unwrap();
     let m = &flow.metrics;
     assert_eq!(m.strategy, "new-merge");
     assert_eq!(m.node_width_before, 33);
@@ -42,7 +44,8 @@ fn fig3_metrics_match_hand_computed_values() {
 fn fig3_spans_nest_by_stage() {
     let fig = figures::fig3();
     let mut rec = Recorder::new();
-    run_flow_with(&fig.g, MergeStrategy::New, &SynthConfig::default(), &mut rec).unwrap();
+    let mut tr = TraceLog::disabled();
+    run_flow_with(&fig.g, MergeStrategy::New, &SynthConfig::default(), &mut rec, &mut tr).unwrap();
     let names: Vec<(&str, usize)> = rec.records().iter().map(|r| (r.name(), r.depth())).collect();
     assert_eq!(names[0], ("flow new-merge", 0));
     assert!(names.contains(&("clustering", 1)), "{names:?}");
