@@ -23,15 +23,15 @@ pub type IntrinsicOverrides = HashMap<NodeId, Ic>;
 pub struct InfoAnalysis {
     /// Bound on the result signal at each node's output port, relative to
     /// the node width.
-    node_out: Vec<Ic>,
+    pub(crate) node_out: Vec<Ic>,
     /// For operator nodes: bound on the *intrinsic* (pre-truncation)
     /// result, Lemma 5.4. `None` for non-operator nodes.
-    intrinsic: Vec<Option<Ic>>,
+    pub(crate) intrinsic: Vec<Option<Ic>>,
     /// Bound on the signal carried by each edge, relative to `w(e)`.
-    edge_signal: Vec<Ic>,
+    pub(crate) edge_signal: Vec<Ic>,
     /// Bound on the operand entering each edge's destination port,
     /// relative to the destination node width.
-    operand: Vec<Ic>,
+    pub(crate) operand: Vec<Ic>,
 }
 
 impl InfoAnalysis {
@@ -162,30 +162,35 @@ pub(crate) fn intrinsic_ic(op: OpKind, operands: &[Ic]) -> Ic {
 /// terms, the value-misread check) must all read the operands with the
 /// *same* signedness the intrinsic computation assumed, or the cluster's
 /// value story falls apart.
-pub(crate) fn intrinsic_ic_best(op: OpKind, operands: &[Ic], node_width: usize) -> (Ic, Vec<Ic>) {
-    let choices = |ic: Ic| -> Vec<Ic> {
+pub(crate) fn intrinsic_ic_best(op: OpKind, operands: &[Ic], node_width: usize) -> (Ic, [Ic; 2]) {
+    // Each operand admits one or two readings; stack arrays keep this
+    // allocation-free on the sweep's hot path.
+    let choices = |ic: Ic| -> ([Ic; 2], usize) {
         if ic.is_trivial_at(node_width) && ic.i > 0 {
-            vec![Ic::new(ic.i, Signedness::Unsigned), Ic::new(ic.i, Signedness::Signed)]
+            ([Ic::new(ic.i, Signedness::Unsigned), Ic::new(ic.i, Signedness::Signed)], 2)
         } else {
-            vec![ic]
+            ([ic, ic], 1)
         }
     };
-    let mut best: Option<(Ic, Vec<Ic>)> = None;
-    let consider = |cand: Ic, interp: Vec<Ic>, best: &mut Option<(Ic, Vec<Ic>)>| {
+    let mut best: Option<(Ic, [Ic; 2])> = None;
+    let consider = |cand: Ic, interp: [Ic; 2], best: &mut Option<(Ic, [Ic; 2])>| {
         if best.as_ref().is_none_or(|(b, _)| cand.i < b.i) {
             *best = Some((cand, interp));
         }
     };
     match operands.len() {
         1 => {
-            for a in choices(operands[0]) {
-                consider(intrinsic_ic(op, &[a]), vec![a], &mut best);
+            let (cs, n) = choices(operands[0]);
+            for &a in &cs[..n] {
+                consider(intrinsic_ic(op, &[a]), [a, a], &mut best);
             }
         }
         2 => {
-            for a in choices(operands[0]) {
-                for b in choices(operands[1]) {
-                    consider(intrinsic_ic(op, &[a, b]), vec![a, b], &mut best);
+            let (cas, na) = choices(operands[0]);
+            let (cbs, nb) = choices(operands[1]);
+            for &a in &cas[..na] {
+                for &b in &cbs[..nb] {
+                    consider(intrinsic_ic(op, &[a, b]), [a, b], &mut best);
                 }
             }
         }
@@ -211,79 +216,99 @@ pub fn info_content(g: &Dfg) -> InfoAnalysis {
 /// analysis.
 pub fn info_content_with(g: &Dfg, overrides: &IntrinsicOverrides) -> InfoAnalysis {
     let order = g.topo_order().expect("information content needs an acyclic graph");
-    let mut node_out = vec![Ic::trivial(0); g.num_nodes()];
-    let mut intrinsic = vec![None; g.num_nodes()];
-    let mut edge_signal = vec![Ic::trivial(0); g.num_edges()];
-    let mut operand = vec![Ic::trivial(0); g.num_edges()];
-
+    let mut ic = InfoAnalysis {
+        node_out: vec![Ic::trivial(0); g.num_nodes()],
+        intrinsic: vec![None; g.num_nodes()],
+        edge_signal: vec![Ic::trivial(0); g.num_edges()],
+        operand: vec![Ic::trivial(0); g.num_edges()],
+    };
     for n in order {
-        let node = g.node(n);
-        let w = node.width();
-        // First settle the bounds on this node's incoming edges/operands.
-        // The port-side adaptation uses the edge discipline, except for
-        // extension nodes, which adapt with their own (Definition 5.5).
-        let port_t = match node.kind() {
-            NodeKind::Extension(t) => Some(*t),
-            _ => None,
-        };
-        for &e in node.in_edges() {
-            let edge = g.edge(e);
-            let src = edge.src();
-            let src_w = g.node(src).width();
-            let sig = propagate(node_out[src.index()], src_w, edge.width(), edge.signedness());
-            edge_signal[e.index()] = sig;
-            operand[e.index()] =
-                propagate(sig, edge.width(), w, port_t.unwrap_or(edge.signedness()));
-        }
-        let out = match node.kind() {
-            NodeKind::Input => Ic::trivial(w),
-            NodeKind::Const(v) => {
-                let iu = v.min_unsigned_width();
-                let is = v.min_signed_width();
-                if iu <= is {
-                    Ic::new(iu, Signedness::Unsigned)
-                } else {
-                    Ic::new(is, Signedness::Signed)
-                }
-            }
-            NodeKind::Output => {
-                let e = node.in_edges()[0];
-                operand[e.index()]
-            }
-            NodeKind::Extension(_) => {
-                // Definition 5.5 semantics = a resize of the *edge* signal
-                // with the node's own discipline (Observation 6.1) — which
-                // is exactly how the operand bound above was computed.
-                let e = node.in_edges()[0];
-                operand[e.index()]
-            }
-            NodeKind::Op(op) => {
-                let edges: Vec<_> = node.in_edges().to_vec();
-                let ops: Vec<Ic> = edges.iter().map(|&e| operand[e.index()]).collect();
-                let (mut ic_int, chosen) = intrinsic_ic_best(*op, &ops, w);
-                // Commit the chosen interpretations (see intrinsic_ic_best).
-                for (k, &e) in edges.iter().enumerate() {
-                    operand[e.index()] = chosen[k];
-                }
-                if let Some(&refined) = overrides.get(&n) {
-                    if refined.i < ic_int.i {
-                        ic_int = refined;
-                    }
-                }
-                intrinsic[n.index()] = Some(ic_int);
-                // Output port: the smaller of the intrinsic bound and the
-                // node width; truncation below the intrinsic width loses
-                // the claim entirely.
-                if ic_int.i <= w {
-                    ic_int
-                } else {
-                    Ic::trivial(w)
-                }
-            }
-        };
-        node_out[n.index()] = out;
+        settle_node(g, n, &mut ic, overrides);
     }
-    InfoAnalysis { node_out, intrinsic, edge_signal, operand }
+    ic
+}
+
+/// Recomputes the bounds *local to one node* — its in-edge signal and
+/// operand bounds, its intrinsic bound, and its output bound — assuming
+/// every predecessor's output bound is already settled.
+///
+/// This is the loop body of [`info_content_with`]; the incremental worklist
+/// engine calls the same function on dirty nodes so both paths compute the
+/// identical analysis.
+pub(crate) fn settle_node(
+    g: &Dfg,
+    n: NodeId,
+    ic: &mut InfoAnalysis,
+    overrides: &IntrinsicOverrides,
+) {
+    let node = g.node(n);
+    let w = node.width();
+    // First settle the bounds on this node's incoming edges/operands.
+    // The port-side adaptation uses the edge discipline, except for
+    // extension nodes, which adapt with their own (Definition 5.5).
+    let port_t = match node.kind() {
+        NodeKind::Extension(t) => Some(*t),
+        _ => None,
+    };
+    for &e in node.in_edges() {
+        let edge = g.edge(e);
+        let src = edge.src();
+        let src_w = g.node(src).width();
+        let sig = propagate(ic.node_out[src.index()], src_w, edge.width(), edge.signedness());
+        ic.edge_signal[e.index()] = sig;
+        ic.operand[e.index()] =
+            propagate(sig, edge.width(), w, port_t.unwrap_or(edge.signedness()));
+    }
+    let out = match node.kind() {
+        NodeKind::Input => Ic::trivial(w),
+        NodeKind::Const(v) => {
+            let iu = v.min_unsigned_width();
+            let is = v.min_signed_width();
+            if iu <= is {
+                Ic::new(iu, Signedness::Unsigned)
+            } else {
+                Ic::new(is, Signedness::Signed)
+            }
+        }
+        NodeKind::Output => {
+            let e = node.in_edges()[0];
+            ic.operand[e.index()]
+        }
+        NodeKind::Extension(_) => {
+            // Definition 5.5 semantics = a resize of the *edge* signal
+            // with the node's own discipline (Observation 6.1) — which
+            // is exactly how the operand bound above was computed.
+            let e = node.in_edges()[0];
+            ic.operand[e.index()]
+        }
+        NodeKind::Op(op) => {
+            let ins = node.in_edges();
+            let mut ops = [Ic::trivial(0); 2];
+            for (k, &e) in ins.iter().enumerate() {
+                ops[k] = ic.operand[e.index()];
+            }
+            let (mut ic_int, chosen) = intrinsic_ic_best(*op, &ops[..ins.len()], w);
+            // Commit the chosen interpretations (see intrinsic_ic_best).
+            for (k, &e) in ins.iter().enumerate() {
+                ic.operand[e.index()] = chosen[k];
+            }
+            if let Some(&refined) = overrides.get(&n) {
+                if refined.i < ic_int.i {
+                    ic_int = refined;
+                }
+            }
+            ic.intrinsic[n.index()] = Some(ic_int);
+            // Output port: the smaller of the intrinsic bound and the
+            // node width; truncation below the intrinsic width loses
+            // the claim entirely.
+            if ic_int.i <= w {
+                ic_int
+            } else {
+                Ic::trivial(w)
+            }
+        }
+    };
+    ic.node_out[n.index()] = out;
 }
 
 #[cfg(test)]

@@ -57,11 +57,15 @@ mod info;
 mod pipeline;
 mod precision;
 mod prune;
+mod worklist;
 
 pub use huffman::{huffman_bound, naive_skewed_bound, Term};
 pub use ic::Ic;
 pub use info::{info_content, info_content_with, InfoAnalysis, IntrinsicOverrides};
-pub use pipeline::{optimize_widths, optimize_widths_with, Pass, RoundStats, TransformReport};
+pub use pipeline::{
+    optimize_widths, optimize_widths_full, optimize_widths_full_with, optimize_widths_with, Pass,
+    RoundStats, TransformReport,
+};
 pub use precision::{required_precision, rp_transform, rp_transform_with, PrecisionAnalysis};
 pub use prune::{
     prune_edge_widths, prune_edge_widths_with, prune_node_widths, prune_node_widths_with,

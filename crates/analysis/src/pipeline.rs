@@ -9,6 +9,7 @@ use dp_trace::TraceLog;
 
 use crate::precision::rp_transform_with;
 use crate::prune::{prune_edge_widths_with, prune_node_widths_with};
+use crate::worklist::Engine;
 
 /// Which analysis family a width change belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,6 +53,16 @@ pub struct RoundStats {
     /// extension nodes it inserts carry more interface bits than pruning
     /// removed.)
     pub width_delta_bits: i64,
+    /// Worklist insertions this round (incremental pipeline only; 0 for
+    /// the full-sweep reference).
+    pub worklist_pushes: usize,
+    /// Node recomputations performed by the three analysis updates this
+    /// round. The full sweep always recomputes `3 × num_nodes`.
+    pub ports_visited: usize,
+    /// Node recomputations the incremental pipeline *avoided* versus a
+    /// full sweep this round: `3 × num_nodes - ports_visited`. Positive
+    /// after round 1 whenever part of the graph went quiescent.
+    pub ports_skipped: usize,
     /// Wall time of the round.
     pub elapsed: Duration,
 }
@@ -99,6 +110,32 @@ impl TransformReport {
     /// Total wall time across all rounds.
     pub fn elapsed(&self) -> Duration {
         self.history.iter().map(|r| r.elapsed).sum()
+    }
+
+    /// Total worklist insertions across all rounds.
+    pub fn worklist_pushes(&self) -> usize {
+        self.history.iter().map(|r| r.worklist_pushes).sum()
+    }
+
+    /// Total analysis node recomputations across all rounds.
+    pub fn ports_visited(&self) -> usize {
+        self.history.iter().map(|r| r.ports_visited).sum()
+    }
+
+    /// Total analysis node recomputations avoided versus full sweeps.
+    pub fn ports_skipped(&self) -> usize {
+        self.history.iter().map(|r| r.ports_skipped).sum()
+    }
+
+    /// Fraction of full-sweep analysis work the incremental pipeline
+    /// skipped: `skipped / (visited + skipped)`, or 0 when nothing ran.
+    pub fn sweep_skip_ratio(&self) -> f64 {
+        let total = self.ports_visited() + self.ports_skipped();
+        if total == 0 {
+            0.0
+        } else {
+            self.ports_skipped() as f64 / total as f64
+        }
     }
 
     /// The pass (RP vs IC) that made the final width change before the
@@ -157,6 +194,14 @@ pub fn optimize_widths(g: &mut Dfg) -> TransformReport {
 /// change the passes make is also recorded in `tr` with its causal parent
 /// (see [`dp_trace`]).
 ///
+/// This is the **incremental** pipeline: round 1 runs full sweeps, and
+/// from round 2 on only ports whose analysis inputs changed are revisited
+/// (see the `worklist` module docs). The graph mutations, trace
+/// events, and per-round change counters are identical to
+/// [`optimize_widths_full_with`] — enforced by the differential property
+/// tests in `tests/incremental.rs` — while [`RoundStats::ports_skipped`]
+/// records the analysis work avoided.
+///
 /// # Panics
 ///
 /// Panics if the graph is cyclic or structurally invalid.
@@ -165,10 +210,90 @@ pub fn optimize_widths_with(g: &mut Dfg, rec: &mut Recorder, tr: &mut TraceLog) 
     let mut report = TransformReport::default();
     #[cfg(feature = "verify")]
     let mut watch = verify::RoundWatch::new(g);
+    let mut eng = Engine::new(g);
     loop {
         let round = rec.span(format!("round {}", report.rounds + 1));
         let started = Instant::now();
         let bits_before = total_bits(g);
+        eng.begin_round(g);
+        let nodes_at_start = g.num_nodes();
+        let rp_span = rec.span("rp_sweep");
+        let (n_rp, e_rp) = eng.rp_round(g, tr);
+        rec.finish(rp_span);
+        let ic_edge_span = rec.span("ic_edge_sweep");
+        let e_ic = eng.ic_edge_round(g, tr);
+        rec.finish(ic_edge_span);
+        let ic_node_span = rec.span("ic_node_prune");
+        let (n_ic, ext) = eng.ic_node_round(g, tr);
+        rec.finish(ic_node_span);
+        let (pushes, visits) = eng.take_work();
+        report.node_width_changes += n_rp + n_ic;
+        report.edge_width_changes += e_rp + e_ic;
+        report.extensions_inserted += ext;
+        report.rounds += 1;
+        report.history.push(RoundStats {
+            node_width_changes: n_rp + n_ic,
+            edge_width_changes: e_rp + e_ic,
+            extensions_inserted: ext,
+            rp_node_changes: n_rp,
+            rp_edge_changes: e_rp,
+            ic_edge_changes: e_ic,
+            ic_node_changes: n_ic,
+            width_delta_bits: total_bits(g) - bits_before,
+            worklist_pushes: pushes,
+            ports_visited: visits,
+            ports_skipped: (3 * nodes_at_start).saturating_sub(visits),
+            elapsed: started.elapsed(),
+        });
+        rec.finish(round);
+        #[cfg(feature = "verify")]
+        watch.check_round(g, report.rounds);
+        if n_rp + e_rp + e_ic + ext + n_ic == 0 {
+            report.converged = true;
+            break;
+        }
+        if report.rounds >= MAX_ROUNDS {
+            break;
+        }
+    }
+    rec.finish(pipeline);
+    report
+}
+
+/// The full-sweep reference pipeline: recomputes the whole RP and IC
+/// analyses every round, exactly as the paper describes the fixpoint.
+///
+/// Kept as the differential baseline for the incremental
+/// [`optimize_widths`] (their results, trace events, and change counters
+/// must match bit-for-bit) and for the `full_vs_incremental` benchmarks.
+///
+/// # Panics
+///
+/// Panics if the graph is cyclic or structurally invalid.
+pub fn optimize_widths_full(g: &mut Dfg) -> TransformReport {
+    optimize_widths_full_with(g, &mut Recorder::disabled(), &mut TraceLog::disabled())
+}
+
+/// [`optimize_widths_full`] with timing spans and decision provenance; the
+/// span skeleton matches [`optimize_widths_with`].
+///
+/// # Panics
+///
+/// Panics if the graph is cyclic or structurally invalid.
+pub fn optimize_widths_full_with(
+    g: &mut Dfg,
+    rec: &mut Recorder,
+    tr: &mut TraceLog,
+) -> TransformReport {
+    let pipeline = rec.span("optimize_widths");
+    let mut report = TransformReport::default();
+    #[cfg(feature = "verify")]
+    let mut watch = verify::RoundWatch::new(g);
+    loop {
+        let round = rec.span(format!("round {}", report.rounds + 1));
+        let started = Instant::now();
+        let bits_before = total_bits(g);
+        let nodes_at_start = g.num_nodes();
         let rp_span = rec.span("rp_sweep");
         let (n_rp, e_rp) = rp_transform_with(g, tr);
         rec.finish(rp_span);
@@ -191,6 +316,9 @@ pub fn optimize_widths_with(g: &mut Dfg, rec: &mut Recorder, tr: &mut TraceLog) 
             ic_edge_changes: e_ic,
             ic_node_changes: n_ic,
             width_delta_bits: total_bits(g) - bits_before,
+            worklist_pushes: 0,
+            ports_visited: 3 * nodes_at_start,
+            ports_skipped: 0,
             elapsed: started.elapsed(),
         });
         rec.finish(round);

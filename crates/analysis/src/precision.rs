@@ -1,6 +1,6 @@
 //! Required precision (Definition 4.1) and the Theorem 4.2 transformation.
 
-use dp_dfg::{Dfg, NodeId, NodeKind};
+use dp_dfg::{Dfg, EdgeId, NodeId, NodeKind};
 use dp_trace::{Rule, Subject, TraceLog};
 
 /// The required precision `r(p)` at every port of a DFG.
@@ -12,10 +12,10 @@ use dp_trace::{Rule, Subject, TraceLog};
 #[derive(Debug, Clone)]
 pub struct PrecisionAnalysis {
     /// `r` at the (single) output port of each node.
-    out_port: Vec<usize>,
+    pub(crate) out_port: Vec<usize>,
     /// `r` at the input ports of each node (one shared value — Definition
     /// 4.1 gives every input port of a node the same `r`).
-    in_port: Vec<usize>,
+    pub(crate) in_port: Vec<usize>,
 }
 
 impl PrecisionAnalysis {
@@ -42,27 +42,101 @@ impl PrecisionAnalysis {
 /// See the [crate documentation](crate) for an example.
 pub fn required_precision(g: &Dfg) -> PrecisionAnalysis {
     let order = g.reverse_topo_order().expect("required precision needs an acyclic graph");
-    let mut out_port = vec![0usize; g.num_nodes()];
-    let mut in_port = vec![0usize; g.num_nodes()];
+    let mut rp =
+        PrecisionAnalysis { out_port: vec![0; g.num_nodes()], in_port: vec![0; g.num_nodes()] };
     for n in order {
-        let node = g.node(n);
-        // r at the output port: max over out-edges of min(w(e), r(dest input port)).
-        out_port[n.index()] = node
-            .out_edges()
-            .iter()
-            .map(|&e| {
-                let edge = g.edge(e);
-                edge.width().min(in_port[edge.dst().index()])
-            })
-            .max()
-            .unwrap_or(0);
-        // r at the input ports.
-        in_port[n.index()] = match node.kind() {
-            NodeKind::Output => node.width(),
-            _ => out_port[n.index()].min(node.width()),
-        };
+        let (out, inp) = rp_node_values(g, n, &rp.in_port);
+        rp.out_port[n.index()] = out;
+        rp.in_port[n.index()] = inp;
     }
-    PrecisionAnalysis { out_port, in_port }
+    rp
+}
+
+/// The Definition 4.1 equations for one node, reading the already-settled
+/// `r` at the input ports of its successors: `r` at the output port is the
+/// max over out-edges of `min(w(e), r(p_d(e)))`, and `r` at the input ports
+/// is the node width for outputs and `min(out, w(N))` otherwise.
+///
+/// Shared by the full reverse sweep and the incremental worklist update so
+/// both compute the identical fixpoint.
+pub(crate) fn rp_node_values(g: &Dfg, n: NodeId, in_port: &[usize]) -> (usize, usize) {
+    let node = g.node(n);
+    let out = node
+        .out_edges()
+        .iter()
+        .map(|&e| {
+            let edge = g.edge(e);
+            edge.width().min(in_port[edge.dst().index()])
+        })
+        .max()
+        .unwrap_or(0);
+    let inp = match node.kind() {
+        NodeKind::Output => node.width(),
+        _ => out.min(node.width()),
+    };
+    (out, inp)
+}
+
+/// Applies the Theorem 4.2 node clamp to one node if it fires, emitting the
+/// `RP-CLAMP` trace event. Returns whether the width changed.
+///
+/// This is the single definition of the clamp decision: the full sweep
+/// calls it for every node, the incremental engine only for candidates —
+/// non-firing candidates emit nothing, so both produce identical traces.
+pub(crate) fn clamp_node(
+    g: &mut Dfg,
+    rp: &PrecisionAnalysis,
+    n: NodeId,
+    tr: &mut TraceLog,
+) -> bool {
+    // Outputs and inputs keep their declared interface width; a
+    // constant's width is pinned to its value's width.
+    if matches!(g.node(n).kind(), NodeKind::Output | NodeKind::Input | NodeKind::Const(_)) {
+        return false;
+    }
+    let r = rp.output_port(n).max(1);
+    let w = g.node(n).width();
+    if r >= w {
+        return false;
+    }
+    g.set_node_width(n, r);
+    // The binding constraint is the out-edge achieving the max in
+    // Definition 4.1; the last event there (or at its reader) is
+    // what made `r` this small.
+    let binding = g
+        .node(n)
+        .out_edges()
+        .iter()
+        .copied()
+        .max_by_key(|&e| {
+            let edge = g.edge(e);
+            edge.width().min(rp.input_port(edge.dst()))
+        })
+        .map(|e| (e, g.edge(e).dst()));
+    let parent =
+        binding.and_then(|(e, dst)| tr.last_edge(e.index()).or_else(|| tr.last_node(dst.index())));
+    tr.emit_caused(Rule::RpClamp, Subject::Node(n.index()), w, r, parent);
+    true
+}
+
+/// Applies the Theorem 4.2 edge clamp to one edge if it fires, emitting the
+/// `RP-CLAMP-EDGE` trace event. Returns whether the width changed.
+pub(crate) fn clamp_edge(
+    g: &mut Dfg,
+    rp: &PrecisionAnalysis,
+    e: EdgeId,
+    tr: &mut TraceLog,
+) -> bool {
+    let dst = g.edge(e).dst();
+    let r = rp.input_port(dst).max(1);
+    let w_e = g.edge(e).width();
+    if r >= w_e {
+        return false;
+    }
+    g.set_edge_width(e, r);
+    let parent = tr.last_node(dst.index()).or_else(|| tr.last_edge(e.index()));
+    tr.emit_caused(Rule::RpClampEdge, Subject::Edge(e.index()), w_e, r, parent);
+    true
 }
 
 /// Applies the Theorem 4.2 width clamp in place:
@@ -83,45 +157,13 @@ pub fn rp_transform_with(g: &mut Dfg, tr: &mut TraceLog) -> (usize, usize) {
     let rp = required_precision(g);
     let mut node_changes = 0;
     let mut edge_changes = 0;
-    for n in g.node_ids().collect::<Vec<_>>() {
-        // Outputs and inputs keep their declared interface width; a
-        // constant's width is pinned to its value's width.
-        if matches!(g.node(n).kind(), NodeKind::Output | NodeKind::Input | NodeKind::Const(_)) {
-            continue;
-        }
-        let r = rp.output_port(n).max(1);
-        let w = g.node(n).width();
-        if r < w {
-            g.set_node_width(n, r);
-            node_changes += 1;
-            // The binding constraint is the out-edge achieving the max in
-            // Definition 4.1; the last event there (or at its reader) is
-            // what made `r` this small.
-            let binding = g
-                .node(n)
-                .out_edges()
-                .iter()
-                .copied()
-                .max_by_key(|&e| {
-                    let edge = g.edge(e);
-                    edge.width().min(rp.input_port(edge.dst()))
-                })
-                .map(|e| (e, g.edge(e).dst()));
-            let parent = binding
-                .and_then(|(e, dst)| tr.last_edge(e.index()).or_else(|| tr.last_node(dst.index())));
-            tr.emit_caused(Rule::RpClamp, Subject::Node(n.index()), w, r, parent);
-        }
+    // Clamps never add nodes or edges, so plain index loops suffice — no
+    // id-list snapshots.
+    for i in 0..g.num_nodes() {
+        node_changes += usize::from(clamp_node(g, &rp, NodeId::from_index(i), tr));
     }
-    for e in g.edge_ids().collect::<Vec<_>>() {
-        let dst = g.edge(e).dst();
-        let r = rp.input_port(dst).max(1);
-        let w_e = g.edge(e).width();
-        if r < w_e {
-            g.set_edge_width(e, r);
-            edge_changes += 1;
-            let parent = tr.last_node(dst.index()).or_else(|| tr.last_edge(e.index()));
-            tr.emit_caused(Rule::RpClampEdge, Subject::Edge(e.index()), w_e, r, parent);
-        }
+    for i in 0..g.num_edges() {
+        edge_changes += usize::from(clamp_edge(g, &rp, EdgeId::from_index(i), tr));
     }
     (node_changes, edge_changes)
 }

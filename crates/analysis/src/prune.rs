@@ -1,10 +1,10 @@
 //! Width pruning using information content (Lemmas 5.6 and 5.7).
 
 use dp_bitvec::Signedness;
-use dp_dfg::Dfg;
+use dp_dfg::{Dfg, EdgeId, NodeId};
 use dp_trace::{Rule, Subject, TraceLog};
 
-use crate::info::info_content;
+use crate::info::{info_content, InfoAnalysis};
 
 /// Applies Lemma 5.7 in place: wherever the signal carried by an edge is a
 /// strict `t`-extension of its `i` low bits, the edge can be narrowed to
@@ -30,32 +30,44 @@ pub fn prune_edge_widths(g: &mut Dfg) -> usize {
 pub fn prune_edge_widths_with(g: &mut Dfg, tr: &mut TraceLog) -> usize {
     let ic = info_content(g);
     let mut changed = 0;
-    for e in g.edge_ids().collect::<Vec<_>>() {
-        let edge = g.edge(e);
-        let claim = ic.edge_signal(e);
-        let w_e = edge.width();
-        if claim.i >= w_e {
-            continue; // nothing to gain
-        }
-        let dst_w = g.node(edge.dst()).width();
-        let safe = match claim.t {
-            Signedness::Unsigned => true,
-            Signedness::Signed => edge.signedness() == Signedness::Signed || dst_w <= w_e,
-        };
-        if !safe {
-            continue;
-        }
-        let new_w = claim.i.max(1);
-        if new_w < w_e {
-            let src = g.edge(e).src();
-            g.set_edge_width(e, new_w);
-            g.set_edge_signedness(e, claim.t);
-            changed += 1;
-            let parent = tr.last_node(src.index()).or_else(|| tr.last_edge(e.index()));
-            tr.emit_caused(Rule::IcPruneEdge, Subject::Edge(e.index()), w_e, new_w, parent);
-        }
+    // Edge pruning never adds edges, so a plain index loop suffices.
+    for i in 0..g.num_edges() {
+        changed += usize::from(prune_edge_one(g, &ic, EdgeId::from_index(i), tr));
     }
     changed
+}
+
+/// Applies the Lemma 5.7 narrowing to one edge if it fires (including the
+/// signed-claim safety guard), emitting the `IC-PRUNE-EDGE` trace event.
+/// Returns whether the edge changed.
+///
+/// Single definition of the prune decision, shared by the full sweep and
+/// the incremental worklist engine.
+pub(crate) fn prune_edge_one(g: &mut Dfg, ic: &InfoAnalysis, e: EdgeId, tr: &mut TraceLog) -> bool {
+    let edge = g.edge(e);
+    let claim = ic.edge_signal(e);
+    let w_e = edge.width();
+    if claim.i >= w_e {
+        return false; // nothing to gain
+    }
+    let dst_w = g.node(edge.dst()).width();
+    let safe = match claim.t {
+        Signedness::Unsigned => true,
+        Signedness::Signed => edge.signedness() == Signedness::Signed || dst_w <= w_e,
+    };
+    if !safe {
+        return false;
+    }
+    let new_w = claim.i.max(1);
+    if new_w >= w_e {
+        return false;
+    }
+    let src = g.edge(e).src();
+    g.set_edge_width(e, new_w);
+    g.set_edge_signedness(e, claim.t);
+    let parent = tr.last_node(src.index()).or_else(|| tr.last_edge(e.index()));
+    tr.emit_caused(Rule::IcPruneEdge, Subject::Edge(e.index()), w_e, new_w, parent);
+    true
 }
 
 /// Applies Lemma 5.6 in place: every operator node whose width exceeds its
@@ -82,47 +94,85 @@ pub fn prune_node_widths_with(g: &mut Dfg, tr: &mut TraceLog) -> (usize, usize) 
     let ic = info_content(g);
     let mut narrowed = 0;
     let mut inserted = 0;
-    for n in g.node_ids().collect::<Vec<_>>() {
-        if !g.node(n).kind().is_op() {
-            continue;
-        }
-        let Some(intrinsic) = ic.intrinsic(n) else {
-            continue;
-        };
-        let w = g.node(n).width();
-        let target = intrinsic.i.max(1);
-        if target >= w {
-            continue;
-        }
-        // Does any consumer actually look past `target` bits? If not, just
-        // shrink the node; edges at or below `target` are unaffected.
-        let needs_interface = g.node(n).out_edges().iter().any(|&e| g.edge(e).width() > target);
-        g.set_node_width(n, target);
-        narrowed += 1;
-        // The intrinsic bound came from the operand claims, so the newest
-        // in-edge decision is the proximate cause.
-        let parent = g
-            .node(n)
-            .in_edges()
-            .iter()
-            .filter_map(|&e| tr.last_edge(e.index()))
-            .max()
-            .or_else(|| tr.last_node(n.index()));
-        let prune = tr.emit_caused(Rule::IcPrune, Subject::Node(n.index()), w, target, parent);
-        if needs_interface {
-            let ext = g.extension(w, intrinsic.t, n, target, Signedness::Unsigned);
-            // Move the original fanout onto the extension node. The new
-            // feed edge keeps index stability: rewire every *old* out-edge.
-            for e in g.node(n).out_edges().to_vec() {
-                if g.edge(e).dst() != ext {
-                    g.rewire_edge_src(e, ext);
-                }
+    let mut scratch = Vec::new();
+    // Extension nodes appended during the loop get indices past this
+    // bound, exactly like the pre-collected id snapshot used to skip them.
+    for i in 0..g.num_nodes() {
+        match prune_node_one(g, &ic, NodeId::from_index(i), tr, &mut scratch) {
+            NodePrune::Unchanged => {}
+            NodePrune::Narrowed { ext } => {
+                narrowed += 1;
+                inserted += usize::from(ext.is_some());
             }
-            inserted += 1;
-            tr.emit_caused(Rule::ExtInsert, Subject::Node(ext.index()), target, w, prune);
         }
     }
     (narrowed, inserted)
+}
+
+/// What [`prune_node_one`] did to a node.
+pub(crate) enum NodePrune {
+    /// The node did not fire (not an operator, or already at its intrinsic
+    /// width).
+    Unchanged,
+    /// The node was narrowed; `ext` is the interface-preserving extension
+    /// node if one had to be spliced into the fanout.
+    Narrowed { ext: Option<NodeId> },
+}
+
+/// Applies the Lemma 5.6 narrowing (and extension-node insertion) to one
+/// node if it fires, emitting `IC-PRUNE` / `EXT-INSERT` trace events.
+/// `scratch` is a reusable buffer for the fanout rewire.
+///
+/// Single definition of the prune decision, shared by the full sweep and
+/// the incremental worklist engine.
+pub(crate) fn prune_node_one(
+    g: &mut Dfg,
+    ic: &InfoAnalysis,
+    n: NodeId,
+    tr: &mut TraceLog,
+    scratch: &mut Vec<EdgeId>,
+) -> NodePrune {
+    if !g.node(n).kind().is_op() {
+        return NodePrune::Unchanged;
+    }
+    let Some(intrinsic) = ic.intrinsic(n) else {
+        return NodePrune::Unchanged;
+    };
+    let w = g.node(n).width();
+    let target = intrinsic.i.max(1);
+    if target >= w {
+        return NodePrune::Unchanged;
+    }
+    // Does any consumer actually look past `target` bits? If not, just
+    // shrink the node; edges at or below `target` are unaffected.
+    let needs_interface = g.node(n).out_edges().iter().any(|&e| g.edge(e).width() > target);
+    g.set_node_width(n, target);
+    // The intrinsic bound came from the operand claims, so the newest
+    // in-edge decision is the proximate cause.
+    let parent = g
+        .node(n)
+        .in_edges()
+        .iter()
+        .filter_map(|&e| tr.last_edge(e.index()))
+        .max()
+        .or_else(|| tr.last_node(n.index()));
+    let prune = tr.emit_caused(Rule::IcPrune, Subject::Node(n.index()), w, target, parent);
+    let mut ext_node = None;
+    if needs_interface {
+        let ext = g.extension(w, intrinsic.t, n, target, Signedness::Unsigned);
+        // Move the original fanout onto the extension node. The new
+        // feed edge keeps index stability: rewire every *old* out-edge.
+        scratch.clear();
+        scratch.extend_from_slice(g.node(n).out_edges());
+        for &e in scratch.iter() {
+            if g.edge(e).dst() != ext {
+                g.rewire_edge_src(e, ext);
+            }
+        }
+        tr.emit_caused(Rule::ExtInsert, Subject::Node(ext.index()), target, w, prune);
+        ext_node = Some(ext);
+    }
+    NodePrune::Narrowed { ext: ext_node }
 }
 
 #[cfg(test)]

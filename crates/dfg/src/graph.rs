@@ -23,12 +23,32 @@ impl NodeId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// The node id with the given dense index. Ids are only meaningful for
+    /// the graph whose `num_nodes` exceeds `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index does not fit in `u32`.
+    pub fn from_index(index: usize) -> NodeId {
+        NodeId(u32::try_from(index).expect("node index fits u32"))
+    }
 }
 
 impl EdgeId {
     /// The dense index of this edge.
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// The edge id with the given dense index. Ids are only meaningful for
+    /// the graph whose `num_edges` exceeds `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index does not fit in `u32`.
+    pub fn from_index(index: usize) -> EdgeId {
+        EdgeId(u32::try_from(index).expect("edge index fits u32"))
     }
 }
 
@@ -162,6 +182,9 @@ pub struct Dfg {
     edges: Vec<Edge>,
     inputs: Vec<NodeId>,
     outputs: Vec<NodeId>,
+    /// Bumped on every *structural* mutation (node/edge creation, rewiring)
+    /// but not on width/signedness updates — see [`Dfg::structure_version`].
+    version: u64,
 }
 
 impl Dfg {
@@ -178,6 +201,7 @@ impl Dfg {
         assert!(width > 0, "node width must be at least 1");
         let id = NodeId(u32::try_from(self.nodes.len()).expect("node count fits u32"));
         self.nodes.push(Node { kind, width, name, in_edges: Vec::new(), out_edges: Vec::new() });
+        self.version += 1;
         id
     }
 
@@ -310,7 +334,17 @@ impl Dfg {
             .position(|&e| self.edges[e.index()].dst_port > dst_port)
             .unwrap_or(in_edges.len());
         in_edges.insert(pos, id);
+        self.version += 1;
         id
+    }
+
+    /// A counter bumped on every structural mutation: node creation, edge
+    /// creation, and [`Dfg::rewire_edge_src`]. Width and signedness updates
+    /// do **not** bump it — adjacency caches like [`crate::DfgView`] stay
+    /// valid across them. Two equal versions on the *same* graph value mean
+    /// the node/edge sets and their connectivity are unchanged.
+    pub fn structure_version(&self) -> u64 {
+        self.version
     }
 
     // ------------------------------------------------------------------
@@ -423,6 +457,7 @@ impl Dfg {
         out.retain(|&e| e != id);
         self.edges[id.index()].src = new_src;
         self.nodes[new_src.index()].out_edges.push(id);
+        self.version += 1;
     }
 
     // ------------------------------------------------------------------

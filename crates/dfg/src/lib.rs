@@ -58,6 +58,7 @@ mod op;
 mod postdom;
 mod topo;
 mod validate;
+mod view;
 
 pub use dot::DotAnnotations;
 pub use eval::{EvalError, Evaluation};
@@ -65,3 +66,4 @@ pub use graph::{Dfg, Edge, EdgeId, Node, NodeId, NodeKind};
 pub use op::OpKind;
 pub use postdom::PostDominators;
 pub use validate::{ValidateError, ValidateErrors};
+pub use view::DfgView;

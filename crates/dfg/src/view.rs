@@ -1,0 +1,204 @@
+//! A cached, flat adjacency and topology view over a [`Dfg`].
+//!
+//! The analysis passes iterate fanin/fanout lists and topological orders in
+//! tight fixpoint loops. Pulling those out of the per-node `Vec`s into one
+//! CSR-style structure gives the hot loops contiguous slices, a memoized
+//! topological order, and O(1) topological positions — and a version stamp
+//! ([`Dfg::structure_version`]) tells callers exactly when the cache must
+//! be rebuilt (structural mutation) versus when it stays valid (width and
+//! signedness updates).
+
+use crate::{Dfg, EdgeId, NodeId};
+
+/// Flat fanin/fanout arrays plus a memoized topological order for one
+/// structural snapshot of a [`Dfg`].
+///
+/// The view is valid as long as [`DfgView::is_fresh`] holds; call
+/// [`DfgView::refresh`] after structural mutations. Width and signedness
+/// changes never invalidate a view.
+#[derive(Debug, Clone)]
+pub struct DfgView {
+    version: u64,
+    /// CSR offsets into `fanout`; `fanout_off[n]..fanout_off[n + 1]` are
+    /// node `n`'s out-edges in creation order.
+    fanout_off: Vec<u32>,
+    fanout: Vec<EdgeId>,
+    /// CSR offsets into `fanin`; slices hold in-edges sorted by port.
+    fanin_off: Vec<u32>,
+    fanin: Vec<EdgeId>,
+    /// All nodes in forward topological order.
+    topo: Vec<NodeId>,
+    /// `pos[n.index()]` = position of `n` in `topo`.
+    pos: Vec<u32>,
+}
+
+impl DfgView {
+    /// Builds a view of the graph's current structure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is cyclic (use [`DfgView::try_new`] to handle
+    /// that case).
+    pub fn new(g: &Dfg) -> DfgView {
+        DfgView::try_new(g).expect("DfgView needs an acyclic graph")
+    }
+
+    /// Builds a view, or `None` if the graph is cyclic.
+    pub fn try_new(g: &Dfg) -> Option<DfgView> {
+        let mut view = DfgView {
+            version: 0,
+            fanout_off: Vec::new(),
+            fanout: Vec::new(),
+            fanin_off: Vec::new(),
+            fanin: Vec::new(),
+            topo: Vec::new(),
+            pos: Vec::new(),
+        };
+        view.rebuild(g).then_some(view)
+    }
+
+    /// Whether the view still matches the graph's structure.
+    pub fn is_fresh(&self, g: &Dfg) -> bool {
+        self.version == g.structure_version()
+    }
+
+    /// Rebuilds the view if the graph's structure changed since it was
+    /// built. Returns `true` if a rebuild happened. The rebuild reuses the
+    /// view's existing allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph became cyclic.
+    pub fn refresh(&mut self, g: &Dfg) -> bool {
+        if self.is_fresh(g) {
+            return false;
+        }
+        assert!(self.rebuild(g), "DfgView::refresh needs an acyclic graph");
+        true
+    }
+
+    fn rebuild(&mut self, g: &Dfg) -> bool {
+        let Some(topo) = g.topo_order() else {
+            return false;
+        };
+        self.topo = topo;
+        self.pos.clear();
+        self.pos.resize(g.num_nodes(), 0);
+        for (i, &n) in self.topo.iter().enumerate() {
+            self.pos[n.index()] = u32::try_from(i).expect("topo position fits u32");
+        }
+        self.fanout_off.clear();
+        self.fanout.clear();
+        self.fanin_off.clear();
+        self.fanin.clear();
+        for n in g.node_ids() {
+            let node = g.node(n);
+            self.fanout_off.push(self.fanout.len() as u32);
+            self.fanout.extend_from_slice(node.out_edges());
+            self.fanin_off.push(self.fanin.len() as u32);
+            self.fanin.extend_from_slice(node.in_edges());
+        }
+        self.fanout_off.push(self.fanout.len() as u32);
+        self.fanin_off.push(self.fanin.len() as u32);
+        self.version = g.structure_version();
+        true
+    }
+
+    /// Number of nodes in the viewed snapshot.
+    pub fn num_nodes(&self) -> usize {
+        self.topo.len()
+    }
+
+    /// Out-edges of `node`, in creation order (same as
+    /// [`crate::Node::out_edges`]).
+    pub fn fanout(&self, node: NodeId) -> &[EdgeId] {
+        let i = node.index();
+        &self.fanout[self.fanout_off[i] as usize..self.fanout_off[i + 1] as usize]
+    }
+
+    /// In-edges of `node`, sorted by destination port (same as
+    /// [`crate::Node::in_edges`]).
+    pub fn fanin(&self, node: NodeId) -> &[EdgeId] {
+        let i = node.index();
+        &self.fanin[self.fanin_off[i] as usize..self.fanin_off[i + 1] as usize]
+    }
+
+    /// All nodes in forward topological order.
+    pub fn topo(&self) -> &[NodeId] {
+        &self.topo
+    }
+
+    /// The position of `node` in [`DfgView::topo`].
+    pub fn topo_pos(&self, node: NodeId) -> usize {
+        self.pos[node.index()] as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OpKind;
+    use dp_bitvec::Signedness::Unsigned;
+
+    fn sample() -> (Dfg, NodeId, NodeId, NodeId) {
+        let mut g = Dfg::new();
+        let a = g.input("a", 4);
+        let b = g.input("b", 4);
+        let s = g.op(OpKind::Add, 5, &[(a, Unsigned), (b, Unsigned)]);
+        g.output("o", 5, s, Unsigned);
+        (g, a, b, s)
+    }
+
+    #[test]
+    fn view_matches_node_edge_lists() {
+        let (g, a, _, s) = sample();
+        let view = DfgView::new(&g);
+        for n in g.node_ids() {
+            assert_eq!(view.fanout(n), g.node(n).out_edges(), "{n}");
+            assert_eq!(view.fanin(n), g.node(n).in_edges(), "{n}");
+        }
+        assert_eq!(view.topo(), g.topo_order().unwrap().as_slice());
+        assert!(view.topo_pos(a) < view.topo_pos(s));
+        for e in g.edge_ids() {
+            assert!(view.topo_pos(g.edge(e).src()) < view.topo_pos(g.edge(e).dst()));
+        }
+    }
+
+    #[test]
+    fn width_changes_keep_view_fresh_structure_changes_do_not() {
+        let (mut g, a, _, s) = sample();
+        let mut view = DfgView::new(&g);
+        g.set_node_width(s, 3);
+        let e = g.in_edge_on_port(s, 0).unwrap();
+        g.set_edge_width(e, 2);
+        assert!(view.is_fresh(&g));
+        assert!(!view.refresh(&g));
+        let ext = g.extension(8, Unsigned, a, 4, Unsigned);
+        assert!(!view.is_fresh(&g));
+        assert!(view.refresh(&g));
+        assert!(view.is_fresh(&g));
+        assert_eq!(view.num_nodes(), g.num_nodes());
+        assert_eq!(view.fanin(ext), g.node(ext).in_edges());
+    }
+
+    #[test]
+    fn rewire_bumps_version_and_refresh_tracks_it() {
+        let (mut g, a, _, s) = sample();
+        let mut view = DfgView::new(&g);
+        let ext = g.extension(8, Unsigned, a, 4, Unsigned);
+        let e = g.in_edge_on_port(s, 0).unwrap();
+        g.rewire_edge_src(e, ext);
+        view.refresh(&g);
+        assert_eq!(view.fanout(ext), &[e]);
+        assert!(!view.fanout(a).contains(&e));
+    }
+
+    #[test]
+    fn cyclic_graph_rejected() {
+        let mut g = Dfg::new();
+        let a = g.input("a", 4);
+        let n = g.op(OpKind::Add, 4, &[(a, Unsigned), (a, Unsigned)]);
+        g.connect(n, n, 1, 4, Unsigned);
+        assert!(DfgView::try_new(&g).is_none());
+    }
+}

@@ -237,19 +237,28 @@ pub(crate) fn extract_clusters(g: &Dfg, breaks: &[bool]) -> Clustering {
             parent[rs] = rd;
         }
     }
-    let mut groups: std::collections::BTreeMap<usize, Vec<NodeId>> = Default::default();
+    // Group members by root with a dense root→slot table instead of a
+    // BTreeMap: node ids iterate in ascending order, so each group's
+    // members come out sorted and groups are created in ascending order
+    // of their smallest member — exactly the final cluster order.
+    let mut slot_of_root = vec![usize::MAX; g.num_nodes()];
+    let mut groups: Vec<Vec<NodeId>> = Vec::new();
     for n in g.node_ids() {
         if is_mergeable(g, n) {
             let root = find(&mut parent, n.index());
-            groups.entry(root).or_default().push(n);
+            let slot = if slot_of_root[root] == usize::MAX {
+                slot_of_root[root] = groups.len();
+                groups.push(Vec::new());
+                groups.len() - 1
+            } else {
+                slot_of_root[root]
+            };
+            groups[slot].push(n);
         }
     }
-    let mut clusters = Vec::new();
-    for (_, mut members) in groups {
-        members.sort_unstable();
-        clusters.push(finish_cluster(g, members));
-    }
-    clusters.sort_by_key(|c| c.members[0]);
+    let clusters: Vec<Cluster> =
+        groups.into_iter().map(|members| finish_cluster(g, members)).collect();
+    debug_assert!(clusters.windows(2).all(|w| w[0].members[0] < w[1].members[0]));
     let break_nodes = g.node_ids().filter(|n| breaks[n.index()]).collect();
     Clustering { clusters, break_nodes }
 }

@@ -32,6 +32,16 @@ pub struct FlowMetrics {
     /// Whether the width pipeline reached its fixpoint (vacuously `true`
     /// when it did not run).
     pub transform_converged: bool,
+    /// Worklist insertions made by the incremental fixpoint engine across
+    /// all rounds (0 when the pipeline did not run).
+    pub worklist_pushes: usize,
+    /// Node analysis recomputations across all rounds and passes. A full
+    /// sweep costs `3 * num_nodes` per round; the incremental engine only
+    /// pays for ports whose inputs changed.
+    pub ports_visited: usize,
+    /// Recomputations the worklist avoided relative to full sweeps
+    /// (`3 * num_nodes - ports_visited`, summed per round).
+    pub ports_skipped: usize,
     /// Clusters in the final clustering (one carry-propagate adder each).
     pub clusters: usize,
     /// Break nodes in the final break analysis (new-merge only; 0 for
@@ -70,6 +80,9 @@ impl FlowMetrics {
             .field("edge_width_after", self.edge_width_after)
             .field("transform_rounds", self.transform_rounds)
             .field("transform_converged", self.transform_converged)
+            .field("worklist_pushes", self.worklist_pushes)
+            .field("ports_visited", self.ports_visited)
+            .field("ports_skipped", self.ports_skipped)
             .field("clusters", self.clusters)
             .field("break_nodes", self.break_nodes)
             .field("csa_depth", self.csa_depth)

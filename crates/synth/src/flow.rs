@@ -329,6 +329,9 @@ pub fn run_flow_with(
     if let Some(r) = &merge {
         metrics.transform_rounds = r.transform.rounds;
         metrics.transform_converged = r.transform.converged;
+        metrics.worklist_pushes = r.transform.worklist_pushes();
+        metrics.ports_visited = r.transform.ports_visited();
+        metrics.ports_skipped = r.transform.ports_skipped();
         metrics.break_nodes = r.break_nodes;
     } else {
         // No width pipeline ran, so there was trivially nothing left to do.

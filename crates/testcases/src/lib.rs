@@ -31,5 +31,7 @@ pub mod csd;
 pub mod designs;
 pub mod families;
 pub mod figures;
+pub mod scaling;
 
 pub use designs::{all_designs, Testcase};
+pub use scaling::{scaling_design, scaling_designs, SCALING_OPS};

@@ -1,0 +1,99 @@
+//! A generated scaling family for performance work.
+//!
+//! The five paper designs (D1–D5) have at most a few hundred nodes, which
+//! is too small to exercise the incremental worklist fixpoint or the
+//! parallel bench driver. This module derives a deterministic family of
+//! progressively larger random designs from [`dp_dfg::gen`]: each member
+//! is fully determined by its operator budget (the seed is a fixed
+//! function of it), so the family is stable across runs and machines and
+//! safe to bake into committed bench baselines.
+
+use crate::designs::Testcase;
+use dp_dfg::gen::{random_dfg, GenConfig};
+use dp_dfg::Dfg;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Operator budgets of the committed family, smallest to largest. The
+/// resulting designs span roughly 110 to 1700 nodes.
+pub const SCALING_OPS: [usize; 4] = [64, 160, 400, 1000];
+
+/// Base of the per-member generator seed (`SEED_BASE + ops`).
+const SEED_BASE: u64 = 0x5CA1E;
+
+/// Generates the family member with the given operator budget.
+///
+/// Deterministic: the same `ops` always yields the same design. Multiplier
+/// density is kept low (5 %) so synthesis cost grows roughly linearly with
+/// the budget rather than being dominated by a few huge partial-product
+/// reductions.
+pub fn scaling_design(ops: usize) -> Dfg {
+    let mut rng = StdRng::seed_from_u64(SEED_BASE + ops as u64);
+    let config = GenConfig {
+        num_ops: ops,
+        num_inputs: (ops / 10).max(4),
+        max_width: 24,
+        mul_weight: 0.05,
+        ..GenConfig::default()
+    };
+    random_dfg(&mut rng, &config)
+}
+
+/// The committed scaling family as named testcases (`S64`…`S1000`), in
+/// ascending size order.
+///
+/// ```
+/// let family = dp_testcases::scaling::scaling_designs();
+/// assert_eq!(family.len(), 4);
+/// for t in &family {
+///     t.dfg.validate().unwrap();
+/// }
+/// ```
+pub fn scaling_designs() -> Vec<Testcase> {
+    const NAMES: [&str; 4] = ["S64", "S160", "S400", "S1000"];
+    const DESC: &str = "generated scaling-family design (dp_dfg::gen, fixed seed)";
+    SCALING_OPS
+        .iter()
+        .zip(NAMES)
+        .map(|(&ops, name)| Testcase { name, description: DESC, dfg: scaling_design(ops) })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_dfg::gen::random_inputs;
+
+    #[test]
+    fn family_is_deterministic_and_valid() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for t in scaling_designs() {
+            t.dfg.validate().unwrap_or_else(|e| panic!("{}: {e}", t.name));
+            let inputs = random_inputs(&t.dfg, &mut rng);
+            t.dfg.evaluate(&inputs).unwrap_or_else(|e| panic!("{}: {e}", t.name));
+        }
+        // Regenerating yields the identical graphs.
+        for (a, b) in scaling_designs().iter().zip(scaling_designs()) {
+            assert_eq!(a.dfg.num_nodes(), b.dfg.num_nodes());
+            assert_eq!(a.dfg.num_edges(), b.dfg.num_edges());
+        }
+    }
+
+    #[test]
+    fn family_sizes_ascend_into_the_thousands() {
+        let sizes: Vec<usize> = scaling_designs().iter().map(|t| t.dfg.num_nodes()).collect();
+        assert!(sizes.windows(2).all(|w| w[0] < w[1]), "sizes not ascending: {sizes:?}");
+        assert!(sizes[0] >= 100, "smallest member too small: {sizes:?}");
+        assert!(*sizes.last().unwrap() >= 1500, "largest member too small: {sizes:?}");
+    }
+
+    #[test]
+    fn incremental_pipeline_skips_work_on_the_family() {
+        for t in scaling_designs() {
+            let mut g = t.dfg.clone();
+            let rep = dp_analysis::optimize_widths(&mut g);
+            if rep.rounds > 1 {
+                assert!(rep.sweep_skip_ratio() > 0.0, "{}: no work skipped", t.name);
+            }
+        }
+    }
+}

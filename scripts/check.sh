@@ -23,7 +23,13 @@ echo "==> cargo build --examples"
 cargo build --workspace --examples
 
 echo "==> dpmc bench --compare (QoR/provenance exact, timing within 400%)"
-cargo run --release --bin dpmc -- bench --compare BENCH_pr3.json --max-regress-pct 400
+cargo run --release --bin dpmc -- bench --jobs 1 --compare BENCH_pr4.json --max-regress-pct 400
+
+echo "==> dpmc bench --jobs determinism (parallel report == serial report)"
+cargo run --release --bin dpmc -- bench --jobs 1 --out /tmp/dpmc_jobs1.json
+cargo run --release --bin dpmc -- bench --jobs 4 --out /tmp/dpmc_jobs4.json
+diff <(grep -v '"us":' /tmp/dpmc_jobs1.json) <(grep -v '"us":' /tmp/dpmc_jobs4.json)
+rm -f /tmp/dpmc_jobs1.json /tmp/dpmc_jobs4.json
 
 echo "==> cargo clippy"
 cargo clippy --workspace --all-targets -- -D warnings

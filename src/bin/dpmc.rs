@@ -13,7 +13,7 @@
 //! dpmc lint design.dp [--deny-warnings]
 //! dpmc explain design.dp [--node N | --port P] [--json]
 //! dpmc dot design.dp [--annotate] [--out FILE]
-//! dpmc bench [--designs all|NAME,NAME,...] [--out FILE]
+//! dpmc bench [--designs all|NAME,NAME,...] [--jobs N] [--out FILE]
 //!      [--compare BASELINE.json] [--max-regress-pct N]
 //! ```
 //!
@@ -35,15 +35,18 @@
 //! break nodes and labelling nodes/edges with required precision,
 //! information content and the provenance rule that last changed them.
 //!
-//! `dpmc bench` runs a set of designs (the paper figures `fig1`–`fig4`
-//! and evaluation designs `D1`–`D5` by default; `.dp` files also accepted
-//! in `--designs`) through the old-merge and new-merge flows and emits a
-//! deterministic JSON report of per-stage wall-times, QoR counters and
-//! provenance event counts — see EXPERIMENTS.md for the schema. Without
-//! `--out` the JSON goes to stdout. `--compare` diffs the run against a
-//! committed baseline: counters must match exactly, per-flow wall times
-//! may regress at most `--max-regress-pct` percent (default 50); any
-//! violation makes the exit code non-zero.
+//! `dpmc bench` runs a set of designs (the paper figures `fig1`–`fig4`,
+//! evaluation designs `D1`–`D5`, and the generated scaling family
+//! `S64`–`S1000` by default; `.dp` files also accepted in `--designs`)
+//! through the old-merge and new-merge flows and emits a deterministic
+//! JSON report of per-stage wall-times, QoR counters and provenance event
+//! counts — see EXPERIMENTS.md for the schema. Designs run on a pool of
+//! `--jobs` worker threads (default: available parallelism); the report
+//! is assembled in design order, so the output is byte-identical for any
+//! job count. Without `--out` the JSON goes to stdout. `--compare` diffs
+//! the run against a committed baseline: counters must match exactly,
+//! per-flow wall times may regress at most `--max-regress-pct` percent
+//! (default 50); any violation makes the exit code non-zero.
 
 use std::process::ExitCode;
 
@@ -66,6 +69,7 @@ struct Args {
     annotate: bool,
     bench: bool,
     designs: Vec<String>,
+    jobs: Option<usize>,
     out: Option<String>,
     compare: Option<String>,
     max_regress_pct: f64,
@@ -77,7 +81,7 @@ const USAGE: &str = "usage: dpmc <design.dp> [--flow new|old|none|all] \
        dpmc lint <design.dp> [--deny-warnings]\n\
        dpmc explain <design.dp> [--node N | --port P] [--json]\n\
        dpmc dot <design.dp> [--annotate] [--out FILE]\n\
-       dpmc bench [--designs all|NAME,NAME,...] [--out FILE] \
+       dpmc bench [--designs all|NAME,NAME,...] [--jobs N] [--out FILE] \
 [--compare BASELINE.json] [--max-regress-pct N]";
 
 fn parse_args() -> Result<Args, String> {
@@ -98,6 +102,7 @@ fn parse_args() -> Result<Args, String> {
         annotate: false,
         bench: false,
         designs: Vec::new(),
+        jobs: None,
         out: None,
         compare: None,
         max_regress_pct: 50.0,
@@ -155,6 +160,15 @@ fn parse_args() -> Result<Args, String> {
             "--designs" => {
                 args.designs = value(&mut it, "--designs")?.split(',').map(str::to_string).collect()
             }
+            "--jobs" => {
+                let n: usize = value(&mut it, "--jobs")?
+                    .parse()
+                    .map_err(|_| "bad --jobs value".to_string())?;
+                if n == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+                args.jobs = Some(n);
+            }
             "--out" => args.out = Some(value(&mut it, "--out")?),
             "--compare" => args.compare = Some(value(&mut it, "--compare")?),
             "--max-regress-pct" => {
@@ -195,6 +209,9 @@ fn parse_args() -> Result<Args, String> {
         }
         if args.compare.is_some() {
             return Err("--compare only applies to `dpmc bench`".to_string());
+        }
+        if args.jobs.is_some() {
+            return Err("--jobs only applies to `dpmc bench`".to_string());
         }
     }
     if args.deny_warnings && !args.lint {
@@ -337,9 +354,10 @@ fn run_dot(args: &Args) -> Result<(), String> {
 }
 
 /// The named designs `dpmc bench` knows out of the box: the paper's
-/// illustrative figures and the five reconstructed evaluation designs.
+/// illustrative figures, the five reconstructed evaluation designs, and
+/// the generated scaling family.
 fn builtin_designs() -> Vec<(String, Dfg)> {
-    use datapath_merge::testcases::{all_designs, figures};
+    use datapath_merge::testcases::{all_designs, figures, scaling_designs};
     let mut v = vec![
         ("fig1".to_string(), figures::fig1().g),
         ("fig2".to_string(), figures::fig2().g),
@@ -347,6 +365,7 @@ fn builtin_designs() -> Vec<(String, Dfg)> {
         ("fig4".to_string(), figures::fig4_graph()),
     ];
     v.extend(all_designs().into_iter().map(|t| (t.name.to_string(), t.dfg)));
+    v.extend(scaling_designs().into_iter().map(|t| (t.name.to_string(), t.dfg)));
     v
 }
 
@@ -376,61 +395,94 @@ fn collect_designs(specs: &[String]) -> Result<Vec<(String, Dfg)>, String> {
     Ok(out)
 }
 
+/// Benchmarks one design through both flows; the building block the
+/// parallel driver farms out. Pure function of the design and config
+/// (modulo the wall-times inside `spans`), so designs can run on any
+/// worker in any order.
+fn bench_design(name: &str, g: &Dfg, config: &SynthConfig, lib: &Library) -> Result<Json, String> {
+    let mut flows = Vec::new();
+    for strategy in [MergeStrategy::Old, MergeStrategy::New] {
+        let mut rec = Recorder::new();
+        let mut tr = TraceLog::new();
+        let flow = run_flow_with(g, strategy, config, &mut rec, &mut tr)
+            .map_err(|e| format!("{name} [{strategy}]: {e}"))?;
+        let mut netlist = flow.netlist.clone();
+        let sweep = rec.span("fold_sweep");
+        datapath_merge::opt::fold_constants(&mut netlist);
+        let netlist = netlist.sweep();
+        rec.finish(sweep);
+        let sta = rec.span("sta");
+        let delay_ns = netlist.longest_path(lib).delay_ns;
+        let area = netlist.area(lib);
+        rec.finish(sta);
+        let mut cx = Context::new(&flow.graph)
+            .baseline(g)
+            .clustering(&flow.clustering)
+            .netlist(&netlist)
+            .optimized(strategy == MergeStrategy::New);
+        if let Some(m) = &flow.merge {
+            cx = cx.transform(&m.transform);
+        }
+        let report = Verifier::default().run_with(&cx, &mut rec);
+
+        // QoR on the final (folded + swept) netlist, not the raw one.
+        let mut metrics = flow.metrics.clone();
+        metrics.gates = netlist.num_gates();
+        metrics.delay_ns = delay_ns;
+        metrics.area = area;
+        metrics.verify_errors = report.count(Severity::Error);
+        metrics.verify_warnings = report.count(Severity::Warn);
+        metrics.verify_infos = report.count(Severity::Info);
+        flows.push(
+            Json::obj()
+                .field("strategy", strategy.to_string())
+                .field("metrics", metrics.to_json())
+                .field("trace_events", tr.len() as i64)
+                .field("spans", rec.to_json()),
+        );
+    }
+    Ok(Json::obj().field("design", name).field("flows", flows))
+}
+
 /// `dpmc bench`: run every requested design through the old-merge and
 /// new-merge flows, recording per-stage wall-times, QoR counters and
 /// provenance event counts, and emit one deterministic JSON document
-/// (timings are the only fields that vary between runs). With
-/// `--compare`, additionally diff against a committed baseline; returns
-/// `Ok(false)` when the regression gate fails.
+/// (timings are the only fields that vary between runs). Designs are
+/// distributed over `--jobs` worker threads pulling from a shared index;
+/// results land in per-design slots, so the report is identical for any
+/// job count. With `--compare`, additionally diff against a committed
+/// baseline; returns `Ok(false)` when the regression gate fails.
 fn run_bench(args: &Args) -> Result<bool, String> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
     let lib = Library::synthetic_025um();
     let designs = collect_designs(&args.designs)?;
-    let mut rows = Vec::new();
-    for (name, g) in &designs {
-        let mut flows = Vec::new();
-        for strategy in [MergeStrategy::Old, MergeStrategy::New] {
-            let mut rec = Recorder::new();
-            let mut tr = TraceLog::new();
-            let flow = run_flow_with(g, strategy, &args.config, &mut rec, &mut tr)
-                .map_err(|e| format!("{name} [{strategy}]: {e}"))?;
-            let mut netlist = flow.netlist.clone();
-            let sweep = rec.span("fold_sweep");
-            datapath_merge::opt::fold_constants(&mut netlist);
-            let netlist = netlist.sweep();
-            rec.finish(sweep);
-            let sta = rec.span("sta");
-            let delay_ns = netlist.longest_path(&lib).delay_ns;
-            let area = netlist.area(&lib);
-            rec.finish(sta);
-            let mut cx = Context::new(&flow.graph)
-                .baseline(g)
-                .clustering(&flow.clustering)
-                .netlist(&netlist)
-                .optimized(strategy == MergeStrategy::New);
-            if let Some(m) = &flow.merge {
-                cx = cx.transform(&m.transform);
-            }
-            let report = Verifier::default().run_with(&cx, &mut rec);
+    let jobs = args
+        .jobs
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+        .min(designs.len().max(1));
 
-            // QoR on the final (folded + swept) netlist, not the raw one.
-            let mut metrics = flow.metrics.clone();
-            metrics.gates = netlist.num_gates();
-            metrics.delay_ns = delay_ns;
-            metrics.area = area;
-            metrics.verify_errors = report.count(Severity::Error);
-            metrics.verify_warnings = report.count(Severity::Warn);
-            metrics.verify_infos = report.count(Severity::Info);
-            flows.push(
-                Json::obj()
-                    .field("strategy", strategy.to_string())
-                    .field("metrics", metrics.to_json())
-                    .field("trace_events", tr.len() as i64)
-                    .field("spans", rec.to_json()),
-            );
+    // Slot-indexed results: worker i writes only slot `next.fetch_add()`,
+    // so assembly order (and thus the report) is independent of scheduling.
+    let slots: Vec<Mutex<Option<Result<Json, String>>>> =
+        designs.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some((name, g)) = designs.get(i) else { break };
+                let row = bench_design(name, g, &args.config, &lib);
+                *slots[i].lock().unwrap() = Some(row);
+            });
         }
-        rows.push(Json::obj().field("design", name.as_str()).field("flows", flows));
+    });
+    let mut rows = Vec::with_capacity(designs.len());
+    for slot in slots {
+        rows.push(slot.into_inner().unwrap().expect("every design slot filled")?);
     }
-    let doc = Json::obj().field("schema", "dpmc-bench/2").field("designs", rows);
+    let doc = Json::obj().field("schema", "dpmc-bench/3").field("designs", rows);
     let rendered = doc.render_pretty();
     match &args.out {
         Some(path) => {

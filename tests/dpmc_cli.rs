@@ -125,12 +125,43 @@ fn bench_json_is_deterministic_modulo_timing() {
         String::from_utf8(out.stdout).expect("utf8 json")
     };
     let (a, b) = (run(), run());
-    assert!(a.contains("\"schema\": \"dpmc-bench/2\""), "{a}");
+    assert!(a.contains("\"schema\": \"dpmc-bench/3\""), "{a}");
     assert!(a.contains("\"strategy\": \"old-merge\""));
     assert!(a.contains("\"strategy\": \"new-merge\""));
     assert!(a.contains("\"trace_events\":"), "provenance event counts present");
+    assert!(a.contains("\"ports_skipped\":"), "worklist counters present");
     assert!(a.contains("\"us\":"), "per-stage wall-times present");
     assert_eq!(strip(&a), strip(&b), "only timing fields may differ between runs");
+}
+
+#[test]
+fn bench_output_is_independent_of_job_count() {
+    let strip = |s: &str| -> String {
+        s.lines().filter(|l| !l.contains("\"us\":")).collect::<Vec<_>>().join("\n")
+    };
+    let run = |jobs: &str| {
+        let out = dpmc()
+            .args(["bench", "--designs", "fig1,fig3,D3,D5,S64", "--jobs", jobs])
+            .output()
+            .expect("dpmc runs");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8(out.stdout).expect("utf8 json")
+    };
+    let serial = run("1");
+    let parallel = run("4");
+    assert_eq!(strip(&serial), strip(&parallel), "--jobs must not change the report");
+    // Design order in the report follows the --designs order, not
+    // completion order.
+    let pos = |s: &str, name: &str| s.find(&format!("\"design\": \"{name}\"")).expect(name);
+    assert!(pos(&parallel, "fig1") < pos(&parallel, "D3"));
+    assert!(pos(&parallel, "D3") < pos(&parallel, "S64"));
+}
+
+#[test]
+fn bench_rejects_zero_jobs() {
+    let out = dpmc().args(["bench", "--jobs", "0"]).output().expect("dpmc runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--jobs"));
 }
 
 #[test]
