@@ -81,6 +81,52 @@ impl RoundStats {
     }
 }
 
+/// Which resource cap a budgeted pipeline run exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetBreach {
+    /// The fixpoint round cap was reached while passes still made changes.
+    Rounds,
+    /// The cumulative worklist-insertion cap was exceeded.
+    WorklistPushes,
+    /// The graph grew past the node-count cap (extension-node insertion).
+    NodeCount,
+}
+
+impl fmt::Display for BudgetBreach {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BudgetBreach::Rounds => "fixpoint round cap",
+            BudgetBreach::WorklistPushes => "worklist push cap",
+            BudgetBreach::NodeCount => "node count cap",
+        })
+    }
+}
+
+/// Resource caps for one [`optimize_widths_budgeted`] run.
+///
+/// The default budget reproduces the classic pipeline exactly: the same
+/// round cap the un-budgeted entry points use, and no limits on worklist
+/// pushes or graph growth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineBudget {
+    /// Maximum fixpoint rounds (the un-budgeted pipeline uses 9).
+    pub max_rounds: usize,
+    /// Maximum cumulative worklist insertions across all rounds.
+    pub max_worklist_pushes: usize,
+    /// Maximum node count the transformed graph may reach.
+    pub max_nodes: usize,
+}
+
+impl Default for PipelineBudget {
+    fn default() -> Self {
+        PipelineBudget {
+            max_rounds: MAX_ROUNDS,
+            max_worklist_pushes: usize::MAX,
+            max_nodes: usize::MAX,
+        }
+    }
+}
+
 /// What [`optimize_widths`] changed.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TransformReport {
@@ -99,6 +145,9 @@ pub struct TransformReport {
     /// Per-round change/timing breakdown, one entry per executed round
     /// (so `history.len() == rounds`).
     pub history: Vec<RoundStats>,
+    /// Which resource cap stopped a budgeted run early, if any. Always
+    /// `None` when the run converged.
+    pub budget_breach: Option<BudgetBreach>,
 }
 
 impl TransformReport {
@@ -153,7 +202,10 @@ impl TransformReport {
         let outcome = match (self.converged, self.converging_pass()) {
             (true, Some(p)) => format!("converged by {p}"),
             (true, None) => "converged".to_string(),
-            (false, _) => "round cap hit".to_string(),
+            (false, _) => match self.budget_breach {
+                Some(b) => format!("stopped: {b} hit"),
+                None => "round cap hit".to_string(),
+            },
         };
         format!(
             "{} round(s) ({}), {:+} bits in {:.2} ms (per round {})",
@@ -206,8 +258,39 @@ pub fn optimize_widths(g: &mut Dfg) -> TransformReport {
 ///
 /// Panics if the graph is cyclic or structurally invalid.
 pub fn optimize_widths_with(g: &mut Dfg, rec: &mut Recorder, tr: &mut TraceLog) -> TransformReport {
+    optimize_widths_budgeted_with(g, &PipelineBudget::default(), rec, tr)
+}
+
+/// [`optimize_widths`] under explicit resource caps.
+///
+/// With [`PipelineBudget::default`] this is exactly [`optimize_widths`].
+/// A tighter budget stops the pipeline early — the graph is then
+/// functionally correct but not at the width fixpoint — and records which
+/// cap fired in [`TransformReport::budget_breach`]. The fault-tolerant
+/// flow driver uses this to bound analysis work on adversarial designs
+/// and degrade gracefully instead of looping.
+///
+/// # Panics
+///
+/// Panics if the graph is cyclic or structurally invalid.
+pub fn optimize_widths_budgeted(g: &mut Dfg, budget: &PipelineBudget) -> TransformReport {
+    optimize_widths_budgeted_with(g, budget, &mut Recorder::disabled(), &mut TraceLog::disabled())
+}
+
+/// [`optimize_widths_budgeted`] with timing spans and decision provenance.
+///
+/// # Panics
+///
+/// Panics if the graph is cyclic or structurally invalid.
+pub fn optimize_widths_budgeted_with(
+    g: &mut Dfg,
+    budget: &PipelineBudget,
+    rec: &mut Recorder,
+    tr: &mut TraceLog,
+) -> TransformReport {
     let pipeline = rec.span("optimize_widths");
     let mut report = TransformReport::default();
+    let mut total_pushes = 0usize;
     #[cfg(feature = "verify")]
     let mut watch = verify::RoundWatch::new(g);
     let mut eng = Engine::new(g);
@@ -252,11 +335,63 @@ pub fn optimize_widths_with(g: &mut Dfg, rec: &mut Recorder, tr: &mut TraceLog) 
             report.converged = true;
             break;
         }
-        if report.rounds >= MAX_ROUNDS {
+        total_pushes += pushes;
+        if report.rounds >= budget.max_rounds {
+            report.budget_breach = Some(BudgetBreach::Rounds);
+            break;
+        }
+        if total_pushes > budget.max_worklist_pushes {
+            report.budget_breach = Some(BudgetBreach::WorklistPushes);
+            break;
+        }
+        if g.num_nodes() > budget.max_nodes {
+            report.budget_breach = Some(BudgetBreach::NodeCount);
             break;
         }
     }
     rec.finish(pipeline);
+    report
+}
+
+/// Runs **only** the required-precision half of the pipeline (Theorem 4.2
+/// clamping) to its own fixpoint: the provably-legal fallback the
+/// fault-tolerant flow driver retreats to when information-content pruning
+/// fails its audit or exhausts its budget. No extension nodes are ever
+/// inserted and no IC bound is consulted, so the result depends only on
+/// the reverse-topological required-precision sweep.
+///
+/// # Panics
+///
+/// Panics if the graph is cyclic or structurally invalid.
+pub fn optimize_widths_rp_only_with(g: &mut Dfg, tr: &mut TraceLog) -> TransformReport {
+    let mut report = TransformReport::default();
+    loop {
+        let started = Instant::now();
+        let bits_before = total_bits(g);
+        let nodes_at_start = g.num_nodes();
+        let (n_rp, e_rp) = rp_transform_with(g, tr);
+        report.node_width_changes += n_rp;
+        report.edge_width_changes += e_rp;
+        report.rounds += 1;
+        report.history.push(RoundStats {
+            node_width_changes: n_rp,
+            edge_width_changes: e_rp,
+            rp_node_changes: n_rp,
+            rp_edge_changes: e_rp,
+            width_delta_bits: total_bits(g) - bits_before,
+            ports_visited: nodes_at_start,
+            elapsed: started.elapsed(),
+            ..RoundStats::default()
+        });
+        if n_rp + e_rp == 0 {
+            report.converged = true;
+            break;
+        }
+        if report.rounds >= MAX_ROUNDS {
+            report.budget_breach = Some(BudgetBreach::Rounds);
+            break;
+        }
+    }
     report
 }
 
@@ -329,6 +464,7 @@ pub fn optimize_widths_full_with(
             break;
         }
         if report.rounds >= MAX_ROUNDS {
+            report.budget_breach = Some(BudgetBreach::Rounds);
             break;
         }
     }

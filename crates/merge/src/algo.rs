@@ -79,11 +79,33 @@ pub fn cluster_max_with(
     let whole = rec.span("cluster_max");
     let transform = optimize_widths_with(g, rec, tr);
     let mut overrides = IntrinsicOverrides::new();
-    let mut report = MergeReport { transform, ..MergeReport::default() };
+    let (clustering, mut report) = refine_clusters_with(g, &mut overrides, rec, tr);
+    report.transform = transform;
+    rec.finish(whole);
+    (clustering, report)
+}
+
+/// Steps 2–4 of [`cluster_max`] alone: the iterative break/cluster/Huffman
+/// refinement loop over an **already width-optimized** graph. The width
+/// pipeline (step 1) is not run — callers that need it compose it
+/// themselves, which is how the fault-tolerant flow driver re-clusters
+/// after a width-stage rollback without re-entering the failed analysis.
+///
+/// `overrides` seeds the intrinsic information-content bounds consulted by
+/// the refinement (normally empty; the fault-injection harness plants lies
+/// here) and holds the Huffman-refined bounds on return. The returned
+/// [`MergeReport::transform`] is empty.
+pub fn refine_clusters_with(
+    g: &Dfg,
+    overrides: &mut IntrinsicOverrides,
+    rec: &mut Recorder,
+    tr: &mut TraceLog,
+) -> (Clustering, MergeReport) {
+    let mut report = MergeReport::default();
     let clustering = loop {
         report.rounds += 1;
         let round = rec.span(format!("merge round {}", report.rounds));
-        let ic = rec.scope("info_content", |_| info_content_with(g, &overrides));
+        let ic = rec.scope("info_content", |_| info_content_with(g, overrides));
         let breaks = rec.scope("find_breaks", |_| find_breaks_new(g, &ic));
         let clustering = rec.scope("extract_clusters", |_| extract_clusters(g, &breaks));
         report.break_nodes = breaks.iter().filter(|&&b| b).count();
@@ -121,9 +143,8 @@ pub fn cluster_max_with(
         }
     };
     if tr.is_enabled() {
-        trace_final_decisions(g, &overrides, &clustering, tr);
+        trace_final_decisions(g, overrides, &clustering, tr);
     }
-    rec.finish(whole);
     (clustering, report)
 }
 

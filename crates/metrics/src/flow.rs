@@ -66,13 +66,27 @@ pub struct FlowMetrics {
     pub verify_warnings: usize,
     /// Info-level diagnostics.
     pub verify_infos: usize,
+    /// Whether the fault-tolerant flow driver had to degrade this flow to
+    /// a fallback stage (see `dp_synth`'s `DegradationReport`). Healthy
+    /// flows leave this `false` and serialize no degradation fields at
+    /// all, so baselines recorded before degradation existed still compare
+    /// exactly.
+    pub degraded: bool,
+    /// The `FALLBACK-*` rule tags of the degradation steps taken, in
+    /// order. Empty for healthy flows.
+    pub fallbacks: Vec<String>,
 }
 
 impl FlowMetrics {
     /// Serializes every counter, in declaration order. Contains no timing
     /// fields by construction.
+    ///
+    /// The degradation fields (`degraded`, `fallbacks`) are emitted only
+    /// when the flow actually degraded: the bench comparison gate rejects
+    /// fresh keys absent from the baseline, and healthy runs must stay
+    /// byte-compatible with pre-degradation baselines.
     pub fn to_json(&self) -> Json {
-        Json::obj()
+        let doc = Json::obj()
             .field("strategy", self.strategy.as_str())
             .field("node_width_before", self.node_width_before)
             .field("node_width_after", self.node_width_after)
@@ -92,7 +106,14 @@ impl FlowMetrics {
             .field("area", self.area)
             .field("verify_errors", self.verify_errors)
             .field("verify_warnings", self.verify_warnings)
-            .field("verify_infos", self.verify_infos)
+            .field("verify_infos", self.verify_infos);
+        if !self.degraded {
+            return doc;
+        }
+        doc.field("degraded", true).field(
+            "fallbacks",
+            Json::Array(self.fallbacks.iter().map(|t| Json::from(t.as_str())).collect()),
+        )
     }
 }
 

@@ -27,6 +27,9 @@ pub enum SynthError {
     InvalidClustering(ClusterError),
     /// A cluster could not be linearized.
     Linearize(LinearizeError),
+    /// A guarded-flow audit rejected a synthesized artifact and the
+    /// degradation ladder was exhausted (see [`crate::run_flow_guarded`]).
+    Audit(String),
 }
 
 impl fmt::Display for SynthError {
@@ -35,6 +38,7 @@ impl fmt::Display for SynthError {
             SynthError::InvalidGraph(e) => write!(f, "invalid graph: {e}"),
             SynthError::InvalidClustering(e) => write!(f, "invalid clustering: {e}"),
             SynthError::Linearize(e) => write!(f, "cannot linearize cluster: {e}"),
+            SynthError::Audit(reason) => write!(f, "flow audit failed: {reason}"),
         }
     }
 }
@@ -45,6 +49,7 @@ impl Error for SynthError {
             SynthError::InvalidGraph(e) => Some(e),
             SynthError::InvalidClustering(e) => Some(e),
             SynthError::Linearize(e) => Some(e),
+            SynthError::Audit(_) => None,
         }
     }
 }
@@ -274,7 +279,7 @@ pub fn run_flow(
 
 /// Total operator-node plus edge width of a graph, the two QoR width
 /// figures the paper's transformations shrink.
-fn widths(g: &Dfg) -> (usize, usize) {
+pub(crate) fn widths(g: &Dfg) -> (usize, usize) {
     let nodes = g.total_op_width();
     let edges = g.edge_ids().map(|e| g.edge(e).width()).sum();
     (nodes, edges)

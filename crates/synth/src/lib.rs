@@ -60,6 +60,7 @@ mod adders;
 mod cluster;
 mod columns;
 mod flow;
+mod guard;
 mod product;
 
 pub use adders::{carry_select_add, kogge_stone_add, ripple_carry_add};
@@ -69,6 +70,12 @@ pub use flow::{
     run_flow, run_flow_with, synthesize, synthesize_with, CsaStats, FlowResult, MergeStrategy,
     SynthError,
 };
+pub use guard::{
+    run_flow_guarded, run_flow_guarded_with, Degradation, DegradationReport, Fallback, FlowBudget,
+    GuardedFlow,
+};
+#[cfg(feature = "fault-inject")]
+pub use guard::{run_flow_guarded_hooked, FlowFault};
 
 /// Final carry-propagate adder architecture.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]

@@ -82,6 +82,19 @@ pub enum Rule {
     /// Section 6: node assigned to a merged cluster (`before` = member
     /// count, `after` = cluster ordinal).
     ClusterMerge,
+    /// Graceful degradation: the IC half of the width pipeline was rolled
+    /// back and the flow kept only the provably-legal Theorem 4.2
+    /// (required-precision) widths. `before`/`after` are the total operator
+    /// widths before/after the rollback.
+    FallbackRpOnly,
+    /// Graceful degradation: the clustering was rolled back to singleton
+    /// clusters (one carry-propagate adder per operator). `before` is the
+    /// abandoned cluster count, `after` the singleton count.
+    FallbackSingleton,
+    /// Graceful degradation: the whole width transformation was rolled back
+    /// and the untransformed design was synthesized as-is. `before`/`after`
+    /// are the transformed/raw total operator widths.
+    FallbackRaw,
 }
 
 impl Rule {
@@ -99,6 +112,9 @@ impl Rule {
             Rule::BreakSynth2 => "BREAK-SYNTH-2",
             Rule::HuffmanCombine => "HUFFMAN-COMBINE",
             Rule::ClusterMerge => "CLUSTER-MERGE",
+            Rule::FallbackRpOnly => "FALLBACK-RP-ONLY",
+            Rule::FallbackSingleton => "FALLBACK-SINGLETON",
+            Rule::FallbackRaw => "FALLBACK-RAW",
         }
     }
 
@@ -121,6 +137,9 @@ impl Rule {
             Rule::BreakSynth2 => "break: cluster must stay single-output (Synth Cond 2)",
             Rule::HuffmanCombine => "tighter intrinsic IC via Huffman rebalancing (Thm 5.10)",
             Rule::ClusterMerge => "node assigned to a merged cluster (Section 6)",
+            Rule::FallbackRpOnly => "flow degraded to required-precision-only widths (Thm 4.2)",
+            Rule::FallbackSingleton => "flow degraded to singleton clusters (one CPA each)",
+            Rule::FallbackRaw => "flow degraded to the untransformed design",
         }
     }
 }

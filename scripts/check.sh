@@ -13,6 +13,10 @@ echo "==> cargo test (verify features)"
 cargo test -q -p dp-synth --features verify
 cargo test -q -p dp-analysis --features verify
 
+echo "==> cargo test (fault-inject features)"
+cargo test -q -p dp-synth --features verify,fault-inject
+cargo test -q -p dp-fault
+
 echo "==> cargo doc (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
@@ -30,6 +34,32 @@ cargo run --release --bin dpmc -- bench --jobs 1 --out /tmp/dpmc_jobs1.json
 cargo run --release --bin dpmc -- bench --jobs 4 --out /tmp/dpmc_jobs4.json
 diff <(grep -v '"us":' /tmp/dpmc_jobs1.json) <(grep -v '"us":' /tmp/dpmc_jobs4.json)
 rm -f /tmp/dpmc_jobs1.json /tmp/dpmc_jobs4.json
+
+echo "==> dpmc faultcheck (fixed seeds: detect-or-degrade on every builtin)"
+cargo run --release --bin dpmc -- faultcheck --seeds 8
+
+echo "==> unwrap/expect lint (non-test code of src/ and core crates)"
+# Bare .unwrap() is banned outright outside tests/doc-comments; justified
+# .expect("invariant") calls are budgeted — adding a new one without
+# raising the budget (and justifying it in review) fails the gate.
+EXPECT_BUDGET=35
+lint_scope="src crates/analysis/src crates/merge/src crates/synth/src crates/netlist/src"
+unwraps=0; expects=0
+for f in $(find $lint_scope -name '*.rs'); do
+  u=$(awk '/#\[cfg\(test\)\]/{exit} {t=$0; sub(/^[ \t]+/,"",t)} t ~ /^\/\// {next} /\.unwrap\(\)/{c++} END{print c+0}' "$f")
+  e=$(awk '/#\[cfg\(test\)\]/{exit} {t=$0; sub(/^[ \t]+/,"",t)} t ~ /^\/\// {next} /\.expect\(/{c++} END{print c+0}' "$f")
+  if [ "$u" -gt 0 ]; then echo "  $f: $u bare .unwrap() outside tests"; fi
+  unwraps=$((unwraps + u)); expects=$((expects + e))
+done
+if [ "$unwraps" -gt 0 ]; then
+  echo "unwrap lint: FAIL ($unwraps bare .unwrap() in non-test code; use a typed error or .expect with an invariant message)"
+  exit 1
+fi
+if [ "$expects" -gt "$EXPECT_BUDGET" ]; then
+  echo "unwrap lint: FAIL ($expects .expect() calls in non-test code > budget $EXPECT_BUDGET; prefer typed errors, or raise the budget with justification)"
+  exit 1
+fi
+echo "unwrap lint: OK (0 bare unwraps, $expects/$EXPECT_BUDGET expects)"
 
 echo "==> cargo clippy"
 cargo clippy --workspace --all-targets -- -D warnings

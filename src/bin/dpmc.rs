@@ -15,6 +15,8 @@
 //! dpmc dot design.dp [--annotate] [--out FILE]
 //! dpmc bench [--designs all|NAME,NAME,...] [--jobs N] [--out FILE]
 //!      [--compare BASELINE.json] [--max-regress-pct N]
+//! dpmc faultcheck [<design.dp>] [--designs all|NAME,...] [--seeds N]
+//!      [--classes c1,c2,...] [--json]
 //! ```
 //!
 //! `dpmc lint` runs the new-merge flow and then audits the optimized
@@ -46,10 +48,30 @@
 //! job count. Without `--out` the JSON goes to stdout. `--compare` diffs
 //! the run against a committed baseline: counters must match exactly,
 //! per-flow wall times may regress at most `--max-regress-pct` percent
-//! (default 50); any violation makes the exit code non-zero.
+//! (default 50); any violation makes the exit code non-zero. A design
+//! that fails or panics mid-bench becomes an `"error"` row instead of
+//! aborting the whole report.
+//!
+//! `dpmc faultcheck` runs the fault-injection harness: every requested
+//! design is synthesized through the *guarded* flow while a seeded
+//! [`datapath_merge::fault`] injector corrupts one intermediate artifact
+//! per run (operator width, extension node, information-content bound, or
+//! cluster membership). Every `(class, seed)` case must end in detection:
+//! a correct netlist (benign or degraded-with-`FALLBACK-*`-provenance) or
+//! a typed error — a panic or a silently wrong netlist fails the gate.
+//!
+//! # Exit codes
+//!
+//! `dpmc` distinguishes failure families by exit code (see
+//! [`datapath_merge::error::FlowError`]): `0` success, `1` a gate found
+//! problems (`lint`/`bench --compare`/`faultcheck`), `2` usage, `3` I/O,
+//! `4` DSL parse, `5` graph validation, `6` analysis, `7` clustering,
+//! `8` netlist emission.
 
 use std::process::ExitCode;
 
+use datapath_merge::error::FlowError;
+use datapath_merge::fault::{check_design, FaultClass};
 use datapath_merge::prelude::*;
 
 struct Args {
@@ -68,11 +90,17 @@ struct Args {
     dot: bool,
     annotate: bool,
     bench: bool,
+    faultcheck: bool,
     designs: Vec<String>,
     jobs: Option<usize>,
     out: Option<String>,
     compare: Option<String>,
     max_regress_pct: f64,
+    seeds: u64,
+    classes: Vec<String>,
+    budget_rounds: Option<usize>,
+    budget_pushes: Option<usize>,
+    budget_nodes: Option<usize>,
 }
 
 const USAGE: &str = "usage: dpmc <design.dp> [--flow new|old|none|all] \
@@ -82,7 +110,11 @@ const USAGE: &str = "usage: dpmc <design.dp> [--flow new|old|none|all] \
        dpmc explain <design.dp> [--node N | --port P] [--json]\n\
        dpmc dot <design.dp> [--annotate] [--out FILE]\n\
        dpmc bench [--designs all|NAME,NAME,...] [--jobs N] [--out FILE] \
-[--compare BASELINE.json] [--max-regress-pct N]";
+[--compare BASELINE.json] [--max-regress-pct N]\n\
+       dpmc faultcheck [<design.dp>] [--designs all|NAME,...] [--seeds N] \
+[--classes c1,c2,...] [--json]\n\
+flow budgets (run/faultcheck): [--budget-rounds N] [--budget-pushes N] \
+[--budget-nodes N]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -101,11 +133,17 @@ fn parse_args() -> Result<Args, String> {
         dot: false,
         annotate: false,
         bench: false,
+        faultcheck: false,
         designs: Vec::new(),
         jobs: None,
         out: None,
         compare: None,
         max_regress_pct: 50.0,
+        seeds: 8,
+        classes: Vec::new(),
+        budget_rounds: None,
+        budget_pushes: None,
+        budget_nodes: None,
     };
     let mut subcommand = false;
     let mut it = std::env::args().skip(1);
@@ -171,6 +209,39 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out" => args.out = Some(value(&mut it, "--out")?),
             "--compare" => args.compare = Some(value(&mut it, "--compare")?),
+            "--seeds" => {
+                let n: u64 = value(&mut it, "--seeds")?
+                    .parse()
+                    .map_err(|_| "bad --seeds value".to_string())?;
+                if n == 0 {
+                    return Err("--seeds must be at least 1".to_string());
+                }
+                args.seeds = n;
+            }
+            "--classes" => {
+                args.classes = value(&mut it, "--classes")?.split(',').map(str::to_string).collect()
+            }
+            "--budget-rounds" => {
+                args.budget_rounds = Some(
+                    value(&mut it, "--budget-rounds")?
+                        .parse()
+                        .map_err(|_| "bad --budget-rounds value".to_string())?,
+                )
+            }
+            "--budget-pushes" => {
+                args.budget_pushes = Some(
+                    value(&mut it, "--budget-pushes")?
+                        .parse()
+                        .map_err(|_| "bad --budget-pushes value".to_string())?,
+                )
+            }
+            "--budget-nodes" => {
+                args.budget_nodes = Some(
+                    value(&mut it, "--budget-nodes")?
+                        .parse()
+                        .map_err(|_| "bad --budget-nodes value".to_string())?,
+                )
+            }
             "--max-regress-pct" => {
                 args.max_regress_pct = value(&mut it, "--max-regress-pct")?
                     .parse()
@@ -183,6 +254,9 @@ fn parse_args() -> Result<Args, String> {
             "dot" if !subcommand && args.file.is_empty() => (args.dot, subcommand) = (true, true),
             "bench" if !subcommand && args.file.is_empty() => {
                 (args.bench, subcommand) = (true, true)
+            }
+            "faultcheck" if !subcommand && args.file.is_empty() => {
+                (args.faultcheck, subcommand) = (true, true)
             }
             other if !args.bench && args.file.is_empty() && !other.starts_with('-') => {
                 args.file = other.to_string()
@@ -197,12 +271,27 @@ fn parse_args() -> Result<Args, String> {
         if args.designs.is_empty() {
             args.designs = vec!["all".to_string()];
         }
+    } else if args.faultcheck {
+        if !args.file.is_empty() && !args.designs.is_empty() {
+            return Err(
+                "`dpmc faultcheck` takes a positional design or --designs, not both".to_string()
+            );
+        }
+        if args.out.is_some() {
+            return Err("--out only applies to `dpmc bench` and `dpmc dot`".to_string());
+        }
+        if args.compare.is_some() {
+            return Err("--compare only applies to `dpmc bench`".to_string());
+        }
+        if args.jobs.is_some() {
+            return Err("--jobs only applies to `dpmc bench`".to_string());
+        }
     } else {
         if args.file.is_empty() {
             return Err("no design file given".to_string());
         }
         if !args.designs.is_empty() {
-            return Err("--designs only applies to `dpmc bench`".to_string());
+            return Err("--designs only applies to `dpmc bench` and `dpmc faultcheck`".to_string());
         }
         if args.out.is_some() && !args.dot {
             return Err("--out only applies to `dpmc bench` and `dpmc dot`".to_string());
@@ -217,11 +306,22 @@ fn parse_args() -> Result<Args, String> {
     if args.deny_warnings && !args.lint {
         return Err("--deny-warnings only applies to `dpmc lint`".to_string());
     }
-    if (args.node.is_some() || args.json) && !args.explain {
-        return Err("--node/--port/--json only apply to `dpmc explain`".to_string());
+    if args.node.is_some() && !args.explain {
+        return Err("--node/--port only apply to `dpmc explain`".to_string());
+    }
+    if args.json && !(args.explain || args.faultcheck) {
+        return Err("--json only applies to `dpmc explain` and `dpmc faultcheck`".to_string());
+    }
+    if !args.classes.is_empty() && !args.faultcheck {
+        return Err("--classes only applies to `dpmc faultcheck`".to_string());
     }
     if args.annotate && !args.dot {
         return Err("--annotate only applies to `dpmc dot`".to_string());
+    }
+    let budgeted =
+        args.budget_rounds.is_some() || args.budget_pushes.is_some() || args.budget_nodes.is_some();
+    if budgeted && (args.lint || args.explain || args.dot || args.bench) {
+        return Err("--budget-* only apply to the main flow and `dpmc faultcheck`".to_string());
     }
     Ok(args)
 }
@@ -231,7 +331,7 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(e) => {
             eprintln!("dpmc: {e}\n{USAGE}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(FlowError::Usage(e).exit_code());
         }
     };
     let outcome = if args.lint {
@@ -242,29 +342,58 @@ fn main() -> ExitCode {
         run_dot(&args).map(|()| true)
     } else if args.bench {
         run_bench(&args)
+    } else if args.faultcheck {
+        run_faultcheck(&args)
     } else {
         run(&args).map(|()| true)
     };
     match outcome {
         Ok(true) => ExitCode::SUCCESS,
+        // Exit 1: the tool ran fine and a gate (lint / bench --compare /
+        // faultcheck) found problems.
         Ok(false) => ExitCode::FAILURE,
+        // Exit >= 2: the run itself failed; the code names the family.
         Err(e) => {
+            if args.json {
+                println!("{}", e.to_json().render_pretty());
+            }
             eprintln!("dpmc: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
+}
+
+/// Reads and parses a design file, classifying failures as I/O or parse
+/// errors.
+fn load_design(path: &str) -> Result<Dfg, FlowError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| FlowError::Io { path: path.to_string(), message: e.to_string() })?;
+    Ok(datapath_merge::dsl::parse_design(&text)?)
+}
+
+/// The [`FlowBudget`] for guarded flows, with any `--budget-*` overrides.
+fn flow_budget(args: &Args) -> FlowBudget {
+    let mut b = FlowBudget::default();
+    if let Some(n) = args.budget_rounds {
+        b.pipeline.max_rounds = n;
+    }
+    if let Some(n) = args.budget_pushes {
+        b.pipeline.max_worklist_pushes = n;
+    }
+    if let Some(n) = args.budget_nodes {
+        b.pipeline.max_nodes = n;
+    }
+    b
 }
 
 /// `dpmc lint`: run the new-merge flow, then audit every produced
 /// artifact with the semantic verifier. Returns `Ok(false)` when the
 /// design fails the lint gate.
-fn run_lint(args: &Args) -> Result<bool, String> {
-    let text = std::fs::read_to_string(&args.file)
-        .map_err(|e| format!("cannot read {}: {e}", args.file))?;
-    let base = datapath_merge::dsl::parse_design(&text).map_err(|e| e.to_string())?;
+fn run_lint(args: &Args) -> Result<bool, FlowError> {
+    let base = load_design(&args.file)?;
     let mut g = base.clone();
     let (clustering, merge_report) = cluster_max(&mut g);
-    let netlist = synthesize(&g, &clustering, &args.config).map_err(|e| e.to_string())?.sweep();
+    let netlist = synthesize(&g, &clustering, &args.config)?.sweep();
 
     let cx = Context::new(&g)
         .baseline(&base)
@@ -284,11 +413,11 @@ fn run_lint(args: &Args) -> Result<bool, String> {
 /// `dpmc explain`: re-run the new-merge flow with provenance recording
 /// and print the causal chain behind the requested node's final width and
 /// cluster assignment (or every operator's, without `--node`/`--port`).
-fn run_explain(args: &Args) -> Result<(), String> {
+fn run_explain(args: &Args) -> Result<(), FlowError> {
     use datapath_merge::explain::{self, run_traced};
     let text = std::fs::read_to_string(&args.file)
-        .map_err(|e| format!("cannot read {}: {e}", args.file))?;
-    let (g, names) = datapath_merge::dsl::parse_design_named(&text).map_err(|e| e.to_string())?;
+        .map_err(|e| FlowError::Io { path: args.file.clone(), message: e.to_string() })?;
+    let (g, names) = datapath_merge::dsl::parse_design_named(&text)?;
     let ex = run_traced(&g);
 
     let label_of = |n: NodeId| -> String {
@@ -306,7 +435,7 @@ fn run_explain(args: &Args) -> Result<(), String> {
             .unwrap_or_else(|| n.to_string())
     };
     let targets: Vec<NodeId> = match &args.node {
-        Some(spec) => vec![explain::resolve_node(&g, &names, spec)?],
+        Some(spec) => vec![explain::resolve_node(&g, &names, spec).map_err(FlowError::Usage)?],
         None => ex.graph.node_ids().filter(|&n| ex.graph.node(n).kind().is_op()).collect(),
     };
 
@@ -332,11 +461,9 @@ fn run_explain(args: &Args) -> Result<(), String> {
 
 /// `dpmc dot`: render the design (or, with `--annotate`, the optimized
 /// graph with provenance annotations) as Graphviz DOT.
-fn run_dot(args: &Args) -> Result<(), String> {
+fn run_dot(args: &Args) -> Result<(), FlowError> {
     use datapath_merge::explain::{annotations, run_traced};
-    let text = std::fs::read_to_string(&args.file)
-        .map_err(|e| format!("cannot read {}: {e}", args.file))?;
-    let g = datapath_merge::dsl::parse_design(&text).map_err(|e| e.to_string())?;
+    let g = load_design(&args.file)?;
     let dot = if args.annotate {
         let ex = run_traced(&g);
         ex.graph.to_dot_annotated(&annotations(&ex))
@@ -345,7 +472,8 @@ fn run_dot(args: &Args) -> Result<(), String> {
     };
     match &args.out {
         Some(path) => {
-            std::fs::write(path, &dot).map_err(|e| format!("cannot write {path}: {e}"))?;
+            std::fs::write(path, &dot)
+                .map_err(|e| FlowError::Io { path: path.clone(), message: e.to_string() })?;
             println!("wrote DOT to {path}");
         }
         None => print!("{dot}"),
@@ -370,7 +498,7 @@ fn builtin_designs() -> Vec<(String, Dfg)> {
 }
 
 /// Resolves `--designs` specs: `all`, a built-in name, or a `.dp` file.
-fn collect_designs(specs: &[String]) -> Result<Vec<(String, Dfg)>, String> {
+fn collect_designs(specs: &[String]) -> Result<Vec<(String, Dfg)>, FlowError> {
     let builtin = builtin_designs();
     if specs.len() == 1 && specs[0] == "all" {
         return Ok(builtin);
@@ -380,16 +508,13 @@ fn collect_designs(specs: &[String]) -> Result<Vec<(String, Dfg)>, String> {
         if let Some((name, g)) = builtin.iter().find(|(n, _)| n == spec) {
             out.push((name.clone(), g.clone()));
         } else if spec.ends_with(".dp") {
-            let text =
-                std::fs::read_to_string(spec).map_err(|e| format!("cannot read {spec}: {e}"))?;
-            let g = datapath_merge::dsl::parse_design(&text).map_err(|e| e.to_string())?;
-            out.push((module_name(spec), g));
+            out.push((module_name(spec), load_design(spec)?));
         } else {
             let names: Vec<&str> = builtin.iter().map(|(n, _)| n.as_str()).collect();
-            return Err(format!(
+            return Err(FlowError::Usage(format!(
                 "unknown design `{spec}` (built-ins: {}; or pass a .dp file)",
                 names.join(", ")
-            ));
+            )));
         }
     }
     Ok(out)
@@ -452,7 +577,13 @@ fn bench_design(name: &str, g: &Dfg, config: &SynthConfig, lib: &Library) -> Res
 /// results land in per-design slots, so the report is identical for any
 /// job count. With `--compare`, additionally diff against a committed
 /// baseline; returns `Ok(false)` when the regression gate fails.
-fn run_bench(args: &Args) -> Result<bool, String> {
+///
+/// One failing (or even panicking) design does not abort the report: its
+/// row becomes `{"design": NAME, "error": MESSAGE}`, the remaining
+/// designs still run, and the whole bench exits non-zero. Healthy rows
+/// are byte-identical to a run without any failures.
+fn run_bench(args: &Args) -> Result<bool, FlowError> {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
 
@@ -473,29 +604,54 @@ fn run_bench(args: &Args) -> Result<bool, String> {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some((name, g)) = designs.get(i) else { break };
-                let row = bench_design(name, g, &args.config, &lib);
-                *slots[i].lock().unwrap() = Some(row);
+                // A panicking design must not take down its worker (and
+                // with it, silently, every design the worker would have
+                // pulled next): contain it and report it as a row.
+                let row =
+                    catch_unwind(AssertUnwindSafe(|| bench_design(name, g, &args.config, &lib)))
+                        .unwrap_or_else(|_| Err(format!("{name}: panicked during bench")));
+                *slots[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(row);
             });
         }
     });
     let mut rows = Vec::with_capacity(designs.len());
-    for slot in slots {
-        rows.push(slot.into_inner().unwrap().expect("every design slot filled")?);
+    let mut errors: Vec<String> = Vec::new();
+    for (slot, (name, _)) in slots.into_iter().zip(&designs) {
+        let row = slot
+            .into_inner()
+            .unwrap_or_else(|p| p.into_inner())
+            .unwrap_or_else(|| Err(format!("{name}: worker died before writing a result")));
+        match row {
+            Ok(json) => rows.push(json),
+            Err(msg) => {
+                errors.push(msg.clone());
+                rows.push(Json::obj().field("design", name.as_str()).field("error", msg));
+            }
+        }
     }
     let doc = Json::obj().field("schema", "dpmc-bench/3").field("designs", rows);
     let rendered = doc.render_pretty();
     match &args.out {
         Some(path) => {
-            std::fs::write(path, &rendered).map_err(|e| format!("cannot write {path}: {e}"))?;
+            std::fs::write(path, &rendered)
+                .map_err(|e| FlowError::Io { path: path.clone(), message: e.to_string() })?;
             println!("wrote {} design(s) x 2 flows to {path}", designs.len());
         }
         None if args.compare.is_none() => print!("{rendered}"),
         None => {}
     }
+    if !errors.is_empty() {
+        for e in &errors {
+            eprintln!("dpmc bench: {e}");
+        }
+        eprintln!("dpmc bench: {}/{} design(s) failed", errors.len(), designs.len());
+        return Ok(false);
+    }
     if let Some(path) = &args.compare {
         use datapath_merge::compare::{compare_reports, CompareConfig};
-        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        let baseline = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| FlowError::Io { path: path.clone(), message: e.to_string() })?;
+        let baseline = Json::parse(&text).map_err(|e| FlowError::Usage(format!("{path}: {e}")))?;
         let cfg = CompareConfig { max_regress_pct: args.max_regress_pct, ..Default::default() };
         let report = compare_reports(&baseline, &doc, &cfg);
         print!("{path}: {}", report.render());
@@ -504,11 +660,115 @@ fn run_bench(args: &Args) -> Result<bool, String> {
     Ok(true)
 }
 
-fn run(args: &Args) -> Result<(), String> {
-    let text = std::fs::read_to_string(&args.file)
-        .map_err(|e| format!("cannot read {}: {e}", args.file))?;
-    let g = datapath_merge::dsl::parse_design(&text).map_err(|e| e.to_string())?;
+/// `dpmc faultcheck`: run the fault-injection matrix — every requested
+/// design × every fault class × `--seeds` seeds — through the guarded
+/// flow and demand detect-and-degrade: a correct netlist or a typed
+/// error, never a panic, never a silently wrong netlist. Returns
+/// `Ok(false)` when any case violates that contract.
+fn run_faultcheck(args: &Args) -> Result<bool, FlowError> {
+    let designs = if !args.file.is_empty() {
+        vec![(module_name(&args.file), load_design(&args.file)?)]
+    } else if args.designs.is_empty() {
+        // Default matrix: every named builtin (figures + evaluation
+        // designs); the generated scaling family is for perf benches and
+        // adds minutes for no extra coverage. `--designs all` includes it.
+        builtin_designs().into_iter().filter(|(n, _)| !n.starts_with('S')).collect()
+    } else {
+        collect_designs(&args.designs)?
+    };
+    let classes: Vec<FaultClass> = if args.classes.is_empty() {
+        FaultClass::ALL.to_vec()
+    } else {
+        args.classes
+            .iter()
+            .map(|s| {
+                FaultClass::parse(s).ok_or_else(|| {
+                    let names: Vec<&str> = FaultClass::ALL.iter().map(|c| c.name()).collect();
+                    FlowError::Usage(format!(
+                        "unknown fault class `{s}` (classes: {})",
+                        names.join(", ")
+                    ))
+                })
+            })
+            .collect::<Result<_, _>>()?
+    };
+    let budget = flow_budget(args);
+
+    let mut all_passed = true;
+    let mut rows = Vec::new();
+    for (name, g) in &designs {
+        let report = check_design(name, g, &classes, args.seeds, &args.config, &budget);
+        let (benign, degraded, error, failures) = report.tally();
+        if args.json {
+            let cases: Vec<Json> = report
+                .cases
+                .iter()
+                .map(|c| {
+                    Json::obj()
+                        .field("class", c.class.name())
+                        .field("seed", c.seed as i64)
+                        .field(
+                            "injected",
+                            match &c.injected {
+                                Some(s) => Json::Str(s.clone()),
+                                None => Json::Null,
+                            },
+                        )
+                        .field("outcome", c.outcome.label())
+                        .field("detail", c.outcome.detail())
+                })
+                .collect();
+            rows.push(Json::obj().field("design", name.as_str()).field("cases", cases));
+        } else {
+            println!(
+                "{name}: {} case(s): {benign} benign, {degraded} degraded, {error} typed-error, \
+                 {failures} FAILURE(S)",
+                report.cases.len()
+            );
+            for c in report.cases.iter().filter(|c| c.outcome.is_failure()) {
+                println!(
+                    "  FAIL {name} class={} seed={} injected={}: {} ({})",
+                    c.class,
+                    c.seed,
+                    c.injected.as_deref().unwrap_or("-"),
+                    c.outcome.label(),
+                    c.outcome.detail()
+                );
+            }
+        }
+        all_passed &= report.passed();
+    }
+    if args.json {
+        let doc = Json::obj()
+            .field("schema", "dpmc-faultcheck/1")
+            .field("seeds", args.seeds as i64)
+            .field(
+                "classes",
+                Json::Array(classes.iter().map(|c| Json::Str(c.name().to_string())).collect()),
+            )
+            .field("passed", all_passed)
+            .field("designs", rows);
+        print!("{}", doc.render_pretty());
+    } else {
+        println!(
+            "faultcheck: {} design(s) x {} class(es) x {} seed(s): {}",
+            designs.len(),
+            classes.len(),
+            args.seeds,
+            if all_passed {
+                "all held the detect-or-degrade contract"
+            } else {
+                "CONTRACT VIOLATIONS"
+            }
+        );
+    }
+    Ok(all_passed)
+}
+
+fn run(args: &Args) -> Result<(), FlowError> {
+    let g = load_design(&args.file)?;
     let lib = Library::synthetic_025um();
+    let budget = flow_budget(args);
     println!(
         "{}: {} inputs, {} operators, {} outputs",
         args.file,
@@ -518,7 +778,11 @@ fn run(args: &Args) -> Result<(), String> {
     );
 
     for &strategy in &args.flows {
-        let flow = run_flow(&g, strategy, &args.config).map_err(|e| e.to_string())?;
+        let guarded = run_flow_guarded(&g, strategy, &args.config, &budget)?;
+        if let Some(report) = &guarded.degradation {
+            print!("[{strategy}] {}", report.render());
+        }
+        let flow = guarded.flow;
         let mut netlist = flow.netlist;
         datapath_merge::opt::fold_constants(&mut netlist);
         let mut netlist = netlist.sweep();
@@ -588,12 +852,12 @@ fn run(args: &Args) -> Result<(), String> {
         if let Some(path) = &args.emit_verilog {
             let module = module_name(&args.file);
             std::fs::write(path, netlist.to_verilog(&module))
-                .map_err(|e| format!("cannot write {path}: {e}"))?;
+                .map_err(|e| FlowError::Io { path: path.clone(), message: e.to_string() })?;
             println!("[{strategy}] wrote Verilog to {path}");
         }
         if let Some(path) = &args.emit_dot {
             std::fs::write(path, flow.graph.to_dot())
-                .map_err(|e| format!("cannot write {path}: {e}"))?;
+                .map_err(|e| FlowError::Io { path: path.clone(), message: e.to_string() })?;
             println!("[{strategy}] wrote DOT to {path}");
         }
     }
@@ -605,19 +869,19 @@ fn module_name(file: &str) -> String {
     base.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
 }
 
-fn check_equivalence(g: &Dfg, netlist: &Netlist, trials: usize) -> Result<(), String> {
+fn check_equivalence(g: &Dfg, netlist: &Netlist, trials: usize) -> Result<(), FlowError> {
     use rand::{rngs::StdRng, SeedableRng};
     let mut rng = StdRng::seed_from_u64(0xD93C);
     for _ in 0..trials {
         let inputs = datapath_merge::dfg::gen::random_inputs(g, &mut rng);
-        let expect = g.evaluate(&inputs).map_err(|e| e.to_string())?;
-        let got = netlist.simulate(&inputs).map_err(|e| e.to_string())?;
+        let expect = g.evaluate(&inputs).map_err(|e| FlowError::Netlist(e.to_string()))?;
+        let got = netlist.simulate(&inputs).map_err(|e| FlowError::Netlist(e.to_string()))?;
         for (k, o) in g.outputs().iter().enumerate() {
             if got[k] != expect[o] {
-                return Err(format!(
+                return Err(FlowError::Netlist(format!(
                     "netlist differs from design at output `{}`",
                     g.node(*o).name().unwrap_or("?")
-                ));
+                )));
             }
         }
     }

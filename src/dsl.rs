@@ -26,37 +26,88 @@
 //!
 //! An operand is `NAME[:s|:u][/EDGEWIDTH]`; the signedness defaults to
 //! unsigned and the edge width to the source's width.
+//!
+//! # Error recovery
+//!
+//! The parser does not stop at the first defect: every malformed line is
+//! reported as a [`ParseError`] carrying the 1-based line, column and the
+//! offending token, and parsing continues on the next line so one run
+//! surfaces every problem in the file. A name whose definition failed is
+//! *poisoned* — later references to it are silently skipped rather than
+//! reported as spurious `unknown name` cascades.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
 
 use dp_bitvec::{BitVec, Signedness};
 use dp_dfg::{Dfg, NodeId, OpKind};
 
-/// A parse failure, with the 1-based line it occurred on.
+/// One parse failure, located to line, column and token.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct DslError {
+pub struct ParseError {
     /// 1-based line number.
     pub line: usize,
+    /// 1-based character column of the offending token.
+    pub col: usize,
+    /// The offending token (may be empty when the whole line is at
+    /// fault, e.g. a truncated statement).
+    pub token: String,
     /// What went wrong.
     pub message: String,
 }
 
-impl fmt::Display for DslError {
+impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        write!(f, "line {}:{}: {}", self.line, self.col, self.message)?;
+        if !self.token.is_empty() {
+            write!(f, " (at `{}`)", self.token)?;
+        }
+        Ok(())
     }
 }
 
-impl Error for DslError {}
+impl Error for ParseError {}
+
+/// Every parse failure in one design file, in source order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseErrors {
+    /// The failures, ordered by line then column.
+    pub errors: Vec<ParseError>,
+}
+
+impl ParseErrors {
+    /// Number of failures (always at least 1 when returned as `Err`).
+    pub fn len(&self) -> usize {
+        self.errors.len()
+    }
+
+    /// `true` when there are no failures (never for a returned `Err`).
+    pub fn is_empty(&self) -> bool {
+        self.errors.is_empty()
+    }
+}
+
+impl fmt::Display for ParseErrors {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, e) in self.errors.iter().enumerate() {
+            if k > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for ParseErrors {}
 
 /// Parses a design description into a [`Dfg`].
 ///
 /// # Errors
 ///
-/// Returns the first [`DslError`] encountered; the resulting graph is also
-/// validated structurally.
+/// Returns every [`ParseError`] in the file (the parser recovers per
+/// line); a cleanly parsed graph is also validated structurally.
 ///
 /// ```
 /// let g = datapath_merge::dsl::parse_design(
@@ -65,7 +116,7 @@ impl Error for DslError {}
 /// assert_eq!(g.inputs().len(), 2);
 /// assert_eq!(g.op_nodes().count(), 1);
 /// ```
-pub fn parse_design(text: &str) -> Result<Dfg, DslError> {
+pub fn parse_design(text: &str) -> Result<Dfg, ParseErrors> {
     parse_design_named(text).map(|(g, _)| g)
 }
 
@@ -76,75 +127,259 @@ pub fn parse_design(text: &str) -> Result<Dfg, DslError> {
 ///
 /// # Errors
 ///
-/// Returns the first [`DslError`] encountered; the resulting graph is also
+/// Returns every [`ParseError`] in the file; the resulting graph is also
 /// validated structurally.
-pub fn parse_design_named(text: &str) -> Result<(Dfg, HashMap<String, NodeId>), DslError> {
-    let mut g = Dfg::new();
-    let mut names: HashMap<String, NodeId> = HashMap::new();
+pub fn parse_design_named(text: &str) -> Result<(Dfg, HashMap<String, NodeId>), ParseErrors> {
+    let mut p = Parser { g: Dfg::new(), names: HashMap::new(), poisoned: HashSet::new() };
+    let mut errors: Vec<ParseError> = Vec::new();
     for (idx, raw) in text.lines().enumerate() {
-        let line_no = idx + 1;
-        let err = |message: String| DslError { line: line_no, message };
-        let line = raw.split('#').next().unwrap_or("").trim();
-        if line.is_empty() {
+        let code = raw.split('#').next().unwrap_or("");
+        let tokens = tokenize(code);
+        if tokens.is_empty() {
             continue;
         }
-        let tokens: Vec<&str> = line.split_whitespace().collect();
-        match tokens[0] {
+        p.parse_line(idx + 1, &tokens, &mut errors);
+    }
+    if errors.is_empty() {
+        if let Err(e) = p.g.validate() {
+            errors.push(ParseError {
+                line: text.lines().count().max(1),
+                col: 1,
+                token: String::new(),
+                message: format!("invalid design: {e}"),
+            });
+        }
+    }
+    if errors.is_empty() {
+        Ok((p.g, p.names))
+    } else {
+        Err(ParseErrors { errors })
+    }
+}
+
+/// A token with its 1-based source column.
+struct Tok<'a> {
+    col: usize,
+    text: &'a str,
+}
+
+/// Splits a comment-stripped line on whitespace, keeping character
+/// columns.
+fn tokenize(code: &str) -> Vec<Tok<'_>> {
+    let mut toks = Vec::new();
+    let mut start: Option<(usize, usize)> = None; // (byte, col)
+    let mut col = 0usize;
+    for (byte, ch) in code.char_indices() {
+        col += 1;
+        if ch.is_whitespace() {
+            if let Some((b, c)) = start.take() {
+                toks.push(Tok { col: c, text: &code[b..byte] });
+            }
+        } else if start.is_none() {
+            start = Some((byte, col));
+        }
+    }
+    if let Some((b, c)) = start {
+        toks.push(Tok { col: c, text: &code[b..] });
+    }
+    toks
+}
+
+/// What resolving an operand produced: a value, a reportable error, or a
+/// silent skip because the referenced name is poisoned.
+enum Resolved {
+    Ok(Operand),
+    Err(ParseError),
+    Poisoned,
+}
+
+struct Parser {
+    g: Dfg,
+    names: HashMap<String, NodeId>,
+    /// Names whose definitions failed: references to them are suppressed
+    /// instead of reported as spurious `unknown name` errors.
+    poisoned: HashSet<String>,
+}
+
+impl Parser {
+    /// Parses one statement, appending any failures to `errors`. Always
+    /// recovers: the parser state stays usable for the next line.
+    fn parse_line(&mut self, line: usize, tokens: &[Tok<'_>], errors: &mut Vec<ParseError>) {
+        let before = errors.len();
+        match tokens[0].text {
             "input" => {
-                let [_, name, width] = tokens[..] else {
-                    return Err(err("expected: input NAME WIDTH".into()));
-                };
-                let width = parse_width(width).map_err(&err)?;
-                define(&mut names, name, g.input(name, width)).map_err(&err)?;
+                if tokens.len() != 3 {
+                    errors.push(at(line, &tokens[0], "expected: input NAME WIDTH"));
+                    self.poison_if_named(tokens.get(1));
+                    return;
+                }
+                match parse_width(line, &tokens[2]) {
+                    Ok(width) => {
+                        let name = tokens[1].text;
+                        let id = self.g.input(name, width);
+                        self.define(line, &tokens[1], id, errors);
+                    }
+                    Err(e) => {
+                        errors.push(e);
+                        self.poison_if_named(tokens.get(1));
+                    }
+                }
             }
             "const" => {
-                if tokens.len() != 4 || tokens[2] != "=" {
-                    return Err(err("expected: const NAME = <literal>".into()));
+                if tokens.len() != 4 || tokens[2].text != "=" {
+                    errors.push(at(line, &tokens[0], "expected: const NAME = <literal>"));
+                    self.poison_if_named(tokens.get(1));
+                    return;
                 }
-                let value: BitVec =
-                    tokens[3].parse().map_err(|e| err(format!("bad literal: {e}")))?;
-                define(&mut names, tokens[1], g.constant(value)).map_err(&err)?;
+                match tokens[3].text.parse::<BitVec>() {
+                    Ok(value) => {
+                        let id = self.g.constant(value);
+                        self.define(line, &tokens[1], id, errors);
+                    }
+                    Err(e) => {
+                        errors.push(at(line, &tokens[3], format!("bad literal: {e}")));
+                        self.poison_if_named(tokens.get(1));
+                    }
+                }
             }
             "output" => {
                 if tokens.len() != 4 {
-                    return Err(err("expected: output NAME WIDTH OPERAND".into()));
+                    errors.push(at(line, &tokens[0], "expected: output NAME WIDTH OPERAND"));
+                    return;
                 }
-                let width = parse_width(tokens[2]).map_err(&err)?;
-                let op = parse_operand(&g, &names, tokens[3]).map_err(&err)?;
-                g.output_with_edge(tokens[1], width, op.node, op.edge_width, op.signedness);
+                let width = match parse_width(line, &tokens[2]) {
+                    Ok(w) => w,
+                    Err(e) => {
+                        errors.push(e);
+                        return;
+                    }
+                };
+                match self.resolve_operand(line, &tokens[3]) {
+                    Resolved::Ok(op) => {
+                        self.g.output_with_edge(
+                            tokens[1].text,
+                            width,
+                            op.node,
+                            op.edge_width,
+                            op.signedness,
+                        );
+                    }
+                    Resolved::Err(e) => errors.push(e),
+                    Resolved::Poisoned => {}
+                }
             }
-            name => {
+            _ => {
                 // NAME = OP WIDTH OPERAND [OPERAND]
-                if tokens.len() < 4 || tokens[1] != "=" {
-                    return Err(err("expected: NAME = OP WIDTH OPERAND [OPERAND]".into()));
+                if tokens.len() < 4 || tokens[1].text != "=" {
+                    errors.push(at(
+                        line,
+                        &tokens[0],
+                        "expected: NAME = OP WIDTH OPERAND [OPERAND]",
+                    ));
+                    self.poison_if_named(tokens.first());
+                    return;
                 }
-                let op = parse_op(tokens[2]).map_err(&err)?;
-                let width = parse_width(tokens[3]).map_err(&err)?;
+                let op = match parse_op(line, &tokens[2]) {
+                    Ok(op) => Some(op),
+                    Err(e) => {
+                        errors.push(e);
+                        None
+                    }
+                };
+                let width = match parse_width(line, &tokens[3]) {
+                    Ok(w) => Some(w),
+                    Err(e) => {
+                        errors.push(e);
+                        None
+                    }
+                };
                 let operand_tokens = &tokens[4..];
-                if operand_tokens.len() != op.arity() {
-                    return Err(err(format!(
-                        "{} takes {} operand(s), found {}",
-                        tokens[2],
-                        op.arity(),
-                        operand_tokens.len()
-                    )));
+                let mut suppressed = false;
+                let mut operands = Vec::new();
+                for t in operand_tokens {
+                    match self.resolve_operand(line, t) {
+                        Resolved::Ok(op) => operands.push(op),
+                        Resolved::Err(e) => errors.push(e),
+                        Resolved::Poisoned => suppressed = true,
+                    }
                 }
-                let operands: Vec<Operand> = operand_tokens
-                    .iter()
-                    .map(|t| parse_operand(&g, &names, t))
-                    .collect::<Result<_, _>>()
-                    .map_err(&err)?;
+                let (Some(op), Some(width)) = (op, width) else {
+                    self.poison_if_named(tokens.first());
+                    return;
+                };
+                if operand_tokens.len() != op.arity() {
+                    errors.push(at(
+                        line,
+                        &tokens[2],
+                        format!(
+                            "{} takes {} operand(s), found {}",
+                            tokens[2].text,
+                            op.arity(),
+                            operand_tokens.len()
+                        ),
+                    ));
+                }
+                if errors.len() > before || suppressed {
+                    self.poison_if_named(tokens.first());
+                    return;
+                }
                 let spec: Vec<(NodeId, usize, Signedness)> =
                     operands.iter().map(|o| (o.node, o.edge_width, o.signedness)).collect();
-                define(&mut names, name, g.op_with_edges(op, width, &spec)).map_err(&err)?;
+                let id = self.g.op_with_edges(op, width, &spec);
+                self.define(line, &tokens[0], id, errors);
             }
         }
     }
-    g.validate().map_err(|e| DslError {
-        line: text.lines().count(),
-        message: format!("invalid design: {e}"),
-    })?;
-    Ok((g, names))
+
+    /// Binds a freshly created node to its DSL name, reporting redefinition.
+    fn define(&mut self, line: usize, tok: &Tok<'_>, id: NodeId, errors: &mut Vec<ParseError>) {
+        if self.names.insert(tok.text.to_string(), id).is_some() {
+            errors.push(at(line, tok, format!("name `{}` defined twice", tok.text)));
+        }
+    }
+
+    /// Marks a definition's target name as poisoned so later references to
+    /// it are suppressed rather than reported as unknown.
+    fn poison_if_named(&mut self, tok: Option<&Tok<'_>>) {
+        if let Some(t) = tok {
+            if !t.text.is_empty() && !self.names.contains_key(t.text) {
+                self.poisoned.insert(t.text.to_string());
+            }
+        }
+    }
+
+    /// Resolves `NAME[:s|:u][/EDGEWIDTH]` against the defined names.
+    fn resolve_operand(&self, line: usize, tok: &Tok<'_>) -> Resolved {
+        let t = tok.text;
+        let (rest, edge_width) = match t.split_once('/') {
+            Some((rest, w)) => match w.parse::<usize>() {
+                Ok(w) if w >= 1 => (rest, Some(w)),
+                _ => return Resolved::Err(at(line, tok, format!("bad edge width `{w}`"))),
+            },
+            None => (t, None),
+        };
+        let (name, signedness) = match rest.split_once(':') {
+            Some((name, "s")) | Some((name, "signed")) => (name, Signedness::Signed),
+            Some((name, "u")) | Some((name, "unsigned")) => (name, Signedness::Unsigned),
+            Some((_, other)) => {
+                return Resolved::Err(at(
+                    line,
+                    tok,
+                    format!("bad signedness `{other}` (use s or u)"),
+                ));
+            }
+            None => (rest, Signedness::Unsigned),
+        };
+        match self.names.get(name) {
+            Some(&node) => Resolved::Ok(Operand {
+                node,
+                edge_width: edge_width.unwrap_or_else(|| self.g.node(node).width()),
+                signedness,
+            }),
+            None if self.poisoned.contains(name) => Resolved::Poisoned,
+            None => Resolved::Err(at(line, tok, format!("unknown name `{name}`"))),
+        }
+    }
 }
 
 struct Operand {
@@ -153,55 +388,40 @@ struct Operand {
     signedness: Signedness,
 }
 
-fn define(names: &mut HashMap<String, NodeId>, name: &str, id: NodeId) -> Result<(), String> {
-    if names.insert(name.to_string(), id).is_some() {
-        return Err(format!("name `{name}` defined twice"));
-    }
-    Ok(())
+fn at(line: usize, tok: &Tok<'_>, message: impl Into<String>) -> ParseError {
+    ParseError { line, col: tok.col, token: tok.text.to_string(), message: message.into() }
 }
 
-fn parse_width(t: &str) -> Result<usize, String> {
-    let w: usize = t.parse().map_err(|_| format!("bad width `{t}`"))?;
+fn parse_width(line: usize, tok: &Tok<'_>) -> Result<usize, ParseError> {
+    let w: usize =
+        tok.text.parse().map_err(|_| at(line, tok, format!("bad width `{}`", tok.text)))?;
     if w == 0 {
-        return Err("width must be at least 1".into());
+        return Err(at(line, tok, "width must be at least 1"));
     }
     Ok(w)
 }
 
-fn parse_op(t: &str) -> Result<OpKind, String> {
-    match t {
+fn parse_op(line: usize, tok: &Tok<'_>) -> Result<OpKind, ParseError> {
+    match tok.text {
         "add" => Ok(OpKind::Add),
         "sub" => Ok(OpKind::Sub),
         "neg" => Ok(OpKind::Neg),
         "mul" => Ok(OpKind::Mul),
-        _ => {
+        t => {
             if let Some(k) = t.strip_prefix("shl") {
-                let k: u8 = k.parse().map_err(|_| format!("bad shift `{t}`"))?;
+                let k: u8 = k.parse().map_err(|_| at(line, tok, format!("bad shift `{t}`")))?;
                 Ok(OpKind::Shl(k))
             } else {
-                Err(format!("unknown operator `{t}`"))
+                Err(at(line, tok, format!("unknown operator `{t}`")))
             }
         }
     }
 }
 
-fn parse_operand(g: &Dfg, names: &HashMap<String, NodeId>, t: &str) -> Result<Operand, String> {
-    let (rest, edge_width) = match t.split_once('/') {
-        Some((rest, w)) => (rest, Some(parse_width(w)?)),
-        None => (t, None),
-    };
-    let (name, signedness) = match rest.split_once(':') {
-        Some((name, "s")) | Some((name, "signed")) => (name, Signedness::Signed),
-        Some((name, "u")) | Some((name, "unsigned")) => (name, Signedness::Unsigned),
-        Some((_, other)) => return Err(format!("bad signedness `{other}` (use s or u)")),
-        None => (rest, Signedness::Unsigned),
-    };
-    let node = *names.get(name).ok_or_else(|| format!("unknown name `{name}`"))?;
-    Ok(Operand { node, edge_width: edge_width.unwrap_or_else(|| g.node(node).width()), signedness })
-}
-
 /// Renders a graph back into the DSL (a best-effort inverse of
-/// [`parse_design`]: node names are regenerated).
+/// [`parse_design`]: node names are regenerated). A graph with a cycle —
+/// which cannot come from the parser — is emitted in node-id order so
+/// the rendering never panics.
 ///
 /// ```
 /// let g = datapath_merge::dsl::parse_design(
@@ -225,7 +445,8 @@ pub fn to_dsl(g: &Dfg) -> String {
         let t = if edge.signedness().is_signed() { "s" } else { "u" };
         format!("{}:{}/{}", name_of(edge.src()), t, edge.width())
     };
-    for n in g.topo_order().expect("valid graph") {
+    let order = g.topo_order().unwrap_or_else(|| g.node_ids().collect());
+    for n in order {
         let node = g.node(n);
         match node.kind() {
             NodeKind::Input => {
@@ -322,25 +543,73 @@ output r 9 s:s
     }
 
     #[test]
-    fn error_messages_carry_line_numbers() {
-        let err = parse_design("input a 4\nbogus line here\n").unwrap_err();
-        assert_eq!(err.line, 2);
-        assert!(err.to_string().contains("line 2"));
+    fn error_messages_carry_line_and_column_spans() {
+        let errs = parse_design("input a 4\nbogus line here\n").unwrap_err();
+        assert_eq!(errs.errors[0].line, 2);
+        assert_eq!(errs.errors[0].col, 1);
+        assert!(errs.to_string().contains("line 2:1"));
 
-        let err = parse_design("input a 0").unwrap_err();
-        assert!(err.message.contains("width"));
+        let errs = parse_design("input a 0").unwrap_err();
+        assert!(errs.errors[0].message.contains("width"));
+        assert_eq!(errs.errors[0].col, 9, "column points at the width token");
+        assert_eq!(errs.errors[0].token, "0");
 
-        let err = parse_design("input a 4\ns = add 5 a q").unwrap_err();
-        assert!(err.message.contains("unknown name `q`"));
+        let errs = parse_design("input a 4\ns = add 5 a q").unwrap_err();
+        assert!(errs.errors[0].message.contains("unknown name `q`"));
 
-        let err = parse_design("input a 4\ns = neg 5 a a").unwrap_err();
-        assert!(err.message.contains("takes 1 operand"));
+        let errs = parse_design("input a 4\ns = neg 5 a a").unwrap_err();
+        assert!(errs.errors[0].message.contains("takes 1 operand"));
 
-        let err = parse_design("input a 4\ninput a 5").unwrap_err();
-        assert!(err.message.contains("defined twice"));
+        let errs = parse_design("input a 4\ninput a 5").unwrap_err();
+        assert!(errs.errors[0].message.contains("defined twice"));
 
-        let err = parse_design("input a 4\ns = frob 5 a").unwrap_err();
-        assert!(err.message.contains("unknown operator"));
+        let errs = parse_design("input a 4\ns = frob 5 a").unwrap_err();
+        assert!(errs.errors[0].message.contains("unknown operator"));
+    }
+
+    #[test]
+    fn recovery_reports_every_defective_line() {
+        // Three independent defects; the parser must report all of them.
+        let errs = parse_design(
+            "input a 0\n\
+             input b 4\n\
+             s = frob 5 b\n\
+             t = add bad b b\n\
+             output o 5 t",
+        )
+        .unwrap_err();
+        let lines: Vec<usize> = errs.errors.iter().map(|e| e.line).collect();
+        assert!(lines.contains(&1), "bad width on line 1: {errs}");
+        assert!(lines.contains(&3), "unknown operator on line 3: {errs}");
+        assert!(lines.contains(&4), "bad width on line 4: {errs}");
+        assert!(errs.len() >= 3);
+    }
+
+    #[test]
+    fn poisoned_names_do_not_cascade() {
+        // `a` fails to define; uses of `a` must not add `unknown name`
+        // noise on every later line — only the root cause is reported.
+        let errs = parse_design(
+            "input a 0\n\
+             input b 4\n\
+             s = add 5 a b\n\
+             t = add 6 s b\n\
+             output o 6 t",
+        )
+        .unwrap_err();
+        assert_eq!(errs.len(), 1, "only the root cause: {errs}");
+        assert_eq!(errs.errors[0].line, 1);
+        for e in &errs.errors {
+            assert!(!e.message.contains("unknown name"), "cascade leaked: {e}");
+        }
+    }
+
+    #[test]
+    fn one_line_can_carry_multiple_errors() {
+        let errs = parse_design("input a 4\ns = frob bad a\noutput o 5 s").unwrap_err();
+        // Unknown operator AND bad width on line 2, both reported.
+        let on_line_2 = errs.errors.iter().filter(|e| e.line == 2).count();
+        assert!(on_line_2 >= 2, "{errs}");
     }
 
     #[test]

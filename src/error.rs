@@ -1,0 +1,203 @@
+//! The top-level error taxonomy for the flow driver.
+//!
+//! Every way a `dpmc` invocation can fail maps onto one [`FlowError`]
+//! family, and every family maps onto a distinct nonzero process exit
+//! code, so scripts wrapping the tool can distinguish *user* mistakes
+//! (bad flags, malformed designs) from *flow* failures (non-convergent
+//! analysis, illegal clusterings, netlist emission defects) without
+//! scraping stderr:
+//!
+//! | family     | exit | produced by                                    |
+//! |------------|------|------------------------------------------------|
+//! | (success)  | 0    |                                                |
+//! | (gate)     | 1    | `lint` / `bench` / `faultcheck` found problems |
+//! | `usage`    | 2    | bad command line                               |
+//! | `io`       | 3    | unreadable design file, unwritable output      |
+//! | `parse`    | 4    | DSL defects ([`ParseErrors`], with spans)      |
+//! | `graph`    | 5    | structural validation ([`ValidateErrors`])     |
+//! | `analysis` | 6    | RP/IC non-convergence, resource budget breach  |
+//! | `cluster`  | 7    | illegal clustering, linearization failure      |
+//! | `netlist`  | 8    | emission/check failure, audit ladder exhausted |
+//!
+//! Exit code 1 is reserved for "the tool ran fine and found problems"
+//! (failed gates), matching grep-style conventions; codes ≥ 2 mean the
+//! run itself failed.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::dsl::ParseErrors;
+use dp_dfg::ValidateErrors;
+use dp_metrics::Json;
+use dp_synth::SynthError;
+
+/// A classified flow failure. See the module docs for the exit-code map.
+#[derive(Debug)]
+pub enum FlowError {
+    /// The command line could not be understood.
+    Usage(String),
+    /// A file could not be read or written.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying OS error.
+        message: String,
+    },
+    /// The design text is malformed; every defect is carried with its
+    /// line/column span.
+    Parse(ParseErrors),
+    /// The graph is structurally invalid (cycle, dangling edge, bad
+    /// arity, ...).
+    Graph(ValidateErrors),
+    /// Width analysis failed to converge or blew a resource budget and
+    /// no fallback could absorb it.
+    Analysis(String),
+    /// The clustering is illegal or could not be linearized.
+    Cluster(String),
+    /// The netlist could not be emitted, or every rung of the guarded
+    /// flow's degradation ladder failed its audit.
+    Netlist(String),
+}
+
+impl FlowError {
+    /// The process exit code for this family (always ≥ 2; 0 is success
+    /// and 1 is reserved for failed gates).
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            FlowError::Usage(_) => 2,
+            FlowError::Io { .. } => 3,
+            FlowError::Parse(_) => 4,
+            FlowError::Graph(_) => 5,
+            FlowError::Analysis(_) => 6,
+            FlowError::Cluster(_) => 7,
+            FlowError::Netlist(_) => 8,
+        }
+    }
+
+    /// The machine-readable family name.
+    pub fn family(&self) -> &'static str {
+        match self {
+            FlowError::Usage(_) => "usage",
+            FlowError::Io { .. } => "io",
+            FlowError::Parse(_) => "parse",
+            FlowError::Graph(_) => "graph",
+            FlowError::Analysis(_) => "analysis",
+            FlowError::Cluster(_) => "cluster",
+            FlowError::Netlist(_) => "netlist",
+        }
+    }
+
+    /// A JSON-renderable diagnostic: `{"error", "exit_code", "message"}`
+    /// plus, for parse failures, a per-defect `"spans"` array.
+    pub fn to_json(&self) -> Json {
+        let mut j = Json::obj()
+            .field("error", self.family())
+            .field("exit_code", self.exit_code() as i64)
+            .field("message", self.to_string());
+        if let FlowError::Parse(errs) = self {
+            let spans: Vec<Json> = errs
+                .errors
+                .iter()
+                .map(|e| {
+                    Json::obj()
+                        .field("line", e.line as i64)
+                        .field("col", e.col as i64)
+                        .field("token", e.token.as_str())
+                        .field("message", e.message.as_str())
+                })
+                .collect();
+            j = j.field("spans", Json::Array(spans));
+        }
+        j
+    }
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Usage(m) => write!(f, "{m}"),
+            FlowError::Io { path, message } => write!(f, "{path}: {message}"),
+            FlowError::Parse(e) => write!(f, "{e}"),
+            FlowError::Graph(e) => write!(f, "invalid graph: {e}"),
+            FlowError::Analysis(m) => write!(f, "analysis failed: {m}"),
+            FlowError::Cluster(m) => write!(f, "clustering failed: {m}"),
+            FlowError::Netlist(m) => write!(f, "netlist emission failed: {m}"),
+        }
+    }
+}
+
+impl Error for FlowError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FlowError::Parse(e) => Some(e),
+            FlowError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseErrors> for FlowError {
+    fn from(e: ParseErrors) -> Self {
+        FlowError::Parse(e)
+    }
+}
+
+impl From<ValidateErrors> for FlowError {
+    fn from(e: ValidateErrors) -> Self {
+        FlowError::Graph(e)
+    }
+}
+
+impl From<SynthError> for FlowError {
+    fn from(e: SynthError) -> Self {
+        match e {
+            SynthError::InvalidGraph(v) => FlowError::Graph(v),
+            SynthError::InvalidClustering(c) => FlowError::Cluster(c.to_string()),
+            SynthError::Linearize(l) => FlowError::Cluster(l.to_string()),
+            SynthError::Audit(m) => FlowError::Netlist(m),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::parse_design;
+
+    #[test]
+    fn families_map_to_distinct_exit_codes() {
+        let parse = parse_design("input a 0").unwrap_err();
+        let all = [
+            FlowError::Usage("u".into()),
+            FlowError::Io { path: "p".into(), message: "m".into() },
+            FlowError::Parse(parse),
+            FlowError::Analysis("a".into()),
+            FlowError::Cluster("c".into()),
+            FlowError::Netlist("n".into()),
+        ];
+        let mut codes: Vec<u8> = all.iter().map(|e| e.exit_code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), all.len(), "exit codes must be distinct");
+        assert!(codes.iter().all(|&c| c >= 2), "codes 0/1 are reserved");
+    }
+
+    #[test]
+    fn parse_errors_render_spans_in_json() {
+        let errs = parse_design("input a 0\ns = frob 5 a").unwrap_err();
+        let j = FlowError::Parse(errs).to_json();
+        assert_eq!(j.get("error").and_then(|v| v.as_str()), Some("parse"));
+        assert_eq!(j.get("exit_code").and_then(|v| v.as_i64()), Some(4));
+        let spans = j.get("spans").and_then(|v| v.as_array()).unwrap();
+        assert!(spans.len() >= 2);
+        assert_eq!(spans[0].get("line").and_then(|v| v.as_i64()), Some(1));
+        assert!(spans[0].get("col").and_then(|v| v.as_i64()).is_some());
+    }
+
+    #[test]
+    fn synth_errors_classify_by_family() {
+        let audit = FlowError::from(SynthError::Audit("ladder exhausted".into()));
+        assert_eq!(audit.family(), "netlist");
+        assert_eq!(audit.exit_code(), 8);
+    }
+}

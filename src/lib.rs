@@ -33,6 +33,7 @@
 //! | [`verify`] | `dp-verify` | pass-based semantic verifier and diagnostics (`dpmc lint`) |
 //! | [`metrics`] | `dp-metrics` | timing spans, QoR counters, deterministic JSON (`dpmc bench`) |
 //! | [`trace`] | `dp-trace` | decision-provenance event log (`dpmc explain`, `dpmc dot --annotate`) |
+//! | [`fault`] | `dp-fault` | deterministic fault injection and detect-or-degrade checking (`dpmc faultcheck`) |
 //!
 //! # Quickstart
 //!
@@ -64,7 +65,10 @@
 
 pub mod compare;
 pub mod dsl;
+pub mod error;
 pub mod explain;
+
+pub use dp_fault as fault;
 
 pub use dp_analysis as analysis;
 pub use dp_bitvec as bitvec;
@@ -93,7 +97,8 @@ pub mod prelude {
     pub use dp_netlist::{CellKind, Drive, Library, Netlist};
     pub use dp_opt::{optimize, OptConfig};
     pub use dp_synth::{
-        run_flow, run_flow_with, synthesize, AdderKind, MergeStrategy, ReductionKind, SynthConfig,
+        run_flow, run_flow_guarded, run_flow_guarded_with, run_flow_with, synthesize, AdderKind,
+        DegradationReport, FlowBudget, GuardedFlow, MergeStrategy, ReductionKind, SynthConfig,
     };
     pub use dp_trace::{EventId, Rule, Subject, TraceEvent, TraceLog};
     pub use dp_verify::{Code, Context, Diagnostic, Severity, Verifier, VerifyReport};

@@ -334,3 +334,100 @@ fn merge_and_lint_print_width_pipeline_summary() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.lines().any(|l| l.contains("width pipeline")), "{text}");
 }
+
+#[test]
+fn exit_codes_distinguish_failure_families() {
+    // I/O: unreadable design file -> 3.
+    let out = dpmc().arg("definitely_missing.dp").output().expect("dpmc runs");
+    assert_eq!(out.status.code(), Some(3), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // Parse: malformed DSL -> 4.
+    let dir = std::env::temp_dir();
+    let f = dir.join("dpmc_exit_parse.dp");
+    std::fs::write(&f, "input a 0\n").expect("write temp");
+    let out = dpmc().arg(f.to_str().expect("utf8")).output().expect("dpmc runs");
+    assert_eq!(out.status.code(), Some(4), "{}", String::from_utf8_lossy(&out.stderr));
+    let _ = std::fs::remove_file(f);
+
+    // Usage: bad command line -> 2.
+    let out = dpmc().args(["designs/sop.dp", "--bogus"]).output().expect("dpmc runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn parse_errors_report_every_defect_with_spans() {
+    let dir = std::env::temp_dir();
+    let f = dir.join("dpmc_multi_err.dp");
+    std::fs::write(&f, "input a 0\ninput b 4\ns = frob 5 b\noutput o 5 s\n").expect("write temp");
+    let out = dpmc().arg(f.to_str().expect("utf8")).output().expect("dpmc runs");
+    assert_eq!(out.status.code(), Some(4));
+    let err = String::from_utf8_lossy(&out.stderr);
+    // Both independent defects in one run, with line:col spans.
+    assert!(err.contains("line 1:9"), "{err}");
+    assert!(err.contains("line 3:5"), "{err}");
+    let _ = std::fs::remove_file(f);
+}
+
+#[test]
+fn faultcheck_holds_the_detect_or_degrade_contract() {
+    let out = dpmc()
+        .args(["faultcheck", "--designs", "fig2,D1", "--seeds", "3"])
+        .output()
+        .expect("dpmc runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("0 FAILURE(S)"), "{text}");
+    assert!(text.contains("detect-or-degrade"), "{text}");
+}
+
+#[test]
+fn faultcheck_json_reports_cases_machine_readably() {
+    let out = dpmc()
+        .args([
+            "faultcheck",
+            "--designs",
+            "fig2",
+            "--seeds",
+            "2",
+            "--classes",
+            "corrupt-width",
+            "--json",
+        ])
+        .output()
+        .expect("dpmc runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"schema\": \"dpmc-faultcheck/1\""), "{text}");
+    assert!(text.contains("\"class\": \"corrupt-width\""), "{text}");
+    assert!(text.contains("\"passed\": true"), "{text}");
+}
+
+#[test]
+fn faultcheck_rejects_unknown_class() {
+    let out = dpmc()
+        .args(["faultcheck", "--designs", "fig2", "--classes", "melt-cpu"])
+        .output()
+        .expect("dpmc runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown fault class"));
+}
+
+#[test]
+fn starved_budget_degrades_gracefully_and_still_verifies() {
+    let dir = std::env::temp_dir();
+    let f = dir.join("dpmc_slack.dp");
+    std::fs::write(
+        &f,
+        "input a 8\ninput b 8\ninput c 8\ns = add 9 a b\nt = add 10 s c\noutput r 5 t\n",
+    )
+    .expect("write temp");
+    let out = dpmc()
+        .args([f.to_str().expect("utf8"), "--budget-rounds", "1", "--check", "20"])
+        .output()
+        .expect("dpmc runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("FALLBACK-RP-ONLY"), "{text}");
+    assert!(text.contains("verified against the design"), "{text}");
+    let _ = std::fs::remove_file(f);
+}
