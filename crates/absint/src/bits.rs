@@ -1,0 +1,392 @@
+//! The known-bits lattice: one ternary digit (`0` / `1` / `⊤`) per bit.
+//!
+//! A [`KnownBits`] over-approximates the set of `w`-bit words a signal can
+//! take: bit `k` is *known zero*, *known one*, or *unknown*. The element is
+//! stored as two disjoint masks (`zeros`, `ones`); the all-clear pair is the
+//! lattice top (no bit known), and fully-disjoint-covering pairs are
+//! constants. The lattice is finite (3^w elements), so any monotone fixpoint
+//! over it terminates.
+
+use dp_bitvec::{BitVec, Signedness};
+
+/// Per-bit knowledge about a `w`-bit signal.
+///
+/// Invariant: `zeros & ones == 0` (a bit cannot be known both ways).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KnownBits {
+    /// Mask of bits known to be `0`.
+    zeros: BitVec,
+    /// Mask of bits known to be `1`.
+    ones: BitVec,
+}
+
+impl KnownBits {
+    /// The top element: nothing known about any of the `width` bits.
+    pub fn top(width: usize) -> KnownBits {
+        KnownBits { zeros: BitVec::zero(width), ones: BitVec::zero(width) }
+    }
+
+    /// The singleton element: every bit known, equal to `value`.
+    pub fn constant(value: &BitVec) -> KnownBits {
+        KnownBits { zeros: value.not(), ones: value.clone() }
+    }
+
+    /// Builds an element from explicit masks.
+    ///
+    /// Bits set in both masks are treated as unknown (the overlap is
+    /// cleared), preserving the disjointness invariant.
+    pub fn from_masks(zeros: BitVec, ones: BitVec) -> KnownBits {
+        let overlap = zeros.and(&ones);
+        if overlap.is_zero() {
+            return KnownBits { zeros, ones };
+        }
+        KnownBits { zeros: zeros.and(&overlap.not()), ones: ones.and(&overlap.not()) }
+    }
+
+    /// The signal width this element describes.
+    pub fn width(&self) -> usize {
+        self.zeros.width()
+    }
+
+    /// Knowledge about bit `k`: `Some(false)` known zero, `Some(true)`
+    /// known one, `None` unknown.
+    pub fn bit(&self, k: usize) -> Option<bool> {
+        if self.ones.bit(k) {
+            Some(true)
+        } else if self.zeros.bit(k) {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    /// Mask of bits whose value is known (either way).
+    pub fn known_mask(&self) -> BitVec {
+        self.zeros.or(&self.ones)
+    }
+
+    /// Number of known bits.
+    pub fn count_known(&self) -> usize {
+        (0..self.width()).filter(|&k| self.bit(k).is_some()).count()
+    }
+
+    /// If every bit is known, the concrete value.
+    pub fn as_constant(&self) -> Option<BitVec> {
+        if self.known_mask().is_all_ones() {
+            Some(self.ones.clone())
+        } else {
+            None
+        }
+    }
+
+    /// The smallest word in the concretization, as raw bits (unknown bits
+    /// taken as `0`).
+    pub fn min_word(&self) -> BitVec {
+        self.ones.clone()
+    }
+
+    /// The largest word in the concretization, as raw bits (unknown bits
+    /// taken as `1`).
+    pub fn max_word(&self) -> BitVec {
+        self.zeros.not()
+    }
+
+    /// Whether `value` is a member of this element's concretization.
+    pub fn contains(&self, value: &BitVec) -> bool {
+        debug_assert_eq!(value.width(), self.width());
+        value.and(&self.zeros).is_zero() && self.ones.and(&value.not()).is_zero()
+    }
+
+    /// Least upper bound: keeps exactly the knowledge both sides agree on.
+    pub fn join(&self, other: &KnownBits) -> KnownBits {
+        debug_assert_eq!(self.width(), other.width());
+        KnownBits { zeros: self.zeros.and(&other.zeros), ones: self.ones.and(&other.ones) }
+    }
+
+    /// Whether `self` is at least as precise as `other` (`self ⊑ other` in
+    /// the refinement order: every bit `other` knows, `self` knows the same
+    /// way).
+    pub fn refines(&self, other: &KnownBits) -> bool {
+        other.zeros.and(&self.zeros.not()).is_zero() && other.ones.and(&self.ones.not()).is_zero()
+    }
+
+    /// Bitwise complement (`0` and `1` knowledge swap; unknown stays).
+    pub fn not(&self) -> KnownBits {
+        KnownBits { zeros: self.ones.clone(), ones: self.zeros.clone() }
+    }
+
+    /// Length of the run of known-zero bits starting at bit 0.
+    pub fn trailing_known_zeros(&self) -> usize {
+        (0..self.width()).take_while(|&k| self.zeros.bit(k)).count()
+    }
+
+    /// Mirrors [`BitVec::resize`]: truncate, or extend under `t`, to
+    /// `new_width`.
+    ///
+    /// Zero extension makes the fresh high bits known zero; sign extension
+    /// copies whatever is known about the old sign bit into them.
+    pub fn resize(&self, t: Signedness, new_width: usize) -> KnownBits {
+        let w = self.width();
+        if new_width <= w {
+            return KnownBits {
+                zeros: self.zeros.trunc(new_width),
+                ones: self.ones.trunc(new_width),
+            };
+        }
+        let mut zeros = self.zeros.zext(new_width);
+        let mut ones = self.ones.zext(new_width);
+        let fill = match t {
+            Signedness::Unsigned => Some(false),
+            Signedness::Signed => {
+                if w == 0 {
+                    Some(false)
+                } else {
+                    self.bit(w - 1)
+                }
+            }
+        };
+        if let Some(b) = fill {
+            for k in w..new_width {
+                if b {
+                    ones.set_bit(k, true);
+                } else {
+                    zeros.set_bit(k, true);
+                }
+            }
+        }
+        KnownBits { zeros, ones }
+    }
+
+    /// Transfer for wrapping addition at this width, with carry-in
+    /// knowledge `carry` (`Some` = known, `None` = unknown).
+    fn add_with_carry(&self, rhs: &KnownBits, carry: Option<bool>) -> KnownBits {
+        debug_assert_eq!(self.width(), rhs.width());
+        let w = self.width();
+        let mut out = KnownBits::top(w);
+        // Carry state as a set of still-possible carry values.
+        let (mut c0, mut c1) = match carry {
+            Some(false) => (true, false),
+            Some(true) => (false, true),
+            None => (true, true),
+        };
+        for k in 0..w {
+            let avs: &[bool] = match self.bit(k) {
+                Some(false) => &[false],
+                Some(true) => &[true],
+                None => &[false, true],
+            };
+            let bvs: &[bool] = match rhs.bit(k) {
+                Some(false) => &[false],
+                Some(true) => &[true],
+                None => &[false, true],
+            };
+            let mut s_can = [false; 2];
+            let mut c_can = [false; 2];
+            for &a in avs {
+                for &b in bvs {
+                    for c in [false, true] {
+                        if (c && !c1) || (!c && !c0) {
+                            continue;
+                        }
+                        let sum = (a as u8) + (b as u8) + (c as u8);
+                        s_can[(sum & 1) as usize] = true;
+                        c_can[(sum >> 1) as usize] = true;
+                    }
+                }
+            }
+            if s_can[0] != s_can[1] {
+                if s_can[1] {
+                    out.ones.set_bit(k, true);
+                } else {
+                    out.zeros.set_bit(k, true);
+                }
+            }
+            c0 = c_can[0];
+            c1 = c_can[1];
+        }
+        out
+    }
+
+    /// Transfer for `wrapping_add`.
+    pub fn add(&self, rhs: &KnownBits) -> KnownBits {
+        self.add_with_carry(rhs, Some(false))
+    }
+
+    /// Transfer for `wrapping_sub` (`a - b = a + !b + 1`).
+    pub fn sub(&self, rhs: &KnownBits) -> KnownBits {
+        self.add_with_carry(&rhs.not(), Some(true))
+    }
+
+    /// Transfer for `wrapping_neg` (`-a = !a + 1`).
+    pub fn neg(&self) -> KnownBits {
+        let zero = KnownBits::constant(&BitVec::zero(self.width()));
+        zero.sub(self)
+    }
+
+    /// Transfer for `shl` by `amount` (low bits become known zero).
+    pub fn shl(&self, amount: usize) -> KnownBits {
+        let w = self.width();
+        let mut zeros = self.zeros.shl(amount);
+        let ones = self.ones.shl(amount);
+        for k in 0..amount.min(w) {
+            zeros.set_bit(k, true);
+        }
+        KnownBits { zeros, ones }
+    }
+
+    /// Transfer for `wrapping_mul` at this width.
+    ///
+    /// Exact when both sides are constant; when one side is a constant
+    /// power of two the product is a shift; otherwise only the trailing
+    /// zero run (`tz(a) + tz(b)` known-zero low bits) survives.
+    pub fn mul(&self, rhs: &KnownBits) -> KnownBits {
+        debug_assert_eq!(self.width(), rhs.width());
+        let w = self.width();
+        if let (Some(a), Some(b)) = (self.as_constant(), rhs.as_constant()) {
+            return KnownBits::constant(&a.wrapping_mul(&b));
+        }
+        for (konst, other) in [(self, rhs), (rhs, self)] {
+            if let Some(c) = konst.as_constant() {
+                if c.is_zero() {
+                    return KnownBits::constant(&BitVec::zero(w));
+                }
+                let set: Vec<usize> = (0..w).filter(|&k| c.bit(k)).collect();
+                if set.len() == 1 {
+                    return other.shl(set[0]);
+                }
+            }
+        }
+        let tz = (self.trailing_known_zeros() + rhs.trailing_known_zeros()).min(w);
+        let mut zeros = BitVec::zero(w);
+        for k in 0..tz {
+            zeros.set_bit(k, true);
+        }
+        KnownBits { zeros, ones: BitVec::zero(w) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Signedness::{Signed, Unsigned};
+
+    fn kb(pattern: &str) -> KnownBits {
+        // MSB-first pattern of '0' / '1' / 'x'.
+        let w = pattern.len();
+        let mut zeros = BitVec::zero(w);
+        let mut ones = BitVec::zero(w);
+        for (i, ch) in pattern.chars().rev().enumerate() {
+            match ch {
+                '0' => zeros.set_bit(i, true),
+                '1' => ones.set_bit(i, true),
+                'x' => {}
+                _ => panic!("bad pattern char {ch}"),
+            }
+        }
+        KnownBits::from_masks(zeros, ones)
+    }
+
+    #[test]
+    fn constant_round_trip() {
+        let v = BitVec::from_u64(6, 0b101100);
+        let k = KnownBits::constant(&v);
+        assert_eq!(k.as_constant(), Some(v.clone()));
+        assert!(k.contains(&v));
+        assert!(!k.contains(&BitVec::from_u64(6, 0b101101)));
+        assert_eq!(k.count_known(), 6);
+    }
+
+    #[test]
+    fn join_keeps_agreement_only() {
+        let j = kb("1x01").join(&kb("1101"));
+        assert_eq!(j, kb("1x01"));
+        let j2 = kb("1001").join(&kb("1101"));
+        assert_eq!(j2, kb("1x01"));
+    }
+
+    #[test]
+    fn resize_extension_semantics() {
+        assert_eq!(kb("1x1").resize(Unsigned, 5), kb("001x1"));
+        assert_eq!(kb("1x1").resize(Signed, 5), kb("111x1"));
+        assert_eq!(kb("x01").resize(Signed, 5), kb("xxx01"));
+        assert_eq!(kb("1x01").resize(Unsigned, 2), kb("01"));
+    }
+
+    #[test]
+    fn add_exhaustive_soundness() {
+        // Every abstract pair at width 4, every concrete member pair:
+        // the concrete sum must lie in the abstract transfer's output.
+        let w = 4;
+        let elems: Vec<KnownBits> = (0..81)
+            .map(|mut code| {
+                let mut zeros = BitVec::zero(w);
+                let mut ones = BitVec::zero(w);
+                for k in 0..w {
+                    match code % 3 {
+                        0 => zeros.set_bit(k, true),
+                        1 => ones.set_bit(k, true),
+                        _ => {}
+                    }
+                    code /= 3;
+                }
+                KnownBits::from_masks(zeros, ones)
+            })
+            .collect();
+        for a in &elems {
+            for b in &elems {
+                let sum = a.add(b);
+                let diff = a.sub(b);
+                let prod = a.mul(b);
+                for va in 0..16u64 {
+                    let bva = BitVec::from_u64(w, va);
+                    if !a.contains(&bva) {
+                        continue;
+                    }
+                    for vb in 0..16u64 {
+                        let bvb = BitVec::from_u64(w, vb);
+                        if !b.contains(&bvb) {
+                            continue;
+                        }
+                        assert!(sum.contains(&bva.wrapping_add(&bvb)), "{a:?}+{b:?}");
+                        assert!(diff.contains(&bva.wrapping_sub(&bvb)), "{a:?}-{b:?}");
+                        assert!(prod.contains(&bva.wrapping_mul(&bvb)), "{a:?}*{b:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn add_carries_knowledge() {
+        // 0b_x100 + 0b_0001 = 0b_x101: low two bits fully known.
+        let s = kb("x100").add(&kb("0001"));
+        assert_eq!(s.bit(0), Some(true));
+        assert_eq!(s.bit(1), Some(false));
+        assert_eq!(s.bit(2), Some(true));
+        assert_eq!(s.bit(3), None);
+    }
+
+    #[test]
+    fn neg_and_shl() {
+        let n = KnownBits::constant(&BitVec::from_i64(5, 7)).neg();
+        assert_eq!(n.as_constant(), Some(BitVec::from_i64(5, -7)));
+        let s = kb("xx1").shl(2);
+        assert_eq!(s, kb("100"));
+    }
+
+    #[test]
+    fn mul_power_of_two_and_zero() {
+        let four = KnownBits::constant(&BitVec::from_u64(6, 4));
+        let x = kb("xxx011");
+        assert_eq!(x.mul(&four), kb("x01100"));
+        let zero = KnownBits::constant(&BitVec::zero(6));
+        assert_eq!(x.mul(&zero).as_constant(), Some(BitVec::zero(6)));
+    }
+
+    #[test]
+    fn refines_order() {
+        assert!(kb("1101").refines(&kb("1x0x")));
+        assert!(!kb("1x0x").refines(&kb("1101")));
+        assert!(kb("1x0x").refines(&KnownBits::top(4)));
+    }
+}

@@ -1,0 +1,473 @@
+//! The static cross-checker: proves the RP/IC flow's claims from the
+//! abstract-interpretation facts, and mines the facts for diagnostics the
+//! coarser analyses cannot express.
+//!
+//! Two *proof obligations* tie the fine lattices to the paper's analyses:
+//!
+//! * **RP containment** (Theorem 4.2): every demanded bit must lie inside
+//!   the contiguous required-precision window — `demand(p) ⊆ [0, r(p))`
+//!   for every port. A violation means one of the two analyses is unsound.
+//! * **IC entailment** (Lemmas 5.6/5.7): every information-content bound
+//!   `⟨i,t⟩` must be entailed by the forward known-bits/interval value of
+//!   the same signal — the abstract value's concretization must contain
+//!   only `t`-extensions of `i` low bits. A violation means the IC claim
+//!   admits values the signal can't justify (e.g. a tampered bound).
+//!
+//! Both obligations hold by construction on sound flows (the forward
+//! domain mirrors the evaluator's structural recursion exactly), so any
+//! reported violation separates a corrupted flow from a sound one without
+//! running a single concrete evaluation.
+
+use dp_analysis::{Ic, InfoAnalysis, PrecisionAnalysis};
+use dp_bitvec::Signedness;
+use dp_dfg::{Dfg, EdgeId, NodeId, NodeKind};
+use dp_trace::{Rule, Subject, TraceLog};
+
+use crate::{DemandAnalysis, ForwardAnalysis};
+
+/// What a finding is about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Place {
+    /// A graph node.
+    Node(NodeId),
+    /// A graph edge.
+    Edge(EdgeId),
+}
+
+/// The category of a static finding. dp-verify maps these 1:1 onto its
+/// `A`-family diagnostic codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FindingKind {
+    /// A demanded bit lies outside the required-precision window — the
+    /// RP/demand cross-proof failed (error).
+    DemandOutsideRp,
+    /// An information-content bound is not entailed by the forward
+    /// abstract value — the IC cross-proof failed (error).
+    IcNotEntailed,
+    /// A primary output is provably constant (warning).
+    ConstantOutput,
+    /// Output bits inside the RP window are provably dead — liveness RP's
+    /// contiguous window cannot express (info).
+    HiddenDeadBits,
+    /// A widening extension node whose fill region is never demanded
+    /// (info).
+    RedundantExtension,
+    /// A truncation that drops bits not provably redundant while the
+    /// truncated signal is still observed (info).
+    LossyTruncation,
+    /// An operator interval analysis proves can never wrap, where the IC
+    /// bound alone could not (info).
+    NoOverflow,
+}
+
+/// One static diagnostic from the checker.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Category (determines the dp-verify code and severity).
+    pub kind: FindingKind,
+    /// The node or edge the finding is about.
+    pub place: Place,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// Counters summarizing what the analysis proved. All are pure functions
+/// of the graph, so they serialize deterministically.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Output-port bits proven constant across all nodes.
+    pub known_bits: usize,
+    /// Output-port bits proven dead across all nodes.
+    pub dead_bits: usize,
+    /// Operator nodes proven to never wrap at their width.
+    pub no_overflow_ops: usize,
+    /// RP ports checked for demand containment.
+    pub rp_ports_checked: usize,
+    /// IC bounds checked for entailment.
+    pub ic_bounds_checked: usize,
+}
+
+/// The full result of one static analysis run.
+#[derive(Debug, Clone)]
+pub struct AbsintReport {
+    /// Cross-check violations and static diagnostics, in deterministic
+    /// (node/edge index) order.
+    pub findings: Vec<Finding>,
+    /// What was proven.
+    pub counters: Counters,
+}
+
+impl AbsintReport {
+    /// Findings of one kind.
+    pub fn of_kind(&self, kind: FindingKind) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(move |f| f.kind == kind)
+    }
+
+    /// Whether any cross-check proof failed (an `A`-family error).
+    pub fn has_violations(&self) -> bool {
+        self.findings
+            .iter()
+            .any(|f| matches!(f.kind, FindingKind::DemandOutsideRp | FindingKind::IcNotEntailed))
+    }
+}
+
+/// Bits of `mask` at positions `>= from`, as a list string for messages.
+fn bits_at_or_above(mask: &dp_bitvec::BitVec, from: usize) -> Vec<usize> {
+    (from..mask.width()).filter(|&k| mask.bit(k)).collect()
+}
+
+/// Runs every check of the static layer against precomputed analyses.
+pub fn check(
+    g: &Dfg,
+    fwd: &ForwardAnalysis,
+    bwd: &DemandAnalysis,
+    rp: &PrecisionAnalysis,
+    ic: &InfoAnalysis,
+) -> AbsintReport {
+    let mut findings = Vec::new();
+    let mut counters = Counters {
+        known_bits: fwd.known_bits(),
+        dead_bits: bwd.dead_bits(),
+        no_overflow_ops: g.node_ids().filter(|&n| fwd.no_overflow(n)).count(),
+        ..Counters::default()
+    };
+
+    // Obligation 1 — Theorem 4.2 containment: demand ⊆ RP window. Output
+    // nodes have no output port (their demand is all-ones by definition);
+    // the edge-level check covers the port feeding them.
+    for n in g.node_ids() {
+        if matches!(g.node(n).kind(), NodeKind::Output) {
+            continue;
+        }
+        counters.rp_ports_checked += 1;
+        let r = rp.output_port(n);
+        let outside = bits_at_or_above(bwd.output(n), r);
+        if !outside.is_empty() {
+            findings.push(Finding {
+                kind: FindingKind::DemandOutsideRp,
+                place: Place::Node(n),
+                message: format!("demanded bit(s) {outside:?} outside the RP window [0, {r})"),
+            });
+        }
+    }
+    for e in g.edge_ids() {
+        counters.rp_ports_checked += 1;
+        let edge = g.edge(e);
+        let r = rp.input_port(edge.dst()).min(edge.width());
+        let outside = bits_at_or_above(bwd.edge_signal(e), r);
+        if !outside.is_empty() {
+            findings.push(Finding {
+                kind: FindingKind::DemandOutsideRp,
+                place: Place::Edge(e),
+                message: format!(
+                    "demanded bit(s) {outside:?} outside the reader's RP window [0, {r})"
+                ),
+            });
+        }
+    }
+
+    // Obligation 2 — Lemmas 5.6/5.7 entailment: abstract value ⊨ IC bound.
+    let mut require = |claim: Ic, value: &crate::AbsVal, place: Place, what: &str| {
+        counters.ic_bounds_checked += 1;
+        if !value.entails(claim) {
+            findings.push(Finding {
+                kind: FindingKind::IcNotEntailed,
+                place,
+                message: format!(
+                    "{what} IC bound {claim} not entailed by known-bits/interval facts"
+                ),
+            });
+        }
+    };
+    for n in g.node_ids() {
+        require(ic.output(n), fwd.output(n), Place::Node(n), "output");
+    }
+    for e in g.edge_ids() {
+        require(ic.edge_signal(e), fwd.edge_signal(e), Place::Edge(e), "edge-signal");
+        require(ic.operand(e), fwd.operand(e), Place::Edge(e), "operand");
+    }
+
+    // Static diagnostics the RP/IC flow cannot express.
+    for n in g.node_ids() {
+        let node = g.node(n);
+        let w = node.width();
+        match node.kind() {
+            NodeKind::Output => {
+                if let Some(value) = fwd.output(n).as_constant() {
+                    findings.push(Finding {
+                        kind: FindingKind::ConstantOutput,
+                        place: Place::Node(n),
+                        message: format!("primary output is provably constant ({value})"),
+                    });
+                }
+            }
+            NodeKind::Input | NodeKind::Op(_) | NodeKind::Extension(_) => {
+                let r = rp.output_port(n);
+                let demand = bwd.output(n);
+                let hidden: Vec<usize> = (0..r.min(w)).filter(|&k| !demand.bit(k)).collect();
+                if !hidden.is_empty() {
+                    let all_dead = bwd.live_bits(n) == 0;
+                    findings.push(Finding {
+                        kind: FindingKind::HiddenDeadBits,
+                        place: Place::Node(n),
+                        message: if all_dead {
+                            format!("node is provably dead but its RP window is [0, {r})")
+                        } else {
+                            format!(
+                                "bit(s) {hidden:?} inside the RP window [0, {r}) are \
+                                 provably dead"
+                            )
+                        },
+                    });
+                }
+            }
+            NodeKind::Const(_) => {}
+        }
+        if let NodeKind::Extension(_) = node.kind() {
+            if let Some(&e) = node.in_edges().first() {
+                let we = g.edge(e).width();
+                if w > we && bits_at_or_above(bwd.output(n), we).is_empty() {
+                    // Only interesting when the node is observed at all.
+                    if bwd.live_bits(n) > 0 {
+                        findings.push(Finding {
+                            kind: FindingKind::RedundantExtension,
+                            place: Place::Node(n),
+                            message: format!(
+                                "extension fill bits [{we}, {w}) are never demanded downstream"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        if let NodeKind::Op(_) = node.kind() {
+            if fwd.no_overflow(n) {
+                let ic_proves = ic.intrinsic(n).is_some_and(|c| c.i <= w);
+                if !ic_proves {
+                    findings.push(Finding {
+                        kind: FindingKind::NoOverflow,
+                        place: Place::Node(n),
+                        message: format!(
+                            "interval analysis proves this operator never wraps at width {w}"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    for e in g.edge_ids() {
+        let edge = g.edge(e);
+        let wsrc = g.node(edge.src()).width();
+        let we = edge.width();
+        if we >= wsrc {
+            continue;
+        }
+        // Truncating edge: certified lossless when the kept low bits
+        // determine the dropped ones (by forward facts or the IC claim).
+        if bwd.edge_signal(e).is_zero() {
+            continue;
+        }
+        // Harmless when the dropped source bits are dead everywhere: no
+        // primary output can observe what this edge discards (the case
+        // for every truncation the RP pipeline itself inserts).
+        if bits_at_or_above(bwd.output(edge.src()), we).is_empty() {
+            continue;
+        }
+        let t = edge.signedness();
+        let by_forward = fwd.output(edge.src()).entails(Ic::new(we, t));
+        let src_claim = ic.output(edge.src());
+        let by_ic = !src_claim.is_trivial_at(wsrc)
+            && src_claim.i <= we
+            && (src_claim.t == t || (src_claim.t == Signedness::Unsigned && src_claim.i < we));
+        if !by_forward && !by_ic {
+            findings.push(Finding {
+                kind: FindingKind::LossyTruncation,
+                place: Place::Edge(e),
+                message: format!(
+                    "truncation {wsrc} -> {we} drops bits [{we}, {wsrc}) that are not \
+                     provably redundant (may lose observable information)"
+                ),
+            });
+        }
+    }
+
+    AbsintReport { findings, counters }
+}
+
+/// Computes everything from scratch: forward, backward, RP, IC, and the
+/// cross-checked report.
+pub fn analyze(g: &Dfg) -> (ForwardAnalysis, DemandAnalysis, AbsintReport) {
+    analyze_with(g, &dp_analysis::IntrinsicOverrides::new())
+}
+
+/// Like [`analyze`], but audits the IC analysis produced under the given
+/// intrinsic overrides (the Huffman-rebalancing channel — and the channel
+/// `dp-fault` uses to plant a lying bound).
+pub fn analyze_with(
+    g: &Dfg,
+    overrides: &dp_analysis::IntrinsicOverrides,
+) -> (ForwardAnalysis, DemandAnalysis, AbsintReport) {
+    let fwd = ForwardAnalysis::compute(g);
+    let bwd = DemandAnalysis::compute(g);
+    let rp = dp_analysis::required_precision(g);
+    let ic = dp_analysis::info_content_with(g, overrides);
+    let report = check(g, &fwd, &bwd, &rp, &ic);
+    (fwd, bwd, report)
+}
+
+/// Emits one `ABSINT-*` trace event per proven per-node fact, so `dpmc
+/// explain` covers the static layer.
+pub fn emit_trace(g: &Dfg, fwd: &ForwardAnalysis, bwd: &DemandAnalysis, tr: &mut TraceLog) {
+    if !tr.is_enabled() {
+        return;
+    }
+    for n in g.node_ids() {
+        let node = g.node(n);
+        let w = node.width();
+        // Skip nodes whose facts are definitional rather than proven.
+        let structural = matches!(node.kind(), NodeKind::Const(_) | NodeKind::Input);
+        let known = fwd.output(n).kb.count_known();
+        if known > 0 && !structural {
+            tr.emit(Rule::AbsintConst, Subject::Node(n.index()), w, known);
+        }
+        let live = bwd.live_bits(n);
+        if live < w && !matches!(node.kind(), NodeKind::Output) {
+            tr.emit(Rule::AbsintDeadBits, Subject::Node(n.index()), w, live);
+        }
+        if fwd.no_overflow(n) {
+            tr.emit(Rule::AbsintNoOverflow, Subject::Node(n.index()), w, w);
+        }
+        if let NodeKind::Extension(_) = node.kind() {
+            if let Some(&e) = node.in_edges().first() {
+                let we = g.edge(e).width();
+                if w > we && live > 0 && bits_at_or_above(bwd.output(n), we).is_empty() {
+                    tr.emit(Rule::AbsintRedundantExt, Subject::Node(n.index()), w, we);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_bitvec::BitVec;
+    use dp_bitvec::Signedness::{Signed, Unsigned};
+    use dp_dfg::OpKind;
+
+    fn two_mul_add() -> Dfg {
+        let mut g = Dfg::new();
+        let a = g.input("a", 8);
+        let b = g.input("b", 8);
+        let c = g.input("c", 8);
+        let d = g.input("d", 8);
+        let m1 = g.op(OpKind::Mul, 16, &[(a, Signed), (b, Signed)]);
+        let m2 = g.op(OpKind::Mul, 16, &[(c, Signed), (d, Signed)]);
+        let s = g.op(OpKind::Add, 17, &[(m1, Signed), (m2, Signed)]);
+        g.output("r", 17, s, Signed);
+        g
+    }
+
+    #[test]
+    fn sound_design_has_no_violations() {
+        let (_, _, report) = analyze(&two_mul_add());
+        assert!(!report.has_violations(), "{:?}", report.findings);
+        assert!(report.counters.ic_bounds_checked > 0);
+        assert!(report.counters.rp_ports_checked > 0);
+    }
+
+    #[test]
+    fn lying_ic_override_is_caught() {
+        let g = two_mul_add();
+        let target = g.op_nodes().next().expect("has op nodes");
+        let mut overrides = dp_analysis::IntrinsicOverrides::new();
+        overrides.insert(target, Ic::new(1, Unsigned));
+        let (_, _, report) = analyze_with(&g, &overrides);
+        assert!(report.has_violations());
+        assert!(report.of_kind(FindingKind::IcNotEntailed).count() > 0, "{:?}", report.findings);
+    }
+
+    #[test]
+    fn corrupted_rp_is_caught() {
+        // Shrink the RP analysis by hand: recompute on a narrowed clone so
+        // the windows are smaller than the real demand.
+        let g = two_mul_add();
+        let mut narrow = g.clone();
+        for o in narrow.outputs().to_vec() {
+            narrow.set_node_width(o, 2);
+            let e = narrow.node(o).in_edges()[0];
+            narrow.set_edge_width(e, 2);
+        }
+        let lying_rp = dp_analysis::required_precision(&narrow);
+        let fwd = ForwardAnalysis::compute(&g);
+        let bwd = DemandAnalysis::compute(&g);
+        let ic = dp_analysis::info_content(&g);
+        let report = check(&g, &fwd, &bwd, &lying_rp, &ic);
+        assert!(report.of_kind(FindingKind::DemandOutsideRp).count() > 0);
+    }
+
+    #[test]
+    fn lossy_truncation_fires_only_when_dropped_bits_are_observed() {
+        // `a` feeds the adder through a truncating 4-bit edge while a
+        // primary output observes all 8 bits: the truncation provably
+        // discards observable information.
+        let mut g = Dfg::new();
+        let a = g.input("a", 8);
+        let b = g.input("b", 4);
+        let s = g.op_with_edges(OpKind::Add, 5, &[(a, 4, Unsigned), (b, 4, Unsigned)]);
+        g.output("full", 8, a, Unsigned);
+        g.output("r", 5, s, Unsigned);
+        let (_, _, report) = analyze(&g);
+        assert!(!report.has_violations(), "{:?}", report.findings);
+        assert_eq!(
+            report.of_kind(FindingKind::LossyTruncation).count(),
+            1,
+            "{:?}",
+            report.findings
+        );
+
+        // The same truncating edge with nobody watching a's high bits is
+        // harmless (this is the shape of every RP-inserted truncation):
+        // the dropped bits are dead everywhere, so stay silent.
+        let mut g = Dfg::new();
+        let a = g.input("a", 8);
+        let b = g.input("b", 4);
+        let s = g.op_with_edges(OpKind::Add, 5, &[(a, 4, Unsigned), (b, 4, Unsigned)]);
+        g.output("r", 5, s, Unsigned);
+        let (_, _, report) = analyze(&g);
+        assert!(!report.has_violations(), "{:?}", report.findings);
+        assert_eq!(
+            report.of_kind(FindingKind::LossyTruncation).count(),
+            0,
+            "{:?}",
+            report.findings
+        );
+    }
+
+    #[test]
+    fn constant_output_and_dead_node_diagnosed() {
+        let mut g = Dfg::new();
+        let a = g.input("a", 4);
+        let z = g.constant(BitVec::zero(4));
+        let m = g.op(OpKind::Mul, 8, &[(a, Unsigned), (z, Unsigned)]);
+        g.output("o", 8, m, Unsigned);
+        let (_, _, report) = analyze(&g);
+        assert!(!report.has_violations(), "{:?}", report.findings);
+        assert_eq!(report.of_kind(FindingKind::ConstantOutput).count(), 1);
+    }
+
+    #[test]
+    fn trace_events_cover_proven_facts() {
+        let mut g = Dfg::new();
+        let a = g.input("a", 4);
+        let b = g.input("b", 4);
+        let s = g.op(OpKind::Add, 6, &[(a, Unsigned), (b, Unsigned)]);
+        g.output("o", 6, s, Unsigned);
+        let fwd = ForwardAnalysis::compute(&g);
+        let bwd = DemandAnalysis::compute(&g);
+        let mut tr = TraceLog::new();
+        emit_trace(&g, &fwd, &bwd, &mut tr);
+        assert!(tr.events().iter().any(|ev| ev.rule == Rule::AbsintNoOverflow));
+        assert!(tr.events().iter().any(|ev| ev.rule == Rule::AbsintConst));
+    }
+}

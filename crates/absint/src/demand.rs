@@ -1,0 +1,240 @@
+//! Backward demanded-bits analysis: per-bit liveness over the DFG.
+//!
+//! Where required precision (Definition 4.1) models liveness as a
+//! contiguous low-bit *window* `[0, r)`, this analysis keeps a full per-bit
+//! mask: bit `k` of a node's output is **demanded** when flipping it could
+//! change some primary output. The sweep runs backward over the
+//! [`DfgView`] CSR adjacency as a monotone fixpoint seeded in reverse
+//! topological order (masks only ever gain bits; the lattice is finite, so
+//! it terminates — in one sweep on an acyclic graph).
+//!
+//! Per-operator dependence is the paper's carry argument in reverse: for
+//! `+`, `-`, unary `-` and `×`, result bit `j` depends only on operand bits
+//! `<= j` (carries propagate upward), so a demand mask with highest set bit
+//! `m` demands operand bits `[0, m]`; `shl k` shifts the demand down; a
+//! zero-extension region demands nothing of the source, while a
+//! sign-extension region pulls in the source's sign bit (Definition 5.5).
+
+use dp_bitvec::{BitVec, Signedness};
+use dp_dfg::{Dfg, DfgView, EdgeId, NodeId, NodeKind, OpKind};
+
+/// Result of the backward sweep: a demand mask for every node output and
+/// every edge signal.
+#[derive(Debug, Clone)]
+pub struct DemandAnalysis {
+    node_out: Vec<BitVec>,
+    edge: Vec<BitVec>,
+}
+
+/// Demand on the input of a forward `resize(t, to)` applied to a
+/// `from`-bit signal, given the demand `mask` on the resized result.
+fn backward_resize(mask: &BitVec, from: usize, t: Signedness) -> BitVec {
+    let to = mask.width();
+    if to == from {
+        return mask.clone();
+    }
+    if to < from {
+        // Forward truncation: the dropped source bits are never consumed.
+        return mask.zext(from);
+    }
+    // Forward extension: bits `from..to` replicate the sign bit under
+    // Signed (demanding any of them demands the sign bit) and are constant
+    // zero under Unsigned (demanding them demands nothing).
+    let mut out = mask.trunc(from);
+    if t == Signedness::Signed && !mask.lshr(from).is_zero() {
+        out.set_bit(from - 1, true);
+    }
+    out
+}
+
+/// Demand an operator places on the operand entering `port`, given demand
+/// `mask` on its own result. Every supported operator computes result bit
+/// `j` from operand bits `<= j` (carries move upward), except `shl`, which
+/// relabels bits.
+fn operand_demand(kind: &NodeKind, mask: &BitVec) -> BitVec {
+    let w = mask.width();
+    match kind {
+        NodeKind::Op(OpKind::Shl(k)) => mask.lshr(*k as usize),
+        NodeKind::Op(_) => {
+            let live = (0..w).rev().find(|&k| mask.bit(k));
+            match live {
+                Some(m) => BitVec::ones(m + 1).zext(w),
+                None => BitVec::zero(w),
+            }
+        }
+        // Output and extension nodes pass the (adapted) operand through.
+        _ => mask.clone(),
+    }
+}
+
+impl DemandAnalysis {
+    /// The demand mask at `node`'s output port (width `w(node)`).
+    pub fn output(&self, node: NodeId) -> &BitVec {
+        &self.node_out[node.index()]
+    }
+
+    /// The demand mask of the signal on `edge` (width `w(e)`).
+    pub fn edge_signal(&self, edge: EdgeId) -> &BitVec {
+        &self.edge[edge.index()]
+    }
+
+    /// Number of demanded (live) bits at `node`'s output.
+    pub fn live_bits(&self, node: NodeId) -> usize {
+        let m = &self.node_out[node.index()];
+        (0..m.width()).filter(|&k| m.bit(k)).count()
+    }
+
+    /// Total undemanded output-port bits across all nodes.
+    pub fn dead_bits(&self) -> usize {
+        self.node_out.iter().map(|m| (0..m.width()).filter(|&k| !m.bit(k)).count()).sum()
+    }
+
+    /// Runs the backward fixpoint on `g` (builds a fresh [`DfgView`]).
+    pub fn compute(g: &Dfg) -> DemandAnalysis {
+        DemandAnalysis::compute_with_view(g, &DfgView::new(g))
+    }
+
+    /// Runs the backward fixpoint using a caller-provided CSR view (which
+    /// must be fresh for `g`).
+    pub fn compute_with_view(g: &Dfg, view: &DfgView) -> DemandAnalysis {
+        let mut a = DemandAnalysis {
+            node_out: g.node_ids().map(|n| BitVec::zero(g.node(n).width())).collect(),
+            edge: g.edge_ids().map(|e| BitVec::zero(g.edge(e).width())).collect(),
+        };
+        // Reverse-topological worklist; node masks only grow, so each
+        // node is re-examined only when a consumer's mask grew.
+        let mut queued = vec![false; g.num_nodes()];
+        let mut work: Vec<NodeId> = view.topo().iter().rev().copied().collect();
+        for n in &work {
+            queued[n.index()] = true;
+        }
+        while let Some(n) = work.pop() {
+            queued[n.index()] = false;
+            let node = g.node(n);
+            let mask = if matches!(node.kind(), NodeKind::Output) {
+                BitVec::ones(node.width())
+            } else {
+                let mut m = BitVec::zero(node.width());
+                for &e in view.fanout(n) {
+                    m = m.or(&a.demand_through_edge(g, e));
+                }
+                m
+            };
+            if mask == a.node_out[n.index()] {
+                continue;
+            }
+            a.node_out[n.index()] = mask;
+            for &e in view.fanin(n) {
+                let src = g.edge(e).src();
+                if !queued[src.index()] {
+                    queued[src.index()] = true;
+                    work.push(src);
+                }
+            }
+        }
+        // Settle the per-edge masks from the final node masks.
+        for e in g.edge_ids() {
+            a.edge[e.index()] = a.edge_mask(g, e);
+        }
+        a
+    }
+
+    /// Demand the consumer of `e` places on the edge *signal* (width
+    /// `w(e)`): its own output demand, through its operand dependence,
+    /// back through the port adaptation.
+    fn edge_mask(&self, g: &Dfg, e: EdgeId) -> BitVec {
+        let edge = g.edge(e);
+        let dst = g.node(edge.dst());
+        let port_mask = operand_demand(dst.kind(), &self.node_out[edge.dst().index()]);
+        // Extension nodes adapt the edge signal with their own signedness
+        // (Definition 5.5); everything else uses the edge's.
+        let t = match dst.kind() {
+            NodeKind::Extension(t) => *t,
+            _ => edge.signedness(),
+        };
+        backward_resize(&port_mask, edge.width(), t)
+    }
+
+    /// Demand `e` propagates all the way back to its source node's output
+    /// (width `w(src)`).
+    fn demand_through_edge(&self, g: &Dfg, e: EdgeId) -> BitVec {
+        let edge = g.edge(e);
+        let mask = self.edge_mask(g, e);
+        backward_resize(&mask, g.node(edge.src()).width(), edge.signedness())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Signedness::{Signed, Unsigned};
+
+    fn bits(mask: &BitVec) -> Vec<usize> {
+        (0..mask.width()).filter(|&k| mask.bit(k)).collect()
+    }
+
+    #[test]
+    fn output_demands_everything() {
+        let mut g = Dfg::new();
+        let a = g.input("a", 4);
+        let o = g.output("o", 4, a, Unsigned);
+        let d = DemandAnalysis::compute(&g);
+        assert_eq!(bits(d.output(o)), vec![0, 1, 2, 3]);
+        assert_eq!(bits(d.output(a)), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn truncation_kills_high_bits() {
+        let mut g = Dfg::new();
+        let a = g.input("a", 8);
+        // Only the low 3 bits survive to the output.
+        let o = g.output("o", 3, a, Unsigned);
+        let d = DemandAnalysis::compute(&g);
+        assert_eq!(bits(d.output(o)), vec![0, 1, 2]);
+        assert_eq!(bits(d.output(a)), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn sign_extension_pulls_sign_bit() {
+        let mut g = Dfg::new();
+        let a = g.input("a", 4);
+        let z = g.constant(BitVec::zero(8));
+        let s = g.op(OpKind::Add, 8, &[(a, Signed), (z, Unsigned)]);
+        g.output("o", 8, s, Unsigned);
+        let d = DemandAnalysis::compute(&g);
+        // All 8 sum bits demanded; `a` contributes its 4 real bits, with
+        // the replicated region folding into the sign bit.
+        assert_eq!(bits(d.output(a)), vec![0, 1, 2, 3]);
+
+        // Under zero extension the high demand vanishes instead.
+        let mut g2 = Dfg::new();
+        let a2 = g2.input("a", 4);
+        let z2 = g2.constant(BitVec::zero(8));
+        let s2 = g2.op(OpKind::Add, 8, &[(a2, Unsigned), (z2, Unsigned)]);
+        g2.output("o", 3, s2, Unsigned);
+        let d2 = DemandAnalysis::compute(&g2);
+        assert_eq!(bits(d2.output(a2)), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn shl_shifts_demand_down() {
+        let mut g = Dfg::new();
+        let a = g.input("a", 8);
+        let s = g.op(OpKind::Shl(3), 8, &[(a, Unsigned)]);
+        g.output("o", 8, s, Unsigned);
+        let d = DemandAnalysis::compute(&g);
+        assert_eq!(bits(d.output(a)), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn unconsumed_node_is_fully_dead() {
+        let mut g = Dfg::new();
+        let a = g.input("a", 4);
+        let b = g.input("b", 4);
+        let _dangling = g.op(OpKind::Mul, 8, &[(a, Unsigned), (b, Unsigned)]);
+        g.output("o", 4, a, Unsigned);
+        let d = DemandAnalysis::compute(&g);
+        assert_eq!(d.live_bits(_dangling), 0);
+        assert_eq!(bits(d.output(b)), Vec::<usize>::new());
+    }
+}

@@ -1,0 +1,245 @@
+//! Forward abstract interpretation: known-bits ⨯ intervals over the DFG.
+//!
+//! The analysis runs as a monotone fixpoint over the [`DfgView`] CSR
+//! adjacency: every node starts at ⊤ (sound), and a worklist — seeded in
+//! topological order — re-evaluates a node's transfer function whenever one
+//! of its fanin values refines, pushing its fanout on change. Both component
+//! lattices are finite at each width and every transfer is monotone in the
+//! refinement order, so the iteration terminates; on the acyclic graphs the
+//! DFG model guarantees, the topological seeding makes it converge in a
+//! single sweep.
+//!
+//! The transfer functions mirror `Dfg::evaluate_full` exactly: operands are
+//! adapted source → edge width → node width with the edge's signedness,
+//! extension nodes adapt the *edge* signal with their own signedness
+//! (Definition 5.5), and every operator is the wrapping operator at the
+//! node's width.
+
+use std::collections::VecDeque;
+
+use dp_dfg::{Dfg, DfgView, EdgeId, NodeId, NodeKind, OpKind};
+
+use crate::AbsVal;
+
+/// Result of the forward sweep: an abstract value for every node output,
+/// every edge signal, and every operand, plus per-node overflow facts.
+#[derive(Debug, Clone)]
+pub struct ForwardAnalysis {
+    node_out: Vec<AbsVal>,
+    edge_signal: Vec<AbsVal>,
+    operand: Vec<AbsVal>,
+    no_overflow: Vec<bool>,
+    transfers: usize,
+}
+
+impl ForwardAnalysis {
+    /// The abstract value at `node`'s output port (width `w(node)`).
+    pub fn output(&self, node: NodeId) -> &AbsVal {
+        &self.node_out[node.index()]
+    }
+
+    /// The abstract value of the signal on `edge` (adapted to `w(e)`).
+    pub fn edge_signal(&self, edge: EdgeId) -> &AbsVal {
+        &self.edge_signal[edge.index()]
+    }
+
+    /// The abstract operand entering `edge`'s destination port (adapted to
+    /// the destination node's width).
+    pub fn operand(&self, edge: EdgeId) -> &AbsVal {
+        &self.operand[edge.index()]
+    }
+
+    /// Whether the operator at `node` provably never wraps: the exact
+    /// (infinite-precision) result of every reachable operand pair fits the
+    /// node's signed range. Always `false` for non-operator nodes.
+    pub fn no_overflow(&self, node: NodeId) -> bool {
+        self.no_overflow[node.index()]
+    }
+
+    /// Node transfer evaluations the fixpoint performed (≥ one per node;
+    /// exactly one per node on a topologically seeded acyclic run).
+    pub fn transfers(&self) -> usize {
+        self.transfers
+    }
+
+    /// Total output-port bits proven constant across all nodes.
+    pub fn known_bits(&self) -> usize {
+        self.node_out.iter().map(|v| v.kb.count_known()).sum()
+    }
+
+    /// Runs the forward fixpoint on `g` (builds a fresh [`DfgView`]).
+    pub fn compute(g: &Dfg) -> ForwardAnalysis {
+        ForwardAnalysis::compute_with_view(g, &DfgView::new(g))
+    }
+
+    /// Runs the forward fixpoint using a caller-provided CSR view (which
+    /// must be fresh for `g`).
+    pub fn compute_with_view(g: &Dfg, view: &DfgView) -> ForwardAnalysis {
+        let mut a = ForwardAnalysis {
+            node_out: g.node_ids().map(|n| AbsVal::top(g.node(n).width())).collect(),
+            edge_signal: g.edge_ids().map(|e| AbsVal::top(g.edge(e).width())).collect(),
+            operand: g.edge_ids().map(|e| AbsVal::top(g.node(g.edge(e).dst()).width())).collect(),
+            no_overflow: vec![false; g.num_nodes()],
+            transfers: 0,
+        };
+        let mut queued = vec![false; g.num_nodes()];
+        let mut work: VecDeque<NodeId> = VecDeque::with_capacity(g.num_nodes());
+        for &n in view.topo() {
+            work.push_back(n);
+            queued[n.index()] = true;
+        }
+        while let Some(n) = work.pop_front() {
+            queued[n.index()] = false;
+            a.transfers += 1;
+            let (out, no_ovf) = a.transfer(g, n);
+            let changed = out != a.node_out[n.index()] || no_ovf != a.no_overflow[n.index()];
+            a.node_out[n.index()] = out;
+            a.no_overflow[n.index()] = no_ovf;
+            if !changed {
+                continue;
+            }
+            for &e in view.fanout(n) {
+                let dst = g.edge(e).dst();
+                if !queued[dst.index()] {
+                    queued[dst.index()] = true;
+                    work.push_back(dst);
+                }
+            }
+        }
+        // Settle the derived per-edge values from the final node values.
+        for e in g.edge_ids() {
+            let (sig, op) = a.adapt_edge(g, e);
+            a.edge_signal[e.index()] = sig;
+            a.operand[e.index()] = op;
+        }
+        a
+    }
+
+    /// The signal on `e` (source adapted to the edge width with the edge's
+    /// signedness) and the operand it delivers (further adapted to the
+    /// destination width) — Section 2.2 port adaptation. Extension
+    /// destinations perform the second adaptation with the *node's*
+    /// signedness (Definition 5.5); every other port reuses the edge's.
+    fn adapt_edge(&self, g: &Dfg, e: EdgeId) -> (AbsVal, AbsVal) {
+        let edge = g.edge(e);
+        let dst = g.node(edge.dst());
+        let sig = self.node_out[edge.src().index()].resize(edge.signedness(), edge.width());
+        let t = match dst.kind() {
+            NodeKind::Extension(t) => *t,
+            _ => edge.signedness(),
+        };
+        let op = sig.resize(t, dst.width());
+        (sig, op)
+    }
+
+    /// The transfer function of one node, mirroring `evaluate_full`.
+    fn transfer(&self, g: &Dfg, n: NodeId) -> (AbsVal, bool) {
+        let node = g.node(n);
+        let w = node.width();
+        let port = |p: usize| -> AbsVal {
+            match g.in_edge_on_port(n, p) {
+                Some(e) => self.adapt_edge(g, e).1,
+                // Unconnected port (invalid graph): stay sound.
+                None => AbsVal::top(w),
+            }
+        };
+        match node.kind() {
+            NodeKind::Input => (AbsVal::top(w), false),
+            NodeKind::Const(value) => (AbsVal::constant(value), false),
+            NodeKind::Output => (port(0), false),
+            // adapt_edge already applies the node's own signedness to the
+            // final resize for Extension destinations, so the operand *is*
+            // the extension's output.
+            NodeKind::Extension(_) => (port(0), false),
+            NodeKind::Op(op) => match op {
+                OpKind::Add => port(0).add(&port(1)),
+                OpKind::Sub => port(0).sub(&port(1)),
+                OpKind::Mul => port(0).mul(&port(1)),
+                OpKind::Neg => port(0).neg(),
+                OpKind::Shl(k) => port(0).shl(*k as usize),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_bitvec::BitVec;
+    use dp_bitvec::Signedness::{Signed, Unsigned};
+
+    #[test]
+    fn constants_fold_through_ops() {
+        let mut g = Dfg::new();
+        let a = g.constant(BitVec::from_u64(4, 5));
+        let b = g.constant(BitVec::from_u64(4, 3));
+        let s = g.op(OpKind::Add, 5, &[(a, Unsigned), (b, Unsigned)]);
+        let o = g.output("o", 5, s, Unsigned);
+        let f = ForwardAnalysis::compute(&g);
+        assert_eq!(f.output(s).as_constant(), Some(BitVec::from_u64(5, 8)));
+        assert_eq!(f.output(o).as_constant(), Some(BitVec::from_u64(5, 8)));
+        assert!(f.no_overflow(s));
+    }
+
+    #[test]
+    fn intervals_prove_no_overflow_on_widened_add() {
+        let mut g = Dfg::new();
+        let a = g.input("a", 4);
+        let b = g.input("b", 4);
+        // 4-bit signed operands extended into a 5-bit add: cannot wrap.
+        let s = g.op(OpKind::Add, 5, &[(a, Signed), (b, Signed)]);
+        g.output("o", 5, s, Signed);
+        let f = ForwardAnalysis::compute(&g);
+        assert!(f.no_overflow(s));
+        // Same-width add can wrap.
+        let mut g2 = Dfg::new();
+        let a2 = g2.input("a", 4);
+        let b2 = g2.input("b", 4);
+        let s2 = g2.op(OpKind::Add, 4, &[(a2, Signed), (b2, Signed)]);
+        g2.output("o", 4, s2, Signed);
+        let f2 = ForwardAnalysis::compute(&g2);
+        assert!(!f2.no_overflow(s2));
+    }
+
+    #[test]
+    fn zero_extension_pins_high_bits() {
+        let mut g = Dfg::new();
+        let a = g.input("a", 3);
+        let s = g.op(OpKind::Add, 8, &[(a, Unsigned), (a, Unsigned)]);
+        g.output("o", 8, s, Unsigned);
+        let f = ForwardAnalysis::compute(&g);
+        let v = f.output(s);
+        // a + a <= 14: bits 4.. are known zero.
+        assert_eq!(v.kb.bit(7), Some(false));
+        assert_eq!(v.kb.bit(4), Some(false));
+        assert!(v.iv.is_some_and(|iv| iv.lo == 0 && iv.hi == 14));
+    }
+
+    #[test]
+    fn forward_values_contain_every_evaluation() {
+        // Differential check on the eval doc example graph.
+        let mut g = Dfg::new();
+        let a = g.input("A", 6);
+        let b = g.input("B", 6);
+        let n1 = g.op(OpKind::Add, 5, &[(a, Signed), (b, Signed)]);
+        let n2 = g.op(OpKind::Mul, 8, &[(n1, Signed), (a, Unsigned)]);
+        let n3 = g.op(OpKind::Neg, 9, &[(n2, Signed)]);
+        g.output("R", 9, n3, Signed);
+        let f = ForwardAnalysis::compute(&g);
+        for va in 0..64u64 {
+            for vb in 0..64u64 {
+                let eval = g
+                    .evaluate_full(&[BitVec::from_u64(6, va), BitVec::from_u64(6, vb)])
+                    .expect("valid graph");
+                for n in g.node_ids() {
+                    assert!(
+                        f.output(n).contains(eval.result(n)),
+                        "node {n:?} va={va} vb={vb}: {:?} not in {:?}",
+                        eval.result(n),
+                        f.output(n)
+                    );
+                }
+            }
+        }
+    }
+}

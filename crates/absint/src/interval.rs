@@ -1,0 +1,202 @@
+//! The signed-interval lattice over `w`-bit words.
+//!
+//! An [`Interval`] bounds the **signed interpretation** of a signal's
+//! `w`-bit word: `lo <= to_signed(word) <= hi`. Arithmetic transfers are
+//! computed in unbounded precision (`i128`) and kept only when the exact
+//! result provably fits the node's signed range — i.e. when the wrapping
+//! hardware operator cannot wrap — otherwise the transfer falls back to the
+//! full range of the width. Widths beyond [`Interval::MAX_WIDTH`] are not
+//! tracked (the known-bits half of the product carries on alone).
+
+use dp_bitvec::BitVec;
+
+/// Inclusive bounds on the signed interpretation of a `w`-bit word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Smallest possible signed value.
+    pub lo: i128,
+    /// Largest possible signed value.
+    pub hi: i128,
+}
+
+impl Interval {
+    /// Widest signal width for which intervals are tracked. Chosen so every
+    /// representable value and every add/sub endpoint stays inside `i128`.
+    pub const MAX_WIDTH: usize = 120;
+
+    /// The full signed range of a `width`-bit word, or `None` when the
+    /// width is beyond [`Interval::MAX_WIDTH`].
+    pub fn full(width: usize) -> Option<Interval> {
+        if width == 0 || width > Interval::MAX_WIDTH {
+            return None;
+        }
+        let half = 1i128 << (width - 1);
+        Some(Interval { lo: -half, hi: half - 1 })
+    }
+
+    /// The singleton interval for a constant word.
+    pub fn constant(value: &BitVec) -> Option<Interval> {
+        if value.width() > Interval::MAX_WIDTH {
+            return None;
+        }
+        let v = value.to_i128()?;
+        Some(Interval { lo: v, hi: v })
+    }
+
+    /// Whether the signed interpretation of `value` lies in the bounds.
+    pub fn contains(&self, value: &BitVec) -> bool {
+        match value.to_i128() {
+            Some(v) => self.lo <= v && v <= self.hi,
+            None => false,
+        }
+    }
+
+    /// Whether the bounds lie within the signed range of a `width`-bit
+    /// word (so a wrapping operator producing a value in these bounds
+    /// cannot actually have wrapped).
+    pub fn fits_signed(&self, width: usize) -> bool {
+        match Interval::full(width) {
+            Some(full) => full.lo <= self.lo && self.hi <= full.hi,
+            None => false,
+        }
+    }
+
+    /// Least upper bound.
+    pub fn join(&self, other: &Interval) -> Interval {
+        Interval { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+    }
+
+    /// Intersection; `None` when the bounds are contradictory.
+    pub fn intersect(&self, other: &Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        if lo <= hi {
+            Some(Interval { lo, hi })
+        } else {
+            None
+        }
+    }
+
+    /// The unsigned reading of the bounds, given they describe a
+    /// `width`-bit word: exact when the sign is determined, else the full
+    /// unsigned span.
+    pub fn to_unsigned(&self, width: usize) -> Option<Interval> {
+        if width > Interval::MAX_WIDTH {
+            return None;
+        }
+        let wrap = 1i128 << width;
+        if self.lo >= 0 {
+            Some(*self)
+        } else if self.hi < 0 {
+            Some(Interval { lo: self.lo + wrap, hi: self.hi + wrap })
+        } else {
+            Some(Interval { lo: 0, hi: wrap - 1 })
+        }
+    }
+
+    /// Exact interval addition (`i128` cannot overflow at tracked widths).
+    pub fn add(&self, rhs: &Interval) -> Interval {
+        Interval { lo: self.lo + rhs.lo, hi: self.hi + rhs.hi }
+    }
+
+    /// Exact interval subtraction.
+    pub fn sub(&self, rhs: &Interval) -> Interval {
+        Interval { lo: self.lo - rhs.hi, hi: self.hi - rhs.lo }
+    }
+
+    /// Exact interval negation.
+    pub fn neg(&self) -> Interval {
+        Interval { lo: -self.hi, hi: -self.lo }
+    }
+
+    /// Interval multiplication; `None` when an endpoint product overflows
+    /// `i128`.
+    pub fn mul(&self, rhs: &Interval) -> Option<Interval> {
+        let mut lo = i128::MAX;
+        let mut hi = i128::MIN;
+        for a in [self.lo, self.hi] {
+            for b in [rhs.lo, rhs.hi] {
+                let p = a.checked_mul(b)?;
+                lo = lo.min(p);
+                hi = hi.max(p);
+            }
+        }
+        Some(Interval { lo, hi })
+    }
+
+    /// Interval left shift; `None` on overflow.
+    pub fn shl(&self, amount: usize) -> Option<Interval> {
+        if amount >= 127 {
+            return None;
+        }
+        let f = 1i128.checked_shl(amount as u32)?;
+        Some(Interval { lo: self.lo.checked_mul(f)?, hi: self.hi.checked_mul(f)? })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_range_and_fits() {
+        let f = Interval::full(4).unwrap();
+        assert_eq!((f.lo, f.hi), (-8, 7));
+        assert!(f.fits_signed(4));
+        assert!(!Interval { lo: -8, hi: 8 }.fits_signed(4));
+        assert!(Interval::full(0).is_none());
+        assert!(Interval::full(Interval::MAX_WIDTH + 1).is_none());
+    }
+
+    #[test]
+    fn constant_and_contains() {
+        let c = Interval::constant(&BitVec::from_i64(6, -13)).unwrap();
+        assert_eq!((c.lo, c.hi), (-13, -13));
+        assert!(c.contains(&BitVec::from_i64(6, -13)));
+        assert!(!c.contains(&BitVec::from_i64(6, -12)));
+    }
+
+    #[test]
+    fn arithmetic_exhaustive_soundness() {
+        // All sub-intervals of the 4-bit signed range, all member pairs.
+        let w = 4;
+        let mut ivs = Vec::new();
+        for lo in -8i128..8 {
+            for hi in lo..8 {
+                ivs.push(Interval { lo, hi });
+            }
+        }
+        for a in &ivs {
+            for b in &ivs {
+                let sum = a.add(b);
+                let diff = a.sub(b);
+                let prod = a.mul(b).unwrap();
+                for va in a.lo..=a.hi {
+                    for vb in b.lo..=b.hi {
+                        assert!(sum.lo <= va + vb && va + vb <= sum.hi);
+                        assert!(diff.lo <= va - vb && va - vb <= diff.hi);
+                        assert!(prod.lo <= va * vb && va * vb <= prod.hi);
+                    }
+                }
+                let _ = w;
+            }
+        }
+    }
+
+    #[test]
+    fn unsigned_reading() {
+        let neg = Interval { lo: -3, hi: -1 }.to_unsigned(4).unwrap();
+        assert_eq!((neg.lo, neg.hi), (13, 15));
+        let pos = Interval { lo: 2, hi: 5 }.to_unsigned(4).unwrap();
+        assert_eq!((pos.lo, pos.hi), (2, 5));
+        let mixed = Interval { lo: -1, hi: 1 }.to_unsigned(4).unwrap();
+        assert_eq!((mixed.lo, mixed.hi), (0, 15));
+    }
+
+    #[test]
+    fn shl_scales() {
+        let s = Interval { lo: -3, hi: 5 }.shl(3).unwrap();
+        assert_eq!((s.lo, s.hi), (-24, 40));
+        assert!(Interval { lo: 1, hi: 1 }.shl(130).is_none());
+    }
+}

@@ -1,0 +1,358 @@
+//! The reduced product of [`KnownBits`] and [`Interval`].
+//!
+//! An [`AbsVal`] is the working abstract value of the forward analysis:
+//! both component domains describe the same `w`-bit word, and after every
+//! transfer [`AbsVal::reduce`] pushes information across the product —
+//! known leading bits tighten the interval, a one-signed interval pins the
+//! leading bits — so either component alone suffices for the entailment
+//! checks the cross-checker runs.
+
+use dp_analysis::Ic;
+use dp_bitvec::{BitVec, Signedness};
+
+use crate::{Interval, KnownBits};
+
+/// Abstract value for one `w`-bit signal: per-bit knowledge plus signed
+/// bounds (bounds absent above [`Interval::MAX_WIDTH`] bits).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbsVal {
+    /// Per-bit 0/1/⊤ knowledge.
+    pub kb: KnownBits,
+    /// Bounds on the signed interpretation, when tracked at this width.
+    pub iv: Option<Interval>,
+}
+
+impl AbsVal {
+    /// The top element at `width`: nothing known beyond the width itself.
+    pub fn top(width: usize) -> AbsVal {
+        AbsVal { kb: KnownBits::top(width), iv: Interval::full(width) }
+    }
+
+    /// The singleton element for a constant word.
+    pub fn constant(value: &BitVec) -> AbsVal {
+        AbsVal { kb: KnownBits::constant(value), iv: Interval::constant(value) }
+    }
+
+    /// The signal width this value describes.
+    pub fn width(&self) -> usize {
+        self.kb.width()
+    }
+
+    /// Whether the concrete word `value` is in the concretization.
+    pub fn contains(&self, value: &BitVec) -> bool {
+        if !self.kb.contains(value) {
+            return false;
+        }
+        match &self.iv {
+            Some(iv) => iv.contains(value),
+            None => true,
+        }
+    }
+
+    /// If the value is a single word, that word.
+    pub fn as_constant(&self) -> Option<BitVec> {
+        self.kb.as_constant()
+    }
+
+    /// Least upper bound (same width).
+    pub fn join(&self, other: &AbsVal) -> AbsVal {
+        let iv = match (&self.iv, &other.iv) {
+            (Some(a), Some(b)) => Some(a.join(b)),
+            _ => None,
+        };
+        AbsVal { kb: self.kb.join(&other.kb), iv }.reduce()
+    }
+
+    /// Reduces the product: intersects the interval with the bounds the
+    /// known bits imply, then pins leading bits the interval determines.
+    pub fn reduce(self) -> AbsVal {
+        let w = self.width();
+        let AbsVal { kb, iv } = self;
+        let Some(iv) = iv else {
+            return AbsVal { kb, iv: None };
+        };
+        // Known bits → interval: the extreme members of γ(kb).
+        let (kb_lo, kb_hi) = kb_signed_bounds(&kb);
+        let clamped = iv
+            .intersect(&Interval { lo: kb_lo, hi: kb_hi })
+            // An empty intersection would mean γ = ∅; the transfers never
+            // produce one from sound inputs, but degrade gracefully.
+            .unwrap_or(Interval { lo: kb_lo, hi: kb_hi });
+        // Interval → known bits: a one-signed interval pins the bits above
+        // its magnitude (leading zeros for non-negative, leading ones for
+        // negative).
+        let mut zeros = BitVec::zero(w);
+        let mut ones = BitVec::zero(w);
+        if clamped.lo >= 0 {
+            let bits = unsigned_bit_len(clamped.hi);
+            for k in bits..w {
+                zeros.set_bit(k, true);
+            }
+        } else if clamped.hi < 0 {
+            let bits = signed_bit_len(clamped.lo);
+            for k in bits.saturating_sub(1)..w {
+                ones.set_bit(k, true);
+            }
+        }
+        let kb =
+            if zeros.is_zero() && ones.is_zero() { kb } else { refine_masks(kb, &zeros, &ones) };
+        AbsVal { kb, iv: Some(clamped) }
+    }
+
+    /// Mirrors [`BitVec::resize`]: adapt to `new_width` under discipline
+    /// `t` (truncate when narrower, extend when wider).
+    pub fn resize(&self, t: Signedness, new_width: usize) -> AbsVal {
+        let w = self.width();
+        let kb = self.kb.resize(t, new_width);
+        let iv = if new_width == w {
+            self.iv
+        } else if new_width < w {
+            // Truncation preserves the signed value only when it already
+            // fits the narrower signed range; otherwise fall back to the
+            // width range (reduce() recovers what the kept bits imply).
+            match self.iv {
+                Some(iv) if iv.fits_signed(new_width) => Some(iv),
+                _ => Interval::full(new_width),
+            }
+        } else {
+            match (t, self.iv) {
+                (Signedness::Signed, iv) => iv.or_else(|| Interval::full(new_width)),
+                (Signedness::Unsigned, Some(iv)) => {
+                    iv.to_unsigned(w).or_else(|| Interval::full(new_width))
+                }
+                (Signedness::Unsigned, None) => Interval::full(new_width),
+            }
+        };
+        AbsVal { kb, iv }.reduce()
+    }
+
+    /// Transfer for a wrapping binary/unary operator at width `w`; returns
+    /// the result value and whether the exact result provably never wraps.
+    fn wrapping(kb: KnownBits, exact: Option<Interval>, w: usize) -> (AbsVal, bool) {
+        match exact {
+            Some(iv) if iv.fits_signed(w) => (AbsVal { kb, iv: Some(iv) }.reduce(), true),
+            _ => (AbsVal { kb, iv: Interval::full(w) }.reduce(), false),
+        }
+    }
+
+    /// Transfer for `wrapping_add` (both operands at this value's width).
+    pub fn add(&self, rhs: &AbsVal) -> (AbsVal, bool) {
+        let exact = zip_iv(self, rhs, |a, b| Some(a.add(&b)));
+        AbsVal::wrapping(self.kb.add(&rhs.kb), exact, self.width())
+    }
+
+    /// Transfer for `wrapping_sub`.
+    pub fn sub(&self, rhs: &AbsVal) -> (AbsVal, bool) {
+        let exact = zip_iv(self, rhs, |a, b| Some(a.sub(&b)));
+        AbsVal::wrapping(self.kb.sub(&rhs.kb), exact, self.width())
+    }
+
+    /// Transfer for `wrapping_neg`.
+    pub fn neg(&self) -> (AbsVal, bool) {
+        let exact = self.iv.map(|iv| iv.neg());
+        AbsVal::wrapping(self.kb.neg(), exact, self.width())
+    }
+
+    /// Transfer for `wrapping_mul`.
+    pub fn mul(&self, rhs: &AbsVal) -> (AbsVal, bool) {
+        let exact = zip_iv(self, rhs, |a, b| a.mul(&b));
+        AbsVal::wrapping(self.kb.mul(&rhs.kb), exact, self.width())
+    }
+
+    /// Transfer for `shl` by `amount`.
+    pub fn shl(&self, amount: usize) -> (AbsVal, bool) {
+        let exact = self.iv.and_then(|iv| iv.shl(amount));
+        AbsVal::wrapping(self.kb.shl(amount), exact, self.width())
+    }
+
+    /// Whether this value **entails** the information-content bound
+    /// `claim` at this width: every member word is a `claim.t`-extension
+    /// of its `claim.i` low bits.
+    pub fn entails(&self, claim: Ic) -> bool {
+        let w = self.width();
+        if claim.is_trivial_at(w) {
+            return true;
+        }
+        match claim.t {
+            Signedness::Unsigned => {
+                // All bits >= i must be zero.
+                let kb_ok = (claim.i..w).all(|k| self.kb.bit(k) == Some(false));
+                let iv_ok = match &self.iv {
+                    Some(iv) => claim.i < 127 && iv.lo >= 0 && iv.hi < (1i128 << claim.i),
+                    None => false,
+                };
+                kb_ok || iv_ok
+            }
+            Signedness::Signed => {
+                // All bits >= i-1 must equal bit i-1.
+                let kb_ok = claim.i >= 1
+                    && match self.kb.bit(claim.i - 1) {
+                        Some(b) => (claim.i - 1..w).all(|k| self.kb.bit(k) == Some(b)),
+                        None => false,
+                    };
+                let iv_ok = match &self.iv {
+                    Some(iv) => {
+                        claim.i >= 1
+                            && claim.i < 127
+                            && iv.lo >= -(1i128 << (claim.i - 1))
+                            && iv.hi < (1i128 << (claim.i - 1))
+                    }
+                    None => false,
+                };
+                kb_ok || iv_ok
+            }
+        }
+    }
+}
+
+/// Signed bounds implied by the known bits alone: unknown bits minimize /
+/// maximize with the sign bit handled in the signed order.
+fn kb_signed_bounds(kb: &KnownBits) -> (i128, i128) {
+    let w = kb.width();
+    if w > Interval::MAX_WIDTH {
+        // Caller only reduces when an interval exists, which implies the
+        // width is tracked; degrade to the widest representable range.
+        return (i128::MIN / 2, i128::MAX / 2);
+    }
+    let mut min_word = kb.min_word();
+    let mut max_word = kb.max_word();
+    if kb.bit(w - 1).is_none() {
+        // Sign unknown: minimum takes the sign bit, maximum clears it.
+        min_word.set_bit(w - 1, true);
+        max_word.set_bit(w - 1, false);
+    }
+    let lo = min_word.to_i128().unwrap_or(i128::MIN / 2);
+    let hi = max_word.to_i128().unwrap_or(i128::MAX / 2);
+    (lo, hi)
+}
+
+fn unsigned_bit_len(v: i128) -> usize {
+    debug_assert!(v >= 0);
+    (128 - v.leading_zeros()) as usize
+}
+
+fn signed_bit_len(v: i128) -> usize {
+    debug_assert!(v < 0);
+    (129 - (!v).leading_zeros()) as usize
+}
+
+fn refine_masks(kb: KnownBits, zeros: &BitVec, ones: &BitVec) -> KnownBits {
+    let w = kb.width();
+    let mut z = BitVec::zero(w);
+    let mut o = BitVec::zero(w);
+    for k in 0..w {
+        match kb.bit(k) {
+            Some(false) => z.set_bit(k, true),
+            Some(true) => o.set_bit(k, true),
+            None => {
+                if zeros.bit(k) {
+                    z.set_bit(k, true);
+                } else if ones.bit(k) {
+                    o.set_bit(k, true);
+                }
+            }
+        }
+    }
+    KnownBits::from_masks(z, o)
+}
+
+fn zip_iv(
+    a: &AbsVal,
+    b: &AbsVal,
+    f: impl Fn(Interval, Interval) -> Option<Interval>,
+) -> Option<Interval> {
+    match (a.iv, b.iv) {
+        (Some(x), Some(y)) => f(x, y),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Signedness::{Signed, Unsigned};
+
+    #[test]
+    fn reduction_pins_leading_bits() {
+        let v = AbsVal { kb: KnownBits::top(8), iv: Some(Interval { lo: 0, hi: 5 }) }.reduce();
+        assert_eq!(v.kb.bit(7), Some(false));
+        assert_eq!(v.kb.bit(3), Some(false));
+        assert_eq!(v.kb.bit(2), None);
+        let n = AbsVal { kb: KnownBits::top(8), iv: Some(Interval { lo: -4, hi: -1 }) }.reduce();
+        assert_eq!(n.kb.bit(7), Some(true));
+        assert_eq!(n.kb.bit(2), Some(true));
+        assert_eq!(n.kb.bit(1), None);
+    }
+
+    #[test]
+    fn reduction_clamps_interval_from_bits() {
+        let c = AbsVal::constant(&BitVec::from_u64(6, 9));
+        assert_eq!(c.iv, Some(Interval { lo: 9, hi: 9 }));
+        let k = KnownBits::constant(&BitVec::from_u64(6, 9));
+        let v = AbsVal { kb: k, iv: Some(Interval::full(6).unwrap()) }.reduce();
+        assert_eq!(v.iv, Some(Interval { lo: 9, hi: 9 }));
+    }
+
+    #[test]
+    fn resize_matches_bitvec_resize_exhaustively() {
+        for w in 1..=6usize {
+            for new_w in 1..=8usize {
+                for t in [Unsigned, Signed] {
+                    for raw in 0..(1u64 << w) {
+                        let word = BitVec::from_u64(w, raw);
+                        let av = AbsVal::constant(&word).resize(t, new_w);
+                        let concrete = word.resize(t, new_w);
+                        assert!(
+                            av.contains(&concrete),
+                            "w={w} new_w={new_w} t={t} raw={raw:b}: {av:?} vs {concrete:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn add_reports_no_wrap_only_when_sound() {
+        let a = AbsVal { kb: KnownBits::top(4), iv: Some(Interval { lo: 0, hi: 3 }) }.reduce();
+        let (sum, no_wrap) = a.add(&a);
+        assert!(no_wrap);
+        assert_eq!(sum.iv, Some(Interval { lo: 0, hi: 6 }));
+        let t = AbsVal::top(4);
+        let (_, wrap_possible) = t.add(&t);
+        assert!(!wrap_possible);
+    }
+
+    #[test]
+    fn entailment_matches_holds_for_exhaustively() {
+        // For widths 1..=6: a value entails a claim iff every member
+        // satisfies Ic::holds_for. Probe with singleton and small ranges.
+        for w in 1..=6usize {
+            for raw in 0..(1u64 << w) {
+                let word = BitVec::from_u64(w, raw);
+                let v = AbsVal::constant(&word);
+                for i in 1..=w {
+                    for t in [Unsigned, Signed] {
+                        let claim = Ic::new(i, t);
+                        assert_eq!(
+                            v.entails(claim),
+                            claim.holds_for(&word),
+                            "w={w} raw={raw:b} claim={claim}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn range_entailment() {
+        let v = AbsVal { kb: KnownBits::top(8), iv: Some(Interval { lo: -4, hi: 3 }) }.reduce();
+        assert!(v.entails(Ic::new(3, Signed)));
+        assert!(!v.entails(Ic::new(3, Unsigned)));
+        assert!(!v.entails(Ic::new(2, Signed)));
+        let u = AbsVal { kb: KnownBits::top(8), iv: Some(Interval { lo: 0, hi: 7 }) }.reduce();
+        assert!(u.entails(Ic::new(3, Unsigned)));
+        assert!(u.entails(Ic::new(4, Signed)));
+    }
+}

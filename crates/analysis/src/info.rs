@@ -81,14 +81,14 @@ pub(crate) fn propagate(ic: Ic, from: usize, to: usize, t_adapt: Signedness) -> 
     } else {
         match (ic.t, t_adapt) {
             // Same discipline: the extension preserves the claim.
-            (t, u) if t == u => ic,
+            (Signedness::Unsigned, Signedness::Unsigned)
+            | (Signedness::Signed, Signedness::Signed) => ic,
             // Strictly unsigned data sign-extended: the MSB is zero, so the
             // "sign" fill is zeros — the paper's key observation.
             (Signedness::Unsigned, Signedness::Signed) => ic,
             // Sign-extended data zero-padded: the low `from` bits still
             // determine everything, but only as an unsigned extension.
             (Signedness::Signed, Signedness::Unsigned) => Ic { i: from, t: Signedness::Unsigned },
-            _ => unreachable!("all four combinations covered"),
         }
     }
 }
@@ -194,9 +194,11 @@ pub(crate) fn intrinsic_ic_best(op: OpKind, operands: &[Ic], node_width: usize) 
                 }
             }
         }
-        n => unreachable!("operators have arity 1 or 2, got {n}"),
+        // Arity 0 or 3+ considers nothing; the expect below names the
+        // violated invariant.
+        _ => {}
     }
-    best.expect("at least one interpretation")
+    best.expect("operators have arity 1 or 2, so at least one interpretation was considered")
 }
 
 /// Computes information-content bounds for every port by one forward

@@ -103,6 +103,34 @@ impl Dfg {
     ///
     /// Same as [`Dfg::evaluate`].
     pub fn evaluate_full(&self, inputs: &[BitVec]) -> Result<Evaluation, EvalError> {
+        self.evaluate_inner(inputs, None)
+    }
+
+    /// Evaluates the design with `node`'s result **forced** to `patch`
+    /// (which must have the node's width) instead of its computed value,
+    /// propagating the forced value downstream.
+    ///
+    /// This is the oracle for per-bit liveness claims: if flipping an
+    /// undemanded bit of some node's result never changes a primary
+    /// output, the demanded-bits analysis is sound for that bit.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Dfg::evaluate`].
+    pub fn evaluate_patched(
+        &self,
+        inputs: &[BitVec],
+        node: NodeId,
+        patch: &BitVec,
+    ) -> Result<Evaluation, EvalError> {
+        self.evaluate_inner(inputs, Some((node, patch)))
+    }
+
+    fn evaluate_inner(
+        &self,
+        inputs: &[BitVec],
+        patch: Option<(NodeId, &BitVec)>,
+    ) -> Result<Evaluation, EvalError> {
         self.validate()?;
         if inputs.len() != self.inputs().len() {
             return Err(EvalError::WrongInputCount {
@@ -127,8 +155,18 @@ impl Dfg {
             values[node.index()] = value.clone();
         }
 
+        if let Some((n, value)) = patch {
+            debug_assert_eq!(value.width(), self.node(n).width(), "patch must match node width");
+        }
+
         let order = self.topo_order().expect("validated graph is acyclic");
         for n in order {
+            if let Some((p, value)) = patch {
+                if p == n {
+                    values[n.index()] = value.clone();
+                    continue;
+                }
+            }
             let node = self.node(n);
             match node.kind() {
                 NodeKind::Input => {}

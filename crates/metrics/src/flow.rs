@@ -60,6 +60,16 @@ pub struct FlowMetrics {
     pub delay_ns: f64,
     /// Area (library units); 0 until measured.
     pub area: f64,
+    /// Output-port bits the abstract interpreter proved constant across
+    /// the final design (dp-absint forward analysis); 0 for flows that do
+    /// not run it.
+    pub absint_known_bits: usize,
+    /// Output-port bits the abstract interpreter proved dead (backward
+    /// demanded-bits analysis).
+    pub absint_dead_bits: usize,
+    /// Operator nodes the interval analysis proved can never wrap at their
+    /// final width.
+    pub absint_no_overflow_ops: usize,
     /// Error-level diagnostics from the semantic verifier; 0 until it runs.
     pub verify_errors: usize,
     /// Warning-level diagnostics.
@@ -104,6 +114,9 @@ impl FlowMetrics {
             .field("gates", self.gates)
             .field("delay_ns", self.delay_ns)
             .field("area", self.area)
+            .field("absint_known_bits", self.absint_known_bits)
+            .field("absint_dead_bits", self.absint_dead_bits)
+            .field("absint_no_overflow_ops", self.absint_no_overflow_ops)
             .field("verify_errors", self.verify_errors)
             .field("verify_warnings", self.verify_warnings)
             .field("verify_infos", self.verify_infos);

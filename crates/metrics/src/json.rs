@@ -47,9 +47,9 @@ impl Json {
     /// error, not data).
     #[must_use]
     pub fn field(mut self, key: &str, value: impl Into<Json>) -> Json {
-        match &mut self {
-            Json::Object(fields) => fields.push((key.to_string(), value.into())),
-            _ => panic!("Json::field on a non-object"),
+        assert!(matches!(self, Json::Object(_)), "Json::field on a non-object");
+        if let Json::Object(fields) = &mut self {
+            fields.push((key.to_string(), value.into()));
         }
         self
     }

@@ -326,10 +326,12 @@ impl Netlist {
                 return m;
             }
             let m = match self.drivers[n.index()] {
-                NetDriver::Const(true) => out.const1(),
-                NetDriver::Const(false) => out.const0(),
-                _ => panic!("unmapped non-constant net {n} during sweep"),
+                NetDriver::Const(true) => Some(out.const1()),
+                NetDriver::Const(false) => Some(out.const0()),
+                _ => None,
             };
+            let m =
+                m.expect("topological order maps every non-constant net before its first reader");
             net_map[n.index()] = Some(m);
             m
         };

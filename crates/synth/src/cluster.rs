@@ -57,9 +57,8 @@ pub fn synthesize_sum_with(
     config: &SynthConfig,
 ) -> (Vec<NetId>, SumStats) {
     let operand_of = |nl: &mut Netlist, s: &SignalRef| -> Operand {
-        let source = signals
-            .get(&s.source)
-            .unwrap_or_else(|| panic!("source {} not synthesized yet", s.source));
+        let source =
+            signals.get(&s.source).expect("every signal source is synthesized before its readers");
         let live = s.bits.min(source.len());
         let _ = nl;
         Operand { bits: source[..live].to_vec(), signedness: s.signedness }

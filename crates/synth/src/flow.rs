@@ -342,6 +342,18 @@ pub fn run_flow_with(
         // No width pipeline ran, so there was trivially nothing left to do.
         metrics.transform_converged = true;
     }
+    if strategy == MergeStrategy::New {
+        // Static layer over the final graph: what the fine lattices prove
+        // beyond RP/IC, as QoR counters and ABSINT-* provenance events.
+        let ai = rec.span("absint");
+        let fwd = dp_absint::ForwardAnalysis::compute(&graph);
+        let bwd = dp_absint::DemandAnalysis::compute(&graph);
+        metrics.absint_known_bits = fwd.known_bits();
+        metrics.absint_dead_bits = bwd.dead_bits();
+        metrics.absint_no_overflow_ops = graph.node_ids().filter(|&n| fwd.no_overflow(n)).count();
+        dp_absint::emit_trace(&graph, &fwd, &bwd, tr);
+        rec.finish(ai);
+    }
     Ok(FlowResult { netlist, clustering, graph, strategy, merge, metrics })
 }
 

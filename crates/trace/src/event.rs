@@ -95,6 +95,21 @@ pub enum Rule {
     /// and the untransformed design was synthesized as-is. `before`/`after`
     /// are the transformed/raw total operator widths.
     FallbackRaw,
+    /// Abstract interpretation: the forward known-bits/interval sweep
+    /// proved output bits constant (`before` = node width, `after` =
+    /// number of bits proven).
+    AbsintConst,
+    /// Abstract interpretation: the backward demanded-bits sweep proved
+    /// output bits dead (`before` = node width, `after` = live bits).
+    AbsintDeadBits,
+    /// Abstract interpretation: interval analysis proved an operator can
+    /// never wrap at its width (`before` = node width, `after` = the
+    /// same width, recorded for symmetry with width rules).
+    AbsintNoOverflow,
+    /// Abstract interpretation: a widening extension node's fill region is
+    /// never demanded downstream (`before` = node width, `after` = the
+    /// demanded prefix width).
+    AbsintRedundantExt,
 }
 
 impl Rule {
@@ -115,6 +130,10 @@ impl Rule {
             Rule::FallbackRpOnly => "FALLBACK-RP-ONLY",
             Rule::FallbackSingleton => "FALLBACK-SINGLETON",
             Rule::FallbackRaw => "FALLBACK-RAW",
+            Rule::AbsintConst => "ABSINT-CONST",
+            Rule::AbsintDeadBits => "ABSINT-DEAD-BITS",
+            Rule::AbsintNoOverflow => "ABSINT-NO-OVERFLOW",
+            Rule::AbsintRedundantExt => "ABSINT-REDUNDANT-EXT",
         }
     }
 
@@ -140,6 +159,12 @@ impl Rule {
             Rule::FallbackRpOnly => "flow degraded to required-precision-only widths (Thm 4.2)",
             Rule::FallbackSingleton => "flow degraded to singleton clusters (one CPA each)",
             Rule::FallbackRaw => "flow degraded to the untransformed design",
+            Rule::AbsintConst => "output bits proven constant by known-bits/intervals (dp-absint)",
+            Rule::AbsintDeadBits => "output bits proven dead by demanded-bits (dp-absint)",
+            Rule::AbsintNoOverflow => {
+                "operator proven to never wrap by interval analysis (dp-absint)"
+            }
+            Rule::AbsintRedundantExt => "extension fill region proven unobserved (dp-absint)",
         }
     }
 }

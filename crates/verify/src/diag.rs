@@ -34,7 +34,8 @@ impl fmt::Display for Severity {
 /// Every diagnostic code the bundled passes can emit.
 ///
 /// Families: `V` structural validity, `R` required precision, `I`
-/// information content, `C` cluster legality, `N` netlist consistency.
+/// information content, `C` cluster legality, `N` netlist consistency,
+/// `A` abstract-interpretation cross-checks.
 /// Each code has a fixed [`Severity`] so tooling can rely on it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(clippy::upper_case_acronyms)]
@@ -104,6 +105,30 @@ pub enum Code {
     N004,
     /// Cached fanout bookkeeping disagrees with a recount.
     N005,
+    /// A demanded bit lies outside the required-precision window: the
+    /// backward liveness analysis proves a bit observable that RP claims
+    /// dead — one of the two analyses is corrupt.
+    A001,
+    /// An information-content bound is not entailed by the independently
+    /// computed known-bits / interval facts: the ⟨i, t⟩ claim asserts a
+    /// value range the forward abstraction refutes.
+    A002,
+    /// A primary output is provably constant: the design always produces
+    /// the same word on that port.
+    A003,
+    /// Bits inside the required-precision window are provably dead — the
+    /// finer per-bit lattice sees slack the contiguous RP window cannot
+    /// express.
+    A004,
+    /// An extension node's fill bits are never demanded downstream: the
+    /// extension is statically redundant.
+    A005,
+    /// A truncation drops observable bits that are not provably redundant —
+    /// the narrowing may lose information a primary output can see.
+    A006,
+    /// An operator provably never wraps (interval proof) although the
+    /// information-content analysis could not certify it.
+    A007,
 }
 
 impl Code {
@@ -121,6 +146,9 @@ impl Code {
             C001 | C002 | C003 | C004 => Severity::Error,
             N001 | N002 | N003 | N005 => Severity::Error,
             N004 => Severity::Warn,
+            A001 | A002 => Severity::Error,
+            A003 => Severity::Warn,
+            A004 | A005 | A006 | A007 => Severity::Info,
         }
     }
 
@@ -153,6 +181,13 @@ impl Code {
             N003 => "netlist interface differs from the design",
             N004 => "dangling gate",
             N005 => "fanout bookkeeping mismatch",
+            A001 => "demanded bit outside the required-precision window",
+            A002 => "information-content bound not entailed by forward facts",
+            A003 => "primary output is provably constant",
+            A004 => "provably dead bits inside the required-precision window",
+            A005 => "extension fill bits never demanded (redundant extension)",
+            A006 => "truncation drops bits not provably redundant",
+            A007 => "operator provably never wraps (interval proof)",
         }
     }
 }

@@ -22,6 +22,7 @@
 //! | `I0xx` | information content | bound well-formedness, extension nodes |
 //! | `C0xx` | cluster legality | break-node audit, synthesizability |
 //! | `N0xx` | netlist | drivers, cycles, interface, fanout bookkeeping |
+//! | `A0xx` | abstract interpretation | demand ⊆ RP, IC entailment, static diagnostics |
 //!
 //! Strictness: checks that only hold *after* [`optimize_widths`] has run to
 //! a fixpoint (e.g. `r(p) <= w(n)`, "no edge wider than its source") are
@@ -61,7 +62,9 @@ use dp_metrics::Recorder;
 use dp_netlist::Netlist;
 
 pub use diag::{Code, Diagnostic, Location, Severity};
-pub use passes::{ClusterLegality, IcSoundness, NetlistChecks, RpSoundness, StructuralValidity};
+pub use passes::{
+    AbsintChecks, ClusterLegality, IcSoundness, NetlistChecks, RpSoundness, StructuralValidity,
+};
 
 /// Everything a verification run can look at.
 ///
@@ -81,6 +84,11 @@ pub struct Context<'a> {
     pub netlist: Option<&'a Netlist>,
     /// The width pipeline's report (`R004` convergence check).
     pub transform: Option<&'a TransformReport>,
+    /// Intrinsic information-content overrides the flow applied (Huffman
+    /// rebalancing — or a fault injection). When set, the `A0xx` pass
+    /// audits the IC analysis *under these overrides* instead of a clean
+    /// recomputation, so a planted lie is checked rather than discarded.
+    pub ic_overrides: Option<&'a dp_analysis::IntrinsicOverrides>,
     /// Whether `graph` is claimed to be at the width-optimization fixpoint.
     /// Turns on the strict post-fixpoint invariants (`R001`, `R003`,
     /// `I002`–`I005`).
@@ -96,6 +104,7 @@ impl<'a> Context<'a> {
             clustering: None,
             netlist: None,
             transform: None,
+            ic_overrides: None,
             assume_optimized: false,
         }
     }
@@ -121,6 +130,13 @@ impl<'a> Context<'a> {
     /// Attaches the width pipeline's transform report.
     pub fn transform(mut self, transform: &'a TransformReport) -> Self {
         self.transform = Some(transform);
+        self
+    }
+
+    /// Attaches the intrinsic IC overrides the flow ran under, so the
+    /// `A0xx` pass audits the bounds actually used.
+    pub fn ic_overrides(mut self, overrides: &'a dp_analysis::IntrinsicOverrides) -> Self {
+        self.ic_overrides = Some(overrides);
         self
     }
 
@@ -164,6 +180,7 @@ impl Default for Verifier {
         v.register(Box::new(IcSoundness));
         v.register(Box::new(ClusterLegality));
         v.register(Box::new(NetlistChecks));
+        v.register(Box::new(AbsintChecks));
         v
     }
 }

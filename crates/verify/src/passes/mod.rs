@@ -1,11 +1,13 @@
 //! The bundled checker passes, one module per diagnostic family.
 
+mod absint;
 mod cluster;
 mod ic;
 mod netlist;
 mod rp;
 mod structural;
 
+pub use absint::AbsintChecks;
 pub use cluster::ClusterLegality;
 pub use ic::IcSoundness;
 pub use netlist::NetlistChecks;

@@ -27,7 +27,7 @@ echo "==> cargo build --examples"
 cargo build --workspace --examples
 
 echo "==> dpmc bench --compare (QoR/provenance exact, timing within 400%)"
-cargo run --release --bin dpmc -- bench --jobs 1 --compare BENCH_pr4.json --max-regress-pct 400
+cargo run --release --bin dpmc -- bench --jobs 1 --compare BENCH_pr6.json --max-regress-pct 400
 
 echo "==> dpmc bench --jobs determinism (parallel report == serial report)"
 cargo run --release --bin dpmc -- bench --jobs 1 --out /tmp/dpmc_jobs1.json
@@ -38,11 +38,24 @@ rm -f /tmp/dpmc_jobs1.json /tmp/dpmc_jobs4.json
 echo "==> dpmc faultcheck (fixed seeds: detect-or-degrade on every builtin)"
 cargo run --release --bin dpmc -- faultcheck --seeds 8
 
+echo "==> dpmc analyze (A-family cross-proofs on every builtin; deterministic)"
+cargo run --release --bin dpmc -- analyze --designs all --json > /tmp/dpmc_analyze1.json
+cargo run --release --bin dpmc -- analyze --designs all --json > /tmp/dpmc_analyze2.json
+diff /tmp/dpmc_analyze1.json /tmp/dpmc_analyze2.json
+grep -q '"passed": true' /tmp/dpmc_analyze1.json
+rm -f /tmp/dpmc_analyze1.json /tmp/dpmc_analyze2.json
+
+echo "==> dpmc analyze --corrupt-ic (the planted lying IC bound must be flagged)"
+if cargo run --release --bin dpmc -- analyze --designs D1 --corrupt-ic 1 > /dev/null; then
+  echo "analyze gate: FAIL (a corrupted IC bound passed the cross-proof)"
+  exit 1
+fi
+
 echo "==> unwrap/expect lint (non-test code of src/ and core crates)"
 # Bare .unwrap() is banned outright outside tests/doc-comments; justified
 # .expect("invariant") calls are budgeted — adding a new one without
 # raising the budget (and justifying it in review) fails the gate.
-EXPECT_BUDGET=35
+EXPECT_BUDGET=37
 lint_scope="src crates/analysis/src crates/merge/src crates/synth/src crates/netlist/src"
 unwraps=0; expects=0
 for f in $(find $lint_scope -name '*.rs'); do
@@ -60,6 +73,27 @@ if [ "$expects" -gt "$EXPECT_BUDGET" ]; then
   exit 1
 fi
 echo "unwrap lint: OK (0 bare unwraps, $expects/$EXPECT_BUDGET expects)"
+
+echo "==> panic lint (non-test code of src/ and all crates)"
+# Bare panic!/unreachable! and slice-indexing unwraps (.get(..).unwrap(),
+# [..].unwrap()) are banned outside tests: use a typed error, restructure
+# the match to be exhaustive, or .expect() with an invariant message
+# (which the budget above accounts for).
+panics=0
+for f in $(find src crates/*/src -name '*.rs'); do
+  p=$(awk '/#\[cfg\(test\)\]/{exit} {t=$0; sub(/^[ \t]+/,"",t)} t ~ /^\/\// {next} \
+       /(panic!|unreachable!)\(/ {c++} \
+       /\.get\([^)]*\)[ \t]*\.unwrap\(\)/ {c++} \
+       /\[[^]]*\][ \t]*\.unwrap\(\)/ {c++} \
+       END{print c+0}' "$f")
+  if [ "$p" -gt 0 ]; then echo "  $f: $p bare panic!/unreachable!/slice-index unwrap outside tests"; fi
+  panics=$((panics + p))
+done
+if [ "$panics" -gt 0 ]; then
+  echo "panic lint: FAIL ($panics bare panic!/unreachable!/slice-index unwrap in non-test code)"
+  exit 1
+fi
+echo "panic lint: OK"
 
 echo "==> cargo clippy"
 cargo clippy --workspace --all-targets -- -D warnings

@@ -10,7 +10,9 @@
 //!      [--reduction dadda|wallace] [--no-compress]
 //!      [--optimize TARGET_NS] [--emit-verilog FILE] [--emit-dot FILE]
 //!      [--check N]
-//! dpmc lint design.dp [--deny-warnings]
+//! dpmc lint design.dp [--deny-warnings] [--json]
+//! dpmc analyze [<design.dp>] [--designs all|NAME,...] [--json]
+//!      [--corrupt-ic SEED]
 //! dpmc explain design.dp [--node N | --port P] [--json]
 //! dpmc dot design.dp [--annotate] [--out FILE]
 //! dpmc bench [--designs all|NAME,NAME,...] [--jobs N] [--out FILE]
@@ -21,9 +23,22 @@
 //!
 //! `dpmc lint` runs the new-merge flow and then audits the optimized
 //! graph, clustering and netlist with the [`datapath_merge::verify`]
-//! checker passes, printing one diagnostic per line. The exit code is
-//! non-zero if any error-level diagnostic fires (or any warning under
+//! checker passes, printing one diagnostic per line (or, with `--json`, a
+//! stable machine-readable document, schema `dpmc-lint/1`). The exit code
+//! is non-zero if any error-level diagnostic fires (or any warning under
 //! `--deny-warnings`).
+//!
+//! `dpmc analyze` runs the [`datapath_merge::absint`] static layer — the
+//! forward known-bits/interval and backward demanded-bits abstract
+//! interpretations — over each requested design and reports the `A`-family
+//! findings: the two cross-proofs (demand ⊆ RP window, IC bounds entailed
+//! by forward facts) plus static diagnostics (provably-constant outputs,
+//! dead bits RP cannot see, redundant extensions, lossy truncations,
+//! proven-no-overflow operators). Output is deterministic; `--json` emits
+//! schema `dpmc-analyze/1`. `--corrupt-ic SEED` plants the same lying
+//! information-content bound the fault harness injects, to demonstrate
+//! the checker catches it (exit code turns non-zero). Exit is non-zero
+//! whenever an `A001`/`A002` error fires.
 //!
 //! `dpmc explain` runs the new-merge flow with provenance recording
 //! enabled and prints the causal chain of RP/IC/clustering decisions
@@ -64,7 +79,7 @@
 //!
 //! `dpmc` distinguishes failure families by exit code (see
 //! [`datapath_merge::error::FlowError`]): `0` success, `1` a gate found
-//! problems (`lint`/`bench --compare`/`faultcheck`), `2` usage, `3` I/O,
+//! problems (`lint`/`analyze`/`bench --compare`/`faultcheck`), `2` usage, `3` I/O,
 //! `4` DSL parse, `5` graph validation, `6` analysis, `7` clustering,
 //! `8` netlist emission.
 
@@ -84,6 +99,8 @@ struct Args {
     check: usize,
     lint: bool,
     deny_warnings: bool,
+    analyze: bool,
+    corrupt_ic: Option<u64>,
     explain: bool,
     node: Option<String>,
     json: bool,
@@ -106,7 +123,9 @@ struct Args {
 const USAGE: &str = "usage: dpmc <design.dp> [--flow new|old|none|all] \
 [--adder ks|csel|ripple] [--reduction dadda|wallace] [--no-compress] \
 [--optimize TARGET_NS] [--emit-verilog FILE] [--emit-dot FILE] [--check N]\n\
-       dpmc lint <design.dp> [--deny-warnings]\n\
+       dpmc lint <design.dp> [--deny-warnings] [--json]\n\
+       dpmc analyze [<design.dp>] [--designs all|NAME,...] [--json] \
+[--corrupt-ic SEED]\n\
        dpmc explain <design.dp> [--node N | --port P] [--json]\n\
        dpmc dot <design.dp> [--annotate] [--out FILE]\n\
        dpmc bench [--designs all|NAME,NAME,...] [--jobs N] [--out FILE] \
@@ -127,6 +146,8 @@ fn parse_args() -> Result<Args, String> {
         check: 20,
         lint: false,
         deny_warnings: false,
+        analyze: false,
+        corrupt_ic: None,
         explain: false,
         node: None,
         json: false,
@@ -247,7 +268,17 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "bad --max-regress-pct value".to_string())?
             }
+            "--corrupt-ic" => {
+                args.corrupt_ic = Some(
+                    value(&mut it, "--corrupt-ic")?
+                        .parse()
+                        .map_err(|_| "bad --corrupt-ic value".to_string())?,
+                )
+            }
             "lint" if !subcommand && args.file.is_empty() => (args.lint, subcommand) = (true, true),
+            "analyze" if !subcommand && args.file.is_empty() => {
+                (args.analyze, subcommand) = (true, true)
+            }
             "explain" if !subcommand && args.file.is_empty() => {
                 (args.explain, subcommand) = (true, true)
             }
@@ -286,12 +317,33 @@ fn parse_args() -> Result<Args, String> {
         if args.jobs.is_some() {
             return Err("--jobs only applies to `dpmc bench`".to_string());
         }
+    } else if args.analyze {
+        if !args.file.is_empty() && !args.designs.is_empty() {
+            return Err(
+                "`dpmc analyze` takes a positional design or --designs, not both".to_string()
+            );
+        }
+        if args.file.is_empty() && args.designs.is_empty() {
+            args.designs = vec!["all".to_string()];
+        }
+        if args.out.is_some() {
+            return Err("--out only applies to `dpmc bench` and `dpmc dot`".to_string());
+        }
+        if args.compare.is_some() {
+            return Err("--compare only applies to `dpmc bench`".to_string());
+        }
+        if args.jobs.is_some() {
+            return Err("--jobs only applies to `dpmc bench`".to_string());
+        }
     } else {
         if args.file.is_empty() {
             return Err("no design file given".to_string());
         }
         if !args.designs.is_empty() {
-            return Err("--designs only applies to `dpmc bench` and `dpmc faultcheck`".to_string());
+            return Err(
+                "--designs only applies to `dpmc bench`, `dpmc analyze` and `dpmc faultcheck`"
+                    .to_string(),
+            );
         }
         if args.out.is_some() && !args.dot {
             return Err("--out only applies to `dpmc bench` and `dpmc dot`".to_string());
@@ -309,8 +361,13 @@ fn parse_args() -> Result<Args, String> {
     if args.node.is_some() && !args.explain {
         return Err("--node/--port only apply to `dpmc explain`".to_string());
     }
-    if args.json && !(args.explain || args.faultcheck) {
-        return Err("--json only applies to `dpmc explain` and `dpmc faultcheck`".to_string());
+    if args.json && !(args.explain || args.faultcheck || args.lint || args.analyze) {
+        return Err("--json only applies to `dpmc lint`, `dpmc analyze`, `dpmc explain` and \
+             `dpmc faultcheck`"
+            .to_string());
+    }
+    if args.corrupt_ic.is_some() && !args.analyze {
+        return Err("--corrupt-ic only applies to `dpmc analyze`".to_string());
     }
     if !args.classes.is_empty() && !args.faultcheck {
         return Err("--classes only applies to `dpmc faultcheck`".to_string());
@@ -320,7 +377,7 @@ fn parse_args() -> Result<Args, String> {
     }
     let budgeted =
         args.budget_rounds.is_some() || args.budget_pushes.is_some() || args.budget_nodes.is_some();
-    if budgeted && (args.lint || args.explain || args.dot || args.bench) {
+    if budgeted && (args.lint || args.analyze || args.explain || args.dot || args.bench) {
         return Err("--budget-* only apply to the main flow and `dpmc faultcheck`".to_string());
     }
     Ok(args)
@@ -336,6 +393,8 @@ fn main() -> ExitCode {
     };
     let outcome = if args.lint {
         run_lint(&args)
+    } else if args.analyze {
+        run_analyze(&args)
     } else if args.explain {
         run_explain(&args).map(|()| true)
     } else if args.dot {
@@ -403,11 +462,164 @@ fn run_lint(args: &Args) -> Result<bool, FlowError> {
         .optimized(true);
     let report = Verifier::default().run(&cx);
 
+    let denied = report.has_errors() || (args.deny_warnings && report.count(Severity::Warn) > 0);
+    if args.json {
+        let diags: Vec<Json> = report
+            .diagnostics()
+            .iter()
+            .map(|d| {
+                Json::obj()
+                    .field("code", d.code.to_string())
+                    .field("severity", d.severity().to_string())
+                    .field("location", d.location.to_string())
+                    .field("message", d.message.as_str())
+            })
+            .collect();
+        let doc = Json::obj()
+            .field("schema", "dpmc-lint/1")
+            .field("design", args.file.as_str())
+            .field("pipeline", merge_report.transform.summary())
+            .field("diagnostics", diags)
+            .field("errors", report.count(Severity::Error))
+            .field("warnings", report.count(Severity::Warn))
+            .field("infos", report.count(Severity::Info))
+            .field("passed", !denied);
+        println!("{}", doc.render_pretty());
+        return Ok(!denied);
+    }
     print!("{}", report.render(&g));
     println!("{}: {}", args.file, report.summary());
     println!("{}: width pipeline {}", args.file, merge_report.transform.summary());
-    let denied = report.has_errors() || (args.deny_warnings && report.count(Severity::Warn) > 0);
     Ok(!denied)
+}
+
+/// `dpmc analyze`: run the abstract-interpretation static layer over each
+/// requested design and report the `A`-family findings. With
+/// `--corrupt-ic SEED`, plant the fault harness's lying
+/// information-content bound first so the cross-proof visibly fails.
+/// Returns `Ok(false)` when any cross-check proof fails.
+fn run_analyze(args: &Args) -> Result<bool, FlowError> {
+    use datapath_merge::absint::{analyze_with, FindingKind, Place};
+    use datapath_merge::analysis::IntrinsicOverrides;
+    use datapath_merge::fault::FaultInjector;
+    use datapath_merge::synth::FlowFault;
+
+    // The stable code + severity each finding kind maps to (mirrors the
+    // dp-verify `A`-family table).
+    fn code_of(kind: FindingKind) -> (&'static str, &'static str) {
+        match kind {
+            FindingKind::DemandOutsideRp => ("A001", "error"),
+            FindingKind::IcNotEntailed => ("A002", "error"),
+            FindingKind::ConstantOutput => ("A003", "warn"),
+            FindingKind::HiddenDeadBits => ("A004", "info"),
+            FindingKind::RedundantExtension => ("A005", "info"),
+            FindingKind::LossyTruncation => ("A006", "info"),
+            FindingKind::NoOverflow => ("A007", "info"),
+        }
+    }
+    fn place_str(place: Place) -> String {
+        match place {
+            Place::Node(n) => n.to_string(),
+            Place::Edge(e) => e.to_string(),
+        }
+    }
+    // Text rendering names the node when the graph knows a name for it;
+    // the JSON `location` field stays the bare stable id.
+    fn place_label(g: &Dfg, place: Place) -> String {
+        match place {
+            Place::Node(n) => match g.node(n).name() {
+                Some(name) => format!("{n} `{name}`"),
+                None => n.to_string(),
+            },
+            Place::Edge(e) => e.to_string(),
+        }
+    }
+
+    let designs = if args.file.is_empty() {
+        collect_designs(&args.designs)?
+    } else {
+        vec![(module_name(&args.file), load_design(&args.file)?)]
+    };
+
+    let mut all_clean = true;
+    let mut rows = Vec::new();
+    for (name, g) in &designs {
+        let mut overrides = IntrinsicOverrides::new();
+        let mut injected: Option<String> = None;
+        if let Some(seed) = args.corrupt_ic {
+            let mut inj = FaultInjector::new(FaultClass::LieIcBound, seed);
+            let mut scratch = g.clone();
+            inj.after_widths(&mut scratch);
+            inj.tamper_ic(&mut overrides);
+            injected = inj.injected;
+        }
+        let (_fwd, _bwd, report) = analyze_with(g, &overrides);
+        let clean = !report.has_violations();
+        all_clean &= clean;
+
+        let c = report.counters;
+        if args.json {
+            let findings: Vec<Json> = report
+                .findings
+                .iter()
+                .map(|f| {
+                    let (code, severity) = code_of(f.kind);
+                    Json::obj()
+                        .field("code", code)
+                        .field("severity", severity)
+                        .field("location", place_str(f.place))
+                        .field("message", f.message.as_str())
+                })
+                .collect();
+            let counters = Json::obj()
+                .field("known_bits", c.known_bits)
+                .field("dead_bits", c.dead_bits)
+                .field("no_overflow_ops", c.no_overflow_ops)
+                .field("rp_ports_checked", c.rp_ports_checked)
+                .field("ic_bounds_checked", c.ic_bounds_checked);
+            let mut row = Json::obj().field("design", name.as_str());
+            if let Some(what) = &injected {
+                row = row.field("injected", what.as_str());
+            }
+            rows.push(row.field("counters", counters).field("findings", findings).field(
+                "errors",
+                report.findings.iter().filter(|f| code_of(f.kind).1 == "error").count(),
+            ));
+        } else {
+            if let Some(what) = &injected {
+                println!("{name}: injected {what}");
+            }
+            for f in &report.findings {
+                let (code, severity) = code_of(f.kind);
+                println!("{name}: {severity}[{code}] {}: {}", place_label(g, f.place), f.message);
+            }
+            println!(
+                "{name}: {} finding(s); proved {} known bit(s), {} dead bit(s), \
+                 {} no-overflow op(s); checked {} RP port(s), {} IC bound(s): {}",
+                report.findings.len(),
+                c.known_bits,
+                c.dead_bits,
+                c.no_overflow_ops,
+                c.rp_ports_checked,
+                c.ic_bounds_checked,
+                if clean { "proofs hold" } else { "CROSS-CHECK FAILED" },
+            );
+        }
+    }
+    if args.json {
+        let doc = Json::obj()
+            .field("schema", "dpmc-analyze/1")
+            .field("designs", rows)
+            .field("passed", all_clean);
+        println!("{}", doc.render_pretty());
+    } else {
+        println!(
+            "analyze: {} design(s): {}",
+            designs.len(),
+            if all_clean { "all cross-check proofs hold" } else { "cross-check proofs FAILED" }
+        );
+    }
+    Ok(all_clean)
 }
 
 /// `dpmc explain`: re-run the new-merge flow with provenance recording
@@ -629,7 +841,7 @@ fn run_bench(args: &Args) -> Result<bool, FlowError> {
             }
         }
     }
-    let doc = Json::obj().field("schema", "dpmc-bench/3").field("designs", rows);
+    let doc = Json::obj().field("schema", "dpmc-bench/4").field("designs", rows);
     let rendered = doc.render_pretty();
     match &args.out {
         Some(path) => {

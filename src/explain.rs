@@ -49,6 +49,11 @@ pub fn run_traced(g: &Dfg) -> Explained {
     let mut rec = Recorder::new();
     let mut trace = TraceLog::new();
     let (clustering, report) = cluster_max_with(&mut opt, &mut rec, &mut trace);
+    // Static abstract-interpretation facts over the optimized graph, so an
+    // explanation also names what the fine lattices proved about the node.
+    let fwd = dp_absint::ForwardAnalysis::compute(&opt);
+    let bwd = dp_absint::DemandAnalysis::compute(&opt);
+    dp_absint::emit_trace(&opt, &fwd, &bwd, &mut trace);
     let rp = required_precision(&opt);
     let ic = info_content(&opt);
     Explained { graph: opt, clustering, report, trace, rp_before, rp, ic }

@@ -25,6 +25,7 @@
 //! | [`bitvec`] | `dp-bitvec` | arbitrary-precision two's-complement bit vectors |
 //! | [`dfg`] | `dp-dfg` | data-flow-graph model + bit-accurate evaluator |
 //! | [`analysis`] | `dp-analysis` | required precision, information content, pruning, Huffman |
+//! | [`absint`] | `dp-absint` | known-bits/interval + demanded-bits abstract interpretation (`dpmc analyze`) |
 //! | [`merge`] | `dp-merge` | break nodes, clustering (new/old/none), sum-of-addends |
 //! | [`netlist`] | `dp-netlist` | gate-level netlists, cell library, STA, simulation |
 //! | [`synth`] | `dp-synth` | partial products, CSA trees, final adders, flows |
@@ -70,6 +71,7 @@ pub mod explain;
 
 pub use dp_fault as fault;
 
+pub use dp_absint as absint;
 pub use dp_analysis as analysis;
 pub use dp_bitvec as bitvec;
 pub use dp_dfg as dfg;
@@ -84,6 +86,7 @@ pub use dp_verify as verify;
 
 /// The most commonly used items in one import.
 pub mod prelude {
+    pub use dp_absint::{AbsVal, AbsintReport, DemandAnalysis, ForwardAnalysis, KnownBits};
     pub use dp_analysis::{
         huffman_bound, info_content, optimize_widths, required_precision, Ic, Pass, Term,
     };

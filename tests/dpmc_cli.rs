@@ -125,7 +125,7 @@ fn bench_json_is_deterministic_modulo_timing() {
         String::from_utf8(out.stdout).expect("utf8 json")
     };
     let (a, b) = (run(), run());
-    assert!(a.contains("\"schema\": \"dpmc-bench/3\""), "{a}");
+    assert!(a.contains("\"schema\": \"dpmc-bench/4\""), "{a}");
     assert!(a.contains("\"strategy\": \"old-merge\""));
     assert!(a.contains("\"strategy\": \"new-merge\""));
     assert!(a.contains("\"trace_events\":"), "provenance event counts present");
@@ -430,4 +430,69 @@ fn starved_budget_degrades_gracefully_and_still_verifies() {
     assert!(text.contains("FALLBACK-RP-ONLY"), "{text}");
     assert!(text.contains("verified against the design"), "{text}");
     let _ = std::fs::remove_file(f);
+}
+
+#[test]
+fn analyze_proves_every_builtin_design_clean() {
+    let out = dpmc().args(["analyze", "--designs", "all"]).output().expect("dpmc runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("all cross-check proofs hold"), "{text}");
+    assert!(!text.contains("error[A00"), "{text}");
+}
+
+#[test]
+fn analyze_json_is_deterministic() {
+    let run = || {
+        let out =
+            dpmc().args(["analyze", "--designs", "all", "--json"]).output().expect("dpmc runs");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        out.stdout
+    };
+    let first = run();
+    assert_eq!(first, run(), "analyze --json must be byte-identical across runs");
+    let text = String::from_utf8_lossy(&first);
+    assert!(text.contains("\"schema\": \"dpmc-analyze/1\""), "{text}");
+    assert!(text.contains("\"ic_bounds_checked\""), "{text}");
+    assert!(text.contains("\"passed\": true"), "{text}");
+}
+
+#[test]
+fn analyze_flags_a_corrupted_ic_bound_as_a_family_error() {
+    let out = dpmc()
+        .args(["analyze", "--designs", "D1", "--corrupt-ic", "1"])
+        .output()
+        .expect("dpmc runs");
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stdout));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("injected"), "{text}");
+    assert!(text.contains("error[A002]"), "{text}");
+    assert!(text.contains("CROSS-CHECK FAILED"), "{text}");
+}
+
+#[test]
+fn analyze_accepts_a_positional_design_file() {
+    let out = dpmc().args(["analyze", "designs/fig3.dp"]).output().expect("dpmc runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("fig3:"), "{text}");
+    assert!(text.contains("proofs hold"), "{text}");
+}
+
+#[test]
+fn analyze_rejects_corrupt_ic_outside_analyze() {
+    let out =
+        dpmc().args(["lint", "designs/sop.dp", "--corrupt-ic", "3"]).output().expect("dpmc runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--corrupt-ic"), "usage error expected");
+}
+
+#[test]
+fn lint_json_reports_diagnostics_machine_readably() {
+    let out = dpmc().args(["lint", "designs/redundant.dp", "--json"]).output().expect("dpmc runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"schema\": \"dpmc-lint/1\""), "{text}");
+    assert!(text.contains("\"errors\": 0"), "{text}");
+    assert!(text.contains("\"passed\": true"), "{text}");
 }
