@@ -1,0 +1,286 @@
+//! Fallback kernel: widths above 128 bits as heap-allocated little-endian
+//! `u64` limbs.
+//!
+//! This is the only tier that touches the allocator. Callers maintain the
+//! canonical-form invariant (bits at positions `>= width` are zero, limb
+//! count is exactly `limbs_for(width)`); every kernel re-establishes it on
+//! its result. Out-of-range limb reads are defined as zero so every
+//! function stays total even on ragged operand lengths.
+
+pub(crate) const LIMB_BITS: usize = 64;
+
+/// Number of limbs a `width`-bit vector occupies.
+#[inline]
+pub(crate) fn limbs_for(width: u32) -> usize {
+    (width as usize).div_ceil(LIMB_BITS)
+}
+
+/// Limb `k` of `a`, reading zero past the end.
+#[inline]
+pub(crate) fn limb(a: &[u64], k: usize) -> u64 {
+    a.get(k).copied().unwrap_or(0)
+}
+
+/// Clears any bits at positions `>= width`, restoring canonical form.
+pub(crate) fn mask_top(width: u32, limbs: &mut [u64]) {
+    let top_bits = width as usize % LIMB_BITS;
+    if top_bits != 0 {
+        if let Some(last) = limbs.last_mut() {
+            *last &= (1u64 << top_bits) - 1;
+        }
+    }
+}
+
+/// An all-zero limb vector for `width`.
+pub(crate) fn zero(width: u32) -> Box<[u64]> {
+    vec![0u64; limbs_for(width)].into_boxed_slice()
+}
+
+/// What limb `k` of a canonical `width`-bit vector filled with `fill`
+/// bits (zero or all-ones) looks like after top masking.
+pub(crate) fn fill_limb(fill: u64, width: u32, k: usize) -> u64 {
+    if fill == 0 {
+        return 0;
+    }
+    let lo = k * LIMB_BITS;
+    let width = width as usize;
+    if lo >= width {
+        0
+    } else if width - lo >= LIMB_BITS {
+        u64::MAX
+    } else {
+        (1u64 << (width - lo)) - 1
+    }
+}
+
+/// Modular addition at `width`.
+pub(crate) fn add(width: u32, a: &[u64], b: &[u64]) -> Box<[u64]> {
+    let mut out = zero(width);
+    let mut carry = 0u64;
+    for (k, o) in out.iter_mut().enumerate() {
+        let (s1, c1) = limb(a, k).overflowing_add(limb(b, k));
+        let (s2, c2) = s1.overflowing_add(carry);
+        *o = s2;
+        carry = (c1 as u64) + (c2 as u64);
+    }
+    mask_top(width, &mut out);
+    out
+}
+
+/// Modular subtraction at `width`.
+pub(crate) fn sub(width: u32, a: &[u64], b: &[u64]) -> Box<[u64]> {
+    let mut out = zero(width);
+    let mut borrow = 0u64;
+    for (k, o) in out.iter_mut().enumerate() {
+        let (d1, b1) = limb(a, k).overflowing_sub(limb(b, k));
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        *o = d2;
+        borrow = (b1 as u64) | (b2 as u64);
+    }
+    mask_top(width, &mut out);
+    out
+}
+
+/// Bitwise NOT within `width`.
+pub(crate) fn not(width: u32, a: &[u64]) -> Box<[u64]> {
+    let mut out: Box<[u64]> = a.iter().map(|&l| !l).collect();
+    mask_top(width, &mut out);
+    out
+}
+
+/// Modular two's-complement negation at `width`.
+pub(crate) fn neg(width: u32, a: &[u64]) -> Box<[u64]> {
+    let mut out = not(width, a);
+    let mut carry = 1u64;
+    for o in out.iter_mut() {
+        if carry == 0 {
+            break;
+        }
+        let (s, c) = o.overflowing_add(carry);
+        *o = s;
+        carry = c as u64;
+    }
+    mask_top(width, &mut out);
+    out
+}
+
+/// Schoolbook multiplication keeping only the low `width` bits. With
+/// `width == a_width + b_width` this is the exact (widening) product.
+pub(crate) fn mul_mod(width: u32, a: &[u64], b: &[u64]) -> Box<[u64]> {
+    let out_limbs = limbs_for(width);
+    let mut acc = vec![0u64; out_limbs + 1];
+    for (i, &x) in a.iter().enumerate() {
+        if x == 0 {
+            continue;
+        }
+        let mut carry = 0u128;
+        for (j, &y) in b.iter().enumerate() {
+            if i + j >= acc.len() {
+                break;
+            }
+            let t = (x as u128) * (y as u128) + (acc[i + j] as u128) + carry;
+            acc[i + j] = t as u64;
+            carry = t >> 64;
+        }
+        let mut k = i + b.len();
+        while carry != 0 && k < acc.len() {
+            let t = (acc[k] as u128) + carry;
+            acc[k] = t as u64;
+            carry = t >> 64;
+            k += 1;
+        }
+    }
+    acc.truncate(out_limbs);
+    let mut out = acc.into_boxed_slice();
+    mask_top(width, &mut out);
+    out
+}
+
+/// Logical left shift within `width` (top bits fall off, zeros enter).
+pub(crate) fn shl(width: u32, a: &[u64], amount: usize) -> Box<[u64]> {
+    if amount >= width as usize {
+        return zero(width);
+    }
+    let (limb_shift, bit_shift) = (amount / LIMB_BITS, amount % LIMB_BITS);
+    let mut out = zero(width);
+    for k in (limb_shift..out.len()).rev() {
+        let hi = limb(a, k - limb_shift) << bit_shift;
+        let lo = if bit_shift > 0 && k > limb_shift {
+            limb(a, k - limb_shift - 1) >> (LIMB_BITS - bit_shift)
+        } else {
+            0
+        };
+        out[k] = hi | lo;
+    }
+    mask_top(width, &mut out);
+    out
+}
+
+/// Logical right shift (zeros enter at the top).
+pub(crate) fn lshr(width: u32, a: &[u64], amount: usize) -> Box<[u64]> {
+    if amount >= width as usize {
+        return zero(width);
+    }
+    let (limb_shift, bit_shift) = (amount / LIMB_BITS, amount % LIMB_BITS);
+    let mut out = zero(width);
+    for k in 0..out.len() {
+        let lo = limb(a, k + limb_shift) >> bit_shift;
+        let hi =
+            if bit_shift > 0 { limb(a, k + limb_shift + 1) << (LIMB_BITS - bit_shift) } else { 0 };
+        out[k] = lo | hi;
+    }
+    mask_top(width, &mut out);
+    out
+}
+
+/// Arithmetic right shift (copies of the sign bit enter at the top).
+pub(crate) fn ashr(width: u32, a: &[u64], amount: usize) -> Box<[u64]> {
+    let sign = msb(width, a);
+    if amount >= width as usize {
+        return if sign { ones(width) } else { zero(width) };
+    }
+    let mut out = lshr(width, a, amount);
+    if sign {
+        for bit in (width as usize - amount)..width as usize {
+            out[bit / LIMB_BITS] |= 1u64 << (bit % LIMB_BITS);
+        }
+    }
+    out
+}
+
+/// An all-ones canonical limb vector for `width`.
+pub(crate) fn ones(width: u32) -> Box<[u64]> {
+    let mut out: Box<[u64]> = vec![u64::MAX; limbs_for(width)].into_boxed_slice();
+    mask_top(width, &mut out);
+    out
+}
+
+/// The most significant bit (position `width - 1`).
+#[inline]
+pub(crate) fn msb(width: u32, a: &[u64]) -> bool {
+    let i = width as usize - 1;
+    (limb(a, i / LIMB_BITS) >> (i % LIMB_BITS)) & 1 == 1
+}
+
+/// Position of the highest set bit plus one; `0` for the zero value.
+pub(crate) fn min_unsigned_width(a: &[u64]) -> usize {
+    for (k, &l) in a.iter().enumerate().rev() {
+        if l != 0 {
+            return k * LIMB_BITS + (64 - l.leading_zeros()) as usize;
+        }
+    }
+    0
+}
+
+/// Smallest `i >= 1` such that the value equals the sign extension of its
+/// `i` least significant bits: one past the highest bit that differs from
+/// the sign fill, plus one for the sign bit itself.
+pub(crate) fn min_signed_width(width: u32, a: &[u64]) -> usize {
+    let fill = if msb(width, a) { u64::MAX } else { 0 };
+    for k in (0..limbs_for(width)).rev() {
+        // Differing bits within the width window of limb k.
+        let x = (limb(a, k) ^ fill) & fill_limb(u64::MAX, width, k);
+        if x != 0 {
+            return k * LIMB_BITS + (64 - x.leading_zeros()) as usize + 1;
+        }
+    }
+    1
+}
+
+/// Unsigned comparison of two canonical limb vectors (any lengths).
+pub(crate) fn cmp_unsigned(a: &[u64], b: &[u64]) -> std::cmp::Ordering {
+    let n = a.len().max(b.len());
+    for k in (0..n).rev() {
+        match limb(a, k).cmp(&limb(b, k)) {
+            std::cmp::Ordering::Equal => continue,
+            ord => return ord,
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a: Box<[u64]> = vec![u64::MAX, u64::MAX, 1].into_boxed_slice();
+        let b: Box<[u64]> = vec![1, 0, 0].into_boxed_slice();
+        let s = add(130, &a, &b);
+        assert_eq!(&s[..], &[0, 0, 2]);
+        let d = sub(130, &s, &b);
+        assert_eq!(&d[..], &a[..]);
+    }
+
+    #[test]
+    fn shifts_word_and_bit_granularity() {
+        let mut a = zero(200);
+        a[0] = 0b1011;
+        let l = shl(200, &a, 130);
+        assert_eq!(limb(&l, 2), 0b1011 << 2);
+        let r = lshr(200, &l, 130);
+        assert_eq!(&r[..], &a[..]);
+    }
+
+    #[test]
+    fn ashr_fills_sign() {
+        let a = ones(130);
+        let r = ashr(130, &a, 64);
+        assert_eq!(&r[..], &ones(130)[..]);
+        let z = zero(130);
+        assert_eq!(&ashr(130, &z, 64)[..], &z[..]);
+    }
+
+    #[test]
+    fn min_signed_width_scans_limbs() {
+        assert_eq!(min_signed_width(130, &ones(130)), 1);
+        assert_eq!(min_signed_width(130, &zero(130)), 1);
+        let mut v = zero(130);
+        v[0] = 0b0110;
+        assert_eq!(min_signed_width(130, &v), 4);
+        let mut w = ones(130);
+        w[0] = u64::MAX << 3; // ...111000 => -8 needs 4 bits
+        assert_eq!(min_signed_width(130, &w), 4);
+    }
+}

@@ -1,0 +1,134 @@
+//! Cross-tier dispatch: the operations whose operand widths (and therefore
+//! storage tiers) may differ — width changes, widening multiplies, and
+//! value comparisons.
+//!
+//! Each function picks the cheapest representation that fits the *result*
+//! width: results at or below 128 bits stay inline even when an operand
+//! was boxed, and results above 128 bits are built limb-by-limb through
+//! [`BitVec::with_limbs`], which exposes inline operands as one- or
+//! two-limb slices without allocating.
+
+use std::cmp::Ordering;
+
+use crate::vec::Repr;
+use crate::{core_big, core_u128, core_u64, BitVec};
+
+/// Picks the inline tier for a canonical `width`-bit value (`width <= 128`).
+#[inline]
+pub(crate) fn repr_from_u128(width: u32, value: u128) -> Repr {
+    if width <= 64 {
+        Repr::Small { width, bits: value as u64 }
+    } else {
+        Repr::Mid { width, bits: value }
+    }
+}
+
+/// Truncation to `new_width <= v.width()`, demoting the tier when the new
+/// width crosses an inline boundary.
+pub(crate) fn trunc(v: &BitVec, new_width: u32) -> Repr {
+    if new_width <= 64 {
+        Repr::Small { width: new_width, bits: v.low_u64() & core_u64::mask(new_width) }
+    } else if new_width <= 128 {
+        Repr::Mid { width: new_width, bits: v.low_u128() & core_u128::mask(new_width) }
+    } else {
+        v.with_limbs(|a| {
+            let mut out: Box<[u64]> =
+                (0..core_big::limbs_for(new_width)).map(|k| core_big::limb(a, k)).collect();
+            core_big::mask_top(new_width, &mut out);
+            Repr::Big { width: new_width, limbs: out }
+        })
+    }
+}
+
+/// Zero extension to `new_width >= v.width()`, promoting the tier when the
+/// new width crosses an inline boundary.
+pub(crate) fn zext(v: &BitVec, new_width: u32) -> Repr {
+    if new_width <= 128 {
+        repr_from_u128(new_width, v.low_u128())
+    } else {
+        v.with_limbs(|a| {
+            let out: Box<[u64]> =
+                (0..core_big::limbs_for(new_width)).map(|k| core_big::limb(a, k)).collect();
+            Repr::Big { width: new_width, limbs: out }
+        })
+    }
+}
+
+/// Sign extension to `new_width >= v.width()`.
+pub(crate) fn sext(v: &BitVec, new_width: u32) -> Repr {
+    if !v.msb() {
+        return zext(v, new_width);
+    }
+    let w = v.w();
+    if new_width <= 128 {
+        // Set every bit in the window `w..new_width`.
+        let val = v.low_u128() | (core_u128::mask(new_width) ^ core_u128::mask(w));
+        repr_from_u128(new_width, val)
+    } else {
+        v.with_limbs(|a| {
+            // Per limb, OR in the fill above the old width (all-ones for
+            // limbs entirely above it), then re-mask at the new width.
+            let mut out: Box<[u64]> = (0..core_big::limbs_for(new_width))
+                .map(|k| core_big::limb(a, k) | !core_big::fill_limb(u64::MAX, w, k))
+                .collect();
+            core_big::mask_top(new_width, &mut out);
+            Repr::Big { width: new_width, limbs: out }
+        })
+    }
+}
+
+/// Full-precision unsigned product at width `a.width() + b.width()`.
+pub(crate) fn widening_mul_unsigned(a: &BitVec, b: &BitVec) -> Repr {
+    let out_w = a.w() + b.w();
+    if out_w <= 128 {
+        // Both operands fit u128 and the exact product fits `out_w` bits,
+        // so the native multiply cannot wrap.
+        repr_from_u128(out_w, a.low_u128().wrapping_mul(b.low_u128()))
+    } else {
+        a.with_limbs(|al| {
+            b.with_limbs(|bl| Repr::Big { width: out_w, limbs: core_big::mul_mod(out_w, al, bl) })
+        })
+    }
+}
+
+/// Full-precision signed product at width `a.width() + b.width()`.
+pub(crate) fn widening_mul_signed(a: &BitVec, b: &BitVec) -> Repr {
+    let out_w = a.w() + b.w();
+    if out_w <= 128 {
+        // |product| < 2^(out_w - 2), so the i128 multiply is exact.
+        let p = a.to_i128_lossless().wrapping_mul(b.to_i128_lossless());
+        repr_from_u128(out_w, (p as u128) & core_u128::mask(out_w))
+    } else {
+        let ax = BitVec::from_repr(sext(a, out_w));
+        let bx = BitVec::from_repr(sext(b, out_w));
+        ax.with_limbs(|al| {
+            bx.with_limbs(|bl| Repr::Big { width: out_w, limbs: core_big::mul_mod(out_w, al, bl) })
+        })
+    }
+}
+
+/// Unsigned value comparison; widths (and tiers) may differ.
+pub(crate) fn cmp_unsigned(a: &BitVec, b: &BitVec) -> Ordering {
+    if a.w() <= 128 && b.w() <= 128 {
+        a.low_u128().cmp(&b.low_u128())
+    } else {
+        a.with_limbs(|al| b.with_limbs(|bl| core_big::cmp_unsigned(al, bl)))
+    }
+}
+
+/// Signed value comparison; widths (and tiers) may differ.
+pub(crate) fn cmp_signed(a: &BitVec, b: &BitVec) -> Ordering {
+    if a.w() <= 128 && b.w() <= 128 {
+        return a.to_i128_lossless().cmp(&b.to_i128_lossless());
+    }
+    match (a.msb(), b.msb()) {
+        (true, false) => Ordering::Less,
+        (false, true) => Ordering::Greater,
+        _ => {
+            let w = a.w().max(b.w());
+            let ax = BitVec::from_repr(sext(a, w));
+            let bx = BitVec::from_repr(sext(b, w));
+            cmp_unsigned(&ax, &bx)
+        }
+    }
+}

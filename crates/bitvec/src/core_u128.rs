@@ -1,0 +1,132 @@
+//! Tier-2 kernel: widths 65..=128, the whole value inline in one `u128`.
+//!
+//! Mirrors [`crate::core_u64`] one register size up. Callers maintain the
+//! canonical-form invariant (bits at positions `>= width` are zero) on
+//! inputs, every kernel re-establishes it on its result, and nothing here
+//! allocates.
+
+/// All-ones mask of the low `width` bits (`width` in `1..=128`).
+#[inline]
+pub(crate) fn mask(width: u32) -> u128 {
+    if width == 128 {
+        u128::MAX
+    } else {
+        (1u128 << width) - 1
+    }
+}
+
+/// Modular addition at `width`.
+#[inline]
+pub(crate) fn add(width: u32, a: u128, b: u128) -> u128 {
+    a.wrapping_add(b) & mask(width)
+}
+
+/// Modular subtraction at `width`.
+#[inline]
+pub(crate) fn sub(width: u32, a: u128, b: u128) -> u128 {
+    a.wrapping_sub(b) & mask(width)
+}
+
+/// Modular two's-complement negation at `width`.
+#[inline]
+pub(crate) fn neg(width: u32, a: u128) -> u128 {
+    a.wrapping_neg() & mask(width)
+}
+
+/// Modular multiplication at `width` (low `width` bits of the product).
+#[inline]
+pub(crate) fn mul(width: u32, a: u128, b: u128) -> u128 {
+    a.wrapping_mul(b) & mask(width)
+}
+
+/// Bitwise NOT within `width`.
+#[inline]
+pub(crate) fn not(width: u32, a: u128) -> u128 {
+    !a & mask(width)
+}
+
+/// The value read as a signed (two's-complement) `i128`: the sign bit at
+/// position `width - 1` is propagated to bit 127.
+#[inline]
+pub(crate) fn to_i128(width: u32, a: u128) -> i128 {
+    let shift = 128 - width;
+    ((a << shift) as i128) >> shift
+}
+
+/// Logical left shift within `width` (top bits fall off, zeros enter).
+#[inline]
+pub(crate) fn shl(width: u32, a: u128, amount: usize) -> u128 {
+    if amount >= width as usize {
+        0
+    } else {
+        (a << amount) & mask(width)
+    }
+}
+
+/// Logical right shift (zeros enter at the top).
+#[inline]
+pub(crate) fn lshr(width: u32, a: u128, amount: usize) -> u128 {
+    if amount >= width as usize {
+        0
+    } else {
+        a >> amount
+    }
+}
+
+/// Arithmetic right shift (copies of the sign bit enter at the top).
+#[inline]
+pub(crate) fn ashr(width: u32, a: u128, amount: usize) -> u128 {
+    let amount = amount.min(width as usize - 1);
+    ((to_i128(width, a) >> amount) as u128) & mask(width)
+}
+
+/// Position of the highest set bit plus one; `0` for the zero value.
+#[inline]
+pub(crate) fn min_unsigned_width(a: u128) -> usize {
+    (128 - a.leading_zeros()) as usize
+}
+
+/// Smallest `i >= 1` such that the value equals the sign extension of its
+/// `i` least significant bits.
+#[inline]
+pub(crate) fn min_signed_width(width: u32, a: u128) -> usize {
+    let aligned = a << (128 - width);
+    let lead = if aligned >> 127 == 1 {
+        aligned.leading_ones()
+    } else {
+        aligned.leading_zeros().min(width)
+    };
+    (width - lead + 1) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks() {
+        assert_eq!(mask(65), (1u128 << 65) - 1);
+        assert_eq!(mask(128), u128::MAX);
+    }
+
+    #[test]
+    fn signed_reading() {
+        assert_eq!(to_i128(65, (1u128 << 65) - 3), -3);
+        assert_eq!(to_i128(128, u128::MAX), -1);
+    }
+
+    #[test]
+    fn shift_edges() {
+        assert_eq!(shl(70, 1, 69), 1u128 << 69);
+        assert_eq!(shl(70, 1, 70), 0);
+        assert_eq!(ashr(70, 1u128 << 69, 200), mask(70));
+    }
+
+    #[test]
+    fn min_widths() {
+        assert_eq!(min_unsigned_width(0), 0);
+        assert_eq!(min_unsigned_width(1u128 << 100), 101);
+        assert_eq!(min_signed_width(128, u128::MAX), 1);
+        assert_eq!(min_signed_width(100, 0), 1);
+    }
+}

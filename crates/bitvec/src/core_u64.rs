@@ -1,0 +1,144 @@
+//! Tier-1 kernel: widths 1..=64, the whole value inline in one `u64`.
+//!
+//! Every function takes the width alongside the raw word. Callers maintain
+//! the canonical-form invariant (bits at positions `>= width` are zero) on
+//! inputs, and every kernel re-establishes it on its result, so a value
+//! coming out of this module can be stored directly. Nothing here
+//! allocates.
+
+/// All-ones mask of the low `width` bits (`width` in `1..=64`).
+#[inline]
+pub(crate) fn mask(width: u32) -> u64 {
+    if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// Modular addition at `width`.
+#[inline]
+pub(crate) fn add(width: u32, a: u64, b: u64) -> u64 {
+    a.wrapping_add(b) & mask(width)
+}
+
+/// Modular subtraction at `width`.
+#[inline]
+pub(crate) fn sub(width: u32, a: u64, b: u64) -> u64 {
+    a.wrapping_sub(b) & mask(width)
+}
+
+/// Modular two's-complement negation at `width`.
+#[inline]
+pub(crate) fn neg(width: u32, a: u64) -> u64 {
+    a.wrapping_neg() & mask(width)
+}
+
+/// Modular multiplication at `width` (low `width` bits of the product).
+#[inline]
+pub(crate) fn mul(width: u32, a: u64, b: u64) -> u64 {
+    a.wrapping_mul(b) & mask(width)
+}
+
+/// Bitwise NOT within `width`.
+#[inline]
+pub(crate) fn not(width: u32, a: u64) -> u64 {
+    !a & mask(width)
+}
+
+/// The value read as a signed (two's-complement) `i64`: the sign bit at
+/// position `width - 1` is propagated to bit 63.
+#[inline]
+pub(crate) fn to_i64(width: u32, a: u64) -> i64 {
+    let shift = 64 - width;
+    ((a << shift) as i64) >> shift
+}
+
+/// Logical left shift within `width` (top bits fall off, zeros enter).
+#[inline]
+pub(crate) fn shl(width: u32, a: u64, amount: usize) -> u64 {
+    if amount >= width as usize {
+        0
+    } else {
+        (a << amount) & mask(width)
+    }
+}
+
+/// Logical right shift (zeros enter at the top).
+#[inline]
+pub(crate) fn lshr(width: u32, a: u64, amount: usize) -> u64 {
+    if amount >= width as usize {
+        0
+    } else {
+        a >> amount
+    }
+}
+
+/// Arithmetic right shift (copies of the sign bit enter at the top).
+#[inline]
+pub(crate) fn ashr(width: u32, a: u64, amount: usize) -> u64 {
+    let amount = amount.min(width as usize - 1);
+    ((to_i64(width, a) >> amount) as u64) & mask(width)
+}
+
+/// Position of the highest set bit plus one; `0` for the zero value.
+#[inline]
+pub(crate) fn min_unsigned_width(a: u64) -> usize {
+    (64 - a.leading_zeros()) as usize
+}
+
+/// Smallest `i >= 1` such that the value equals the sign extension of its
+/// `i` least significant bits: the run of copies of the sign bit at the
+/// top all compress into the bit below them.
+#[inline]
+pub(crate) fn min_signed_width(width: u32, a: u64) -> usize {
+    // Align the value's MSB with bit 63 so leading_zeros/ones counts stay
+    // inside the value (the vacated low bits are zero and only matter for
+    // the all-zero value, which the `min` clamps).
+    let aligned = a << (64 - width);
+    let lead = if aligned >> 63 == 1 {
+        aligned.leading_ones()
+    } else {
+        aligned.leading_zeros().min(width)
+    };
+    (width - lead + 1) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks() {
+        assert_eq!(mask(1), 1);
+        assert_eq!(mask(63), u64::MAX >> 1);
+        assert_eq!(mask(64), u64::MAX);
+    }
+
+    #[test]
+    fn signed_reading() {
+        assert_eq!(to_i64(4, 0b1011), -5);
+        assert_eq!(to_i64(64, u64::MAX), -1);
+        assert_eq!(to_i64(64, 7), 7);
+    }
+
+    #[test]
+    fn shift_edges() {
+        assert_eq!(shl(4, 0b0110, 2), 0b1000);
+        assert_eq!(shl(4, 0b0110, 4), 0);
+        assert_eq!(lshr(4, 0b0110, 5), 0);
+        assert_eq!(ashr(4, 0b1000, 100), 0b1111);
+        assert_eq!(ashr(64, u64::MAX, 63), u64::MAX);
+    }
+
+    #[test]
+    fn min_widths() {
+        assert_eq!(min_unsigned_width(0), 0);
+        assert_eq!(min_unsigned_width(0b10110), 5);
+        assert_eq!(min_signed_width(8, 0), 1);
+        assert_eq!(min_signed_width(8, 0xFF), 1);
+        assert_eq!(min_signed_width(8, 0b0000_0110), 4);
+        assert_eq!(min_signed_width(16, 0xFED4), 10); // -300
+        assert_eq!(min_signed_width(64, u64::MAX), 1);
+    }
+}

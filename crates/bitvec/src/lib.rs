@@ -14,6 +14,12 @@
 //! * A [`BitVec`] has an explicit width of at least one bit. All bits above
 //!   the width are kept at zero internally (a canonical form), so equality
 //!   and hashing are structural.
+//! * Storage is **tiered by width** (`DESIGN.md` §13): widths up to 64 live
+//!   inline in a `u64`, widths up to 128 inline in a `u128`, and only wider
+//!   values fall back to heap-allocated limbs. [`BitVec::tier`] reports the
+//!   tier; every operation on widths `<= 128` is allocation-free. The
+//!   pre-tiering implementation is retained as [`RefBitVec`] so the fast
+//!   path can be differentially tested against it.
 //! * Arithmetic is *modular at the operand width*, exactly like a hardware
 //!   adder or multiplier that keeps only the low `w` bits of the result.
 //!   Operations whose width semantics could surprise are spelled out with
@@ -45,8 +51,14 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+mod core_big;
+mod core_mixed;
+mod core_u128;
+mod core_u64;
+mod reference;
 mod signedness;
 mod vec;
 
+pub use reference::RefBitVec;
 pub use signedness::Signedness;
-pub use vec::{BitVec, ParseBitVecError};
+pub use vec::{BitVec, ParseBitVecError, Tier};

@@ -1,0 +1,694 @@
+//! The retained reference implementation: [`RefBitVec`] is the original
+//! single-representation (always-`Vec<u64>`-limbed) bit vector that
+//! [`BitVec`](crate::BitVec) replaced.
+//!
+//! It exists so the tiered fast path can be checked, not trusted: the
+//! differential proptest suite (`tests/differential.rs`) and the
+//! criterion benchmarks replay every operation on both types and demand
+//! bit-identical results. Nothing outside tests and benches should use
+//! this type; it is deliberately slow and allocates on every operation.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::{BitVec, Signedness};
+
+const LIMB_BITS: usize = 64;
+
+/// The pre-tiering bit vector: an explicit width plus heap-allocated
+/// little-endian limbs, regardless of width.
+///
+/// Semantics are the documented contract for [`BitVec`](crate::BitVec);
+/// every method here mirrors the method of the same name there. The type
+/// is kept around purely as the differential oracle — nothing outside
+/// tests and benches should use it; it is deliberately slow and
+/// allocates on every operation.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct RefBitVec {
+    /// Number of significant bits; always >= 1.
+    width: usize,
+    /// Little-endian limbs; bits at positions >= `width` are zero.
+    limbs: Vec<u64>,
+}
+
+fn limbs_for(width: usize) -> usize {
+    width.div_ceil(LIMB_BITS)
+}
+
+impl RefBitVec {
+    // ------------------------------------------------------------------
+    // Conversions to and from the tiered type
+    // ------------------------------------------------------------------
+
+    /// Rebuilds a [`BitVec`] with the same width and bits.
+    ///
+    /// ```
+    /// use dp_bitvec::{BitVec, RefBitVec};
+    /// let r = RefBitVec::from_u64(70, 99);
+    /// assert_eq!(r.to_bitvec(), BitVec::from_u64(70, 99));
+    /// ```
+    pub fn to_bitvec(&self) -> BitVec {
+        BitVec::from_fn(self.width, |i| self.bit(i))
+    }
+
+    /// Copies a [`BitVec`]'s width and bits into the reference
+    /// representation.
+    ///
+    /// ```
+    /// use dp_bitvec::{BitVec, RefBitVec};
+    /// let v = BitVec::from_u64(70, 99);
+    /// assert_eq!(RefBitVec::from_bitvec(&v).to_bitvec(), v);
+    /// ```
+    pub fn from_bitvec(v: &BitVec) -> Self {
+        RefBitVec::from_fn(v.width(), |i| v.bit(i))
+    }
+
+    // ------------------------------------------------------------------
+    // Constructors
+    // ------------------------------------------------------------------
+
+    /// Creates an all-zero vector of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn zero(width: usize) -> Self {
+        assert!(width > 0, "BitVec width must be at least 1");
+        RefBitVec { width, limbs: vec![0; limbs_for(width)] }
+    }
+
+    /// Creates an all-ones vector of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn ones(width: usize) -> Self {
+        let mut v = RefBitVec::zero(width);
+        for limb in &mut v.limbs {
+            *limb = u64::MAX;
+        }
+        v.mask_top();
+        v
+    }
+
+    /// Creates a vector of the given width from an unsigned value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0` or if `value` does not fit in `width` bits.
+    pub fn from_u64(width: usize, value: u64) -> Self {
+        let v = Self::from_u64_wrapping(width, value);
+        assert_eq!(
+            v.to_u128().expect("width <= 128 when value fits u64"),
+            value as u128,
+            "value {value} does not fit in {width} unsigned bits"
+        );
+        v
+    }
+
+    /// Creates a vector of the given width from the low `width` bits of an
+    /// unsigned value, discarding the rest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn from_u64_wrapping(width: usize, value: u64) -> Self {
+        let mut v = RefBitVec::zero(width);
+        v.limbs[0] = value;
+        v.mask_top();
+        v
+    }
+
+    /// Creates a vector of the given width from a signed value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0` or if `value` does not fit in `width` signed
+    /// bits.
+    pub fn from_i64(width: usize, value: i64) -> Self {
+        let v = Self::from_i64_wrapping(width, value);
+        assert_eq!(
+            v.to_i128().expect("width <= 128 when value fits i64"),
+            value as i128,
+            "value {value} does not fit in {width} signed bits"
+        );
+        v
+    }
+
+    /// Creates a vector of the given width from the low `width` bits of a
+    /// signed value's two's-complement encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn from_i64_wrapping(width: usize, value: i64) -> Self {
+        let mut v = RefBitVec::zero(width);
+        let fill = if value < 0 { u64::MAX } else { 0 };
+        for limb in &mut v.limbs {
+            *limb = fill;
+        }
+        v.limbs[0] = value as u64;
+        v.mask_top();
+        v
+    }
+
+    /// Creates a vector by sampling each bit from a closure
+    /// (`f(i)` supplies bit `i`; called once per bit, in increasing order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn from_fn(width: usize, mut f: impl FnMut(usize) -> bool) -> Self {
+        let mut v = RefBitVec::zero(width);
+        for i in 0..width {
+            if f(i) {
+                v.set_bit(i, true);
+            }
+        }
+        v
+    }
+
+    /// Creates a vector from bits listed least-significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is empty.
+    pub fn from_bits(bits: &[bool]) -> Self {
+        assert!(!bits.is_empty(), "BitVec must have at least one bit");
+        RefBitVec::from_fn(bits.len(), |i| bits[i])
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The width in bits (always at least 1).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Bit `i` (little-endian: bit 0 is the least significant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.width()`.
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < self.width, "bit index {i} out of range for width {}", self.width);
+        (self.limbs[i / LIMB_BITS] >> (i % LIMB_BITS)) & 1 == 1
+    }
+
+    /// Sets bit `i` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.width()`.
+    pub fn set_bit(&mut self, i: usize, value: bool) {
+        assert!(i < self.width, "bit index {i} out of range for width {}", self.width);
+        let mask = 1u64 << (i % LIMB_BITS);
+        if value {
+            self.limbs[i / LIMB_BITS] |= mask;
+        } else {
+            self.limbs[i / LIMB_BITS] &= !mask;
+        }
+    }
+
+    /// The most significant bit — the sign bit under a signed reading.
+    pub fn msb(&self) -> bool {
+        self.bit(self.width - 1)
+    }
+
+    /// Returns `true` if every bit is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.iter().all(|&l| l == 0)
+    }
+
+    /// Returns `true` if every bit is one.
+    pub fn is_all_ones(&self) -> bool {
+        *self == RefBitVec::ones(self.width)
+    }
+
+    /// Bits listed least-significant first.
+    pub fn to_bits(&self) -> Vec<bool> {
+        (0..self.width).map(|i| self.bit(i)).collect()
+    }
+
+    /// The unsigned value, if it fits in a `u64`.
+    pub fn to_u64(&self) -> Option<u64> {
+        if self.limbs[1..].iter().any(|&l| l != 0) {
+            return None;
+        }
+        Some(self.limbs[0])
+    }
+
+    /// The unsigned value, if it fits in a `u128`.
+    pub fn to_u128(&self) -> Option<u128> {
+        if self.limbs.len() > 2 && self.limbs[2..].iter().any(|&l| l != 0) {
+            return None;
+        }
+        let lo = self.limbs[0] as u128;
+        let hi = self.limbs.get(1).copied().unwrap_or(0) as u128;
+        Some(lo | (hi << 64))
+    }
+
+    /// The signed (two's-complement) value, if it fits in an `i64`.
+    pub fn to_i64(&self) -> Option<i64> {
+        self.to_i128().and_then(|v| i64::try_from(v).ok())
+    }
+
+    /// The signed (two's-complement) value, if it fits in an `i128`.
+    pub fn to_i128(&self) -> Option<i128> {
+        let ext = if self.width < 128 { self.sext(128) } else { self.clone() };
+        if ext.width > 128 {
+            // Check all limbs above the low two are sign fill.
+            let fill = if ext.msb() { u64::MAX } else { 0 };
+            let full = ext.sext(ext.width); // no-op, keeps clippy quiet about clone
+            let hi_ok = full.limbs[2..]
+                .iter()
+                .enumerate()
+                .all(|(k, &l)| l == Self::fill_limb(fill, ext.width, k + 2));
+            // Also bit 127 must equal the sign for the i128 reading to be exact.
+            if !hi_ok || full.bit(127) != full.msb() {
+                return None;
+            }
+        }
+        let lo = ext.limbs[0] as u128;
+        let hi = ext.limbs.get(1).copied().unwrap_or(0) as u128;
+        Some((lo | (hi << 64)) as i128)
+    }
+
+    /// Helper: what limb `k` of a canonical `width`-bit vector filled with
+    /// `fill` bits (0 or all-ones) looks like after top masking.
+    fn fill_limb(fill: u64, width: usize, k: usize) -> u64 {
+        if fill == 0 {
+            return 0;
+        }
+        let lo = k * LIMB_BITS;
+        if lo >= width {
+            0
+        } else if width - lo >= LIMB_BITS {
+            u64::MAX
+        } else {
+            (1u64 << (width - lo)) - 1
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Width changes
+    // ------------------------------------------------------------------
+
+    /// Keeps the `new_width` least significant bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_width == 0` or `new_width > self.width()`.
+    pub fn trunc(&self, new_width: usize) -> Self {
+        assert!(new_width > 0, "BitVec width must be at least 1");
+        assert!(new_width <= self.width, "trunc to {new_width} from narrower width {}", self.width);
+        let mut v =
+            RefBitVec { width: new_width, limbs: self.limbs[..limbs_for(new_width)].to_vec() };
+        v.mask_top();
+        v
+    }
+
+    /// Zero-extends to `new_width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_width < self.width()`.
+    pub fn zext(&self, new_width: usize) -> Self {
+        assert!(new_width >= self.width, "zext to {new_width} from wider width {}", self.width);
+        let mut limbs = self.limbs.clone();
+        limbs.resize(limbs_for(new_width), 0);
+        RefBitVec { width: new_width, limbs }
+    }
+
+    /// Sign-extends to `new_width`: pads with copies of the most significant
+    /// bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_width < self.width()`.
+    pub fn sext(&self, new_width: usize) -> Self {
+        assert!(new_width >= self.width, "sext to {new_width} from wider width {}", self.width);
+        if !self.msb() {
+            return self.zext(new_width);
+        }
+        let mut limbs = self.limbs.clone();
+        // Fill the partial top limb of the old width with ones.
+        let top_bits = self.width % LIMB_BITS;
+        if top_bits != 0 {
+            let last = limbs.len() - 1;
+            limbs[last] |= !((1u64 << top_bits) - 1);
+        }
+        limbs.resize(limbs_for(new_width), u64::MAX);
+        let mut v = RefBitVec { width: new_width, limbs };
+        v.mask_top();
+        v
+    }
+
+    /// Extends to `new_width` using the given discipline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_width < self.width()`.
+    pub fn extend(&self, signedness: Signedness, new_width: usize) -> Self {
+        match signedness {
+            Signedness::Unsigned => self.zext(new_width),
+            Signedness::Signed => self.sext(new_width),
+        }
+    }
+
+    /// Adapts to `new_width`: truncates if narrower, extends with the given
+    /// discipline if wider.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_width == 0`.
+    pub fn resize(&self, signedness: Signedness, new_width: usize) -> Self {
+        if new_width <= self.width {
+            self.trunc(new_width)
+        } else {
+            self.extend(signedness, new_width)
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Arithmetic (modular at the common width)
+    // ------------------------------------------------------------------
+
+    /// Modular addition at the common width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn wrapping_add(&self, rhs: &RefBitVec) -> Self {
+        self.check_same_width(rhs, "wrapping_add");
+        let mut out = RefBitVec::zero(self.width);
+        let mut carry = 0u64;
+        for (i, o) in out.limbs.iter_mut().enumerate() {
+            let (s1, c1) = self.limbs[i].overflowing_add(rhs.limbs[i]);
+            let (s2, c2) = s1.overflowing_add(carry);
+            *o = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        out.mask_top();
+        out
+    }
+
+    /// Modular subtraction at the common width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn wrapping_sub(&self, rhs: &RefBitVec) -> Self {
+        self.check_same_width(rhs, "wrapping_sub");
+        self.wrapping_add(&rhs.wrapping_neg())
+    }
+
+    /// Modular two's-complement negation at the same width.
+    pub fn wrapping_neg(&self) -> Self {
+        let mut flipped = self.not();
+        let one = RefBitVec::from_u64_wrapping(self.width, 1);
+        flipped = flipped.wrapping_add(&one);
+        flipped
+    }
+
+    /// Modular multiplication at the common width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn wrapping_mul(&self, rhs: &RefBitVec) -> Self {
+        self.check_same_width(rhs, "wrapping_mul");
+        let full = self.widening_mul_unsigned(rhs);
+        full.trunc(self.width)
+    }
+
+    /// Full-precision unsigned product at width
+    /// `self.width() + rhs.width()`.
+    pub fn widening_mul_unsigned(&self, rhs: &RefBitVec) -> Self {
+        let out_width = self.width + rhs.width;
+        let mut acc = vec![0u64; limbs_for(out_width) + 1];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            let mut carry = 0u128;
+            for (j, &b) in rhs.limbs.iter().enumerate() {
+                if i + j >= acc.len() {
+                    break;
+                }
+                let t = (a as u128) * (b as u128) + (acc[i + j] as u128) + carry;
+                acc[i + j] = t as u64;
+                carry = t >> 64;
+            }
+            let mut k = i + rhs.limbs.len();
+            while carry != 0 && k < acc.len() {
+                let t = (acc[k] as u128) + carry;
+                acc[k] = t as u64;
+                carry = t >> 64;
+                k += 1;
+            }
+        }
+        acc.truncate(limbs_for(out_width));
+        let mut out = RefBitVec { width: out_width, limbs: acc };
+        out.mask_top();
+        out
+    }
+
+    /// Full-precision signed product at width `self.width() + rhs.width()`.
+    pub fn widening_mul_signed(&self, rhs: &RefBitVec) -> Self {
+        let out_width = self.width + rhs.width;
+        let a = self.sext(out_width);
+        let b = rhs.sext(out_width);
+        let full = a.widening_mul_unsigned(&b);
+        full.trunc(out_width)
+    }
+
+    // ------------------------------------------------------------------
+    // Bitwise operations and shifts
+    // ------------------------------------------------------------------
+
+    /// Bitwise NOT.
+    pub fn not(&self) -> Self {
+        let mut out = self.clone();
+        for limb in &mut out.limbs {
+            *limb = !*limb;
+        }
+        out.mask_top();
+        out
+    }
+
+    /// Bitwise AND.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn and(&self, rhs: &RefBitVec) -> Self {
+        self.check_same_width(rhs, "and");
+        let mut out = self.clone();
+        for (o, r) in out.limbs.iter_mut().zip(&rhs.limbs) {
+            *o &= r;
+        }
+        out
+    }
+
+    /// Bitwise OR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn or(&self, rhs: &RefBitVec) -> Self {
+        self.check_same_width(rhs, "or");
+        let mut out = self.clone();
+        for (o, r) in out.limbs.iter_mut().zip(&rhs.limbs) {
+            *o |= r;
+        }
+        out
+    }
+
+    /// Bitwise XOR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn xor(&self, rhs: &RefBitVec) -> Self {
+        self.check_same_width(rhs, "xor");
+        let mut out = self.clone();
+        for (o, r) in out.limbs.iter_mut().zip(&rhs.limbs) {
+            *o ^= r;
+        }
+        out
+    }
+
+    /// Logical left shift within the width.
+    pub fn shl(&self, amount: usize) -> Self {
+        let mut out = RefBitVec::zero(self.width);
+        for i in amount..self.width {
+            if self.bit(i - amount) {
+                out.set_bit(i, true);
+            }
+        }
+        out
+    }
+
+    /// Logical right shift (zeros enter at the top).
+    pub fn lshr(&self, amount: usize) -> Self {
+        let mut out = RefBitVec::zero(self.width);
+        for i in 0..self.width.saturating_sub(amount) {
+            if self.bit(i + amount) {
+                out.set_bit(i, true);
+            }
+        }
+        out
+    }
+
+    /// Arithmetic right shift (copies of the sign bit enter at the top).
+    pub fn ashr(&self, amount: usize) -> Self {
+        let fill = self.msb();
+        let mut out = self.lshr(amount);
+        if fill {
+            for i in self.width.saturating_sub(amount)..self.width {
+                out.set_bit(i, true);
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Comparisons (width-agnostic, by value)
+    // ------------------------------------------------------------------
+
+    /// Compares the unsigned values; widths may differ.
+    pub fn cmp_unsigned(&self, rhs: &RefBitVec) -> Ordering {
+        let w = self.width.max(rhs.width);
+        let a = self.zext(w);
+        let b = rhs.zext(w);
+        for (x, y) in a.limbs.iter().rev().zip(b.limbs.iter().rev()) {
+            match x.cmp(y) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Compares the signed (two's-complement) values; widths may differ.
+    pub fn cmp_signed(&self, rhs: &RefBitVec) -> Ordering {
+        let w = self.width.max(rhs.width);
+        let a = self.sext(w);
+        let b = rhs.sext(w);
+        match (a.msb(), b.msb()) {
+            (true, false) => Ordering::Less,
+            (false, true) => Ordering::Greater,
+            _ => a.cmp_unsigned(&b),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Information-content helpers
+    // ------------------------------------------------------------------
+
+    /// Returns `true` if this vector equals the `signedness`-extension of
+    /// its `i` least significant bits.
+    pub fn is_extension_of(&self, i: usize, signedness: Signedness) -> bool {
+        if i >= self.width {
+            return true;
+        }
+        if i == 0 {
+            return signedness == Signedness::Unsigned && self.is_zero();
+        }
+        let low = self.trunc(i);
+        low.extend(signedness, self.width) == *self
+    }
+
+    /// The smallest `i` such that this vector is the unsigned extension of
+    /// its `i` least significant bits.
+    pub fn min_unsigned_width(&self) -> usize {
+        for i in (0..self.width).rev() {
+            if self.bit(i) {
+                return i + 1;
+            }
+        }
+        0
+    }
+
+    /// The smallest `i >= 1` such that this vector is the signed extension
+    /// of its `i` least significant bits.
+    pub fn min_signed_width(&self) -> usize {
+        let sign = self.msb();
+        let mut i = self.width;
+        while i > 1 && self.bit(i - 2) == sign {
+            i -= 1;
+        }
+        i
+    }
+
+    // ------------------------------------------------------------------
+    // Internal helpers
+    // ------------------------------------------------------------------
+
+    fn check_same_width(&self, rhs: &RefBitVec, op: &str) {
+        assert_eq!(
+            self.width, rhs.width,
+            "{op} requires equal widths (got {} and {})",
+            self.width, rhs.width
+        );
+    }
+
+    /// Clears any bits at positions >= width, restoring the canonical form.
+    fn mask_top(&mut self) {
+        let top_bits = self.width % LIMB_BITS;
+        if top_bits != 0 {
+            let last = self.limbs.len() - 1;
+            self.limbs[last] &= (1u64 << top_bits) - 1;
+        }
+    }
+}
+
+impl fmt::Debug for RefBitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RefBitVec({self})")
+    }
+}
+
+impl fmt::Display for RefBitVec {
+    /// Verilog-style sized binary literal, e.g. `4'b1010`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'b", self.width)?;
+        for i in (0..self.width).rev() {
+            f.write_str(if self.bit(i) { "1" } else { "0" })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_old_unit_suite() {
+        // Spot checks carried over from the original in-module suite; the
+        // exhaustive comparison lives in tests/differential.rs.
+        assert!(RefBitVec::zero(70).is_zero());
+        assert!(RefBitVec::ones(70).is_all_ones());
+        assert_eq!(RefBitVec::ones(70).to_i64(), Some(-1));
+        let a = RefBitVec::from_u64(4, 11);
+        let b = RefBitVec::from_u64(4, 8);
+        assert_eq!(a.wrapping_add(&b).to_u64(), Some(3));
+        assert_eq!(a.widening_mul_unsigned(&b).to_u64(), Some(88));
+        assert_eq!(RefBitVec::from_i64(16, -300).min_signed_width(), 10);
+        assert_eq!(RefBitVec::from_u64(16, 300).min_unsigned_width(), 9);
+    }
+
+    #[test]
+    fn bitvec_roundtrip() {
+        for w in [1usize, 63, 64, 65, 127, 128, 129, 200] {
+            let r = RefBitVec::from_fn(w, |i| i % 3 == 0);
+            let v = r.to_bitvec();
+            assert_eq!(v.width(), w);
+            assert_eq!(RefBitVec::from_bitvec(&v), r);
+        }
+    }
+}

@@ -1,19 +1,78 @@
-//! The [`BitVec`] type: a fixed-width two's-complement bit pattern.
+//! The [`BitVec`] type: a fixed-width two's-complement bit pattern with a
+//! tiered, allocation-free-when-narrow representation.
+//!
+//! See `DESIGN.md` §13 for the normative representation contract. In
+//! short: widths `1..=64` live inline in a `u64`, widths `65..=128` inline
+//! in a `u128`, and only widths above 128 bits fall back to heap-allocated
+//! limbs. The tier is a pure function of the width, bits at positions at
+//! or above the width are always zero (canonical form), and every
+//! operation on widths `<= 128` is allocation-free.
 
 use std::cmp::Ordering;
 use std::error::Error;
 use std::fmt;
 use std::str::FromStr;
 
-use crate::Signedness;
+use crate::{core_big, core_mixed, core_u128, core_u64, Signedness};
 
-const LIMB_BITS: usize = 64;
+/// The storage tier of a [`BitVec`] — a pure function of its width.
+///
+/// # Examples
+///
+/// ```
+/// use dp_bitvec::{BitVec, Tier};
+///
+/// assert_eq!(BitVec::zero(64).tier(), Tier::Small);
+/// assert_eq!(BitVec::zero(65).tier(), Tier::Mid);
+/// assert_eq!(BitVec::zero(128).tier(), Tier::Mid);
+/// assert_eq!(BitVec::zero(129).tier(), Tier::Big);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tier {
+    /// Widths `1..=64`: inline `u64`, no allocation.
+    Small,
+    /// Widths `65..=128`: inline `u128`, no allocation.
+    Mid,
+    /// Widths above 128: heap-allocated little-endian `u64` limbs.
+    Big,
+}
+
+/// The tiered storage. Each variant carries the width so the whole value
+/// stays one word-pair-sized enum; the variant is always the one
+/// [`Tier`] prescribes for the width, and bit positions at or above the
+/// width are zero (canonical form) in every variant.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub(crate) enum Repr {
+    /// Widths 1..=64.
+    Small {
+        /// Number of significant bits.
+        width: u32,
+        /// The value; bits `width..64` are zero.
+        bits: u64,
+    },
+    /// Widths 65..=128.
+    Mid {
+        /// Number of significant bits.
+        width: u32,
+        /// The value; bits `width..128` are zero.
+        bits: u128,
+    },
+    /// Widths above 128.
+    Big {
+        /// Number of significant bits.
+        width: u32,
+        /// Exactly `width.div_ceil(64)` little-endian limbs; bits at or
+        /// above `width` are zero.
+        limbs: Box<[u64]>,
+    },
+}
 
 /// A fixed-width vector of bits with two's-complement semantics.
 ///
-/// See the [crate documentation](crate) for the design rationale. The width
-/// is always at least one bit. Bits are indexed from the least significant
-/// (`bit(0)`) to the most significant (`bit(width - 1)`).
+/// See the [crate documentation](crate) for the design rationale and
+/// `DESIGN.md` §13 for the representation contract. The width is always at
+/// least one bit. Bits are indexed from the least significant (`bit(0)`)
+/// to the most significant (`bit(width - 1)`).
 ///
 /// # Examples
 ///
@@ -27,17 +86,82 @@ const LIMB_BITS: usize = 64;
 /// ```
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct BitVec {
-    /// Number of significant bits; always >= 1.
-    width: usize,
-    /// Little-endian limbs; bits at positions >= `width` are zero.
-    limbs: Vec<u64>,
-}
-
-fn limbs_for(width: usize) -> usize {
-    width.div_ceil(LIMB_BITS)
+    repr: Repr,
 }
 
 impl BitVec {
+    // ------------------------------------------------------------------
+    // Internal accessors
+    // ------------------------------------------------------------------
+
+    /// Internal width as the packed `u32`.
+    #[inline]
+    pub(crate) fn w(&self) -> u32 {
+        match &self.repr {
+            Repr::Small { width, .. } | Repr::Mid { width, .. } | Repr::Big { width, .. } => *width,
+        }
+    }
+
+    /// The low 64 bits of the value (exact for widths `<= 64`).
+    #[inline]
+    pub(crate) fn low_u64(&self) -> u64 {
+        match &self.repr {
+            Repr::Small { bits, .. } => *bits,
+            Repr::Mid { bits, .. } => *bits as u64,
+            Repr::Big { limbs, .. } => core_big::limb(limbs, 0),
+        }
+    }
+
+    /// The low 128 bits of the value (exact for widths `<= 128`).
+    #[inline]
+    pub(crate) fn low_u128(&self) -> u128 {
+        match &self.repr {
+            Repr::Small { bits, .. } => *bits as u128,
+            Repr::Mid { bits, .. } => *bits,
+            Repr::Big { limbs, .. } => {
+                (core_big::limb(limbs, 0) as u128) | ((core_big::limb(limbs, 1) as u128) << 64)
+            }
+        }
+    }
+
+    /// The signed reading as an `i128`; exact whenever `width <= 128`
+    /// (callers on the `Big` tier must pre-check the width).
+    #[inline]
+    pub(crate) fn to_i128_lossless(&self) -> i128 {
+        match &self.repr {
+            Repr::Small { width, bits } => core_u64::to_i64(*width, *bits) as i128,
+            Repr::Mid { width, bits } => core_u128::to_i128(*width, *bits),
+            Repr::Big { .. } => self.low_u128() as i128,
+        }
+    }
+
+    /// Runs `f` over the value as little-endian limbs without allocating:
+    /// inline tiers are exposed as one- or two-limb stack arrays.
+    #[inline]
+    pub(crate) fn with_limbs<R>(&self, f: impl FnOnce(&[u64]) -> R) -> R {
+        match &self.repr {
+            Repr::Small { bits, .. } => f(&[*bits]),
+            Repr::Mid { bits, .. } => f(&[*bits as u64, (*bits >> 64) as u64]),
+            Repr::Big { limbs, .. } => f(limbs),
+        }
+    }
+
+    /// Wraps a canonical representation produced by a kernel.
+    #[inline]
+    pub(crate) fn from_repr(repr: Repr) -> Self {
+        BitVec { repr }
+    }
+
+    /// Validates and narrows a public `usize` width.
+    fn checked_width(width: usize) -> u32 {
+        assert!(width > 0, "BitVec width must be at least 1");
+        assert!(
+            u32::try_from(width).is_ok(),
+            "BitVec width {width} exceeds the 2^32 - 1 bit representation limit"
+        );
+        width as u32
+    }
+
     // ------------------------------------------------------------------
     // Constructors
     // ------------------------------------------------------------------
@@ -51,10 +175,18 @@ impl BitVec {
     /// ```
     /// use dp_bitvec::BitVec;
     /// assert!(BitVec::zero(17).is_zero());
+    /// assert!(BitVec::zero(200).is_zero());
     /// ```
     pub fn zero(width: usize) -> Self {
-        assert!(width > 0, "BitVec width must be at least 1");
-        BitVec { width, limbs: vec![0; limbs_for(width)] }
+        let width = Self::checked_width(width);
+        let repr = if width <= 64 {
+            Repr::Small { width, bits: 0 }
+        } else if width <= 128 {
+            Repr::Mid { width, bits: 0 }
+        } else {
+            Repr::Big { width, limbs: core_big::zero(width) }
+        };
+        BitVec { repr }
     }
 
     /// Creates an all-ones vector of the given width (the unsigned maximum,
@@ -68,14 +200,18 @@ impl BitVec {
     /// use dp_bitvec::BitVec;
     /// assert_eq!(BitVec::ones(5).to_i64(), Some(-1));
     /// assert_eq!(BitVec::ones(5).to_u64(), Some(31));
+    /// assert_eq!(BitVec::ones(130).to_i128(), Some(-1));
     /// ```
     pub fn ones(width: usize) -> Self {
-        let mut v = BitVec::zero(width);
-        for limb in &mut v.limbs {
-            *limb = u64::MAX;
-        }
-        v.mask_top();
-        v
+        let width = Self::checked_width(width);
+        let repr = if width <= 64 {
+            Repr::Small { width, bits: core_u64::mask(width) }
+        } else if width <= 128 {
+            Repr::Mid { width, bits: core_u128::mask(width) }
+        } else {
+            Repr::Big { width, limbs: core_big::ones(width) }
+        };
+        BitVec { repr }
     }
 
     /// Creates a vector of the given width from an unsigned value.
@@ -92,8 +228,8 @@ impl BitVec {
     pub fn from_u64(width: usize, value: u64) -> Self {
         let v = Self::from_u64_wrapping(width, value);
         assert_eq!(
-            v.to_u128().expect("width <= 128 when value fits u64"),
-            value as u128,
+            v.to_u128(),
+            Some(value as u128),
             "value {value} does not fit in {width} unsigned bits"
         );
         v
@@ -111,10 +247,17 @@ impl BitVec {
     /// assert_eq!(BitVec::from_u64_wrapping(4, 0xFF).to_u64(), Some(15));
     /// ```
     pub fn from_u64_wrapping(width: usize, value: u64) -> Self {
-        let mut v = BitVec::zero(width);
-        v.limbs[0] = value;
-        v.mask_top();
-        v
+        let width = Self::checked_width(width);
+        let repr = if width <= 64 {
+            Repr::Small { width, bits: value & core_u64::mask(width) }
+        } else if width <= 128 {
+            Repr::Mid { width, bits: value as u128 }
+        } else {
+            let mut limbs = core_big::zero(width);
+            limbs[0] = value;
+            Repr::Big { width, limbs }
+        };
+        BitVec { repr }
     }
 
     /// Creates a vector of the given width from a signed value
@@ -132,8 +275,8 @@ impl BitVec {
     pub fn from_i64(width: usize, value: i64) -> Self {
         let v = Self::from_i64_wrapping(width, value);
         assert_eq!(
-            v.to_i128().expect("width <= 128 when value fits i64"),
-            value as i128,
+            v.to_i128(),
+            Some(value as i128),
             "value {value} does not fit in {width} signed bits"
         );
         v
@@ -151,18 +294,23 @@ impl BitVec {
     /// assert_eq!(BitVec::from_i64_wrapping(4, -9).to_u64(), Some(7));
     /// ```
     pub fn from_i64_wrapping(width: usize, value: i64) -> Self {
-        let mut v = BitVec::zero(width);
-        let fill = if value < 0 { u64::MAX } else { 0 };
-        for limb in &mut v.limbs {
-            *limb = fill;
-        }
-        v.limbs[0] = value as u64;
-        v.mask_top();
-        v
+        let width = Self::checked_width(width);
+        let repr = if width <= 64 {
+            Repr::Small { width, bits: (value as u64) & core_u64::mask(width) }
+        } else if width <= 128 {
+            Repr::Mid { width, bits: (value as i128 as u128) & core_u128::mask(width) }
+        } else {
+            let fill = if value < 0 { u64::MAX } else { 0 };
+            let mut limbs: Box<[u64]> = (0..core_big::limbs_for(width)).map(|_| fill).collect();
+            limbs[0] = value as u64;
+            core_big::mask_top(width, &mut limbs);
+            Repr::Big { width, limbs }
+        };
+        BitVec { repr }
     }
 
     /// Creates a vector by sampling each bit from a closure
-    /// (`f(i)` supplies bit `i`).
+    /// (`f(i)` supplies bit `i`; called once per bit, in increasing order).
     ///
     /// # Panics
     ///
@@ -174,13 +322,33 @@ impl BitVec {
     /// assert_eq!(alt.to_u64(), Some(0b010101));
     /// ```
     pub fn from_fn(width: usize, mut f: impl FnMut(usize) -> bool) -> Self {
-        let mut v = BitVec::zero(width);
-        for i in 0..width {
-            if f(i) {
-                v.set_bit(i, true);
+        let w = Self::checked_width(width);
+        let repr = if w <= 64 {
+            let mut bits = 0u64;
+            for i in 0..width {
+                if f(i) {
+                    bits |= 1u64 << i;
+                }
             }
-        }
-        v
+            Repr::Small { width: w, bits }
+        } else if w <= 128 {
+            let mut bits = 0u128;
+            for i in 0..width {
+                if f(i) {
+                    bits |= 1u128 << i;
+                }
+            }
+            Repr::Mid { width: w, bits }
+        } else {
+            let mut limbs = core_big::zero(w);
+            for i in 0..width {
+                if f(i) {
+                    limbs[i / 64] |= 1u64 << (i % 64);
+                }
+            }
+            Repr::Big { width: w, limbs }
+        };
+        BitVec { repr }
     }
 
     /// Creates a vector from bits listed least-significant first.
@@ -204,8 +372,31 @@ impl BitVec {
     // ------------------------------------------------------------------
 
     /// The width in bits (always at least 1).
+    ///
+    /// ```
+    /// use dp_bitvec::BitVec;
+    /// assert_eq!(BitVec::zero(17).width(), 17);
+    /// ```
     pub fn width(&self) -> usize {
-        self.width
+        self.w() as usize
+    }
+
+    /// The storage tier this value uses — `Small`/`Mid` are inline and
+    /// allocation-free, `Big` is the boxed fallback. The tier depends only
+    /// on the width, never on the value.
+    ///
+    /// ```
+    /// use dp_bitvec::{BitVec, Tier};
+    /// assert_eq!(BitVec::ones(33).tier(), Tier::Small);
+    /// assert_eq!(BitVec::ones(128).tier(), Tier::Mid);
+    /// assert_eq!(BitVec::ones(129).tier(), Tier::Big);
+    /// ```
+    pub fn tier(&self) -> Tier {
+        match &self.repr {
+            Repr::Small { .. } => Tier::Small,
+            Repr::Mid { .. } => Tier::Mid,
+            Repr::Big { .. } => Tier::Big,
+        }
     }
 
     /// Bit `i` (little-endian: bit 0 is the least significant).
@@ -213,9 +404,18 @@ impl BitVec {
     /// # Panics
     ///
     /// Panics if `i >= self.width()`.
+    ///
+    /// ```
+    /// use dp_bitvec::BitVec;
+    /// assert!(BitVec::from_u64(4, 0b0100).bit(2));
+    /// ```
     pub fn bit(&self, i: usize) -> bool {
-        assert!(i < self.width, "bit index {i} out of range for width {}", self.width);
-        (self.limbs[i / LIMB_BITS] >> (i % LIMB_BITS)) & 1 == 1
+        assert!(i < self.width(), "bit index {i} out of range for width {}", self.width());
+        match &self.repr {
+            Repr::Small { bits, .. } => (bits >> i) & 1 == 1,
+            Repr::Mid { bits, .. } => (bits >> i) & 1 == 1,
+            Repr::Big { limbs, .. } => (core_big::limb(limbs, i / 64) >> (i % 64)) & 1 == 1,
+        }
     }
 
     /// Sets bit `i` to `value`.
@@ -223,13 +423,38 @@ impl BitVec {
     /// # Panics
     ///
     /// Panics if `i >= self.width()`.
+    ///
+    /// ```
+    /// use dp_bitvec::BitVec;
+    /// let mut v = BitVec::zero(9);
+    /// v.set_bit(8, true);
+    /// assert_eq!(v.to_u64(), Some(256));
+    /// ```
     pub fn set_bit(&mut self, i: usize, value: bool) {
-        assert!(i < self.width, "bit index {i} out of range for width {}", self.width);
-        let mask = 1u64 << (i % LIMB_BITS);
-        if value {
-            self.limbs[i / LIMB_BITS] |= mask;
-        } else {
-            self.limbs[i / LIMB_BITS] &= !mask;
+        assert!(i < self.width(), "bit index {i} out of range for width {}", self.width());
+        match &mut self.repr {
+            Repr::Small { bits, .. } => {
+                if value {
+                    *bits |= 1u64 << i;
+                } else {
+                    *bits &= !(1u64 << i);
+                }
+            }
+            Repr::Mid { bits, .. } => {
+                if value {
+                    *bits |= 1u128 << i;
+                } else {
+                    *bits &= !(1u128 << i);
+                }
+            }
+            Repr::Big { limbs, .. } => {
+                let mask = 1u64 << (i % 64);
+                if value {
+                    limbs[i / 64] |= mask;
+                } else {
+                    limbs[i / 64] &= !mask;
+                }
+            }
         }
     }
 
@@ -240,17 +465,40 @@ impl BitVec {
     /// assert!(BitVec::from_i64(4, -1).msb());
     /// ```
     pub fn msb(&self) -> bool {
-        self.bit(self.width - 1)
+        self.bit(self.width() - 1)
     }
 
     /// Returns `true` if every bit is zero.
+    ///
+    /// ```
+    /// use dp_bitvec::BitVec;
+    /// assert!(BitVec::zero(200).is_zero());
+    /// assert!(!BitVec::ones(200).is_zero());
+    /// ```
     pub fn is_zero(&self) -> bool {
-        self.limbs.iter().all(|&l| l == 0)
+        match &self.repr {
+            Repr::Small { bits, .. } => *bits == 0,
+            Repr::Mid { bits, .. } => *bits == 0,
+            Repr::Big { limbs, .. } => limbs.iter().all(|&l| l == 0),
+        }
     }
 
     /// Returns `true` if every bit is one.
+    ///
+    /// ```
+    /// use dp_bitvec::BitVec;
+    /// assert!(BitVec::ones(65).is_all_ones());
+    /// assert!(!BitVec::zero(65).is_all_ones());
+    /// ```
     pub fn is_all_ones(&self) -> bool {
-        *self == BitVec::ones(self.width)
+        match &self.repr {
+            Repr::Small { width, bits } => *bits == core_u64::mask(*width),
+            Repr::Mid { width, bits } => *bits == core_u128::mask(*width),
+            Repr::Big { width, limbs } => limbs
+                .iter()
+                .enumerate()
+                .all(|(k, &l)| l == core_big::fill_limb(u64::MAX, *width, k)),
+        }
     }
 
     /// Bits listed least-significant first.
@@ -260,7 +508,7 @@ impl BitVec {
     /// assert_eq!(BitVec::from_u64(3, 0b110).to_bits(), vec![false, true, true]);
     /// ```
     pub fn to_bits(&self) -> Vec<bool> {
-        (0..self.width).map(|i| self.bit(i)).collect()
+        (0..self.width()).map(|i| self.bit(i)).collect()
     }
 
     /// The unsigned value, if it fits in a `u64`.
@@ -268,22 +516,41 @@ impl BitVec {
     /// ```
     /// use dp_bitvec::BitVec;
     /// assert_eq!(BitVec::ones(65).to_u64(), None);
+    /// assert_eq!(BitVec::from_u64(65, 7).to_u64(), Some(7));
     /// ```
     pub fn to_u64(&self) -> Option<u64> {
-        if self.limbs[1..].iter().any(|&l| l != 0) {
-            return None;
+        match &self.repr {
+            Repr::Small { bits, .. } => Some(*bits),
+            Repr::Mid { bits, .. } => u64::try_from(*bits).ok(),
+            Repr::Big { limbs, .. } => {
+                if limbs[1..].iter().any(|&l| l != 0) {
+                    None
+                } else {
+                    Some(limbs[0])
+                }
+            }
         }
-        Some(self.limbs[0])
     }
 
     /// The unsigned value, if it fits in a `u128`.
+    ///
+    /// ```
+    /// use dp_bitvec::BitVec;
+    /// assert_eq!(BitVec::ones(128).to_u128(), Some(u128::MAX));
+    /// assert_eq!(BitVec::ones(129).to_u128(), None);
+    /// ```
     pub fn to_u128(&self) -> Option<u128> {
-        if self.limbs.len() > 2 && self.limbs[2..].iter().any(|&l| l != 0) {
-            return None;
+        match &self.repr {
+            Repr::Small { bits, .. } => Some(*bits as u128),
+            Repr::Mid { bits, .. } => Some(*bits),
+            Repr::Big { limbs, .. } => {
+                if limbs.len() > 2 && limbs[2..].iter().any(|&l| l != 0) {
+                    None
+                } else {
+                    Some(self.low_u128())
+                }
+            }
         }
-        let lo = self.limbs[0] as u128;
-        let hi = self.limbs.get(1).copied().unwrap_or(0) as u128;
-        Some(lo | (hi << 64))
     }
 
     /// The signed (two's-complement) value, if it fits in an `i64`.
@@ -297,39 +564,23 @@ impl BitVec {
     }
 
     /// The signed (two's-complement) value, if it fits in an `i128`.
+    ///
+    /// ```
+    /// use dp_bitvec::BitVec;
+    /// assert_eq!(BitVec::from_i64(128, -5).to_i128(), Some(-5));
+    /// assert_eq!(BitVec::ones(200).to_i128(), Some(-1));
+    /// ```
     pub fn to_i128(&self) -> Option<i128> {
-        let ext = if self.width < 128 { self.sext(128) } else { self.clone() };
-        if ext.width > 128 {
-            // Check all limbs above the low two are sign fill.
-            let fill = if ext.msb() { u64::MAX } else { 0 };
-            let full = ext.sext(ext.width); // no-op, keeps clippy quiet about clone
-            let hi_ok = full.limbs[2..]
-                .iter()
-                .enumerate()
-                .all(|(k, &l)| l == Self::fill_limb(fill, ext.width, k + 2));
-            // Also bit 127 must equal the sign for the i128 reading to be exact.
-            if !hi_ok || full.bit(127) != full.msb() {
-                return None;
+        match &self.repr {
+            Repr::Small { .. } | Repr::Mid { .. } => Some(self.to_i128_lossless()),
+            Repr::Big { .. } => {
+                // Exact iff the value sign-extends from its low 128 bits.
+                if self.min_signed_width() <= 128 {
+                    Some(self.low_u128() as i128)
+                } else {
+                    None
+                }
             }
-        }
-        let lo = ext.limbs[0] as u128;
-        let hi = ext.limbs.get(1).copied().unwrap_or(0) as u128;
-        Some((lo | (hi << 64)) as i128)
-    }
-
-    /// Helper: what limb `k` of a canonical `width`-bit vector filled with
-    /// `fill` bits (0 or all-ones) looks like after top masking.
-    fn fill_limb(fill: u64, width: usize, k: usize) -> u64 {
-        if fill == 0 {
-            return 0;
-        }
-        let lo = k * LIMB_BITS;
-        if lo >= width {
-            0
-        } else if width - lo >= LIMB_BITS {
-            u64::MAX
-        } else {
-            (1u64 << (width - lo)) - 1
         }
     }
 
@@ -337,25 +588,33 @@ impl BitVec {
     // Width changes (paper Definition 2.1 + truncation)
     // ------------------------------------------------------------------
 
-    /// Keeps the `new_width` least significant bits.
+    /// Keeps the `new_width` least significant bits, demoting the storage
+    /// tier when the new width crosses an inline boundary.
     ///
     /// # Panics
     ///
     /// Panics if `new_width == 0` or `new_width > self.width()`.
     ///
     /// ```
-    /// use dp_bitvec::BitVec;
+    /// use dp_bitvec::{BitVec, Tier};
     /// assert_eq!(BitVec::from_u64(8, 0b1010_1100).trunc(4).to_u64(), Some(0b1100));
+    /// // Truncating across the 128-bit boundary demotes Big to Mid.
+    /// let wide = BitVec::ones(150);
+    /// assert_eq!(wide.trunc(100).tier(), Tier::Mid);
     /// ```
     pub fn trunc(&self, new_width: usize) -> Self {
         assert!(new_width > 0, "BitVec width must be at least 1");
-        assert!(new_width <= self.width, "trunc to {new_width} from narrower width {}", self.width);
-        let mut v = BitVec { width: new_width, limbs: self.limbs[..limbs_for(new_width)].to_vec() };
-        v.mask_top();
-        v
+        assert!(
+            new_width <= self.width(),
+            "trunc to {new_width} from narrower width {}",
+            self.width()
+        );
+        BitVec::from_repr(core_mixed::trunc(self, new_width as u32))
     }
 
-    /// Zero-extends to `new_width` (the paper's *unsigned extension*).
+    /// Zero-extends to `new_width` (the paper's *unsigned extension*),
+    /// promoting the storage tier when the new width crosses an inline
+    /// boundary.
     ///
     /// # Panics
     ///
@@ -364,12 +623,13 @@ impl BitVec {
     /// ```
     /// use dp_bitvec::BitVec;
     /// assert_eq!(BitVec::from_u64(4, 0b1001).zext(8).to_u64(), Some(0b0000_1001));
+    /// // Crossing the u64 boundary: the value is unchanged.
+    /// assert_eq!(BitVec::ones(64).zext(65).to_u128(), Some(u64::MAX as u128));
     /// ```
     pub fn zext(&self, new_width: usize) -> Self {
-        assert!(new_width >= self.width, "zext to {new_width} from wider width {}", self.width);
-        let mut limbs = self.limbs.clone();
-        limbs.resize(limbs_for(new_width), 0);
-        BitVec { width: new_width, limbs }
+        assert!(new_width >= self.width(), "zext to {new_width} from wider width {}", self.width());
+        let new_width = Self::checked_width(new_width);
+        BitVec::from_repr(core_mixed::zext(self, new_width))
     }
 
     /// Sign-extends to `new_width` (the paper's *signed extension*): pads
@@ -382,23 +642,13 @@ impl BitVec {
     /// ```
     /// use dp_bitvec::BitVec;
     /// assert_eq!(BitVec::from_u64(4, 0b1001).sext(8).to_u64(), Some(0b1111_1001));
+    /// // Crossing the u64 boundary: the signed value is unchanged.
+    /// assert_eq!(BitVec::from_i64(64, -7).sext(100).to_i128(), Some(-7));
     /// ```
     pub fn sext(&self, new_width: usize) -> Self {
-        assert!(new_width >= self.width, "sext to {new_width} from wider width {}", self.width);
-        if !self.msb() {
-            return self.zext(new_width);
-        }
-        let mut limbs = self.limbs.clone();
-        // Fill the partial top limb of the old width with ones.
-        let top_bits = self.width % LIMB_BITS;
-        if top_bits != 0 {
-            let last = limbs.len() - 1;
-            limbs[last] |= !((1u64 << top_bits) - 1);
-        }
-        limbs.resize(limbs_for(new_width), u64::MAX);
-        let mut v = BitVec { width: new_width, limbs };
-        v.mask_top();
-        v
+        assert!(new_width >= self.width(), "sext to {new_width} from wider width {}", self.width());
+        let new_width = Self::checked_width(new_width);
+        BitVec::from_repr(core_mixed::sext(self, new_width))
     }
 
     /// Extends to `new_width` using the given discipline.
@@ -406,6 +656,13 @@ impl BitVec {
     /// # Panics
     ///
     /// Panics if `new_width < self.width()`.
+    ///
+    /// ```
+    /// use dp_bitvec::{BitVec, Signedness};
+    /// let v = BitVec::from_u64(4, 0b1001);
+    /// assert_eq!(v.extend(Signedness::Unsigned, 8).to_u64(), Some(0b0000_1001));
+    /// assert_eq!(v.extend(Signedness::Signed, 8).to_u64(), Some(0b1111_1001));
+    /// ```
     pub fn extend(&self, signedness: Signedness, new_width: usize) -> Self {
         match signedness {
             Signedness::Unsigned => self.zext(new_width),
@@ -429,7 +686,7 @@ impl BitVec {
     /// assert_eq!(v.resize(Signedness::Signed, 4).to_u64(), Some(0b0001));
     /// ```
     pub fn resize(&self, signedness: Signedness, new_width: usize) -> Self {
-        if new_width <= self.width {
+        if new_width <= self.width() {
             self.trunc(new_width)
         } else {
             self.extend(signedness, new_width)
@@ -445,18 +702,28 @@ impl BitVec {
     /// # Panics
     ///
     /// Panics if the widths differ.
+    ///
+    /// ```
+    /// use dp_bitvec::BitVec;
+    /// let a = BitVec::from_u64(4, 11);
+    /// let b = BitVec::from_u64(4, 8);
+    /// assert_eq!(a.wrapping_add(&b).to_u64(), Some(3)); // 19 mod 16
+    /// ```
     pub fn wrapping_add(&self, rhs: &BitVec) -> Self {
         self.check_same_width(rhs, "wrapping_add");
-        let mut out = BitVec::zero(self.width);
-        let mut carry = 0u64;
-        for (i, o) in out.limbs.iter_mut().enumerate() {
-            let (s1, c1) = self.limbs[i].overflowing_add(rhs.limbs[i]);
-            let (s2, c2) = s1.overflowing_add(carry);
-            *o = s2;
-            carry = (c1 as u64) + (c2 as u64);
-        }
-        out.mask_top();
-        out
+        let repr = match &self.repr {
+            Repr::Small { width, bits } => {
+                Repr::Small { width: *width, bits: core_u64::add(*width, *bits, rhs.low_u64()) }
+            }
+            Repr::Mid { width, bits } => {
+                Repr::Mid { width: *width, bits: core_u128::add(*width, *bits, rhs.low_u128()) }
+            }
+            Repr::Big { width, limbs } => rhs.with_limbs(|bl| Repr::Big {
+                width: *width,
+                limbs: core_big::add(*width, limbs, bl),
+            }),
+        };
+        BitVec { repr }
     }
 
     /// Modular subtraction at the common width.
@@ -464,9 +731,28 @@ impl BitVec {
     /// # Panics
     ///
     /// Panics if the widths differ.
+    ///
+    /// ```
+    /// use dp_bitvec::BitVec;
+    /// let a = BitVec::from_u64(4, 3);
+    /// let b = BitVec::from_u64(4, 5);
+    /// assert_eq!(a.wrapping_sub(&b).to_i64(), Some(-2));
+    /// ```
     pub fn wrapping_sub(&self, rhs: &BitVec) -> Self {
         self.check_same_width(rhs, "wrapping_sub");
-        self.wrapping_add(&rhs.wrapping_neg())
+        let repr = match &self.repr {
+            Repr::Small { width, bits } => {
+                Repr::Small { width: *width, bits: core_u64::sub(*width, *bits, rhs.low_u64()) }
+            }
+            Repr::Mid { width, bits } => {
+                Repr::Mid { width: *width, bits: core_u128::sub(*width, *bits, rhs.low_u128()) }
+            }
+            Repr::Big { width, limbs } => rhs.with_limbs(|bl| Repr::Big {
+                width: *width,
+                limbs: core_big::sub(*width, limbs, bl),
+            }),
+        };
+        BitVec { repr }
     }
 
     /// Modular two's-complement negation at the same width.
@@ -478,10 +764,18 @@ impl BitVec {
     /// assert_eq!(BitVec::from_i64(4, -8).wrapping_neg().to_i64(), Some(-8));
     /// ```
     pub fn wrapping_neg(&self) -> Self {
-        let mut flipped = self.not();
-        let one = BitVec::from_u64_wrapping(self.width, 1);
-        flipped = flipped.wrapping_add(&one);
-        flipped
+        let repr = match &self.repr {
+            Repr::Small { width, bits } => {
+                Repr::Small { width: *width, bits: core_u64::neg(*width, *bits) }
+            }
+            Repr::Mid { width, bits } => {
+                Repr::Mid { width: *width, bits: core_u128::neg(*width, *bits) }
+            }
+            Repr::Big { width, limbs } => {
+                Repr::Big { width: *width, limbs: core_big::neg(*width, limbs) }
+            }
+        };
+        BitVec { repr }
     }
 
     /// Modular multiplication at the common width (low `width` bits of the
@@ -490,50 +784,45 @@ impl BitVec {
     /// # Panics
     ///
     /// Panics if the widths differ.
+    ///
+    /// ```
+    /// use dp_bitvec::BitVec;
+    /// let a = BitVec::from_u64(4, 13);
+    /// let b = BitVec::from_u64(4, 11);
+    /// assert_eq!(a.wrapping_mul(&b).to_u64(), Some((13 * 11) % 16));
+    /// ```
     pub fn wrapping_mul(&self, rhs: &BitVec) -> Self {
         self.check_same_width(rhs, "wrapping_mul");
-        let full = self.widening_mul_unsigned(rhs);
-        full.trunc(self.width)
+        let repr = match &self.repr {
+            Repr::Small { width, bits } => {
+                Repr::Small { width: *width, bits: core_u64::mul(*width, *bits, rhs.low_u64()) }
+            }
+            Repr::Mid { width, bits } => {
+                Repr::Mid { width: *width, bits: core_u128::mul(*width, *bits, rhs.low_u128()) }
+            }
+            Repr::Big { width, limbs } => rhs.with_limbs(|bl| Repr::Big {
+                width: *width,
+                limbs: core_big::mul_mod(*width, limbs, bl),
+            }),
+        };
+        BitVec { repr }
     }
 
     /// Full-precision unsigned product: the result has width
     /// `self.width() + rhs.width()` and equals the exact product of the two
-    /// operands read as unsigned integers.
+    /// operands read as unsigned integers. The result tier is chosen by the
+    /// *sum* width, so two `Small` operands may produce a `Mid` result.
     ///
     /// ```
-    /// use dp_bitvec::BitVec;
+    /// use dp_bitvec::{BitVec, Tier};
     /// let a = BitVec::from_u64(4, 15);
-    /// let b = BitVec::from_u64(4, 15);
-    /// assert_eq!(a.widening_mul_unsigned(&b).to_u64(), Some(225));
+    /// assert_eq!(a.widening_mul_unsigned(&a).to_u64(), Some(225));
+    /// let b = BitVec::ones(64);
+    /// assert_eq!(b.widening_mul_unsigned(&b).tier(), Tier::Mid);
     /// ```
     pub fn widening_mul_unsigned(&self, rhs: &BitVec) -> Self {
-        let out_width = self.width + rhs.width;
-        let mut acc = vec![0u64; limbs_for(out_width) + 1];
-        for (i, &a) in self.limbs.iter().enumerate() {
-            if a == 0 {
-                continue;
-            }
-            let mut carry = 0u128;
-            for (j, &b) in rhs.limbs.iter().enumerate() {
-                if i + j >= acc.len() {
-                    break;
-                }
-                let t = (a as u128) * (b as u128) + (acc[i + j] as u128) + carry;
-                acc[i + j] = t as u64;
-                carry = t >> 64;
-            }
-            let mut k = i + rhs.limbs.len();
-            while carry != 0 && k < acc.len() {
-                let t = (acc[k] as u128) + carry;
-                acc[k] = t as u64;
-                carry = t >> 64;
-                k += 1;
-            }
-        }
-        acc.truncate(limbs_for(out_width));
-        let mut out = BitVec { width: out_width, limbs: acc };
-        out.mask_top();
-        out
+        Self::checked_width(self.width() + rhs.width());
+        BitVec::from_repr(core_mixed::widening_mul_unsigned(self, rhs))
     }
 
     /// Full-precision signed product: the result has width
@@ -543,15 +832,11 @@ impl BitVec {
     /// ```
     /// use dp_bitvec::BitVec;
     /// let a = BitVec::from_i64(4, -8);
-    /// let b = BitVec::from_i64(4, -8);
-    /// assert_eq!(a.widening_mul_signed(&b).to_i64(), Some(64));
+    /// assert_eq!(a.widening_mul_signed(&a).to_i64(), Some(64));
     /// ```
     pub fn widening_mul_signed(&self, rhs: &BitVec) -> Self {
-        let out_width = self.width + rhs.width;
-        let a = self.sext(out_width);
-        let b = rhs.sext(out_width);
-        let full = a.widening_mul_unsigned(&b);
-        full.trunc(out_width)
+        Self::checked_width(self.width() + rhs.width());
+        BitVec::from_repr(core_mixed::widening_mul_signed(self, rhs))
     }
 
     // ------------------------------------------------------------------
@@ -559,13 +844,24 @@ impl BitVec {
     // ------------------------------------------------------------------
 
     /// Bitwise NOT.
+    ///
+    /// ```
+    /// use dp_bitvec::BitVec;
+    /// assert_eq!(BitVec::from_u64(4, 0b1010).not().to_u64(), Some(0b0101));
+    /// ```
     pub fn not(&self) -> Self {
-        let mut out = self.clone();
-        for limb in &mut out.limbs {
-            *limb = !*limb;
-        }
-        out.mask_top();
-        out
+        let repr = match &self.repr {
+            Repr::Small { width, bits } => {
+                Repr::Small { width: *width, bits: core_u64::not(*width, *bits) }
+            }
+            Repr::Mid { width, bits } => {
+                Repr::Mid { width: *width, bits: core_u128::not(*width, *bits) }
+            }
+            Repr::Big { width, limbs } => {
+                Repr::Big { width: *width, limbs: core_big::not(*width, limbs) }
+            }
+        };
+        BitVec { repr }
     }
 
     /// Bitwise AND.
@@ -573,13 +869,16 @@ impl BitVec {
     /// # Panics
     ///
     /// Panics if the widths differ.
+    ///
+    /// ```
+    /// use dp_bitvec::BitVec;
+    /// let a = BitVec::from_u64(4, 0b1100);
+    /// let b = BitVec::from_u64(4, 0b1010);
+    /// assert_eq!(a.and(&b).to_u64(), Some(0b1000));
+    /// ```
     pub fn and(&self, rhs: &BitVec) -> Self {
         self.check_same_width(rhs, "and");
-        let mut out = self.clone();
-        for (o, r) in out.limbs.iter_mut().zip(&rhs.limbs) {
-            *o &= r;
-        }
-        out
+        self.bitop(rhs, |a, b| a & b)
     }
 
     /// Bitwise OR.
@@ -587,13 +886,16 @@ impl BitVec {
     /// # Panics
     ///
     /// Panics if the widths differ.
+    ///
+    /// ```
+    /// use dp_bitvec::BitVec;
+    /// let a = BitVec::from_u64(4, 0b1100);
+    /// let b = BitVec::from_u64(4, 0b1010);
+    /// assert_eq!(a.or(&b).to_u64(), Some(0b1110));
+    /// ```
     pub fn or(&self, rhs: &BitVec) -> Self {
         self.check_same_width(rhs, "or");
-        let mut out = self.clone();
-        for (o, r) in out.limbs.iter_mut().zip(&rhs.limbs) {
-            *o |= r;
-        }
-        out
+        self.bitop(rhs, |a, b| a | b)
     }
 
     /// Bitwise XOR.
@@ -601,13 +903,42 @@ impl BitVec {
     /// # Panics
     ///
     /// Panics if the widths differ.
+    ///
+    /// ```
+    /// use dp_bitvec::BitVec;
+    /// let a = BitVec::from_u64(4, 0b1100);
+    /// let b = BitVec::from_u64(4, 0b1010);
+    /// assert_eq!(a.xor(&b).to_u64(), Some(0b0110));
+    /// ```
     pub fn xor(&self, rhs: &BitVec) -> Self {
         self.check_same_width(rhs, "xor");
-        let mut out = self.clone();
-        for (o, r) in out.limbs.iter_mut().zip(&rhs.limbs) {
-            *o ^= r;
-        }
-        out
+        self.bitop(rhs, |a, b| a ^ b)
+    }
+
+    /// Limb-wise bitwise operation at equal widths. The closure is applied
+    /// per limb word; bitwise ops never set bits above the width, so the
+    /// canonical form is preserved without re-masking.
+    fn bitop(&self, rhs: &BitVec, f: impl Fn(u64, u64) -> u64) -> Self {
+        let repr = match &self.repr {
+            Repr::Small { width, bits } => {
+                Repr::Small { width: *width, bits: f(*bits, rhs.low_u64()) }
+            }
+            Repr::Mid { width, bits } => {
+                let r = rhs.low_u128();
+                let lo = f(*bits as u64, r as u64) as u128;
+                let hi = f((*bits >> 64) as u64, (r >> 64) as u64) as u128;
+                Repr::Mid { width: *width, bits: lo | (hi << 64) }
+            }
+            Repr::Big { width, limbs } => rhs.with_limbs(|bl| Repr::Big {
+                width: *width,
+                limbs: limbs
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &l)| f(l, core_big::limb(bl, k)))
+                    .collect(),
+            }),
+        };
+        BitVec { repr }
     }
 
     /// Logical left shift within the width (top bits fall off, zeros enter).
@@ -615,26 +946,43 @@ impl BitVec {
     /// ```
     /// use dp_bitvec::BitVec;
     /// assert_eq!(BitVec::from_u64(4, 0b0110).shl(2).to_u64(), Some(0b1000));
+    /// // Shifting by the width or more clears the value.
+    /// assert_eq!(BitVec::ones(4).shl(4).to_u64(), Some(0));
     /// ```
     pub fn shl(&self, amount: usize) -> Self {
-        let mut out = BitVec::zero(self.width);
-        for i in amount..self.width {
-            if self.bit(i - amount) {
-                out.set_bit(i, true);
+        let repr = match &self.repr {
+            Repr::Small { width, bits } => {
+                Repr::Small { width: *width, bits: core_u64::shl(*width, *bits, amount) }
             }
-        }
-        out
+            Repr::Mid { width, bits } => {
+                Repr::Mid { width: *width, bits: core_u128::shl(*width, *bits, amount) }
+            }
+            Repr::Big { width, limbs } => {
+                Repr::Big { width: *width, limbs: core_big::shl(*width, limbs, amount) }
+            }
+        };
+        BitVec { repr }
     }
 
     /// Logical right shift (zeros enter at the top).
+    ///
+    /// ```
+    /// use dp_bitvec::BitVec;
+    /// assert_eq!(BitVec::from_u64(8, 0b0001_0110).lshr(2).to_u64(), Some(0b0000_0101));
+    /// ```
     pub fn lshr(&self, amount: usize) -> Self {
-        let mut out = BitVec::zero(self.width);
-        for i in 0..self.width.saturating_sub(amount) {
-            if self.bit(i + amount) {
-                out.set_bit(i, true);
+        let repr = match &self.repr {
+            Repr::Small { width, bits } => {
+                Repr::Small { width: *width, bits: core_u64::lshr(*width, *bits, amount) }
             }
-        }
-        out
+            Repr::Mid { width, bits } => {
+                Repr::Mid { width: *width, bits: core_u128::lshr(*width, *bits, amount) }
+            }
+            Repr::Big { width, limbs } => {
+                Repr::Big { width: *width, limbs: core_big::lshr(*width, limbs, amount) }
+            }
+        };
+        BitVec { repr }
     }
 
     /// Arithmetic right shift (copies of the sign bit enter at the top).
@@ -642,16 +990,22 @@ impl BitVec {
     /// ```
     /// use dp_bitvec::BitVec;
     /// assert_eq!(BitVec::from_i64(6, -12).ashr(2).to_i64(), Some(-3));
+    /// // Shifting by the width or more saturates to the sign fill.
+    /// assert_eq!(BitVec::from_i64(6, -12).ashr(100).to_i64(), Some(-1));
     /// ```
     pub fn ashr(&self, amount: usize) -> Self {
-        let fill = self.msb();
-        let mut out = self.lshr(amount);
-        if fill {
-            for i in self.width.saturating_sub(amount)..self.width {
-                out.set_bit(i, true);
+        let repr = match &self.repr {
+            Repr::Small { width, bits } => {
+                Repr::Small { width: *width, bits: core_u64::ashr(*width, *bits, amount) }
             }
-        }
-        out
+            Repr::Mid { width, bits } => {
+                Repr::Mid { width: *width, bits: core_u128::ashr(*width, *bits, amount) }
+            }
+            Repr::Big { width, limbs } => {
+                Repr::Big { width: *width, limbs: core_big::ashr(*width, limbs, amount) }
+            }
+        };
+        BitVec { repr }
     }
 
     // ------------------------------------------------------------------
@@ -668,16 +1022,7 @@ impl BitVec {
     /// assert_eq!(a.cmp_unsigned(&b), Ordering::Equal);
     /// ```
     pub fn cmp_unsigned(&self, rhs: &BitVec) -> Ordering {
-        let w = self.width.max(rhs.width);
-        let a = self.zext(w);
-        let b = rhs.zext(w);
-        for (x, y) in a.limbs.iter().rev().zip(b.limbs.iter().rev()) {
-            match x.cmp(y) {
-                Ordering::Equal => continue,
-                ord => return ord,
-            }
-        }
-        Ordering::Equal
+        core_mixed::cmp_unsigned(self, rhs)
     }
 
     /// Compares the signed (two's-complement) values; widths may differ.
@@ -690,14 +1035,7 @@ impl BitVec {
     /// assert_eq!(a.cmp_signed(&b), Ordering::Less);
     /// ```
     pub fn cmp_signed(&self, rhs: &BitVec) -> Ordering {
-        let w = self.width.max(rhs.width);
-        let a = self.sext(w);
-        let b = rhs.sext(w);
-        match (a.msb(), b.msb()) {
-            (true, false) => Ordering::Less,
-            (false, true) => Ordering::Greater,
-            _ => a.cmp_unsigned(&b),
-        }
+        core_mixed::cmp_signed(self, rhs)
     }
 
     // ------------------------------------------------------------------
@@ -719,14 +1057,16 @@ impl BitVec {
     /// assert!(!v.is_extension_of(3, Signedness::Unsigned));
     /// ```
     pub fn is_extension_of(&self, i: usize, signedness: Signedness) -> bool {
-        if i >= self.width {
+        if i >= self.width() {
             return true;
         }
         if i == 0 {
             return signedness == Signedness::Unsigned && self.is_zero();
         }
-        let low = self.trunc(i);
-        low.extend(signedness, self.width) == *self
+        match signedness {
+            Signedness::Unsigned => self.min_unsigned_width() <= i,
+            Signedness::Signed => self.min_signed_width() <= i,
+        }
     }
 
     /// The smallest `i` such that this vector is the unsigned extension of
@@ -739,12 +1079,11 @@ impl BitVec {
     /// assert_eq!(BitVec::zero(8).min_unsigned_width(), 0);
     /// ```
     pub fn min_unsigned_width(&self) -> usize {
-        for i in (0..self.width).rev() {
-            if self.bit(i) {
-                return i + 1;
-            }
+        match &self.repr {
+            Repr::Small { bits, .. } => core_u64::min_unsigned_width(*bits),
+            Repr::Mid { bits, .. } => core_u128::min_unsigned_width(*bits),
+            Repr::Big { limbs, .. } => core_big::min_unsigned_width(limbs),
         }
-        0
     }
 
     /// The smallest `i >= 1` such that this vector is the signed extension of
@@ -757,12 +1096,11 @@ impl BitVec {
     /// assert_eq!(BitVec::from_i64(8, 127).min_signed_width(), 8);
     /// ```
     pub fn min_signed_width(&self) -> usize {
-        let sign = self.msb();
-        let mut i = self.width;
-        while i > 1 && self.bit(i - 2) == sign {
-            i -= 1;
+        match &self.repr {
+            Repr::Small { width, bits } => core_u64::min_signed_width(*width, *bits),
+            Repr::Mid { width, bits } => core_u128::min_signed_width(*width, *bits),
+            Repr::Big { width, limbs } => core_big::min_signed_width(*width, limbs),
         }
-        i
     }
 
     // ------------------------------------------------------------------
@@ -771,19 +1109,12 @@ impl BitVec {
 
     fn check_same_width(&self, rhs: &BitVec, op: &str) {
         assert_eq!(
-            self.width, rhs.width,
+            self.width(),
+            rhs.width(),
             "{op} requires equal widths (got {} and {})",
-            self.width, rhs.width
+            self.width(),
+            rhs.width()
         );
-    }
-
-    /// Clears any bits at positions >= width, restoring the canonical form.
-    fn mask_top(&mut self) {
-        let top_bits = self.width % LIMB_BITS;
-        if top_bits != 0 {
-            let last = self.limbs.len() - 1;
-            self.limbs[last] &= (1u64 << top_bits) - 1;
-        }
     }
 }
 
@@ -800,8 +1131,8 @@ impl fmt::Debug for BitVec {
 impl fmt::Display for BitVec {
     /// Verilog-style sized binary literal, e.g. `4'b1010`.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}'b", self.width)?;
-        for i in (0..self.width).rev() {
+        write!(f, "{}'b", self.width())?;
+        for i in (0..self.width()).rev() {
             f.write_str(if self.bit(i) { "1" } else { "0" })?;
         }
         Ok(())
@@ -810,7 +1141,7 @@ impl fmt::Display for BitVec {
 
 impl fmt::Binary for BitVec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for i in (0..self.width).rev() {
+        for i in (0..self.width()).rev() {
             f.write_str(if self.bit(i) { "1" } else { "0" })?;
         }
         Ok(())
@@ -819,12 +1150,12 @@ impl fmt::Binary for BitVec {
 
 impl fmt::LowerHex for BitVec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let digits = self.width.div_ceil(4);
+        let digits = self.width().div_ceil(4);
         for d in (0..digits).rev() {
             let mut nibble = 0u8;
             for b in 0..4 {
                 let idx = d * 4 + b;
-                if idx < self.width && self.bit(idx) {
+                if idx < self.width() && self.bit(idx) {
                     nibble |= 1 << b;
                 }
             }
@@ -913,6 +1244,20 @@ mod tests {
     }
 
     #[test]
+    fn tiers_follow_width() {
+        assert_eq!(BitVec::zero(1).tier(), Tier::Small);
+        assert_eq!(BitVec::zero(64).tier(), Tier::Small);
+        assert_eq!(BitVec::zero(65).tier(), Tier::Mid);
+        assert_eq!(BitVec::zero(128).tier(), Tier::Mid);
+        assert_eq!(BitVec::zero(129).tier(), Tier::Big);
+        // The tier is width-determined even for operation results.
+        let p = BitVec::ones(64).widening_mul_unsigned(&BitVec::ones(64));
+        assert_eq!(p.tier(), Tier::Mid);
+        let q = BitVec::ones(65).widening_mul_unsigned(&BitVec::ones(64));
+        assert_eq!(q.tier(), Tier::Big);
+    }
+
+    #[test]
     #[should_panic(expected = "width must be at least 1")]
     fn zero_width_panics() {
         let _ = BitVec::zero(0);
@@ -937,6 +1282,7 @@ mod tests {
         assert_eq!(BitVec::from_u64_wrapping(4, 0x1F).to_u64(), Some(0xF));
         assert_eq!(BitVec::from_i64_wrapping(4, -1).to_u64(), Some(0xF));
         assert_eq!(BitVec::from_i64_wrapping(100, -1), BitVec::ones(100));
+        assert_eq!(BitVec::from_i64_wrapping(200, -1), BitVec::ones(200));
     }
 
     #[test]
@@ -961,6 +1307,20 @@ mod tests {
         let w = BitVec::from_i64(60, -17);
         assert_eq!(w.sext(80).to_i64(), Some(-17));
         assert_eq!(w.sext(80).trunc(60), w);
+    }
+
+    #[test]
+    fn resize_across_every_tier_boundary() {
+        for &(from, to) in
+            &[(60usize, 70usize), (70, 60), (60, 140), (140, 60), (120, 140), (140, 120)]
+        {
+            let v = BitVec::from_i64_wrapping(from, -23);
+            let r = v.resize(Signedness::Signed, to);
+            assert_eq!(r.width(), to);
+            assert_eq!(r.to_i64(), Some(-23), "{from} -> {to}");
+            let u = BitVec::from_u64_wrapping(from, 23);
+            assert_eq!(u.resize(Signedness::Unsigned, to).to_u64(), Some(23), "{from} -> {to}");
+        }
     }
 
     #[test]
@@ -990,6 +1350,9 @@ mod tests {
         let c = BitVec::ones(65);
         let d = BitVec::from_u64(65, 1);
         assert!(c.wrapping_add(&d).is_zero());
+        let e = BitVec::ones(192);
+        let f = BitVec::from_u64(192, 1);
+        assert!(e.wrapping_add(&f).is_zero());
     }
 
     #[test]
@@ -1019,6 +1382,17 @@ mod tests {
         let p = a.widening_mul_unsigned(&a);
         assert_eq!(p.width(), 128);
         assert_eq!(p.to_u128(), Some(u64::MAX as u128 * u64::MAX as u128));
+        // Above 128 bits the boxed kernel takes over: (2^128 - 1)^2.
+        let b = BitVec::ones(128);
+        let q = b.widening_mul_unsigned(&b);
+        assert_eq!(q.width(), 256);
+        // 2^256 - 2^129 + 1: bit 0 set, bits 129..=255 set, bit 128 clear.
+        assert_eq!(q.trunc(128).to_u128(), Some(1));
+        assert!(q.bit(255) && q.bit(129) && !q.bit(128));
+        // Signed: (-2^127)^2 = 2^254.
+        let m = BitVec::from_fn(128, |i| i == 127);
+        let s = m.widening_mul_signed(&m);
+        assert_eq!(s.min_unsigned_width(), 255);
     }
 
     #[test]
@@ -1057,6 +1431,11 @@ mod tests {
         assert_eq!(a.cmp_signed(&b), Equal);
         assert_eq!(a.cmp_unsigned(&b), Less); // 13 < huge pattern
         assert_eq!(BitVec::from_u64(9, 256).cmp_unsigned(&BitVec::from_u64(4, 15)), Greater);
+        // Crossing into the boxed tier.
+        let c = BitVec::from_i64(200, -3);
+        assert_eq!(a.cmp_signed(&c), Equal);
+        assert_eq!(c.cmp_signed(&BitVec::from_i64(70, 2)), Less);
+        assert_eq!(c.cmp_unsigned(&b), Greater);
     }
 
     #[test]

@@ -1,0 +1,105 @@
+//! Allocation audit: the `DESIGN.md` §13 contract says every operation on
+//! widths at or below 128 bits is allocation-free. A counting global
+//! allocator makes that a hard test rather than a hope.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    // const-init so reading the counter never allocates.
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+struct Counting;
+
+// Safety: delegates directly to `System`, only incrementing a
+// thread-local counter on the allocation path.
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static A: Counting = Counting;
+
+/// Runs `f` and returns how many heap allocations it performed.
+fn allocations_in(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.with(|c| c.get());
+    f();
+    ALLOCS.with(|c| c.get()) - before
+}
+
+use dp_bitvec::{BitVec, Signedness};
+
+#[test]
+fn inline_tiers_never_allocate() {
+    // Cover both inline tiers and the boundary widths; 129 would be Big
+    // and is deliberately excluded (tested below to allocate).
+    for w in [1usize, 33, 63, 64, 65, 127, 128] {
+        let a = BitVec::from_fn(w, |i| i % 3 != 0);
+        let b = BitVec::from_fn(w, |i| i % 5 != 1);
+        let n = allocations_in(|| {
+            let mut acc = a.wrapping_add(&b);
+            acc = acc.wrapping_sub(&b);
+            acc = acc.wrapping_mul(&b);
+            acc = acc.wrapping_neg();
+            acc = acc.and(&b).or(&a).xor(&b).not();
+            acc = acc.shl(w / 2).lshr(w / 3).ashr(w / 4);
+            let _ = acc.cmp_signed(&b);
+            let _ = acc.cmp_unsigned(&b);
+            let _ = acc.min_signed_width();
+            let _ = acc.min_unsigned_width();
+            let _ = acc.is_extension_of(w / 2, Signedness::Signed);
+            let _ = acc.to_u128();
+            let _ = acc.to_i128();
+            let _ = acc.msb();
+            let _ = acc.is_zero();
+            let c = acc.clone();
+            drop(c);
+        });
+        assert_eq!(n, 0, "width {w} allocated {n} times on the inline path");
+    }
+}
+
+#[test]
+fn inline_width_changes_never_allocate() {
+    let v = BitVec::from_fn(63, |i| i % 2 == 0);
+    let n = allocations_in(|| {
+        // Crossing the u64/u128 boundary stays inline in both directions.
+        let m = v.zext(128);
+        let s = v.sext(65);
+        let t = m.trunc(64);
+        let r = s.resize(Signedness::Signed, 100);
+        let _ = (t.msb(), r.msb());
+    });
+    assert_eq!(n, 0, "inline width changes allocated {n} times");
+}
+
+#[test]
+fn inline_widening_mul_never_allocates() {
+    let a = BitVec::from_fn(64, |i| i % 3 == 0);
+    let b = BitVec::from_fn(64, |i| i % 7 != 2);
+    let n = allocations_in(|| {
+        // 64 + 64 = 128-bit product: the largest still-inline result.
+        let u = a.widening_mul_unsigned(&b);
+        let s = a.widening_mul_signed(&b);
+        let _ = (u.msb(), s.msb());
+    });
+    assert_eq!(n, 0, "inline widening multiply allocated {n} times");
+}
+
+#[test]
+fn big_tier_does_allocate() {
+    // Sanity-check the counter itself: the boxed tier must be visible.
+    let n = allocations_in(|| {
+        let v = BitVec::zero(129);
+        drop(v);
+    });
+    assert!(n > 0, "Big-tier construction should allocate");
+}

@@ -1,0 +1,280 @@
+//! Differential tests: every tiered [`BitVec`] operation is replayed on
+//! the retained reference implementation ([`RefBitVec`]) and the results
+//! must be bit-identical.
+//!
+//! Width generation is biased toward the tier boundaries of `DESIGN.md`
+//! §13 (63/64/65 and 127/128/129) and the limb boundaries, the places a
+//! tiered representation can get promotion or masking wrong; signedness
+//! edges (sign bit set, all-ones, signed minimum) fall out of uniform
+//! random bits at those widths, and shift amounts straddle the width
+//! itself.
+
+use proptest::prelude::*;
+
+use dp_bitvec::{BitVec, RefBitVec, Signedness, Tier};
+
+/// Widths around every representation boundary: tier edges 64 and 128,
+/// limb edge 192, plus interior and tiny widths.
+const BOUNDARY_WIDTHS: &[usize] =
+    &[1, 2, 31, 32, 33, 63, 64, 65, 66, 96, 127, 128, 129, 130, 191, 192, 193, 256];
+
+/// A width drawn from the boundary set half the time and uniformly from
+/// `1..200` otherwise.
+fn width() -> impl Strategy<Value = usize> {
+    (0usize..BOUNDARY_WIDTHS.len(), 1usize..200, any::<bool>()).prop_map(|(i, w, boundary)| {
+        if boundary {
+            BOUNDARY_WIDTHS[i]
+        } else {
+            w
+        }
+    })
+}
+
+/// Dense random bits for a given width, from four seed words.
+fn bits_from(seed: &[u64], w: usize) -> BitVec {
+    BitVec::from_fn(w, |i| (seed[i % 4] >> (i / 4 % 64)) & 1 == 1)
+}
+
+/// A `(tiered, reference)` pair holding identical bits.
+fn pair() -> impl Strategy<Value = (BitVec, RefBitVec)> {
+    (width(), proptest::collection::vec(any::<u64>(), 4)).prop_map(|(w, seed)| {
+        let v = bits_from(&seed, w);
+        let r = RefBitVec::from_bitvec(&v);
+        (v, r)
+    })
+}
+
+/// Two same-width pairs (for the equal-width binary operations).
+#[allow(clippy::type_complexity)]
+fn same_width_pairs() -> impl Strategy<Value = ((BitVec, RefBitVec), (BitVec, RefBitVec))> {
+    (
+        width(),
+        proptest::collection::vec(any::<u64>(), 4),
+        proptest::collection::vec(any::<u64>(), 4),
+    )
+        .prop_map(|(w, sa, sb)| {
+            let a = bits_from(&sa, w);
+            let b = bits_from(&sb, w);
+            let ra = RefBitVec::from_bitvec(&a);
+            let rb = RefBitVec::from_bitvec(&b);
+            ((a, ra), (b, rb))
+        })
+}
+
+proptest! {
+    #[test]
+    fn tier_is_a_pure_function_of_width((v, _) in pair()) {
+        let expect = if v.width() <= 64 {
+            Tier::Small
+        } else if v.width() <= 128 {
+            Tier::Mid
+        } else {
+            Tier::Big
+        };
+        prop_assert_eq!(v.tier(), expect);
+    }
+
+    #[test]
+    fn constructors_agree(w in width(), raw in any::<u64>()) {
+        prop_assert_eq!(
+            RefBitVec::from_u64_wrapping(w, raw).to_bitvec(),
+            BitVec::from_u64_wrapping(w, raw)
+        );
+        prop_assert_eq!(
+            RefBitVec::from_i64_wrapping(w, raw as i64).to_bitvec(),
+            BitVec::from_i64_wrapping(w, raw as i64)
+        );
+        prop_assert_eq!(RefBitVec::zero(w).to_bitvec(), BitVec::zero(w));
+        prop_assert_eq!(RefBitVec::ones(w).to_bitvec(), BitVec::ones(w));
+    }
+
+    #[test]
+    fn add_sub_mul_agree((( a, ra), (b, rb)) in same_width_pairs()) {
+        prop_assert_eq!(ra.wrapping_add(&rb).to_bitvec(), a.wrapping_add(&b));
+        prop_assert_eq!(ra.wrapping_sub(&rb).to_bitvec(), a.wrapping_sub(&b));
+        prop_assert_eq!(ra.wrapping_mul(&rb).to_bitvec(), a.wrapping_mul(&b));
+    }
+
+    #[test]
+    fn bitwise_agree(((a, ra), (b, rb)) in same_width_pairs()) {
+        prop_assert_eq!(ra.and(&rb).to_bitvec(), a.and(&b));
+        prop_assert_eq!(ra.or(&rb).to_bitvec(), a.or(&b));
+        prop_assert_eq!(ra.xor(&rb).to_bitvec(), a.xor(&b));
+        prop_assert_eq!(ra.not().to_bitvec(), a.not());
+        prop_assert_eq!(ra.wrapping_neg().to_bitvec(), a.wrapping_neg());
+    }
+
+    #[test]
+    fn shifts_agree_including_by_width((v, r) in pair(), base in 0usize..80, edge in 0usize..4) {
+        // Half the amounts straddle the width itself: w-1, w, w+1, 2w.
+        let w = v.width();
+        let amount = match edge {
+            0 => base,
+            1 => w.saturating_sub(1),
+            2 => w,
+            _ => w + base,
+        };
+        prop_assert_eq!(r.shl(amount).to_bitvec(), v.shl(amount));
+        prop_assert_eq!(r.lshr(amount).to_bitvec(), v.lshr(amount));
+        prop_assert_eq!(r.ashr(amount).to_bitvec(), v.ashr(amount));
+    }
+
+    #[test]
+    fn width_changes_agree((v, r) in pair(), other in width()) {
+        let w = v.width();
+        prop_assert_eq!(r.trunc(w.min(other)).to_bitvec(), v.trunc(w.min(other)));
+        prop_assert_eq!(r.zext(w.max(other)).to_bitvec(), v.zext(w.max(other)));
+        prop_assert_eq!(r.sext(w.max(other)).to_bitvec(), v.sext(w.max(other)));
+        prop_assert_eq!(
+            r.resize(Signedness::Signed, other).to_bitvec(),
+            v.resize(Signedness::Signed, other)
+        );
+        prop_assert_eq!(
+            r.resize(Signedness::Unsigned, other).to_bitvec(),
+            v.resize(Signedness::Unsigned, other)
+        );
+    }
+
+    #[test]
+    fn widening_muls_agree((a, ra) in pair(), (b, rb) in pair()) {
+        prop_assert_eq!(ra.widening_mul_unsigned(&rb).to_bitvec(), a.widening_mul_unsigned(&b));
+        prop_assert_eq!(ra.widening_mul_signed(&rb).to_bitvec(), a.widening_mul_signed(&b));
+    }
+
+    #[test]
+    fn comparisons_agree_across_widths((a, ra) in pair(), (b, rb) in pair()) {
+        prop_assert_eq!(ra.cmp_unsigned(&rb), a.cmp_unsigned(&b));
+        prop_assert_eq!(ra.cmp_signed(&rb), a.cmp_signed(&b));
+    }
+
+    #[test]
+    fn conversions_agree((v, r) in pair()) {
+        prop_assert_eq!(r.to_u64(), v.to_u64());
+        prop_assert_eq!(r.to_u128(), v.to_u128());
+        prop_assert_eq!(r.to_i64(), v.to_i64());
+        prop_assert_eq!(r.to_i128(), v.to_i128());
+        prop_assert_eq!(r.to_bits(), v.to_bits());
+        prop_assert_eq!(r.msb(), v.msb());
+        prop_assert_eq!(r.is_zero(), v.is_zero());
+        prop_assert_eq!(r.is_all_ones(), v.is_all_ones());
+        prop_assert_eq!(r.to_string(), v.to_string());
+    }
+
+    #[test]
+    fn information_content_agrees((v, r) in pair(), i in 0usize..260) {
+        prop_assert_eq!(r.min_unsigned_width(), v.min_unsigned_width());
+        prop_assert_eq!(r.min_signed_width(), v.min_signed_width());
+        prop_assert_eq!(
+            r.is_extension_of(i, Signedness::Unsigned),
+            v.is_extension_of(i, Signedness::Unsigned)
+        );
+        prop_assert_eq!(
+            r.is_extension_of(i, Signedness::Signed),
+            v.is_extension_of(i, Signedness::Signed)
+        );
+    }
+
+    #[test]
+    fn set_bit_agrees((v, r) in pair(), pos in any::<u64>(), bit in any::<bool>()) {
+        let i = pos as usize % v.width();
+        let mut v2 = v;
+        let mut r2 = r;
+        v2.set_bit(i, bit);
+        r2.set_bit(i, bit);
+        prop_assert_eq!(r2.to_bitvec(), v2);
+    }
+}
+
+/// Exhaustive sweeps at the exact tier boundaries: every signedness edge
+/// value at widths 63/64/65 and 127/128/129 through every same-width op.
+#[test]
+fn tier_boundary_edge_values() {
+    for &w in &[63usize, 64, 65, 127, 128, 129] {
+        let edges: Vec<BitVec> = vec![
+            BitVec::zero(w),
+            BitVec::ones(w),
+            BitVec::from_u64(w, 1),
+            BitVec::from_fn(w, |i| i == w - 1), // signed minimum
+            BitVec::from_fn(w, |i| i != w - 1), // signed maximum
+            BitVec::from_fn(w, |i| i % 2 == 0), // alternating
+            BitVec::from_fn(w, |i| i >= w / 2), // high half
+        ];
+        for a in &edges {
+            let ra = RefBitVec::from_bitvec(a);
+            assert_eq!(ra.wrapping_neg().to_bitvec(), a.wrapping_neg(), "neg w={w} a={a}");
+            assert_eq!(ra.not().to_bitvec(), a.not(), "not w={w} a={a}");
+            assert_eq!(ra.min_signed_width(), a.min_signed_width(), "msw w={w} a={a}");
+            assert_eq!(ra.min_unsigned_width(), a.min_unsigned_width(), "muw w={w} a={a}");
+            for amt in [0, 1, w - 1, w, w + 1] {
+                assert_eq!(ra.shl(amt).to_bitvec(), a.shl(amt), "shl w={w} amt={amt} a={a}");
+                assert_eq!(ra.lshr(amt).to_bitvec(), a.lshr(amt), "lshr w={w} amt={amt} a={a}");
+                assert_eq!(ra.ashr(amt).to_bitvec(), a.ashr(amt), "ashr w={w} amt={amt} a={a}");
+            }
+            for nw in [w, w + 1, w + 63, w + 64, w + 65] {
+                assert_eq!(ra.zext(nw).to_bitvec(), a.zext(nw), "zext w={w}->{nw} a={a}");
+                assert_eq!(ra.sext(nw).to_bitvec(), a.sext(nw), "sext w={w}->{nw} a={a}");
+            }
+            for b in &edges {
+                let rb = RefBitVec::from_bitvec(b);
+                assert_eq!(ra.wrapping_add(&rb).to_bitvec(), a.wrapping_add(b), "add w={w}");
+                assert_eq!(ra.wrapping_sub(&rb).to_bitvec(), a.wrapping_sub(b), "sub w={w}");
+                assert_eq!(ra.wrapping_mul(&rb).to_bitvec(), a.wrapping_mul(b), "mul w={w}");
+                assert_eq!(
+                    ra.widening_mul_unsigned(&rb).to_bitvec(),
+                    a.widening_mul_unsigned(b),
+                    "wmu w={w}"
+                );
+                assert_eq!(
+                    ra.widening_mul_signed(&rb).to_bitvec(),
+                    a.widening_mul_signed(b),
+                    "wms w={w}"
+                );
+                assert_eq!(ra.cmp_signed(&rb), a.cmp_signed(b), "cmps w={w}");
+                assert_eq!(ra.cmp_unsigned(&rb), a.cmp_unsigned(b), "cmpu w={w}");
+            }
+        }
+    }
+}
+
+/// Panic messages are part of the public contract and must not drift.
+#[test]
+fn panic_messages_unchanged() {
+    let msg = |f: Box<dyn Fn() + std::panic::UnwindSafe>| -> String {
+        let err = std::panic::catch_unwind(f).unwrap_err();
+        err.downcast_ref::<String>().cloned().unwrap_or_else(|| {
+            err.downcast_ref::<&str>().map(|s| s.to_string()).unwrap_or_default()
+        })
+    };
+    assert!(msg(Box::new(|| {
+        BitVec::zero(0);
+    }))
+    .contains("BitVec width must be at least 1"));
+    assert!(msg(Box::new(|| {
+        BitVec::from_u64(3, 8);
+    }))
+    .contains("value 8 does not fit in 3 unsigned bits"));
+    assert!(msg(Box::new(|| {
+        BitVec::from_i64(3, 4);
+    }))
+    .contains("value 4 does not fit in 3 signed bits"));
+    assert!(msg(Box::new(|| {
+        BitVec::zero(4).trunc(5);
+    }))
+    .contains("trunc to 5 from narrower width 4"));
+    assert!(msg(Box::new(|| {
+        BitVec::zero(4).zext(3);
+    }))
+    .contains("zext to 3 from wider width 4"));
+    assert!(msg(Box::new(|| {
+        BitVec::zero(4).sext(3);
+    }))
+    .contains("sext to 3 from wider width 4"));
+    assert!(msg(Box::new(|| {
+        BitVec::zero(4).bit(4);
+    }))
+    .contains("bit index 4 out of range for width 4"));
+    assert!(msg(Box::new(|| {
+        BitVec::zero(4).wrapping_add(&BitVec::zero(5));
+    }))
+    .contains("wrapping_add requires equal widths (got 4 and 5)"));
+}

@@ -356,16 +356,19 @@ fn classify_success(g: &Dfg, flow: &GuardedFlow, tr: &TraceLog, seed: u64) -> Fa
 /// Independent differential simulation: 16 vectors seeded from the case
 /// seed (never the flow's audit seed).
 fn netlist_differs(g: &Dfg, flow: &GuardedFlow, seed: u64) -> Option<String> {
+    // All 16 vectors come from the dedicated case RNG up front (the same
+    // stream the one-at-a-time loop consumed), then one word-parallel
+    // simulation pass covers every lane.
     let mut rng = StdRng::seed_from_u64(seed ^ 0xFA57_C0DE);
-    for k in 0..16 {
-        let inputs = random_inputs(g, &mut rng);
-        let expect = match g.evaluate(&inputs) {
+    let lanes: Vec<_> = (0..16).map(|_| random_inputs(g, &mut rng)).collect();
+    let batch = match flow.flow.netlist.simulate_batch(&lanes) {
+        Ok(v) => v,
+        Err(e) => return Some(format!("netlist simulation failed: {e}")),
+    };
+    for (k, (inputs, got)) in lanes.iter().zip(&batch).enumerate() {
+        let expect = match g.evaluate(inputs) {
             Ok(v) => v,
             Err(e) => return Some(format!("reference evaluation failed: {e}")),
-        };
-        let got = match flow.flow.netlist.simulate(&inputs) {
-            Ok(v) => v,
-            Err(e) => return Some(format!("netlist simulation failed: {e}")),
         };
         for (i, &o) in g.outputs().iter().enumerate() {
             if got[i] != expect[&o] {

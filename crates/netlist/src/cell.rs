@@ -61,6 +61,30 @@ impl CellKind {
             CellKind::Xnor2 => !(a ^ b),
         }
     }
+
+    /// The boolean function of the cell applied to 64 lanes at once: bit
+    /// `l` of each word is the value of that pin in simulation lane `l`,
+    /// so one call evaluates the gate under 64 independent input vectors
+    /// (the word-parallel encoding of `DESIGN.md` §13).
+    ///
+    /// ```
+    /// use dp_netlist::CellKind;
+    /// // Lane 0: 1 NAND 1 = 0; lane 1: 1 NAND 0 = 1.
+    /// assert_eq!(CellKind::Nand2.eval_word(0b11, 0b01) & 0b11, 0b10);
+    /// ```
+    #[inline]
+    pub fn eval_word(self, a: u64, b: u64) -> u64 {
+        match self {
+            CellKind::Inv => !a,
+            CellKind::Buf => a,
+            CellKind::Nand2 => !(a & b),
+            CellKind::Nor2 => !(a | b),
+            CellKind::And2 => a & b,
+            CellKind::Or2 => a | b,
+            CellKind::Xor2 => a ^ b,
+            CellKind::Xnor2 => !(a ^ b),
+        }
+    }
 }
 
 impl fmt::Display for CellKind {

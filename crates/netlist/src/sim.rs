@@ -106,6 +106,80 @@ impl Netlist {
             .map(|(_, bits)| BitVec::from_fn(bits.len(), |k| values[bits[k].index()]))
             .collect())
     }
+
+    /// Simulates the netlist on many input assignments at once using the
+    /// word-parallel encoding of `DESIGN.md` §13: each net carries one
+    /// `u64` whose bit `l` is that net's value in lane `l`, so a single
+    /// topological pass evaluates up to 64 vectors. More than 64 lanes are
+    /// processed in chunks of 64.
+    ///
+    /// `lanes[l]` is one full input assignment exactly as
+    /// [`Netlist::simulate`] takes it; the result holds the matching
+    /// output values per lane, identical to calling `simulate` on each
+    /// assignment separately.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on structural defects, or on the first lane
+    /// (in order) whose assignment mismatches the interface.
+    pub fn simulate_batch(&self, lanes: &[Vec<BitVec>]) -> Result<Vec<Vec<BitVec>>, SimError> {
+        self.check()?;
+        for lane in lanes {
+            if lane.len() != self.inputs().len() {
+                return Err(SimError::WrongInputCount {
+                    expected: self.inputs().len(),
+                    found: lane.len(),
+                });
+            }
+            for (index, ((_, bits), value)) in self.inputs().iter().zip(lane).enumerate() {
+                if value.width() != bits.len() {
+                    return Err(SimError::InputWidthMismatch {
+                        index,
+                        expected: bits.len(),
+                        found: value.width(),
+                    });
+                }
+            }
+        }
+        let topo = self.topo_gates()?;
+        let mut results = Vec::with_capacity(lanes.len());
+        let mut words = vec![0u64; self.num_nets()];
+        for chunk in lanes.chunks(64) {
+            let lane_mask = if chunk.len() == 64 { u64::MAX } else { (1u64 << chunk.len()) - 1 };
+            words.fill(0);
+            for (i, d) in self.drivers.iter().enumerate() {
+                if let NetDriver::Const(true) = d {
+                    words[i] = lane_mask;
+                }
+            }
+            for (l, lane) in chunk.iter().enumerate() {
+                for ((_, bits), value) in self.inputs().iter().zip(lane) {
+                    for (k, &net) in bits.iter().enumerate() {
+                        if value.bit(k) {
+                            words[net.index()] |= 1u64 << l;
+                        }
+                    }
+                }
+            }
+            for g in &topo {
+                let gate = &self.gates[g.index()];
+                let a = words[gate.inputs[0].index()];
+                let b = gate.inputs.get(1).map(|n| words[n.index()]).unwrap_or(0);
+                words[gate.output.index()] = gate.kind.eval_word(a, b) & lane_mask;
+            }
+            for l in 0..chunk.len() {
+                results.push(
+                    self.outputs()
+                        .iter()
+                        .map(|(_, bits)| {
+                            BitVec::from_fn(bits.len(), |k| (words[bits[k].index()] >> l) & 1 == 1)
+                        })
+                        .collect(),
+                );
+            }
+        }
+        Ok(results)
+    }
 }
 
 #[cfg(test)]
@@ -160,6 +234,52 @@ mod tests {
         assert!(matches!(
             n.simulate(&[BitVec::zero(3), BitVec::zero(2)]),
             Err(SimError::InputWidthMismatch { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn batch_matches_scalar_exhaustively() {
+        let n = two_bit_adder();
+        let lanes: Vec<Vec<BitVec>> = (0..4u64)
+            .flat_map(|a| {
+                (0..4u64).map(move |b| vec![BitVec::from_u64(2, a), BitVec::from_u64(2, b)])
+            })
+            .collect();
+        let batch = n.simulate_batch(&lanes).unwrap();
+        assert_eq!(batch.len(), lanes.len());
+        for (lane, out) in lanes.iter().zip(&batch) {
+            assert_eq!(out, &n.simulate(lane).unwrap());
+        }
+    }
+
+    #[test]
+    fn batch_chunks_past_64_lanes() {
+        // 100 lanes force two word-parallel passes; constants must
+        // broadcast correctly into both chunks.
+        let mut n = Netlist::new();
+        let a = n.input("a", 1)[0];
+        let one = n.const1();
+        let x = n.gate(CellKind::Xor2, &[a, one]); // !a
+        n.output("o", vec![x]);
+        let lanes: Vec<Vec<BitVec>> =
+            (0..100u64).map(|i| vec![BitVec::from_u64(1, i % 2)]).collect();
+        let batch = n.simulate_batch(&lanes).unwrap();
+        for (i, out) in batch.iter().enumerate() {
+            assert_eq!(out[0].to_u64(), Some(1 - (i as u64 % 2)), "lane {i}");
+        }
+    }
+
+    #[test]
+    fn batch_interface_errors() {
+        let n = two_bit_adder();
+        assert!(n.simulate_batch(&[]).unwrap().is_empty());
+        assert!(matches!(n.simulate_batch(&[vec![]]), Err(SimError::WrongInputCount { .. })));
+        assert!(matches!(
+            n.simulate_batch(&[
+                vec![BitVec::zero(2), BitVec::zero(2)],
+                vec![BitVec::zero(2), BitVec::zero(3)]
+            ]),
+            Err(SimError::InputWidthMismatch { index: 1, .. })
         ));
     }
 }

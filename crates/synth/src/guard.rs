@@ -486,16 +486,19 @@ fn audit_netlist(base: &Dfg, nl: &Netlist, budget: &FlowBudget) -> Option<String
     if let Err(e) = nl.check() {
         return Some(format!("netlist check failed: {e}"));
     }
+    // Pre-generate every audit vector from the dedicated audit RNG (the
+    // stream is identical to drawing them one at a time), then evaluate
+    // the whole batch in one word-parallel netlist pass.
     let mut rng = StdRng::seed_from_u64(budget.check_seed);
-    for k in 0..budget.check_vectors {
-        let inputs = random_inputs(base, &mut rng);
-        let expect = match base.evaluate(&inputs) {
+    let lanes: Vec<_> = (0..budget.check_vectors).map(|_| random_inputs(base, &mut rng)).collect();
+    let batch = match nl.simulate_batch(&lanes) {
+        Ok(v) => v,
+        Err(e) => return Some(format!("netlist simulation failed: {e}")),
+    };
+    for (k, (inputs, got)) in lanes.iter().zip(&batch).enumerate() {
+        let expect = match base.evaluate(inputs) {
             Ok(v) => v,
             Err(e) => return Some(format!("reference evaluation failed: {e}")),
-        };
-        let got = match nl.simulate(&inputs) {
-            Ok(v) => v,
-            Err(e) => return Some(format!("netlist simulation failed: {e}")),
         };
         for (i, &o) in base.outputs().iter().enumerate() {
             if got[i] != expect[&o] {

@@ -26,8 +26,15 @@ cargo test -q --doc --workspace
 echo "==> cargo build --examples"
 cargo build --workspace --examples
 
+echo "==> bitvec differential suite (tiered BitVec vs RefBitVec oracle)"
+cargo test -q -p dp-bitvec --test differential
+cargo test -q -p dp-bitvec --test alloc
+
+echo "==> criterion smoke (bitvec fast path benches compile and run)"
+cargo bench -p dp-bench --bench bitvec > /dev/null
+
 echo "==> dpmc bench --compare (QoR/provenance exact, timing within 400%)"
-cargo run --release --bin dpmc -- bench --jobs 1 --compare BENCH_pr6.json --max-regress-pct 400
+cargo run --release --bin dpmc -- bench --jobs 1 --compare BENCH_pr7.json --max-regress-pct 400
 
 echo "==> dpmc bench --jobs determinism (parallel report == serial report)"
 cargo run --release --bin dpmc -- bench --jobs 1 --out /tmp/dpmc_jobs1.json
