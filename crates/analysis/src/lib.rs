@@ -56,6 +56,7 @@ mod ic;
 mod info;
 mod pipeline;
 mod precision;
+mod profile;
 mod prune;
 mod worklist;
 
@@ -68,6 +69,7 @@ pub use pipeline::{
     Pass, PipelineBudget, RoundStats, TransformReport,
 };
 pub use precision::{required_precision, rp_transform, rp_transform_with, PrecisionAnalysis};
+pub use profile::{kind_index, KindCounts, KIND_NAMES, NUM_KINDS};
 pub use prune::{
     prune_edge_widths, prune_edge_widths_with, prune_node_widths, prune_node_widths_with,
 };

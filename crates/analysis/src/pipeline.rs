@@ -8,6 +8,7 @@ use dp_metrics::Recorder;
 use dp_trace::TraceLog;
 
 use crate::precision::rp_transform_with;
+use crate::profile::KindCounts;
 use crate::prune::{prune_edge_widths_with, prune_node_widths_with};
 use crate::worklist::Engine;
 
@@ -63,6 +64,11 @@ pub struct RoundStats {
     /// full sweep this round: `3 × num_nodes - ports_visited`. Positive
     /// after round 1 whenever part of the graph went quiescent.
     pub ports_skipped: usize,
+    /// The same recomputations as `ports_visited`, bucketed by node kind
+    /// (with sampled per-kind timing when the hosting recorder ran at
+    /// full telemetry). All zero for the full-sweep and RP-only
+    /// reference pipelines, which do not run the worklist engine.
+    pub kinds: KindCounts,
     /// Wall time of the round.
     pub elapsed: Duration,
 }
@@ -174,6 +180,17 @@ impl TransformReport {
     /// Total analysis node recomputations avoided versus full sweeps.
     pub fn ports_skipped(&self) -> usize {
         self.history.iter().map(|r| r.ports_skipped).sum()
+    }
+
+    /// Per-node-kind visit tallies summed across all rounds; the
+    /// per-kind breakdown of [`TransformReport::ports_visited`] for runs
+    /// of the incremental pipeline.
+    pub fn kind_counts(&self) -> KindCounts {
+        let mut total = KindCounts::default();
+        for r in &self.history {
+            total.merge(&r.kinds);
+        }
+        total
     }
 
     /// Fraction of full-sweep analysis work the incremental pipeline
@@ -294,6 +311,7 @@ pub fn optimize_widths_budgeted_with(
     #[cfg(feature = "verify")]
     let mut watch = verify::RoundWatch::new(g);
     let mut eng = Engine::new(g);
+    eng.set_timing(rec.level() == dp_metrics::Level::Full);
     loop {
         let round = rec.span(format!("round {}", report.rounds + 1));
         let started = Instant::now();
@@ -326,6 +344,7 @@ pub fn optimize_widths_budgeted_with(
             worklist_pushes: pushes,
             ports_visited: visits,
             ports_skipped: (3 * nodes_at_start).saturating_sub(visits),
+            kinds: eng.take_kinds(),
             elapsed: started.elapsed(),
         });
         rec.finish(round);
@@ -454,6 +473,7 @@ pub fn optimize_widths_full_with(
             worklist_pushes: 0,
             ports_visited: 3 * nodes_at_start,
             ports_skipped: 0,
+            kinds: KindCounts::default(),
             elapsed: started.elapsed(),
         });
         rec.finish(round);

@@ -1,0 +1,194 @@
+//! Per-op-kind cost attribution for the width pipeline.
+//!
+//! The incremental engine already counts *how many* analysis
+//! recomputations each round performs ([`crate::RoundStats::ports_visited`]);
+//! this module buckets those visits by the node family being settled —
+//! inputs, outputs, constants, extension nodes, and the five operator
+//! kinds — and, when the hosting recorder runs at
+//! [`dp_metrics::Level::Full`], samples wall time for roughly one in
+//! every 32 visits so `dpmc profile` can report an estimated
+//! nanoseconds-per-visit per kind without timing every node.
+//!
+//! Visit counts are exact and deterministic (pure functions of the
+//! design); sampled nanoseconds are timing and therefore excluded from
+//! every determinism comparison, exactly like span `"us"` fields.
+
+use std::time::Instant;
+
+use dp_dfg::{NodeKind, OpKind};
+
+/// Number of node-kind buckets ([`KIND_NAMES`] entries).
+pub const NUM_KINDS: usize = 9;
+
+/// Stable bucket names, indexed by [`kind_index`].
+pub const KIND_NAMES: [&str; NUM_KINDS] =
+    ["input", "output", "const", "ext", "add", "sub", "neg", "mul", "shl"];
+
+/// Maps a node kind to its [`KIND_NAMES`] bucket.
+pub fn kind_index(kind: &NodeKind) -> usize {
+    match kind {
+        NodeKind::Input => 0,
+        NodeKind::Output => 1,
+        NodeKind::Const(_) => 2,
+        NodeKind::Extension(_) => 3,
+        NodeKind::Op(OpKind::Add) => 4,
+        NodeKind::Op(OpKind::Sub) => 5,
+        NodeKind::Op(OpKind::Neg) => 6,
+        NodeKind::Op(OpKind::Mul) => 7,
+        NodeKind::Op(OpKind::Shl(_)) => 8,
+    }
+}
+
+/// Analysis-visit counts (and optional sampled timing) bucketed by node
+/// kind. Aggregated per round into [`crate::RoundStats::kinds`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KindCounts {
+    /// Exact analysis recomputations per kind; sums to `ports_visited`.
+    pub visits: [u64; NUM_KINDS],
+    /// Total sampled nanoseconds per kind (timing — nondeterministic,
+    /// zero unless the pipeline ran with timing enabled).
+    pub sampled_ns: [u64; NUM_KINDS],
+    /// How many visits contributed to `sampled_ns` per kind.
+    pub samples: [u64; NUM_KINDS],
+}
+
+impl KindCounts {
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &KindCounts) {
+        for k in 0..NUM_KINDS {
+            self.visits[k] += other.visits[k];
+            self.sampled_ns[k] += other.sampled_ns[k];
+            self.samples[k] += other.samples[k];
+        }
+    }
+
+    /// Total visits across all kinds.
+    pub fn total_visits(&self) -> u64 {
+        self.visits.iter().sum()
+    }
+
+    /// Estimated nanoseconds per visit for bucket `k`, from the sampled
+    /// subset; `None` when nothing was sampled for that kind.
+    pub fn est_ns_per_visit(&self, k: usize) -> Option<u64> {
+        if k >= NUM_KINDS || self.samples[k] == 0 {
+            return None;
+        }
+        Some(self.sampled_ns[k] / self.samples[k])
+    }
+}
+
+/// The engine-side collector: exact per-kind visit tallies plus an
+/// every-32nd-visit timing sample when enabled.
+#[derive(Debug, Default)]
+pub(crate) struct KindProf {
+    pub(crate) counts: KindCounts,
+    timing: bool,
+    tick: u32,
+}
+
+/// Sampling period for the timing estimate: timing every visit would
+/// perturb exactly the hot loop being measured, so only one visit in
+/// this many pays for two `Instant` reads.
+const SAMPLE_PERIOD: u32 = 32;
+
+impl KindProf {
+    /// Enables or disables timing samples (visit counts are always kept).
+    pub(crate) fn set_timing(&mut self, on: bool) {
+        self.timing = on;
+    }
+
+    /// Notes one visit of kind bucket `k`; returns a start timestamp when
+    /// this visit was chosen for timing.
+    #[inline]
+    pub(crate) fn begin(&mut self, k: usize) -> Option<Instant> {
+        self.counts.visits[k] += 1;
+        if self.timing {
+            self.tick = self.tick.wrapping_add(1);
+            if self.tick.is_multiple_of(SAMPLE_PERIOD) {
+                return Some(Instant::now());
+            }
+        }
+        None
+    }
+
+    /// Closes a visit opened by [`KindProf::begin`].
+    #[inline]
+    pub(crate) fn end(&mut self, k: usize, started: Option<Instant>) {
+        if let Some(t) = started {
+            self.counts.sampled_ns[k] += t.elapsed().as_nanos() as u64;
+            self.counts.samples[k] += 1;
+        }
+    }
+
+    /// Returns and resets the accumulated counts.
+    pub(crate) fn take(&mut self) -> KindCounts {
+        std::mem::take(&mut self.counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_bitvec::{BitVec, Signedness};
+
+    #[test]
+    fn kind_indices_cover_all_names() {
+        let kinds = [
+            NodeKind::Input,
+            NodeKind::Output,
+            NodeKind::Const(BitVec::zero(4)),
+            NodeKind::Extension(Signedness::Signed),
+            NodeKind::Op(OpKind::Add),
+            NodeKind::Op(OpKind::Sub),
+            NodeKind::Op(OpKind::Neg),
+            NodeKind::Op(OpKind::Mul),
+            NodeKind::Op(OpKind::Shl(3)),
+        ];
+        let mut seen = [false; NUM_KINDS];
+        for k in &kinds {
+            seen[kind_index(k)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "every bucket reachable");
+    }
+
+    #[test]
+    fn prof_counts_without_timing_are_exact_and_ns_free() {
+        let mut p = KindProf::default();
+        for _ in 0..100 {
+            let t = p.begin(4);
+            p.end(4, t);
+        }
+        let c = p.take();
+        assert_eq!(c.visits[4], 100);
+        assert_eq!(c.samples[4], 0, "no timing unless enabled");
+        assert_eq!(c.est_ns_per_visit(4), None);
+        assert_eq!(p.take().total_visits(), 0, "take resets");
+    }
+
+    #[test]
+    fn prof_samples_roughly_one_in_period_when_timing() {
+        let mut p = KindProf::default();
+        p.set_timing(true);
+        for _ in 0..320 {
+            let t = p.begin(7);
+            p.end(7, t);
+        }
+        let c = p.take();
+        assert_eq!(c.visits[7], 320);
+        assert_eq!(c.samples[7], 10);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = KindCounts::default();
+        let mut b = KindCounts::default();
+        a.visits[0] = 3;
+        b.visits[0] = 4;
+        b.sampled_ns[0] = 80;
+        b.samples[0] = 2;
+        a.merge(&b);
+        assert_eq!(a.visits[0], 7);
+        assert_eq!(a.est_ns_per_visit(0), Some(40));
+        assert_eq!(a.total_visits(), 7);
+    }
+}

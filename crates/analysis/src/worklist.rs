@@ -38,6 +38,7 @@ use dp_trace::TraceLog;
 use crate::ic::Ic;
 use crate::info::{settle_node, InfoAnalysis, IntrinsicOverrides};
 use crate::precision::{clamp_edge, clamp_node, rp_node_values, PrecisionAnalysis};
+use crate::profile::{kind_index, KindCounts, KindProf};
 use crate::prune::{prune_edge_one, prune_node_one, NodePrune};
 
 /// Dense-id trait for the flag-backed sets below.
@@ -126,6 +127,9 @@ pub(crate) struct Engine {
     pushes: usize,
     /// Node recomputations this round across the three analysis updates.
     visits: usize,
+    /// Per-node-kind visit tallies (and optional timing samples) for the
+    /// same recomputations `visits` counts.
+    prof: KindProf,
 }
 
 impl Engine {
@@ -155,7 +159,20 @@ impl Engine {
             num_edges_seen: 0,
             pushes: 0,
             visits: 0,
+            prof: KindProf::default(),
         }
+    }
+
+    /// Enables per-visit timing samples (full-telemetry runs only; visit
+    /// counts are collected regardless).
+    pub(crate) fn set_timing(&mut self, on: bool) {
+        self.prof.set_timing(on);
+    }
+
+    /// Returns and resets the per-kind visit tallies accumulated since
+    /// the last call (one round's worth, in the pipeline loop).
+    pub(crate) fn take_kinds(&mut self) -> KindCounts {
+        self.prof.take()
     }
 
     /// Starts a round: refreshes the adjacency view after last round's
@@ -199,7 +216,10 @@ impl Engine {
             self.rp.in_port.resize(g.num_nodes(), 0);
             for i in (0..self.view.topo().len()).rev() {
                 let n = self.view.topo()[i];
+                let k = kind_index(g.node(n).kind());
+                let t = self.prof.begin(k);
                 let (out, inp) = rp_node_values(g, n, &self.rp.in_port);
+                self.prof.end(k, t);
                 self.rp.out_port[n.index()] = out;
                 self.rp.in_port[n.index()] = inp;
             }
@@ -254,7 +274,7 @@ impl Engine {
     fn rp_update(&mut self, g: &Dfg) -> (Vec<NodeId>, Vec<NodeId>) {
         let mut out_changed = Vec::new();
         let mut in_changed = Vec::new();
-        let Engine { view, rp, rp_dirty, in_heap, pushes, visits, .. } = self;
+        let Engine { view, rp, rp_dirty, in_heap, pushes, visits, prof, .. } = self;
         in_heap.resize(view.num_nodes().max(in_heap.len()), false);
         let mut heap: BinaryHeap<(u32, NodeId)> = BinaryHeap::new();
         for n in rp_dirty.drain_sorted() {
@@ -265,7 +285,10 @@ impl Engine {
         while let Some((_, n)) = heap.pop() {
             in_heap[n.index()] = false;
             *visits += 1;
+            let k = kind_index(g.node(n).kind());
+            let t = prof.begin(k);
             let (out, inp) = rp_node_values(g, n, &rp.in_port);
+            prof.end(k, t);
             let i = n.index();
             if out != rp.out_port[i] {
                 rp.out_port[i] = out;
@@ -348,7 +371,7 @@ impl Engine {
     /// Full IC sweep (round 1 only): settles every node in topological
     /// order through the same [`settle_node`] the incremental path uses.
     fn full_ic(&mut self, g: &Dfg) {
-        let Engine { view, ic, overrides, ic_dirty, visits, .. } = self;
+        let Engine { view, ic, overrides, ic_dirty, visits, prof, .. } = self;
         ic.node_out.clear();
         ic.node_out.resize(g.num_nodes(), Ic::trivial(0));
         ic.intrinsic.clear();
@@ -358,7 +381,10 @@ impl Engine {
         ic.operand.clear();
         ic.operand.resize(g.num_edges(), Ic::trivial(0));
         for &n in view.topo() {
+            let k = kind_index(g.node(n).kind());
+            let t = prof.begin(k);
             settle_node(g, n, ic, overrides);
+            prof.end(k, t);
         }
         *visits += g.num_nodes();
         ic_dirty.clear();
@@ -379,6 +405,7 @@ impl Engine {
             in_heap,
             pushes,
             visits,
+            prof,
             ..
         } = self;
         in_heap.resize(view.num_nodes().max(in_heap.len()), false);
@@ -399,7 +426,10 @@ impl Engine {
             for (k, &e) in ins.iter().enumerate() {
                 old_sigs[k] = ic.edge_signal[e.index()];
             }
+            let kb = kind_index(g.node(n).kind());
+            let tb = prof.begin(kb);
             settle_node(g, n, ic, overrides);
+            prof.end(kb, tb);
             for (k, &e) in ins.iter().enumerate() {
                 if ic.edge_signal[e.index()] != old_sigs[k] {
                     edge_cand.insert(e);

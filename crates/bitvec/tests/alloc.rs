@@ -1,38 +1,20 @@
 //! Allocation audit: the `DESIGN.md` §13 contract says every operation on
-//! widths at or below 128 bits is allocation-free. A counting global
-//! allocator makes that a hard test rather than a hope.
-
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::cell::Cell;
-
-thread_local! {
-    // const-init so reading the counter never allocates.
-    static ALLOCS: Cell<u64> = const { Cell::new(0) };
-}
-
-struct Counting;
-
-// Safety: delegates directly to `System`, only incrementing a
-// thread-local counter on the allocation path.
-unsafe impl GlobalAlloc for Counting {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.with(|c| c.set(c.get() + 1));
-        unsafe { System.alloc(layout) }
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        unsafe { System.dealloc(ptr, layout) }
-    }
-}
+//! widths at or below 128 bits is allocation-free. The workspace's
+//! counting global allocator ([`dp_obs::CountingAlloc`], the same one the
+//! `dpmc` binary installs for span allocation tracking) makes that a hard
+//! test rather than a hope.
 
 #[global_allocator]
-static A: Counting = Counting;
+static A: dp_obs::CountingAlloc = dp_obs::CountingAlloc::new();
 
-/// Runs `f` and returns how many heap allocations it performed.
+/// Runs `f` and returns how many heap allocations it performed, read
+/// through the dp-metrics probe the allocator registers.
 fn allocations_in(f: impl FnOnce()) -> u64 {
-    let before = ALLOCS.with(|c| c.get());
+    dp_obs::install();
+    let probe = dp_metrics::alloc_probe().expect("probe installed by this test binary");
+    let before = probe.stats().alloc_count;
     f();
-    ALLOCS.with(|c| c.get()) - before
+    probe.stats().alloc_count - before
 }
 
 use dp_bitvec::{BitVec, Signedness};

@@ -255,6 +255,11 @@ impl FaultOutcome {
 }
 
 /// One `(class, seed)` fault-injection run.
+///
+/// `dpmc faultcheck --events` streams each case's verdict as a `fault`
+/// event of the dp-obs `dpmc-events/1` document (class, seed, injection
+/// site, outcome label and detail), so fault-matrix results land in the
+/// same telemetry stream as spans, QoR and trace decisions.
 #[derive(Debug, Clone)]
 pub struct FaultCase {
     /// The fault class injected.

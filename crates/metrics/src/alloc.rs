@@ -1,0 +1,53 @@
+//! Allocation-statistics probe indirection.
+//!
+//! dp-metrics stays `forbid(unsafe_code)` and dependency-free, so it
+//! cannot host a `#[global_allocator]` itself. Instead it defines the
+//! *interface*: a binary that installs a counting allocator (dp-obs's
+//! `CountingAlloc`) registers an [`AllocProbe`] once at startup, and
+//! every [`crate::Recorder`] running at [`crate::Level::Full`] then
+//! snapshots it around each span to attribute heap traffic per phase.
+//!
+//! The probe reports **thread-local** statistics: each worker thread in
+//! a `--jobs N` pool sees only its own allocations, which is what makes
+//! per-span deltas independent of the job count.
+
+use std::sync::OnceLock;
+
+/// A point-in-time snapshot of one thread's allocation counters, plus
+/// the per-span deltas derived from two snapshots.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Total bytes ever allocated on this thread (monotonic).
+    pub alloc_bytes: u64,
+    /// Total allocation calls on this thread (monotonic).
+    pub alloc_count: u64,
+    /// Bytes currently live (allocated minus freed) on this thread.
+    pub live_bytes: u64,
+    /// High-water mark of `live_bytes` since the watermark was last
+    /// reset with [`AllocProbe::set_peak`].
+    pub peak_live_bytes: u64,
+}
+
+/// Source of thread-local allocation statistics, registered once per
+/// process by the binary that owns the counting global allocator.
+pub trait AllocProbe: Sync {
+    /// Current counters for the calling thread.
+    fn stats(&self) -> AllocStats;
+    /// Resets the calling thread's peak-live watermark to `to`
+    /// (normally the current `live_bytes`, when a span opens).
+    fn set_peak(&self, to: u64);
+}
+
+static PROBE: OnceLock<&'static dyn AllocProbe> = OnceLock::new();
+
+/// Registers the process-wide allocation probe. The first call wins;
+/// returns `false` if a probe was already installed.
+pub fn install_alloc_probe(probe: &'static dyn AllocProbe) -> bool {
+    PROBE.set(probe).is_ok()
+}
+
+/// The installed probe, if any. `None` means per-span allocation fields
+/// are omitted everywhere — a deterministic, per-process property.
+pub fn alloc_probe() -> Option<&'static dyn AllocProbe> {
+    PROBE.get().copied()
+}

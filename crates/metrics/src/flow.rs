@@ -88,13 +88,30 @@ pub struct FlowMetrics {
 }
 
 impl FlowMetrics {
+    /// Per-tag counts of the degradation steps taken, keyed by
+    /// `FALLBACK-*` rule tag in first-occurrence order. Empty for healthy
+    /// flows. This is the `degradations` counter block of the bench
+    /// schema: it makes fallbacks visible in metrics rows without
+    /// re-running `dpmc explain` over the trace.
+    pub fn degradation_counts(&self) -> Vec<(&str, usize)> {
+        let mut counts: Vec<(&str, usize)> = Vec::new();
+        for tag in &self.fallbacks {
+            match counts.iter_mut().find(|(t, _)| t == tag) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((tag.as_str(), 1)),
+            }
+        }
+        counts
+    }
+
     /// Serializes every counter, in declaration order. Contains no timing
     /// fields by construction.
     ///
-    /// The degradation fields (`degraded`, `fallbacks`) are emitted only
-    /// when the flow actually degraded: the bench comparison gate rejects
-    /// fresh keys absent from the baseline, and healthy runs must stay
-    /// byte-compatible with pre-degradation baselines.
+    /// The degradation fields (`degraded`, `fallbacks`, `degradations`)
+    /// are emitted only when the flow actually degraded: the bench
+    /// comparison gate rejects fresh keys absent from the baseline, and
+    /// healthy runs must stay byte-compatible with pre-degradation
+    /// baselines.
     pub fn to_json(&self) -> Json {
         let doc = Json::obj()
             .field("strategy", self.strategy.as_str())
@@ -123,10 +140,16 @@ impl FlowMetrics {
         if !self.degraded {
             return doc;
         }
-        doc.field("degraded", true).field(
-            "fallbacks",
-            Json::Array(self.fallbacks.iter().map(|t| Json::from(t.as_str())).collect()),
-        )
+        let mut degradations = Json::obj();
+        for (tag, count) in self.degradation_counts() {
+            degradations = degradations.field(tag, count);
+        }
+        doc.field("degraded", true)
+            .field(
+                "fallbacks",
+                Json::Array(self.fallbacks.iter().map(|t| Json::from(t.as_str())).collect()),
+            )
+            .field("degradations", degradations)
     }
 }
 
@@ -152,5 +175,28 @@ mod tests {
         assert!(a.contains("\"strategy\": \"new-merge\""));
         assert!(a.contains("\"delay_ns\": 3.25"));
         assert!(!a.contains("\"us\""), "QoR carries no timing fields");
+        assert!(!a.contains("degradations"), "healthy flows emit no degradation block");
+    }
+
+    #[test]
+    fn degradation_counts_group_by_tag_in_first_seen_order() {
+        let m = FlowMetrics {
+            degraded: true,
+            fallbacks: vec![
+                "FALLBACK-RP-ONLY".to_string(),
+                "FALLBACK-SINGLETON".to_string(),
+                "FALLBACK-RP-ONLY".to_string(),
+            ],
+            ..FlowMetrics::default()
+        };
+        assert_eq!(
+            m.degradation_counts(),
+            vec![("FALLBACK-RP-ONLY", 2), ("FALLBACK-SINGLETON", 1)]
+        );
+        let doc = m.to_json().render();
+        assert!(
+            doc.contains(r#""degradations":{"FALLBACK-RP-ONLY":2,"FALLBACK-SINGLETON":1}"#),
+            "degradations block missing: {doc}"
+        );
     }
 }

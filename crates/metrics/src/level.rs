@@ -1,0 +1,73 @@
+//! Telemetry levels: how much the observability runtime records.
+//!
+//! The level is an *overhead governor*, not a correctness switch: the
+//! flow's quality of results (widths, clusters, netlists, trace events)
+//! must be bit-identical at every level — only how much measurement is
+//! recorded alongside changes. `scripts/check.sh` enforces both halves
+//! of that contract (QoR invariance, and full-telemetry wall time within
+//! a few percent of `Off` on the largest scaling design).
+
+use std::fmt;
+
+/// How much telemetry a [`crate::Recorder`] (and the event stream built
+/// on it) records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Level {
+    /// Nothing is recorded; instrumented entry points cost nothing.
+    Off,
+    /// Deterministic skeletons and counters only: span names/depths,
+    /// worklist and per-kind visit counts — no wall times, no allocation
+    /// probes. Output at this level is byte-identical across runs.
+    Counters,
+    /// Everything: counters plus wall times, sampled per-kind
+    /// nanoseconds, and (when a probe is installed) per-span allocation
+    /// and peak-live-byte deltas.
+    #[default]
+    Full,
+}
+
+impl Level {
+    /// Every level, lowest first.
+    pub const ALL: [Level; 3] = [Level::Off, Level::Counters, Level::Full];
+
+    /// Stable lowercase name, as accepted by [`Level::parse`].
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Counters => "counters",
+            Level::Full => "full",
+        }
+    }
+
+    /// Parses a level name (`off`, `counters`, `full`).
+    pub fn parse(s: &str) -> Option<Level> {
+        Level::ALL.into_iter().find(|l| l.name() == s)
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for l in Level::ALL {
+            assert_eq!(Level::parse(l.name()), Some(l));
+            assert_eq!(l.to_string(), l.name());
+        }
+        assert_eq!(Level::parse("verbose"), None);
+    }
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(Level::Off < Level::Counters);
+        assert!(Level::Counters < Level::Full);
+        assert_eq!(Level::default(), Level::Full);
+    }
+}

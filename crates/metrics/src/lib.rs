@@ -42,10 +42,14 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+mod alloc;
 mod flow;
 mod json;
+mod level;
 mod span;
 
+pub use alloc::{alloc_probe, install_alloc_probe, AllocProbe, AllocStats};
 pub use flow::FlowMetrics;
 pub use json::Json;
+pub use level::Level;
 pub use span::{Recorder, SpanId, SpanRecord};

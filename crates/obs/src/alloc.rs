@@ -1,0 +1,209 @@
+//! The counting global allocator and its dp-metrics probe.
+//!
+//! Counters are **thread-local**: each bench worker thread measures only
+//! its own traffic, which is what keeps per-span allocation deltas
+//! independent of `--jobs N`. The design was proven as a test-local
+//! allocator in dp-bitvec's allocation audit (PR 7); this is the
+//! production version with byte/live/peak tracking, shared by that audit
+//! and the `dpmc` binary.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use dp_metrics::{install_alloc_probe, AllocProbe, AllocStats};
+
+struct Counters {
+    alloc_bytes: Cell<u64>,
+    alloc_count: Cell<u64>,
+    live_bytes: Cell<u64>,
+    peak_live_bytes: Cell<u64>,
+}
+
+thread_local! {
+    // const-init so reading the counters never allocates.
+    static TLS: Counters = const {
+        Counters {
+            alloc_bytes: Cell::new(0),
+            alloc_count: Cell::new(0),
+            live_bytes: Cell::new(0),
+            peak_live_bytes: Cell::new(0),
+        }
+    };
+}
+
+/// `try_with` everywhere: allocation can legally happen while a thread's
+/// TLS is being torn down, and the allocator must never panic — such
+/// late traffic simply goes uncounted.
+fn note_alloc(bytes: u64) {
+    let _ = TLS.try_with(|t| {
+        t.alloc_bytes.set(t.alloc_bytes.get() + bytes);
+        t.alloc_count.set(t.alloc_count.get() + 1);
+        let live = t.live_bytes.get() + bytes;
+        t.live_bytes.set(live);
+        if live > t.peak_live_bytes.get() {
+            t.peak_live_bytes.set(live);
+        }
+    });
+}
+
+fn note_dealloc(bytes: u64) {
+    let _ = TLS.try_with(|t| {
+        t.live_bytes.set(t.live_bytes.get().saturating_sub(bytes));
+    });
+}
+
+/// A [`GlobalAlloc`] that delegates to [`System`] and keeps thread-local
+/// byte/count/live/peak counters. Install it in a binary with
+/// `#[global_allocator]`, then call [`install`] once so dp-metrics
+/// recorders can snapshot it around spans.
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    /// A new counting allocator (const, for `#[global_allocator]`).
+    pub const fn new() -> CountingAlloc {
+        CountingAlloc
+    }
+}
+
+impl Default for CountingAlloc {
+    fn default() -> Self {
+        CountingAlloc::new()
+    }
+}
+
+// Safety: delegates every operation directly to `System`; the counter
+// updates touch only thread-local `Cell`s and never allocate.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc(layout) };
+        if !p.is_null() {
+            note_alloc(layout.size() as u64);
+        }
+        p
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = unsafe { System.alloc_zeroed(layout) };
+        if !p.is_null() {
+            note_alloc(layout.size() as u64);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        note_dealloc(layout.size() as u64);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = unsafe { System.realloc(ptr, layout, new_size) };
+        if !p.is_null() {
+            // Count a grow/shrink as one allocation of the new size
+            // retiring the old one, so live-byte accounting stays exact.
+            note_dealloc(layout.size() as u64);
+            note_alloc(new_size as u64);
+        }
+        p
+    }
+}
+
+struct TlsProbe;
+
+impl AllocProbe for TlsProbe {
+    fn stats(&self) -> AllocStats {
+        TLS.try_with(|t| AllocStats {
+            alloc_bytes: t.alloc_bytes.get(),
+            alloc_count: t.alloc_count.get(),
+            live_bytes: t.live_bytes.get(),
+            peak_live_bytes: t.peak_live_bytes.get(),
+        })
+        .unwrap_or_default()
+    }
+
+    fn set_peak(&self, to: u64) {
+        let _ = TLS.try_with(|t| t.peak_live_bytes.set(to));
+    }
+}
+
+static PROBE: TlsProbe = TlsProbe;
+
+/// Registers the thread-local counters as the process-wide
+/// [`dp_metrics::AllocProbe`]. Call once at startup from the binary
+/// whose `#[global_allocator]` is a [`CountingAlloc`]; without that
+/// allocator the probe reports zeros (spans then carry zero deltas).
+/// Returns `false` if a probe was already installed.
+pub fn install() -> bool {
+    install_alloc_probe(&PROBE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The test binary for this crate runs under the counting allocator,
+    // which also exercises the probe through real dp-metrics recorders.
+    #[global_allocator]
+    static A: CountingAlloc = CountingAlloc::new();
+
+    #[test]
+    fn counters_track_alloc_count_bytes_and_peak() {
+        install();
+        let probe = dp_metrics::alloc_probe().expect("probe installed by this test binary");
+        let before = probe.stats();
+        let v: Vec<u8> = Vec::with_capacity(4096);
+        let mid = probe.stats();
+        assert!(mid.alloc_count > before.alloc_count);
+        assert!(mid.alloc_bytes >= before.alloc_bytes + 4096);
+        assert!(mid.live_bytes >= before.live_bytes + 4096);
+        drop(v);
+        let after = probe.stats();
+        assert!(after.live_bytes <= mid.live_bytes - 4096 + 64);
+        assert!(after.peak_live_bytes >= mid.live_bytes, "peak watermark kept");
+    }
+
+    #[test]
+    fn set_peak_resets_the_watermark() {
+        install();
+        let probe = dp_metrics::alloc_probe().expect("probe installed");
+        let live = probe.stats().live_bytes;
+        probe.set_peak(live);
+        assert_eq!(probe.stats().peak_live_bytes, live);
+        let v: Vec<u8> = vec![0; 10_000];
+        assert!(probe.stats().peak_live_bytes >= live + 10_000);
+        drop(v);
+    }
+
+    #[test]
+    fn full_level_spans_carry_alloc_deltas() {
+        install();
+        let mut rec = dp_metrics::Recorder::new();
+        rec.scope("outer", |rec| {
+            rec.scope("inner", |_| {
+                let v: Vec<u64> = vec![0; 2048];
+                drop(v);
+            });
+        });
+        let outer = rec.records()[0].alloc();
+        let inner = rec.records()[1].alloc();
+        assert!(inner.alloc_bytes >= 16 * 1024, "inner vec counted: {inner:?}");
+        assert!(outer.alloc_bytes >= inner.alloc_bytes, "parent subsumes child");
+        assert!(inner.peak_live_bytes >= 16 * 1024);
+        assert!(
+            outer.peak_live_bytes >= inner.peak_live_bytes,
+            "child peak propagates to parent: {outer:?} vs {inner:?}"
+        );
+    }
+
+    #[test]
+    fn counters_level_spans_carry_no_alloc_fields() {
+        install();
+        let mut rec = dp_metrics::Recorder::with_level(dp_metrics::Level::Counters);
+        rec.scope("outer", |_| {
+            let v: Vec<u64> = vec![0; 2048];
+            drop(v);
+        });
+        assert_eq!(rec.records()[0].alloc(), AllocStats::default());
+        let json = rec.to_json().render();
+        assert!(!json.contains("alloc"), "counters level emits no alloc keys: {json}");
+    }
+}

@@ -1,0 +1,470 @@
+//! The `dpmc-events/1` stream: event taxonomy, serialization, ordering.
+//!
+//! A stream is a JSONL document: one header line (`schema`, `level`,
+//! `designs`) followed by one line per event, each carrying a global
+//! `seq` number and the `design` it belongs to. Events are grouped per
+//! design in **slot order** (the order designs were submitted, not the
+//! order worker threads finished them), and within a design in
+//! collection order: flow begin, spans, rounds, op-kind costs, QoR,
+//! degradations, trace decisions, faults. That makes the whole document
+//! a pure function of (designs, level) — plus wall-time fields at
+//! [`Level::Full`], which every determinism comparison strips.
+
+use dp_analysis::{TransformReport, KIND_NAMES, NUM_KINDS};
+use dp_metrics::{alloc_probe, AllocStats, Json, Level, Recorder};
+use dp_trace::TraceLog;
+
+/// Stream schema identifier, bumped on any incompatible layout change.
+pub const SCHEMA: &str = "dpmc-events/1";
+
+/// One telemetry event. Field order in serialized form matches the
+/// variant declaration order here.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A flow over one design began under the named merge strategy.
+    Flow {
+        /// Strategy display name (`no-merge`/`old-merge`/`new-merge`).
+        strategy: String,
+    },
+    /// One finished recorder span.
+    Span {
+        /// Span name as recorded.
+        name: String,
+        /// Nesting depth (0 = root).
+        depth: usize,
+        /// Elapsed microseconds; `None` below [`Level::Full`].
+        us: Option<u128>,
+        /// Allocation deltas; `None` unless full telemetry with a probe.
+        alloc: Option<AllocStats>,
+    },
+    /// One width-pipeline fixpoint round's counters.
+    Round {
+        /// 1-based round number.
+        round: usize,
+        /// Net bit-width change this round (negative = shrank).
+        width_delta_bits: i64,
+        /// Worklist insertions this round.
+        worklist_pushes: usize,
+        /// Analysis recomputations this round.
+        ports_visited: usize,
+        /// Recomputations avoided versus a full sweep.
+        ports_skipped: usize,
+    },
+    /// Aggregate analysis cost for one node-kind bucket.
+    OpKind {
+        /// Bucket name (see [`dp_analysis::KIND_NAMES`]).
+        kind: &'static str,
+        /// Exact visits across all rounds.
+        visits: u64,
+        /// Sampled cost estimate; `None` below [`Level::Full`] or when
+        /// nothing was sampled for this bucket.
+        est_ns_per_visit: Option<u64>,
+    },
+    /// The flow's QoR metrics document (always level-invariant).
+    Qor {
+        /// The `FlowMetrics::to_json` document.
+        metrics: Json,
+    },
+    /// One decision-provenance event from the trace log.
+    Trace {
+        /// Event index within its design's log.
+        id: usize,
+        /// Causal parent index, if any.
+        parent: Option<usize>,
+        /// Stable rule tag (`RP-CLAMP`, `IC-PRUNE`, `FALLBACK-*`, …).
+        rule: &'static str,
+        /// Subject (`n<i>` or `e<i>`).
+        subject: String,
+        /// Value before the decision.
+        before: usize,
+        /// Value after.
+        after: usize,
+    },
+    /// One degradation step taken by the guarded flow driver.
+    Degrade {
+        /// Stage that degraded (`widths`, `clustering`, `synthesis`).
+        stage: String,
+        /// Why the stage's primary path was abandoned.
+        reason: String,
+        /// The `FALLBACK-*` tag of the fallback taken.
+        fallback: String,
+    },
+    /// One injected-fault case outcome from `dpmc faultcheck`.
+    Fault {
+        /// Fault class name.
+        class: String,
+        /// Injection seed.
+        seed: u64,
+        /// What was corrupted, when the class applied to the design.
+        injected: Option<String>,
+        /// Outcome label (`detected`, `degraded`, …).
+        outcome: String,
+        /// Human-readable outcome detail.
+        detail: String,
+    },
+}
+
+impl Event {
+    /// The event's type tag, the `"ev"` field of its serialized line.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Event::Flow { .. } => "flow",
+            Event::Span { .. } => "span",
+            Event::Round { .. } => "round",
+            Event::OpKind { .. } => "op_kind",
+            Event::Qor { .. } => "qor",
+            Event::Trace { .. } => "trace",
+            Event::Degrade { .. } => "degrade",
+            Event::Fault { .. } => "fault",
+        }
+    }
+
+    /// Serializes the event as one stream line object.
+    fn to_json(&self, seq: usize, design: &str) -> Json {
+        let doc = Json::obj().field("seq", seq).field("design", design).field("ev", self.tag());
+        match self {
+            Event::Flow { strategy } => doc.field("strategy", strategy.as_str()),
+            Event::Span { name, depth, us, alloc } => {
+                let mut d = doc.field("name", name.as_str()).field("depth", *depth);
+                if let Some(us) = us {
+                    d = d.field("us", *us);
+                }
+                if let Some(a) = alloc {
+                    d = d
+                        .field("alloc_bytes", a.alloc_bytes)
+                        .field("alloc_count", a.alloc_count)
+                        .field("peak_live_bytes", a.peak_live_bytes);
+                }
+                d
+            }
+            Event::Round {
+                round,
+                width_delta_bits,
+                worklist_pushes,
+                ports_visited,
+                ports_skipped,
+            } => doc
+                .field("round", *round)
+                .field("width_delta_bits", *width_delta_bits)
+                .field("worklist_pushes", *worklist_pushes)
+                .field("ports_visited", *ports_visited)
+                .field("ports_skipped", *ports_skipped),
+            Event::OpKind { kind, visits, est_ns_per_visit } => {
+                let d = doc.field("kind", *kind).field("visits", *visits);
+                match est_ns_per_visit {
+                    Some(ns) => d.field("est_ns_per_visit", *ns),
+                    None => d,
+                }
+            }
+            Event::Qor { metrics } => doc.field("metrics", metrics.clone()),
+            Event::Trace { id, parent, rule, subject, before, after } => {
+                let d = doc.field("id", *id);
+                let d = match parent {
+                    Some(p) => d.field("parent", *p),
+                    None => d,
+                };
+                d.field("rule", *rule)
+                    .field("subject", subject.as_str())
+                    .field("before", *before)
+                    .field("after", *after)
+            }
+            Event::Degrade { stage, reason, fallback } => doc
+                .field("stage", stage.as_str())
+                .field("reason", reason.as_str())
+                .field("fallback", fallback.as_str()),
+            Event::Fault { class, seed, injected, outcome, detail } => {
+                let d = doc.field("class", class.as_str()).field("seed", *seed);
+                let d = match injected {
+                    Some(inj) => d.field("injected", inj.as_str()),
+                    None => d,
+                };
+                d.field("outcome", outcome.as_str()).field("detail", detail.as_str())
+            }
+        }
+    }
+}
+
+/// All events collected for one design, in collection order. Built on
+/// the worker thread that ran the design; merged in slot order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DesignEvents {
+    /// The design's name.
+    pub design: String,
+    /// Its events.
+    pub events: Vec<Event>,
+}
+
+impl DesignEvents {
+    /// An empty stream for `design`.
+    pub fn new(design: impl Into<String>) -> DesignEvents {
+        DesignEvents { design: design.into(), events: Vec::new() }
+    }
+}
+
+/// Span events from a recorder, gated by `level`: names/depths always,
+/// `us` only at [`Level::Full`], allocation deltas only at `Full` with a
+/// probe installed (a fixed per-process property).
+pub fn span_events(rec: &Recorder, level: Level) -> Vec<Event> {
+    let full = level == Level::Full;
+    let with_alloc = full && alloc_probe().is_some();
+    rec.records()
+        .iter()
+        .map(|r| Event::Span {
+            name: r.name().to_string(),
+            depth: r.depth(),
+            us: full.then(|| r.elapsed().as_micros()),
+            alloc: with_alloc.then(|| r.alloc()),
+        })
+        .collect()
+}
+
+/// Trace events from a decision log. Level-invariant by contract: the
+/// same design must yield the same sequence at every level.
+pub fn trace_events(tr: &TraceLog) -> Vec<Event> {
+    tr.events()
+        .iter()
+        .map(|e| Event::Trace {
+            id: e.id.index(),
+            parent: e.parent.map(|p| p.index()),
+            rule: e.rule.tag(),
+            subject: e.subject.to_string(),
+            before: e.before,
+            after: e.after,
+        })
+        .collect()
+}
+
+/// Per-round counter events from a width-pipeline report. The counter
+/// names are exactly the `FlowMetrics` totals they sum to
+/// (`worklist_pushes`, `ports_visited`, `ports_skipped`) — one naming
+/// scheme across rounds, metrics, and the bench schema.
+pub fn round_events(report: &TransformReport) -> Vec<Event> {
+    report
+        .history
+        .iter()
+        .enumerate()
+        .map(|(i, r)| Event::Round {
+            round: i + 1,
+            width_delta_bits: r.width_delta_bits,
+            worklist_pushes: r.worklist_pushes,
+            ports_visited: r.ports_visited,
+            ports_skipped: r.ports_skipped,
+        })
+        .collect()
+}
+
+/// Per-op-kind cost events from a report's summed kind counts: one
+/// event per bucket that was visited at all, in [`KIND_NAMES`] order.
+/// The nondeterministic `est_ns_per_visit` estimate is included only at
+/// [`Level::Full`].
+pub fn kind_events(report: &TransformReport, level: Level) -> Vec<Event> {
+    let counts = report.kind_counts();
+    (0..NUM_KINDS)
+        .filter(|&k| counts.visits[k] > 0)
+        .map(|k| Event::OpKind {
+            kind: KIND_NAMES[k],
+            visits: counts.visits[k],
+            est_ns_per_visit: if level == Level::Full { counts.est_ns_per_visit(k) } else { None },
+        })
+        .collect()
+}
+
+/// A degradation-step event (guarded flow driver fallbacks).
+pub fn degrade_event(stage: &str, reason: &str, fallback: &str) -> Event {
+    Event::Degrade {
+        stage: stage.to_string(),
+        reason: reason.to_string(),
+        fallback: fallback.to_string(),
+    }
+}
+
+/// A fault-case outcome event (`dpmc faultcheck`).
+pub fn fault_event(
+    class: &str,
+    seed: u64,
+    injected: Option<&str>,
+    outcome: &str,
+    detail: &str,
+) -> Event {
+    Event::Fault {
+        class: class.to_string(),
+        seed,
+        injected: injected.map(str::to_string),
+        outcome: outcome.to_string(),
+        detail: detail.to_string(),
+    }
+}
+
+/// Renders a complete stream: header line, then every design's events
+/// in slot order with a global monotonically increasing `seq`.
+pub fn render_stream(level: Level, designs: &[DesignEvents]) -> String {
+    let mut out = String::new();
+    let header = Json::obj()
+        .field("schema", SCHEMA)
+        .field("level", level.name())
+        .field("designs", designs.len());
+    out.push_str(&header.render());
+    out.push('\n');
+    let mut seq = 0usize;
+    for d in designs {
+        for e in &d.events {
+            out.push_str(&e.to_json(seq, &d.design).render());
+            out.push('\n');
+            seq += 1;
+        }
+    }
+    out
+}
+
+/// Summary of a validated stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamSummary {
+    /// Schema string from the header (always [`SCHEMA`]).
+    pub schema: String,
+    /// Telemetry level the stream was recorded at.
+    pub level: String,
+    /// Designs announced by the header.
+    pub designs: usize,
+    /// Event lines in the stream.
+    pub events: usize,
+}
+
+/// Validates a stream document: header schema/level, one JSON object
+/// per line, `seq` dense from 0, every line carrying `design` and a
+/// known `ev` tag.
+pub fn validate_stream(text: &str) -> Result<StreamSummary, String> {
+    let mut lines = text.lines().enumerate();
+    let (_, header_line) = lines.next().ok_or_else(|| "empty stream".to_string())?;
+    let header = Json::parse(header_line).map_err(|e| format!("header: {e}"))?;
+    let schema = header
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "header missing schema".to_string())?;
+    if schema != SCHEMA {
+        return Err(format!("schema {schema:?} != {SCHEMA:?}"));
+    }
+    let level = header
+        .get("level")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "header missing level".to_string())?;
+    if Level::parse(level).is_none() {
+        return Err(format!("unknown level {level:?}"));
+    }
+    let designs = header
+        .get("designs")
+        .and_then(Json::as_i64)
+        .ok_or_else(|| "header missing designs".to_string())?;
+    const TAGS: [&str; 8] =
+        ["flow", "span", "round", "op_kind", "qor", "trace", "degrade", "fault"];
+    let mut events = 0usize;
+    for (lineno, line) in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let doc = Json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let seq = doc
+            .get("seq")
+            .and_then(Json::as_i64)
+            .ok_or_else(|| format!("line {}: missing seq", lineno + 1))?;
+        if seq != events as i64 {
+            return Err(format!("line {}: seq {seq}, expected {events}", lineno + 1));
+        }
+        if doc.get("design").and_then(Json::as_str).is_none() {
+            return Err(format!("line {}: missing design", lineno + 1));
+        }
+        let ev = doc
+            .get("ev")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {}: missing ev", lineno + 1))?;
+        if !TAGS.contains(&ev) {
+            return Err(format!("line {}: unknown ev {ev:?}", lineno + 1));
+        }
+        events += 1;
+    }
+    Ok(StreamSummary {
+        schema: schema.to_string(),
+        level: level.to_string(),
+        designs: designs as usize,
+        events,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_stream(level: Level) -> String {
+        let mut d = DesignEvents::new("fig3");
+        d.events.push(Event::Flow { strategy: "new-merge".to_string() });
+        d.events.push(Event::Span {
+            name: "optimize_widths".to_string(),
+            depth: 0,
+            us: (level == Level::Full).then_some(42),
+            alloc: None,
+        });
+        d.events.push(Event::Round {
+            round: 1,
+            width_delta_bits: -12,
+            worklist_pushes: 0,
+            ports_visited: 30,
+            ports_skipped: 0,
+        });
+        d.events.push(Event::OpKind { kind: "add", visits: 7, est_ns_per_visit: None });
+        d.events.push(Event::Qor { metrics: Json::obj().field("gates", 10usize) });
+        d.events.push(Event::Trace {
+            id: 0,
+            parent: None,
+            rule: "RP-CLAMP",
+            subject: "n3".to_string(),
+            before: 9,
+            after: 5,
+        });
+        d.events.push(degrade_event("widths", "round cap", "FALLBACK-RP-ONLY"));
+        d.events.push(fault_event("ic-over", 1, Some("n2"), "detected", "caught by audit"));
+        render_stream(level, &[d])
+    }
+
+    #[test]
+    fn stream_round_trips_through_validate() {
+        let s = sample_stream(Level::Counters);
+        let summary = validate_stream(&s).expect("valid stream");
+        assert_eq!(summary.schema, SCHEMA);
+        assert_eq!(summary.level, "counters");
+        assert_eq!(summary.designs, 1);
+        assert_eq!(summary.events, 8);
+    }
+
+    #[test]
+    fn counters_stream_is_byte_identical_and_us_free() {
+        let a = sample_stream(Level::Counters);
+        let b = sample_stream(Level::Counters);
+        assert_eq!(a, b);
+        assert!(!a.contains("\"us\""));
+        let full = sample_stream(Level::Full);
+        assert!(full.contains("\"us\":42"));
+    }
+
+    #[test]
+    fn seq_is_dense_and_global_across_designs() {
+        let mk = |name: &str| {
+            let mut d = DesignEvents::new(name);
+            d.events.push(Event::Flow { strategy: "new-merge".to_string() });
+            d
+        };
+        let s = render_stream(Level::Counters, &[mk("a"), mk("b")]);
+        assert!(s.contains("\"seq\":0,\"design\":\"a\""));
+        assert!(s.contains("\"seq\":1,\"design\":\"b\""));
+        validate_stream(&s).expect("dense seq");
+    }
+
+    #[test]
+    fn validate_rejects_bad_streams() {
+        assert!(validate_stream("").is_err());
+        assert!(
+            validate_stream("{\"schema\":\"other/9\",\"level\":\"full\",\"designs\":0}").is_err()
+        );
+        let mut s = sample_stream(Level::Counters);
+        s.push_str("{\"seq\":99,\"design\":\"x\",\"ev\":\"flow\"}\n");
+        assert!(validate_stream(&s).is_err(), "non-dense seq rejected");
+    }
+}

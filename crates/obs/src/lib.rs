@@ -1,0 +1,42 @@
+//! dp-obs: deterministic streaming telemetry for the datapath-merge flow.
+//!
+//! This crate unifies the workspace's three observability channels —
+//! timing/counter spans ([`dp_metrics::Recorder`]), decision provenance
+//! ([`dp_trace::TraceLog`]), and the guarded flow's fault/fallback
+//! reports — into one ordered JSONL **event stream** (`dpmc … --events
+//! out.jsonl`), plus the two facilities built on top of it:
+//!
+//! * [`CountingAlloc`] — a counting global allocator with thread-local
+//!   counters, installed by the `dpmc` binary, that implements
+//!   dp-metrics' [`dp_metrics::AllocProbe`] so every full-telemetry span
+//!   carries `alloc_bytes`/`alloc_count`/`peak_live_bytes`.
+//! * [`Profile`] — per-phase self-profile aggregation (time, heap
+//!   traffic, per-op-kind visit costs) behind `dpmc profile`, including
+//!   a collapsed-stack rendering for flamegraph tooling.
+//!
+//! # Determinism contract
+//!
+//! Event streams are assembled **per design on the worker thread that
+//! ran it** and merged in design slot order, never in completion order,
+//! so a `--jobs N` run produces byte-identical output for any job
+//! count. At [`dp_metrics::Level::Counters`] the stream contains no
+//! wall times and no sampled nanoseconds, making it byte-identical
+//! across *runs* as well; at `Full`, stripping the `"us"`/`"ns"` keys
+//! must leave byte-identical documents. QoR and trace events are
+//! bit-identical across all levels — the level governs how much is
+//! *recorded*, never what the flow *does*.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+#[allow(unsafe_code)]
+mod alloc;
+mod event;
+mod profile;
+
+pub use alloc::{install, CountingAlloc};
+pub use event::{
+    degrade_event, fault_event, kind_events, render_stream, round_events, span_events,
+    trace_events, validate_stream, DesignEvents, Event, StreamSummary, SCHEMA,
+};
+pub use profile::{KindRow, PhaseRow, Profile};

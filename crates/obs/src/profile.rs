@@ -1,0 +1,280 @@
+//! Per-phase self-profile aggregation behind `dpmc profile`.
+//!
+//! A [`Profile`] folds a recorder's span list into one row per distinct
+//! phase *path* (root-to-span names joined with `;`), preserving tree
+//! pre-order: calls, total and self time, heap traffic, and peak live
+//! bytes. Self time is a span's elapsed time minus its direct
+//! children's, so the rows sum correctly for flamegraphs — the
+//! [`Profile::collapsed_stacks`] rendering is directly consumable by
+//! `flamegraph.pl` / `inferno` (`path self_us` per line).
+//!
+//! The row *structure* (paths, depths, call and visit counts, alloc
+//! fields) is deterministic; only the `us`/`ns` values are timing.
+
+use dp_analysis::{KindCounts, KIND_NAMES, NUM_KINDS};
+use dp_metrics::{alloc_probe, Json, Recorder};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Aggregated statistics for one phase path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseRow {
+    /// Root-to-span names joined with `;` (collapsed-stack key).
+    pub path: String,
+    /// The span's own name (last path component).
+    pub name: String,
+    /// Nesting depth (0 = root).
+    pub depth: usize,
+    /// How many spans aggregated into this row.
+    pub calls: u64,
+    /// Total elapsed microseconds (children included).
+    pub total_us: u128,
+    /// Elapsed microseconds minus direct children (flamegraph value).
+    pub self_us: u128,
+    /// Bytes allocated while spans of this path were open.
+    pub alloc_bytes: u64,
+    /// Allocation calls while spans of this path were open.
+    pub alloc_count: u64,
+    /// Largest peak-live-bytes delta any single call reached.
+    pub peak_live_bytes: u64,
+}
+
+/// Aggregated analysis cost for one node-kind bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KindRow {
+    /// Bucket name (see [`KIND_NAMES`]).
+    pub kind: &'static str,
+    /// Exact analysis visits across all pipeline rounds.
+    pub visits: u64,
+    /// Sampled nanoseconds-per-visit estimate, when timing ran.
+    pub est_ns_per_visit: Option<u64>,
+}
+
+/// A self-profile of one flow: per-phase rows in tree pre-order plus
+/// per-op-kind analysis costs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Profile {
+    /// Phase rows, tree pre-order (parents before children).
+    pub rows: Vec<PhaseRow>,
+    /// Op-kind cost rows, [`KIND_NAMES`] order, visited buckets only.
+    pub kinds: Vec<KindRow>,
+    /// Whether allocation columns carry real data (probe installed).
+    pub with_alloc: bool,
+}
+
+impl Profile {
+    /// Builds a profile from a full-telemetry recorder and the width
+    /// pipeline's per-kind visit tallies.
+    pub fn build(rec: &Recorder, kinds: &KindCounts) -> Profile {
+        let records = rec.records();
+        // Per-record self time: elapsed minus direct children.
+        let mut child_sum = vec![Duration::ZERO; records.len()];
+        let mut stack: Vec<usize> = Vec::new();
+        for (i, r) in records.iter().enumerate() {
+            stack.truncate(r.depth());
+            if let Some(&parent) = stack.last() {
+                child_sum[parent] += r.elapsed();
+            }
+            stack.push(i);
+        }
+        // Aggregate by path, preserving first-seen (pre-)order.
+        let mut rows: Vec<PhaseRow> = Vec::new();
+        let mut index: HashMap<String, usize> = HashMap::new();
+        let mut names: Vec<String> = Vec::new();
+        for (i, r) in records.iter().enumerate() {
+            names.truncate(r.depth());
+            names.push(r.name().to_string());
+            let path = names.join(";");
+            let self_us = r.elapsed().saturating_sub(child_sum[i]).as_micros();
+            let alloc = r.alloc();
+            match index.get(&path) {
+                Some(&at) => {
+                    let row = &mut rows[at];
+                    row.calls += 1;
+                    row.total_us += r.elapsed().as_micros();
+                    row.self_us += self_us;
+                    row.alloc_bytes += alloc.alloc_bytes;
+                    row.alloc_count += alloc.alloc_count;
+                    row.peak_live_bytes = row.peak_live_bytes.max(alloc.peak_live_bytes);
+                }
+                None => {
+                    index.insert(path.clone(), rows.len());
+                    rows.push(PhaseRow {
+                        path,
+                        name: r.name().to_string(),
+                        depth: r.depth(),
+                        calls: 1,
+                        total_us: r.elapsed().as_micros(),
+                        self_us,
+                        alloc_bytes: alloc.alloc_bytes,
+                        alloc_count: alloc.alloc_count,
+                        peak_live_bytes: alloc.peak_live_bytes,
+                    });
+                }
+            }
+        }
+        let kind_rows = (0..NUM_KINDS)
+            .filter(|&k| kinds.visits[k] > 0)
+            .map(|k| KindRow {
+                kind: KIND_NAMES[k],
+                visits: kinds.visits[k],
+                est_ns_per_visit: kinds.est_ns_per_visit(k),
+            })
+            .collect();
+        Profile { rows, kinds: kind_rows, with_alloc: alloc_probe().is_some() }
+    }
+
+    /// Renders the human self-profile table; with `top`, appends a
+    /// hottest-phases-by-self-time section of that many rows.
+    pub fn render_table(&self, top: Option<usize>) -> String {
+        let mut out = String::new();
+        let name_w = self
+            .rows
+            .iter()
+            .map(|r| 2 * r.depth + r.name.len())
+            .max()
+            .unwrap_or(5)
+            .max("phase".len());
+        out.push_str(&format!(
+            "{:<name_w$}  {:>5}  {:>10}  {:>10}  {:>12}  {:>8}  {:>12}\n",
+            "phase", "calls", "total_us", "self_us", "alloc_bytes", "allocs", "peak_live"
+        ));
+        for r in &self.rows {
+            let label = format!("{}{}", "  ".repeat(r.depth), r.name);
+            out.push_str(&format!(
+                "{label:<name_w$}  {:>5}  {:>10}  {:>10}  {:>12}  {:>8}  {:>12}\n",
+                r.calls, r.total_us, r.self_us, r.alloc_bytes, r.alloc_count, r.peak_live_bytes
+            ));
+        }
+        if !self.kinds.is_empty() {
+            out.push_str("\nanalysis cost by op kind (exact visits; ns sampled 1/32):\n");
+            out.push_str(&format!("{:<8}  {:>10}  {:>12}\n", "kind", "visits", "est_ns/visit"));
+            for k in &self.kinds {
+                let est = match k.est_ns_per_visit {
+                    Some(ns) => ns.to_string(),
+                    None => "-".to_string(),
+                };
+                out.push_str(&format!("{:<8}  {:>10}  {:>12}\n", k.kind, k.visits, est));
+            }
+        }
+        if let Some(n) = top {
+            let mut hottest: Vec<&PhaseRow> = self.rows.iter().collect();
+            hottest.sort_by(|a, b| b.self_us.cmp(&a.self_us).then_with(|| a.path.cmp(&b.path)));
+            out.push_str(&format!("\ntop {n} phases by self time:\n"));
+            for r in hottest.into_iter().take(n) {
+                out.push_str(&format!("{:>10} us  {}\n", r.self_us, r.path));
+            }
+        }
+        out
+    }
+
+    /// The profile as a deterministic-shaped JSON document (timing
+    /// values under `*_us`/`*ns*` keys are the only nondeterminism).
+    pub fn to_json(&self) -> Json {
+        let phases: Vec<Json> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let mut o = Json::obj()
+                    .field("path", r.path.as_str())
+                    .field("depth", r.depth)
+                    .field("calls", r.calls)
+                    .field("total_us", r.total_us)
+                    .field("self_us", r.self_us);
+                if self.with_alloc {
+                    o = o
+                        .field("alloc_bytes", r.alloc_bytes)
+                        .field("alloc_count", r.alloc_count)
+                        .field("peak_live_bytes", r.peak_live_bytes);
+                }
+                o
+            })
+            .collect();
+        let kinds: Vec<Json> = self
+            .kinds
+            .iter()
+            .map(|k| {
+                let o = Json::obj().field("kind", k.kind).field("visits", k.visits);
+                match k.est_ns_per_visit {
+                    Some(ns) => o.field("est_ns_per_visit", ns),
+                    None => o,
+                }
+            })
+            .collect();
+        Json::obj().field("phases", Json::Array(phases)).field("op_kinds", Json::Array(kinds))
+    }
+
+    /// Collapsed-stack rendering for flamegraph tooling: one
+    /// `path self_us` line per phase row, tree pre-order.
+    pub fn collapsed_stacks(&self) -> String {
+        let mut out = String::new();
+        for r in &self.rows {
+            out.push_str(&format!("{} {}\n", r.path, r.self_us));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_metrics::Recorder;
+
+    fn sample() -> Profile {
+        let mut rec = Recorder::new();
+        rec.scope("flow", |rec| {
+            for _ in 0..2 {
+                rec.scope("round", |rec| {
+                    rec.scope("rp", |_| std::thread::sleep(Duration::from_micros(200)));
+                });
+            }
+        });
+        let mut kinds = KindCounts::default();
+        kinds.visits[4] = 10;
+        Profile::build(&rec, &kinds)
+    }
+
+    #[test]
+    fn rows_aggregate_by_path_in_preorder() {
+        let p = sample();
+        let paths: Vec<(&str, u64)> = p.rows.iter().map(|r| (r.path.as_str(), r.calls)).collect();
+        assert_eq!(paths, vec![("flow", 1), ("flow;round", 2), ("flow;round;rp", 2)]);
+        assert_eq!(p.kinds.len(), 1);
+        assert_eq!(p.kinds[0].kind, "add");
+        assert_eq!(p.kinds[0].visits, 10);
+    }
+
+    #[test]
+    fn self_time_excludes_children() {
+        let p = sample();
+        let flow = &p.rows[0];
+        let rp = &p.rows[2];
+        assert!(rp.total_us >= 400, "two 200us sleeps: {}", rp.total_us);
+        assert!(flow.total_us >= rp.total_us);
+        assert!(flow.self_us <= flow.total_us - rp.total_us + 100);
+    }
+
+    #[test]
+    fn renderings_are_nonempty_and_structured() {
+        let p = sample();
+        let table = p.render_table(Some(2));
+        assert!(table.contains("phase"));
+        assert!(table.contains("top 2 phases by self time"));
+        assert!(table.contains("analysis cost by op kind"));
+        let stacks = p.collapsed_stacks();
+        assert_eq!(stacks.lines().count(), 3);
+        assert!(stacks.starts_with("flow "));
+        assert!(stacks.contains("flow;round;rp "));
+        let json = p.to_json().render();
+        assert!(json.contains("\"op_kinds\""));
+        assert!(json.contains("\"path\":\"flow;round\""));
+    }
+
+    #[test]
+    fn structure_is_deterministic_across_runs() {
+        let strip = |p: &Profile| {
+            p.rows.iter().map(|r| (r.path.clone(), r.depth, r.calls)).collect::<Vec<_>>()
+        };
+        assert_eq!(strip(&sample()), strip(&sample()));
+    }
+}

@@ -112,6 +112,12 @@ pub struct Degradation {
 }
 
 /// Every degradation step one guarded flow took, in order.
+///
+/// Besides the CLI's `dpmc explain`-style rendering, the report is
+/// mirrored into the bench row (the `FlowMetrics` `degradations`
+/// counter block) and streamed as `degrade` events in the dp-obs
+/// `dpmc-events/1` document, so a degraded flow is visible in every
+/// telemetry surface without a re-run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DegradationReport {
     /// The retreats, in the order they were taken.

@@ -10,7 +10,10 @@
 //! The log is **deterministic**: the pipeline visits nodes and edges in
 //! index order, so two runs over the same design produce identical event
 //! streams — which makes the log diffable and lets `dpmc bench` count
-//! events as a QoR-adjacent regression signal.
+//! events as a QoR-adjacent regression signal. The same determinism is
+//! what lets dp-obs re-emit the log verbatim as `trace` lines of the
+//! `dpmc-events/1` streaming document (`dpmc … --events`): one decision
+//! per line, byte-identical at every telemetry level and job count.
 //!
 //! Like the dp-metrics `Recorder`, a [`TraceLog`] built with
 //! [`TraceLog::disabled`] is a free no-op sink, so the plain (non-`_with`)

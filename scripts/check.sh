@@ -34,13 +34,44 @@ echo "==> criterion smoke (bitvec fast path benches compile and run)"
 cargo bench -p dp-bench --bench bitvec > /dev/null
 
 echo "==> dpmc bench --compare (QoR/provenance exact, timing within 400%)"
-cargo run --release --bin dpmc -- bench --jobs 1 --compare BENCH_pr7.json --max-regress-pct 400
+cargo run --release --bin dpmc -- bench --jobs 1 --compare BENCH_pr8.json --max-regress-pct 400
 
-echo "==> dpmc bench --jobs determinism (parallel report == serial report)"
-cargo run --release --bin dpmc -- bench --jobs 1 --out /tmp/dpmc_jobs1.json
-cargo run --release --bin dpmc -- bench --jobs 4 --out /tmp/dpmc_jobs4.json
+echo "==> dpmc bench --jobs determinism (parallel report/events == serial report/events)"
+cargo run --release --bin dpmc -- bench --jobs 1 --out /tmp/dpmc_jobs1.json \
+  --telemetry counters --events /tmp/dpmc_ev1.jsonl
+cargo run --release --bin dpmc -- bench --jobs 4 --out /tmp/dpmc_jobs4.json \
+  --telemetry counters --events /tmp/dpmc_ev4.jsonl
 diff <(grep -v '"us":' /tmp/dpmc_jobs1.json) <(grep -v '"us":' /tmp/dpmc_jobs4.json)
-rm -f /tmp/dpmc_jobs1.json /tmp/dpmc_jobs4.json
+cmp /tmp/dpmc_ev1.jsonl /tmp/dpmc_ev4.jsonl
+rm -f /tmp/dpmc_jobs1.json /tmp/dpmc_jobs4.json /tmp/dpmc_ev1.jsonl /tmp/dpmc_ev4.jsonl
+
+echo "==> dpmc events golden (counters stream byte-stable against the committed file)"
+cargo run --release --bin dpmc -- bench --designs fig3 --jobs 1 --telemetry counters \
+  --events /tmp/dpmc_events.jsonl --out /dev/null
+diff tests/golden/events_fig3.jsonl /tmp/dpmc_events.jsonl
+head -1 /tmp/dpmc_events.jsonl | grep -q '"schema":"dpmc-events/1"'
+rm -f /tmp/dpmc_events.jsonl
+
+echo "==> dpmc profile (every builtin: self-profile + non-empty collapsed stacks)"
+for d in fig1 fig2 fig3 fig4 D1 D2 D3 D4 D5 S64 S160 S400 S1000; do
+  cargo run --release --bin dpmc -- profile "$d" --top 5 --stacks /tmp/dpmc_stacks.txt \
+    > /tmp/dpmc_profile.txt 2> /dev/null
+  grep -q "analysis cost by op kind" /tmp/dpmc_profile.txt
+  test -s /tmp/dpmc_stacks.txt
+done
+rm -f /tmp/dpmc_profile.txt /tmp/dpmc_stacks.txt
+
+echo "==> dpmc profile determinism (phase structure stable across runs)"
+scrub='"total_us":|"self_us":|"est_ns_per_visit":'
+cargo run --release --bin dpmc -- profile S400 --json 2> /dev/null \
+  | grep -Ev "$scrub" > /tmp/dpmc_prof1.json
+cargo run --release --bin dpmc -- profile S400 --json 2> /dev/null \
+  | grep -Ev "$scrub" > /tmp/dpmc_prof2.json
+diff /tmp/dpmc_prof1.json /tmp/dpmc_prof2.json
+rm -f /tmp/dpmc_prof1.json /tmp/dpmc_prof2.json
+
+echo "==> telemetry overhead gate (full-level flow within 5% of off on S1000)"
+cargo run --release --bin dpmc -- profile S1000 --overhead-gate 5
 
 echo "==> dpmc faultcheck (fixed seeds: detect-or-degrade on every builtin)"
 cargo run --release --bin dpmc -- faultcheck --seeds 8

@@ -17,8 +17,11 @@
 //! dpmc dot design.dp [--annotate] [--out FILE]
 //! dpmc bench [--designs all|NAME,NAME,...] [--jobs N] [--out FILE]
 //!      [--compare BASELINE.json] [--max-regress-pct N]
+//!      [--events FILE] [--telemetry off|counters|full]
+//! dpmc profile <design> [--json] [--top N] [--stacks FILE]
+//!      [--overhead-gate PCT]
 //! dpmc faultcheck [<design.dp>] [--designs all|NAME,...] [--seeds N]
-//!      [--classes c1,c2,...] [--json]
+//!      [--classes c1,c2,...] [--json] [--events FILE]
 //! ```
 //!
 //! `dpmc lint` runs the new-merge flow and then audits the optimized
@@ -67,6 +70,17 @@
 //! that fails or panics mid-bench becomes an `"error"` row instead of
 //! aborting the whole report.
 //!
+//! `dpmc profile` runs the new-merge flow (plus constant folding, STA and
+//! verification) under full telemetry and prints a per-phase self-profile:
+//! calls, total/self time, heap traffic from the counting allocator, and
+//! per-op-kind analysis costs. `--stacks FILE` writes a collapsed-stack
+//! file consumable by flamegraph tooling; `--top N` appends the hottest
+//! phases by self time; `--json` emits the profile as a document instead.
+//! `--overhead-gate PCT` instead measures the telemetry overhead itself:
+//! the flow is proven level-invariant (identical QoR and trace decisions
+//! at `off`/`counters`/`full`) and full telemetry must cost at most `PCT`
+//! percent over `off` (exit 1 otherwise).
+//!
 //! `dpmc faultcheck` runs the fault-injection harness: every requested
 //! design is synthesized through the *guarded* flow while a seeded
 //! [`datapath_merge::fault`] injector corrupts one intermediate artifact
@@ -74,6 +88,14 @@
 //! cluster membership). Every `(class, seed)` case must end in detection:
 //! a correct netlist (benign or degraded-with-`FALLBACK-*`-provenance) or
 //! a typed error — a panic or a silently wrong netlist fails the gate.
+//!
+//! The main flow, `bench` and `faultcheck` accept `--events FILE` to
+//! stream every telemetry event — spans, pipeline rounds, op-kind costs,
+//! QoR, degradations, trace decisions, fault outcomes — as one ordered
+//! JSONL document (schema `dpmc-events/1`, see `datapath_merge::obs`).
+//! `--telemetry off|counters|full` governs how much is recorded (never
+//! what the flow does); at `counters` the stream is byte-identical across
+//! runs and job counts.
 //!
 //! # Exit codes
 //!
@@ -85,9 +107,17 @@
 
 use std::process::ExitCode;
 
+use datapath_merge::driver;
 use datapath_merge::error::FlowError;
 use datapath_merge::fault::{check_design, FaultClass};
+use datapath_merge::obs::{self, CountingAlloc, DesignEvents};
 use datapath_merge::prelude::*;
+
+// Every allocation in the binary is counted (thread-locally) so
+// full-telemetry spans can carry alloc/peak deltas; `obs::install` in
+// `main` wires the counters to dp-metrics recorders.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
 
 struct Args {
     file: String,
@@ -107,11 +137,17 @@ struct Args {
     dot: bool,
     annotate: bool,
     bench: bool,
+    profile: bool,
     faultcheck: bool,
     designs: Vec<String>,
     jobs: Option<usize>,
     out: Option<String>,
     compare: Option<String>,
+    events: Option<String>,
+    telemetry: Level,
+    top: Option<usize>,
+    stacks: Option<String>,
+    overhead_gate: Option<f64>,
     max_regress_pct: f64,
     seeds: u64,
     classes: Vec<String>,
@@ -130,10 +166,14 @@ const USAGE: &str = "usage: dpmc <design.dp> [--flow new|old|none|all] \
        dpmc dot <design.dp> [--annotate] [--out FILE]\n\
        dpmc bench [--designs all|NAME,NAME,...] [--jobs N] [--out FILE] \
 [--compare BASELINE.json] [--max-regress-pct N]\n\
+       dpmc profile <design> [--json] [--top N] [--stacks FILE] \
+[--overhead-gate PCT]\n\
        dpmc faultcheck [<design.dp>] [--designs all|NAME,...] [--seeds N] \
 [--classes c1,c2,...] [--json]\n\
 flow budgets (run/faultcheck): [--budget-rounds N] [--budget-pushes N] \
-[--budget-nodes N]";
+[--budget-nodes N]\n\
+telemetry (run/bench/faultcheck): [--events FILE] \
+[--telemetry off|counters|full]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -154,11 +194,17 @@ fn parse_args() -> Result<Args, String> {
         dot: false,
         annotate: false,
         bench: false,
+        profile: false,
         faultcheck: false,
         designs: Vec::new(),
         jobs: None,
         out: None,
         compare: None,
+        events: None,
+        telemetry: Level::Full,
+        top: None,
+        stacks: None,
+        overhead_gate: None,
         max_regress_pct: 50.0,
         seeds: 8,
         classes: Vec::new(),
@@ -230,6 +276,25 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out" => args.out = Some(value(&mut it, "--out")?),
             "--compare" => args.compare = Some(value(&mut it, "--compare")?),
+            "--events" => args.events = Some(value(&mut it, "--events")?),
+            "--telemetry" => {
+                let s = value(&mut it, "--telemetry")?;
+                args.telemetry = Level::parse(&s)
+                    .ok_or_else(|| format!("unknown telemetry level `{s}` (off|counters|full)"))?;
+            }
+            "--top" => {
+                args.top = Some(
+                    value(&mut it, "--top")?.parse().map_err(|_| "bad --top value".to_string())?,
+                )
+            }
+            "--stacks" => args.stacks = Some(value(&mut it, "--stacks")?),
+            "--overhead-gate" => {
+                args.overhead_gate = Some(
+                    value(&mut it, "--overhead-gate")?
+                        .parse()
+                        .map_err(|_| "bad --overhead-gate value".to_string())?,
+                )
+            }
             "--seeds" => {
                 let n: u64 = value(&mut it, "--seeds")?
                     .parse()
@@ -286,6 +351,9 @@ fn parse_args() -> Result<Args, String> {
             "bench" if !subcommand && args.file.is_empty() => {
                 (args.bench, subcommand) = (true, true)
             }
+            "profile" if !subcommand && args.file.is_empty() => {
+                (args.profile, subcommand) = (true, true)
+            }
             "faultcheck" if !subcommand && args.file.is_empty() => {
                 (args.faultcheck, subcommand) = (true, true)
             }
@@ -335,6 +403,22 @@ fn parse_args() -> Result<Args, String> {
         if args.jobs.is_some() {
             return Err("--jobs only applies to `dpmc bench`".to_string());
         }
+    } else if args.profile {
+        if args.file.is_empty() {
+            return Err("`dpmc profile` needs a design (a built-in name or a .dp file)".to_string());
+        }
+        if !args.designs.is_empty() {
+            return Err("`dpmc profile` takes one positional design, not --designs".to_string());
+        }
+        if args.out.is_some() {
+            return Err("--out only applies to `dpmc bench` and `dpmc dot`".to_string());
+        }
+        if args.compare.is_some() {
+            return Err("--compare only applies to `dpmc bench`".to_string());
+        }
+        if args.jobs.is_some() {
+            return Err("--jobs only applies to `dpmc bench`".to_string());
+        }
     } else {
         if args.file.is_empty() {
             return Err("no design file given".to_string());
@@ -361,10 +445,23 @@ fn parse_args() -> Result<Args, String> {
     if args.node.is_some() && !args.explain {
         return Err("--node/--port only apply to `dpmc explain`".to_string());
     }
-    if args.json && !(args.explain || args.faultcheck || args.lint || args.analyze) {
-        return Err("--json only applies to `dpmc lint`, `dpmc analyze`, `dpmc explain` and \
-             `dpmc faultcheck`"
+    if args.json && !(args.explain || args.faultcheck || args.lint || args.analyze || args.profile)
+    {
+        return Err("--json only applies to `dpmc lint`, `dpmc analyze`, `dpmc explain`, \
+             `dpmc profile` and `dpmc faultcheck`"
             .to_string());
+    }
+    if (args.top.is_some() || args.stacks.is_some() || args.overhead_gate.is_some())
+        && !args.profile
+    {
+        return Err("--top/--stacks/--overhead-gate only apply to `dpmc profile`".to_string());
+    }
+    let run_like = !(args.lint || args.analyze || args.explain || args.dot || args.profile);
+    if (args.events.is_some() || args.telemetry != Level::Full) && !run_like {
+        return Err(
+            "--events/--telemetry only apply to the main flow, `dpmc bench` and `dpmc faultcheck`"
+                .to_string(),
+        );
     }
     if args.corrupt_ic.is_some() && !args.analyze {
         return Err("--corrupt-ic only applies to `dpmc analyze`".to_string());
@@ -384,6 +481,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn main() -> ExitCode {
+    obs::install();
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
@@ -401,6 +499,8 @@ fn main() -> ExitCode {
         run_dot(&args).map(|()| true)
     } else if args.bench {
         run_bench(&args)
+    } else if args.profile {
+        run_profile(&args)
     } else if args.faultcheck {
         run_faultcheck(&args)
     } else {
@@ -732,53 +832,14 @@ fn collect_designs(specs: &[String]) -> Result<Vec<(String, Dfg)>, FlowError> {
     Ok(out)
 }
 
-/// Benchmarks one design through both flows; the building block the
-/// parallel driver farms out. Pure function of the design and config
-/// (modulo the wall-times inside `spans`), so designs can run on any
-/// worker in any order.
-fn bench_design(name: &str, g: &Dfg, config: &SynthConfig, lib: &Library) -> Result<Json, String> {
-    let mut flows = Vec::new();
-    for strategy in [MergeStrategy::Old, MergeStrategy::New] {
-        let mut rec = Recorder::new();
-        let mut tr = TraceLog::new();
-        let flow = run_flow_with(g, strategy, config, &mut rec, &mut tr)
-            .map_err(|e| format!("{name} [{strategy}]: {e}"))?;
-        let mut netlist = flow.netlist.clone();
-        let sweep = rec.span("fold_sweep");
-        datapath_merge::opt::fold_constants(&mut netlist);
-        let netlist = netlist.sweep();
-        rec.finish(sweep);
-        let sta = rec.span("sta");
-        let delay_ns = netlist.longest_path(lib).delay_ns;
-        let area = netlist.area(lib);
-        rec.finish(sta);
-        let mut cx = Context::new(&flow.graph)
-            .baseline(g)
-            .clustering(&flow.clustering)
-            .netlist(&netlist)
-            .optimized(strategy == MergeStrategy::New);
-        if let Some(m) = &flow.merge {
-            cx = cx.transform(&m.transform);
-        }
-        let report = Verifier::default().run_with(&cx, &mut rec);
-
-        // QoR on the final (folded + swept) netlist, not the raw one.
-        let mut metrics = flow.metrics.clone();
-        metrics.gates = netlist.num_gates();
-        metrics.delay_ns = delay_ns;
-        metrics.area = area;
-        metrics.verify_errors = report.count(Severity::Error);
-        metrics.verify_warnings = report.count(Severity::Warn);
-        metrics.verify_infos = report.count(Severity::Info);
-        flows.push(
-            Json::obj()
-                .field("strategy", strategy.to_string())
-                .field("metrics", metrics.to_json())
-                .field("trace_events", tr.len() as i64)
-                .field("spans", rec.to_json()),
-        );
-    }
-    Ok(Json::obj().field("design", name).field("flows", flows))
+/// Writes an event stream collected at `level` to `path` as a
+/// `dpmc-events/1` JSONL document.
+fn write_events(path: &str, level: Level, streams: &[DesignEvents]) -> Result<(), FlowError> {
+    let text = obs::render_stream(level, streams);
+    std::fs::write(path, &text)
+        .map_err(|e| FlowError::Io { path: path.to_string(), message: e.to_string() })?;
+    eprintln!("dpmc: wrote {} event line(s) to {path}", text.lines().count().saturating_sub(1));
+    Ok(())
 }
 
 /// `dpmc bench`: run every requested design through the old-merge and
@@ -795,10 +856,6 @@ fn bench_design(name: &str, g: &Dfg, config: &SynthConfig, lib: &Library) -> Res
 /// designs still run, and the whole bench exits non-zero. Healthy rows
 /// are byte-identical to a run without any failures.
 fn run_bench(args: &Args) -> Result<bool, FlowError> {
-    use std::panic::{catch_unwind, AssertUnwindSafe};
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Mutex;
-
     let lib = Library::synthetic_025um();
     let designs = collect_designs(&args.designs)?;
     let jobs = args
@@ -806,43 +863,38 @@ fn run_bench(args: &Args) -> Result<bool, FlowError> {
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
         .min(designs.len().max(1));
 
-    // Slot-indexed results: worker i writes only slot `next.fetch_add()`,
-    // so assembly order (and thus the report) is independent of scheduling.
-    let slots: Vec<Mutex<Option<Result<Json, String>>>> =
-        designs.iter().map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some((name, g)) = designs.get(i) else { break };
-                // A panicking design must not take down its worker (and
-                // with it, silently, every design the worker would have
-                // pulled next): contain it and report it as a row.
-                let row =
-                    catch_unwind(AssertUnwindSafe(|| bench_design(name, g, &args.config, &lib)))
-                        .unwrap_or_else(|_| Err(format!("{name}: panicked during bench")));
-                *slots[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(row);
-            });
-        }
+    // Slot-indexed results (see `driver::run_slots`): worker i writes only
+    // its own slot, so the assembled report — and the event stream — is
+    // independent of scheduling.
+    let results = driver::run_slots(designs.len(), jobs, |i| {
+        let (name, g) = &designs[i];
+        driver::bench_design(name, g, &args.config, &lib, args.telemetry)
     });
     let mut rows = Vec::with_capacity(designs.len());
+    let mut streams = Vec::with_capacity(designs.len());
     let mut errors: Vec<String> = Vec::new();
-    for (slot, (name, _)) in slots.into_iter().zip(&designs) {
-        let row = slot
-            .into_inner()
-            .unwrap_or_else(|p| p.into_inner())
-            .unwrap_or_else(|| Err(format!("{name}: worker died before writing a result")));
-        match row {
-            Ok(json) => rows.push(json),
+    for (outcome, (name, _)) in results.into_iter().zip(&designs) {
+        match outcome {
+            Ok(out) => {
+                rows.push(out.row);
+                streams.push(out.events);
+            }
             Err(msg) => {
+                // Pool-level failures (panic, dead worker) carry no design
+                // name of their own; flow errors already lead with it.
+                let msg =
+                    if msg.starts_with(name.as_str()) { msg } else { format!("{name}: {msg}") };
                 errors.push(msg.clone());
                 rows.push(Json::obj().field("design", name.as_str()).field("error", msg));
+                streams.push(DesignEvents::new(name.as_str()));
             }
         }
     }
-    let doc = Json::obj().field("schema", "dpmc-bench/4").field("designs", rows);
+    let doc = Json::obj().field("schema", "dpmc-bench/5").field("designs", rows);
     let rendered = doc.render_pretty();
+    if let Some(path) = &args.events {
+        write_events(path, args.telemetry, &streams)?;
+    }
     match &args.out {
         Some(path) => {
             std::fs::write(path, &rendered)
@@ -868,6 +920,43 @@ fn run_bench(args: &Args) -> Result<bool, FlowError> {
         let report = compare_reports(&baseline, &doc, &cfg);
         print!("{path}: {}", report.render());
         return Ok(report.passed());
+    }
+    Ok(true)
+}
+
+/// `dpmc profile`: run one design through the new-merge flow (plus
+/// folding, STA and verification) under full telemetry and print the
+/// per-phase self-profile; with `--overhead-gate PCT`, instead measure
+/// the telemetry overhead itself and gate on it (`Ok(false)` on failure).
+fn run_profile(args: &Args) -> Result<bool, FlowError> {
+    if args.file == "all" {
+        return Err(FlowError::Usage("`dpmc profile` takes one design, not `all`".to_string()));
+    }
+    let lib = Library::synthetic_025um();
+    let designs = collect_designs(std::slice::from_ref(&args.file))?;
+    let (name, g) = designs
+        .first()
+        .ok_or_else(|| FlowError::Usage("`dpmc profile` needs a design".to_string()))?;
+
+    if let Some(pct) = args.overhead_gate {
+        let rep = driver::telemetry_overhead(name, g, &args.config, pct, 3)
+            .map_err(FlowError::Analysis)?;
+        println!("{name}: {}", rep.render());
+        return Ok(rep.passed);
+    }
+
+    let profile =
+        driver::profile_design(name, g, &args.config, &lib).map_err(FlowError::Analysis)?;
+    if let Some(path) = &args.stacks {
+        std::fs::write(path, profile.collapsed_stacks())
+            .map_err(|e| FlowError::Io { path: path.clone(), message: e.to_string() })?;
+        eprintln!("dpmc: wrote collapsed stacks to {path}");
+    }
+    if args.json {
+        println!("{}", profile.to_json().render_pretty());
+    } else {
+        println!("{name}: new-merge flow self-profile ({} phase(s))", profile.rows.len());
+        print!("{}", profile.render_table(args.top));
     }
     Ok(true)
 }
@@ -908,8 +997,22 @@ fn run_faultcheck(args: &Args) -> Result<bool, FlowError> {
 
     let mut all_passed = true;
     let mut rows = Vec::new();
+    let mut streams = Vec::new();
     for (name, g) in &designs {
         let report = check_design(name, g, &classes, args.seeds, &args.config, &budget);
+        if args.events.is_some() {
+            let mut stream = DesignEvents::new(name.as_str());
+            for c in &report.cases {
+                stream.events.push(obs::fault_event(
+                    c.class.name(),
+                    c.seed,
+                    c.injected.as_deref(),
+                    c.outcome.label(),
+                    &c.outcome.detail(),
+                ));
+            }
+            streams.push(stream);
+        }
         let (benign, degraded, error, failures) = report.tally();
         if args.json {
             let cases: Vec<Json> = report
@@ -974,6 +1077,9 @@ fn run_faultcheck(args: &Args) -> Result<bool, FlowError> {
             }
         );
     }
+    if let Some(path) = &args.events {
+        write_events(path, args.telemetry, &streams)?;
+    }
     Ok(all_passed)
 }
 
@@ -989,12 +1095,31 @@ fn run(args: &Args) -> Result<(), FlowError> {
         g.outputs().len()
     );
 
+    let mut stream = DesignEvents::new(module_name(&args.file));
     for &strategy in &args.flows {
-        let guarded = run_flow_guarded(&g, strategy, &args.config, &budget)?;
+        let mut rec = Recorder::with_level(args.telemetry);
+        let mut tr = TraceLog::new();
+        let guarded =
+            run_flow_guarded_with(&g, strategy, &args.config, &budget, &mut rec, &mut tr)?;
         if let Some(report) = &guarded.degradation {
             print!("[{strategy}] {}", report.render());
         }
         let flow = guarded.flow;
+        if args.events.is_some() {
+            let metrics = flow.metrics.to_json();
+            driver::push_flow_events(
+                &mut stream,
+                driver::FlowSources {
+                    strategy,
+                    rec: &rec,
+                    transform: flow.merge.as_ref().map(|m| &m.transform),
+                    metrics: &metrics,
+                    degradation: guarded.degradation.as_ref(),
+                    tr: &tr,
+                },
+                args.telemetry,
+            );
+        }
         let mut netlist = flow.netlist;
         datapath_merge::opt::fold_constants(&mut netlist);
         let mut netlist = netlist.sweep();
@@ -1072,6 +1197,9 @@ fn run(args: &Args) -> Result<(), FlowError> {
                 .map_err(|e| FlowError::Io { path: path.clone(), message: e.to_string() })?;
             println!("[{strategy}] wrote DOT to {path}");
         }
+    }
+    if let Some(path) = &args.events {
+        write_events(path, args.telemetry, &[stream])?;
     }
     Ok(())
 }

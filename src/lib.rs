@@ -35,6 +35,7 @@
 //! | [`metrics`] | `dp-metrics` | timing spans, QoR counters, deterministic JSON (`dpmc bench`) |
 //! | [`trace`] | `dp-trace` | decision-provenance event log (`dpmc explain`, `dpmc dot --annotate`) |
 //! | [`fault`] | `dp-fault` | deterministic fault injection and detect-or-degrade checking (`dpmc faultcheck`) |
+//! | [`obs`] | `dp-obs` | streaming telemetry events, counting allocator, self-profiling (`dpmc profile`, `--events`) |
 //!
 //! # Quickstart
 //!
@@ -65,6 +66,7 @@
 #![warn(missing_docs)]
 
 pub mod compare;
+pub mod driver;
 pub mod dsl;
 pub mod error;
 pub mod explain;
@@ -78,6 +80,7 @@ pub use dp_dfg as dfg;
 pub use dp_merge as merge;
 pub use dp_metrics as metrics;
 pub use dp_netlist as netlist;
+pub use dp_obs as obs;
 pub use dp_opt as opt;
 pub use dp_synth as synth;
 pub use dp_testcases as testcases;
@@ -96,7 +99,7 @@ pub mod prelude {
         cluster_leakage, cluster_max, cluster_max_with, cluster_none, linearize_cluster, Cluster,
         Clustering,
     };
-    pub use dp_metrics::{FlowMetrics, Json, Recorder};
+    pub use dp_metrics::{FlowMetrics, Json, Level, Recorder};
     pub use dp_netlist::{CellKind, Drive, Library, Netlist};
     pub use dp_opt::{optimize, OptConfig};
     pub use dp_synth::{

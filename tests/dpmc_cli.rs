@@ -125,11 +125,13 @@ fn bench_json_is_deterministic_modulo_timing() {
         String::from_utf8(out.stdout).expect("utf8 json")
     };
     let (a, b) = (run(), run());
-    assert!(a.contains("\"schema\": \"dpmc-bench/4\""), "{a}");
+    assert!(a.contains("\"schema\": \"dpmc-bench/5\""), "{a}");
     assert!(a.contains("\"strategy\": \"old-merge\""));
     assert!(a.contains("\"strategy\": \"new-merge\""));
     assert!(a.contains("\"trace_events\":"), "provenance event counts present");
     assert!(a.contains("\"ports_skipped\":"), "worklist counters present");
+    assert!(a.contains("\"rounds\":"), "per-round summaries present");
+    assert!(a.contains("\"alloc_bytes\":"), "span allocation columns present");
     assert!(a.contains("\"us\":"), "per-stage wall-times present");
     assert_eq!(strip(&a), strip(&b), "only timing fields may differ between runs");
 }
