@@ -1,7 +1,6 @@
 use dp_bitvec::{BitVec, Signedness};
 use dp_merge::{Addend, AddendKind, SignalRef};
 use dp_synth::{synthesize_sum, AdderKind, ReductionKind, SynthConfig};
-use std::collections::HashMap;
 
 fn main() {
     // brute force small products through synthesize_sum directly
@@ -45,7 +44,7 @@ fn main() {
                                 };
                                 for red in [ReductionKind::Wallace, ReductionKind::Dadda] {
                                     let mut nl = dp_netlist::Netlist::new();
-                                    let mut signals = HashMap::new();
+                                    let mut signals = dp_synth::SignalTable::default();
                                     signals.insert(a, nl.input("a", wa));
                                     signals.insert(b, nl.input("b", wb));
                                     let cfg = SynthConfig {

@@ -40,10 +40,9 @@ fn main() {
                 let eval0 = flow.graph.evaluate_full(&inputs).unwrap();
                 let mut guilty = None;
                 for cand in &flow.clustering.clusters {
-                    use std::collections::HashMap;
                     let saf0 = linearize_cluster(&flow.graph, cand, &ic0).unwrap();
                     let mut nl2 = dp_netlist::Netlist::new();
-                    let mut signals = HashMap::new();
+                    let mut signals = dp_synth::SignalTable::default();
                     let mut sim_inputs = Vec::new();
                     let mut srcs: Vec<dp_dfg::NodeId> = Vec::new();
                     for a in &saf0.addends {
@@ -114,9 +113,8 @@ fn main() {
                     }
                 }
                 // standalone resynthesis of this cluster with live patterns
-                use std::collections::HashMap;
                 let mut nl2 = dp_netlist::Netlist::new();
-                let mut signals = HashMap::new();
+                let mut signals = dp_synth::SignalTable::default();
                 let mut sim_inputs = Vec::new();
                 let mut srcs: Vec<dp_dfg::NodeId> = Vec::new();
                 for a in &saf.addends {

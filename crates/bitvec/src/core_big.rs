@@ -188,6 +188,78 @@ pub(crate) fn ashr(width: u32, a: &[u64], amount: usize) -> Box<[u64]> {
     out
 }
 
+/// In-place logical left shift within `width`. Processing limbs high to
+/// low only ever reads positions at or below the one being written, so the
+/// buffer shifts over itself without a scratch copy.
+pub(crate) fn shl_assign(width: u32, a: &mut [u64], amount: usize) {
+    if amount >= width as usize {
+        a.fill(0);
+        return;
+    }
+    let (limb_shift, bit_shift) = (amount / LIMB_BITS, amount % LIMB_BITS);
+    for k in (0..a.len()).rev() {
+        a[k] = if k < limb_shift {
+            0
+        } else {
+            let hi = a[k - limb_shift] << bit_shift;
+            let lo = if bit_shift > 0 && k > limb_shift {
+                a[k - limb_shift - 1] >> (LIMB_BITS - bit_shift)
+            } else {
+                0
+            };
+            hi | lo
+        };
+    }
+    mask_top(width, a);
+}
+
+/// In-place logical right shift. Processing limbs low to high only ever
+/// reads positions at or above the one being written.
+pub(crate) fn lshr_assign(width: u32, a: &mut [u64], amount: usize) {
+    if amount >= width as usize {
+        a.fill(0);
+        return;
+    }
+    let (limb_shift, bit_shift) = (amount / LIMB_BITS, amount % LIMB_BITS);
+    for k in 0..a.len() {
+        let lo = limb(a, k + limb_shift) >> bit_shift;
+        let hi =
+            if bit_shift > 0 { limb(a, k + limb_shift + 1) << (LIMB_BITS - bit_shift) } else { 0 };
+        a[k] = lo | hi;
+    }
+    mask_top(width, a);
+}
+
+/// In-place arithmetic right shift (copies of the sign bit enter at the
+/// top).
+pub(crate) fn ashr_assign(width: u32, a: &mut [u64], amount: usize) {
+    let sign = msb(width, a);
+    if amount >= width as usize {
+        a.fill(if sign { u64::MAX } else { 0 });
+        mask_top(width, a);
+        return;
+    }
+    lshr_assign(width, a, amount);
+    if sign {
+        for bit in (width as usize - amount)..width as usize {
+            a[bit / LIMB_BITS] |= 1u64 << (bit % LIMB_BITS);
+        }
+    }
+}
+
+/// In-place low-bit mask: clears every bit at position `keep` or above,
+/// leaving the limb count (and thus the width) unchanged.
+pub(crate) fn mask_assign(keep: u32, a: &mut [u64]) {
+    let full = keep as usize / LIMB_BITS;
+    let rem = keep as usize % LIMB_BITS;
+    for l in a.iter_mut().skip(full + usize::from(rem > 0)) {
+        *l = 0;
+    }
+    if rem > 0 {
+        a[full] &= (1u64 << rem) - 1;
+    }
+}
+
 /// An all-ones canonical limb vector for `width`.
 pub(crate) fn ones(width: u32) -> Box<[u64]> {
     let mut out: Box<[u64]> = vec![u64::MAX; limbs_for(width)].into_boxed_slice();

@@ -1009,6 +1009,87 @@ impl BitVec {
     }
 
     // ------------------------------------------------------------------
+    // In-place shift/mask kernels (allocation-free on every tier)
+    // ------------------------------------------------------------------
+
+    /// Logical left shift in place — [`BitVec::shl`] without the fresh
+    /// result. On the `Big` tier the limbs shift over themselves, so wide
+    /// fold loops allocate nothing per shift.
+    ///
+    /// ```
+    /// use dp_bitvec::BitVec;
+    /// let mut v = BitVec::from_u64(4, 0b0110);
+    /// v.shl_assign(2);
+    /// assert_eq!(v.to_u64(), Some(0b1000));
+    /// ```
+    pub fn shl_assign(&mut self, amount: usize) {
+        match &mut self.repr {
+            Repr::Small { width, bits } => *bits = core_u64::shl(*width, *bits, amount),
+            Repr::Mid { width, bits } => *bits = core_u128::shl(*width, *bits, amount),
+            Repr::Big { width, limbs } => core_big::shl_assign(*width, limbs, amount),
+        }
+    }
+
+    /// Logical right shift in place — [`BitVec::lshr`] without the fresh
+    /// result.
+    ///
+    /// ```
+    /// use dp_bitvec::BitVec;
+    /// let mut v = BitVec::from_u64(8, 0b0001_0110);
+    /// v.lshr_assign(2);
+    /// assert_eq!(v.to_u64(), Some(0b0000_0101));
+    /// ```
+    pub fn lshr_assign(&mut self, amount: usize) {
+        match &mut self.repr {
+            Repr::Small { width, bits } => *bits = core_u64::lshr(*width, *bits, amount),
+            Repr::Mid { width, bits } => *bits = core_u128::lshr(*width, *bits, amount),
+            Repr::Big { width, limbs } => core_big::lshr_assign(*width, limbs, amount),
+        }
+    }
+
+    /// Arithmetic right shift in place — [`BitVec::ashr`] without the
+    /// fresh result.
+    ///
+    /// ```
+    /// use dp_bitvec::BitVec;
+    /// let mut v = BitVec::from_i64(6, -12);
+    /// v.ashr_assign(2);
+    /// assert_eq!(v.to_i64(), Some(-3));
+    /// ```
+    pub fn ashr_assign(&mut self, amount: usize) {
+        match &mut self.repr {
+            Repr::Small { width, bits } => *bits = core_u64::ashr(*width, *bits, amount),
+            Repr::Mid { width, bits } => *bits = core_u128::ashr(*width, *bits, amount),
+            Repr::Big { width, limbs } => core_big::ashr_assign(*width, limbs, amount),
+        }
+    }
+
+    /// Clears every bit at position `keep` or above, in place, leaving the
+    /// width unchanged — the allocation-free counterpart of truncating and
+    /// zero-extending back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep > self.width()`.
+    ///
+    /// ```
+    /// use dp_bitvec::BitVec;
+    /// let mut v = BitVec::from_u64(8, 0b1011_0110);
+    /// v.mask_assign(4);
+    /// assert_eq!(v.to_u64(), Some(0b0110));
+    /// assert_eq!(v.width(), 8);
+    /// ```
+    pub fn mask_assign(&mut self, keep: usize) {
+        assert!(keep <= self.width(), "mask to {keep} exceeds width {}", self.width());
+        let keep = keep as u32;
+        match &mut self.repr {
+            Repr::Small { bits, .. } => *bits &= core_u64::mask(keep),
+            Repr::Mid { bits, .. } => *bits &= core_u128::mask(keep),
+            Repr::Big { limbs, .. } => core_big::mask_assign(keep, limbs),
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Comparisons (width-agnostic, by value)
     // ------------------------------------------------------------------
 

@@ -77,6 +77,45 @@ fn inline_widening_mul_never_allocates() {
 }
 
 #[test]
+fn big_tier_in_place_kernels_never_allocate() {
+    // The whole point of the `_assign` kernels: Big-tier shifts and masks
+    // mutate the limb buffer over itself.
+    let mut v = BitVec::from_fn(300, |i| i % 3 == 0);
+    let n = allocations_in(|| {
+        v.shl_assign(75);
+        v.lshr_assign(40);
+        v.ashr_assign(10);
+        v.mask_assign(200);
+        v.shl_assign(300); // >= width: clears in place
+    });
+    assert_eq!(n, 0, "Big-tier in-place kernels allocated {n} times");
+}
+
+#[test]
+fn wide_fold_allocates_constant_per_addend() {
+    // The merge verifier's addend fold (shift each wide operand, then
+    // accumulate) must cost exactly two allocations per addend — one for
+    // the operand copy, one for the accumulator update — and none for the
+    // shifts themselves.
+    let operands: Vec<BitVec> =
+        (0..8).map(|k| BitVec::from_fn(256, |i| (i + k) % 5 == 0)).collect();
+    let mut acc = BitVec::zero(256);
+    let n = allocations_in(|| {
+        for (k, op) in operands.iter().enumerate() {
+            let mut v = op.clone();
+            v.shl_assign(k * 7);
+            acc = acc.wrapping_add(&v);
+        }
+    });
+    assert_eq!(
+        n,
+        2 * operands.len() as u64,
+        "wide fold allocated {n} times for {} addends",
+        operands.len()
+    );
+}
+
+#[test]
 fn big_tier_does_allocate() {
     // Sanity-check the counter itself: the boxed tier must be visible.
     let n = allocations_in(|| {

@@ -185,4 +185,30 @@ proptest! {
         let (ua, ub) = (a.to_u128().unwrap(), b.to_u128().unwrap());
         prop_assert_eq!(a.cmp_unsigned(&b), ua.cmp(&ub));
     }
+
+    #[test]
+    fn in_place_shifts_match_pure(a in wide(), k in 0usize..250) {
+        let mut v = a.clone();
+        v.shl_assign(k);
+        prop_assert_eq!(&v, &a.shl(k));
+        let mut v = a.clone();
+        v.lshr_assign(k);
+        prop_assert_eq!(&v, &a.lshr(k));
+        let mut v = a.clone();
+        v.ashr_assign(k);
+        prop_assert_eq!(&v, &a.ashr(k));
+    }
+
+    #[test]
+    fn mask_assign_matches_trunc_then_zext(a in wide(), k in 0usize..250) {
+        let keep = k.min(a.width());
+        let mut v = a.clone();
+        v.mask_assign(keep);
+        let expected = if keep == 0 {
+            BitVec::zero(a.width())
+        } else {
+            a.trunc(keep).zext(a.width())
+        };
+        prop_assert_eq!(v, expected);
+    }
 }

@@ -106,6 +106,23 @@ impl Dfg {
         self.evaluate_inner(inputs, None)
     }
 
+    /// [`Dfg::evaluate_full`] minus the structural re-validation, for
+    /// callers that have already validated this exact graph. Audit loops
+    /// evaluate the same design on many vectors; re-walking every node and
+    /// edge per vector costs more than the evaluation itself at scale.
+    /// The input-interface checks still run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError`] if the inputs do not match the design's
+    /// interface. Structural defects are *not* detected here — on an
+    /// unvalidated graph the evaluator may panic or return garbage.
+    pub fn evaluate_full_prevalidated(&self, inputs: &[BitVec]) -> Result<Evaluation, EvalError> {
+        debug_assert!(self.validate().is_ok(), "caller promised a validated graph");
+        self.check_interface(inputs)?;
+        Ok(self.evaluate_unchecked(inputs, None))
+    }
+
     /// Evaluates the design with `node`'s result **forced** to `patch`
     /// (which must have the node's width) instead of its computed value,
     /// propagating the forced value downstream.
@@ -132,6 +149,12 @@ impl Dfg {
         patch: Option<(NodeId, &BitVec)>,
     ) -> Result<Evaluation, EvalError> {
         self.validate()?;
+        self.check_interface(inputs)?;
+        Ok(self.evaluate_unchecked(inputs, patch))
+    }
+
+    /// Checks `inputs` against the design's primary-input interface.
+    fn check_interface(&self, inputs: &[BitVec]) -> Result<(), EvalError> {
         if inputs.len() != self.inputs().len() {
             return Err(EvalError::WrongInputCount {
                 expected: self.inputs().len(),
@@ -148,7 +171,16 @@ impl Dfg {
                 });
             }
         }
+        Ok(())
+    }
 
+    /// The evaluation proper, assuming a validated graph and a matching
+    /// input interface.
+    fn evaluate_unchecked(
+        &self,
+        inputs: &[BitVec],
+        patch: Option<(NodeId, &BitVec)>,
+    ) -> Evaluation {
         let mut values: Vec<BitVec> =
             self.node_ids().map(|n| BitVec::zero(self.node(n).width())).collect();
         for (&node, value) in self.inputs().iter().zip(inputs) {
@@ -209,14 +241,18 @@ impl Dfg {
                             a.wrapping_mul(&b)
                         }
                         OpKind::Neg => self.signal_into_port(&values, n, 0).wrapping_neg(),
-                        OpKind::Shl(k) => self.signal_into_port(&values, n, 0).shl(*k as usize),
+                        OpKind::Shl(k) => {
+                            let mut v = self.signal_into_port(&values, n, 0);
+                            v.shl_assign(*k as usize);
+                            v
+                        }
                     };
                     debug_assert_eq!(result.width(), w);
                     values[n.index()] = result;
                 }
             }
         }
-        Ok(Evaluation { values })
+        Evaluation { values }
     }
 
     /// The operand entering `port` of `node`: the source result adapted to

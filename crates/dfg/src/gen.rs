@@ -75,8 +75,14 @@ impl Default for GenConfig {
 /// result is terminated with an output node, so [`Dfg::validate`] always
 /// succeeds on the generated graph.
 pub fn random_dfg<R: Rng + ?Sized>(rng: &mut R, config: &GenConfig) -> Dfg {
-    let mut g = Dfg::new();
-    let mut pool: Vec<NodeId> = Vec::new();
+    // Streaming construction: the arenas are sized up front from the
+    // config (nodes ≈ inputs + ops + constants + outputs, edges ≈ two per
+    // op plus one per output) and each operator is appended with only
+    // fixed-size scratch, so generating a million-op design performs no
+    // per-node heap allocation beyond the arenas themselves.
+    let ops = config.num_ops;
+    let mut g = Dfg::with_capacity(config.num_inputs.max(1) + 3 * ops / 2 + 16, 3 * ops + 16);
+    let mut pool: Vec<NodeId> = Vec::with_capacity(config.num_inputs.max(1) + ops);
     for i in 0..config.num_inputs.max(1) {
         let w =
             rng.gen_range(config.input_width.0..=config.input_width.1.max(config.input_width.0));
@@ -85,34 +91,32 @@ pub fn random_dfg<R: Rng + ?Sized>(rng: &mut R, config: &GenConfig) -> Dfg {
 
     for _ in 0..config.num_ops {
         let op = pick_op(rng, config);
-        let mut operands = Vec::new();
-        for _ in 0..op.arity() {
-            let src = if rng.gen_bool(config.p_constant) {
+        let arity = op.arity();
+        let mut operands = [NodeId::from_index(0); 2];
+        for slot in operands.iter_mut().take(arity) {
+            *slot = if rng.gen_bool(config.p_constant) {
                 let w = rng.gen_range(1..=4);
                 let value = BitVec::from_fn(w, |_| rng.gen_bool(0.5));
                 g.constant(value)
             } else {
                 pool[rng.gen_range(0..pool.len())]
             };
-            operands.push(src);
         }
-        let natural = natural_width(&g, op, &operands).min(config.max_width);
+        let natural = natural_width(&g, op, &operands[..arity]).min(config.max_width);
         let width = adjust_width(rng, config, natural);
-        let full: Vec<(NodeId, usize, Signedness)> = operands
-            .iter()
-            .map(|&src| {
-                let sw = g.node(src).width();
-                // Edge width: usually the full source, occasionally a
-                // truncating or extending edge.
-                let ew = if rng.gen_bool(0.2) {
-                    rng.gen_range(1..=(sw + 2).min(config.max_width))
-                } else {
-                    sw
-                };
-                (src, ew, signedness(rng, config))
-            })
-            .collect();
-        let n = g.op_with_edges(op, width, &full);
+        let mut full = [(NodeId::from_index(0), 0usize, Signedness::Unsigned); 2];
+        for (slot, &src) in full.iter_mut().zip(&operands[..arity]) {
+            let sw = g.node(src).width();
+            // Edge width: usually the full source, occasionally a
+            // truncating or extending edge.
+            let ew = if rng.gen_bool(0.2) {
+                rng.gen_range(1..=(sw + 2).min(config.max_width))
+            } else {
+                sw
+            };
+            *slot = (src, ew, signedness(rng, config));
+        }
+        let n = g.op_with_edges(op, width, &full[..arity]);
         pool.push(n);
     }
 
@@ -155,12 +159,12 @@ fn signedness<R: Rng + ?Sized>(rng: &mut R, config: &GenConfig) -> Signedness {
 
 /// Full-precision result width for an operator over the given sources.
 fn natural_width(g: &Dfg, op: OpKind, operands: &[NodeId]) -> usize {
-    let w: Vec<usize> = operands.iter().map(|&n| g.node(n).width()).collect();
+    let w = |k: usize| g.node(operands[k]).width();
     match op {
-        OpKind::Add | OpKind::Sub => w[0].max(w[1]) + 1,
-        OpKind::Mul => w[0] + w[1],
-        OpKind::Neg => w[0] + 1,
-        OpKind::Shl(k) => w[0] + k as usize,
+        OpKind::Add | OpKind::Sub => w(0).max(w(1)) + 1,
+        OpKind::Mul => w(0) + w(1),
+        OpKind::Neg => w(0) + 1,
+        OpKind::Shl(k) => w(0) + k as usize,
     }
 }
 

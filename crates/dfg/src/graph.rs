@@ -1,4 +1,11 @@
 //! The [`Dfg`] container: nodes, edges, ports and their widths.
+//!
+//! Storage is struct-of-arrays (DESIGN.md §15): node and edge attributes
+//! live in parallel typed arrays indexed by [`NodeId`]/[`EdgeId`], and the
+//! per-node fanin/fanout lists live as regions inside two shared arena
+//! pools. [`Dfg::node`]/[`Dfg::edge`] hand out lightweight `Copy` proxy
+//! handles ([`Node`], [`Edge`]) whose accessors borrow straight from the
+//! arrays, so hot loops never chase per-node heap allocations.
 
 use std::fmt;
 
@@ -97,89 +104,145 @@ impl NodeKind {
     }
 }
 
-/// A node: kind, width `w(N)`, optional name, and its edge lists.
-#[derive(Debug, Clone)]
-pub struct Node {
-    kind: NodeKind,
-    width: usize,
-    name: Option<String>,
-    in_edges: Vec<EdgeId>,
-    out_edges: Vec<EdgeId>,
+/// A region of one adjacency pool: `start..start + len` holds the live
+/// edge ids, `start..start + cap` is reserved. Growing past `cap`
+/// relocates the region to the end of the pool (amortized O(1) appends,
+/// garbage bounded by the geometric growth).
+#[derive(Debug, Clone, Copy, Default)]
+struct Region {
+    start: u32,
+    len: u32,
+    cap: u32,
 }
 
-impl Node {
+/// Filler value for reserved-but-unused pool slots; never observable
+/// through the public slice accessors.
+const POOL_HOLE: EdgeId = EdgeId(u32::MAX);
+
+/// A lightweight handle to one node: kind, width `w(N)`, optional name,
+/// and its edge lists.
+///
+/// Handles are `Copy` and borrow the graph; every accessor returns data
+/// with the graph's lifetime, so `g.node(n).in_edges()` hands out a slice
+/// that outlives the temporary handle.
+#[derive(Clone, Copy)]
+pub struct Node<'a> {
+    g: &'a Dfg,
+    id: NodeId,
+}
+
+impl<'a> Node<'a> {
     /// The node kind.
-    pub fn kind(&self) -> &NodeKind {
-        &self.kind
+    pub fn kind(self) -> &'a NodeKind {
+        &self.g.kinds[self.id.index()]
     }
 
     /// The node width `w(N)`.
-    pub fn width(&self) -> usize {
-        self.width
+    pub fn width(self) -> usize {
+        self.g.widths[self.id.index()] as usize
     }
 
     /// The node name, if one was given.
-    pub fn name(&self) -> Option<&str> {
-        self.name.as_deref()
+    pub fn name(self) -> Option<&'a str> {
+        self.g.names[self.id.index()].as_deref()
     }
 
     /// Incoming edges, sorted by destination port.
-    pub fn in_edges(&self) -> &[EdgeId] {
-        &self.in_edges
+    pub fn in_edges(self) -> &'a [EdgeId] {
+        self.g.region_slice(&self.g.in_pool, self.g.in_adj[self.id.index()])
     }
 
     /// Outgoing edges, in creation order.
-    pub fn out_edges(&self) -> &[EdgeId] {
-        &self.out_edges
+    pub fn out_edges(self) -> &'a [EdgeId] {
+        self.g.region_slice(&self.g.out_pool, self.g.out_adj[self.id.index()])
     }
 }
 
-/// An edge: data flowing from the source node's output port to one input
-/// port of the destination node, carrying `w(e)` bits with extension
-/// discipline `t(e)`.
-#[derive(Debug, Clone)]
-pub struct Edge {
-    src: NodeId,
-    dst: NodeId,
-    dst_port: usize,
-    width: usize,
-    signedness: Signedness,
+impl fmt::Debug for Node<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Node")
+            .field("id", &self.id)
+            .field("kind", self.kind())
+            .field("width", &self.width())
+            .field("name", &self.name())
+            .field("in_edges", &self.in_edges())
+            .field("out_edges", &self.out_edges())
+            .finish()
+    }
 }
 
-impl Edge {
+/// A lightweight handle to one edge: data flowing from the source node's
+/// output port to one input port of the destination node, carrying `w(e)`
+/// bits with extension discipline `t(e)`.
+///
+/// Handles are `Copy` and borrow the graph, like [`Node`].
+#[derive(Clone, Copy)]
+pub struct Edge<'a> {
+    g: &'a Dfg,
+    id: EdgeId,
+}
+
+impl Edge<'_> {
     /// Source node.
-    pub fn src(&self) -> NodeId {
-        self.src
+    pub fn src(self) -> NodeId {
+        self.g.srcs[self.id.index()]
     }
 
     /// Destination node.
-    pub fn dst(&self) -> NodeId {
-        self.dst
+    pub fn dst(self) -> NodeId {
+        self.g.dsts[self.id.index()]
     }
 
     /// Input port index at the destination (0 or 1).
-    pub fn dst_port(&self) -> usize {
-        self.dst_port
+    pub fn dst_port(self) -> usize {
+        self.g.ports[self.id.index()] as usize
     }
 
     /// Edge width `w(e)`.
-    pub fn width(&self) -> usize {
-        self.width
+    pub fn width(self) -> usize {
+        self.g.ewidths[self.id.index()] as usize
     }
 
     /// Edge signedness `t(e)`.
-    pub fn signedness(&self) -> Signedness {
-        self.signedness
+    pub fn signedness(self) -> Signedness {
+        self.g.esigns[self.id.index()]
+    }
+}
+
+impl fmt::Debug for Edge<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Edge")
+            .field("id", &self.id)
+            .field("src", &self.src())
+            .field("dst", &self.dst())
+            .field("dst_port", &self.dst_port())
+            .field("width", &self.width())
+            .field("signedness", &self.signedness())
+            .finish()
     }
 }
 
 /// A data flow graph with datapath operators (paper Section 2.1).
 ///
-/// See the [crate documentation](crate) for the semantics and an example.
+/// See the [crate documentation](crate) for the semantics and an example,
+/// and DESIGN.md §15 for the struct-of-arrays representation contract.
 #[derive(Debug, Clone, Default)]
 pub struct Dfg {
-    nodes: Vec<Node>,
-    edges: Vec<Edge>,
+    // --- node attribute arrays, indexed by NodeId ---
+    kinds: Vec<NodeKind>,
+    widths: Vec<u32>,
+    names: Vec<Option<String>>,
+    in_adj: Vec<Region>,
+    out_adj: Vec<Region>,
+    // --- adjacency arena pools ---
+    in_pool: Vec<EdgeId>,
+    out_pool: Vec<EdgeId>,
+    // --- edge attribute arrays, indexed by EdgeId ---
+    srcs: Vec<NodeId>,
+    dsts: Vec<NodeId>,
+    ports: Vec<u32>,
+    ewidths: Vec<u32>,
+    esigns: Vec<Signedness>,
     inputs: Vec<NodeId>,
     outputs: Vec<NodeId>,
     /// Bumped on every *structural* mutation (node/edge creation, rewiring)
@@ -193,14 +256,95 @@ impl Dfg {
         Dfg::default()
     }
 
+    /// Creates an empty graph with storage preallocated for `nodes` nodes
+    /// and `edges` edges — use when the final size is known (generators,
+    /// bulk loaders) to avoid reallocation churn.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        Dfg {
+            kinds: Vec::with_capacity(nodes),
+            widths: Vec::with_capacity(nodes),
+            names: Vec::with_capacity(nodes),
+            in_adj: Vec::with_capacity(nodes),
+            out_adj: Vec::with_capacity(nodes),
+            // Degree-2 regions are the common case; reserve accordingly.
+            in_pool: Vec::with_capacity(edges.saturating_mul(2)),
+            out_pool: Vec::with_capacity(edges.saturating_mul(2)),
+            srcs: Vec::with_capacity(edges),
+            dsts: Vec::with_capacity(edges),
+            ports: Vec::with_capacity(edges),
+            ewidths: Vec::with_capacity(edges),
+            esigns: Vec::with_capacity(edges),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            version: 0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Adjacency arena plumbing
+    // ------------------------------------------------------------------
+
+    fn region_slice<'a>(&self, pool: &'a [EdgeId], r: Region) -> &'a [EdgeId] {
+        &pool[r.start as usize..(r.start + r.len) as usize]
+    }
+
+    /// Relocates `r` to the end of `pool` with doubled capacity, copying
+    /// its live elements. The old slots become garbage; geometric growth
+    /// bounds total garbage by the live size.
+    fn grow_region(pool: &mut Vec<EdgeId>, r: &mut Region) {
+        let new_cap = (r.cap * 2).max(2);
+        let new_start = u32::try_from(pool.len()).expect("adjacency pool fits u32");
+        for i in 0..r.len {
+            let v = pool[(r.start + i) as usize];
+            pool.push(v);
+        }
+        pool.resize(new_start as usize + new_cap as usize, POOL_HOLE);
+        r.start = new_start;
+        r.cap = new_cap;
+    }
+
+    /// Inserts `e` at position `pos` of the region (shifting later
+    /// elements), growing the region if it is full.
+    fn region_insert(pool: &mut Vec<EdgeId>, r: &mut Region, pos: usize, e: EdgeId) {
+        if r.len == r.cap {
+            Dfg::grow_region(pool, r);
+        }
+        let start = r.start as usize;
+        let len = r.len as usize;
+        let mut i = len;
+        while i > pos {
+            pool[start + i] = pool[start + i - 1];
+            i -= 1;
+        }
+        pool[start + pos] = e;
+        r.len += 1;
+    }
+
+    /// Removes the first occurrence of `e` from the region, preserving the
+    /// order of the remaining elements.
+    fn region_remove(pool: &mut [EdgeId], r: &mut Region, e: EdgeId) {
+        let start = r.start as usize;
+        let len = r.len as usize;
+        if let Some(pos) = pool[start..start + len].iter().position(|&x| x == e) {
+            for i in pos..len - 1 {
+                pool[start + i] = pool[start + i + 1];
+            }
+            r.len -= 1;
+        }
+    }
+
     // ------------------------------------------------------------------
     // Construction
     // ------------------------------------------------------------------
 
     fn add_node(&mut self, kind: NodeKind, width: usize, name: Option<String>) -> NodeId {
         assert!(width > 0, "node width must be at least 1");
-        let id = NodeId(u32::try_from(self.nodes.len()).expect("node count fits u32"));
-        self.nodes.push(Node { kind, width, name, in_edges: Vec::new(), out_edges: Vec::new() });
+        let id = NodeId(u32::try_from(self.kinds.len()).expect("node count fits u32"));
+        self.kinds.push(kind);
+        self.widths.push(u32::try_from(width).expect("node width fits u32"));
+        self.names.push(name);
+        self.in_adj.push(Region::default());
+        self.out_adj.push(Region::default());
         self.version += 1;
         id
     }
@@ -227,9 +371,18 @@ impl Dfg {
     ///
     /// Panics if the operand count does not match the operator's arity.
     pub fn op(&mut self, kind: OpKind, width: usize, operands: &[(NodeId, Signedness)]) -> NodeId {
-        let full: Vec<(NodeId, usize, Signedness)> =
-            operands.iter().map(|&(src, t)| (src, self.node(src).width(), t)).collect();
-        self.op_with_edges(kind, width, &full)
+        assert_eq!(
+            operands.len(),
+            kind.arity(),
+            "operator {kind} takes {} operand(s)",
+            kind.arity()
+        );
+        let id = self.add_node(NodeKind::Op(kind), width, None);
+        for (port, &(src, t)) in operands.iter().enumerate() {
+            let ew = self.node(src).width();
+            self.connect(src, id, port, ew, t);
+        }
+        id
     }
 
     /// Adds an operator node with explicit `(source, edge width, edge
@@ -323,17 +476,25 @@ impl Dfg {
         signedness: Signedness,
     ) -> EdgeId {
         assert!(width > 0, "edge width must be at least 1");
-        assert!(src.index() < self.nodes.len(), "source node out of range");
-        assert!(dst.index() < self.nodes.len(), "destination node out of range");
-        let id = EdgeId(u32::try_from(self.edges.len()).expect("edge count fits u32"));
-        self.edges.push(Edge { src, dst, dst_port, width, signedness });
-        self.nodes[src.index()].out_edges.push(id);
-        let in_edges = &mut self.nodes[dst.index()].in_edges;
-        let pos = in_edges
+        assert!(src.index() < self.kinds.len(), "source node out of range");
+        assert!(dst.index() < self.kinds.len(), "destination node out of range");
+        let id = EdgeId(u32::try_from(self.srcs.len()).expect("edge count fits u32"));
+        self.srcs.push(src);
+        self.dsts.push(dst);
+        self.ports.push(u32::try_from(dst_port).expect("port fits u32"));
+        self.ewidths.push(u32::try_from(width).expect("edge width fits u32"));
+        self.esigns.push(signedness);
+        // Out-edges append in creation order.
+        let out = &mut self.out_adj[src.index()];
+        Dfg::region_insert(&mut self.out_pool, out, out.len as usize, id);
+        // In-edges stay sorted by destination port.
+        let r = self.in_adj[dst.index()];
+        let slice = self.region_slice(&self.in_pool, r);
+        let pos = slice
             .iter()
-            .position(|&e| self.edges[e.index()].dst_port > dst_port)
-            .unwrap_or(in_edges.len());
-        in_edges.insert(pos, id);
+            .position(|&e| self.ports[e.index()] as usize > dst_port)
+            .unwrap_or(slice.len());
+        Dfg::region_insert(&mut self.in_pool, &mut self.in_adj[dst.index()], pos, id);
         self.version += 1;
         id
     }
@@ -351,42 +512,42 @@ impl Dfg {
     // Accessors
     // ------------------------------------------------------------------
 
-    /// The node with the given id.
+    /// A handle to the node with the given id.
     ///
     /// # Panics
     ///
-    /// Panics if the id is out of range.
-    pub fn node(&self, id: NodeId) -> &Node {
-        &self.nodes[id.index()]
+    /// Accessors on the returned handle panic if the id is out of range.
+    pub fn node(&self, id: NodeId) -> Node<'_> {
+        Node { g: self, id }
     }
 
-    /// The edge with the given id.
+    /// A handle to the edge with the given id.
     ///
     /// # Panics
     ///
-    /// Panics if the id is out of range.
-    pub fn edge(&self, id: EdgeId) -> &Edge {
-        &self.edges[id.index()]
+    /// Accessors on the returned handle panic if the id is out of range.
+    pub fn edge(&self, id: EdgeId) -> Edge<'_> {
+        Edge { g: self, id }
     }
 
     /// Number of nodes.
     pub fn num_nodes(&self) -> usize {
-        self.nodes.len()
+        self.kinds.len()
     }
 
     /// Number of edges.
     pub fn num_edges(&self) -> usize {
-        self.edges.len()
+        self.srcs.len()
     }
 
     /// All node ids in creation order.
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.nodes.len() as u32).map(NodeId)
+        (0..self.kinds.len() as u32).map(NodeId)
     }
 
     /// All edge ids in creation order.
     pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
-        (0..self.edges.len() as u32).map(EdgeId)
+        (0..self.srcs.len() as u32).map(EdgeId)
     }
 
     /// Primary inputs in declaration order.
@@ -401,22 +562,22 @@ impl Dfg {
 
     /// Operator node ids in creation order.
     pub fn op_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.node_ids().filter(|&n| self.node(n).kind().is_op())
+        self.node_ids().filter(|&n| self.kinds[n.index()].is_op())
     }
 
     /// The incoming edge feeding `port` of `node`, if any.
     pub fn in_edge_on_port(&self, node: NodeId, port: usize) -> Option<EdgeId> {
-        self.node(node).in_edges().iter().copied().find(|&e| self.edge(e).dst_port() == port)
+        self.node(node).in_edges().iter().copied().find(|&e| self.ports[e.index()] as usize == port)
     }
 
     /// Successor node ids of `node` (one per out-edge; may repeat).
     pub fn successors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.node(node).out_edges().iter().map(move |&e| self.edge(e).dst())
+        self.node(node).out_edges().iter().map(move |&e| self.dsts[e.index()])
     }
 
     /// Predecessor node ids of `node` in port order (may repeat).
     pub fn predecessors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.node(node).in_edges().iter().map(move |&e| self.edge(e).src())
+        self.node(node).in_edges().iter().map(move |&e| self.srcs[e.index()])
     }
 
     // ------------------------------------------------------------------
@@ -430,7 +591,7 @@ impl Dfg {
     /// Panics if the new width is zero.
     pub fn set_node_width(&mut self, id: NodeId, width: usize) {
         assert!(width > 0, "node width must be at least 1");
-        self.nodes[id.index()].width = width;
+        self.widths[id.index()] = u32::try_from(width).expect("node width fits u32");
     }
 
     /// Sets `w(e)`.
@@ -440,23 +601,23 @@ impl Dfg {
     /// Panics if the new width is zero.
     pub fn set_edge_width(&mut self, id: EdgeId, width: usize) {
         assert!(width > 0, "edge width must be at least 1");
-        self.edges[id.index()].width = width;
+        self.ewidths[id.index()] = u32::try_from(width).expect("edge width fits u32");
     }
 
     /// Sets `t(e)`.
     pub fn set_edge_signedness(&mut self, id: EdgeId, signedness: Signedness) {
-        self.edges[id.index()].signedness = signedness;
+        self.esigns[id.index()] = signedness;
     }
 
     /// Redirects an edge to flow from a different source node, preserving
     /// its destination, width and signedness. Used when splicing extension
     /// nodes into existing fanout (Lemma 5.6).
     pub fn rewire_edge_src(&mut self, id: EdgeId, new_src: NodeId) {
-        let old_src = self.edges[id.index()].src;
-        let out = &mut self.nodes[old_src.index()].out_edges;
-        out.retain(|&e| e != id);
-        self.edges[id.index()].src = new_src;
-        self.nodes[new_src.index()].out_edges.push(id);
+        let old_src = self.srcs[id.index()];
+        Dfg::region_remove(&mut self.out_pool, &mut self.out_adj[old_src.index()], id);
+        self.srcs[id.index()] = new_src;
+        let out = &mut self.out_adj[new_src.index()];
+        Dfg::region_insert(&mut self.out_pool, out, out.len as usize, id);
         self.version += 1;
     }
 
@@ -468,10 +629,10 @@ impl Dfg {
     /// direction). The paper requires designs to be connected; generated
     /// subgraphs may not be.
     pub fn is_connected(&self) -> bool {
-        if self.nodes.is_empty() {
+        if self.kinds.is_empty() {
             return true;
         }
-        let mut seen = vec![false; self.nodes.len()];
+        let mut seen = vec![false; self.kinds.len()];
         let mut stack = vec![NodeId(0)];
         seen[0] = true;
         let mut count = 1;
@@ -480,8 +641,8 @@ impl Dfg {
             let neighbours = node
                 .in_edges()
                 .iter()
-                .map(|&e| self.edge(e).src())
-                .chain(node.out_edges().iter().map(|&e| self.edge(e).dst()));
+                .map(|&e| self.srcs[e.index()])
+                .chain(node.out_edges().iter().map(|&e| self.dsts[e.index()]));
             for m in neighbours {
                 if !seen[m.index()] {
                     seen[m.index()] = true;
@@ -490,7 +651,7 @@ impl Dfg {
                 }
             }
         }
-        count == self.nodes.len()
+        count == self.kinds.len()
     }
 
     /// Total bit-width of all operator nodes: a quick structural size proxy
@@ -583,6 +744,28 @@ mod tests {
     }
 
     #[test]
+    fn rewire_preserves_out_edge_order() {
+        // A node with three out-edges loses the middle one: the remaining
+        // two must keep their relative creation order.
+        let mut g = Dfg::new();
+        let a = g.input("a", 4);
+        let n1 = g.op(OpKind::Neg, 4, &[(a, Unsigned)]);
+        let n2 = g.op(OpKind::Neg, 4, &[(a, Unsigned)]);
+        let n3 = g.op(OpKind::Neg, 4, &[(a, Unsigned)]);
+        let outs: Vec<EdgeId> = g.node(a).out_edges().to_vec();
+        assert_eq!(outs.len(), 3);
+        let ext = g.extension(4, Unsigned, a, 4, Unsigned);
+        let mid = g.in_edge_on_port(n2, 0).unwrap();
+        g.rewire_edge_src(mid, ext);
+        let kept: Vec<EdgeId> = outs.iter().copied().filter(|&e| e != mid).collect();
+        // a's list = [kept..., ext-feed edge]; order among kept preserved.
+        let now = g.node(a).out_edges();
+        assert_eq!(&now[..2], kept.as_slice());
+        assert_eq!(g.successors(a).collect::<Vec<_>>(), vec![n1, n3, ext]);
+        let _ = (n2, n3);
+    }
+
+    #[test]
     fn constant_nodes_carry_their_value() {
         let mut g = Dfg::new();
         let c = g.constant(dp_bitvec::BitVec::from_u64(6, 37));
@@ -596,6 +779,23 @@ mod tests {
         let _a = g.input("a", 4);
         let _b = g.input("b", 4);
         assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn with_capacity_matches_default_construction() {
+        let mut g = Dfg::with_capacity(4, 3);
+        let a = g.input("a", 4);
+        let b = g.input("b", 4);
+        let s = g.op(OpKind::Add, 5, &[(a, Unsigned), (b, Unsigned)]);
+        let o = g.output("o", 5, s, Unsigned);
+        let (h, ha, hb, hs, ho) = tiny();
+        assert_eq!((a, b, s, o), (ha, hb, hs, ho));
+        assert_eq!(g.num_nodes(), h.num_nodes());
+        assert_eq!(g.num_edges(), h.num_edges());
+        for n in g.node_ids() {
+            assert_eq!(g.node(n).in_edges(), h.node(n).in_edges());
+            assert_eq!(g.node(n).out_edges(), h.node(n).out_edges());
+        }
     }
 
     #[test]

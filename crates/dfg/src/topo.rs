@@ -1,5 +1,8 @@
 //! Topological orders over the DFG.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use crate::{Dfg, NodeId};
 
 impl Dfg {
@@ -12,20 +15,18 @@ impl Dfg {
     pub fn topo_order(&self) -> Option<Vec<NodeId>> {
         let mut indegree: Vec<usize> =
             self.node_ids().map(|n| self.node(n).in_edges().len()).collect();
-        let mut ready: Vec<NodeId> =
-            self.node_ids().filter(|&n| indegree[n.index()] == 0).collect();
-        // Stable processing: lowest id first keeps orders deterministic.
-        ready.sort();
-        ready.reverse();
+        // Stable processing: lowest id first keeps orders deterministic
+        // (a min-heap, so ready-set maintenance is O(log n) per node even
+        // on million-node graphs).
+        let mut ready: BinaryHeap<Reverse<NodeId>> =
+            self.node_ids().filter(|&n| indegree[n.index()] == 0).map(Reverse).collect();
         let mut order = Vec::with_capacity(self.num_nodes());
-        while let Some(n) = ready.pop() {
+        while let Some(Reverse(n)) = ready.pop() {
             order.push(n);
             for m in self.successors(n) {
                 indegree[m.index()] -= 1;
                 if indegree[m.index()] == 0 {
-                    // Insert keeping the stack sorted descending by id.
-                    let pos = ready.iter().position(|&x| x < m).unwrap_or(ready.len());
-                    ready.insert(pos, m);
+                    ready.push(Reverse(m));
                 }
             }
         }

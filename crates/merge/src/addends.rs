@@ -287,7 +287,8 @@ impl SumOfAddends {
                     sv.wrapping_mul(&tv).resize(effective_t(s) | effective_t(t), w)
                 }
             };
-            let v = v.shl(a.shift.min(w));
+            let mut v = v;
+            v.shl_assign(a.shift.min(w));
             acc = if a.negated { acc.wrapping_sub(&v) } else { acc.wrapping_add(&v) };
         }
         acc

@@ -86,13 +86,21 @@ impl Clustering {
                 return Err(ClusterError::Unassigned { node: n });
             }
         }
-        for c in &self.clusters {
-            if !c.contains(c.output) {
+        // The remaining checks test membership via `owner` (O(1) per node)
+        // and share one scratch visit set across every per-cluster BFS: the
+        // overlap check above proved the clusters disjoint, so a visited
+        // mark never needs clearing between clusters. This keeps validation
+        // O(nodes + edges) total instead of O(clusters × nodes).
+        let mut seen = vec![false; g.num_nodes()];
+        let mut stack = Vec::new();
+        for (k, c) in self.clusters.iter().enumerate() {
+            if owner[c.output.index()] != k {
                 return Err(ClusterError::OutputNotMember { output: c.output });
             }
             // Unique output: no other member's result may leave the cluster.
             for &m in &c.members {
-                let escapes = g.node(m).out_edges().iter().any(|&e| !c.contains(g.edge(e).dst()));
+                let escapes =
+                    g.node(m).out_edges().iter().any(|&e| owner[g.edge(e).dst().index()] != k);
                 if escapes && m != c.output {
                     return Err(ClusterError::MultipleOutputs {
                         cluster_output: c.output,
@@ -101,13 +109,13 @@ impl Clustering {
                 }
             }
             // Connected induced subgraph (weakly, via internal edges).
-            if !is_weakly_connected(g, c) {
+            if !is_weakly_connected(g, c, k, &owner, &mut seen, &mut stack) {
                 return Err(ClusterError::Disconnected { output: c.output });
             }
             // Input edge list is exactly the boundary.
             for &e in &c.input_edges {
                 let edge = g.edge(e);
-                if c.contains(edge.src()) || !c.contains(edge.dst()) {
+                if owner[edge.src().index()] == k || owner[edge.dst().index()] != k {
                     return Err(ClusterError::BadInputEdge { edge: e });
                 }
             }
@@ -131,12 +139,22 @@ impl Clustering {
     }
 }
 
-fn is_weakly_connected(g: &Dfg, c: &Cluster) -> bool {
+/// BFS over the internal edges of cluster `k` (membership read from
+/// `owner`). `seen` and `stack` are caller-owned scratch shared across the
+/// disjoint clusters of one validation, so marks are never cleared.
+fn is_weakly_connected(
+    g: &Dfg,
+    c: &Cluster,
+    k: usize,
+    owner: &[usize],
+    seen: &mut [bool],
+    stack: &mut Vec<NodeId>,
+) -> bool {
     if c.members.is_empty() {
         return true;
     }
-    let mut seen = vec![false; g.num_nodes()];
-    let mut stack = vec![c.members[0]];
+    stack.clear();
+    stack.push(c.members[0]);
     seen[c.members[0].index()] = true;
     let mut count = 1;
     while let Some(n) = stack.pop() {
@@ -147,7 +165,7 @@ fn is_weakly_connected(g: &Dfg, c: &Cluster) -> bool {
             .map(|&e| g.edge(e).src())
             .chain(node.out_edges().iter().map(|&e| g.edge(e).dst()));
         for m in neighbours {
-            if c.contains(m) && !seen[m.index()] {
+            if owner[m.index()] == k && !seen[m.index()] {
                 seen[m.index()] = true;
                 count += 1;
                 stack.push(m);

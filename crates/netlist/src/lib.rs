@@ -54,4 +54,4 @@ mod verilog;
 pub use cell::{CellKind, Drive, Library};
 pub use netlist::{GateId, NetId, Netlist, NetlistError};
 pub use sim::SimError;
-pub use sta::{ArrivalTimes, TimingReport};
+pub use sta::{ArrivalTimes, IncrementalSta, TimingReport};

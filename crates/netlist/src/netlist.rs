@@ -18,12 +18,33 @@ impl NetId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Reconstructs a [`NetId`] from a dense index previously obtained
+    /// via [`NetId::index`]. Passes (like constant folding) use this to
+    /// key per-net side tables by plain `Vec` instead of hash maps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    pub fn from_index(index: usize) -> Self {
+        NetId(u32::try_from(index).expect("net index fits u32"))
+    }
 }
 
 impl GateId {
     /// Dense index of this gate.
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// Reconstructs a [`GateId`] from a dense index previously obtained
+    /// via [`GateId::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    pub fn from_index(index: usize) -> Self {
+        GateId(u32::try_from(index).expect("gate index fits u32"))
     }
 }
 
@@ -52,12 +73,22 @@ pub(crate) enum NetDriver {
     Undriven,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub(crate) struct Gate {
     pub kind: CellKind,
     pub drive: Drive,
-    pub inputs: Vec<NetId>,
+    /// Input nets, inline (no cell takes more than 2 pins). For arity-1
+    /// cells the second slot duplicates the first; use [`Gate::inputs`]
+    /// for the arity-bounded view.
+    pub ins: [NetId; 2],
     pub output: NetId,
+}
+
+impl Gate {
+    /// The input nets in pin order, bounded by the cell's arity.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.ins[..self.kind.arity()]
+    }
 }
 
 /// A flat combinational gate-level netlist with named multi-bit ports.
@@ -70,6 +101,9 @@ pub struct Netlist {
     pub(crate) gates: Vec<Gate>,
     pub(crate) inputs: Vec<(String, Vec<NetId>)>,
     pub(crate) outputs: Vec<(String, Vec<NetId>)>,
+    /// Cached [const0, const1] net ids so constant lookups are O(1)
+    /// instead of a scan over every driver.
+    pub(crate) const_nets: [Option<NetId>; 2],
 }
 
 /// Structural defects reported by [`Netlist::check`].
@@ -101,6 +135,18 @@ impl Netlist {
         Netlist::default()
     }
 
+    /// An empty netlist with arenas pre-sized for `nets` nets and `gates`
+    /// gates, so bulk construction (synthesis, [`Netlist::sweep`]) grows
+    /// without reallocation.
+    pub fn with_capacity(nets: usize, gates: usize) -> Self {
+        Netlist {
+            drivers: Vec::with_capacity(nets),
+            fanout: Vec::with_capacity(nets),
+            gates: Vec::with_capacity(gates),
+            ..Netlist::default()
+        }
+    }
+
     /// Creates a fresh, undriven net. Mostly internal; synthesis uses
     /// [`Netlist::gate`], [`Netlist::input`] and the constant nets.
     pub fn fresh_net(&mut self) -> NetId {
@@ -121,14 +167,13 @@ impl Netlist {
     }
 
     fn const_net(&mut self, value: bool) -> NetId {
-        // Reuse an existing constant net if present.
-        for (i, d) in self.drivers.iter().enumerate() {
-            if *d == NetDriver::Const(value) {
-                return NetId(i as u32);
-            }
+        // Reuse the existing constant net if present.
+        if let Some(id) = self.const_nets[usize::from(value)] {
+            return id;
         }
         let id = self.fresh_net();
         self.drivers[id.index()] = NetDriver::Const(value);
+        self.const_nets[usize::from(value)] = Some(id);
         id
     }
 
@@ -178,7 +223,8 @@ impl Netlist {
         for &i in inputs {
             self.fanout[i.index()] += 1;
         }
-        self.gates.push(Gate { kind, drive, inputs: inputs.to_vec(), output });
+        let ins = [inputs[0], inputs[inputs.len() - 1]];
+        self.gates.push(Gate { kind, drive, ins, output });
         output
     }
 
@@ -228,7 +274,7 @@ impl Netlist {
 
     /// The input nets of a gate, in pin order.
     pub fn gate_inputs(&self, gate: GateId) -> &[NetId] {
-        &self.gates[gate.index()].inputs
+        self.gates[gate.index()].inputs()
     }
 
     /// The output net of a gate.
@@ -243,13 +289,19 @@ impl Netlist {
     ///
     /// Panics if `pin` is out of range.
     pub fn rewire_gate_input(&mut self, gate: GateId, pin: usize, new_net: NetId) {
-        let old = self.gates[gate.index()].inputs[pin];
+        let g = &mut self.gates[gate.index()];
+        assert!(pin < g.kind.arity(), "pin out of range");
+        let old = g.ins[pin];
         if old == new_net {
             return;
         }
+        g.ins[pin] = new_net;
+        if g.kind.arity() == 1 {
+            // Keep the duplicate second slot in sync for arity-1 cells.
+            g.ins[1] = new_net;
+        }
         self.fanout[old.index()] -= 1;
         self.fanout[new_net.index()] += 1;
-        self.gates[gate.index()].inputs[pin] = new_net;
     }
 
     /// Rewires one bit of a primary output bus to a different net.
@@ -302,7 +354,7 @@ impl Netlist {
             }
         }
         while let Some(g) = stack.pop() {
-            for &i in &self.gates[g.index()].inputs {
+            for &i in self.gates[g.index()].inputs() {
                 if let NetDriver::Gate(src) = self.drivers[i.index()] {
                     if !live[src.index()] {
                         live[src.index()] = true;
@@ -311,7 +363,10 @@ impl Netlist {
                 }
             }
         }
-        let mut out = Netlist::new();
+        let live_gates = live.iter().filter(|&&l| l).count();
+        // Each live gate drives one net; ports and constants add a handful.
+        let mut out =
+            Netlist::with_capacity(live_gates + self.drivers.len() - self.gates.len(), live_gates);
         let mut net_map: Vec<Option<NetId>> = vec![None; self.drivers.len()];
         for (name, bits) in &self.inputs {
             let new_bits = out.input(name.clone(), bits.len());
@@ -339,10 +394,15 @@ impl Netlist {
             if !live[g.index()] {
                 continue;
             }
-            let gate = self.gates[g.index()].clone();
-            let inputs: Vec<NetId> =
-                gate.inputs.iter().map(|&n| map_net(&mut out, &mut net_map, n)).collect();
-            let new_out = out.gate_with_drive(gate.kind, gate.drive, &inputs);
+            let gate = self.gates[g.index()];
+            // Fixed-size scratch: rebuilding a million-gate netlist must
+            // not allocate per gate.
+            let mut inputs = [NetId(0); 2];
+            let arity = gate.kind.arity();
+            for (slot, &n) in inputs.iter_mut().zip(gate.inputs()) {
+                *slot = map_net(&mut out, &mut net_map, n);
+            }
+            let new_out = out.gate_with_drive(gate.kind, gate.drive, &inputs[..arity]);
             net_map[gate.output.index()] = Some(new_out);
         }
         for (name, bits) in &self.outputs {
@@ -377,7 +437,7 @@ impl Netlist {
             .gates
             .iter()
             .map(|g| {
-                g.inputs
+                g.inputs()
                     .iter()
                     .filter(|&&n| matches!(self.drivers[n.index()], NetDriver::Gate(_)))
                     .count()
@@ -385,19 +445,15 @@ impl Netlist {
             .collect();
         let mut ready: Vec<GateId> =
             (0..self.gates.len() as u32).map(GateId).filter(|g| indegree[g.index()] == 0).collect();
-        // Consumers of each gate's output, derived on the fly.
-        let mut consumers: Vec<Vec<GateId>> = vec![Vec::new(); self.gates.len()];
-        for (i, g) in self.gates.iter().enumerate() {
-            for &input in &g.inputs {
-                if let NetDriver::Gate(src) = self.drivers[input.index()] {
-                    consumers[src.index()].push(GateId(i as u32));
-                }
-            }
-        }
+        // Consumers of each gate's output, as one CSR structure (no
+        // per-gate Vec allocations). `off[g]..off[g + 1]` lists the gates
+        // reading `g`'s output, in gate-id order — the same order the old
+        // per-gate lists were filled in, so traversal order is unchanged.
+        let (off, consumers) = self.gate_consumers();
         let mut order = Vec::with_capacity(self.gates.len());
         while let Some(g) = ready.pop() {
             order.push(g);
-            for &c in &consumers[g.index()] {
+            for &c in &consumers[off[g.index()] as usize..off[g.index() + 1] as usize] {
                 indegree[c.index()] -= 1;
                 if indegree[c.index()] == 0 {
                     ready.push(c);
@@ -409,6 +465,33 @@ impl Netlist {
         } else {
             Err(NetlistError::Cyclic)
         }
+    }
+
+    /// CSR gate-consumer index: `off[g]..off[g + 1]` slices `consumers`
+    /// into the gates reading `g`'s output, in gate-id order.
+    pub(crate) fn gate_consumers(&self) -> (Vec<u32>, Vec<GateId>) {
+        let mut off = vec![0u32; self.gates.len() + 1];
+        for g in &self.gates {
+            for &input in g.inputs() {
+                if let NetDriver::Gate(src) = self.drivers[input.index()] {
+                    off[src.index() + 1] += 1;
+                }
+            }
+        }
+        for i in 1..off.len() {
+            off[i] += off[i - 1];
+        }
+        let mut consumers = vec![GateId(0); off[self.gates.len()] as usize];
+        let mut cursor = off.clone();
+        for (i, g) in self.gates.iter().enumerate() {
+            for &input in g.inputs() {
+                if let NetDriver::Gate(src) = self.drivers[input.index()] {
+                    consumers[cursor[src.index()] as usize] = GateId(i as u32);
+                    cursor[src.index()] += 1;
+                }
+            }
+        }
+        (off, consumers)
     }
 
     /// Checks that every net is driven and the network is acyclic.

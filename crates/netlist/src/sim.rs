@@ -96,8 +96,9 @@ impl Netlist {
         }
         for g in self.topo_gates().expect("checked above") {
             let gate = &self.gates[g.index()];
-            let a = values[gate.inputs[0].index()];
-            let b = gate.inputs.get(1).map(|n| values[n.index()]).unwrap_or(false);
+            // Arity-1 cells ignore `b`; their second slot duplicates pin 0.
+            let a = values[gate.ins[0].index()];
+            let b = values[gate.ins[1].index()];
             values[gate.output.index()] = gate.kind.eval(a, b);
         }
         Ok(self
@@ -163,8 +164,9 @@ impl Netlist {
             }
             for g in &topo {
                 let gate = &self.gates[g.index()];
-                let a = words[gate.inputs[0].index()];
-                let b = gate.inputs.get(1).map(|n| words[n.index()]).unwrap_or(0);
+                // Arity-1 cells ignore `b`; their second slot duplicates pin 0.
+                let a = words[gate.ins[0].index()];
+                let b = words[gate.ins[1].index()];
                 words[gate.output.index()] = gate.kind.eval_word(a, b) & lane_mask;
             }
             for l in 0..chunk.len() {

@@ -1,7 +1,7 @@
 //! Static timing analysis with the linear-load delay model.
 
 use crate::netlist::NetDriver;
-use crate::{Library, NetId, Netlist};
+use crate::{Library, NetId, Netlist, NetlistError};
 
 /// Arrival time (ns) at every net, assuming all primary inputs arrive at
 /// t = 0 — the setup used for the paper's Tables 1 and 2.
@@ -39,7 +39,7 @@ impl Netlist {
         let mut at = vec![0.0f64; self.num_nets()];
         for g in self.topo_gates().expect("timing needs an acyclic netlist") {
             let gate = &self.gates[g.index()];
-            let input_at = gate.inputs.iter().map(|&n| at[n.index()]).fold(0.0f64, f64::max);
+            let input_at = gate.inputs().iter().map(|&n| at[n.index()]).fold(0.0f64, f64::max);
             let d = lib.delay_ns(gate.kind, gate.drive, self.fanout_of(gate.output));
             at[gate.output.index()] = input_at + d;
         }
@@ -116,7 +116,7 @@ impl Netlist {
             let gate = &self.gates[g.index()];
             let d = lib.delay_ns(gate.kind, gate.drive, self.fanout_of(gate.output));
             let req_in = required[gate.output.index()] - d;
-            for &i in &gate.inputs {
+            for &i in gate.inputs() {
                 if matches!(self.drivers[i.index()], NetDriver::Gate(_) | NetDriver::Input) {
                     let r = &mut required[i.index()];
                     if req_in < *r {
@@ -133,6 +133,126 @@ impl Netlist {
                 slack.is_finite() && slack <= slack_ns + 1e-12
             })
             .collect()
+    }
+}
+
+/// Incremental levelized arrival-time tracker for the optimizer's inner
+/// loop.
+///
+/// A full [`Netlist::arrival_times`] pass costs O(gates) and the sizing
+/// loop evaluates one candidate drive change at a time; this structure
+/// keeps the arrival array live and, on [`IncrementalSta::update_gate`],
+/// recomputes only the fanout cone of the changed gate in topological
+/// order, stopping wherever an arrival is unchanged.
+///
+/// Arrivals are **bit-identical** to a fresh full pass: each recomputed
+/// gate folds its input arrivals in the same pin order with the same
+/// `f64::max`, and untouched gates keep values that equal what the full
+/// pass would compute (their inputs are unchanged).
+///
+/// The tracker is keyed to one netlist structure; after a structural edit
+/// (gate/net creation, rewiring) build a fresh one.
+#[derive(Debug, Clone)]
+pub struct IncrementalSta {
+    /// Gates in topological order.
+    order: Vec<crate::GateId>,
+    /// `pos[g.index()]` = position of `g` in `order`.
+    pos: Vec<u32>,
+    /// CSR consumer index: `coff[g]..coff[g + 1]` slices `cons`.
+    coff: Vec<u32>,
+    cons: Vec<crate::GateId>,
+    /// Arrival time per net.
+    at: Vec<f64>,
+    /// Scratch: gates queued in the current cone walk.
+    queued: Vec<bool>,
+    /// Scratch: pending cone worklist ordered by topo position.
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<(u32, crate::GateId)>>,
+}
+
+impl IncrementalSta {
+    /// Builds the tracker with a full arrival pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Cyclic`] on a combinational loop.
+    pub fn new(nl: &Netlist, lib: &Library) -> Result<IncrementalSta, NetlistError> {
+        let order = nl.topo_gates()?;
+        let mut pos = vec![0u32; nl.num_gates()];
+        for (i, &g) in order.iter().enumerate() {
+            pos[g.index()] = i as u32;
+        }
+        let (coff, cons) = nl.gate_consumers();
+        let mut sta = IncrementalSta {
+            order,
+            pos,
+            coff,
+            cons,
+            at: vec![0.0f64; nl.num_nets()],
+            queued: vec![false; nl.num_gates()],
+            heap: std::collections::BinaryHeap::new(),
+        };
+        for i in 0..sta.order.len() {
+            let g = sta.order[i];
+            sta.at[nl.gate_output(g).index()] = sta.eval_gate(nl, lib, g);
+        }
+        Ok(sta)
+    }
+
+    /// Arrival of one gate's output from the current `at` array: max input
+    /// arrival (pin order, `f64::max` fold — identical to the full pass)
+    /// plus the cell delay under the net's current fanout.
+    fn eval_gate(&self, nl: &Netlist, lib: &Library, g: crate::GateId) -> f64 {
+        let gate = &nl.gates[g.index()];
+        let input_at = gate.inputs().iter().map(|&n| self.at[n.index()]).fold(0.0f64, f64::max);
+        input_at + lib.delay_ns(gate.kind, gate.drive, nl.fanout_of(gate.output))
+    }
+
+    /// The arrival time at `net` in nanoseconds.
+    pub fn arrival(&self, net: NetId) -> f64 {
+        self.at[net.index()]
+    }
+
+    /// Re-propagates arrivals through the fanout cone of `g` after its
+    /// delay changed (a sizing move). Gates are visited in topological
+    /// order; propagation stops at gates whose arrival is unchanged.
+    pub fn update_gate(&mut self, nl: &Netlist, lib: &Library, g: crate::GateId) {
+        self.heap.push(std::cmp::Reverse((self.pos[g.index()], g)));
+        self.queued[g.index()] = true;
+        while let Some(std::cmp::Reverse((_, g))) = self.heap.pop() {
+            self.queued[g.index()] = false;
+            let out = nl.gate_output(g).index();
+            let new_at = self.eval_gate(nl, lib, g);
+            // Exact comparison: equal bits mean the downstream cone cannot
+            // observe any difference from a full recompute.
+            if new_at.to_bits() == self.at[out].to_bits() {
+                continue;
+            }
+            self.at[out] = new_at;
+            let lo = self.coff[g.index()] as usize;
+            let hi = self.coff[g.index() + 1] as usize;
+            for &c in &self.cons[lo..hi] {
+                if !self.queued[c.index()] {
+                    self.queued[c.index()] = true;
+                    self.heap.push(std::cmp::Reverse((self.pos[c.index()], c)));
+                }
+            }
+        }
+    }
+
+    /// Longest input-to-output delay over the current arrivals — the same
+    /// scan order and comparison [`Netlist::longest_path`] uses, so the
+    /// result is bit-identical to a fresh full analysis.
+    pub fn delay_ns(&self, nl: &Netlist) -> f64 {
+        let mut worst = 0.0f64;
+        for (_, bits) in nl.outputs() {
+            for &b in bits {
+                let t = self.at[b.index()];
+                if t > worst {
+                    worst = t;
+                }
+            }
+        }
+        worst
     }
 }
 
@@ -230,6 +350,37 @@ mod tests {
         n.output("short", vec![short]);
         let path = n.critical_path(&lib);
         assert_eq!(path, chain, "path follows the XOR chain in order");
+    }
+
+    #[test]
+    fn incremental_sta_matches_full_pass_bit_for_bit() {
+        let lib = Library::synthetic_025um();
+        let mut n = Netlist::new();
+        let a = n.input("a", 2);
+        let x = n.gate(CellKind::Xor2, &[a[0], a[1]]);
+        let mut w = x;
+        let mut gates = vec![n.driver_gate(x).unwrap()];
+        for _ in 0..10 {
+            w = n.gate(CellKind::Nand2, &[w, a[0]]);
+            gates.push(n.driver_gate(w).unwrap());
+        }
+        let side = n.gate(CellKind::Inv, &[x]);
+        n.output("o", vec![w, side]);
+        let mut sta = IncrementalSta::new(&n, &lib).unwrap();
+        assert_eq!(sta.delay_ns(&n).to_bits(), n.longest_path(&lib).delay_ns.to_bits());
+        // Size a few gates up and down; the tracker must stay bit-identical
+        // to a fresh full pass after every move.
+        for (i, &g) in gates.iter().enumerate() {
+            let drive = if i % 2 == 0 { Drive::X4 } else { Drive::X2 };
+            n.set_drive(g, drive);
+            sta.update_gate(&n, &lib, g);
+            let full = n.arrival_times(&lib);
+            for net in 0..n.num_nets() {
+                let id = NetId(net as u32);
+                assert_eq!(sta.arrival(id).to_bits(), full.at(id).to_bits(), "net {id}");
+            }
+            assert_eq!(sta.delay_ns(&n).to_bits(), n.longest_path(&lib).delay_ns.to_bits());
+        }
     }
 
     #[test]

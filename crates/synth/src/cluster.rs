@@ -1,14 +1,12 @@
 //! Synthesis of one cluster from its sum-of-addends normal form.
 
-use std::collections::HashMap;
-
 use dp_bitvec::Signedness;
 use dp_merge::{AddendKind, SignalRef, SumOfAddends};
 use dp_netlist::{NetId, Netlist};
 
 use crate::adders::{carry_select_add, kogge_stone_add, reduce_to_two_rows, ripple_carry_add};
 use crate::product::{emit_product, emit_signal, Operand};
-use crate::{AdderKind, Columns, SynthConfig};
+use crate::{AdderKind, Columns, SignalTable, SynthConfig};
 
 /// Per-cluster synthesis statistics — the QoR counters one call to
 /// [`synthesize_sum_with`] contributes.
@@ -39,7 +37,7 @@ pub struct SumStats {
 pub fn synthesize_sum(
     nl: &mut Netlist,
     sum: &SumOfAddends,
-    signals: &HashMap<dp_dfg::NodeId, Vec<NetId>>,
+    signals: &SignalTable,
     config: &SynthConfig,
 ) -> Vec<NetId> {
     synthesize_sum_with(nl, sum, signals, config).0
@@ -53,12 +51,12 @@ pub fn synthesize_sum(
 pub fn synthesize_sum_with(
     nl: &mut Netlist,
     sum: &SumOfAddends,
-    signals: &HashMap<dp_dfg::NodeId, Vec<NetId>>,
+    signals: &SignalTable,
     config: &SynthConfig,
 ) -> (Vec<NetId>, SumStats) {
     let operand_of = |nl: &mut Netlist, s: &SignalRef| -> Operand {
         let source =
-            signals.get(&s.source).expect("every signal source is synthesized before its readers");
+            signals.get(s.source).expect("every signal source is synthesized before its readers");
         let live = s.bits.min(source.len());
         let _ = nl;
         Operand { bits: source[..live].to_vec(), signedness: s.signedness }
@@ -149,7 +147,7 @@ mod tests {
         let sum = linearize_cluster(&g, &clustering.clusters[0], &ic).unwrap();
 
         let mut nl = Netlist::new();
-        let mut signals = HashMap::new();
+        let mut signals = SignalTable::default();
         signals.insert(a, nl.input("a", 4));
         signals.insert(b, nl.input("b", 4));
         signals.insert(c, nl.input("c", 4));
@@ -186,7 +184,7 @@ mod tests {
         let sum = linearize_cluster(&g, &clustering.clusters[0], &ic).unwrap();
 
         let mut nl = Netlist::new();
-        let mut signals = HashMap::new();
+        let mut signals = SignalTable::default();
         signals.insert(a, nl.input("a", 4));
         let out = synthesize_sum(&mut nl, &sum, &signals, &SynthConfig::default());
         nl.output("o", out);

@@ -1,12 +1,11 @@
 //! Whole-DFG synthesis: every cluster becomes one CSA tree + final adder.
 
-use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
 use dp_analysis::info_content;
 use dp_bitvec::Signedness;
-use dp_dfg::{Dfg, NodeId, NodeKind, ValidateErrors};
+use dp_dfg::{Dfg, NodeKind, ValidateErrors};
 use dp_merge::{
     cluster_leakage, cluster_max_with, cluster_none, linearize_cluster, ClusterError, Clustering,
     LinearizeError, MergeReport,
@@ -16,7 +15,7 @@ use dp_netlist::{Library, NetId, Netlist};
 use dp_trace::TraceLog;
 
 use crate::cluster::synthesize_sum_with;
-use crate::SynthConfig;
+use crate::{SignalTable, SynthConfig};
 
 /// Error from [`synthesize`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -120,12 +119,13 @@ pub fn synthesize_with(
 
     let mut nl = Netlist::new();
     let mut stats = CsaStats::default();
-    let mut signals: HashMap<NodeId, Vec<NetId>> = HashMap::new();
-
-    // Cluster lookup by output node.
-    let mut cluster_of_output: HashMap<NodeId, usize> = HashMap::new();
+    // Dense node-indexed side tables: signal bits per synthesized node,
+    // and (below) the cluster owning each output node. `usize::MAX` marks
+    // a node that is no cluster's output.
+    let mut signals = SignalTable::with_nodes(g.num_nodes());
+    let mut cluster_of_output: Vec<usize> = vec![usize::MAX; g.num_nodes()];
     for (k, c) in clustering.clusters.iter().enumerate() {
-        cluster_of_output.insert(c.output, k);
+        cluster_of_output[c.output.index()] = k;
     }
 
     // Primary inputs first, in declaration order (bus names match the DFG).
@@ -146,7 +146,8 @@ pub fn synthesize_with(
                 signals.insert(n, bits);
             }
             NodeKind::Op(_) | NodeKind::Extension(_) => {
-                if let Some(&k) = cluster_of_output.get(&n) {
+                let k = cluster_of_output[n.index()];
+                if k != usize::MAX {
                     let sum = linearize_cluster(g, &clustering.clusters[k], &ic)?;
                     let (bits, s) = synthesize_sum_with(&mut nl, &sum, &signals, config);
                     stats.csa_depth = stats.csa_depth.max(s.csa_stages);
@@ -165,7 +166,7 @@ pub fn synthesize_with(
     for &n in g.outputs() {
         let e = g.node(n).in_edges()[0];
         let edge = g.edge(e);
-        let src_bits = signals.get(&edge.src()).expect("output driver was synthesized").clone();
+        let src_bits = signals.get(edge.src()).expect("output driver was synthesized").to_vec();
         let on_edge = resize_bits(&mut nl, &src_bits, edge.signedness(), edge.width());
         let final_bits = resize_bits(&mut nl, &on_edge, edge.signedness(), g.node(n).width());
         let name = g.node(n).name().unwrap_or("out").to_string();

@@ -38,6 +38,7 @@ use dp_analysis::{
     optimize_widths_budgeted_with, optimize_widths_rp_only_with, IntrinsicOverrides,
     PipelineBudget, TransformReport,
 };
+use dp_bitvec::BitVec;
 use dp_dfg::gen::random_inputs;
 use dp_dfg::Dfg;
 use dp_merge::{cluster_leakage, cluster_none, refine_clusters_with, Clustering, MergeReport};
@@ -283,6 +284,10 @@ fn drive(
     tr: &mut TraceLog,
 ) -> Result<GuardedFlow, SynthError> {
     g.validate()?;
+    // One oracle serves every differential audit of this flow. Building
+    // it can only fail on a design whose reference evaluation fails —
+    // nothing the fallback ladder could repair.
+    let oracle = AuditOracle::new(g, budget).map_err(SynthError::Audit)?;
     let whole = rec.span(format!("guarded flow {strategy}"));
     let mut report = DegradationReport::default();
     let subject = Subject::Node(g.outputs().first().map_or(0, |n| n.index()));
@@ -299,13 +304,13 @@ fn drive(
         transform = optimize_widths_budgeted_with(&mut graph, &budget.pipeline, rec, tr);
         hook.after_widths(&mut graph);
         raw = false;
-        if let Some(reason) = audit_widths(g, &graph, &transform, budget, true) {
+        if let Some(reason) = audit_widths(g, &graph, &transform, &oracle, true) {
             let abandoned = graph.total_op_width();
             report.steps.push(Degradation { stage: "widths", reason, fallback: Fallback::RpOnly });
             graph = g.clone();
             transform = optimize_widths_rp_only_with(&mut graph, tr);
             tr.emit(Rule::FallbackRpOnly, subject, abandoned, graph.total_op_width());
-            if let Some(reason) = audit_widths(g, &graph, &transform, budget, false) {
+            if let Some(reason) = audit_widths(g, &graph, &transform, &oracle, false) {
                 let abandoned = graph.total_op_width();
                 report.steps.push(Degradation { stage: "widths", reason, fallback: Fallback::Raw });
                 graph = g.clone();
@@ -352,7 +357,7 @@ fn drive(
     // ladder on failure: singleton clusters first, then the raw design.
     let outcome = loop {
         let attempt = synthesize_with(&graph, &clustering, config, rec).and_then(|(nl, csa)| {
-            match audit_netlist(g, &nl, budget) {
+            match audit_netlist(g, &nl, &oracle) {
                 None => Ok((nl, csa)),
                 Some(reason) => Err(SynthError::Audit(reason)),
             }
@@ -436,7 +441,7 @@ fn audit_widths(
     base: &Dfg,
     graph: &Dfg,
     transform: &TransformReport,
-    budget: &FlowBudget,
+    oracle: &AuditOracle,
     at_fixpoint: bool,
 ) -> Option<String> {
     if let Some(b) = transform.budget_breach {
@@ -461,7 +466,7 @@ fn audit_widths(
     }
     #[cfg(not(feature = "verify"))]
     let _ = at_fixpoint;
-    graphs_differ(base, graph, budget)
+    graphs_differ(base, graph, oracle)
 }
 
 /// Audits a clustering for structural fit and (with the `verify` feature)
@@ -488,26 +493,19 @@ fn audit_clustering(graph: &Dfg, clustering: &Clustering, at_fixpoint: bool) -> 
 /// Audits a synthesized netlist: structural check plus differential
 /// simulation against the *input* design (not the transformed graph, so a
 /// width-stage escape is still caught here).
-fn audit_netlist(base: &Dfg, nl: &Netlist, budget: &FlowBudget) -> Option<String> {
+fn audit_netlist(base: &Dfg, nl: &Netlist, oracle: &AuditOracle) -> Option<String> {
     if let Err(e) = nl.check() {
         return Some(format!("netlist check failed: {e}"));
     }
-    // Pre-generate every audit vector from the dedicated audit RNG (the
-    // stream is identical to drawing them one at a time), then evaluate
-    // the whole batch in one word-parallel netlist pass.
-    let mut rng = StdRng::seed_from_u64(budget.check_seed);
-    let lanes: Vec<_> = (0..budget.check_vectors).map(|_| random_inputs(base, &mut rng)).collect();
-    let batch = match nl.simulate_batch(&lanes) {
+    // The whole lane batch evaluates in one word-parallel netlist pass;
+    // the reference outputs were computed once when the oracle was built.
+    let batch = match nl.simulate_batch(&oracle.lanes) {
         Ok(v) => v,
         Err(e) => return Some(format!("netlist simulation failed: {e}")),
     };
-    for (k, (inputs, got)) in lanes.iter().zip(&batch).enumerate() {
-        let expect = match base.evaluate(inputs) {
-            Ok(v) => v,
-            Err(e) => return Some(format!("reference evaluation failed: {e}")),
-        };
-        for (i, &o) in base.outputs().iter().enumerate() {
-            if got[i] != expect[&o] {
+    for (k, (expect, got)) in oracle.expect.iter().zip(&batch).enumerate() {
+        for (i, (&o, want)) in base.outputs().iter().zip(expect).enumerate() {
+            if got[i] != *want {
                 return Some(format!(
                     "netlist differs from design on vector {k} at output {}",
                     base.node(o).name().unwrap_or("?")
@@ -518,22 +516,51 @@ fn audit_netlist(base: &Dfg, nl: &Netlist, budget: &FlowBudget) -> Option<String
     None
 }
 
-/// Differential evaluation of a transformed graph against the input
-/// design. Returns a description of the first mismatch.
-fn graphs_differ(base: &Dfg, cand: &Dfg, budget: &FlowBudget) -> Option<String> {
-    let mut rng = StdRng::seed_from_u64(budget.check_seed);
-    for k in 0..budget.check_vectors {
-        let inputs = random_inputs(base, &mut rng);
-        let expect = match base.evaluate(&inputs) {
-            Ok(v) => v,
-            Err(e) => return Some(format!("reference evaluation failed: {e}")),
-        };
-        let got = match cand.evaluate(&inputs) {
+/// The shared differential-audit oracle of one guarded flow: the fixed
+/// audit vectors and the base design's reference outputs. The width and
+/// netlist audits draw the *same* vector stream (one seed, one budget),
+/// so the reference is evaluated once up front instead of once per audit
+/// — at a hundred thousand nodes the repeated reference evaluations cost
+/// more than the stages they guard.
+struct AuditOracle {
+    /// One input vector per audit lane.
+    lanes: Vec<Vec<BitVec>>,
+    /// Per lane: the base design's outputs, in `Dfg::outputs` order.
+    expect: Vec<Vec<BitVec>>,
+}
+
+impl AuditOracle {
+    /// Draws the audit vectors and evaluates the (already validated) base
+    /// design on each.
+    fn new(base: &Dfg, budget: &FlowBudget) -> Result<AuditOracle, String> {
+        let mut rng = StdRng::seed_from_u64(budget.check_seed);
+        let lanes: Vec<Vec<BitVec>> =
+            (0..budget.check_vectors).map(|_| random_inputs(base, &mut rng)).collect();
+        let mut expect = Vec::with_capacity(lanes.len());
+        for inputs in &lanes {
+            let eval = base
+                .evaluate_full_prevalidated(inputs)
+                .map_err(|e| format!("reference evaluation failed: {e}"))?;
+            expect.push(base.outputs().iter().map(|&o| eval.result(o).clone()).collect());
+        }
+        Ok(AuditOracle { lanes, expect })
+    }
+}
+
+/// Differential evaluation of a transformed graph against the oracle's
+/// reference outputs. Returns a description of the first mismatch.
+///
+/// The transformed graph shares the base design's node ids (width
+/// transformations never renumber), so the base's output ids index its
+/// evaluation directly.
+fn graphs_differ(base: &Dfg, cand: &Dfg, oracle: &AuditOracle) -> Option<String> {
+    for (k, (inputs, expect)) in oracle.lanes.iter().zip(&oracle.expect).enumerate() {
+        let got = match cand.evaluate_full_prevalidated(inputs) {
             Ok(v) => v,
             Err(e) => return Some(format!("transformed graph evaluation failed: {e}")),
         };
-        for &o in base.outputs() {
-            if got.get(&o) != expect.get(&o) {
+        for (&o, want) in base.outputs().iter().zip(expect) {
+            if got.result(o) != want {
                 return Some(format!(
                     "transformed graph differs from design on vector {k} at output {}",
                     base.node(o).name().unwrap_or("?")
@@ -625,7 +652,8 @@ mod tests {
         assert_eq!(report.steps[0].fallback, Fallback::RpOnly);
         assert!(guarded.flow.metrics.degraded);
         assert_eq!(guarded.flow.metrics.fallbacks[0], "FALLBACK-RP-ONLY");
-        assert!(audit_netlist(&g, &guarded.flow.netlist, &FlowBudget::default()).is_none());
+        let oracle = AuditOracle::new(&g, &FlowBudget::default()).unwrap();
+        assert!(audit_netlist(&g, &guarded.flow.netlist, &oracle).is_none());
     }
 
     #[test]

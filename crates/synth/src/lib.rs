@@ -62,6 +62,7 @@ mod columns;
 mod flow;
 mod guard;
 mod product;
+mod signals;
 
 pub use adders::{carry_select_add, kogge_stone_add, ripple_carry_add};
 pub use cluster::{synthesize_sum, synthesize_sum_with, SumStats};
@@ -76,6 +77,7 @@ pub use guard::{
 };
 #[cfg(feature = "fault-inject")]
 pub use guard::{run_flow_guarded_hooked, FlowFault};
+pub use signals::SignalTable;
 
 /// Final carry-propagate adder architecture.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]

@@ -1,0 +1,54 @@
+//! Dense node-indexed storage for synthesized signal bits.
+
+use dp_dfg::NodeId;
+use dp_netlist::NetId;
+
+/// Maps every synthesized DFG node to its bit nets (least significant
+/// first), stored densely by node index.
+///
+/// Synthesis resolves a source node's bits once per addend that reads it,
+/// on graphs with millions of nodes — a hash map there spends more time
+/// hashing than wiring. Node ids are dense arena indices, so the table is
+/// a plain vector; an empty slot doubles as "not synthesized yet", which
+/// is unambiguous because every real signal has at least one bit.
+///
+/// ```
+/// use dp_synth::SignalTable;
+/// use dp_dfg::Dfg;
+/// use dp_netlist::Netlist;
+///
+/// let mut g = Dfg::new();
+/// let a = g.input("a", 4);
+/// let mut nl = Netlist::new();
+/// let mut signals = SignalTable::with_nodes(g.num_nodes());
+/// signals.insert(a, nl.input("a", 4));
+/// assert_eq!(signals.get(a).map(<[_]>::len), Some(4));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SignalTable {
+    bits: Vec<Vec<NetId>>,
+}
+
+impl SignalTable {
+    /// An empty table pre-sized for a graph with `num_nodes` nodes.
+    pub fn with_nodes(num_nodes: usize) -> Self {
+        SignalTable { bits: vec![Vec::new(); num_nodes] }
+    }
+
+    /// Records the synthesized bits of `n`, growing the table if `n` lies
+    /// beyond the pre-sized range.
+    pub fn insert(&mut self, n: NodeId, bits: Vec<NetId>) {
+        if n.index() >= self.bits.len() {
+            self.bits.resize(n.index() + 1, Vec::new());
+        }
+        self.bits[n.index()] = bits;
+    }
+
+    /// The bits of `n`, or `None` if it has not been synthesized.
+    pub fn get(&self, n: NodeId) -> Option<&[NetId]> {
+        match self.bits.get(n.index()) {
+            Some(b) if !b.is_empty() => Some(b),
+            _ => None,
+        }
+    }
+}

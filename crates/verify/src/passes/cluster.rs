@@ -22,9 +22,11 @@
 
 use std::collections::HashSet;
 
-use dp_analysis::info_content;
+use dp_analysis::{info_content, IntrinsicOverrides};
 use dp_dfg::{NodeId, OpKind};
-use dp_merge::{cluster_max, ClusterError};
+use dp_merge::{refine_clusters_with, ClusterError};
+use dp_metrics::Recorder;
+use dp_trace::TraceLog;
 
 use crate::{Code, Context, Diagnostic, Location, Pass};
 
@@ -62,12 +64,21 @@ impl Pass for ClusterLegality {
 
         // C003: independently recompute the break set. The final break
         // decision depends on the Huffman-refined bounds, so the honest
-        // reference is a full re-run of the clustering algorithm on a
-        // scratch copy (the graph is already width-optimized, so the
-        // re-run's own optimization pass is a no-op).
-        let reference_breaks: Option<HashSet<NodeId>> = cx
-            .assume_optimized
-            .then(|| cluster_max(&mut g.clone()).0.break_nodes.iter().copied().collect());
+        // reference is a re-run of the break/cluster/Huffman refinement
+        // loop. The width pipeline is skipped: `assume_optimized` promises
+        // the graph is already width-optimized, which makes that pass a
+        // no-op — and skipping it lets the refinement borrow the graph
+        // directly instead of re-optimizing a scratch clone.
+        let reference_breaks: Option<HashSet<NodeId>> = cx.assume_optimized.then(|| {
+            let mut overrides = IntrinsicOverrides::new();
+            let (reference, _) = refine_clusters_with(
+                g,
+                &mut overrides,
+                &mut Recorder::disabled(),
+                &mut TraceLog::disabled(),
+            );
+            reference.break_nodes.iter().copied().collect()
+        });
 
         for (k, c) in clustering.clusters.iter().enumerate() {
             if let Some(breaks) = &reference_breaks {

@@ -12,8 +12,6 @@
 //!
 //! [`Netlist::check`]: dp_netlist::Netlist::check
 
-use std::collections::{HashMap, HashSet};
-
 use dp_netlist::{NetId, NetlistError};
 
 use crate::{Code, Context, Diagnostic, Location, Pass};
@@ -75,27 +73,34 @@ impl Pass for NetlistChecks {
 
         // N004/N005: recount fanout from first principles. A net's fanout
         // is the number of gate pins plus output-bus bits that read it.
-        let mut recount: HashMap<NetId, usize> = HashMap::new();
-        let mut known: HashSet<NetId> = HashSet::new();
+        // Net ids are dense, so the tallies live in arrays indexed by net —
+        // the recount streams through the pin arena without hashing.
+        let mut recount = vec![0usize; nl.num_nets()];
+        let mut known = vec![false; nl.num_nets()];
         for gid in nl.gate_ids() {
             for &net in nl.gate_inputs(gid) {
-                *recount.entry(net).or_insert(0) += 1;
-                known.insert(net);
+                recount[net.index()] += 1;
+                known[net.index()] = true;
             }
-            known.insert(nl.gate_output(gid));
+            known[nl.gate_output(gid).index()] = true;
         }
         for (_, bits) in nl.inputs() {
-            known.extend(bits.iter().copied());
+            for &net in bits {
+                known[net.index()] = true;
+            }
         }
         for (_, bits) in nl.outputs() {
             for &net in bits {
-                *recount.entry(net).or_insert(0) += 1;
-                known.insert(net);
+                recount[net.index()] += 1;
+                known[net.index()] = true;
             }
         }
-        for &net in &known {
-            let expected = recount.get(&net).copied().unwrap_or(0);
-            let cached = nl.fanout_of(net);
+        for (i, &is_known) in known.iter().enumerate() {
+            if !is_known {
+                continue;
+            }
+            let net = NetId::from_index(i);
+            let (expected, cached) = (recount[i], nl.fanout_of(net));
             if cached != expected {
                 out.push(Diagnostic::new(
                     Code::N005,
@@ -105,8 +110,7 @@ impl Pass for NetlistChecks {
             }
         }
         for gid in nl.gate_ids() {
-            let net = nl.gate_output(gid);
-            if recount.get(&net).copied().unwrap_or(0) == 0 {
+            if recount[nl.gate_output(gid).index()] == 0 {
                 out.push(Diagnostic::new(
                     Code::N004,
                     Location::Gate(gid),

@@ -33,8 +33,25 @@ cargo test -q -p dp-bitvec --test alloc
 echo "==> criterion smoke (bitvec fast path benches compile and run)"
 cargo bench -p dp-bench --bench bitvec > /dev/null
 
+echo "==> criterion smoke (netlist fold/sweep hot path)"
+cargo bench -p dp-bench --bench fold > /dev/null
+
 echo "==> dpmc bench --compare (QoR/provenance exact, timing within 400%)"
-cargo run --release --bin dpmc -- bench --jobs 1 --compare BENCH_pr8.json --max-regress-pct 400
+cargo run --release --bin dpmc -- bench --jobs 1 --compare BENCH_pr9.json --max-regress-pct 400
+
+echo "==> S10k wall-time budget (full flow x2 strategies + verify under 30s)"
+# The S10k scaling member is not in the committed baseline (timing there
+# is gated per-design); this is a coarse absolute backstop against the
+# pre-PR9 super-linear fold/STA behavior, which took minutes at a tenth
+# of this size. Generous enough for a loaded 1-core CI container.
+s10k_start=$(date +%s)
+cargo run --release --bin dpmc -- bench --designs S10k --jobs 1 --out /dev/null
+s10k_elapsed=$(( $(date +%s) - s10k_start ))
+if [ "$s10k_elapsed" -gt 30 ]; then
+  echo "S10k budget: FAIL (${s10k_elapsed}s > 30s)"
+  exit 1
+fi
+echo "S10k budget: OK (${s10k_elapsed}s)"
 
 echo "==> dpmc bench --jobs determinism (parallel report/events == serial report/events)"
 cargo run --release --bin dpmc -- bench --jobs 1 --out /tmp/dpmc_jobs1.json \
@@ -93,7 +110,10 @@ echo "==> unwrap/expect lint (non-test code of src/ and core crates)"
 # Bare .unwrap() is banned outright outside tests/doc-comments; justified
 # .expect("invariant") calls are budgeted — adding a new one without
 # raising the budget (and justifying it in review) fails the gate.
-EXPECT_BUDGET=37
+# PR9: +2 for the dense SignalTable lookups in dp-synth (cluster.rs,
+# flow.rs) — "every signal source is synthesized before its readers" is
+# the topological-order invariant of the synthesis loop.
+EXPECT_BUDGET=39
 lint_scope="src crates/analysis/src crates/merge/src crates/synth/src crates/netlist/src"
 unwraps=0; expects=0
 for f in $(find $lint_scope -name '*.rs'); do

@@ -809,8 +809,10 @@ fn builtin_designs() -> Vec<(String, Dfg)> {
     v
 }
 
-/// Resolves `--designs` specs: `all`, a built-in name, or a `.dp` file.
+/// Resolves `--designs` specs: `all`, a built-in name, an on-demand
+/// extended scaling member (`S10k`, `S100k`, `S1M`), or a `.dp` file.
 fn collect_designs(specs: &[String]) -> Result<Vec<(String, Dfg)>, FlowError> {
+    use datapath_merge::testcases::scaling;
     let builtin = builtin_designs();
     if specs.len() == 1 && specs[0] == "all" {
         return Ok(builtin);
@@ -819,13 +821,19 @@ fn collect_designs(specs: &[String]) -> Result<Vec<(String, Dfg)>, FlowError> {
     for spec in specs {
         if let Some((name, g)) = builtin.iter().find(|(n, _)| n == spec) {
             out.push((name.clone(), g.clone()));
+        } else if let Some(g) = scaling::extended_scaling_design(spec) {
+            // The huge scaling members (S10k, S100k, S1M) are generated
+            // on demand only when named, so `all` and the committed bench
+            // baselines never pay for them.
+            out.push((spec.clone(), g));
         } else if spec.ends_with(".dp") {
             out.push((module_name(spec), load_design(spec)?));
         } else {
             let names: Vec<&str> = builtin.iter().map(|(n, _)| n.as_str()).collect();
             return Err(FlowError::Usage(format!(
-                "unknown design `{spec}` (built-ins: {}; or pass a .dp file)",
-                names.join(", ")
+                "unknown design `{spec}` (built-ins: {}; on-demand: {}; or pass a .dp file)",
+                names.join(", "),
+                scaling::EXTENDED_SCALING_NAMES.join(", ")
             )));
         }
     }

@@ -115,10 +115,14 @@ pub fn bench_design(
         let flow = run_flow_with(g, strategy, config, &mut rec, &mut tr)
             .map_err(|e| format!("{name} [{strategy}]: {e}"))?;
         let mut netlist = flow.netlist.clone();
-        let sweep = rec.span("fold_sweep");
+        let outer = rec.span("fold_sweep");
+        let fold = rec.span("fold_constants");
         crate::opt::fold_constants(&mut netlist);
+        rec.finish(fold);
+        let sweep = rec.span("sweep");
         let netlist = netlist.sweep();
         rec.finish(sweep);
+        rec.finish(outer);
         let sta = rec.span("sta");
         let delay_ns = netlist.longest_path(lib).delay_ns;
         let area = netlist.area(lib);
@@ -216,10 +220,14 @@ pub fn profile_design(
     let flow = run_flow_with(g, MergeStrategy::New, config, &mut rec, &mut tr)
         .map_err(|e| format!("{name}: {e}"))?;
     let mut netlist = flow.netlist.clone();
-    let sweep = rec.span("fold_sweep");
+    let outer = rec.span("fold_sweep");
+    let fold = rec.span("fold_constants");
     crate::opt::fold_constants(&mut netlist);
+    rec.finish(fold);
+    let sweep = rec.span("sweep");
     let netlist = netlist.sweep();
     rec.finish(sweep);
+    rec.finish(outer);
     let sta = rec.span("sta");
     let _ = netlist.longest_path(lib).delay_ns;
     let _ = netlist.area(lib);
@@ -405,6 +413,8 @@ mod tests {
         let paths: Vec<&str> = p.rows.iter().map(|r| r.path.as_str()).collect();
         assert!(paths.iter().any(|p| p.starts_with("flow new-merge")), "{paths:?}");
         assert!(paths.contains(&"fold_sweep"));
+        assert!(paths.contains(&"fold_sweep;fold_constants"), "{paths:?}");
+        assert!(paths.contains(&"fold_sweep;sweep"), "{paths:?}");
         assert!(paths.contains(&"sta"));
         assert!(!p.kinds.is_empty(), "fig3's adds/muls were visited");
         assert!(!p.collapsed_stacks().is_empty());
