@@ -4,7 +4,7 @@ use std::fmt;
 use std::time::{Duration, Instant};
 
 use dp_dfg::Dfg;
-use dp_metrics::Recorder;
+use dp_metrics::{Recorder, Watchdog, WatchdogTrip};
 use dp_trace::TraceLog;
 
 use crate::precision::rp_transform_with;
@@ -96,6 +96,12 @@ pub enum BudgetBreach {
     WorklistPushes,
     /// The graph grew past the node-count cap (extension-node insertion).
     NodeCount,
+    /// The wall-clock deadline passed mid-pipeline (cooperative abort —
+    /// the sweep in flight stopped without applying decisions computed
+    /// from incomplete analysis state, so the graph stays sound).
+    Deadline,
+    /// The worker's live-heap ceiling was exceeded mid-pipeline.
+    Memory,
 }
 
 impl fmt::Display for BudgetBreach {
@@ -104,7 +110,21 @@ impl fmt::Display for BudgetBreach {
             BudgetBreach::Rounds => "fixpoint round cap",
             BudgetBreach::WorklistPushes => "worklist push cap",
             BudgetBreach::NodeCount => "node count cap",
+            BudgetBreach::Deadline => "wall-clock deadline",
+            BudgetBreach::Memory => "memory ceiling",
         })
+    }
+}
+
+impl BudgetBreach {
+    /// Whether this breach means the *request's* supervision limits fired
+    /// (deadline / memory), as opposed to the pipeline's own shape caps.
+    /// Supervised breaches abort the flow with a typed error instead of
+    /// descending the degradation ladder — retrying a timed-out request
+    /// with a cheaper strategy only spends more of a budget that is
+    /// already gone.
+    pub fn is_supervision(self) -> bool {
+        matches!(self, BudgetBreach::Deadline | BudgetBreach::Memory)
     }
 }
 
@@ -112,7 +132,7 @@ impl fmt::Display for BudgetBreach {
 ///
 /// The default budget reproduces the classic pipeline exactly: the same
 /// round cap the un-budgeted entry points use, and no limits on worklist
-/// pushes or graph growth.
+/// pushes, graph growth, wall time, or heap.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PipelineBudget {
     /// Maximum fixpoint rounds (the un-budgeted pipeline uses 9).
@@ -121,6 +141,14 @@ pub struct PipelineBudget {
     pub max_worklist_pushes: usize,
     /// Maximum node count the transformed graph may reach.
     pub max_nodes: usize,
+    /// Wall-clock deadline checked cooperatively *inside* the sweep and
+    /// worklist loops (amortized via [`dp_metrics::Watchdog`]), not just
+    /// at round boundaries.
+    pub deadline: Option<Instant>,
+    /// Live-heap ceiling for the calling thread, in bytes, read from the
+    /// installed [`dp_metrics::alloc_probe`]. Without a counting
+    /// allocator the ceiling never fires.
+    pub max_live_bytes: Option<u64>,
 }
 
 impl Default for PipelineBudget {
@@ -129,6 +157,8 @@ impl Default for PipelineBudget {
             max_rounds: MAX_ROUNDS,
             max_worklist_pushes: usize::MAX,
             max_nodes: usize::MAX,
+            deadline: None,
+            max_live_bytes: None,
         }
     }
 }
@@ -308,6 +338,7 @@ pub fn optimize_widths_budgeted_with(
     let pipeline = rec.span("optimize_widths");
     let mut report = TransformReport::default();
     let mut total_pushes = 0usize;
+    let wd = Watchdog::new(budget.deadline, budget.max_live_bytes);
     #[cfg(feature = "verify")]
     let mut watch = verify::RoundWatch::new(g);
     let mut eng = Engine::new(g);
@@ -319,13 +350,13 @@ pub fn optimize_widths_budgeted_with(
         eng.begin_round(g);
         let nodes_at_start = g.num_nodes();
         let rp_span = rec.span("rp_sweep");
-        let (n_rp, e_rp) = eng.rp_round(g, tr);
+        let (n_rp, e_rp) = eng.rp_round(g, tr, &wd);
         rec.finish(rp_span);
         let ic_edge_span = rec.span("ic_edge_sweep");
-        let e_ic = eng.ic_edge_round(g, tr);
+        let e_ic = eng.ic_edge_round(g, tr, &wd);
         rec.finish(ic_edge_span);
         let ic_node_span = rec.span("ic_node_prune");
-        let (n_ic, ext) = eng.ic_node_round(g, tr);
+        let (n_ic, ext) = eng.ic_node_round(g, tr, &wd);
         rec.finish(ic_node_span);
         let (pushes, visits) = eng.take_work();
         report.node_width_changes += n_rp + n_ic;
@@ -350,6 +381,15 @@ pub fn optimize_widths_budgeted_with(
         rec.finish(round);
         #[cfg(feature = "verify")]
         watch.check_round(g, report.rounds);
+        // The supervision check must precede the convergence check: an
+        // aborted round reports zero changes, which is not a fixpoint.
+        if wd.poll() {
+            report.budget_breach = Some(match wd.trip() {
+                Some(WatchdogTrip::Memory) => BudgetBreach::Memory,
+                _ => BudgetBreach::Deadline,
+            });
+            break;
+        }
         if n_rp + e_rp + e_ic + ext + n_ic == 0 {
             report.converged = true;
             break;

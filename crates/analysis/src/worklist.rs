@@ -33,6 +33,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use dp_dfg::{Dfg, DfgView, EdgeId, NodeId};
+use dp_metrics::Watchdog;
 use dp_trace::TraceLog;
 
 use crate::ic::Ic;
@@ -206,15 +207,34 @@ impl Engine {
     /// The RP half of a round: update the analysis (full sweep in round 1,
     /// worklist-driven afterwards), then apply node and edge clamps to the
     /// changed candidates in ascending id order.
-    pub(crate) fn rp_round(&mut self, g: &mut Dfg, tr: &mut TraceLog) -> (usize, usize) {
+    ///
+    /// Supervision: `wd` is checked cooperatively inside the sweep and
+    /// worklist loops. An abort *during analysis* skips the apply phases
+    /// entirely (clamping against a half-computed RP table would be
+    /// unsound); an abort *during apply* is safe mid-stream because every
+    /// applied clamp used the completed analysis. Either way the graph
+    /// remains functionally correct — only incomplete.
+    pub(crate) fn rp_round(
+        &mut self,
+        g: &mut Dfg,
+        tr: &mut TraceLog,
+        wd: &Watchdog,
+    ) -> (usize, usize) {
         let mut nodes = 0;
         let mut edges = 0;
+        if wd.check() {
+            return (0, 0);
+        }
         if self.round == 1 {
             self.rp.out_port.clear();
             self.rp.out_port.resize(g.num_nodes(), 0);
             self.rp.in_port.clear();
             self.rp.in_port.resize(g.num_nodes(), 0);
+            let mut done = 0usize;
             for i in (0..self.view.topo().len()).rev() {
+                if wd.check() {
+                    break;
+                }
                 let n = self.view.topo()[i];
                 let k = kind_index(g.node(n).kind());
                 let t = self.prof.begin(k);
@@ -222,10 +242,17 @@ impl Engine {
                 self.prof.end(k, t);
                 self.rp.out_port[n.index()] = out;
                 self.rp.in_port[n.index()] = inp;
+                done += 1;
             }
-            self.visits += g.num_nodes();
+            self.visits += done;
+            if done < self.view.topo().len() {
+                return (0, 0);
+            }
             self.rp_dirty.clear();
             for i in 0..g.num_nodes() {
+                if wd.check() {
+                    return (nodes, edges);
+                }
                 let n = NodeId::from_index(i);
                 if clamp_node(g, &self.rp, n, tr) {
                     nodes += 1;
@@ -233,6 +260,9 @@ impl Engine {
                 }
             }
             for i in 0..g.num_edges() {
+                if wd.check() {
+                    return (nodes, edges);
+                }
                 let e = EdgeId::from_index(i);
                 if clamp_edge(g, &self.rp, e, tr) {
                     edges += 1;
@@ -240,9 +270,14 @@ impl Engine {
                 }
             }
         } else {
-            let (mut out_changed, in_changed) = self.rp_update(g);
+            let Some((mut out_changed, in_changed)) = self.rp_update(g, wd) else {
+                return (0, 0);
+            };
             out_changed.sort_unstable();
             for n in out_changed {
+                if wd.check() {
+                    return (nodes, edges);
+                }
                 if clamp_node(g, &self.rp, n, tr) {
                     nodes += 1;
                     self.after_node_width_change(g, n);
@@ -258,6 +293,9 @@ impl Engine {
             ecand.sort_unstable();
             ecand.dedup();
             for e in ecand {
+                if wd.check() {
+                    return (nodes, edges);
+                }
                 if clamp_edge(g, &self.rp, e, tr) {
                     edges += 1;
                     self.after_edge_change(g, e);
@@ -270,8 +308,9 @@ impl Engine {
     /// Incremental RP update: processes dirty nodes in descending
     /// topological position (successors settle before the nodes that read
     /// them). Returns the nodes whose output-port / input-port values
-    /// changed.
-    fn rp_update(&mut self, g: &Dfg) -> (Vec<NodeId>, Vec<NodeId>) {
+    /// changed, or `None` when the watchdog aborted the update mid-heap
+    /// (the partial analysis must not feed the apply phase).
+    fn rp_update(&mut self, g: &Dfg, wd: &Watchdog) -> Option<(Vec<NodeId>, Vec<NodeId>)> {
         let mut out_changed = Vec::new();
         let mut in_changed = Vec::new();
         let Engine { view, rp, rp_dirty, in_heap, pushes, visits, prof, .. } = self;
@@ -283,6 +322,13 @@ impl Engine {
             *pushes += 1;
         }
         while let Some((_, n)) = heap.pop() {
+            if wd.check() {
+                for (_, rest) in heap {
+                    in_heap[rest.index()] = false;
+                }
+                in_heap[n.index()] = false;
+                return None;
+            }
             in_heap[n.index()] = false;
             *visits += 1;
             let k = kind_index(g.node(n).kind());
@@ -307,17 +353,26 @@ impl Engine {
                 }
             }
         }
-        (out_changed, in_changed)
+        Some((out_changed, in_changed))
     }
 
     /// The IC edge half of a round: update the analysis, then apply the
     /// Lemma 5.7 edge prune to the candidates in ascending id order.
-    pub(crate) fn ic_edge_round(&mut self, g: &mut Dfg, tr: &mut TraceLog) -> usize {
+    /// Watchdog semantics match [`Engine::rp_round`].
+    pub(crate) fn ic_edge_round(&mut self, g: &mut Dfg, tr: &mut TraceLog, wd: &Watchdog) -> usize {
         let mut changed = 0;
+        if wd.check() {
+            return 0;
+        }
         if self.round == 1 {
-            self.full_ic(g);
+            if !self.full_ic(g, wd) {
+                return 0;
+            }
             self.edge_cand.clear();
             for i in 0..g.num_edges() {
+                if wd.check() {
+                    return changed;
+                }
                 let e = EdgeId::from_index(i);
                 if prune_edge_one(g, &self.ic, e, tr) {
                     changed += 1;
@@ -325,8 +380,13 @@ impl Engine {
                 }
             }
         } else {
-            self.ic_update(g);
+            if !self.ic_update(g, wd) {
+                return 0;
+            }
             for e in self.edge_cand.drain_sorted() {
+                if wd.check() {
+                    return changed;
+                }
                 if prune_edge_one(g, &self.ic, e, tr) {
                     changed += 1;
                     self.after_edge_change(g, e);
@@ -340,19 +400,35 @@ impl Engine {
     /// sweep also recomputes IC between the edge and node prunes), then
     /// apply the Lemma 5.6 node prune to the candidates in ascending id
     /// order, inserting extension nodes where interfaces must be kept.
-    pub(crate) fn ic_node_round(&mut self, g: &mut Dfg, tr: &mut TraceLog) -> (usize, usize) {
+    /// Watchdog semantics match [`Engine::rp_round`].
+    pub(crate) fn ic_node_round(
+        &mut self,
+        g: &mut Dfg,
+        tr: &mut TraceLog,
+        wd: &Watchdog,
+    ) -> (usize, usize) {
         let mut narrowed = 0;
         let mut inserted = 0;
         let mut scratch = Vec::new();
+        if wd.check() {
+            return (0, 0);
+        }
         let candidates: Vec<NodeId> = if self.round == 1 {
-            self.full_ic(g);
+            if !self.full_ic(g, wd) {
+                return (0, 0);
+            }
             self.node_cand.clear();
             (0..g.num_nodes()).map(NodeId::from_index).collect()
         } else {
-            self.ic_update(g);
+            if !self.ic_update(g, wd) {
+                return (0, 0);
+            }
             self.node_cand.drain_sorted()
         };
         for n in candidates {
+            if wd.check() {
+                return (narrowed, inserted);
+            }
             match prune_node_one(g, &self.ic, n, tr, &mut scratch) {
                 NodePrune::Unchanged => {}
                 NodePrune::Narrowed { ext } => {
@@ -370,7 +446,9 @@ impl Engine {
 
     /// Full IC sweep (round 1 only): settles every node in topological
     /// order through the same [`settle_node`] the incremental path uses.
-    fn full_ic(&mut self, g: &Dfg) {
+    /// Returns `false` when the watchdog aborted the sweep (the partial
+    /// analysis must not feed a prune).
+    fn full_ic(&mut self, g: &Dfg, wd: &Watchdog) -> bool {
         let Engine { view, ic, overrides, ic_dirty, visits, prof, .. } = self;
         ic.node_out.clear();
         ic.node_out.resize(g.num_nodes(), Ic::trivial(0));
@@ -380,21 +458,30 @@ impl Engine {
         ic.edge_signal.resize(g.num_edges(), Ic::trivial(0));
         ic.operand.clear();
         ic.operand.resize(g.num_edges(), Ic::trivial(0));
+        let mut done = 0usize;
         for &n in view.topo() {
+            if wd.check() {
+                break;
+            }
             let k = kind_index(g.node(n).kind());
             let t = prof.begin(k);
             settle_node(g, n, ic, overrides);
             prof.end(k, t);
+            done += 1;
         }
-        *visits += g.num_nodes();
+        *visits += done;
+        if done < view.topo().len() {
+            return false;
+        }
         ic_dirty.clear();
+        true
     }
 
     /// Incremental IC update: processes dirty nodes in ascending
     /// topological position (predecessors settle before the nodes that
     /// read them), feeding claim changes into the prune-candidate
-    /// accumulators.
-    fn ic_update(&mut self, g: &Dfg) {
+    /// accumulators. Returns `false` when the watchdog aborted mid-heap.
+    fn ic_update(&mut self, g: &Dfg, wd: &Watchdog) -> bool {
         let Engine {
             view,
             ic,
@@ -416,6 +503,13 @@ impl Engine {
             *pushes += 1;
         }
         while let Some(Reverse((_, n))) = heap.pop() {
+            if wd.check() {
+                for Reverse((_, rest)) in heap {
+                    in_heap[rest.index()] = false;
+                }
+                in_heap[n.index()] = false;
+                return false;
+            }
             in_heap[n.index()] = false;
             *visits += 1;
             let i = n.index();
@@ -449,6 +543,7 @@ impl Engine {
                 }
             }
         }
+        true
     }
 
     /// Dirty propagation after `w(n)` shrank: the node's own RP input port

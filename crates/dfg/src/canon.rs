@@ -1,0 +1,696 @@
+//! Canonical structural form: a node-id- and name-independent hash plus a
+//! byte codec for content-addressed caching.
+//!
+//! The synthesis service answers design requests from an on-disk artifact
+//! store keyed by *structure*: two designs that differ only in node
+//! creation order or in port names must hit the same cache entry, while
+//! any semantic edit (an operator kind, a width, a constant value, an edge
+//! attribute, the input/output interface shape) must produce a different
+//! key. This module defines that key and the serialization behind it.
+//!
+//! # Canonical order
+//!
+//! The canonical index of every node is fixed by the design's *semantics*,
+//! never by its node ids:
+//!
+//! 1. primary inputs, in declaration order (declaration order is
+//!    semantic — it is the positional simulation interface);
+//! 2. the interior cone of each primary output, outputs taken in
+//!    declaration order, each explored by an iterative depth-first
+//!    postorder that visits in-edges in ascending port order — so every
+//!    node is placed after all of its transitive operands;
+//! 3. the primary outputs themselves, in declaration order;
+//! 4. any node unreachable from the outputs, appended last by the same
+//!    postorder seeded from the unreached nodes in id order. (Dead nodes
+//!    have no semantic identity to canonicalize by; full permutation
+//!    invariance is guaranteed for the output-reachable cone, which is
+//!    all that synthesis ever consumes.)
+//!
+//! # Canonical bytes and hash
+//!
+//! [`encode_canonical`] walks that order and writes, per node: a kind tag
+//! (constants contribute their value bits, operators their [`OpKind`],
+//! extensions their signedness — **names are never written**), the node
+//! width, and the in-edges in port order as `(port, edge width, edge
+//! signedness, canonical source index)` tuples; then the input and output
+//! interface as canonical indices in declaration order. The
+//! [`CanonicalForm::hash`] is a 128-bit FNV-1a over exactly those bytes,
+//! rendered as `dp1-<32 hex digits>`.
+//!
+//! [`decode_canonical`] rebuilds a [`Dfg`] whose node ids *equal* the
+//! canonical indices, with synthetic positional port names (`i0`, `i1`,
+//! …, `o0`, …) — so the decoded graph of any two alpha-renamed designs is
+//! bit-identical, and cluster/analysis artifacts expressed in canonical
+//! indices transfer between them.
+
+use std::fmt;
+
+use dp_bitvec::{BitVec, Signedness};
+
+use crate::graph::{Dfg, NodeId, NodeKind};
+use crate::op::OpKind;
+
+/// The canonical structural form of a design: the stable content hash and
+/// the bijection between node ids and canonical indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanonicalForm {
+    /// Content hash over the canonical bytes: `dp1-` + 32 hex digits.
+    pub hash: String,
+    /// Canonical index → node id.
+    pub order: Vec<NodeId>,
+    /// Node id (dense index) → canonical index.
+    pub rank: Vec<u32>,
+}
+
+impl CanonicalForm {
+    /// The canonical index of `n`.
+    pub fn rank_of(&self, n: NodeId) -> u32 {
+        self.rank[n.index()]
+    }
+}
+
+/// Errors from [`decode_canonical`]: the byte stream was not produced by
+/// [`encode_canonical`] (or was corrupted in storage).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanonDecodeError {
+    /// What was malformed.
+    pub message: String,
+    /// Byte offset at which decoding failed.
+    pub offset: usize,
+}
+
+impl fmt::Display for CanonDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "canonical decode error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for CanonDecodeError {}
+
+/// Computes the canonical order and content hash of `g`.
+///
+/// Invariant under node-id permutation (for the output-reachable cone) and
+/// under renaming of input/output ports; sensitive to every semantic
+/// attribute: kinds, widths, constant values, edge widths/signedness,
+/// connectivity, and interface order.
+pub fn canonical_form(g: &Dfg) -> CanonicalForm {
+    let order = canonical_order(g);
+    let mut rank = vec![0u32; g.num_nodes()];
+    for (i, &n) in order.iter().enumerate() {
+        rank[n.index()] = u32::try_from(i).expect("node count fits u32");
+    }
+    let bytes = encode_with(g, &order, &rank);
+    CanonicalForm { hash: render_hash(fnv128(&bytes)), order, rank }
+}
+
+/// Serializes `g` into its canonical bytes (names excluded, nodes in
+/// canonical order). [`canonical_form`]`.hash` is the FNV-1a-128 of
+/// exactly this buffer.
+pub fn encode_canonical(g: &Dfg) -> Vec<u8> {
+    let form = canonical_form(g);
+    encode_with(g, &form.order, &form.rank)
+}
+
+fn canonical_order(g: &Dfg) -> Vec<NodeId> {
+    let n = g.num_nodes();
+    let mut placed = vec![false; n];
+    let mut order: Vec<NodeId> = Vec::with_capacity(n);
+    for &i in g.inputs() {
+        if !placed[i.index()] {
+            placed[i.index()] = true;
+            order.push(i);
+        }
+    }
+    // Outputs are roots: explore each driver cone, then append the output
+    // nodes themselves after every cone is placed.
+    let outputs: Vec<NodeId> = g.outputs().to_vec();
+    let out_set: Vec<bool> = {
+        let mut s = vec![false; n];
+        for &o in &outputs {
+            s[o.index()] = true;
+        }
+        s
+    };
+    for &o in &outputs {
+        for e in g.node(o).in_edges() {
+            place_cone(g, g.edge(*e).src(), &mut placed, &out_set, &mut order);
+        }
+    }
+    for &o in &outputs {
+        if !placed[o.index()] {
+            placed[o.index()] = true;
+            order.push(o);
+        }
+    }
+    // Dead nodes (unreachable from any output), seeded in id order so the
+    // appendix is at least deterministic for a fixed graph value.
+    for i in 0..n {
+        let node = NodeId::from_index(i);
+        if !placed[i] {
+            place_cone(g, node, &mut placed, &out_set, &mut order);
+            if !placed[i] {
+                // `node` is itself an Output (dead outputs cannot exist —
+                // outputs are roots — but keep the walk total).
+                placed[i] = true;
+                order.push(node);
+            }
+        }
+    }
+    order
+}
+
+/// Iterative postorder from `root` over in-edges in port order, skipping
+/// already-placed nodes and output nodes (outputs are appended separately).
+fn place_cone(
+    g: &Dfg,
+    root: NodeId,
+    placed: &mut [bool],
+    out_set: &[bool],
+    order: &mut Vec<NodeId>,
+) {
+    if placed[root.index()] || out_set[root.index()] {
+        return;
+    }
+    // (node, next in-edge position to explore)
+    let mut stack: Vec<(NodeId, usize)> = vec![(root, 0)];
+    let mut on_stack = vec![false; g.num_nodes()];
+    on_stack[root.index()] = true;
+    while let Some(&(node, pos)) = stack.last() {
+        let ins = g.node(node).in_edges();
+        if pos < ins.len() {
+            if let Some(top) = stack.last_mut() {
+                top.1 += 1;
+            }
+            let src = g.edge(ins[pos]).src();
+            if !placed[src.index()] && !out_set[src.index()] && !on_stack[src.index()] {
+                on_stack[src.index()] = true;
+                stack.push((src, 0));
+            }
+        } else {
+            stack.pop();
+            on_stack[node.index()] = false;
+            if !placed[node.index()] {
+                placed[node.index()] = true;
+                order.push(node);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Byte encoding. All integers are unsigned LEB128; the layout is:
+//   magic "DFC1" | node_count | per node: kind-tag bytes, width,
+//   in-degree, per in-edge (port, ewidth, sign, src rank) |
+//   input_count, input ranks | output_count, output ranks
+// ---------------------------------------------------------------------
+
+const MAGIC: &[u8; 4] = b"DFC1";
+
+const TAG_INPUT: u8 = 0;
+const TAG_OUTPUT: u8 = 1;
+const TAG_CONST: u8 = 2;
+const TAG_EXT: u8 = 3;
+const TAG_OP_ADD: u8 = 4;
+const TAG_OP_SUB: u8 = 5;
+const TAG_OP_NEG: u8 = 6;
+const TAG_OP_MUL: u8 = 7;
+const TAG_OP_SHL: u8 = 8;
+
+fn sign_byte(s: Signedness) -> u8 {
+    match s {
+        Signedness::Unsigned => 0,
+        Signedness::Signed => 1,
+    }
+}
+
+fn push_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            break;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+fn encode_with(g: &Dfg, order: &[NodeId], rank: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + g.num_nodes() * 8 + g.num_edges() * 6);
+    out.extend_from_slice(MAGIC);
+    push_varint(&mut out, g.num_nodes() as u64);
+    for &n in order {
+        let node = g.node(n);
+        match node.kind() {
+            NodeKind::Input => out.push(TAG_INPUT),
+            NodeKind::Output => out.push(TAG_OUTPUT),
+            NodeKind::Const(v) => {
+                out.push(TAG_CONST);
+                push_varint(&mut out, v.width() as u64);
+                // Value bits, LSB first, packed 8 per byte.
+                let mut byte = 0u8;
+                for i in 0..v.width() {
+                    if v.bit(i) {
+                        byte |= 1 << (i % 8);
+                    }
+                    if i % 8 == 7 {
+                        out.push(byte);
+                        byte = 0;
+                    }
+                }
+                if v.width() % 8 != 0 {
+                    out.push(byte);
+                }
+            }
+            NodeKind::Extension(s) => {
+                out.push(TAG_EXT);
+                out.push(sign_byte(*s));
+            }
+            NodeKind::Op(op) => match op {
+                OpKind::Add => out.push(TAG_OP_ADD),
+                OpKind::Sub => out.push(TAG_OP_SUB),
+                OpKind::Neg => out.push(TAG_OP_NEG),
+                OpKind::Mul => out.push(TAG_OP_MUL),
+                OpKind::Shl(k) => {
+                    out.push(TAG_OP_SHL);
+                    out.push(*k);
+                }
+            },
+        }
+        push_varint(&mut out, node.width() as u64);
+        let ins = node.in_edges();
+        push_varint(&mut out, ins.len() as u64);
+        for &e in ins {
+            let edge = g.edge(e);
+            push_varint(&mut out, edge.dst_port() as u64);
+            push_varint(&mut out, edge.width() as u64);
+            out.push(sign_byte(edge.signedness()));
+            push_varint(&mut out, u64::from(rank[edge.src().index()]));
+        }
+    }
+    push_varint(&mut out, g.inputs().len() as u64);
+    for &i in g.inputs() {
+        push_varint(&mut out, u64::from(rank[i.index()]));
+    }
+    push_varint(&mut out, g.outputs().len() as u64);
+    for &o in g.outputs() {
+        push_varint(&mut out, u64::from(rank[o.index()]));
+    }
+    out
+}
+
+/// Rebuilds a graph from [`encode_canonical`] bytes. In the result, node
+/// id `k` *is* canonical index `k`, and ports carry positional names
+/// (`i0…`, `o0…`): the decode of any design equals the decode of every
+/// design sharing its canonical hash.
+///
+/// # Errors
+///
+/// Returns [`CanonDecodeError`] on any malformed byte stream — truncated,
+/// bad magic, dangling source references, or trailing garbage. Corrupted
+/// store entries must surface as errors here, never as panics.
+pub fn decode_canonical(bytes: &[u8]) -> Result<Dfg, CanonDecodeError> {
+    let mut d = Decoder { bytes, pos: 0 };
+    d.expect_magic()?;
+    let n = d.varint()? as usize;
+    if n > bytes.len() {
+        // A node needs at least one byte; reject absurd counts before
+        // attempting allocations sized by attacker-controlled data.
+        return Err(d.err("node count exceeds input size"));
+    }
+    struct Rec {
+        kind: RecKind,
+        width: usize,
+        ins: Vec<(usize, usize, Signedness, usize)>,
+    }
+    enum RecKind {
+        Input,
+        Output,
+        Const(BitVec),
+        Ext(Signedness),
+        Op(OpKind),
+    }
+    let mut recs: Vec<Rec> = Vec::with_capacity(n);
+    for k in 0..n {
+        let tag = d.byte()?;
+        let kind = match tag {
+            TAG_INPUT => RecKind::Input,
+            TAG_OUTPUT => RecKind::Output,
+            TAG_CONST => {
+                let width = d.varint()? as usize;
+                if width == 0 || width > 1 << 20 {
+                    return Err(d.err("constant width out of range"));
+                }
+                let nbytes = width.div_ceil(8);
+                let raw = d.take(nbytes)?;
+                let v = BitVec::from_fn(width, |i| raw[i / 8] >> (i % 8) & 1 == 1);
+                RecKind::Const(v)
+            }
+            TAG_EXT => RecKind::Ext(d.sign()?),
+            TAG_OP_ADD => RecKind::Op(OpKind::Add),
+            TAG_OP_SUB => RecKind::Op(OpKind::Sub),
+            TAG_OP_NEG => RecKind::Op(OpKind::Neg),
+            TAG_OP_MUL => RecKind::Op(OpKind::Mul),
+            TAG_OP_SHL => RecKind::Op(OpKind::Shl(d.byte()?)),
+            _ => return Err(d.err("unknown node tag")),
+        };
+        let width = d.varint()? as usize;
+        if width == 0 || width > 1 << 20 {
+            return Err(d.err("node width out of range"));
+        }
+        let deg = d.varint()? as usize;
+        if deg > 2 {
+            return Err(d.err("in-degree out of range"));
+        }
+        let mut ins = Vec::with_capacity(deg);
+        for _ in 0..deg {
+            let port = d.varint()? as usize;
+            let ew = d.varint()? as usize;
+            if ew == 0 || ew > 1 << 20 {
+                return Err(d.err("edge width out of range"));
+            }
+            let sign = d.sign()?;
+            let src = d.varint()? as usize;
+            if src >= k {
+                return Err(d.err("edge source does not precede its reader"));
+            }
+            ins.push((port, ew, sign, src));
+        }
+        recs.push(Rec { kind, width, ins });
+    }
+    let num_inputs = d.varint()? as usize;
+    let mut input_ranks = Vec::with_capacity(num_inputs);
+    for _ in 0..num_inputs {
+        input_ranks.push(d.varint()? as usize);
+    }
+    let num_outputs = d.varint()? as usize;
+    let mut output_ranks = Vec::with_capacity(num_outputs);
+    for _ in 0..num_outputs {
+        output_ranks.push(d.varint()? as usize);
+    }
+    if d.pos != bytes.len() {
+        return Err(d.err("trailing bytes after document"));
+    }
+    // Interface sanity: the canonical order places inputs first and
+    // outputs last, each in declaration order.
+    for (k, &r) in input_ranks.iter().enumerate() {
+        if r != k || r >= n || !matches!(recs[r].kind, RecKind::Input) {
+            return Err(d.err("input table does not match canonical layout"));
+        }
+    }
+    for &r in &output_ranks {
+        if r >= n || !matches!(recs[r].kind, RecKind::Output) {
+            return Err(d.err("output table does not match canonical layout"));
+        }
+    }
+
+    // Reconstruct in canonical order; every constructor below assigns ids
+    // densely, so node id k == canonical index k by induction.
+    let mut g = Dfg::with_capacity(n, recs.iter().map(|r| r.ins.len()).sum());
+    let mut next_in = 0usize;
+    let mut next_out = 0usize;
+    for (k, rec) in recs.iter().enumerate() {
+        let id = match &rec.kind {
+            RecKind::Input => {
+                if !rec.ins.is_empty() {
+                    return Err(d.err("input node with in-edges"));
+                }
+                let id = g.input(format!("i{next_in}"), rec.width);
+                next_in += 1;
+                id
+            }
+            RecKind::Const(v) => {
+                if !rec.ins.is_empty() || v.width() != rec.width {
+                    return Err(d.err("malformed constant node"));
+                }
+                g.constant(v.clone())
+            }
+            RecKind::Ext(s) => {
+                let &[(port, ew, es, src)] = rec.ins.as_slice() else {
+                    return Err(d.err("extension node needs exactly one in-edge"));
+                };
+                if port != 0 {
+                    return Err(d.err("extension in-edge on a non-zero port"));
+                }
+                g.extension(rec.width, *s, NodeId::from_index(src), ew, es)
+            }
+            RecKind::Output => {
+                let &[(port, ew, es, src)] = rec.ins.as_slice() else {
+                    return Err(d.err("output node needs exactly one in-edge"));
+                };
+                if port != 0 {
+                    return Err(d.err("output in-edge on a non-zero port"));
+                }
+                let id = g.output_with_edge(
+                    format!("o{next_out}"),
+                    rec.width,
+                    NodeId::from_index(src),
+                    ew,
+                    es,
+                );
+                next_out += 1;
+                id
+            }
+            RecKind::Op(op) => {
+                if rec.ins.len() != op.arity() {
+                    return Err(d.err("operator in-degree does not match arity"));
+                }
+                let id = g.op_unconnected(*op, rec.width);
+                for (pos, &(port, ew, es, src)) in rec.ins.iter().enumerate() {
+                    if port != pos {
+                        return Err(d.err("operator ports not dense in port order"));
+                    }
+                    g.connect(NodeId::from_index(src), id, port, ew, es);
+                }
+                id
+            }
+        };
+        if id.index() != k {
+            return Err(d.err("canonical index mismatch during rebuild"));
+        }
+    }
+    if output_ranks.len() != g.outputs().len() || input_ranks.len() != g.inputs().len() {
+        return Err(d.err("interface table does not cover all ports"));
+    }
+    if g.outputs().iter().map(|o| o.index()).ne(output_ranks.iter().copied()) {
+        return Err(d.err("output declaration order does not match canonical order"));
+    }
+    Ok(g)
+}
+
+struct Decoder<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Decoder<'_> {
+    fn err(&self, message: &str) -> CanonDecodeError {
+        CanonDecodeError { message: message.to_string(), offset: self.pos }
+    }
+
+    fn byte(&mut self) -> Result<u8, CanonDecodeError> {
+        let b = *self.bytes.get(self.pos).ok_or_else(|| self.err("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&[u8], CanonDecodeError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(self.err("unexpected end of input"));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn expect_magic(&mut self) -> Result<(), CanonDecodeError> {
+        if self.take(4)? != MAGIC {
+            return Err(CanonDecodeError { message: "bad magic".to_string(), offset: 0 });
+        }
+        Ok(())
+    }
+
+    fn varint(&mut self) -> Result<u64, CanonDecodeError> {
+        let mut v = 0u64;
+        for shift in (0..64).step_by(7) {
+            let b = self.byte()?;
+            v |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(self.err("varint too long"))
+    }
+
+    fn sign(&mut self) -> Result<Signedness, CanonDecodeError> {
+        match self.byte()? {
+            0 => Ok(Signedness::Unsigned),
+            1 => Ok(Signedness::Signed),
+            _ => Err(self.err("bad signedness byte")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// 128-bit FNV-1a. Hand-rolled (the workspace is dependency-free); 128
+// bits keeps structural-key collisions out of reach for any store size,
+// and the differential audit on cache hits backstops even that.
+// ---------------------------------------------------------------------
+
+fn fnv128(bytes: &[u8]) -> u128 {
+    const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+    const PRIME: u128 = 0x0000000001000000000000000000013b;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u128::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+fn render_hash(h: u128) -> String {
+    format!("dp1-{h:032x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_bitvec::Signedness::*;
+
+    fn fig_like() -> Dfg {
+        let mut g = Dfg::new();
+        let a = g.input("A", 8);
+        let b = g.input("B", 8);
+        let c = g.input("C", 9);
+        let n1 = g.op(OpKind::Add, 7, &[(a, Signed), (b, Signed)]);
+        let k = g.constant(BitVec::from_u64(4, 5));
+        let n2 = g.op(OpKind::Mul, 13, &[(n1, Signed), (k, Unsigned)]);
+        let n3 = g.op(OpKind::Add, 13, &[(n2, Signed), (c, Signed)]);
+        g.output("R", 13, n3, Signed);
+        g
+    }
+
+    #[test]
+    fn hash_is_stable_and_prefixed() {
+        let g = fig_like();
+        let f1 = canonical_form(&g);
+        let f2 = canonical_form(&g);
+        assert_eq!(f1, f2);
+        assert!(f1.hash.starts_with("dp1-"));
+        assert_eq!(f1.hash.len(), 4 + 32);
+    }
+
+    #[test]
+    fn alpha_renaming_preserves_hash_and_decode() {
+        let g = fig_like();
+        let mut r = Dfg::new();
+        let a = r.input("x_alpha", 8);
+        let b = r.input("y_beta", 8);
+        let c = r.input("z_gamma", 9);
+        let n1 = r.op(OpKind::Add, 7, &[(a, Signed), (b, Signed)]);
+        let k = r.constant(BitVec::from_u64(4, 5));
+        let n2 = r.op(OpKind::Mul, 13, &[(n1, Signed), (k, Unsigned)]);
+        let n3 = r.op(OpKind::Add, 13, &[(n2, Signed), (c, Signed)]);
+        r.output("result", 13, n3, Signed);
+        assert_eq!(canonical_form(&g).hash, canonical_form(&r).hash);
+        let dg = decode_canonical(&encode_canonical(&g)).unwrap();
+        let dr = decode_canonical(&encode_canonical(&r)).unwrap();
+        assert_eq!(format!("{dg:?}"), format!("{dr:?}"));
+    }
+
+    #[test]
+    fn permuted_construction_order_preserves_hash() {
+        let g = fig_like();
+        // Same design, interleaved construction: constants and ops created
+        // in a different id order (inputs keep declaration order — that is
+        // the simulation interface).
+        let mut p = Dfg::new();
+        let a = p.input("A", 8);
+        let b = p.input("B", 8);
+        let c = p.input("C", 9);
+        let k = p.constant(BitVec::from_u64(4, 5));
+        let n1 = p.op(OpKind::Add, 7, &[(a, Signed), (b, Signed)]);
+        let n2 = p.op(OpKind::Mul, 13, &[(n1, Signed), (k, Unsigned)]);
+        let n3 = p.op(OpKind::Add, 13, &[(n2, Signed), (c, Signed)]);
+        p.output("R", 13, n3, Signed);
+        assert_eq!(canonical_form(&g).hash, canonical_form(&p).hash);
+    }
+
+    #[test]
+    fn semantic_edits_change_the_hash() {
+        let base = canonical_form(&fig_like()).hash;
+        let build = |op: OpKind, width: usize, cval: u64, out_w: usize| {
+            let mut g = Dfg::new();
+            let a = g.input("A", 8);
+            let b = g.input("B", 8);
+            let c = g.input("C", 9);
+            let n1 = g.op(op, 7, &[(a, Signed), (b, Signed)]);
+            let k = g.constant(BitVec::from_u64(4, cval));
+            let n2 = g.op(OpKind::Mul, width, &[(n1, Signed), (k, Unsigned)]);
+            let n3 = g.op(OpKind::Add, 13, &[(n2, Signed), (c, Signed)]);
+            g.output("R", out_w, n3, Signed);
+            canonical_form(&g).hash
+        };
+        assert_ne!(build(OpKind::Sub, 13, 5, 13), base, "op kind must matter");
+        assert_ne!(build(OpKind::Add, 12, 5, 13), base, "node width must matter");
+        assert_ne!(build(OpKind::Add, 13, 6, 13), base, "constant value must matter");
+        assert_ne!(build(OpKind::Add, 13, 5, 12), base, "output width must matter");
+        assert_eq!(build(OpKind::Add, 13, 5, 13), base, "identical rebuild must match");
+    }
+
+    #[test]
+    fn decode_round_trips_semantics() {
+        let g = fig_like();
+        let decoded = decode_canonical(&encode_canonical(&g)).unwrap();
+        decoded.validate().unwrap();
+        assert_eq!(decoded.num_nodes(), g.num_nodes());
+        assert_eq!(decoded.num_edges(), g.num_edges());
+        assert_eq!(canonical_form(&decoded).hash, canonical_form(&g).hash);
+        // Same function, positionally.
+        let inputs =
+            vec![BitVec::from_i64(8, -100), BitVec::from_i64(8, 55), BitVec::from_i64(9, 17)];
+        let want = g.evaluate(&inputs).unwrap();
+        let got = decoded.evaluate(&inputs).unwrap();
+        let want_r = &want[&g.outputs()[0]];
+        let got_r = &got[&decoded.outputs()[0]];
+        assert_eq!(want_r, got_r);
+        // Names are positional in the decode.
+        assert_eq!(decoded.node(decoded.inputs()[0]).name(), Some("i0"));
+        assert_eq!(decoded.node(decoded.outputs()[0]).name(), Some("o0"));
+    }
+
+    #[test]
+    fn corrupt_bytes_decode_to_errors_not_panics() {
+        let bytes = encode_canonical(&fig_like());
+        // Truncations at every prefix length.
+        for len in 0..bytes.len() {
+            let _ = decode_canonical(&bytes[..len]);
+        }
+        // Single-byte corruptions.
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x41;
+            if let Ok(g) = decode_canonical(&bad) {
+                // A corruption that still decodes must at least be a valid
+                // graph value (the store's differential audit catches the
+                // rest).
+                let _ = g.validate();
+            }
+        }
+        assert!(decode_canonical(b"DFC1").is_err());
+        assert!(decode_canonical(b"").is_err());
+        assert!(decode_canonical(b"XXXX\x00").is_err());
+    }
+
+    #[test]
+    fn dead_nodes_are_deterministic_and_reachable_cone_invariant() {
+        let mut g = fig_like();
+        let extra = g.input("dead_in", 3);
+        let _dead = g.op(OpKind::Neg, 3, &[(extra, Unsigned)]);
+        let f = canonical_form(&g);
+        assert_eq!(f.order.len(), g.num_nodes());
+        assert_eq!(canonical_form(&g), f);
+        let decoded = decode_canonical(&encode_canonical(&g)).unwrap();
+        assert_eq!(canonical_form(&decoded).hash, f.hash);
+    }
+}

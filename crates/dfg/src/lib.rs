@@ -50,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+mod canon;
 mod dot;
 mod eval;
 pub mod gen;
@@ -60,6 +61,9 @@ mod topo;
 mod validate;
 mod view;
 
+pub use canon::{
+    canonical_form, decode_canonical, encode_canonical, CanonDecodeError, CanonicalForm,
+};
 pub use dot::DotAnnotations;
 pub use eval::{EvalError, Evaluation};
 pub use graph::{Dfg, Edge, EdgeId, Node, NodeId, NodeKind};

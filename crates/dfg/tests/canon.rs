@@ -1,0 +1,312 @@
+//! Property tests for the canonical structural form (ISSUE 10 satellite).
+//!
+//! The content-addressed artifact store is only sound if the canonical
+//! hash is exactly as discriminating as design semantics:
+//!
+//! * **invariant** under node-id permutation (any legal construction
+//!   order) and under alpha-renaming of the input/output ports;
+//! * **sensitive** to every semantic edit — operator kind, node width,
+//!   constant value;
+//! * and the canonical byte codec must round-trip to a graph computing
+//!   the same function positionally.
+
+use dp_bitvec::BitVec;
+use dp_dfg::gen::{random_dfg, random_inputs, GenConfig};
+use dp_dfg::{canonical_form, decode_canonical, encode_canonical, Dfg, NodeId, NodeKind, OpKind};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn gen_config(num_ops: usize) -> GenConfig {
+    GenConfig { num_inputs: 3, num_ops, input_width: (4, 12), ..GenConfig::default() }
+}
+
+/// True when every node participates in some output cone (the canonical
+/// order only guarantees permutation invariance for the reachable cone).
+fn all_output_reachable(g: &Dfg) -> bool {
+    let mut seen = vec![false; g.num_nodes()];
+    let mut stack: Vec<NodeId> = g.outputs().to_vec();
+    for &o in g.outputs() {
+        seen[o.index()] = true;
+    }
+    while let Some(n) = stack.pop() {
+        for &e in g.node(n).in_edges() {
+            let s = g.edge(e).src();
+            if !seen[s.index()] {
+                seen[s.index()] = true;
+                stack.push(s);
+            }
+        }
+    }
+    seen.into_iter().all(|b| b)
+}
+
+/// Rebuilds `g` with node ids assigned by a random linear extension of the
+/// dependency DAG. Input and output *declaration order* is preserved (it
+/// is the positional simulation interface); everything else — the
+/// interleaving of constants, operators, extensions, and the two port
+/// families — is shuffled. Optionally alpha-renames every port.
+fn permuted_copy(g: &Dfg, rng: &mut StdRng, rename: bool) -> Dfg {
+    let n = g.num_nodes();
+    let mut out = Dfg::with_capacity(n, g.num_edges());
+    let mut mapped: Vec<Option<NodeId>> = vec![None; n];
+    let mut next_input = 0usize;
+    let mut next_output = 0usize;
+    let mut done = 0usize;
+    while done < n {
+        // Collect currently-constructible nodes.
+        let ready: Vec<NodeId> = g
+            .node_ids()
+            .filter(|&id| {
+                if mapped[id.index()].is_some() {
+                    return false;
+                }
+                match g.node(id).kind() {
+                    NodeKind::Input => g.inputs().get(next_input) == Some(&id),
+                    NodeKind::Output => {
+                        g.outputs().get(next_output) == Some(&id)
+                            && g.node(id)
+                                .in_edges()
+                                .iter()
+                                .all(|&e| mapped[g.edge(e).src().index()].is_some())
+                    }
+                    _ => g
+                        .node(id)
+                        .in_edges()
+                        .iter()
+                        .all(|&e| mapped[g.edge(e).src().index()].is_some()),
+                }
+            })
+            .collect();
+        assert!(!ready.is_empty(), "DAG scheduling wedged");
+        let pick = ready[rng.gen_range(0..ready.len())];
+        let node = g.node(pick);
+        let new_id = match node.kind() {
+            NodeKind::Input => {
+                let name = if rename {
+                    format!("renamed_in_{next_input}")
+                } else {
+                    node.name().unwrap_or("").to_string()
+                };
+                next_input += 1;
+                out.input(name, node.width())
+            }
+            NodeKind::Const(v) => out.constant(v.clone()),
+            NodeKind::Op(op) => {
+                let id = out.op_unconnected(*op, node.width());
+                for &e in node.in_edges() {
+                    let edge = g.edge(e);
+                    let src = mapped[edge.src().index()].expect("scheduled after sources");
+                    out.connect(src, id, edge.dst_port(), edge.width(), edge.signedness());
+                }
+                id
+            }
+            NodeKind::Extension(s) => {
+                let e = node.in_edges()[0];
+                let edge = g.edge(e);
+                let src = mapped[edge.src().index()].expect("scheduled after sources");
+                out.extension(node.width(), *s, src, edge.width(), edge.signedness())
+            }
+            NodeKind::Output => {
+                let name = if rename {
+                    format!("renamed_out_{next_output}")
+                } else {
+                    node.name().unwrap_or("").to_string()
+                };
+                next_output += 1;
+                let e = node.in_edges()[0];
+                let edge = g.edge(e);
+                let src = mapped[edge.src().index()].expect("scheduled after sources");
+                out.output_with_edge(name, node.width(), src, edge.width(), edge.signedness())
+            }
+        };
+        mapped[pick.index()] = Some(new_id);
+        done += 1;
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Hash invariance under node-id permutation and alpha-renaming, on
+    /// random designs, across several independent shuffles.
+    #[test]
+    fn hash_invariant_under_permutation_and_renaming(
+        seed in any::<u64>(),
+        num_ops in 3usize..14,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_dfg(&mut rng, &gen_config(num_ops));
+        prop_assume!(all_output_reachable(&g));
+        let base = canonical_form(&g);
+        for shuffle in 0..3u64 {
+            let mut prng = StdRng::seed_from_u64(seed ^ (0xA11CE << 8) ^ shuffle);
+            let p = permuted_copy(&g, &mut prng, false);
+            p.validate().expect("permuted copy is a valid design");
+            prop_assert_eq!(&canonical_form(&p).hash, &base.hash);
+            let r = permuted_copy(&g, &mut prng, true);
+            prop_assert_eq!(&canonical_form(&r).hash, &base.hash);
+        }
+    }
+
+    /// Any semantic edit changes the hash: operator kind, node width,
+    /// constant value.
+    #[test]
+    fn semantic_edits_change_hash(seed in any::<u64>(), num_ops in 3usize..14) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_dfg(&mut rng, &gen_config(num_ops));
+        let base = canonical_form(&g).hash;
+
+        // Operator kind: flip one binary op between Add and Sub.
+        let kind_target = g.node_ids().find(|&id| matches!(
+            g.node(id).kind(), NodeKind::Op(OpKind::Add) | NodeKind::Op(OpKind::Sub)
+        ));
+        if let Some(target) = kind_target {
+            let mut edited = copy_with(&g, |id, kind| {
+                if id == target {
+                    match kind {
+                        NodeKind::Op(OpKind::Add) => NodeKind::Op(OpKind::Sub),
+                        NodeKind::Op(OpKind::Sub) => NodeKind::Op(OpKind::Add),
+                        other => other.clone(),
+                    }
+                } else {
+                    kind.clone()
+                }
+            });
+            edited.validate().expect("kind-edited design still valid");
+            prop_assert_ne!(canonical_form(&edited).hash, base.clone());
+            let _ = &mut edited;
+        }
+
+        // Node width: widen one operator by a bit.
+        let width_target = g.node_ids().find(|&id| g.node(id).kind().is_op());
+        if let Some(target) = width_target {
+            let mut edited = permuted_identity(&g);
+            edited.set_node_width(target, g.node(target).width() + 1);
+            prop_assert_ne!(canonical_form(&edited).hash, base.clone());
+        }
+
+        // Constant value: flip the low bit of one constant.
+        let const_target = g.node_ids().find(|&id| matches!(g.node(id).kind(), NodeKind::Const(_)));
+        if let Some(target) = const_target {
+            let edited = copy_with(&g, |id, kind| {
+                if id == target {
+                    if let NodeKind::Const(v) = kind {
+                        let mut flipped = v.clone();
+                        flipped.set_bit(0, !v.bit(0));
+                        return NodeKind::Const(flipped);
+                    }
+                }
+                kind.clone()
+            });
+            prop_assert_ne!(canonical_form(&edited).hash, base.clone());
+        }
+    }
+
+    /// The canonical codec round-trips: decode(encode(g)) computes the same
+    /// function as `g` on random input vectors, positionally.
+    #[test]
+    fn codec_round_trips_function(seed in any::<u64>(), num_ops in 3usize..14) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_dfg(&mut rng, &gen_config(num_ops));
+        let decoded = decode_canonical(&encode_canonical(&g)).expect("own encoding decodes");
+        decoded.validate().expect("decoded design is valid");
+        prop_assert_eq!(canonical_form(&decoded).hash, canonical_form(&g).hash);
+        for _ in 0..4 {
+            let inputs = random_inputs(&g, &mut rng);
+            let want = g.evaluate(&inputs).expect("original evaluates");
+            let got = decoded.evaluate(&inputs).expect("decoded evaluates");
+            for (k, (&wo, &go)) in g.outputs().iter().zip(decoded.outputs()).enumerate() {
+                let _ = k;
+                prop_assert_eq!(&want[&wo], &got[&go]);
+            }
+        }
+    }
+}
+
+/// Copies `g` node-for-node in id order, letting `kind_of` substitute the
+/// node kind (widths, names, and edges are carried over verbatim).
+fn copy_with(g: &Dfg, mut kind_of: impl FnMut(NodeId, &NodeKind) -> NodeKind) -> Dfg {
+    let mut out = Dfg::with_capacity(g.num_nodes(), g.num_edges());
+    let mut mapped: Vec<NodeId> = Vec::with_capacity(g.num_nodes());
+    for id in g.node_ids() {
+        let node = g.node(id);
+        let kind = kind_of(id, node.kind());
+        let new_id = match kind {
+            NodeKind::Input => out.input(node.name().unwrap_or(""), node.width()),
+            NodeKind::Const(v) => out.constant(v),
+            NodeKind::Op(op) => {
+                let nid = out.op_unconnected(op, node.width());
+                for &e in node.in_edges() {
+                    let edge = g.edge(e);
+                    out.connect(
+                        mapped[edge.src().index()],
+                        nid,
+                        edge.dst_port(),
+                        edge.width(),
+                        edge.signedness(),
+                    );
+                }
+                nid
+            }
+            NodeKind::Extension(s) => {
+                let edge = g.edge(node.in_edges()[0]);
+                out.extension(
+                    node.width(),
+                    s,
+                    mapped[edge.src().index()],
+                    edge.width(),
+                    edge.signedness(),
+                )
+            }
+            NodeKind::Output => {
+                let edge = g.edge(node.in_edges()[0]);
+                out.output_with_edge(
+                    node.name().unwrap_or(""),
+                    node.width(),
+                    mapped[edge.src().index()],
+                    edge.width(),
+                    edge.signedness(),
+                )
+            }
+        };
+        mapped.push(new_id);
+    }
+    out
+}
+
+/// An id-order copy with no edits (so width edits can be applied to a
+/// fresh value without mutating the proptest input).
+fn permuted_identity(g: &Dfg) -> Dfg {
+    copy_with(g, |_, k| k.clone())
+}
+
+/// Deterministic spot-check mirroring the service's key use case: the
+/// paper's Figure-1 design resubmitted with renamed ports and a different
+/// construction order hits the same key; nudging one width misses.
+#[test]
+fn figure1_resubmission_scenario() {
+    use dp_bitvec::Signedness::*;
+    let mut a1 = Dfg::new();
+    let a = a1.input("A", 8);
+    let b = a1.input("B", 8);
+    let c = a1.input("C", 9);
+    let n1 = a1.op(OpKind::Add, 7, &[(a, Signed), (b, Signed)]);
+    let n3 = a1.op(OpKind::Add, 9, &[(n1, Signed), (c, Signed)]);
+    a1.output("R", 9, n3, Signed);
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let a2 = permuted_copy(&a1, &mut rng, true);
+    assert_eq!(canonical_form(&a1).hash, canonical_form(&a2).hash);
+
+    let mut a3 = permuted_identity(&a1);
+    a3.set_node_width(n1, 8);
+    assert_ne!(canonical_form(&a1).hash, canonical_form(&a3).hash);
+
+    // And the decoded canonical graph still computes Figure 1's function.
+    let decoded = decode_canonical(&encode_canonical(&a1)).expect("decodes");
+    let inputs = vec![BitVec::from_i64(8, 100), BitVec::from_i64(8, 50), BitVec::from_i64(9, 1)];
+    let out = decoded.evaluate(&inputs).expect("evaluates");
+    assert_eq!(out[&decoded.outputs()[0]].to_i64(), Some(23));
+}

@@ -25,6 +25,8 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod serve;
+
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 

@@ -1,0 +1,321 @@
+//! Chaos matrix for the supervised synthesis service (`dpmc faultcheck
+//! --serve`).
+//!
+//! Each scenario attacks one leg of the dp-serve robustness contract —
+//! worker panics, supervision limits, and every store corruption the
+//! recovery path claims to survive — then asserts the service behaved:
+//! detect, retry, degrade to a quarantined **miss**, or report a typed
+//! error. A panic escaping the service, a store that fails to reopen, or
+//! a warm answer that differs from the cold baseline is a matrix
+//! **failure**.
+
+use std::fmt;
+use std::fs::{self, OpenOptions};
+use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+use dp_serve::{ServeOptions, ServeStats, Service, Store};
+
+/// One chaos scenario of the service matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServeChaos {
+    /// A worker panics once; the supervisor must retry and succeed.
+    WorkerPanic,
+    /// Workers panic on every attempt; the supervisor must exhaust its
+    /// retries and report the panic taxonomy instead of crashing.
+    RetryExhaustion,
+    /// The request's deadline is already expired; the flow must stop
+    /// cooperatively with a `deadline` outcome.
+    DeadlineExpiry,
+    /// A zero memory ceiling; with an allocation probe installed the flow
+    /// stops with a `memory` outcome, without one it succeeds — either
+    /// way, no crash.
+    MemoryCeiling,
+    /// A stored netlist entry is truncated mid-file.
+    StoreTruncate,
+    /// One payload byte of a stored entry is flipped.
+    StoreBitflip,
+    /// The manifest journal ends in a torn, half-written line.
+    TornManifest,
+    /// A stale `.tmp` file from an interrupted write litters the store.
+    StaleTemp,
+    /// A simulated `kill -9` mid-write: a renamed object with no journal
+    /// line, a half-written temp, and a torn journal tail — all at once.
+    CrashRestart,
+}
+
+impl ServeChaos {
+    /// Every scenario, in matrix order.
+    pub const ALL: [ServeChaos; 9] = [
+        ServeChaos::WorkerPanic,
+        ServeChaos::RetryExhaustion,
+        ServeChaos::DeadlineExpiry,
+        ServeChaos::MemoryCeiling,
+        ServeChaos::StoreTruncate,
+        ServeChaos::StoreBitflip,
+        ServeChaos::TornManifest,
+        ServeChaos::StaleTemp,
+        ServeChaos::CrashRestart,
+    ];
+
+    /// Stable scenario name (also the per-scenario store directory).
+    pub fn name(self) -> &'static str {
+        match self {
+            ServeChaos::WorkerPanic => "worker-panic",
+            ServeChaos::RetryExhaustion => "retry-exhaustion",
+            ServeChaos::DeadlineExpiry => "deadline-expiry",
+            ServeChaos::MemoryCeiling => "memory-ceiling",
+            ServeChaos::StoreTruncate => "store-truncate",
+            ServeChaos::StoreBitflip => "store-bitflip",
+            ServeChaos::TornManifest => "torn-manifest",
+            ServeChaos::StaleTemp => "stale-temp",
+            ServeChaos::CrashRestart => "crash-restart",
+        }
+    }
+}
+
+impl fmt::Display for ServeChaos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The verdict of one scenario run.
+#[derive(Debug, Clone)]
+pub struct ServeChaosCase {
+    /// The scenario.
+    pub chaos: ServeChaos,
+    /// `true` when the service upheld the contract.
+    pub passed: bool,
+    /// What happened, for the report table.
+    pub detail: String,
+}
+
+/// All scenarios for one design.
+#[derive(Debug, Clone)]
+pub struct ServeChaosReport {
+    /// Design name the matrix ran against.
+    pub design: String,
+    /// One entry per scenario, in [`ServeChaos::ALL`] order.
+    pub cases: Vec<ServeChaosCase>,
+}
+
+impl ServeChaosReport {
+    /// `true` when every scenario passed.
+    pub fn passed(&self) -> bool {
+        self.cases.iter().all(|c| c.passed)
+    }
+}
+
+/// Runs the full chaos matrix for one builtin design. Per-scenario store
+/// directories are created under `scratch` and removed afterwards.
+pub fn check_serve(design: &str, scratch: &Path) -> ServeChaosReport {
+    let cases = ServeChaos::ALL
+        .into_iter()
+        .map(|chaos| {
+            let root = scratch.join(format!("{design}-{chaos}"));
+            let _ = fs::remove_dir_all(&root);
+            // The scenario itself must never panic out of the service;
+            // catch here so one escape fails its case, not the harness.
+            let verdict = catch_unwind(AssertUnwindSafe(|| run_scenario(design, chaos, &root)));
+            let _ = fs::remove_dir_all(&root);
+            let (passed, detail) = match verdict {
+                Ok(Ok(detail)) => (true, detail),
+                Ok(Err(detail)) => (false, detail),
+                Err(_) => (false, "panicked out of the service".to_string()),
+            };
+            ServeChaosCase { chaos, passed, detail }
+        })
+        .collect();
+    ServeChaosReport { design: design.to_string(), cases }
+}
+
+/// `Ok(detail)` = contract upheld, `Err(detail)` = violation.
+fn run_scenario(design: &str, chaos: ServeChaos, root: &Path) -> Result<String, String> {
+    match chaos {
+        ServeChaos::WorkerPanic => {
+            let service = storeless(2);
+            service.inject_panics(1);
+            let (line, stats) = serve_one(&service, design)?;
+            expect(line.contains("\"outcome\":\"ok\""), "no recovery after one panic", &line)?;
+            expect(stats.retries == 1, "retry not counted", &line)?;
+            Ok("one panic, one retry, then a healthy answer".to_string())
+        }
+        ServeChaos::RetryExhaustion => {
+            let service = storeless(1);
+            service.inject_panics(u32::MAX);
+            let (line, stats) = serve_one(&service, design)?;
+            service.inject_panics(0);
+            expect(line.contains("\"family\":\"panic\""), "panic taxonomy missing", &line)?;
+            expect(line.contains("\"exit_code\":101"), "panic exit code missing", &line)?;
+            expect(stats.errors == 1, "error not tallied", &line)?;
+            Ok("retries exhausted, panic reported with its taxonomy".to_string())
+        }
+        ServeChaos::DeadlineExpiry => {
+            let service = storeless(0);
+            let (line, stats) = serve_req(
+                &service,
+                &format!("{{\"id\":\"f\",\"design\":\"{design}\",\"deadline_ms\":0}}"),
+            )?;
+            expect(line.contains("\"outcome\":\"deadline\""), "deadline not enforced", &line)?;
+            expect(stats.deadline == 1, "deadline not tallied", &line)?;
+            Ok("expired deadline stopped the flow cooperatively".to_string())
+        }
+        ServeChaos::MemoryCeiling => {
+            let service = storeless(0);
+            let (line, _) = serve_req(
+                &service,
+                &format!("{{\"id\":\"f\",\"design\":\"{design}\",\"max_live_mb\":0}}"),
+            )?;
+            let ok = line.contains("\"outcome\":\"ok\"") || line.contains("\"outcome\":\"memory\"");
+            expect(ok, "unexpected outcome under a zero ceiling", &line)?;
+            Ok(if line.contains("\"outcome\":\"memory\"") {
+                "zero ceiling tripped the memory watchdog".to_string()
+            } else {
+                "no allocation probe installed; watchdog failed open, run stayed healthy"
+                    .to_string()
+            })
+        }
+        ServeChaos::StoreTruncate => store_attack(design, root, |obj, bytes| {
+            fs::write(obj, &bytes[..bytes.len() / 2]).map_err(|e| e.to_string())
+        }),
+        ServeChaos::StoreBitflip => store_attack(design, root, |obj, bytes| {
+            let mut bad = bytes.to_vec();
+            let mid = bad.len() / 2;
+            bad[mid] ^= 0x10;
+            fs::write(obj, bad).map_err(|e| e.to_string())
+        }),
+        ServeChaos::TornManifest => store_attack(design, root, |obj, _| {
+            let manifest = obj
+                .ancestors()
+                .nth(3)
+                .ok_or_else(|| "store layout changed".to_string())?
+                .join("manifest.log");
+            let mut f =
+                OpenOptions::new().append(true).open(manifest).map_err(|e| e.to_string())?;
+            f.write_all(b"put netlist torn-mid-wri").map_err(|e| e.to_string())
+        }),
+        ServeChaos::StaleTemp => store_attack(design, root, |obj, _| {
+            let dir = obj.parent().ok_or_else(|| "store layout changed".to_string())?;
+            fs::write(dir.join(".stale.bin.tmp"), b"interrupted").map_err(|e| e.to_string())
+        }),
+        ServeChaos::CrashRestart => store_attack(design, root, |obj, bytes| {
+            // The worst crash window all at once: an object whose journal
+            // append never landed (simulated by wiping the journal line
+            // via a fresh torn journal), a stale temp, and a torn tail.
+            let store_root = obj.ancestors().nth(3).ok_or_else(|| "store layout".to_string())?;
+            let dir = obj.parent().ok_or_else(|| "store layout".to_string())?;
+            fs::write(dir.join("orphaned-twin.bin"), bytes).map_err(|e| e.to_string())?;
+            fs::write(dir.join(".mid.bin.tmp"), b"interrupted").map_err(|e| e.to_string())?;
+            let mut f = OpenOptions::new()
+                .append(true)
+                .open(store_root.join("manifest.log"))
+                .map_err(|e| e.to_string())?;
+            f.write_all(b"put cluster torn-at-the").map_err(|e| e.to_string())
+        }),
+    }
+}
+
+/// Shared store-corruption scenario: cold run to fill the store, corrupt
+/// it with `attack`, reopen (must not crash), re-serve (answer must be
+/// byte-identical to the cold baseline modulo cache provenance).
+fn store_attack(
+    design: &str,
+    root: &Path,
+    attack: impl FnOnce(&PathBuf, &[u8]) -> Result<(), String>,
+) -> Result<String, String> {
+    let baseline = {
+        let service = stored(root)?;
+        let (line, _) = serve_one(&service, design)?;
+        expect(line.contains("\"level\":\"miss\""), "cold run did not miss", &line)?;
+        scrub(&line)
+    };
+    let obj = netlist_object(root)?;
+    let bytes = fs::read(&obj).map_err(|e| format!("read object: {e}"))?;
+    attack(&obj, &bytes)?;
+
+    let service = stored(root)?; // reopen runs recovery; an Err here is a failed case
+    let (line, _) = serve_one(&service, design)?;
+    if scrub(&line) != baseline {
+        return Err(format!("warm answer diverged from cold baseline: {line}"));
+    }
+    let diags = service.store_diagnostics();
+    Ok(format!("recovered ({} diagnostic(s)), warm answer bit-identical", diags.len()))
+}
+
+fn storeless(retries: u32) -> Service {
+    Service::new(ServeOptions { retries, ..ServeOptions::default() })
+}
+
+fn stored(root: &Path) -> Result<Service, String> {
+    let store = Store::open(root).map_err(|e| format!("store failed to open: {e}"))?;
+    Ok(Service::new(ServeOptions::default()).with_store(store))
+}
+
+fn serve_one(service: &Service, design: &str) -> Result<(String, ServeStats), String> {
+    serve_req(service, &format!("{{\"id\":\"f\",\"design\":\"{design}\"}}"))
+}
+
+fn serve_req(service: &Service, request: &str) -> Result<(String, ServeStats), String> {
+    let mut out = Vec::new();
+    let stats = service
+        .serve_lines(format!("{request}\n").as_bytes(), &mut out)
+        .map_err(|e| format!("serve transport error: {e}"))?;
+    let text = String::from_utf8(out).map_err(|e| format!("non-utf8 response: {e}"))?;
+    let first = text.lines().next().unwrap_or("").to_string();
+    Ok((first, stats))
+}
+
+/// The first stored netlist object of a store directory.
+fn netlist_object(root: &Path) -> Result<PathBuf, String> {
+    let dir = root.join("objects").join("netlist");
+    let mut files: Vec<PathBuf> = fs::read_dir(&dir)
+        .map_err(|e| format!("netlist object dir: {e}"))?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "bin"))
+        .collect();
+    files.sort();
+    files.into_iter().next().ok_or_else(|| "no netlist object was stored".to_string())
+}
+
+fn scrub(line: &str) -> String {
+    line.split(",\"cache\":").next().unwrap_or(line).to_string()
+}
+
+fn expect(cond: bool, what: &str, line: &str) -> Result<(), String> {
+    if cond {
+        Ok(())
+    } else {
+        Err(format!("{what}: {line}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_full_matrix_passes_on_a_builtin_design() {
+        let scratch =
+            std::env::temp_dir().join(format!("dp-fault-serve-matrix-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&scratch);
+        fs::create_dir_all(&scratch).expect("scratch dir");
+        let report = check_serve("fig1", &scratch);
+        let _ = fs::remove_dir_all(&scratch);
+        for case in &report.cases {
+            assert!(case.passed, "{}: {}", case.chaos, case.detail);
+        }
+        assert_eq!(report.cases.len(), ServeChaos::ALL.len());
+        assert!(report.passed());
+    }
+
+    #[test]
+    fn scenario_names_are_stable_and_unique() {
+        let mut names: Vec<_> = ServeChaos::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ServeChaos::ALL.len());
+    }
+}

@@ -47,9 +47,11 @@ mod flow;
 mod json;
 mod level;
 mod span;
+mod watchdog;
 
 pub use alloc::{alloc_probe, install_alloc_probe, AllocProbe, AllocStats};
 pub use flow::FlowMetrics;
 pub use json::Json;
 pub use level::Level;
 pub use span::{Recorder, SpanId, SpanRecord};
+pub use watchdog::{Watchdog, WatchdogTrip};

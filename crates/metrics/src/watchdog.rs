@@ -1,0 +1,214 @@
+//! Cooperative deadline / memory-ceiling supervision for hot loops.
+//!
+//! A long-running service must be able to bound a single request's wall
+//! time and heap growth *inside* the analysis and synthesis loops — a cap
+//! observed only at stage boundaries lets an S100k+ request overshoot its
+//! budget by seconds. This module provides the shared primitive: a
+//! [`Watchdog`] is created once per request (or per pipeline run) from an
+//! optional deadline and an optional live-heap ceiling, and hot loops call
+//! [`Watchdog::check`] every iteration. The check is amortized: a countdown
+//! makes the common case one `Cell` decrement, and the actual clock /
+//! allocator probe is consulted only every [`Watchdog::INTERVAL`]
+//! iterations, so instrumenting a million-node sweep costs well under a
+//! percent.
+//!
+//! The memory ceiling reads the calling thread's `live_bytes` from the
+//! process-wide [`crate::alloc_probe`]; in a binary without a counting
+//! allocator installed the probe is absent and the ceiling never trips
+//! (deadlines still work).
+//!
+//! Once tripped, a watchdog stays tripped: every subsequent `check` returns
+//! `true` immediately, so a loop that polls coarsely still stops at the
+//! next opportunity.
+
+use std::cell::Cell;
+use std::fmt;
+use std::time::Instant;
+
+/// Which limit a [`Watchdog`] hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WatchdogTrip {
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The calling thread's live heap bytes exceeded the ceiling.
+    Memory,
+}
+
+impl fmt::Display for WatchdogTrip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            WatchdogTrip::Deadline => "deadline",
+            WatchdogTrip::Memory => "memory ceiling",
+        })
+    }
+}
+
+/// A cooperative per-request supervisor: an optional wall-clock deadline
+/// plus an optional live-heap ceiling, polled cheaply from hot loops.
+///
+/// Not `Sync` (uses `Cell` internally): each worker thread builds its own
+/// watchdog, which is also what makes the thread-local memory probe
+/// meaningful.
+///
+/// # Example
+///
+/// ```
+/// use dp_metrics::Watchdog;
+///
+/// let wd = Watchdog::disabled();
+/// for _ in 0..10_000 {
+///     if wd.check() {
+///         break; // never fires for a disabled watchdog
+///     }
+/// }
+/// assert_eq!(wd.trip(), None);
+/// ```
+#[derive(Debug)]
+pub struct Watchdog {
+    deadline: Option<Instant>,
+    max_live_bytes: Option<u64>,
+    countdown: Cell<u32>,
+    tripped: Cell<Option<WatchdogTrip>>,
+}
+
+impl Watchdog {
+    /// Iterations between real clock/probe polls in [`Watchdog::check`].
+    pub const INTERVAL: u32 = 1024;
+
+    /// A watchdog with the given limits; `None` disables that limit.
+    pub fn new(deadline: Option<Instant>, max_live_bytes: Option<u64>) -> Watchdog {
+        Watchdog { deadline, max_live_bytes, countdown: Cell::new(0), tripped: Cell::new(None) }
+    }
+
+    /// A watchdog with no limits: [`Watchdog::check`] is a constant-time
+    /// `false` forever.
+    pub fn disabled() -> Watchdog {
+        Watchdog::new(None, None)
+    }
+
+    /// Whether any limit is configured (an unlimited watchdog can be
+    /// skipped entirely by callers that would otherwise restructure work).
+    pub fn is_armed(&self) -> bool {
+        self.deadline.is_some() || self.max_live_bytes.is_some()
+    }
+
+    /// The amortized supervision poll: returns `true` once a limit has been
+    /// hit. Call this every loop iteration; the clock and allocator probe
+    /// are only consulted every [`Watchdog::INTERVAL`] calls.
+    #[inline]
+    pub fn check(&self) -> bool {
+        if self.tripped.get().is_some() {
+            return true;
+        }
+        if self.deadline.is_none() && self.max_live_bytes.is_none() {
+            return false;
+        }
+        let c = self.countdown.get();
+        if c > 0 {
+            self.countdown.set(c - 1);
+            return false;
+        }
+        self.countdown.set(Watchdog::INTERVAL);
+        self.poll()
+    }
+
+    /// An unamortized poll: consults the clock and probe immediately.
+    /// Stage boundaries use this so a breach never survives into the next
+    /// stage no matter where the countdown stands.
+    pub fn poll(&self) -> bool {
+        if self.tripped.get().is_some() {
+            return true;
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                self.tripped.set(Some(WatchdogTrip::Deadline));
+                return true;
+            }
+        }
+        if let Some(cap) = self.max_live_bytes {
+            if let Some(probe) = crate::alloc_probe() {
+                if probe.stats().live_bytes > cap {
+                    self.tripped.set(Some(WatchdogTrip::Memory));
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Which limit fired, if any.
+    pub fn trip(&self) -> Option<WatchdogTrip> {
+        self.tripped.get()
+    }
+
+    /// Forces the given trip state (test harnesses and the fault-injection
+    /// chaos matrix use this to simulate a breach deterministically).
+    pub fn force_trip(&self, trip: WatchdogTrip) {
+        self.tripped.set(Some(trip));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn disabled_watchdog_never_trips() {
+        let wd = Watchdog::disabled();
+        assert!(!wd.is_armed());
+        for _ in 0..(Watchdog::INTERVAL * 3) {
+            assert!(!wd.check());
+        }
+        assert_eq!(wd.trip(), None);
+    }
+
+    #[test]
+    fn expired_deadline_trips_within_one_interval() {
+        let wd = Watchdog::new(Some(Instant::now()), None);
+        assert!(wd.is_armed());
+        let mut fired = false;
+        for _ in 0..=Watchdog::INTERVAL {
+            if wd.check() {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired, "expired deadline not observed within one interval");
+        assert_eq!(wd.trip(), Some(WatchdogTrip::Deadline));
+        // Sticky: every later check short-circuits to true.
+        assert!(wd.check());
+    }
+
+    #[test]
+    fn poll_is_immediate_and_future_deadline_holds() {
+        let wd = Watchdog::new(Some(Instant::now() + Duration::from_secs(3600)), None);
+        assert!(!wd.poll());
+        let expired = Watchdog::new(Some(Instant::now()), None);
+        assert!(expired.poll());
+        assert_eq!(expired.trip(), Some(WatchdogTrip::Deadline));
+    }
+
+    #[test]
+    fn memory_ceiling_without_probe_never_trips() {
+        // Unit tests run without a counting global allocator; the ceiling
+        // must fail open (deadlines are the hard guarantee, the ceiling is
+        // best-effort telemetry-backed).
+        let wd = Watchdog::new(None, Some(1));
+        if dp_probe_absent() {
+            assert!(!wd.poll());
+        }
+    }
+
+    #[test]
+    fn force_trip_reports_and_sticks() {
+        let wd = Watchdog::disabled();
+        wd.force_trip(WatchdogTrip::Memory);
+        assert!(wd.check());
+        assert_eq!(wd.trip(), Some(WatchdogTrip::Memory));
+    }
+
+    fn dp_probe_absent() -> bool {
+        crate::alloc_probe().is_none()
+    }
+}

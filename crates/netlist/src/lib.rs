@@ -50,8 +50,10 @@ mod netlist;
 mod sim;
 mod sta;
 mod verilog;
+mod wire;
 
 pub use cell::{CellKind, Drive, Library};
 pub use netlist::{GateId, NetId, Netlist, NetlistError};
 pub use sim::SimError;
 pub use sta::{ArrivalTimes, IncrementalSta, TimingReport};
+pub use wire::WireDecodeError;

@@ -45,6 +45,7 @@
 
 use std::time::{Duration, Instant};
 
+use dp_metrics::Watchdog;
 use dp_netlist::{CellKind, GateId, IncrementalSta, Library, NetId, Netlist};
 
 /// Configuration for [`optimize`].
@@ -231,14 +232,27 @@ pub fn optimize(nl: &mut Netlist, lib: &Library, config: &OptConfig) -> OptRepor
 /// with path compression), and consumers are rewired once at the end —
 /// no per-candidate netlist scans, no fixpoint iteration.
 pub fn fold_constants(nl: &mut Netlist) {
+    let _ = fold_constants_watched(nl, &Watchdog::disabled());
+}
+
+/// Cooperative variant of [`fold_constants`]: polls the watchdog once per
+/// gate and aborts when it trips, returning `false`.
+///
+/// An aborted call never rewires a consumer — the replacement table is
+/// discarded before the apply phase — so the netlist stays functionally
+/// identical to its input. At most some fanout-free constant nets created
+/// during the scan are left behind, and [`Netlist::sweep`] drops them.
+pub fn fold_constants_watched(nl: &mut Netlist, wd: &Watchdog) -> bool {
     let Ok(order) = nl.topo_gates() else {
         // A combinational cycle defeats topological scheduling; fall back
         // to the fixpoint scanner, which needs no order.
-        fold_constants_sweeping(nl);
-        return;
+        return fold_sweeping_watched(nl, wd);
     };
     let mut repl: Vec<NetId> = (0..nl.num_nets()).map(NetId::from_index).collect();
     for g in order {
+        if wd.check() {
+            return false;
+        }
         let (kind, _) = nl.gate_info(g);
         let pins = nl.gate_inputs(g);
         let pin0 = pins[0];
@@ -300,6 +314,7 @@ pub fn fold_constants(nl: &mut Netlist) {
             }
         }
     }
+    true
 }
 
 /// Follows `repl` chains to the final replacement of `n`, compressing the
@@ -328,9 +343,20 @@ fn resolve(repl: &mut Vec<NetId>, n: NetId) -> NetId {
 /// worst case, but order-free — it is the fallback for cyclic netlists
 /// and the differential oracle for the topological pass.
 pub fn fold_constants_sweeping(nl: &mut Netlist) {
+    let _ = fold_sweeping_watched(nl, &Watchdog::disabled());
+}
+
+/// Watched core of [`fold_constants_sweeping`]. On a trip the current
+/// round's replacement list is discarded unapplied, so an abort leaves the
+/// netlist exactly as the last *completed* round left it — every applied
+/// rewire came from a full scan and is individually sound.
+fn fold_sweeping_watched(nl: &mut Netlist, wd: &Watchdog) -> bool {
     loop {
         let mut replace: Vec<(NetId, NetId)> = Vec::new();
         for g in nl.gate_ids().collect::<Vec<_>>() {
+            if wd.check() {
+                return false;
+            }
             let out = nl.gate_output(g);
             if nl.fanout_of(out) == 0 {
                 continue; // already folded away; the sweep will drop it
@@ -366,7 +392,7 @@ pub fn fold_constants_sweeping(nl: &mut Netlist) {
             }
         }
         if replace.is_empty() {
-            return;
+            return true;
         }
         for (old, new) in replace {
             rewire_all(nl, old, new);
@@ -600,6 +626,59 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn watched_fold_aborts_without_touching_the_netlist() {
+        let base = random_netlist(0xABCD, 60);
+        let mut n = base.clone();
+        let wd = Watchdog::new(Some(Instant::now()), None);
+        assert!(!fold_constants_watched(&mut n, &wd), "expired deadline must abort the fold");
+        // The replacement table is discarded before the apply phase, so the
+        // aborted netlist is bit-for-bit the input.
+        assert_eq!(format!("{n:?}"), format!("{base:?}"), "abort must not rewire anything");
+        for v in 0..16u64 {
+            let i = [BitVec::from_u64(4, v)];
+            assert_eq!(n.simulate(&i).unwrap(), base.simulate(&i).unwrap());
+        }
+    }
+
+    #[test]
+    fn watched_fold_with_disabled_watchdog_matches_plain_fold() {
+        for seed in 1..=8u64 {
+            let base = random_netlist(seed.wrapping_mul(0x517C_C1B7_2722_0A95), 40);
+            let mut watched = base.clone();
+            let mut plain = base.clone();
+            assert!(fold_constants_watched(&mut watched, &Watchdog::disabled()), "seed {seed}");
+            fold_constants(&mut plain);
+            assert_eq!(format!("{watched:?}"), format!("{plain:?}"), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn watched_fold_covers_the_cyclic_fallback() {
+        // A combinational cycle defeats topo_gates, sending the watched
+        // fold through the sweeping fallback.
+        let build = || {
+            let mut n = Netlist::new();
+            let a = n.input("a", 1)[0];
+            let b1 = n.gate(CellKind::Buf, &[a]);
+            let b2 = n.gate(CellKind::Buf, &[b1]);
+            let g1 = n.driver_gate(b1).expect("buf exists");
+            n.rewire_gate_input(g1, 0, b2); // b1 = Buf(b2) = Buf(Buf(b1))
+            let one = n.const1();
+            let x = n.gate(CellKind::And2, &[a, one]);
+            n.output("o", vec![x]);
+            (n, a)
+        };
+        let (mut aborted, _) = build();
+        let before = format!("{aborted:?}");
+        let wd = Watchdog::new(Some(Instant::now()), None);
+        assert!(!fold_constants_watched(&mut aborted, &wd));
+        assert_eq!(format!("{aborted:?}"), before, "cyclic abort must not rewire anything");
+        let (mut folded, a) = build();
+        assert!(fold_constants_watched(&mut folded, &Watchdog::disabled()));
+        assert_eq!(folded.outputs()[0].1[0], a, "And2 with const 1 wires through");
     }
 
     #[test]

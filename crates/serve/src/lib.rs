@@ -1,0 +1,41 @@
+//! dp-serve: the supervised synthesis service and its crash-safe,
+//! content-addressed artifact store.
+//!
+//! The rest of the workspace synthesizes one design per process. This
+//! crate turns the flow into a *service*: JSON-lines requests (stdin or
+//! TCP) are dispatched onto a slot-ordered worker [`pool`], each request
+//! supervised by a wall-clock deadline and live-heap ceiling enforced
+//! cooperatively *inside* the analysis/synthesis loops, isolated by
+//! `catch_unwind` with a bounded panic-retry policy, and answered with a
+//! deterministic `dpmc-serve/1` response line.
+//!
+//! Results are cached in a content-addressed [`store`] keyed by the
+//! canonical structural hash of the design ([`dp_dfg::canonical_form`]) —
+//! invariant under node-id permutation and port renaming — at three
+//! granularities (width analysis, clustering, netlist). Writes are atomic
+//! (temp + fsync + rename + journal); corrupt or truncated entries are
+//! quarantined and reported as a **miss**, never a crash and never a
+//! wrong answer: every hit is differentially audited against the design
+//! the client actually sent.
+//!
+//! Modules:
+//!
+//! * [`pool`] — slot-ordered worker pool with the typed [`WorkerError`]
+//!   failure taxonomy (also the engine behind `dpmc bench`);
+//! * [`store`] — the journaled on-disk artifact store;
+//! * [`codec`] — byte framing for the three artifact granularities and
+//!   the cache-key fingerprints;
+//! * [`service`] — the request pipeline: canonicalize, probe the cache
+//!   outer-to-inner with audits, fall back to the guarded flow.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod codec;
+pub mod pool;
+pub mod service;
+pub mod store;
+
+pub use pool::{run_slots, WorkerError, PANIC_EXIT_CODE, PANIC_FAMILY};
+pub use service::{ServeOptions, ServeStats, Service, SourceParser, SCHEMA, STATS_SCHEMA};
+pub use store::{ArtifactKind, Store, StoreStats};

@@ -10,7 +10,7 @@ use dp_merge::{
     cluster_leakage, cluster_max_with, cluster_none, linearize_cluster, ClusterError, Clustering,
     LinearizeError, MergeReport,
 };
-use dp_metrics::{FlowMetrics, Recorder};
+use dp_metrics::{FlowMetrics, Recorder, Watchdog};
 use dp_netlist::{Library, NetId, Netlist};
 use dp_trace::TraceLog;
 
@@ -29,6 +29,12 @@ pub enum SynthError {
     /// A guarded-flow audit rejected a synthesized artifact and the
     /// degradation ladder was exhausted (see [`crate::run_flow_guarded`]).
     Audit(String),
+    /// A supervision limit (per-request wall-clock deadline or memory
+    /// ceiling) fired mid-flow. Unlike the pipeline's shape caps this does
+    /// **not** descend the degradation ladder — retrying with a cheaper
+    /// strategy only spends more of a budget that is already gone — so
+    /// the guarded flow aborts with this typed error instead.
+    Budget(String),
 }
 
 impl fmt::Display for SynthError {
@@ -38,6 +44,7 @@ impl fmt::Display for SynthError {
             SynthError::InvalidClustering(e) => write!(f, "invalid clustering: {e}"),
             SynthError::Linearize(e) => write!(f, "cannot linearize cluster: {e}"),
             SynthError::Audit(reason) => write!(f, "flow audit failed: {reason}"),
+            SynthError::Budget(limit) => write!(f, "flow budget exhausted: {limit}"),
         }
     }
 }
@@ -48,7 +55,7 @@ impl Error for SynthError {
             SynthError::InvalidGraph(e) => Some(e),
             SynthError::InvalidClustering(e) => Some(e),
             SynthError::Linearize(e) => Some(e),
-            SynthError::Audit(_) => None,
+            SynthError::Audit(_) | SynthError::Budget(_) => None,
         }
     }
 }
@@ -112,6 +119,27 @@ pub fn synthesize_with(
     config: &SynthConfig,
     rec: &mut Recorder,
 ) -> Result<(Netlist, CsaStats), SynthError> {
+    synthesize_watched(g, clustering, config, rec, &Watchdog::disabled())
+}
+
+/// [`synthesize_with`] under cooperative supervision: `wd` is checked
+/// (amortized) per emitted node, so a deadline or memory-ceiling breach
+/// aborts mid-emission with [`SynthError::Budget`] instead of finishing a
+/// multi-second cluster sweep first. The guarded flow driver and the
+/// serve layer's cached-artifact paths thread their per-request watchdog
+/// through here.
+///
+/// # Errors
+///
+/// Returns [`SynthError`] if the graph or clustering is malformed, or
+/// [`SynthError::Budget`] when the watchdog trips mid-emission.
+pub fn synthesize_watched(
+    g: &Dfg,
+    clustering: &Clustering,
+    config: &SynthConfig,
+    rec: &mut Recorder,
+    wd: &Watchdog,
+) -> Result<(Netlist, CsaStats), SynthError> {
     let whole = rec.span("synthesize");
     g.validate()?;
     clustering.validate(g)?;
@@ -138,6 +166,10 @@ pub fn synthesize_with(
     let emit = rec.span("emit_clusters");
     let order = g.topo_order().expect("validated graph is acyclic");
     for n in order {
+        if wd.check() {
+            let limit = wd.trip().map_or_else(|| "supervision".to_string(), |t| t.to_string());
+            return Err(SynthError::Budget(limit));
+        }
         match g.node(n).kind() {
             NodeKind::Const(v) => {
                 let bits: Vec<NetId> = (0..v.width())

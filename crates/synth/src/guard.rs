@@ -42,19 +42,27 @@ use dp_bitvec::BitVec;
 use dp_dfg::gen::random_inputs;
 use dp_dfg::Dfg;
 use dp_merge::{cluster_leakage, cluster_none, refine_clusters_with, Clustering, MergeReport};
-use dp_metrics::{FlowMetrics, Recorder};
+use dp_metrics::{FlowMetrics, Recorder, Watchdog};
 use dp_netlist::Netlist;
 use dp_trace::{Rule, Subject, TraceLog};
 use rand::{rngs::StdRng, SeedableRng};
 
-use crate::flow::{synthesize_with, widths, FlowResult, MergeStrategy, SynthError};
+use crate::flow::{synthesize_watched, widths, FlowResult, MergeStrategy, SynthError};
 use crate::SynthConfig;
 
 /// Resource and audit configuration for [`run_flow_guarded`].
+///
+/// The embedded [`PipelineBudget`] carries the supervision limits too:
+/// [`PipelineBudget::deadline`] and [`PipelineBudget::max_live_bytes`] are
+/// enforced cooperatively inside the analysis, clustering, and synthesis
+/// loops of the guarded flow (not just at stage boundaries), and a breach
+/// surfaces as the typed [`SynthError::Budget`] instead of descending the
+/// degradation ladder.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FlowBudget {
     /// Caps on the width-optimization pipeline (rounds, worklist pushes,
-    /// node count).
+    /// node count) plus the per-request supervision limits (wall-clock
+    /// deadline, live-heap ceiling).
     pub pipeline: PipelineBudget,
     /// Random vectors per differential-evaluation audit; `0` disables the
     /// functional audits (the structural and `dp_verify` audits still
@@ -68,6 +76,25 @@ pub struct FlowBudget {
 impl Default for FlowBudget {
     fn default() -> Self {
         FlowBudget { pipeline: PipelineBudget::default(), check_vectors: 8, check_seed: 0xD1FF }
+    }
+}
+
+impl FlowBudget {
+    /// This budget with a wall-clock deadline armed.
+    pub fn with_deadline(mut self, deadline: std::time::Instant) -> Self {
+        self.pipeline.deadline = Some(deadline);
+        self
+    }
+
+    /// This budget with a live-heap ceiling (bytes) armed.
+    pub fn with_memory_ceiling(mut self, max_live_bytes: u64) -> Self {
+        self.pipeline.max_live_bytes = Some(max_live_bytes);
+        self
+    }
+
+    /// A fresh watchdog over this budget's supervision limits.
+    pub fn watchdog(&self) -> Watchdog {
+        Watchdog::new(self.pipeline.deadline, self.pipeline.max_live_bytes)
     }
 }
 
@@ -296,6 +323,7 @@ fn drive(
     // Stage 1: widths. Only the new-merge strategy transforms the graph.
     // `raw` tracks whether `graph` is still the untransformed design —
     // the bottom rung of the ladder.
+    let wd = budget.watchdog();
     let mut graph = g.clone();
     let mut transform = TransformReport { converged: true, ..TransformReport::default() };
     let mut raw = true;
@@ -304,6 +332,13 @@ fn drive(
         transform = optimize_widths_budgeted_with(&mut graph, &budget.pipeline, rec, tr);
         hook.after_widths(&mut graph);
         raw = false;
+        // A supervision breach (deadline / memory ceiling) aborts the
+        // flow outright rather than descending the ladder: the RP-only
+        // rollback would re-run analysis against a budget that is
+        // already spent.
+        if let Some(b) = transform.budget_breach.filter(|b| b.is_supervision()) {
+            return Err(SynthError::Budget(b.to_string()));
+        }
         if let Some(reason) = audit_widths(g, &graph, &transform, &oracle, true) {
             let abandoned = graph.total_op_width();
             report.steps.push(Degradation { stage: "widths", reason, fallback: Fallback::RpOnly });
@@ -324,6 +359,9 @@ fn drive(
 
     // Stage 2: clustering on the settled graph. The legality audit only
     // assumes width fixpoints for a graph the width stage fully optimized.
+    if wd.poll() {
+        return Err(SynthError::Budget(supervision_limit(&wd)));
+    }
     let at_fixpoint = strategy == MergeStrategy::New && report.steps.is_empty();
     let span = rec.span("guarded clustering");
     let (mut clustering, mut merge) = match strategy {
@@ -355,15 +393,22 @@ fn drive(
 
     // Stage 3: synthesis plus netlist audit, descending the remaining
     // ladder on failure: singleton clusters first, then the raw design.
+    // A supervision breach short-circuits the ladder the same way it does
+    // in stage 1.
     let outcome = loop {
-        let attempt = synthesize_with(&graph, &clustering, config, rec).and_then(|(nl, csa)| {
-            match audit_netlist(g, &nl, &oracle) {
-                None => Ok((nl, csa)),
-                Some(reason) => Err(SynthError::Audit(reason)),
-            }
-        });
+        if wd.poll() {
+            break Err(SynthError::Budget(supervision_limit(&wd)));
+        }
+        let attempt =
+            synthesize_watched(&graph, &clustering, config, rec, &wd).and_then(|(nl, csa)| {
+                match audit_netlist(g, &nl, &oracle) {
+                    None => Ok((nl, csa)),
+                    Some(reason) => Err(SynthError::Audit(reason)),
+                }
+            });
         match attempt {
             Ok(ok) => break Ok(ok),
+            Err(e @ SynthError::Budget(_)) => break Err(e),
             Err(e) => {
                 let reason = e.to_string();
                 let singleton = clustering.clusters.iter().all(|c| c.len() == 1);
@@ -571,6 +616,11 @@ fn graphs_differ(base: &Dfg, cand: &Dfg, oracle: &AuditOracle) -> Option<String>
     None
 }
 
+/// Renders the limit a tripped watchdog hit (for [`SynthError::Budget`]).
+fn supervision_limit(wd: &Watchdog) -> String {
+    wd.trip().map_or_else(|| "supervision".to_string(), |t| t.to_string())
+}
+
 /// Renders the worst diagnostic of a verify report (reports are sorted
 /// worst-first, so the first entry is an error whenever any exists).
 #[cfg(feature = "verify")]
@@ -698,6 +748,37 @@ mod tests {
             ok = matches!(e, SynthError::InvalidGraph(_));
         }
         assert!(ok);
+    }
+
+    #[test]
+    fn expired_deadline_is_a_typed_budget_error_not_a_degradation() {
+        let g = slack_design();
+        let budget = FlowBudget::default()
+            .with_deadline(std::time::Instant::now() - std::time::Duration::from_millis(1));
+        let err = run_flow_guarded(&g, MergeStrategy::New, &SynthConfig::default(), &budget)
+            .expect_err("expired deadline must abort the flow");
+        match err {
+            SynthError::Budget(limit) => assert_eq!(limit, "wall-clock deadline"),
+            other => panic!("expected SynthError::Budget, got {other}"),
+        }
+    }
+
+    #[test]
+    fn generous_deadline_leaves_flow_healthy() {
+        let g = sum_of_products();
+        let budget = FlowBudget::default()
+            .with_deadline(std::time::Instant::now() + std::time::Duration::from_secs(3600));
+        let guarded =
+            run_flow_guarded(&g, MergeStrategy::New, &SynthConfig::default(), &budget).unwrap();
+        assert!(guarded.degradation.is_none());
+        let plain = run_flow_guarded(
+            &g,
+            MergeStrategy::New,
+            &SynthConfig::default(),
+            &FlowBudget::default(),
+        )
+        .unwrap();
+        assert_eq!(guarded.flow.metrics, plain.flow.metrics);
     }
 
     #[test]

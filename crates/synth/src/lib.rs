@@ -68,8 +68,8 @@ pub use adders::{carry_select_add, kogge_stone_add, ripple_carry_add};
 pub use cluster::{synthesize_sum, synthesize_sum_with, SumStats};
 pub use columns::Columns;
 pub use flow::{
-    run_flow, run_flow_with, synthesize, synthesize_with, CsaStats, FlowResult, MergeStrategy,
-    SynthError,
+    run_flow, run_flow_with, synthesize, synthesize_watched, synthesize_with, CsaStats, FlowResult,
+    MergeStrategy, SynthError,
 };
 pub use guard::{
     run_flow_guarded, run_flow_guarded_with, Degradation, DegradationReport, Fallback, FlowBudget,

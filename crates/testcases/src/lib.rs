@@ -31,7 +31,9 @@ pub mod csd;
 pub mod designs;
 pub mod families;
 pub mod figures;
+pub mod named;
 pub mod scaling;
 
 pub use designs::{all_designs, Testcase};
+pub use named::{named_design, BUILTIN_NAMES};
 pub use scaling::{scaling_design, scaling_designs, SCALING_OPS};

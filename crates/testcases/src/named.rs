@@ -1,0 +1,87 @@
+//! Name-based resolution of every built-in design.
+//!
+//! The `dpmc` CLI, the bench driver and the synthesis service all accept
+//! design names; this module is their single shared registry so a name
+//! means the same graph everywhere (a cache entry written by `dpmc serve`
+//! for `fig1` is the `fig1` the bench driver measures).
+
+use crate::{designs, figures, scaling};
+use dp_dfg::Dfg;
+
+/// Names of the always-available built-in designs, in canonical order:
+/// the paper figures, the five reconstructed evaluation designs, then the
+/// committed scaling family. The extended scaling members
+/// ([`scaling::EXTENDED_SCALING_NAMES`]) also resolve through
+/// [`named_design`] but are excluded here because materializing them is
+/// expensive and callers enumerate this list eagerly.
+pub const BUILTIN_NAMES: [&str; 13] =
+    ["fig1", "fig2", "fig3", "fig4", "D1", "D2", "D3", "D4", "D5", "S64", "S160", "S400", "S1000"];
+
+/// Resolves a built-in design by name, constructing only that design.
+///
+/// Knows every member of [`BUILTIN_NAMES`] plus the on-demand extended
+/// scaling family (`S10k`, `S100k`, `S1M`). Returns `None` for anything
+/// else.
+///
+/// ```
+/// use dp_testcases::named::{named_design, BUILTIN_NAMES};
+///
+/// for name in BUILTIN_NAMES {
+///     assert!(named_design(name).is_some(), "{name} must resolve");
+/// }
+/// assert!(named_design("bogus").is_none());
+/// ```
+pub fn named_design(name: &str) -> Option<Dfg> {
+    match name {
+        "fig1" => Some(figures::fig1().g),
+        "fig2" => Some(figures::fig2().g),
+        "fig3" => Some(figures::fig3().g),
+        "fig4" => Some(figures::fig4_graph()),
+        "D1" => Some(designs::d1()),
+        "D2" => Some(designs::d2()),
+        "D3" => Some(designs::d3()),
+        "D4" => Some(designs::d4()),
+        "D5" => Some(designs::d5()),
+        _ => {
+            if let Some(i) = scaling::SCALING_NAMES.iter().position(|&n| n == name) {
+                return Some(scaling::scaling_design(scaling::SCALING_OPS[i]));
+            }
+            scaling::extended_scaling_design(name)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{all_designs, scaling_designs};
+
+    #[test]
+    fn registry_matches_the_eager_constructors() {
+        // Every named lookup must produce the very graph the eager lists
+        // produce — same node/edge counts is the cheap stand-in for
+        // structural identity (both sides are deterministic constructors).
+        let mut eager: Vec<(String, Dfg)> = vec![
+            ("fig1".into(), figures::fig1().g),
+            ("fig2".into(), figures::fig2().g),
+            ("fig3".into(), figures::fig3().g),
+            ("fig4".into(), figures::fig4_graph()),
+        ];
+        eager.extend(all_designs().into_iter().map(|t| (t.name.to_string(), t.dfg)));
+        eager.extend(scaling_designs().into_iter().map(|t| (t.name.to_string(), t.dfg)));
+        assert_eq!(eager.len(), BUILTIN_NAMES.len());
+        for ((name, g), &expected) in eager.iter().zip(BUILTIN_NAMES.iter()) {
+            assert_eq!(name, expected, "registry order diverged");
+            let by_name = named_design(name).unwrap_or_else(|| panic!("{name} must resolve"));
+            assert_eq!(by_name.num_nodes(), g.num_nodes(), "{name}");
+            assert_eq!(by_name.num_edges(), g.num_edges(), "{name}");
+        }
+    }
+
+    #[test]
+    fn unknown_names_do_not_resolve() {
+        for bogus in ["", "fig5", "d1", "s64", "S2k", "all"] {
+            assert!(named_design(bogus).is_none(), "{bogus:?} must not resolve");
+        }
+    }
+}

@@ -38,6 +38,10 @@ pub fn scaling_design(ops: usize) -> Dfg {
     random_dfg(&mut rng, &config)
 }
 
+/// Names of the committed family members, matching [`SCALING_OPS`]
+/// positionally.
+pub const SCALING_NAMES: [&str; 4] = ["S64", "S160", "S400", "S1000"];
+
 /// Operator budgets of the extended (on-demand) family, smallest to
 /// largest. These members are **not** part of the committed bench
 /// baseline: at ten thousand to a million operators they exist for
@@ -79,11 +83,10 @@ pub fn extended_scaling_design(name: &str) -> Option<Dfg> {
 /// }
 /// ```
 pub fn scaling_designs() -> Vec<Testcase> {
-    const NAMES: [&str; 4] = ["S64", "S160", "S400", "S1000"];
     const DESC: &str = "generated scaling-family design (dp_dfg::gen, fixed seed)";
     SCALING_OPS
         .iter()
-        .zip(NAMES)
+        .zip(SCALING_NAMES)
         .map(|(&ops, name)| Testcase { name, description: DESC, dfg: scaling_design(ops) })
         .collect()
 }

@@ -93,6 +93,48 @@ cargo run --release --bin dpmc -- profile S1000 --overhead-gate 5
 echo "==> dpmc faultcheck (fixed seeds: detect-or-degrade on every builtin)"
 cargo run --release --bin dpmc -- faultcheck --seeds 8
 
+echo "==> dpmc serve (cold vs warm through the store: scrubbed responses identical)"
+# Cold run fills the content-addressed store; the warm rerun of the same
+# batch must answer every request from the stored netlist with a
+# byte-identical QoR payload (everything before the volatile
+# cache/attempts/elapsed tail), and the trailing stats line must report a
+# 100% cache hit rate. Throughput and hit rate are printed for the log.
+serve_store=/tmp/dpmc_serve_store
+rm -rf "$serve_store"
+cat > /tmp/dpmc_serve_req.jsonl <<'EOF'
+{"id":"r1","design":"fig1"}
+{"id":"r2","design":"fig2"}
+{"id":"r3","design":"fig3"}
+{"id":"r4","design":"fig4"}
+{"id":"r5","design":"D1"}
+{"id":"r6","design":"fig1","strategy":"old"}
+{"id":"r7","design":"fig3","adder":"ripple"}
+EOF
+cargo run --release --bin dpmc -- serve --store "$serve_store" --jobs 2 \
+  < /tmp/dpmc_serve_req.jsonl > /tmp/dpmc_serve_cold.jsonl
+cargo run --release --bin dpmc -- serve --store "$serve_store" --jobs 2 \
+  < /tmp/dpmc_serve_req.jsonl > /tmp/dpmc_serve_warm.jsonl
+scrub_serve() { grep -v 'dpmc-serve-stats' "$1" | sed 's/,"cache":.*$//'; }
+diff <(scrub_serve /tmp/dpmc_serve_cold.jsonl) <(scrub_serve /tmp/dpmc_serve_warm.jsonl)
+cold_hits=$(grep -c '"level":"netlist"' /tmp/dpmc_serve_cold.jsonl || true)
+if [ "$cold_hits" -ne 0 ]; then
+  echo "serve gate: FAIL (cold run answered from a cache that should be empty)"
+  exit 1
+fi
+warm_misses=$(grep -v 'dpmc-serve-stats' /tmp/dpmc_serve_warm.jsonl \
+  | grep -cv '"level":"netlist"' || true)
+if [ "$warm_misses" -ne 0 ]; then
+  echo "serve gate: FAIL ($warm_misses warm response(s) not served from the stored netlist)"
+  exit 1
+fi
+grep -q '"hit_rate":1' /tmp/dpmc_serve_warm.jsonl
+echo "serve gate: warm $(grep -o '"hit_rate":[0-9.]*' /tmp/dpmc_serve_warm.jsonl), \
+$(grep -o '"throughput_rps":[0-9.]*' /tmp/dpmc_serve_warm.jsonl)"
+rm -rf "$serve_store" /tmp/dpmc_serve_req.jsonl /tmp/dpmc_serve_cold.jsonl /tmp/dpmc_serve_warm.jsonl
+
+echo "==> dpmc faultcheck --serve (nine-scenario service chaos matrix)"
+cargo run --release --bin dpmc -- faultcheck --serve --designs fig1,fig3 2> /dev/null
+
 echo "==> dpmc analyze (A-family cross-proofs on every builtin; deterministic)"
 cargo run --release --bin dpmc -- analyze --designs all --json > /tmp/dpmc_analyze1.json
 cargo run --release --bin dpmc -- analyze --designs all --json > /tmp/dpmc_analyze2.json

@@ -22,6 +22,9 @@
 //!      [--overhead-gate PCT]
 //! dpmc faultcheck [<design.dp>] [--designs all|NAME,...] [--seeds N]
 //!      [--classes c1,c2,...] [--json] [--events FILE]
+//! dpmc faultcheck --serve [NAME] [--designs NAME,...] [--json]
+//! dpmc serve [--store DIR] [--tcp ADDR [--connections N]] [--jobs N]
+//!      [--retries N] [--deadline-ms N] [--max-live-mb N]
 //! ```
 //!
 //! `dpmc lint` runs the new-merge flow and then audits the optimized
@@ -89,6 +92,27 @@
 //! a correct netlist (benign or degraded-with-`FALLBACK-*`-provenance) or
 //! a typed error — a panic or a silently wrong netlist fails the gate.
 //!
+//! `dpmc serve` turns the flow into a supervised service: JSON-lines
+//! requests (`{"id": ..., "design": NAME}` or `{"id": ..., "source":
+//! DSL}`, plus optional `strategy`/`adder`/`reduction`/`deadline_ms`/
+//! `max_live_mb`/`no_cache` fields) are read from stdin — or, with
+//! `--tcp ADDR`, from `--connections` sequential TCP connections — and
+//! each is answered with one deterministic `dpmc-serve/1` JSON line,
+//! followed by a trailing `dpmc-serve-stats/1` summary carrying the
+//! cache hit rate and throughput. Requests run on `--jobs` workers with
+//! per-request wall-clock/live-heap supervision enforced *inside* the
+//! analysis and synthesis loops, and panics are isolated and retried up
+//! to `--retries` times. `--store DIR` attaches the crash-safe
+//! content-addressed artifact store: results are keyed by the design's
+//! canonical structural hash (invariant under node-id permutation and
+//! port renaming) at three granularities, every hit is differentially
+//! audited against the submitted design, and corrupt or truncated
+//! entries are quarantined as a miss — never a crash, never a wrong
+//! answer. `dpmc faultcheck --serve` drives the nine-scenario service
+//! chaos matrix (panics, retry exhaustion, deadline/memory breaches,
+//! store truncation/bit-flips/torn journals/stale temps/crash-restart)
+//! and gates on the contract holding for every one.
+//!
 //! The main flow, `bench` and `faultcheck` accept `--events FILE` to
 //! stream every telemetry event — spans, pipeline rounds, op-kind costs,
 //! QoR, degradations, trace decisions, fault outcomes — as one ordered
@@ -139,6 +163,14 @@ struct Args {
     bench: bool,
     profile: bool,
     faultcheck: bool,
+    serve: bool,
+    chaos_serve: bool,
+    store: Option<String>,
+    tcp: Option<String>,
+    connections: usize,
+    retries: u32,
+    deadline_ms: Option<u64>,
+    max_live_mb: Option<u64>,
     designs: Vec<String>,
     jobs: Option<usize>,
     out: Option<String>,
@@ -170,6 +202,9 @@ const USAGE: &str = "usage: dpmc <design.dp> [--flow new|old|none|all] \
 [--overhead-gate PCT]\n\
        dpmc faultcheck [<design.dp>] [--designs all|NAME,...] [--seeds N] \
 [--classes c1,c2,...] [--json]\n\
+       dpmc faultcheck --serve [NAME] [--designs NAME,...] [--json]\n\
+       dpmc serve [--store DIR] [--tcp ADDR [--connections N]] [--jobs N] \
+[--retries N] [--deadline-ms N] [--max-live-mb N]\n\
 flow budgets (run/faultcheck): [--budget-rounds N] [--budget-pushes N] \
 [--budget-nodes N]\n\
 telemetry (run/bench/faultcheck): [--events FILE] \
@@ -196,6 +231,14 @@ fn parse_args() -> Result<Args, String> {
         bench: false,
         profile: false,
         faultcheck: false,
+        serve: false,
+        chaos_serve: false,
+        store: None,
+        tcp: None,
+        connections: 1,
+        retries: 2,
+        deadline_ms: None,
+        max_live_mb: None,
         designs: Vec::new(),
         jobs: None,
         out: None,
@@ -333,6 +376,37 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "bad --max-regress-pct value".to_string())?
             }
+            "--store" => args.store = Some(value(&mut it, "--store")?),
+            "--tcp" => args.tcp = Some(value(&mut it, "--tcp")?),
+            "--connections" => {
+                let n: usize = value(&mut it, "--connections")?
+                    .parse()
+                    .map_err(|_| "bad --connections value".to_string())?;
+                if n == 0 {
+                    return Err("--connections must be at least 1".to_string());
+                }
+                args.connections = n;
+            }
+            "--retries" => {
+                args.retries = value(&mut it, "--retries")?
+                    .parse()
+                    .map_err(|_| "bad --retries value".to_string())?
+            }
+            "--deadline-ms" => {
+                args.deadline_ms = Some(
+                    value(&mut it, "--deadline-ms")?
+                        .parse()
+                        .map_err(|_| "bad --deadline-ms value".to_string())?,
+                )
+            }
+            "--max-live-mb" => {
+                args.max_live_mb = Some(
+                    value(&mut it, "--max-live-mb")?
+                        .parse()
+                        .map_err(|_| "bad --max-live-mb value".to_string())?,
+                )
+            }
+            "--serve" => args.chaos_serve = true,
             "--corrupt-ic" => {
                 args.corrupt_ic = Some(
                     value(&mut it, "--corrupt-ic")?
@@ -356,6 +430,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "faultcheck" if !subcommand && args.file.is_empty() => {
                 (args.faultcheck, subcommand) = (true, true)
+            }
+            "serve" if !subcommand && args.file.is_empty() => {
+                (args.serve, subcommand) = (true, true)
             }
             other if !args.bench && args.file.is_empty() && !other.starts_with('-') => {
                 args.file = other.to_string()
@@ -383,7 +460,7 @@ fn parse_args() -> Result<Args, String> {
             return Err("--compare only applies to `dpmc bench`".to_string());
         }
         if args.jobs.is_some() {
-            return Err("--jobs only applies to `dpmc bench`".to_string());
+            return Err("--jobs only applies to `dpmc bench` and `dpmc serve`".to_string());
         }
     } else if args.analyze {
         if !args.file.is_empty() && !args.designs.is_empty() {
@@ -401,7 +478,7 @@ fn parse_args() -> Result<Args, String> {
             return Err("--compare only applies to `dpmc bench`".to_string());
         }
         if args.jobs.is_some() {
-            return Err("--jobs only applies to `dpmc bench`".to_string());
+            return Err("--jobs only applies to `dpmc bench` and `dpmc serve`".to_string());
         }
     } else if args.profile {
         if args.file.is_empty() {
@@ -417,7 +494,26 @@ fn parse_args() -> Result<Args, String> {
             return Err("--compare only applies to `dpmc bench`".to_string());
         }
         if args.jobs.is_some() {
-            return Err("--jobs only applies to `dpmc bench`".to_string());
+            return Err("--jobs only applies to `dpmc bench` and `dpmc serve`".to_string());
+        }
+    } else if args.serve {
+        if !args.file.is_empty() {
+            return Err(
+                "`dpmc serve` reads JSON-lines requests from stdin or --tcp, not a positional"
+                    .to_string(),
+            );
+        }
+        if !args.designs.is_empty() {
+            return Err("`dpmc serve` takes designs per request, not --designs".to_string());
+        }
+        if args.out.is_some() {
+            return Err("--out only applies to `dpmc bench` and `dpmc dot`".to_string());
+        }
+        if args.compare.is_some() {
+            return Err("--compare only applies to `dpmc bench`".to_string());
+        }
+        if args.connections != 1 && args.tcp.is_none() {
+            return Err("--connections only applies with --tcp".to_string());
         }
     } else {
         if args.file.is_empty() {
@@ -436,7 +532,7 @@ fn parse_args() -> Result<Args, String> {
             return Err("--compare only applies to `dpmc bench`".to_string());
         }
         if args.jobs.is_some() {
-            return Err("--jobs only applies to `dpmc bench`".to_string());
+            return Err("--jobs only applies to `dpmc bench` and `dpmc serve`".to_string());
         }
     }
     if args.deny_warnings && !args.lint {
@@ -456,7 +552,26 @@ fn parse_args() -> Result<Args, String> {
     {
         return Err("--top/--stacks/--overhead-gate only apply to `dpmc profile`".to_string());
     }
-    let run_like = !(args.lint || args.analyze || args.explain || args.dot || args.profile);
+    if (args.store.is_some()
+        || args.tcp.is_some()
+        || args.retries != 2
+        || args.deadline_ms.is_some()
+        || args.max_live_mb.is_some())
+        && !args.serve
+    {
+        return Err(
+            "--store/--tcp/--retries/--deadline-ms/--max-live-mb only apply to `dpmc serve`"
+                .to_string(),
+        );
+    }
+    if args.chaos_serve && !args.faultcheck {
+        return Err("--serve only applies to `dpmc faultcheck`".to_string());
+    }
+    if args.chaos_serve && !args.classes.is_empty() {
+        return Err("--classes does not apply to `dpmc faultcheck --serve`".to_string());
+    }
+    let run_like =
+        !(args.lint || args.analyze || args.explain || args.dot || args.profile || args.serve);
     if (args.events.is_some() || args.telemetry != Level::Full) && !run_like {
         return Err(
             "--events/--telemetry only apply to the main flow, `dpmc bench` and `dpmc faultcheck`"
@@ -501,8 +616,12 @@ fn main() -> ExitCode {
         run_bench(&args)
     } else if args.profile {
         run_profile(&args)
+    } else if args.faultcheck && args.chaos_serve {
+        run_faultcheck_serve(&args)
     } else if args.faultcheck {
         run_faultcheck(&args)
+    } else if args.serve {
+        run_serve(&args)
     } else {
         run(&args).map(|()| true)
     };
@@ -528,6 +647,20 @@ fn load_design(path: &str) -> Result<Dfg, FlowError> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| FlowError::Io { path: path.to_string(), message: e.to_string() })?;
     Ok(datapath_merge::dsl::parse_design(&text)?)
+}
+
+/// Lowers a pool [`driver::WorkerError`] back onto the process taxonomy
+/// for subcommands that run one design outside the pool (`dpmc
+/// profile`). Families whose `FlowError` variant carries structured
+/// payloads we no longer have (`graph`, `parse`) fall back to the
+/// `analysis` family; the message is preserved verbatim.
+fn worker_to_flow(we: driver::WorkerError) -> FlowError {
+    match we.family.as_str() {
+        "usage" => FlowError::Usage(we.message),
+        "cluster" => FlowError::Cluster(we.message),
+        "netlist" => FlowError::Netlist(we.message),
+        _ => FlowError::Analysis(we.message),
+    }
 }
 
 /// The [`FlowBudget`] for guarded flows, with any `--budget-*` overrides.
@@ -797,16 +930,10 @@ fn run_dot(args: &Args) -> Result<(), FlowError> {
 /// illustrative figures, the five reconstructed evaluation designs, and
 /// the generated scaling family.
 fn builtin_designs() -> Vec<(String, Dfg)> {
-    use datapath_merge::testcases::{all_designs, figures, scaling_designs};
-    let mut v = vec![
-        ("fig1".to_string(), figures::fig1().g),
-        ("fig2".to_string(), figures::fig2().g),
-        ("fig3".to_string(), figures::fig3().g),
-        ("fig4".to_string(), figures::fig4_graph()),
-    ];
-    v.extend(all_designs().into_iter().map(|t| (t.name.to_string(), t.dfg)));
-    v.extend(scaling_designs().into_iter().map(|t| (t.name.to_string(), t.dfg)));
-    v
+    use datapath_merge::testcases::{named_design, BUILTIN_NAMES};
+    // Every BUILTIN_NAMES member resolves (pinned by a dp-testcases test),
+    // so the filter_map drops nothing.
+    BUILTIN_NAMES.iter().filter_map(|&name| Some((name.to_string(), named_design(name)?))).collect()
 }
 
 /// Resolves `--designs` specs: `all`, a built-in name, an on-demand
@@ -860,9 +987,13 @@ fn write_events(path: &str, level: Level, streams: &[DesignEvents]) -> Result<()
 /// baseline; returns `Ok(false)` when the regression gate fails.
 ///
 /// One failing (or even panicking) design does not abort the report: its
-/// row becomes `{"design": NAME, "error": MESSAGE}`, the remaining
-/// designs still run, and the whole bench exits non-zero. Healthy rows
-/// are byte-identical to a run without any failures.
+/// row becomes `{"design": NAME, "error": MESSAGE, "family": FAMILY,
+/// "exit_code": CODE}` — the same taxonomy a standalone `dpmc` run of
+/// that design would have exited with (panics report family `panic`,
+/// code 101, with the payload message preserved through `catch_unwind`)
+/// — the remaining designs still run, and the whole bench exits
+/// non-zero. Healthy rows are byte-identical to a run without any
+/// failures.
 fn run_bench(args: &Args) -> Result<bool, FlowError> {
     let lib = Library::synthetic_025um();
     let designs = collect_designs(&args.designs)?;
@@ -887,13 +1018,22 @@ fn run_bench(args: &Args) -> Result<bool, FlowError> {
                 rows.push(out.row);
                 streams.push(out.events);
             }
-            Err(msg) => {
+            Err(we) => {
                 // Pool-level failures (panic, dead worker) carry no design
                 // name of their own; flow errors already lead with it.
-                let msg =
-                    if msg.starts_with(name.as_str()) { msg } else { format!("{name}: {msg}") };
-                errors.push(msg.clone());
-                rows.push(Json::obj().field("design", name.as_str()).field("error", msg));
+                let msg = if we.message.starts_with(name.as_str()) {
+                    we.message.clone()
+                } else {
+                    format!("{name}: {}", we.message)
+                };
+                errors.push(format!("[{}/{}] {msg}", we.family, we.exit_code));
+                rows.push(
+                    Json::obj()
+                        .field("design", name.as_str())
+                        .field("error", msg)
+                        .field("family", we.family.as_str())
+                        .field("exit_code", we.exit_code as i64),
+                );
                 streams.push(DesignEvents::new(name.as_str()));
             }
         }
@@ -947,14 +1087,13 @@ fn run_profile(args: &Args) -> Result<bool, FlowError> {
         .ok_or_else(|| FlowError::Usage("`dpmc profile` needs a design".to_string()))?;
 
     if let Some(pct) = args.overhead_gate {
-        let rep = driver::telemetry_overhead(name, g, &args.config, pct, 3)
-            .map_err(FlowError::Analysis)?;
+        let rep =
+            driver::telemetry_overhead(name, g, &args.config, pct, 3).map_err(worker_to_flow)?;
         println!("{name}: {}", rep.render());
         return Ok(rep.passed);
     }
 
-    let profile =
-        driver::profile_design(name, g, &args.config, &lib).map_err(FlowError::Analysis)?;
+    let profile = driver::profile_design(name, g, &args.config, &lib).map_err(worker_to_flow)?;
     if let Some(path) = &args.stacks {
         std::fs::write(path, profile.collapsed_stacks())
             .map_err(|e| FlowError::Io { path: path.clone(), message: e.to_string() })?;
@@ -1087,6 +1226,163 @@ fn run_faultcheck(args: &Args) -> Result<bool, FlowError> {
     }
     if let Some(path) = &args.events {
         write_events(path, args.telemetry, &streams)?;
+    }
+    Ok(all_passed)
+}
+
+/// `dpmc serve`: the supervised synthesis service. Reads JSON-lines
+/// requests from stdin (or serves `--connections` TCP connections on
+/// `--tcp ADDR`), dispatches them onto a slot-ordered pool of `--jobs`
+/// workers with per-request deadline/memory-ceiling supervision and
+/// bounded panic retries, and answers each with one deterministic
+/// `dpmc-serve/1` line followed by a `dpmc-serve-stats/1` summary. With
+/// `--store DIR`, healthy results are cached in the crash-safe
+/// content-addressed artifact store, so a structurally identical design
+/// — even with permuted node ids and renamed ports — is answered from
+/// the store (and differentially audited against the request actually
+/// sent). Returns `Ok(false)` when any request ended in an error
+/// outcome, mirroring the bench gate.
+fn run_serve(args: &Args) -> Result<bool, FlowError> {
+    use datapath_merge::serve::{ServeOptions, Service, Store};
+    let opts = ServeOptions {
+        jobs: args.jobs.unwrap_or(1),
+        retries: args.retries,
+        deadline_ms: args.deadline_ms,
+        max_live_mb: args.max_live_mb,
+    };
+    let mut service = Service::new(opts).with_parser(Box::new(|text| {
+        datapath_merge::dsl::parse_design(text).map_err(|e| e.to_string())
+    }));
+    if let Some(dir) = &args.store {
+        let store = Store::open(std::path::Path::new(dir))
+            .map_err(|e| FlowError::Io { path: dir.clone(), message: e.to_string() })?;
+        for d in store.diagnostics() {
+            eprintln!("dpmc serve: store recovery: {d}");
+        }
+        service = service.with_store(store);
+    }
+    let stats = match &args.tcp {
+        Some(addr) => {
+            let listener = std::net::TcpListener::bind(addr)
+                .map_err(|e| FlowError::Io { path: addr.clone(), message: e.to_string() })?;
+            match listener.local_addr() {
+                Ok(local) => eprintln!(
+                    "dpmc serve: listening on {local} for {} connection(s)",
+                    args.connections
+                ),
+                Err(_) => eprintln!("dpmc serve: listening on {addr}"),
+            }
+            service.serve_tcp(&listener, args.connections)
+        }
+        None => {
+            let stdin = std::io::stdin();
+            let mut stdout = std::io::stdout();
+            service.serve_lines(stdin.lock(), &mut stdout)
+        }
+    }
+    .map_err(|e| FlowError::Io { path: "<serve>".to_string(), message: e.to_string() })?;
+    for d in service.store_diagnostics() {
+        eprintln!("dpmc serve: store: {d}");
+    }
+    eprintln!(
+        "dpmc serve: {} request(s): {} ok, {} degraded, {} deadline, {} memory, {} error(s); \
+         cache hits {} ({} netlist, {} cluster, {} analysis), hit rate {:.2}, {} retry(ies), \
+         throughput {:.1} rps",
+        stats.requests,
+        stats.ok,
+        stats.degraded,
+        stats.deadline,
+        stats.memory,
+        stats.errors,
+        stats.hits(),
+        stats.hits_netlist,
+        stats.hits_cluster,
+        stats.hits_analysis,
+        stats.hit_rate(),
+        stats.retries,
+        stats.throughput_rps()
+    );
+    Ok(stats.errors == 0)
+}
+
+/// `dpmc faultcheck --serve`: the service chaos matrix. Every requested
+/// design runs through all nine chaos scenarios (worker panic, retry
+/// exhaustion, deadline expiry, memory ceiling, store truncation,
+/// bit-flip, torn manifest, stale temp, crash-then-restart) and each must
+/// uphold the service contract: supervised outcomes are reported, never
+/// crash the batch, and every store defect degrades to a quarantined
+/// miss whose recomputed answer is bit-identical to the cold baseline.
+/// Returns `Ok(false)` on any violation.
+fn run_faultcheck_serve(args: &Args) -> Result<bool, FlowError> {
+    use datapath_merge::fault::serve::{check_serve, ServeChaos};
+    use datapath_merge::testcases::named_design;
+    let names: Vec<String> = if !args.file.is_empty() {
+        vec![args.file.clone()]
+    } else if args.designs.is_empty() {
+        // Chaos covers service plumbing, not datapath scale: the paper
+        // figures exercise every cache granularity without the minutes
+        // the evaluation designs and scaling family would add.
+        vec!["fig1".into(), "fig2".into(), "fig3".into(), "fig4".into()]
+    } else {
+        args.designs.clone()
+    };
+    for name in &names {
+        if named_design(name).is_none() {
+            return Err(FlowError::Usage(format!(
+                "`dpmc faultcheck --serve` takes built-in design names, and `{name}` is not one"
+            )));
+        }
+    }
+    let scratch = std::env::temp_dir().join(format!("dpmc-serve-chaos-{}", std::process::id()));
+    let mut all_passed = true;
+    let mut rows = Vec::new();
+    for name in &names {
+        let report = check_serve(name, &scratch);
+        let (passed, failed): (Vec<_>, Vec<_>) = report.cases.iter().partition(|c| c.passed);
+        if args.json {
+            let cases: Vec<Json> = report
+                .cases
+                .iter()
+                .map(|c| {
+                    Json::obj()
+                        .field("chaos", c.chaos.name())
+                        .field("passed", c.passed)
+                        .field("detail", c.detail.as_str())
+                })
+                .collect();
+            rows.push(Json::obj().field("design", name.as_str()).field("cases", cases));
+        } else {
+            println!(
+                "{name}: {} scenario(s): {} upheld, {} VIOLATION(S)",
+                report.cases.len(),
+                passed.len(),
+                failed.len()
+            );
+            for c in &report.cases {
+                println!(
+                    "  {} {name} chaos={}: {}",
+                    if c.passed { "ok  " } else { "FAIL" },
+                    c.chaos.name(),
+                    c.detail
+                );
+            }
+        }
+        all_passed &= report.passed();
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+    if args.json {
+        let doc = Json::obj()
+            .field("schema", "dpmc-faultcheck-serve/1")
+            .field("passed", all_passed)
+            .field("designs", rows);
+        print!("{}", doc.render_pretty());
+    } else {
+        println!(
+            "faultcheck --serve: {} design(s) x {} scenario(s): {}",
+            names.len(),
+            ServeChaos::ALL.len(),
+            if all_passed { "service contract upheld" } else { "CONTRACT VIOLATIONS" }
+        );
     }
     Ok(all_passed)
 }

@@ -9,9 +9,6 @@
 //! ran it, and the telemetry [`Level`] governs what gets *recorded*, never
 //! what the flow *does*.
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use dp_analysis::TransformReport;
@@ -19,8 +16,21 @@ use dp_obs::{
     degrade_event, kind_events, round_events, span_events, trace_events, DesignEvents, Event,
     Profile,
 };
+pub use dp_serve::pool::{WorkerError, PANIC_EXIT_CODE, PANIC_FAMILY};
+use dp_synth::SynthError;
 
+use crate::error::FlowError;
 use crate::prelude::*;
+
+/// Classifies a flow failure for the pool: the message keeps the
+/// driver's `"{design}: ..."` prefix convention, while the family and
+/// exit code come from the [`FlowError`] taxonomy — so a design that
+/// fails inside `dpmc bench --jobs N` reports exactly the taxonomy a
+/// standalone `dpmc run` of that design would have exited with.
+fn classify_flow(prefix: &str, e: SynthError) -> WorkerError {
+    let fe = FlowError::from(e);
+    WorkerError::new(fe.family(), fe.exit_code(), format!("{prefix}: {fe}"))
+}
 
 /// One design's bench outcome: the `designs[]` row of the dpmc-bench
 /// document plus the design's ordered telemetry events, both built on
@@ -106,14 +116,14 @@ pub fn bench_design(
     config: &SynthConfig,
     lib: &Library,
     level: Level,
-) -> Result<BenchOutcome, String> {
+) -> Result<BenchOutcome, WorkerError> {
     let mut flows = Vec::new();
     let mut events = DesignEvents::new(name);
     for strategy in [MergeStrategy::Old, MergeStrategy::New] {
         let mut rec = Recorder::new();
         let mut tr = TraceLog::new();
         let flow = run_flow_with(g, strategy, config, &mut rec, &mut tr)
-            .map_err(|e| format!("{name} [{strategy}]: {e}"))?;
+            .map_err(|e| classify_flow(&format!("{name} [{strategy}]"), e))?;
         let mut netlist = flow.netlist.clone();
         let outer = rec.span("fold_sweep");
         let fold = rec.span("fold_constants");
@@ -171,39 +181,21 @@ pub fn bench_design(
 /// Runs `count` jobs on a pool of `jobs` worker threads pulling indices
 /// from a shared counter. Worker `i` writes only slot `i`, so the
 /// returned vector — and anything assembled from it in order — is
-/// independent of scheduling. A panicking job becomes an `Err` slot (and
-/// must not take down its worker, which would silently drop every job
-/// that worker would have pulled next).
-pub fn run_slots<T, F>(count: usize, jobs: usize, run: F) -> Vec<Result<T, String>>
+/// independent of scheduling. A panicking job becomes an `Err` slot with
+/// the `panic` taxonomy and its payload message preserved (and must not
+/// take down its worker, which would silently drop every job that worker
+/// would have pulled next).
+///
+/// This is a thin facade over [`dp_serve::pool::run_slots`]: bench and
+/// the synthesis service share one pool, so a job failure carries the
+/// same [`WorkerError`] family/exit-code taxonomy in a bench error row
+/// as in a serve response.
+pub fn run_slots<T, F>(count: usize, jobs: usize, run: F) -> Vec<Result<T, WorkerError>>
 where
     T: Send,
-    F: Fn(usize) -> Result<T, String> + Sync,
+    F: Fn(usize) -> Result<T, WorkerError> + Sync,
 {
-    let slots: Vec<Mutex<Option<Result<T, String>>>> =
-        (0..count).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    let jobs = jobs.clamp(1, count.max(1));
-    std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= count {
-                    break;
-                }
-                let out = catch_unwind(AssertUnwindSafe(|| run(i)))
-                    .unwrap_or_else(|_| Err("panicked during the run".to_string()));
-                *slots[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(out);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .unwrap_or_else(|p| p.into_inner())
-                .unwrap_or_else(|| Err("worker died before writing a result".to_string()))
-        })
-        .collect()
+    dp_serve::pool::run_slots(count, jobs, run)
 }
 
 /// Runs the new-merge flow (plus constant folding, STA and verification)
@@ -214,11 +206,11 @@ pub fn profile_design(
     g: &Dfg,
     config: &SynthConfig,
     lib: &Library,
-) -> Result<Profile, String> {
+) -> Result<Profile, WorkerError> {
     let mut rec = Recorder::new();
     let mut tr = TraceLog::new();
     let flow = run_flow_with(g, MergeStrategy::New, config, &mut rec, &mut tr)
-        .map_err(|e| format!("{name}: {e}"))?;
+        .map_err(|e| classify_flow(name, e))?;
     let mut netlist = flow.netlist.clone();
     let outer = rec.span("fold_sweep");
     let fold = rec.span("fold_constants");
@@ -290,12 +282,12 @@ pub fn telemetry_overhead(
     config: &SynthConfig,
     max_pct: f64,
     trials: usize,
-) -> Result<OverheadReport, String> {
-    let run_at = |level: Level| -> Result<(String, Vec<Event>), String> {
+) -> Result<OverheadReport, WorkerError> {
+    let run_at = |level: Level| -> Result<(String, Vec<Event>), WorkerError> {
         let mut rec = Recorder::with_level(level);
         let mut tr = TraceLog::new();
         let flow = run_flow_with(g, MergeStrategy::New, config, &mut rec, &mut tr)
-            .map_err(|e| format!("{name} [{}]: {e}", level.name()))?;
+            .map_err(|e| classify_flow(&format!("{name} [{}]", level.name()), e))?;
         Ok((flow.metrics.to_json().render(), trace_events(&tr)))
     };
     let (qor_off, trace_off) = run_at(Level::Off)?;
@@ -305,14 +297,14 @@ pub fn telemetry_overhead(
         invariant &= qor == qor_off && trace == trace_off;
     }
 
-    let wall = |level: Level| -> Result<Duration, String> {
+    let wall = |level: Level| -> Result<Duration, WorkerError> {
         let mut best = Duration::MAX;
         for _ in 0..trials.max(1) {
             let mut rec = Recorder::with_level(level);
             let mut tr = TraceLog::new();
             let started = Instant::now();
             run_flow_with(g, MergeStrategy::New, config, &mut rec, &mut tr)
-                .map_err(|e| format!("{name} [{}]: {e}", level.name()))?;
+                .map_err(|e| classify_flow(&format!("{name} [{}]", level.name()), e))?;
             best = best.min(started.elapsed());
         }
         Ok(best)
@@ -377,9 +369,9 @@ mod tests {
 
     #[test]
     fn run_slots_is_slot_ordered_for_any_job_count() {
-        let run = |i: usize| -> Result<usize, String> {
+        let run = |i: usize| -> Result<usize, WorkerError> {
             if i == 3 {
-                Err("boom".to_string())
+                Err(WorkerError::new("analysis", 6, "boom"))
             } else {
                 Ok(i * i)
             }
@@ -388,21 +380,40 @@ mod tests {
         let four = run_slots(8, 4, run);
         assert_eq!(one, four);
         assert_eq!(one[2], Ok(4));
-        assert_eq!(one[3], Err("boom".to_string()));
+        assert_eq!(one[3], Err(WorkerError::new("analysis", 6, "boom")));
     }
 
     #[test]
-    fn run_slots_contains_panicking_jobs() {
-        let out = run_slots(4, 2, |i| -> Result<usize, String> {
+    fn run_slots_contains_panicking_jobs_with_taxonomy() {
+        let out = run_slots(4, 2, |i| -> Result<usize, WorkerError> {
             if i == 1 {
                 panic!("job 1 exploded");
             }
             Ok(i)
         });
         assert_eq!(out[0], Ok(0));
-        assert_eq!(out[1], Err("panicked during the run".to_string()));
+        let err = out[1].clone().expect_err("job 1 panicked");
+        assert_eq!(err.family, PANIC_FAMILY);
+        assert_eq!(err.exit_code, PANIC_EXIT_CODE);
+        assert_eq!(err.message, "panicked during the run: job 1 exploded");
         assert_eq!(out[2], Ok(2));
         assert_eq!(out[3], Ok(3));
+    }
+
+    #[test]
+    fn flow_failures_classify_with_the_process_taxonomy() {
+        // An adder with no drivers fails structural validation inside the
+        // flow; the bench row must carry the same family/exit-code a
+        // standalone run would have exited with (graph = 5).
+        let mut g = Dfg::new();
+        let n = g.op_unconnected(OpKind::Add, 5);
+        g.output("o", 5, n, Signedness::Unsigned);
+        let lib = Library::synthetic_025um();
+        let err = bench_design("empty", &g, &SynthConfig::default(), &lib, Level::Off)
+            .expect_err("an empty design cannot synthesize");
+        assert_eq!(err.family, "graph");
+        assert_eq!(err.exit_code, 5);
+        assert!(err.message.starts_with("empty [old-merge]:"), "{}", err.message);
     }
 
     #[test]

@@ -155,6 +155,10 @@ impl From<SynthError> for FlowError {
             SynthError::InvalidClustering(c) => FlowError::Cluster(c.to_string()),
             SynthError::Linearize(l) => FlowError::Cluster(l.to_string()),
             SynthError::Audit(m) => FlowError::Netlist(m),
+            // Supervision breaches (deadline, memory ceiling) surface as
+            // analysis-family failures: the flow was aborted by its
+            // resource budget, not by a netlist defect.
+            SynthError::Budget(m) => FlowError::Analysis(m),
         }
     }
 }
@@ -199,5 +203,8 @@ mod tests {
         let audit = FlowError::from(SynthError::Audit("ladder exhausted".into()));
         assert_eq!(audit.family(), "netlist");
         assert_eq!(audit.exit_code(), 8);
+        let budget = FlowError::from(SynthError::Budget("wall-clock deadline".into()));
+        assert_eq!(budget.family(), "analysis");
+        assert_eq!(budget.exit_code(), 6);
     }
 }

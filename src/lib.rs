@@ -36,6 +36,7 @@
 //! | [`trace`] | `dp-trace` | decision-provenance event log (`dpmc explain`, `dpmc dot --annotate`) |
 //! | [`fault`] | `dp-fault` | deterministic fault injection and detect-or-degrade checking (`dpmc faultcheck`) |
 //! | [`obs`] | `dp-obs` | streaming telemetry events, counting allocator, self-profiling (`dpmc profile`, `--events`) |
+//! | [`serve`] | `dp-serve` | supervised synthesis service, worker pool, content-addressed artifact store (`dpmc serve`) |
 //!
 //! # Quickstart
 //!
@@ -82,6 +83,7 @@ pub use dp_metrics as metrics;
 pub use dp_netlist as netlist;
 pub use dp_obs as obs;
 pub use dp_opt as opt;
+pub use dp_serve as serve;
 pub use dp_synth as synth;
 pub use dp_testcases as testcases;
 pub use dp_trace as trace;
